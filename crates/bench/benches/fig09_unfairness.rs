@@ -1,0 +1,20 @@
+//! Bench: regenerate fig. 9 (average system unfairness).
+use accel_bench::{bench_config, k20m_runner, print_once};
+use accel_harness::experiments::{sweep, DeviceSweeps};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let runner = k20m_runner();
+    let cfg = bench_config();
+    print_once("fig9", || {
+        let ds = DeviceSweeps { sizes: vec![sweep(runner, &cfg, 2), sweep(runner, &cfg, 4), sweep(runner, &cfg, 8)] };
+        ds.fig9()
+    });
+    let mut g = c.benchmark_group("fig09_unfairness");
+    g.sample_size(10);
+    g.bench_function("sweep_2rq", |b| b.iter(|| std::hint::black_box(sweep(runner, &cfg, 2))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # accel-bench — Criterion benches for every table and figure
+//!
+//! One bench target per experiment of the paper's evaluation (see
+//! DESIGN.md's per-experiment index). Each bench drives the same
+//! `accel-harness` experiment code that the `repro` binary renders, at a
+//! reduced sweep scale so `cargo bench` finishes in minutes; the first
+//! iteration of each bench prints the rendered table so bench logs double
+//! as result records.
+
+#![warn(missing_docs)]
+
+use accel_harness::runner::Runner;
+use accel_harness::workloads::SweepConfig;
+use gpu_sim::DeviceConfig;
+use std::sync::OnceLock;
+
+/// Sweep scale used by benches: big enough for stable shapes, small enough
+/// for minutes-long runs.
+pub fn bench_config() -> SweepConfig {
+    SweepConfig { pairs: 50, n4: 16, n8: 8, reps: 1, seed: 2016 }
+}
+
+/// Shared NVIDIA-preset runner (kernels compile once per process).
+pub fn k20m_runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(|| Runner::new(DeviceConfig::k20m()))
+}
+
+/// Shared AMD-preset runner.
+pub fn r9_runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(|| Runner::new(DeviceConfig::r9_295x2()))
+}
+
+/// Print a rendered table exactly once per process (so bench output stays
+/// readable across criterion's many iterations).
+pub fn print_once(key: &'static str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let printed = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
+    if printed.lock().unwrap().insert(key) {
+        println!("\n{}", render());
+    }
+}

@@ -1,0 +1,165 @@
+//! Contexts and memory objects.
+
+use crate::error::ClError;
+use crate::platform::Platform;
+use gpu_sim::DeviceConfig;
+use kernel_ir::interp::{BufferId, DeviceMemory};
+
+/// A device buffer handle (`cl_mem`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    pub(crate) id: BufferId,
+    pub(crate) bytes: usize,
+}
+
+impl Buffer {
+    /// Size of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether the buffer has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// An OpenCL-style context: one device plus its global memory.
+///
+/// # Examples
+///
+/// ```
+/// use clrt::{Context, Platform};
+/// let mut ctx = Context::new(&Platform::test_tiny());
+/// let buf = ctx.create_buffer(4 * 4);
+/// ctx.write_f32(buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(ctx.read_f32(buf).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+/// ```
+#[derive(Debug)]
+pub struct Context {
+    device: DeviceConfig,
+    mem: DeviceMemory,
+    allocated: usize,
+}
+
+impl Context {
+    /// Create a context on a platform's device.
+    pub fn new(platform: &Platform) -> Self {
+        Context { device: platform.device().clone(), mem: DeviceMemory::new(), allocated: 0 }
+    }
+
+    /// The device this context targets.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Total bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated
+    }
+
+    /// Allocate a device buffer (`clCreateBuffer`).
+    pub fn create_buffer(&mut self, bytes: usize) -> Buffer {
+        self.allocated += bytes;
+        Buffer { id: self.mem.alloc(bytes), bytes }
+    }
+
+    fn check(&self, buf: Buffer, bytes: usize) -> Result<(), ClError> {
+        if bytes > buf.bytes {
+            return Err(ClError::InvalidBuffer(format!(
+                "write of {bytes} bytes into buffer of {}",
+                buf.bytes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Write `f32` data at offset 0 (`clEnqueueWriteBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if the data does not fit.
+    pub fn write_f32(&mut self, buf: Buffer, data: &[f32]) -> Result<(), ClError> {
+        self.check(buf, data.len() * 4)?;
+        self.mem.write_f32(buf.id, data);
+        Ok(())
+    }
+
+    /// Write `i32` data at offset 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if the data does not fit.
+    pub fn write_i32(&mut self, buf: Buffer, data: &[i32]) -> Result<(), ClError> {
+        self.check(buf, data.len() * 4)?;
+        self.mem.write_i32(buf.id, data);
+        Ok(())
+    }
+
+    /// Write `i64` data at offset 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidBuffer`] if the data does not fit.
+    pub fn write_i64(&mut self, buf: Buffer, data: &[i64]) -> Result<(), ClError> {
+        self.check(buf, data.len() * 8)?;
+        self.mem.write_i64(buf.id, data);
+        Ok(())
+    }
+
+    /// Read the whole buffer as `f32` (`clEnqueueReadBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for OpenCL-shape compatibility.
+    pub fn read_f32(&self, buf: Buffer) -> Result<Vec<f32>, ClError> {
+        Ok(self.mem.read_f32(buf.id))
+    }
+
+    /// Read the whole buffer as `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for OpenCL-shape compatibility.
+    pub fn read_i32(&self, buf: Buffer) -> Result<Vec<i32>, ClError> {
+        Ok(self.mem.read_i32(buf.id))
+    }
+
+    /// Read the whole buffer as `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for OpenCL-shape compatibility.
+    pub fn read_i64(&self, buf: Buffer) -> Result<Vec<i64>, ClError> {
+        Ok(self.mem.read_i64(buf.id))
+    }
+
+    /// Direct access to the underlying interpreter memory (used by the
+    /// accelOS runtime, which shares the context's device memory).
+    pub fn memory_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_roundtrip() {
+        let mut ctx = Context::new(&Platform::test_tiny());
+        let b = ctx.create_buffer(8);
+        ctx.write_i32(b, &[7, 9]).unwrap();
+        assert_eq!(ctx.read_i32(b).unwrap(), vec![7, 9]);
+        assert_eq!(ctx.allocated_bytes(), 8);
+        assert_eq!(b.len(), 8);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let mut ctx = Context::new(&Platform::test_tiny());
+        let b = ctx.create_buffer(4);
+        assert!(ctx.write_f32(b, &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type of the clrt host API.
+
+use std::fmt;
+
+/// Any failure of a clrt operation, in the spirit of OpenCL's `cl_int`
+/// error codes but carrying a message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClError {
+    /// Program compilation failed (`CL_BUILD_PROGRAM_FAILURE`).
+    BuildFailure(String),
+    /// A named kernel does not exist (`CL_INVALID_KERNEL_NAME`).
+    InvalidKernelName(String),
+    /// Kernel arguments are missing or mistyped (`CL_INVALID_KERNEL_ARGS`).
+    InvalidArgs(String),
+    /// A launch geometry is invalid (`CL_INVALID_WORK_GROUP_SIZE`).
+    InvalidWorkGroupSize(String),
+    /// Buffer handle or range problem (`CL_INVALID_MEM_OBJECT`).
+    InvalidBuffer(String),
+    /// The kernel faulted while executing.
+    ExecutionFailure(String),
+    /// The device cannot satisfy a resource requirement.
+    OutOfResources(String),
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::BuildFailure(m) => write!(f, "program build failure: {m}"),
+            ClError::InvalidKernelName(m) => write!(f, "invalid kernel name: {m}"),
+            ClError::InvalidArgs(m) => write!(f, "invalid kernel arguments: {m}"),
+            ClError::InvalidWorkGroupSize(m) => write!(f, "invalid work group size: {m}"),
+            ClError::InvalidBuffer(m) => write!(f, "invalid buffer: {m}"),
+            ClError::ExecutionFailure(m) => write!(f, "kernel execution failure: {m}"),
+            ClError::OutOfResources(m) => write!(f, "out of resources: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ClError::BuildFailure("syntax error at 1:2".into());
+        assert!(e.to_string().contains("syntax error"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # clrt — an OpenCL-flavoured host runtime
+//!
+//! The system-interface substrate (paper fig. 5, level 0) of the accelOS
+//! (CGO 2016) reproduction: platforms, devices, contexts, buffers, programs,
+//! kernels, in-order command queues and profiling events, shaped after the
+//! OpenCL 1.2 host API the paper deploys on.
+//!
+//! Programs are MiniCL source compiled by the [`minicl`] front end;
+//! execution is functional (the `kernel-ir` interpreter really runs the
+//! kernel over real buffers) with device times modelled by [`gpu_sim`].
+//!
+//! The accelOS runtime (`accelos` crate) interposes on exactly two calls —
+//! program build and NDRange enqueue — which is all its paper counterpart
+//! intercepts via ProxyCL.
+//!
+//! # Examples
+//!
+//! ```
+//! use clrt::{Arg, CommandQueue, Context, Platform, Program};
+//! use kernel_ir::interp::NdRange;
+//!
+//! # fn main() -> Result<(), clrt::ClError> {
+//! let platform = &Platform::all()[0]; // NVIDIA-like
+//! let mut ctx = Context::new(platform);
+//! let program = Program::build(
+//!     "kernel void axpy(global float* y, global const float* x, float a) {
+//!         size_t i = get_global_id(0);
+//!         y[i] = y[i] + a * x[i];
+//!     }",
+//! )?;
+//! let mut kernel = program.create_kernel("axpy")?;
+//!
+//! let y = ctx.create_buffer(4 * 4);
+//! let x = ctx.create_buffer(4 * 4);
+//! ctx.write_f32(y, &[1.0; 4])?;
+//! ctx.write_f32(x, &[1.0, 2.0, 3.0, 4.0])?;
+//! kernel.set_arg(0, Arg::Buffer(y))?;
+//! kernel.set_arg(1, Arg::Buffer(x))?;
+//! kernel.set_arg(2, Arg::Scalar(kernel_ir::Value::F32(2.0)))?;
+//!
+//! let mut queue = CommandQueue::new();
+//! let event = queue.enqueue_nd_range(&mut ctx, &kernel, NdRange::new_1d(4, 2))?;
+//! assert_eq!(ctx.read_f32(y)?, vec![3.0, 5.0, 7.0, 9.0]);
+//! assert!(event.duration() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod error;
+pub mod platform;
+pub mod program;
+pub mod queue;
+
+pub use context::{Buffer, Context};
+pub use error::ClError;
+pub use platform::Platform;
+pub use program::{Arg, Kernel, Program};
+pub use queue::{launch_requirements, CommandQueue, Event};

@@ -1,0 +1,67 @@
+//! Platforms and devices.
+//!
+//! Mirrors `clGetPlatformIDs`/`clGetDeviceIDs`: the process sees a fixed set
+//! of platforms, each exposing one simulated accelerator.
+
+use gpu_sim::DeviceConfig;
+
+/// An OpenCL-style platform: a vendor runtime exposing one device.
+///
+/// # Examples
+///
+/// ```
+/// let platforms = clrt::Platform::all();
+/// assert_eq!(platforms.len(), 2);
+/// assert!(platforms[0].device().num_cus > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    name: String,
+    device: DeviceConfig,
+}
+
+impl Platform {
+    /// Every platform visible to the process (the paper's two evaluation
+    /// machines).
+    pub fn all() -> Vec<Platform> {
+        vec![Platform::nvidia(), Platform::amd()]
+    }
+
+    /// The NVIDIA-like platform (Tesla K20m preset).
+    pub fn nvidia() -> Platform {
+        Platform { name: "NVIDIA OpenCL (simulated)".into(), device: DeviceConfig::k20m() }
+    }
+
+    /// The AMD-like platform (R9 295X2 preset).
+    pub fn amd() -> Platform {
+        Platform { name: "AMD APP (simulated)".into(), device: DeviceConfig::r9_295x2() }
+    }
+
+    /// A tiny-device platform for tests.
+    pub fn test_tiny() -> Platform {
+        Platform { name: "test platform".into(), device: DeviceConfig::test_tiny() }
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The platform's device description.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_vendor_platforms() {
+        let all = Platform::all();
+        assert!(all[0].name().contains("NVIDIA"));
+        assert!(all[1].name().contains("AMD"));
+        assert_ne!(all[0].device(), all[1].device());
+    }
+}

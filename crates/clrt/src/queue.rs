@@ -1,0 +1,232 @@
+//! In-order command queues with profiling events.
+//!
+//! Execution takes place on two planes (DESIGN.md):
+//!
+//! * **functional** — the kernel really runs, via the `kernel-ir`
+//!   interpreter, against the context's device memory;
+//! * **timing** — the launch's device time is obtained by running the
+//!   `gpu-sim` machine model with per-work-group costs taken from the
+//!   interpreter's dynamic statistics.
+//!
+//! Events therefore report both correct buffer contents and device-model
+//! times, like `CL_QUEUE_PROFILING_ENABLE`.
+
+use crate::context::Context;
+use crate::error::ClError;
+use crate::program::Kernel;
+use gpu_sim::{KernelLaunch, LaunchPlan, Simulator, WorkGroupReq};
+use kernel_ir::interp::{DynStats, Interpreter, NdRange};
+
+/// A profiling event (`cl_event` with `CL_PROFILING_COMMAND_*`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Queue time of the command.
+    pub queued: u64,
+    /// Time the first work group became resident.
+    pub start: u64,
+    /// Completion time.
+    pub end: u64,
+    /// Dynamic statistics of the functional execution.
+    pub stats: DynStats,
+}
+
+impl Event {
+    /// Device-model duration (`end - start`).
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// An in-order command queue on one context.
+///
+/// # Examples
+///
+/// ```
+/// use clrt::{Arg, CommandQueue, Context, Platform, Program};
+/// use kernel_ir::interp::NdRange;
+///
+/// # fn main() -> Result<(), clrt::ClError> {
+/// let mut ctx = Context::new(&Platform::test_tiny());
+/// let program = Program::build(
+///     "kernel void twice(global float* b) {
+///         size_t i = get_global_id(0);
+///         b[i] = b[i] * 2.0f;
+///     }",
+/// )?;
+/// let mut k = program.create_kernel("twice")?;
+/// let buf = ctx.create_buffer(4 * 4);
+/// ctx.write_f32(buf, &[1.0, 2.0, 3.0, 4.0])?;
+/// k.set_arg(0, Arg::Buffer(buf))?;
+///
+/// let mut q = CommandQueue::new();
+/// let ev = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(4, 2))?;
+/// assert!(ev.end > ev.start);
+/// assert_eq!(ctx.read_f32(buf)?, vec![2.0, 4.0, 6.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct CommandQueue {
+    cursor: u64,
+}
+
+impl CommandQueue {
+    /// An empty queue starting at time zero.
+    pub fn new() -> Self {
+        CommandQueue::default()
+    }
+
+    /// Device time at which all enqueued commands have completed
+    /// (`clFinish`).
+    pub fn finish(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Launch `kernel` over `ndrange` (`clEnqueueNDRangeKernel`).
+    ///
+    /// Runs the kernel functionally, then models its device time; in-order
+    /// semantics mean the launch starts when the previous command ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidArgs`] for unbound arguments,
+    /// [`ClError::InvalidWorkGroupSize`] / [`ClError::OutOfResources`] for
+    /// geometry the device cannot host, and [`ClError::ExecutionFailure`]
+    /// if the kernel faults.
+    pub fn enqueue_nd_range(
+        &mut self,
+        ctx: &mut Context,
+        kernel: &Kernel,
+        ndrange: NdRange,
+    ) -> Result<Event, ClError> {
+        let args = kernel.resolved_args()?;
+        let req = launch_requirements(kernel, ndrange);
+        let dev = ctx.device().clone();
+        if req.threads > dev.threads_per_cu {
+            return Err(ClError::InvalidWorkGroupSize(format!(
+                "work group of {} threads exceeds the device limit {}",
+                req.threads, dev.threads_per_cu
+            )));
+        }
+        if req.local_mem > dev.local_mem_per_cu || req.regs_total() > dev.regs_per_cu {
+            return Err(ClError::OutOfResources(format!(
+                "work group needs {}B local / {} regs; device offers {}B / {}",
+                req.local_mem,
+                dev.local_mem_per_cu,
+                dev.regs_per_cu,
+                req.regs_total()
+            )));
+        }
+
+        // Functional plane.
+        let stats = Interpreter::new(kernel.module())
+            .run_kernel(ctx.memory_mut(), kernel.name(), ndrange, &args)
+            .map_err(|e| ClError::ExecutionFailure(e.to_string()))?;
+
+        // Timing plane: one-launch machine simulation with per-WG costs from
+        // the dynamic instruction counts.
+        let mem_intensity = if stats.total_insns == 0 {
+            0.0
+        } else {
+            (stats.mem_ops as f64 / stats.total_insns as f64).min(1.0)
+        };
+        let wg_costs: Vec<u64> = stats.insns_per_wg.iter().map(|&c| c.max(1)).collect();
+        let mut sim = Simulator::new(dev);
+        let id = sim.add_launch(KernelLaunch {
+            name: kernel.name().to_string(),
+            arrival: 0,
+            req,
+            mem_intensity,
+            plan: LaunchPlan::Hardware { wg_costs },
+            max_workers: None,
+        });
+        let report = sim.run();
+        let k = report.kernel(id);
+
+        let queued = self.cursor;
+        let start = queued + k.first_start.unwrap_or(0);
+        let end = queued + k.end;
+        self.cursor = end;
+        Ok(Event { queued, start, end, stats })
+    }
+}
+
+/// Per-work-group device resources a launch of `kernel` over `ndrange`
+/// occupies: threads from the geometry, local memory from static
+/// declarations plus dynamic `local` arguments, registers from the profile.
+pub fn launch_requirements(kernel: &Kernel, ndrange: NdRange) -> WorkGroupReq {
+    let profile = kernel.profile();
+    WorkGroupReq {
+        threads: ndrange.wg_size() as u32,
+        local_mem: (profile.static_local_bytes + kernel.dynamic_local_bytes()) as u32,
+        regs_per_thread: profile.regs_per_item.max(1) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::program::{Arg, Program};
+
+    fn setup() -> (Context, Kernel, crate::context::Buffer) {
+        let mut ctx = Context::new(&Platform::test_tiny());
+        let p = Program::build(
+            "kernel void inc(global int* b) {
+                size_t i = get_global_id(0);
+                b[i] = b[i] + 1;
+            }",
+        )
+        .unwrap();
+        let mut k = p.create_kernel("inc").unwrap();
+        let buf = ctx.create_buffer(16 * 4);
+        ctx.write_i32(buf, &[0; 16]).unwrap();
+        k.set_arg(0, Arg::Buffer(buf)).unwrap();
+        (ctx, k, buf)
+    }
+
+    #[test]
+    fn in_order_queue_serialises_commands() {
+        let (mut ctx, k, buf) = setup();
+        let mut q = CommandQueue::new();
+        let e1 = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4)).unwrap();
+        let e2 = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4)).unwrap();
+        assert!(e2.queued >= e1.end);
+        assert_eq!(q.finish(), e2.end);
+        assert_eq!(ctx.read_i32(buf).unwrap(), vec![2; 16]);
+    }
+
+    #[test]
+    fn event_times_are_consistent() {
+        let (mut ctx, k, _) = setup();
+        let mut q = CommandQueue::new();
+        let e = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4)).unwrap();
+        assert!(e.queued <= e.start);
+        assert!(e.start < e.end);
+        assert!(e.stats.total_insns > 0);
+    }
+
+    #[test]
+    fn oversized_work_group_rejected() {
+        let (mut ctx, k, _) = setup();
+        let mut q = CommandQueue::new();
+        // test_tiny allows 128 threads per CU.
+        let err = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(512, 256));
+        assert!(matches!(err, Err(ClError::InvalidWorkGroupSize(_))));
+    }
+
+    #[test]
+    fn execution_failures_are_surfaced() {
+        let mut ctx = Context::new(&Platform::test_tiny());
+        let p = Program::build(
+            "kernel void oob(global int* b) { b[1000000] = 1; }",
+        )
+        .unwrap();
+        let mut k = p.create_kernel("oob").unwrap();
+        let buf = ctx.create_buffer(4);
+        k.set_arg(0, Arg::Buffer(buf)).unwrap();
+        let mut q = CommandQueue::new();
+        let err = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(1, 1));
+        assert!(matches!(err, Err(ClError::ExecutionFailure(_))));
+    }
+}

@@ -1,0 +1,75 @@
+//! §6.4 adaptive scheduling: how many virtual groups one atomic dequeue
+//! fetches.
+//!
+//! The scheduling operation has atomic semantics, so for short kernels its
+//! overhead would dominate. The paper compensates by assigning multiple
+//! virtual groups per dequeue, stepped by the kernel's LLVM-IR instruction
+//! count: 8 groups below 10 instructions, 6 below 20, 4 below 30, 2 below
+//! 40, and 1 otherwise.
+
+/// Which accelOS variant is running (paper §8.5 compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// No adaptive scheduling: every dequeue fetches one virtual group.
+    Naive,
+    /// Adaptive chunked dequeues (the configuration used for all the
+    /// paper's headline experiments).
+    #[default]
+    Optimized,
+}
+
+/// Virtual groups fetched per scheduling operation for a kernel of
+/// `insn_count` IR instructions (paper §6.4).
+///
+/// # Examples
+///
+/// ```
+/// use accelos::chunk::{chunk_for, Mode};
+/// assert_eq!(chunk_for(5, Mode::Optimized), 8);
+/// assert_eq!(chunk_for(25, Mode::Optimized), 4);
+/// assert_eq!(chunk_for(100, Mode::Optimized), 1);
+/// assert_eq!(chunk_for(5, Mode::Naive), 1);
+/// ```
+pub fn chunk_for(insn_count: usize, mode: Mode) -> u32 {
+    match mode {
+        Mode::Naive => 1,
+        Mode::Optimized => match insn_count {
+            0..=9 => 8,
+            10..=19 => 6,
+            20..=29 => 4,
+            30..=39 => 2,
+            _ => 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_the_paper() {
+        assert_eq!(chunk_for(0, Mode::Optimized), 8);
+        assert_eq!(chunk_for(9, Mode::Optimized), 8);
+        assert_eq!(chunk_for(10, Mode::Optimized), 6);
+        assert_eq!(chunk_for(19, Mode::Optimized), 6);
+        assert_eq!(chunk_for(20, Mode::Optimized), 4);
+        assert_eq!(chunk_for(29, Mode::Optimized), 4);
+        assert_eq!(chunk_for(30, Mode::Optimized), 2);
+        assert_eq!(chunk_for(39, Mode::Optimized), 2);
+        assert_eq!(chunk_for(40, Mode::Optimized), 1);
+        assert_eq!(chunk_for(10_000, Mode::Optimized), 1);
+    }
+
+    #[test]
+    fn naive_never_chunks() {
+        for n in [0, 5, 15, 25, 35, 100] {
+            assert_eq!(chunk_for(n, Mode::Naive), 1);
+        }
+    }
+
+    #[test]
+    fn default_mode_is_optimized() {
+        assert_eq!(Mode::default(), Mode::Optimized);
+    }
+}

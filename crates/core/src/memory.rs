@@ -1,0 +1,171 @@
+//! Accelerator memory management (paper §5, "Memory Management").
+//!
+//! The host runtime tracks every application's device allocations and makes
+//! sure they can all be served safely. When the accelerator memory cannot
+//! serve all applications concurrently, one or more applications are
+//! *paused* until capacity is released.
+
+use std::collections::BTreeMap;
+
+/// Identifier of one application known to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+/// Outcome of an allocation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The allocation fits; the application may proceed.
+    Admitted,
+    /// Device memory is exhausted; the application is paused until other
+    /// applications release memory (the runtime will resume it then).
+    Paused,
+}
+
+/// Tracks per-application accelerator memory and the paused set.
+///
+/// # Examples
+///
+/// ```
+/// use accelos::memory::{Admission, AppId, MemoryManager};
+///
+/// let mut mm = MemoryManager::new(1000);
+/// assert_eq!(mm.request(AppId(1), 600), Admission::Admitted);
+/// assert_eq!(mm.request(AppId(2), 600), Admission::Paused);
+/// let resumed = mm.release(AppId(1), 600);
+/// assert_eq!(resumed, vec![AppId(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryManager {
+    capacity: u64,
+    used: u64,
+    allocs: BTreeMap<AppId, u64>,
+    /// Paused applications with their pending request, in arrival order.
+    waiting: Vec<(AppId, u64)>,
+}
+
+impl MemoryManager {
+    /// Manager for a device with `capacity` bytes of global memory.
+    pub fn new(capacity: u64) -> Self {
+        MemoryManager { capacity, used: 0, allocs: BTreeMap::new(), waiting: Vec::new() }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes the device offers.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Applications currently paused, in arrival order.
+    pub fn paused(&self) -> Vec<AppId> {
+        self.waiting.iter().map(|(a, _)| *a).collect()
+    }
+
+    /// Request `bytes` for `app`. If the device cannot serve it together
+    /// with existing allocations, the application is paused and the request
+    /// queued.
+    pub fn request(&mut self, app: AppId, bytes: u64) -> Admission {
+        if self.used + bytes <= self.capacity && self.waiting.is_empty() {
+            self.used += bytes;
+            *self.allocs.entry(app).or_insert(0) += bytes;
+            Admission::Admitted
+        } else {
+            self.waiting.push((app, bytes));
+            Admission::Paused
+        }
+    }
+
+    /// Release `bytes` previously admitted for `app`; returns applications
+    /// resumed (their queued requests now admitted), in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` has fewer than `bytes` admitted.
+    pub fn release(&mut self, app: AppId, bytes: u64) -> Vec<AppId> {
+        let held = self.allocs.get_mut(&app).expect("release from an app with allocations");
+        assert!(*held >= bytes, "application releases more than it holds");
+        *held -= bytes;
+        if *held == 0 {
+            self.allocs.remove(&app);
+        }
+        self.used -= bytes;
+
+        // Admit waiters FIFO while they fit; stop at the first that does
+        // not (order preservation prevents starvation).
+        let mut resumed = Vec::new();
+        while let Some(&(waiter, want)) = self.waiting.first() {
+            if self.used + want > self.capacity {
+                break;
+            }
+            self.waiting.remove(0);
+            self.used += want;
+            *self.allocs.entry(waiter).or_insert(0) += want;
+            resumed.push(waiter);
+        }
+        resumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_capacity() {
+        let mut mm = MemoryManager::new(100);
+        assert_eq!(mm.request(AppId(1), 60), Admission::Admitted);
+        assert_eq!(mm.request(AppId(2), 40), Admission::Admitted);
+        assert_eq!(mm.used(), 100);
+        assert_eq!(mm.request(AppId(3), 1), Admission::Paused);
+        assert_eq!(mm.paused(), vec![AppId(3)]);
+    }
+
+    #[test]
+    fn fifo_resume_on_release() {
+        let mut mm = MemoryManager::new(100);
+        mm.request(AppId(1), 90);
+        mm.request(AppId(2), 50);
+        mm.request(AppId(3), 5);
+        // Releasing 30 is not enough for app 2 (FIFO head); app 3 stays
+        // queued behind it even though it would fit — order prevents
+        // starvation of large requests.
+        let resumed = mm.release(AppId(1), 30);
+        assert_eq!(resumed, vec![]);
+        assert_eq!(mm.paused(), vec![AppId(2), AppId(3)]);
+        // Releasing the rest admits both, in order.
+        let resumed = mm.release(AppId(1), 60);
+        assert_eq!(resumed, vec![AppId(2), AppId(3)]);
+        assert!(mm.paused().is_empty());
+    }
+
+    #[test]
+    fn later_requests_queue_behind_waiters() {
+        let mut mm = MemoryManager::new(100);
+        mm.request(AppId(1), 100);
+        assert_eq!(mm.request(AppId(2), 10), Admission::Paused);
+        // App 3 would fit only by jumping the queue; it must wait.
+        assert_eq!(mm.request(AppId(3), 0), Admission::Paused);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than it holds")]
+    fn over_release_rejected() {
+        let mut mm = MemoryManager::new(100);
+        mm.request(AppId(1), 10);
+        let _ = mm.release(AppId(1), 20);
+    }
+
+    #[test]
+    fn accounting_roundtrip() {
+        let mut mm = MemoryManager::new(1000);
+        mm.request(AppId(7), 300);
+        mm.request(AppId(7), 200);
+        assert_eq!(mm.used(), 500);
+        mm.release(AppId(7), 500);
+        assert_eq!(mm.used(), 0);
+        assert_eq!(mm.capacity(), 1000);
+    }
+}

@@ -1,0 +1,389 @@
+//! ProxyCL: the transparent application interface (paper §4 level 2, §5
+//! "Application Monitor").
+//!
+//! Applications written against the `clrt` host API can run against
+//! [`ProxyCl`] unchanged: buffers, programs, kernels and enqueues keep their
+//! shapes. Underneath, the Application Monitor routes each request through
+//! the paper's finite state machine (fig. 6):
+//!
+//! * **new program** → the JIT compiler transforms the kernels
+//!   ([`crate::jit`]) and the original operation proceeds with the
+//!   transformed code;
+//! * **new kernel execution** → the Kernel Scheduler
+//!   ([`crate::scheduler`]) alters the number of work groups and launches;
+//! * **anything else** → passes through untouched.
+
+use crate::chunk::Mode;
+use crate::jit::{transform_module, TransformInfo};
+use crate::scheduler::{plan_launches, ExecRequest, LaunchDecision};
+use clrt::{Arg, Buffer, ClError, Context, Event, Kernel, Platform, Program};
+use gpu_sim::{KernelLaunch, Simulator};
+use kernel_ir::interp::{ArgValue, DynStats, Interpreter, NdRange};
+
+/// The request classes the Application Monitor distinguishes (fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppRequest {
+    /// `clCreateProgramWithSource`/`clBuildProgram`.
+    NewProgram,
+    /// `clEnqueueNDRangeKernel`.
+    NewKernelExec,
+    /// Any other OpenCL call.
+    Other,
+}
+
+/// What the monitor does with a request (fig. 6's three arrows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorAction {
+    /// Hand the kernel code to the JIT compiler.
+    JitCompile,
+    /// Hand the launch to the Kernel Scheduler.
+    Schedule,
+    /// accelOS does not intervene.
+    PassThrough,
+}
+
+/// The Application Monitor's routing function.
+///
+/// # Examples
+///
+/// ```
+/// use accelos::proxycl::{route, AppRequest, MonitorAction};
+/// assert_eq!(route(AppRequest::NewProgram), MonitorAction::JitCompile);
+/// assert_eq!(route(AppRequest::NewKernelExec), MonitorAction::Schedule);
+/// assert_eq!(route(AppRequest::Other), MonitorAction::PassThrough);
+/// ```
+pub fn route(request: AppRequest) -> MonitorAction {
+    match request {
+        AppRequest::NewProgram => MonitorAction::JitCompile,
+        AppRequest::NewKernelExec => MonitorAction::Schedule,
+        AppRequest::Other => MonitorAction::PassThrough,
+    }
+}
+
+/// A program built through accelOS: the transformed module plus metadata.
+#[derive(Debug, Clone)]
+pub struct ProxyProgram {
+    program: Program,
+    infos: Vec<TransformInfo>,
+}
+
+impl ProxyProgram {
+    /// Instantiate a kernel by its **original** name (transparency: the JIT
+    /// kept scheduling kernels under the application's names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidKernelName`] for unknown kernels.
+    pub fn create_kernel(&self, name: &str) -> Result<Kernel, ClError> {
+        self.program.create_kernel(name)
+    }
+
+    /// Transform metadata for one kernel.
+    pub fn info(&self, name: &str) -> Option<&TransformInfo> {
+        self.infos.iter().find(|i| i.kernel == name)
+    }
+
+    /// The transformed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+/// One pending kernel execution request inside a batch.
+#[derive(Debug, Clone)]
+pub struct PendingExec {
+    /// The kernel, with all application arguments bound.
+    pub kernel: Kernel,
+    /// Dequeue chunk from the transform metadata.
+    pub chunk: u32,
+    /// The original (application-visible) launch geometry.
+    pub ndrange: NdRange,
+}
+
+/// The accelOS runtime seen by one application (or, via
+/// [`ProxyCl::enqueue_concurrent`], a batch of concurrently arriving
+/// requests from several applications).
+///
+/// # Examples
+///
+/// ```
+/// use accelos::chunk::Mode;
+/// use accelos::proxycl::ProxyCl;
+/// use clrt::{Arg, Platform};
+/// use kernel_ir::interp::NdRange;
+///
+/// # fn main() -> Result<(), clrt::ClError> {
+/// let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+/// let program = os.build_program(
+///     "kernel void sq(global float* b) {
+///         size_t i = get_global_id(0);
+///         b[i] = b[i] * b[i];
+///     }",
+/// )?;
+/// let mut kernel = program.create_kernel("sq")?;
+/// let buf = os.context_mut().create_buffer(8 * 4);
+/// os.context_mut().write_f32(buf, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])?;
+/// kernel.set_arg(0, Arg::Buffer(buf))?;
+///
+/// let event = os.enqueue(&program, &kernel, NdRange::new_1d(8, 4))?;
+/// assert!(event.end > event.start);
+/// assert_eq!(os.context_mut().read_f32(buf)?[2], 9.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProxyCl {
+    ctx: Context,
+    mode: Mode,
+    cursor: u64,
+}
+
+impl ProxyCl {
+    /// Attach the accelOS runtime to a platform.
+    pub fn new(platform: &Platform, mode: Mode) -> Self {
+        ProxyCl { ctx: Context::new(platform), mode, cursor: 0 }
+    }
+
+    /// The wrapped context (buffers and reads pass through untouched —
+    /// fig. 6 case (c)).
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    /// Which accelOS variant is active.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Intercepted program build (fig. 6 case (a)): compile, JIT-transform,
+    /// and return a program whose kernels are scheduling kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::BuildFailure`] on front-end or JIT errors.
+    pub fn build_program(&mut self, source: &str) -> Result<ProxyProgram, ClError> {
+        let module =
+            minicl::compile(source).map_err(|e| ClError::BuildFailure(e.to_string()))?;
+        let transformed = transform_module(&module, self.mode)
+            .map_err(|e| ClError::BuildFailure(e.to_string()))?;
+        let program = Program::from_module(transformed.module, source)?;
+        Ok(ProxyProgram { program, infos: transformed.kernels })
+    }
+
+    /// Intercepted single-kernel enqueue (fig. 6 case (b)).
+    ///
+    /// # Errors
+    ///
+    /// See [`ProxyCl::enqueue_concurrent`].
+    pub fn enqueue(
+        &mut self,
+        program: &ProxyProgram,
+        kernel: &Kernel,
+        ndrange: NdRange,
+    ) -> Result<Event, ClError> {
+        let chunk = program
+            .info(kernel.name())
+            .ok_or_else(|| ClError::InvalidKernelName(kernel.name().to_string()))?
+            .chunk;
+        let pending =
+            vec![PendingExec { kernel: kernel.clone(), chunk, ndrange }];
+        Ok(self.enqueue_concurrent(pending)?.remove(0))
+    }
+
+    /// Schedule a batch of concurrently arriving kernel execution requests:
+    /// the Kernel Scheduler divides the accelerator among them (§3), every
+    /// kernel runs functionally over the reduced range, and device times
+    /// come from one joint machine simulation in which the persistent
+    /// workers of all kernels co-execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClError::InvalidArgs`] for unbound arguments or an empty
+    /// batch, and [`ClError::ExecutionFailure`] if any kernel faults.
+    pub fn enqueue_concurrent(
+        &mut self,
+        batch: Vec<PendingExec>,
+    ) -> Result<Vec<Event>, ClError> {
+        if batch.is_empty() {
+            return Err(ClError::InvalidArgs("empty execution batch".into()));
+        }
+
+        // Kernel Scheduler: one §3 allocation across the whole batch.
+        let requests: Vec<ExecRequest> = batch
+            .iter()
+            .map(|p| {
+                let req = clrt::launch_requirements(&p.kernel, p.ndrange);
+                ExecRequest::new(
+                    p.kernel.name(),
+                    p.ndrange,
+                    req.local_mem,
+                    req.regs_per_thread,
+                    p.chunk,
+                )
+            })
+            .collect();
+        let decisions = plan_launches(self.ctx.device(), &requests);
+
+        // Functional plane: run each transformed kernel over its reduced
+        // hardware range with the Virtual NDRange descriptor appended.
+        let mut all_stats: Vec<DynStats> = Vec::with_capacity(batch.len());
+        for (pending, decision) in batch.iter().zip(&decisions) {
+            let stats = self.run_functional(pending, decision)?;
+            all_stats.push(stats);
+        }
+
+        // Timing plane: all launches co-execute in one simulation.
+        let device = self.ctx.device().clone();
+        let mut sim = Simulator::new(device);
+        let mut ids = Vec::with_capacity(batch.len());
+        for ((pending, decision), stats) in batch.iter().zip(&decisions).zip(&all_stats) {
+            let total_vgs = decision.descriptor[1] as u64;
+            let per_vg = if total_vgs == 0 {
+                1
+            } else {
+                (stats.total_insns / total_vgs.max(1)).max(1)
+            };
+            let vg_costs = vec![per_vg; total_vgs as usize];
+            let mem_intensity = if stats.total_insns == 0 {
+                0.0
+            } else {
+                (stats.mem_ops as f64 / stats.total_insns as f64).min(1.0)
+            };
+            let req = clrt::launch_requirements(&pending.kernel, pending.ndrange);
+            ids.push(sim.add_launch(KernelLaunch {
+                name: pending.kernel.name().to_string(),
+                arrival: 0,
+                req,
+                mem_intensity,
+                plan: decision.to_sim_plan(vg_costs, 1),
+                max_workers: None,
+            }));
+        }
+        let report = sim.run();
+
+        let queued = self.cursor;
+        let mut events = Vec::with_capacity(batch.len());
+        for (id, stats) in ids.into_iter().zip(all_stats) {
+            let k = report.kernel(id);
+            events.push(Event {
+                queued,
+                start: queued + k.first_start.unwrap_or(0),
+                end: queued + k.end,
+                stats,
+            });
+        }
+        self.cursor = queued + report.makespan;
+        Ok(events)
+    }
+
+    /// Run one decided launch on the functional plane.
+    fn run_functional(
+        &mut self,
+        pending: &PendingExec,
+        decision: &LaunchDecision,
+    ) -> Result<DynStats, ClError> {
+        // Copy the Virtual NDRange descriptor to accelerator memory.
+        let rt_buf: Buffer = self.ctx.create_buffer(8 * decision.descriptor.len());
+        self.ctx.write_i64(rt_buf, &decision.descriptor)?;
+
+        let mut kernel = pending.kernel.clone();
+        let rt_index = kernel.arity() - 1; // JIT appended `rt` last
+        kernel.set_arg(rt_index, Arg::Buffer(rt_buf))?;
+        let args: Vec<ArgValue> = kernel.resolved_args()?;
+
+        Interpreter::new(kernel.module())
+            .run_kernel(self.ctx.memory_mut(), kernel.name(), decision.hardware_range, &args)
+            .map_err(|e| ClError::ExecutionFailure(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "kernel void scale(global float* b, float s) {
+        size_t i = get_global_id(0);
+        b[i] = b[i] * s;
+    }";
+
+    #[test]
+    fn fsm_routes_like_figure_6() {
+        assert_eq!(route(AppRequest::NewProgram), MonitorAction::JitCompile);
+        assert_eq!(route(AppRequest::NewKernelExec), MonitorAction::Schedule);
+        assert_eq!(route(AppRequest::Other), MonitorAction::PassThrough);
+    }
+
+    #[test]
+    fn transparent_build_and_run() {
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let program = os.build_program(SRC).unwrap();
+        let mut kernel = program.create_kernel("scale").unwrap();
+        // The application still sees its own arity (plus nothing): the rt
+        // parameter exists but the app binds only its original args.
+        let buf = os.context_mut().create_buffer(16 * 4);
+        os.context_mut().write_f32(buf, &[1.0; 16]).unwrap();
+        kernel.set_arg(0, Arg::Buffer(buf)).unwrap();
+        kernel.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(3.0))).unwrap();
+        let ev = os.enqueue(&program, &kernel, NdRange::new_1d(16, 4)).unwrap();
+        assert_eq!(os.context_mut().read_f32(buf).unwrap(), vec![3.0; 16]);
+        assert!(ev.duration() > 0);
+        assert!(ev.stats.total_insns > 0);
+    }
+
+    #[test]
+    fn concurrent_batch_overlaps_and_is_correct() {
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let program = os.build_program(SRC).unwrap();
+        let chunk = program.info("scale").unwrap().chunk;
+
+        let mut make = |val: f32| {
+            let mut k = program.create_kernel("scale").unwrap();
+            let buf = os.context_mut().create_buffer(64 * 4);
+            os.context_mut().write_f32(buf, &[1.0; 64]).unwrap();
+            k.set_arg(0, Arg::Buffer(buf)).unwrap();
+            k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val))).unwrap();
+            (k, buf)
+        };
+        let (k1, b1) = make(2.0);
+        let (k2, b2) = make(5.0);
+        let batch = vec![
+            PendingExec { kernel: k1, chunk, ndrange: NdRange::new_1d(64, 8) },
+            PendingExec { kernel: k2, chunk, ndrange: NdRange::new_1d(64, 8) },
+        ];
+        let events = os.enqueue_concurrent(batch).unwrap();
+        assert_eq!(os.context_mut().read_f32(b1).unwrap(), vec![2.0; 64]);
+        assert_eq!(os.context_mut().read_f32(b2).unwrap(), vec![5.0; 64]);
+        // Space sharing: the two executions overlap in device time.
+        let overlap =
+            events[0].end.min(events[1].end).saturating_sub(events[0].start.max(events[1].start));
+        assert!(overlap > 0, "batched kernels should co-execute: {events:?}");
+    }
+
+    #[test]
+    fn unknown_kernel_is_reported() {
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let program = os.build_program(SRC).unwrap();
+        assert!(program.create_kernel("nope").is_err());
+        assert!(program.info("nope").is_none());
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        assert!(matches!(os.enqueue_concurrent(vec![]), Err(ClError::InvalidArgs(_))));
+    }
+
+    #[test]
+    fn naive_mode_runs_too() {
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Naive);
+        let program = os.build_program(SRC).unwrap();
+        assert_eq!(program.info("scale").unwrap().chunk, 1);
+        let mut kernel = program.create_kernel("scale").unwrap();
+        let buf = os.context_mut().create_buffer(8 * 4);
+        os.context_mut().write_f32(buf, &[2.0; 8]).unwrap();
+        kernel.set_arg(0, Arg::Buffer(buf)).unwrap();
+        kernel.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(0.5))).unwrap();
+        os.enqueue(&program, &kernel, NdRange::new_1d(8, 4)).unwrap();
+        assert_eq!(os.context_mut().read_f32(buf).unwrap(), vec![1.0; 8]);
+    }
+}

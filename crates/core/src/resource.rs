@@ -1,0 +1,272 @@
+//! The paper's §3 resource-sharing algorithm.
+//!
+//! Given `K` concurrent kernel execution requests, determine how many work
+//! groups `n_i` each should launch so that all fit on the device
+//! simultaneously with approximately equal shares of the three contended
+//! resources:
+//!
+//! * threads: `x_i = T / (K * w_i)` subject to `Σ x_i w_i ≤ T`;
+//! * local memory: `y_i = L / (K * m_i)` subject to `Σ y_i m_i ≤ L`;
+//! * registers: `z_i = R / (K * r_i)` subject to `Σ z_i r_i ≤ R`;
+//!
+//! with `n_i = min(x_i, y_i, z_i)`. Because these are Diophantine
+//! (integer) equations, the initial solution may under-use the device; a
+//! greedy pass then grows allocations round-robin until saturation, exactly
+//! as the paper describes.
+
+use gpu_sim::DeviceConfig;
+
+/// Per-work-group resource demand of one kernel execution request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceDemand {
+    /// Work items per work group (`w_i`).
+    pub wg_threads: u32,
+    /// Local-memory bytes per work group (`m_i`).
+    pub wg_local_mem: u32,
+    /// Registers per work group (`r_i = threads × regs/thread`).
+    pub wg_regs: u32,
+    /// Number of work groups the original NDRange contains — allocations
+    /// never exceed it (launching more workers than virtual groups is
+    /// wasted residency).
+    pub original_wgs: u64,
+}
+
+/// The computed allocation: work groups per kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareAllocation {
+    /// `n_i` for each request, in input order (each at least 1).
+    pub wgs_per_kernel: Vec<u32>,
+}
+
+impl ShareAllocation {
+    /// Total threads the allocation occupies.
+    pub fn total_threads(&self, demands: &[ResourceDemand]) -> u64 {
+        self.wgs_per_kernel
+            .iter()
+            .zip(demands)
+            .map(|(&n, d)| n as u64 * d.wg_threads as u64)
+            .sum()
+    }
+}
+
+/// Equal-share allocation (the paper's default; see §2.2).
+///
+/// # Panics
+///
+/// Panics if `demands` is empty or any demand has zero threads.
+///
+/// # Examples
+///
+/// ```
+/// use accelos::resource::{compute_shares, ResourceDemand};
+/// use gpu_sim::DeviceConfig;
+///
+/// let dev = DeviceConfig::k20m(); // 13 CUs x 2048 threads
+/// let d = ResourceDemand { wg_threads: 256, wg_local_mem: 0, wg_regs: 256 * 16, original_wgs: 10_000 };
+/// let alloc = compute_shares(&dev, &[d, d]);
+/// let n = &alloc.wgs_per_kernel;
+/// // Two identical kernels share the machine about evenly...
+/// assert!(n[0].abs_diff(n[1]) <= 1);
+/// // ...and saturation uses most of the device.
+/// let used: u64 = n.iter().map(|&x| x as u64 * 256).sum();
+/// assert!(used > dev.total_threads() * 9 / 10);
+/// ```
+pub fn compute_shares(device: &DeviceConfig, demands: &[ResourceDemand]) -> ShareAllocation {
+    let weights = vec![1.0; demands.len()];
+    compute_weighted_shares(device, demands, &weights)
+}
+
+/// Weighted-share allocation: request `i` targets a fraction
+/// `weights[i] / Σ weights` of each resource (the paper's §2.2 "sharing
+/// ratio" knob; equal weights reproduce the default).
+///
+/// # Panics
+///
+/// Panics if inputs are empty, lengths differ, any weight is non-positive,
+/// or any demand has zero threads.
+pub fn compute_weighted_shares(
+    device: &DeviceConfig,
+    demands: &[ResourceDemand],
+    weights: &[f64],
+) -> ShareAllocation {
+    assert!(!demands.is_empty(), "need at least one request");
+    assert_eq!(demands.len(), weights.len(), "one weight per request");
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    let wsum: f64 = weights.iter().sum();
+
+    let t = device.total_threads() as f64;
+    let l = device.total_local_mem() as f64;
+    let r = device.total_regs() as f64;
+
+    let mut n: Vec<u64> = demands
+        .iter()
+        .zip(weights)
+        .map(|(d, &w)| {
+            assert!(d.wg_threads > 0, "work groups must have at least one thread");
+            let share = w / wsum;
+            // x_i = T / (K w_i) generalised to share-weighted fractions.
+            let x = t * share / d.wg_threads as f64;
+            let y = if d.wg_local_mem == 0 { f64::INFINITY } else { l * share / d.wg_local_mem as f64 };
+            let z = if d.wg_regs == 0 { f64::INFINITY } else { r * share / d.wg_regs as f64 };
+            let n = x.min(y).min(z).floor() as u64;
+            n.clamp(1, d.original_wgs.max(1))
+        })
+        .collect();
+
+    // Greedy saturation: grow allocations round-robin while all three
+    // aggregate constraints still hold (paper §3, final paragraph).
+    let fits = |n: &[u64]| -> bool {
+        let threads: u64 = n.iter().zip(demands).map(|(&x, d)| x * d.wg_threads as u64).sum();
+        let local: u64 = n.iter().zip(demands).map(|(&x, d)| x * d.wg_local_mem as u64).sum();
+        let regs: u64 = n.iter().zip(demands).map(|(&x, d)| x * d.wg_regs as u64).sum();
+        threads <= device.total_threads()
+            && local <= device.total_local_mem()
+            && regs <= device.total_regs()
+    };
+
+    // The Diophantine floor may even overshoot for tiny devices (n_i is
+    // clamped to >= 1); shrink first if needed, preferring the largest.
+    while !fits(&n) {
+        let (idx, _) = n
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &x)| x)
+            .expect("demands is non-empty");
+        if n[idx] <= 1 {
+            break; // every kernel at its 1-WG minimum: launch anyway
+        }
+        n[idx] -= 1;
+    }
+
+    let mut grew = true;
+    while grew {
+        grew = false;
+        for i in 0..n.len() {
+            if n[i] >= demands[i].original_wgs.max(1) {
+                continue;
+            }
+            n[i] += 1;
+            if fits(&n) {
+                grew = true;
+            } else {
+                n[i] -= 1;
+            }
+        }
+    }
+
+    ShareAllocation { wgs_per_kernel: n.iter().map(|&x| x as u32).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(threads: u32, local: u32, regs_per_thread: u32) -> ResourceDemand {
+        ResourceDemand {
+            wg_threads: threads,
+            wg_local_mem: local,
+            wg_regs: threads * regs_per_thread,
+            original_wgs: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn single_kernel_gets_whole_device() {
+        let dev = DeviceConfig::k20m();
+        let alloc = compute_shares(&dev, &[demand(256, 0, 16)]);
+        let n = alloc.wgs_per_kernel[0] as u64;
+        // 13*2048/256 = 104 thread-limited WGs; regs allow 13*65536/(256*16) = 208.
+        assert_eq!(n, 104);
+    }
+
+    #[test]
+    fn equal_kernels_get_equal_shares() {
+        let dev = DeviceConfig::k20m();
+        let d = demand(128, 1024, 20);
+        let alloc = compute_shares(&dev, &[d, d, d, d]);
+        let n = &alloc.wgs_per_kernel;
+        let min = *n.iter().min().unwrap();
+        let max = *n.iter().max().unwrap();
+        assert!(max - min <= 1, "shares should differ by at most one WG: {n:?}");
+    }
+
+    #[test]
+    fn local_memory_can_be_the_binding_constraint() {
+        let dev = DeviceConfig::k20m(); // 13 * 48KiB local
+        // Threads would allow 104 WGs; local memory allows 13*48K/24K = 26.
+        let alloc = compute_shares(&dev, &[demand(256, 24 * 1024, 1)]);
+        assert_eq!(alloc.wgs_per_kernel[0], 26);
+    }
+
+    #[test]
+    fn registers_can_be_the_binding_constraint() {
+        let dev = DeviceConfig::k20m(); // 13 * 65536 regs
+        // 256 threads * 64 regs = 16384 regs per WG => 52 WGs; threads allow 104.
+        let alloc = compute_shares(&dev, &[demand(256, 0, 64)]);
+        assert_eq!(alloc.wgs_per_kernel[0], 52);
+    }
+
+    #[test]
+    fn saturation_fills_leftover_capacity() {
+        let dev = DeviceConfig::k20m();
+        // One huge-WG kernel and one small: naive floor division leaves
+        // capacity that the greedy pass hands out.
+        let alloc = compute_shares(&dev, &[demand(1024, 0, 8), demand(64, 0, 8)]);
+        let used = alloc.total_threads(&[demand(1024, 0, 8), demand(64, 0, 8)]);
+        assert!(
+            used as f64 > dev.total_threads() as f64 * 0.95,
+            "device should be nearly saturated, used {used} of {}",
+            dev.total_threads()
+        );
+    }
+
+    #[test]
+    fn never_exceeds_original_wg_count() {
+        let dev = DeviceConfig::k20m();
+        let small = ResourceDemand {
+            wg_threads: 64,
+            wg_local_mem: 0,
+            wg_regs: 64,
+            original_wgs: 3,
+        };
+        let alloc = compute_shares(&dev, &[small]);
+        assert_eq!(alloc.wgs_per_kernel[0], 3);
+    }
+
+    #[test]
+    fn every_kernel_gets_at_least_one_wg() {
+        let dev = DeviceConfig::test_tiny(); // 256 threads total
+        let big = demand(128, 0, 1);
+        let alloc = compute_shares(&dev, &[big; 8]);
+        assert!(alloc.wgs_per_kernel.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn weighted_shares_skew_allocation() {
+        let dev = DeviceConfig::k20m();
+        let d = demand(256, 0, 8);
+        let alloc = compute_weighted_shares(&dev, &[d, d], &[3.0, 1.0]);
+        let n = &alloc.wgs_per_kernel;
+        assert!(n[0] > n[1] * 2, "3:1 weighting should roughly triple the share: {n:?}");
+    }
+
+    #[test]
+    fn constraints_hold_after_saturation() {
+        let dev = DeviceConfig::r9_295x2();
+        let ds = [demand(256, 8 * 1024, 32), demand(64, 512, 8), demand(512, 16 * 1024, 16)];
+        let alloc = compute_shares(&dev, &ds);
+        let n = &alloc.wgs_per_kernel;
+        let threads: u64 = n.iter().zip(&ds).map(|(&x, d)| x as u64 * d.wg_threads as u64).sum();
+        let local: u64 = n.iter().zip(&ds).map(|(&x, d)| x as u64 * d.wg_local_mem as u64).sum();
+        let regs: u64 = n.iter().zip(&ds).map(|(&x, d)| x as u64 * d.wg_regs as u64).sum();
+        assert!(threads <= dev.total_threads());
+        assert!(local <= dev.total_local_mem());
+        assert!(regs <= dev.total_regs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn empty_demands_rejected() {
+        let _ = compute_shares(&DeviceConfig::k20m(), &[]);
+    }
+}

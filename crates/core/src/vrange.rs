@@ -1,0 +1,117 @@
+//! Virtual NDRanges: the software representation of a kernel execution
+//! range (paper §2.4).
+//!
+//! The original work groups of a kernel execution are stored in accelerator
+//! memory as a *Virtual NDRange* — a descriptor the transformed scheduling
+//! kernel dequeues virtual groups from. The descriptor is a small `i64`
+//! array:
+//!
+//! | index | content |
+//! |-------|---------|
+//! | 0     | next virtual group (the atomic dequeue counter) |
+//! | 1     | total virtual groups |
+//! | 2..5  | virtual groups per dimension `n0, n1, n2` |
+//!
+//! The JIT-generated scheduling loop fetches from slot 0; the replaced
+//! work-item builtins decompose flat indices with slots 2..5.
+
+use kernel_ir::interp::NdRange;
+
+/// Descriptor slot holding the atomic dequeue counter.
+pub const SLOT_NEXT: usize = 0;
+/// Descriptor slot holding the total number of virtual groups.
+pub const SLOT_TOTAL: usize = 1;
+/// First of three descriptor slots holding per-dimension group counts.
+pub const SLOT_DIMS: usize = 2;
+/// Descriptor length in `i64` elements.
+pub const DESCRIPTOR_LEN: usize = 5;
+
+/// A virtual NDRange: the original launch geometry recorded in software.
+///
+/// # Examples
+///
+/// ```
+/// use accelos::vrange::VirtualNdRange;
+/// use kernel_ir::interp::NdRange;
+///
+/// let v = VirtualNdRange::new(NdRange::new_2d([64, 32], [8, 8]));
+/// assert_eq!(v.total_groups(), 8 * 4);
+/// assert_eq!(v.descriptor()[2], 8); // n0
+/// assert_eq!(v.descriptor()[3], 4); // n1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualNdRange {
+    original: NdRange,
+}
+
+impl VirtualNdRange {
+    /// Record `original` as a virtual range.
+    pub fn new(original: NdRange) -> Self {
+        VirtualNdRange { original }
+    }
+
+    /// The original launch geometry.
+    pub fn original(&self) -> NdRange {
+        self.original
+    }
+
+    /// Total number of virtual groups.
+    pub fn total_groups(&self) -> usize {
+        self.original.total_groups()
+    }
+
+    /// The descriptor words to write into accelerator memory.
+    pub fn descriptor(&self) -> [i64; DESCRIPTOR_LEN] {
+        let g = self.original.num_groups();
+        [0, self.total_groups() as i64, g[0] as i64, g[1] as i64, g[2] as i64]
+    }
+
+    /// The hardware NDRange that runs `workers` persistent work groups with
+    /// the original work-group size and dimensionality (the kernel
+    /// scheduler "alters the global size … and does not modify the work
+    /// group size or the dimensions", paper §5).
+    ///
+    /// Workers line up along dimension 0; dimensions 1 and 2 keep exactly
+    /// one group so the hardware local ids span the same shape.
+    pub fn hardware_range(&self, workers: u32) -> NdRange {
+        let l = self.original.local;
+        NdRange {
+            work_dim: self.original.work_dim,
+            global: [l[0] * workers as usize, l[1], l[2]],
+            local: l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_layout() {
+        let v = VirtualNdRange::new(NdRange::new_1d(1024, 64));
+        assert_eq!(v.descriptor(), [0, 16, 16, 1, 1]);
+        assert_eq!(v.total_groups(), 16);
+    }
+
+    #[test]
+    fn hardware_range_keeps_wg_shape() {
+        let v = VirtualNdRange::new(NdRange::new_3d([32, 16, 8], [8, 4, 2]));
+        let hw = v.hardware_range(5);
+        assert_eq!(hw.local, [8, 4, 2]);
+        assert_eq!(hw.global, [40, 4, 2]);
+        assert_eq!(hw.total_groups(), 5);
+        assert_eq!(hw.wg_size(), v.original().wg_size());
+    }
+
+    #[test]
+    fn three_dim_decomposition_counts() {
+        let v = VirtualNdRange::new(NdRange::new_3d([16, 16, 4], [4, 8, 2]));
+        let d = v.descriptor();
+        assert_eq!(d[SLOT_DIMS], 4);
+        assert_eq!(d[SLOT_DIMS + 1], 2);
+        assert_eq!(d[SLOT_DIMS + 2], 2);
+        assert_eq!(d[SLOT_TOTAL], 16);
+        assert_eq!(d[SLOT_NEXT], 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! ASCII Gantt rendering of simulation traces.
+//!
+//! Turns a traced [`SimReport`](crate::SimReport) into the kind of timeline
+//! the paper draws in figs. 1 and 3: one row per kernel, device time on the
+//! x axis, `█`/`▒` marking when the kernel has resident work groups. The
+//! baseline's serial staircase and accelOS's side-by-side bands are
+//! immediately visible in a terminal.
+
+use crate::report::SimReport;
+
+/// Render one row per kernel over `width` columns.
+///
+/// Each cell covers `makespan / width` cycles; a cell is `█` when the
+/// kernel is busy for more than half of it, `▒` when busy for any part of
+/// it, and `·` otherwise. Returns an empty string for reports with no
+/// kernels or zero makespan.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator, WorkGroupReq};
+///
+/// let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+/// for name in ["a", "b"] {
+///     sim.add_launch(KernelLaunch {
+///         name: name.into(),
+///         arrival: 0,
+///         req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+///         mem_intensity: 0.0,
+///         plan: LaunchPlan::Hardware { wg_costs: vec![100; 32] },
+///         max_workers: None,
+///     });
+/// }
+/// let chart = gpu_sim::gantt::render(&sim.run(), 40);
+/// assert!(chart.contains('█'));
+/// assert_eq!(chart.lines().count(), 3, "two kernels + time ruler");
+/// ```
+pub fn render(report: &SimReport, width: usize) -> String {
+    if report.kernels.is_empty() || report.makespan == 0 || width == 0 {
+        return String::new();
+    }
+    let span = report.makespan as f64;
+    let cell = span / width as f64;
+    let name_w = report
+        .kernels
+        .iter()
+        .map(|k| k.name.chars().count())
+        .max()
+        .unwrap_or(0)
+        .clamp(4, 28);
+
+    let mut out = String::new();
+    for k in &report.kernels {
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            let lo = (c as f64 * cell) as u64;
+            let hi = ((c + 1) as f64 * cell) as u64;
+            let busy: u64 = k
+                .busy_intervals
+                .iter()
+                .map(|&(s, e)| e.min(hi).saturating_sub(s.max(lo)))
+                .sum();
+            let frac = busy as f64 / (hi - lo).max(1) as f64;
+            row.push(if frac > 0.5 {
+                '█'
+            } else if frac > 0.0 {
+                '▒'
+            } else {
+                '·'
+            });
+        }
+        let name: String = k.name.chars().take(name_w).collect();
+        out.push_str(&format!("{name:<name_w$} {row}\n"));
+    }
+    // Time ruler.
+    let mut ruler = format!("{:name_w$} 0", "");
+    let end_label = format!("{} cycles", report.makespan);
+    let pad = width.saturating_sub(1 + end_label.chars().count());
+    ruler.push_str(&" ".repeat(pad));
+    ruler.push_str(&end_label);
+    ruler.push('\n');
+    out.push_str(&ruler);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, WorkGroupReq};
+    use crate::launch::{KernelLaunch, LaunchPlan};
+    use crate::sim::Simulator;
+
+    fn two_kernel_report(plan_of: impl Fn(usize) -> LaunchPlan) -> SimReport {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+        for i in 0..2 {
+            sim.add_launch(KernelLaunch {
+                name: format!("k{i}"),
+                arrival: 0,
+                req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+                mem_intensity: 0.0,
+                plan: plan_of(i),
+                max_workers: None,
+            });
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn serial_baseline_draws_a_staircase() {
+        let r = two_kernel_report(|_| LaunchPlan::Hardware { wg_costs: vec![100; 64] });
+        let chart = render(&r, 40);
+        let rows: Vec<&str> = chart.lines().collect();
+        assert_eq!(rows.len(), 3);
+        // k0 busy early, idle late; k1 the reverse.
+        let cells = |row: &str| row.split_whitespace().last().unwrap().to_string();
+        let r0 = cells(rows[0]);
+        let r1 = cells(rows[1]);
+        assert!(r0.starts_with('█'));
+        assert!(r0.ends_with('·'));
+        assert!(r1.starts_with('·'));
+        assert!(r1.ends_with('█'));
+    }
+
+    #[test]
+    fn shared_bands_overlap() {
+        let r = two_kernel_report(|_| LaunchPlan::PersistentDynamic {
+            workers: 1,
+            vg_costs: vec![100; 20],
+            chunk: 1,
+            per_vg_overhead: 1,
+        });
+        let chart = render(&r, 30);
+        let rows: Vec<&str> = chart.lines().collect();
+        let band = |row: &str| row.split_whitespace().last().unwrap().to_string();
+        // Both rows busy across most of the chart.
+        for row in &rows[..2] {
+            let b = band(row);
+            let busy = b.chars().filter(|&c| c == '█').count();
+            assert!(busy > 20, "expected a wide band, got {b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = SimReport { kernels: vec![], makespan: 0, trace: vec![] };
+        assert_eq!(render(&r, 40), "");
+        let r2 = two_kernel_report(|_| LaunchPlan::Hardware { wg_costs: vec![10] });
+        assert_eq!(render(&r2, 0), "");
+    }
+
+    #[test]
+    fn ruler_reports_makespan() {
+        let r = two_kernel_report(|_| LaunchPlan::Hardware { wg_costs: vec![10; 4] });
+        let chart = render(&r, 40);
+        assert!(chart.contains(&format!("{} cycles", r.makespan)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Kernel launch descriptions consumed by the simulator.
+//!
+//! The simulator is policy-free: *who* decides how many work groups a kernel
+//! launches, and whether work groups are hardware work groups or persistent
+//! software schedulers, lives in the `accelos` / `elastic-kernels` crates.
+//! This module only describes the resulting machine-level launch.
+
+use crate::config::WorkGroupReq;
+
+/// Identifier of a kernel launch within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaunchId(pub u32);
+
+/// How the launch's work is organised on the device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchPlan {
+    /// Standard OpenCL: every original work group is a hardware work group,
+    /// dispatched round-robin across compute units in arrival order (the
+    /// paper's §2.3 baseline).
+    Hardware {
+        /// Execution cost of each work group, in cycles (index = flat WG id).
+        wg_costs: Vec<u64>,
+    },
+    /// accelOS: `workers` persistent work groups each loop { atomically
+    /// dequeue `chunk` virtual groups; execute them } until the shared
+    /// virtual NDRange queue is empty (§2.4, §6.2).
+    PersistentDynamic {
+        /// Number of persistent work groups launched.
+        workers: u32,
+        /// Execution cost of each *virtual* group, in cycles.
+        vg_costs: Vec<u64>,
+        /// Virtual groups fetched per atomic dequeue (§6.4 adaptive
+        /// scheduling picks 8/6/4/2/1 from the kernel's instruction count).
+        chunk: u32,
+        /// Extra per-virtual-group software cost (the runtime's index
+        /// arithmetic replacing hardware work-item registers).
+        per_vg_overhead: u64,
+    },
+    /// Extension (the paper's future work): persistent workers with a
+    /// *guided* dequeue — each atomic claim takes
+    /// `clamp(remaining / (2 * workers), 1, max_chunk)` virtual groups, so
+    /// chunks are coarse while the queue is long (amortising the atomic)
+    /// and taper to single groups near the tail (preserving balance), like
+    /// OpenMP's guided schedule.
+    PersistentGuided {
+        /// Number of persistent work groups launched.
+        workers: u32,
+        /// Execution cost of each virtual group, in cycles.
+        vg_costs: Vec<u64>,
+        /// Upper bound on groups per claim.
+        max_chunk: u32,
+        /// Extra per-virtual-group software cost.
+        per_vg_overhead: u64,
+    },
+    /// Elastic-Kernels-style static assignment: `assignments[w]` lists the
+    /// virtual-group costs worker `w` will execute, fixed at launch time (no
+    /// atomics, no rebalancing).
+    PersistentStatic {
+        /// Per-worker lists of virtual-group costs.
+        assignments: Vec<Vec<u64>>,
+        /// Extra per-virtual-group software cost.
+        per_vg_overhead: u64,
+    },
+}
+
+impl LaunchPlan {
+    /// Number of machine work groups this plan launches.
+    pub fn machine_wgs(&self) -> usize {
+        match self {
+            LaunchPlan::Hardware { wg_costs } => wg_costs.len(),
+            LaunchPlan::PersistentDynamic { workers, .. }
+            | LaunchPlan::PersistentGuided { workers, .. } => *workers as usize,
+            LaunchPlan::PersistentStatic { assignments, .. } => assignments.len(),
+        }
+    }
+
+    /// Total execution cycles of the underlying work (ignoring overheads).
+    pub fn total_work(&self) -> u64 {
+        match self {
+            LaunchPlan::Hardware { wg_costs } => wg_costs.iter().sum(),
+            LaunchPlan::PersistentDynamic { vg_costs, .. }
+            | LaunchPlan::PersistentGuided { vg_costs, .. } => vg_costs.iter().sum(),
+            LaunchPlan::PersistentStatic { assignments, .. } => {
+                assignments.iter().flatten().sum()
+            }
+        }
+    }
+}
+
+/// One kernel execution request as the device sees it.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{KernelLaunch, LaunchPlan, WorkGroupReq};
+/// let launch = KernelLaunch {
+///     name: "sgemm".into(),
+///     arrival: 0,
+///     req: WorkGroupReq { threads: 128, local_mem: 2048, regs_per_thread: 30 },
+///     mem_intensity: 0.4,
+///     plan: LaunchPlan::Hardware { wg_costs: vec![1_000; 64] },
+///     max_workers: None,
+/// };
+/// assert_eq!(launch.plan.machine_wgs(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelLaunch {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Arrival time of the execution request, in cycles.
+    pub arrival: u64,
+    /// Per-work-group resource occupancy.
+    pub req: WorkGroupReq,
+    /// Fraction of the kernel's time bound on memory bandwidth (0..=1);
+    /// feeds the contention model.
+    pub mem_intensity: f64,
+    /// Work organisation.
+    pub plan: LaunchPlan,
+    /// For [`LaunchPlan::PersistentDynamic`] launches: the worker count the
+    /// launch may *grow* to when another kernel retires and frees
+    /// capacity. Models the adaptivity of iterative applications, whose
+    /// next launches are re-planned against the then-active set (paper
+    /// §8.1.2: accelOS "successfully adapts to large number of requests …
+    /// while EK fails"). `None` (and all static plans) never grow.
+    pub max_workers: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_wgs_per_plan() {
+        assert_eq!(LaunchPlan::Hardware { wg_costs: vec![1, 2, 3] }.machine_wgs(), 3);
+        let dynamic = LaunchPlan::PersistentDynamic {
+            workers: 4,
+            vg_costs: vec![5; 100],
+            chunk: 2,
+            per_vg_overhead: 1,
+        };
+        assert_eq!(dynamic.machine_wgs(), 4);
+        let stat = LaunchPlan::PersistentStatic {
+            assignments: vec![vec![1, 2], vec![3]],
+            per_vg_overhead: 1,
+        };
+        assert_eq!(stat.machine_wgs(), 2);
+    }
+
+    #[test]
+    fn total_work_sums_costs() {
+        assert_eq!(LaunchPlan::Hardware { wg_costs: vec![1, 2, 3] }.total_work(), 6);
+        let stat = LaunchPlan::PersistentStatic {
+            assignments: vec![vec![1, 2], vec![3]],
+            per_vg_overhead: 9,
+        };
+        assert_eq!(stat.total_work(), 6);
+    }
+}

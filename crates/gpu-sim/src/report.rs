@@ -1,0 +1,125 @@
+//! Simulation results: per-kernel timing and optional event traces.
+
+use crate::launch::LaunchId;
+
+/// What happened to one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Launch this report describes.
+    pub id: LaunchId,
+    /// Kernel name, copied from the launch.
+    pub name: String,
+    /// Arrival time of the execution request.
+    pub arrival: u64,
+    /// Time the first work group became resident (`None` if nothing ran).
+    pub first_start: Option<u64>,
+    /// Time the last work group completed.
+    pub end: u64,
+    /// Intervals during which the kernel had at least one resident work
+    /// group, merged and in increasing order. These drive the paper's
+    /// "kernel execution overlap" metric (§7.4).
+    pub busy_intervals: Vec<(u64, u64)>,
+    /// Number of machine work groups executed.
+    pub machine_wgs: usize,
+}
+
+impl KernelReport {
+    /// Turnaround time of the request: completion minus arrival.
+    pub fn turnaround(&self) -> u64 {
+        self.end.saturating_sub(self.arrival)
+    }
+
+    /// Total busy time (sum of busy-interval lengths).
+    pub fn busy_time(&self) -> u64 {
+        self.busy_intervals.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+/// A timeline event (collected only when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A work group became resident on a compute unit.
+    WgStart,
+    /// A work group completed and released its resources.
+    WgEnd,
+    /// A persistent worker performed an atomic dequeue.
+    Dequeue,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: u64,
+    /// Which launch.
+    pub launch: LaunchId,
+    /// Compute unit involved.
+    pub cu: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-kernel reports, indexed by launch id.
+    pub kernels: Vec<KernelReport>,
+    /// Time the last work group in the whole simulation completed.
+    pub makespan: u64,
+    /// Timeline (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Report for one launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this simulation.
+    pub fn kernel(&self, id: LaunchId) -> &KernelReport {
+        &self.kernels[id.0 as usize]
+    }
+
+    /// Total time for all kernels to finish, measured from the earliest
+    /// arrival — the denominator/numerator of the paper's throughput
+    /// speedup metric.
+    pub fn total_time(&self) -> u64 {
+        let start = self.kernels.iter().map(|k| k.arrival).min().unwrap_or(0);
+        self.makespan.saturating_sub(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turnaround_and_busy() {
+        let k = KernelReport {
+            id: LaunchId(0),
+            name: "k".into(),
+            arrival: 10,
+            first_start: Some(15),
+            end: 50,
+            busy_intervals: vec![(15, 30), (40, 50)],
+            machine_wgs: 4,
+        };
+        assert_eq!(k.turnaround(), 40);
+        assert_eq!(k.busy_time(), 25);
+    }
+
+    #[test]
+    fn total_time_from_earliest_arrival() {
+        let mk = |arrival, end| KernelReport {
+            id: LaunchId(0),
+            name: "k".into(),
+            arrival,
+            first_start: Some(arrival),
+            end,
+            busy_intervals: vec![],
+            machine_wgs: 0,
+        };
+        let r = SimReport { kernels: vec![mk(5, 60), mk(10, 80)], makespan: 80, trace: vec![] };
+        assert_eq!(r.total_time(), 75);
+    }
+}

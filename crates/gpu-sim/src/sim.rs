@@ -1,0 +1,929 @@
+//! The discrete-event accelerator simulator.
+//!
+//! # Model
+//!
+//! * Each compute unit (CU) owns a FIFO queue of machine work groups and a
+//!   pool of resources (threads, local memory, registers, WG slots). Work
+//!   groups are assigned to CU queues round-robin at arrival time — the
+//!   "hardwired heuristic" of the paper's §2.3 — and become resident when
+//!   they reach the queue head and their resources fit.
+//! * Resident work groups execute in parallel; a segment's duration is
+//!   fixed when the segment starts, scaled by a two-resource contention
+//!   snapshot. Each resident work group contributes `threads *
+//!   mem_intensity` of memory demand and `threads * (1 - mem_intensity)`
+//!   of compute demand; when aggregate demand exceeds the device's issue
+//!   or bandwidth capacity ([`DeviceConfig::issue_capacity_frac`] /
+//!   [`DeviceConfig::mem_capacity_frac`]), segments of the kernels bound
+//!   on the oversubscribed resource stretch proportionally. This is what
+//!   makes co-scheduling a compute-bound kernel with a memory-bound one
+//!   profitable (the paper's throughput gains) while fixed-speed models
+//!   would show none.
+//! * Baseline serialization is **emergent**: a kernel with more work groups
+//!   than the device has slots fills every CU queue ahead of later arrivals,
+//!   so later kernels wait — nothing in this file special-cases kernel
+//!   order.
+//! * Persistent workers ([`LaunchPlan::PersistentDynamic`]) repeatedly
+//!   dequeue chunks of virtual groups from their kernel's shared software
+//!   queue. Dequeues have atomic semantics: the queue is a serial resource
+//!   (`queue_free_at`), so short kernels with chunk size 1 feel the
+//!   contention the paper's §6.4 adaptive scheduling exists to avoid.
+
+use crate::config::DeviceConfig;
+use crate::launch::{KernelLaunch, LaunchId, LaunchPlan};
+use crate::report::{KernelReport, SimReport, TraceEvent, TraceKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Discrete-event simulator for one device executing a set of kernel
+/// launches.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator, WorkGroupReq};
+///
+/// let mut sim = Simulator::new(DeviceConfig::test_tiny());
+/// sim.add_launch(KernelLaunch {
+///     name: "a".into(),
+///     arrival: 0,
+///     req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+///     mem_intensity: 0.0,
+///     plan: LaunchPlan::Hardware { wg_costs: vec![100; 8] },
+///     max_workers: None,
+/// });
+/// let report = sim.run();
+/// assert_eq!(report.kernels.len(), 1);
+/// assert!(report.makespan > 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: DeviceConfig,
+    launches: Vec<KernelLaunch>,
+    collect_trace: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskKind {
+    /// One hardware work group with a fixed cost.
+    HardwareWg { cost: u64 },
+    /// A persistent worker executing its statically assigned virtual
+    /// groups one segment at a time (`next` indexes into the plan's
+    /// assignment list).
+    StaticWorker { next: usize },
+    /// A persistent worker that dequeues dynamically.
+    DynWorker,
+}
+
+#[derive(Debug)]
+struct Task {
+    launch: usize,
+    kind: TaskKind,
+    cu: usize,
+}
+
+#[derive(Debug)]
+struct Cu {
+    free_threads: i64,
+    free_local: i64,
+    free_regs: i64,
+    free_slots: i64,
+    queue: VecDeque<usize>,
+}
+
+#[derive(Debug)]
+struct KernelRt {
+    resident: u32,
+    open_since: Option<u64>,
+    busy_intervals: Vec<(u64, u64)>,
+    first_start: Option<u64>,
+    end: u64,
+    tasks_left: usize,
+    machine_wgs: usize,
+    /// Dynamic queue state (PersistentDynamic only).
+    next_vg: usize,
+    queue_free_at: u64,
+    /// Machine work groups created so far (initial + elastic growth).
+    spawned: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(usize),
+    PhaseDone(usize),
+}
+
+impl Simulator {
+    /// Simulator for `config` with no launches yet.
+    pub fn new(config: DeviceConfig) -> Self {
+        Simulator { config, launches: Vec::new(), collect_trace: false }
+    }
+
+    /// Enable timeline collection (off by default; traces can be large).
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Add a kernel launch; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single work group of the launch can never fit on a
+    /// compute unit of this device (it would deadlock the queue).
+    pub fn add_launch(&mut self, launch: KernelLaunch) -> LaunchId {
+        let c = &self.config;
+        assert!(
+            launch.req.threads <= c.threads_per_cu
+                && launch.req.local_mem <= c.local_mem_per_cu
+                && launch.req.regs_total() <= c.regs_per_cu,
+            "work group of `{}` cannot fit on `{}`",
+            launch.name,
+            c.name
+        );
+        let id = LaunchId(self.launches.len() as u32);
+        self.launches.push(launch);
+        id
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> SimReport {
+        Engine::new(self.config, self.launches, self.collect_trace).run()
+    }
+}
+
+struct Engine {
+    config: DeviceConfig,
+    launches: Vec<KernelLaunch>,
+    collect_trace: bool,
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Parallel store for heap payloads (heap holds indices into this).
+    events: Vec<Event>,
+    cus: Vec<Cu>,
+    tasks: Vec<Task>,
+    kernels: Vec<KernelRt>,
+    rr_cursor: usize,
+    /// Sum over resident work groups of `threads * mem_intensity`.
+    resident_mem_load: f64,
+    /// Sum over resident work groups of `threads * (1 - mem_intensity)`.
+    resident_compute_load: f64,
+    trace: Vec<TraceEvent>,
+}
+
+impl Engine {
+    fn new(config: DeviceConfig, launches: Vec<KernelLaunch>, collect_trace: bool) -> Self {
+        let cus = (0..config.num_cus)
+            .map(|_| Cu {
+                free_threads: config.threads_per_cu as i64,
+                free_local: config.local_mem_per_cu as i64,
+                free_regs: config.regs_per_cu as i64,
+                free_slots: config.wg_slots_per_cu as i64,
+                queue: VecDeque::new(),
+            })
+            .collect();
+        let kernels = launches
+            .iter()
+            .map(|l| KernelRt {
+                resident: 0,
+                open_since: None,
+                busy_intervals: Vec::new(),
+                first_start: None,
+                end: l.arrival,
+                tasks_left: l.plan.machine_wgs(),
+                machine_wgs: l.plan.machine_wgs(),
+                next_vg: 0,
+                queue_free_at: 0,
+                spawned: l.plan.machine_wgs(),
+            })
+            .collect();
+        Engine {
+            config,
+            launches,
+            collect_trace,
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            cus,
+            tasks: Vec::new(),
+            kernels,
+            rr_cursor: 0,
+            resident_mem_load: 0.0,
+            resident_compute_load: 0.0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn schedule(&mut self, time: u64, ev: Event) {
+        let idx = self.events.len();
+        self.events.push(ev);
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, idx)));
+    }
+
+    fn run(mut self) -> SimReport {
+        for i in 0..self.launches.len() {
+            self.schedule(self.launches[i].arrival, Event::Arrival(i));
+        }
+        while let Some(Reverse((time, _, idx))) = self.heap.pop() {
+            self.now = time;
+            match self.events[idx] {
+                Event::Arrival(l) => self.on_arrival(l),
+                Event::PhaseDone(t) => self.on_phase_done(t),
+            }
+        }
+        let makespan = self.kernels.iter().map(|k| k.end).max().unwrap_or(0);
+        let kernels = self
+            .kernels
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| KernelReport {
+                id: LaunchId(i as u32),
+                name: self.launches[i].name.clone(),
+                arrival: self.launches[i].arrival,
+                first_start: k.first_start,
+                end: k.end,
+                busy_intervals: k.busy_intervals,
+                machine_wgs: k.machine_wgs,
+            })
+            .collect();
+        SimReport { kernels, makespan, trace: self.trace }
+    }
+
+    fn on_arrival(&mut self, l: usize) {
+        let n = self.launches[l].plan.machine_wgs();
+        let mut touched = Vec::new();
+        for w in 0..n {
+            let kind = match &self.launches[l].plan {
+                LaunchPlan::Hardware { wg_costs } => TaskKind::HardwareWg { cost: wg_costs[w] },
+                LaunchPlan::PersistentDynamic { .. } | LaunchPlan::PersistentGuided { .. } => {
+                    TaskKind::DynWorker
+                }
+                LaunchPlan::PersistentStatic { .. } => TaskKind::StaticWorker { next: 0 },
+            };
+            let cu = self.rr_cursor % self.config.num_cus;
+            self.rr_cursor += 1;
+            let tid = self.tasks.len();
+            self.tasks.push(Task { launch: l, kind, cu });
+            self.cus[cu].queue.push_back(tid);
+            touched.push(cu);
+        }
+        // A launch with zero machine work groups completes immediately.
+        if n == 0 {
+            self.kernels[l].end = self.now;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for cu in touched {
+            self.try_start(cu);
+        }
+    }
+
+    fn fits(&self, cu: usize, tid: usize) -> bool {
+        let req = self.launches[self.tasks[tid].launch].req;
+        let c = &self.cus[cu];
+        (req.threads as i64) <= c.free_threads
+            && (req.local_mem as i64) <= c.free_local
+            && (req.regs_total() as i64) <= c.free_regs
+            && c.free_slots >= 1
+    }
+
+    /// Contention factor for a kernel with memory share `m`: the weighted
+    /// pressure of the two device resources, never below 1 (nominal
+    /// speed). A snapshot taken at segment start.
+    fn contention_factor(&self, mem_intensity: f64) -> f64 {
+        let t = self.config.total_threads() as f64;
+        let rho_m = self.resident_mem_load / (self.config.mem_capacity_frac * t);
+        let rho_c = self.resident_compute_load / (self.config.issue_capacity_frac * t);
+        (mem_intensity * rho_m + (1.0 - mem_intensity) * rho_c).max(1.0)
+    }
+
+    fn scaled(&self, cost: u64, launch: usize) -> u64 {
+        let m = self.launches[launch].mem_intensity;
+        (cost as f64 * self.contention_factor(m)).round() as u64
+    }
+
+    fn try_start(&mut self, cu: usize) {
+        while let Some(&tid) = self.cus[cu].queue.front() {
+            if !self.fits(cu, tid) {
+                break;
+            }
+            self.cus[cu].queue.pop_front();
+            self.start_task(cu, tid);
+        }
+    }
+
+    fn start_task(&mut self, cu: usize, tid: usize) {
+        let l = self.tasks[tid].launch;
+        let req = self.launches[l].req;
+        {
+            let c = &mut self.cus[cu];
+            c.free_threads -= req.threads as i64;
+            c.free_local -= req.local_mem as i64;
+            c.free_regs -= req.regs_total() as i64;
+            c.free_slots -= 1;
+        }
+        let mi = self.launches[l].mem_intensity;
+        self.resident_mem_load += req.threads as f64 * mi;
+        self.resident_compute_load += req.threads as f64 * (1.0 - mi);
+        let k = &mut self.kernels[l];
+        k.first_start.get_or_insert(self.now);
+        if k.resident == 0 {
+            k.open_since = Some(self.now);
+        }
+        k.resident += 1;
+        if self.collect_trace {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                launch: LaunchId(l as u32),
+                cu,
+                kind: TraceKind::WgStart,
+            });
+        }
+
+        let dispatch = self.config.wg_dispatch_overhead;
+        match self.tasks[tid].kind {
+            TaskKind::HardwareWg { cost } => {
+                let d = dispatch + self.scaled(cost, l);
+                self.schedule(self.now + d, Event::PhaseDone(tid));
+            }
+            TaskKind::StaticWorker { .. } => {
+                self.schedule_static_segment(tid, self.now + dispatch);
+            }
+            TaskKind::DynWorker => {
+                let ready_at = self.now + dispatch;
+                self.schedule_dequeue(tid, ready_at);
+            }
+        }
+    }
+
+    /// Static worker `tid` starts its next assigned virtual group at
+    /// `ready_at` (or retires if its slice is exhausted).
+    fn schedule_static_segment(&mut self, tid: usize, ready_at: u64) {
+        let l = self.tasks[tid].launch;
+        let w = self.worker_index(tid);
+        let TaskKind::StaticWorker { next } = self.tasks[tid].kind else {
+            unreachable!("static segments only for static workers");
+        };
+        let LaunchPlan::PersistentStatic { assignments, per_vg_overhead } =
+            &self.launches[l].plan
+        else {
+            unreachable!("StaticWorker only exists for PersistentStatic plans");
+        };
+        match assignments[w].get(next) {
+            None => self.schedule(ready_at, Event::PhaseDone(tid)),
+            Some(&cost) => {
+                let work = cost + *per_vg_overhead;
+                let d = self.scaled(work, l);
+                self.tasks[tid].kind = TaskKind::StaticWorker { next: next + 1 };
+                self.schedule(ready_at + d, Event::PhaseDone(tid));
+            }
+        }
+    }
+
+    /// Index of `tid` among its launch's machine work groups.
+    fn worker_index(&self, tid: usize) -> usize {
+        // Tasks of one launch are created contiguously at arrival.
+        let l = self.tasks[tid].launch;
+        let first = self
+            .tasks
+            .iter()
+            .position(|t| t.launch == l)
+            .expect("the task itself belongs to the launch");
+        tid - first
+    }
+
+    /// Persistent worker `tid` is ready to fetch its next chunk at
+    /// `ready_at`; either schedules the chunk's completion or, if the queue
+    /// is empty, the worker's retirement.
+    fn schedule_dequeue(&mut self, tid: usize, ready_at: u64) {
+        let l = self.tasks[tid].launch;
+        let (vg_costs, chunk, per_vg) = match &self.launches[l].plan {
+            LaunchPlan::PersistentDynamic { vg_costs, chunk, per_vg_overhead, .. } => {
+                (vg_costs, *chunk as usize, *per_vg_overhead)
+            }
+            LaunchPlan::PersistentGuided { vg_costs, max_chunk, per_vg_overhead, workers } => {
+                // Guided schedule: claim a 1/(2*workers) share of what is
+                // left, tapering to single groups at the tail.
+                let remaining = vg_costs.len().saturating_sub(self.kernels[l].next_vg);
+                let guided = (remaining / (2 * (*workers).max(1) as usize)).max(1);
+                (vg_costs, guided.min(*max_chunk as usize), *per_vg_overhead)
+            }
+            _ => unreachable!("DynWorker only exists for dynamic plans"),
+        };
+        let k = &mut self.kernels[l];
+        if k.next_vg >= vg_costs.len() {
+            // Queue drained: one final (free) check, worker retires now.
+            self.schedule(ready_at, Event::PhaseDone(tid));
+            return;
+        }
+        let start = k.next_vg;
+        let end = (start + chunk.max(1)).min(vg_costs.len());
+        k.next_vg = end;
+        // Atomic dequeue: the queue is a serial resource.
+        let deq_start = ready_at.max(k.queue_free_at);
+        let deq_end = deq_start + self.config.atomic_op_cost;
+        k.queue_free_at = deq_end;
+        let work: u64 =
+            vg_costs[start..end].iter().sum::<u64>() + per_vg * (end - start) as u64;
+        let exec = self.scaled(work, l);
+        if self.collect_trace {
+            self.trace.push(TraceEvent {
+                time: deq_start,
+                launch: LaunchId(l as u32),
+                cu: self.tasks[tid].cu,
+                kind: TraceKind::Dequeue,
+            });
+        }
+        self.schedule(deq_end + exec, Event::PhaseDone(tid));
+    }
+
+    fn on_phase_done(&mut self, tid: usize) {
+        let l = self.tasks[tid].launch;
+        match self.tasks[tid].kind {
+            TaskKind::DynWorker => {
+                let drained = match &self.launches[l].plan {
+                    LaunchPlan::PersistentDynamic { vg_costs, .. }
+                    | LaunchPlan::PersistentGuided { vg_costs, .. } => {
+                        self.kernels[l].next_vg >= vg_costs.len()
+                    }
+                    _ => unreachable!(),
+                };
+                if !drained {
+                    self.schedule_dequeue(tid, self.now);
+                    return;
+                }
+            }
+            TaskKind::StaticWorker { next } => {
+                let w = self.worker_index(tid);
+                let remaining = match &self.launches[l].plan {
+                    LaunchPlan::PersistentStatic { assignments, .. } => {
+                        next < assignments[w].len()
+                    }
+                    _ => unreachable!(),
+                };
+                if remaining {
+                    self.schedule_static_segment(tid, self.now);
+                    return;
+                }
+            }
+            TaskKind::HardwareWg { .. } => {}
+        }
+        self.complete_task(tid);
+    }
+
+    fn complete_task(&mut self, tid: usize) {
+        let l = self.tasks[tid].launch;
+        let cu = self.tasks[tid].cu;
+        let req = self.launches[l].req;
+        {
+            let c = &mut self.cus[cu];
+            c.free_threads += req.threads as i64;
+            c.free_local += req.local_mem as i64;
+            c.free_regs += req.regs_total() as i64;
+            c.free_slots += 1;
+        }
+        let mi = self.launches[l].mem_intensity;
+        self.resident_mem_load -= req.threads as f64 * mi;
+        self.resident_compute_load -= req.threads as f64 * (1.0 - mi);
+        let k = &mut self.kernels[l];
+        k.resident -= 1;
+        if k.resident == 0 {
+            let open = k.open_since.take().expect("interval was open");
+            k.busy_intervals.push((open, self.now));
+        }
+        k.tasks_left -= 1;
+        let retired = k.tasks_left == 0;
+        if retired {
+            k.end = self.now;
+        }
+        if self.collect_trace {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                launch: LaunchId(l as u32),
+                cu,
+                kind: TraceKind::WgEnd,
+            });
+        }
+        self.try_start(cu);
+        if retired {
+            self.rebalance();
+        }
+    }
+
+    /// A kernel retired: let elastic dynamic launches grow into the freed
+    /// capacity (round-robin across launches so nobody monopolises it).
+    fn rebalance(&mut self) {
+        loop {
+            let mut grew = false;
+            for l in 0..self.launches.len() {
+                let Some(max) = self.launches[l].max_workers else { continue };
+                let (LaunchPlan::PersistentDynamic { vg_costs, .. }
+                | LaunchPlan::PersistentGuided { vg_costs, .. }) = &self.launches[l].plan
+                else {
+                    continue;
+                };
+                if self.kernels[l].spawned >= max as usize
+                    || self.kernels[l].next_vg >= vg_costs.len()
+                {
+                    continue;
+                }
+                // Find a CU with room for one more worker right now.
+                let req = self.launches[l].req;
+                let cu = (0..self.cus.len()).find(|&c| {
+                    let cu = &self.cus[c];
+                    cu.queue.is_empty()
+                        && (req.threads as i64) <= cu.free_threads
+                        && (req.local_mem as i64) <= cu.free_local
+                        && (req.regs_total() as i64) <= cu.free_regs
+                        && cu.free_slots >= 1
+                });
+                let Some(cu) = cu else { continue };
+                let tid = self.tasks.len();
+                self.tasks.push(Task { launch: l, kind: TaskKind::DynWorker, cu });
+                self.kernels[l].spawned += 1;
+                self.kernels[l].tasks_left += 1;
+                self.kernels[l].machine_wgs += 1;
+                self.start_task(cu, tid);
+                grew = true;
+            }
+            if !grew {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkGroupReq;
+
+    fn req64() -> WorkGroupReq {
+        WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 }
+    }
+
+    fn hw_launch(name: &str, wgs: usize, cost: u64) -> KernelLaunch {
+        KernelLaunch {
+            name: name.into(),
+            arrival: 0,
+            req: req64(),
+            mem_intensity: 0.0,
+            plan: LaunchPlan::Hardware { wg_costs: vec![cost; wgs] },
+            max_workers: None,
+        }
+    }
+
+    #[test]
+    fn single_wg_duration_is_dispatch_plus_cost() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        sim.add_launch(hw_launch("a", 1, 100));
+        let r = sim.run();
+        assert_eq!(r.makespan, 10 + 100);
+    }
+
+    #[test]
+    fn parallelism_within_occupancy() {
+        // test_tiny: 2 CUs x 128 threads => 4 WGs of 64 threads resident.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        sim.add_launch(hw_launch("a", 4, 100));
+        let r = sim.run();
+        assert_eq!(r.makespan, 110, "all four groups run concurrently");
+    }
+
+    #[test]
+    fn occupancy_limit_serialises_excess() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        sim.add_launch(hw_launch("a", 8, 100));
+        let r = sim.run();
+        // Two waves of 4.
+        assert_eq!(r.makespan, 220);
+    }
+
+    #[test]
+    fn baseline_serialisation_is_emergent() {
+        // Kernel A floods the device; B arrives at the same instant but
+        // later in FIFO order. B must wait for nearly all of A.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let a = sim.add_launch(hw_launch("a", 64, 1_000));
+        let b = sim.add_launch(hw_launch("b", 64, 1_000));
+        let r = sim.run();
+        let a_end = r.kernel(a).end;
+        let b_start = r.kernel(b).first_start.unwrap();
+        // B starts only in A's last wave.
+        assert!(b_start > a_end * 3 / 4, "b_start={b_start} a_end={a_end}");
+    }
+
+    #[test]
+    fn persistent_dynamic_completes_all_work() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let id = sim.add_launch(KernelLaunch {
+            name: "dyn".into(),
+            arrival: 0,
+            req: req64(),
+            mem_intensity: 0.0,
+            plan: LaunchPlan::PersistentDynamic {
+                workers: 4,
+                vg_costs: vec![50; 40],
+                chunk: 1,
+                per_vg_overhead: 2,
+            },
+            max_workers: None,
+        });
+        let r = sim.run();
+        // 40 VGs of 50+2 cycles over 4 workers ≈ 520 + dispatch + atomics.
+        let k = r.kernel(id);
+        assert!(k.end > 520);
+        assert!(k.end < 1_000, "end={}", k.end);
+        assert_eq!(k.machine_wgs, 4);
+    }
+
+    #[test]
+    fn space_sharing_runs_kernels_concurrently() {
+        // Two persistent launches of 2 workers each fit side by side on the
+        // tiny device; their busy intervals must overlap substantially.
+        let mk = |name: &str| KernelLaunch {
+            name: name.into(),
+            arrival: 0,
+            req: req64(),
+            mem_intensity: 0.0,
+            plan: LaunchPlan::PersistentDynamic {
+                workers: 2,
+                vg_costs: vec![100; 20],
+                chunk: 2,
+                per_vg_overhead: 1,
+            },
+            max_workers: None,
+        };
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let a = sim.add_launch(mk("a"));
+        let b = sim.add_launch(mk("b"));
+        let r = sim.run();
+        let (a0, a1) = (r.kernel(a).first_start.unwrap(), r.kernel(a).end);
+        let (b0, b1) = (r.kernel(b).first_start.unwrap(), r.kernel(b).end);
+        let overlap = a1.min(b1).saturating_sub(a0.max(b0));
+        let span = a1.max(b1) - a0.min(b0);
+        assert!(
+            overlap as f64 / span as f64 > 0.8,
+            "expected heavy overlap, got {overlap}/{span}"
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_static_under_imbalance() {
+        // 16 VGs, one of which is 10x the others. Static assignment puts a
+        // fixed 4 VGs on each of 4 workers; dynamic rebalances.
+        let mut costs = vec![100u64; 16];
+        costs[0] = 1_000;
+        let static_plan = LaunchPlan::PersistentStatic {
+            assignments: (0..4).map(|w| costs[w * 4..(w + 1) * 4].to_vec()).collect(),
+            per_vg_overhead: 1,
+        };
+        let dynamic_plan = LaunchPlan::PersistentDynamic {
+            workers: 4,
+            vg_costs: costs.clone(),
+            chunk: 1,
+            per_vg_overhead: 1,
+        };
+        let run = |plan: LaunchPlan| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            sim.add_launch(KernelLaunch {
+                name: "k".into(),
+                arrival: 0,
+                req: req64(),
+                mem_intensity: 0.0,
+                plan,
+                max_workers: None,
+            });
+            sim.run().makespan
+        };
+        let t_static = run(static_plan);
+        let t_dynamic = run(dynamic_plan);
+        assert!(
+            t_dynamic < t_static,
+            "dynamic={t_dynamic} should beat static={t_static}"
+        );
+    }
+
+    #[test]
+    fn chunking_reduces_atomic_overhead_for_short_kernels() {
+        let mk = |chunk| LaunchPlan::PersistentDynamic {
+            workers: 2,
+            vg_costs: vec![5; 200],
+            chunk,
+            per_vg_overhead: 1,
+        };
+        let run = |plan: LaunchPlan| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            sim.add_launch(KernelLaunch {
+                name: "k".into(),
+                arrival: 0,
+                req: req64(),
+                mem_intensity: 0.0,
+                plan,
+                max_workers: None,
+            });
+            sim.run().makespan
+        };
+        let t1 = run(mk(1));
+        let t8 = run(mk(8));
+        assert!(t8 < t1, "chunked={t8} should beat unchunked={t1}");
+    }
+
+    #[test]
+    fn guided_plan_completes_all_work() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let id = sim.add_launch(KernelLaunch {
+            name: "guided".into(),
+            arrival: 0,
+            req: req64(),
+            mem_intensity: 0.0,
+            plan: LaunchPlan::PersistentGuided {
+                workers: 4,
+                vg_costs: vec![50; 40],
+                max_chunk: 8,
+                per_vg_overhead: 2,
+            },
+            max_workers: None,
+        });
+        let r = sim.run();
+        let k = r.kernel(id);
+        assert!(k.end > 40 * 52 / 4, "all work executed");
+        assert_eq!(k.machine_wgs, 4);
+    }
+
+    #[test]
+    fn guided_beats_fixed_coarse_chunks_on_imbalanced_tails() {
+        // One very expensive virtual group near the end of the queue: a
+        // fixed chunk of 8 lumps it with 7 others on one worker; guided
+        // tapers to single claims at the tail.
+        let mut costs = vec![20u64; 160];
+        costs[150] = 2_000;
+        let run = |plan: LaunchPlan| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            sim.add_launch(KernelLaunch {
+                name: "k".into(),
+                arrival: 0,
+                req: req64(),
+                mem_intensity: 0.0,
+                plan,
+                max_workers: None,
+            });
+            sim.run().makespan
+        };
+        let fixed = run(LaunchPlan::PersistentDynamic {
+            workers: 4,
+            vg_costs: costs.clone(),
+            chunk: 8,
+            per_vg_overhead: 1,
+        });
+        let guided = run(LaunchPlan::PersistentGuided {
+            workers: 4,
+            vg_costs: costs,
+            max_chunk: 8,
+            per_vg_overhead: 1,
+        });
+        assert!(guided <= fixed, "guided {guided} should not lose to fixed {fixed}");
+    }
+
+    #[test]
+    fn arrival_times_are_respected() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let mut late = hw_launch("late", 1, 100);
+        late.arrival = 5_000;
+        let a = sim.add_launch(hw_launch("a", 1, 100));
+        let b = sim.add_launch(late);
+        let r = sim.run();
+        assert_eq!(r.kernel(a).end, 110);
+        assert_eq!(r.kernel(b).first_start, Some(5_000));
+        assert_eq!(r.kernel(b).end, 5_110);
+    }
+
+    #[test]
+    fn determinism() {
+        let build = || {
+            let mut sim = Simulator::new(DeviceConfig::k20m());
+            for i in 0..6 {
+                sim.add_launch(KernelLaunch {
+                    name: format!("k{i}"),
+                    arrival: 0,
+                    req: WorkGroupReq { threads: 256, local_mem: 1024, regs_per_thread: 16 },
+                    mem_intensity: 0.5,
+                    plan: LaunchPlan::PersistentDynamic {
+                        workers: 8,
+                        vg_costs: (0..200).map(|v| 50 + (v % 7) * 13).collect(),
+                        chunk: 2,
+                        per_vg_overhead: 2,
+                    },
+                    max_workers: None,
+                });
+            }
+            sim.run()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn memory_contention_slows_execution() {
+        // With bandwidth for only half the resident threads, a fully
+        // memory-bound kernel runs at half speed; a compute-bound one is
+        // untouched.
+        let mk = |mem: f64| {
+            let mut cfg = DeviceConfig::test_tiny();
+            cfg.mem_capacity_frac = 0.5;
+            let mut sim = Simulator::new(cfg);
+            sim.add_launch(KernelLaunch {
+                name: "k".into(),
+                arrival: 0,
+                req: WorkGroupReq { threads: 128, local_mem: 0, regs_per_thread: 1 },
+                mem_intensity: mem,
+                plan: LaunchPlan::Hardware { wg_costs: vec![1_000; 2] },
+                max_workers: None,
+            });
+            sim.run().makespan
+        };
+        let bound = mk(1.0);
+        let free = mk(0.0);
+        assert!(bound >= free * 3 / 2, "memory-bound {bound} vs compute-bound {free}");
+    }
+
+    #[test]
+    fn symbiosis_speeds_up_mixed_residency() {
+        // A memory-bound kernel co-resident with a compute-bound one sees
+        // less bandwidth pressure than co-resident with another
+        // memory-bound kernel.
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.mem_capacity_frac = 0.5;
+        cfg.issue_capacity_frac = 0.5;
+        // The partner is a long-lived persistent worker per CU so the
+        // later-arriving victim truly co-resides with it (two plain
+        // hardware launches would just serialise), and the victim's many
+        // short work groups snapshot the steady-state mix.
+        let mk = |partner_mem: f64| {
+            let mut sim = Simulator::new(cfg.clone());
+            sim.add_launch(KernelLaunch {
+                name: "partner".into(),
+                arrival: 0,
+                req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+                mem_intensity: partner_mem,
+                plan: LaunchPlan::PersistentDynamic {
+                    workers: 2,
+                    vg_costs: vec![50; 400],
+                    chunk: 1,
+                    per_vg_overhead: 0,
+                },
+                max_workers: None,
+            });
+            let victim = sim.add_launch(KernelLaunch {
+                name: "victim".into(),
+                arrival: 50,
+                req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+                mem_intensity: 1.0,
+                plan: LaunchPlan::Hardware { wg_costs: vec![100; 40] },
+                max_workers: None,
+            });
+            let r = sim.run();
+            r.kernel(victim).end
+        };
+        assert!(mk(0.0) < mk(1.0), "compute partner should relieve bandwidth");
+    }
+
+    #[test]
+    fn trace_collection() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+        sim.add_launch(hw_launch("a", 2, 10));
+        let r = sim.run();
+        let starts = r.trace.iter().filter(|t| t.kind == TraceKind::WgStart).count();
+        let ends = r.trace.iter().filter(|t| t.kind == TraceKind::WgEnd).count();
+        assert_eq!(starts, 2);
+        assert_eq!(ends, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_wg_rejected() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        sim.add_launch(KernelLaunch {
+            name: "huge".into(),
+            arrival: 0,
+            req: WorkGroupReq { threads: 4096, local_mem: 0, regs_per_thread: 1 },
+            mem_intensity: 0.0,
+            plan: LaunchPlan::Hardware { wg_costs: vec![1] },
+            max_workers: None,
+        });
+    }
+
+    #[test]
+    fn busy_intervals_are_well_formed() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let a = sim.add_launch(hw_launch("a", 16, 100));
+        let r = sim.run();
+        let iv = &r.kernel(a).busy_intervals;
+        assert!(!iv.is_empty());
+        for w in iv.windows(2) {
+            assert!(w[0].1 <= w[1].0, "intervals must be ordered and disjoint");
+        }
+        assert!(iv.iter().all(|(s, e)| s < e));
+    }
+}

@@ -1,0 +1,156 @@
+//! `repro` — regenerate any table or figure of the accelOS evaluation.
+//!
+//! ```text
+//! repro <experiment>... [--device k20m|r9|both] [--full]
+//!       [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]
+//!
+//! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
+//!              fig15 small ablation all
+//! ```
+//!
+//! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
+//! paper-sized sweep (625 pairs, 16384 4-kernel and 32768 8-kernel
+//! workloads, 20 repetitions — hours of CPU time).
+
+use accel_harness::experiments::{
+    chunk_ablation, device_sweeps, dynamic_tenancy, fig11, fig15, fig2, render_ablation,
+    render_dynamic_tenancy, render_fig11, render_fig15, render_small_kernels, small_kernels,
+    DeviceSweeps,
+};
+use accel_harness::runner::Runner;
+use accel_harness::workloads::SweepConfig;
+use gpu_sim::DeviceConfig;
+
+struct Options {
+    experiments: Vec<String>,
+    devices: Vec<DeviceConfig>,
+    cfg: SweepConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments = Vec::new();
+    let mut device = "k20m".to_string();
+    let mut cfg = SweepConfig::default_scale();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<usize, String> {
+            *i += 1;
+            args.get(*i)
+                .ok_or_else(|| format!("missing value after {}", args[*i - 1]))?
+                .parse::<usize>()
+                .map_err(|e| format!("bad number after {}: {e}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--device" => {
+                i += 1;
+                device = args.get(i).ok_or("missing value after --device")?.clone();
+            }
+            "--full" => cfg = SweepConfig::full(),
+            "--pairs" => cfg.pairs = take(&mut i)?,
+            "--n4" => cfg.n4 = take(&mut i)?,
+            "--n8" => cfg.n8 = take(&mut i)?,
+            "--reps" => cfg.reps = take(&mut i)? as u32,
+            "--seed" => cfg.seed = take(&mut i)? as u64,
+            exp if !exp.starts_with('-') => experiments.push(exp.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    let devices = match device.as_str() {
+        "k20m" | "nvidia" => vec![DeviceConfig::k20m()],
+        "r9" | "amd" => vec![DeviceConfig::r9_295x2()],
+        "both" => vec![DeviceConfig::k20m(), DeviceConfig::r9_295x2()],
+        other => return Err(format!("unknown device `{other}` (k20m | r9 | both)")),
+    };
+    Ok(Options { experiments, devices, cfg })
+}
+
+fn wants(experiments: &[String], name: &str) -> bool {
+    experiments.iter().any(|e| e == name || e == "all")
+}
+
+fn needs_sweep(experiments: &[String]) -> bool {
+    ["fig9", "fig10", "fig12", "fig13", "fig14", "table1", "table2"]
+        .iter()
+        .any(|e| wants(experiments, e))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            eprintln!(
+                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|all>... \
+                 [--device k20m|r9|both] [--full] [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let exps = &opts.experiments;
+
+    for device in &opts.devices {
+        let runner = Runner::new(device.clone());
+        println!("=== {} ===\n", device.name);
+
+        if wants(exps, "fig2") {
+            println!("{}", fig2(&runner, opts.cfg.seed));
+        }
+
+        let sweeps: Option<DeviceSweeps> = if needs_sweep(exps) {
+            eprintln!(
+                "[sweeping {} pairs, {} x4, {} x8, {} reps…]",
+                opts.cfg.pairs, opts.cfg.n4, opts.cfg.n8, opts.cfg.reps
+            );
+            Some(device_sweeps(&runner, &opts.cfg))
+        } else {
+            None
+        };
+        if let Some(ds) = &sweeps {
+            if wants(exps, "fig9") {
+                println!("{}", ds.fig9());
+            }
+            if wants(exps, "fig10") {
+                println!("{}", ds.fig10());
+            }
+            if wants(exps, "fig12") {
+                println!("{}", ds.fig12());
+            }
+            if wants(exps, "fig13") {
+                println!("{}", ds.fig13());
+            }
+            if wants(exps, "fig14") {
+                println!("{}", ds.fig14());
+            }
+            if wants(exps, "table1") || wants(exps, "table2") {
+                println!("{}", ds.table_stp_antt());
+            }
+        }
+
+        if wants(exps, "fig11") {
+            println!("{}", render_fig11(&fig11(&runner, opts.cfg.seed), &device.name));
+        }
+        if wants(exps, "fig15") {
+            println!("{}", render_fig15(&fig15(&runner, opts.cfg.seed), &device.name));
+        }
+        if wants(exps, "small") {
+            println!(
+                "{}",
+                render_small_kernels(&small_kernels(device, opts.cfg.seed), &device.name)
+            );
+        }
+        if wants(exps, "ablation") {
+            println!("{}", render_ablation(&chunk_ablation(device, opts.cfg.seed), &device.name));
+        }
+        if wants(exps, "dynamic") {
+            println!(
+                "{}",
+                render_dynamic_tenancy(&dynamic_tenancy(&runner, opts.cfg.seed), &device.name)
+            );
+        }
+    }
+}

@@ -1,0 +1,841 @@
+//! Per-experiment drivers: one function per table/figure of the paper's
+//! evaluation (§8), each returning a renderable result.
+//!
+//! The heavy lifting is one [`sweep`] per (device, request-size): every
+//! workload runs under all four schemes and its metrics are recorded; the
+//! figures are different projections of the same sweep, exactly as in the
+//! paper.
+
+use crate::runner::{Runner, Scheme, WorkloadRun};
+use crate::workloads::{alphabetic_pairs, SweepConfig, Workload};
+use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator};
+use parboil::KernelSpec;
+use std::fmt;
+
+/// Geometric mean of a non-empty slice.
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Metrics of one workload under every scheme (averaged over repetitions).
+#[derive(Debug, Clone)]
+pub struct WorkloadMetrics {
+    /// Unfairness per scheme, ordered as [`Scheme::all`].
+    pub unfairness: [f64; 4],
+    /// Execution overlap per scheme.
+    pub overlap: [f64; 4],
+    /// Total workload time per scheme.
+    pub total_time: [f64; 4],
+    /// STP per scheme.
+    pub stp: [f64; 4],
+    /// ANTT per scheme.
+    pub antt: [f64; 4],
+    /// Worst-case ANTT per scheme.
+    pub worst_antt: [f64; 4],
+}
+
+impl WorkloadMetrics {
+    /// Fairness improvement of `scheme` over the baseline.
+    pub fn fairness_improvement(&self, scheme: Scheme) -> f64 {
+        let i = scheme_index(scheme);
+        sched_metrics::fairness_improvement(self.unfairness[0], self.unfairness[i])
+    }
+
+    /// Throughput speedup of `scheme` over the baseline.
+    pub fn throughput_speedup(&self, scheme: Scheme) -> f64 {
+        let i = scheme_index(scheme);
+        self.total_time[0] / self.total_time[i]
+    }
+}
+
+fn scheme_index(s: Scheme) -> usize {
+    Scheme::all().iter().position(|&x| x == s).expect("scheme in table")
+}
+
+/// One full sweep: per-workload metrics for one device and request size.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Request size (2, 4 or 8).
+    pub request_size: usize,
+    /// Device name.
+    pub device: String,
+    /// Per-workload metrics.
+    pub workloads: Vec<WorkloadMetrics>,
+}
+
+impl Sweep {
+    /// Average unfairness per scheme.
+    pub fn avg_unfairness(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = mean(&self.workloads.iter().map(|w| w.unfairness[i]).collect::<Vec<_>>());
+        }
+        out
+    }
+
+    /// Average overlap per scheme.
+    pub fn avg_overlap(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = mean(&self.workloads.iter().map(|w| w.overlap[i]).collect::<Vec<_>>());
+        }
+        out
+    }
+
+    /// Average fairness improvement of `scheme` over baseline.
+    pub fn avg_fairness_improvement(&self, scheme: Scheme) -> f64 {
+        mean(&self.workloads.iter().map(|w| w.fairness_improvement(scheme)).collect::<Vec<_>>())
+    }
+
+    /// Average throughput speedup of `scheme` over baseline.
+    pub fn avg_throughput_speedup(&self, scheme: Scheme) -> f64 {
+        mean(&self.workloads.iter().map(|w| w.throughput_speedup(scheme)).collect::<Vec<_>>())
+    }
+
+    /// Average STP / ANTT / worst-ANTT of `scheme`.
+    pub fn avg_stp_antt(&self, scheme: Scheme) -> (f64, f64, f64) {
+        let i = scheme_index(scheme);
+        (
+            mean(&self.workloads.iter().map(|w| w.stp[i]).collect::<Vec<_>>()),
+            mean(&self.workloads.iter().map(|w| w.antt[i]).collect::<Vec<_>>()),
+            mean(&self.workloads.iter().map(|w| w.worst_antt[i]).collect::<Vec<_>>()),
+        )
+    }
+
+    /// Distribution of per-workload values of `f`: (min, max, fraction
+    /// below 1.0).
+    pub fn distribution(&self, f: impl Fn(&WorkloadMetrics) -> f64) -> (f64, f64, f64) {
+        let vals: Vec<f64> = self.workloads.iter().map(f).collect();
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let below = vals.iter().filter(|&&v| v < 1.0).count() as f64 / vals.len() as f64;
+        (min, max, below)
+    }
+}
+
+/// Run one workload under all four schemes, `reps` times, and average.
+pub fn measure_workload(runner: &Runner, workload: &Workload, reps: u32, seed: u64) -> WorkloadMetrics {
+    let mut acc = WorkloadMetrics {
+        unfairness: [0.0; 4],
+        overlap: [0.0; 4],
+        total_time: [0.0; 4],
+        stp: [0.0; 4],
+        antt: [0.0; 4],
+        worst_antt: [0.0; 4],
+    };
+    for rep in 0..reps {
+        let rep_seed = seed.wrapping_add(rep as u64).wrapping_mul(0x9e37_79b9);
+        for (i, scheme) in Scheme::all().into_iter().enumerate() {
+            let run: WorkloadRun = runner.run_workload(scheme, workload, rep_seed);
+            acc.unfairness[i] += run.unfairness();
+            acc.overlap[i] += run.overlap();
+            acc.total_time[i] += run.total_time as f64;
+            acc.stp[i] += run.stp();
+            acc.antt[i] += run.antt();
+            acc.worst_antt[i] += run.worst_antt();
+        }
+    }
+    let n = reps as f64;
+    for i in 0..4 {
+        acc.unfairness[i] /= n;
+        acc.overlap[i] /= n;
+        acc.total_time[i] /= n;
+        acc.stp[i] /= n;
+        acc.antt[i] /= n;
+        acc.worst_antt[i] /= n;
+    }
+    acc
+}
+
+/// Sweep one request size on one device.
+pub fn sweep(runner: &Runner, cfg: &SweepConfig, request_size: usize) -> Sweep {
+    let workloads = cfg.workloads(request_size);
+    let metrics = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| measure_workload(runner, w, cfg.reps, cfg.seed.wrapping_add(i as u64)))
+        .collect();
+    Sweep {
+        request_size,
+        device: runner.device().name.clone(),
+        workloads: metrics,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — motivation: bfs + cutcp + stencil + tpacf on NVIDIA
+// ---------------------------------------------------------------------
+
+/// Result of the fig. 2 motivation experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Kernel names.
+    pub names: Vec<&'static str>,
+    /// Per-kernel slowdowns under the baseline.
+    pub baseline_slowdowns: Vec<f64>,
+    /// Per-kernel slowdowns under accelOS.
+    pub accelos_slowdowns: Vec<f64>,
+    /// Unfairness: (baseline, EK, accelOS).
+    pub unfairness: (f64, f64, f64),
+    /// Throughput speedup over baseline: (EK, accelOS).
+    pub speedup: (f64, f64),
+}
+
+/// Reproduce fig. 2: parallel execution of bfs, cutcp, stencil and tpacf.
+pub fn fig2(runner: &Runner, seed: u64) -> Fig2 {
+    let names = ["bfs", "cutcp", "stencil", "tpacf"];
+    let wl: Workload =
+        names.iter().map(|n| KernelSpec::by_name(n).expect("kernel exists")).collect();
+    let base = runner.run_workload(Scheme::Baseline, &wl, seed);
+    let ek = runner.run_workload(Scheme::ElasticKernels, &wl, seed);
+    let acc = runner.run_workload(Scheme::AccelOs, &wl, seed);
+    Fig2 {
+        names: names.to_vec(),
+        baseline_slowdowns: base.slowdowns(),
+        accelos_slowdowns: acc.slowdowns(),
+        unfairness: (base.unfairness(), ek.unfairness(), acc.unfairness()),
+        speedup: (
+            base.total_time as f64 / ek.total_time as f64,
+            base.total_time as f64 / acc.total_time as f64,
+        ),
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 2 — parallel execution of bfs, cutcp, stencil, tpacf")?;
+        writeln!(f, "(a) individual slowdowns:")?;
+        writeln!(f, "  {:<10} {:>10} {:>10}", "kernel", "OpenCL", "accelOS")?;
+        for (i, n) in self.names.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:<10} {:>10.2} {:>10.2}",
+                n, self.baseline_slowdowns[i], self.accelos_slowdowns[i]
+            )?;
+        }
+        writeln!(
+            f,
+            "(b) unfairness: OpenCL {:.2}  EK {:.2}  accelOS {:.2}  (accelOS {:.2}x fairer)",
+            self.unfairness.0,
+            self.unfairness.1,
+            self.unfairness.2,
+            self.unfairness.0 / self.unfairness.2
+        )?;
+        writeln!(
+            f,
+            "(c) throughput speedup: EK {:.2}x  accelOS {:.2}x",
+            self.speedup.0, self.speedup.1
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 9/10/12/13/14 + tables 1/2 — sweep projections
+// ---------------------------------------------------------------------
+
+/// The three request sizes with their sweeps on one device.
+#[derive(Debug, Clone)]
+pub struct DeviceSweeps {
+    /// 2-, 4- and 8-request sweeps.
+    pub sizes: Vec<Sweep>,
+}
+
+/// Run the paper's three sweeps (2, 4, 8 requests) on one device.
+pub fn device_sweeps(runner: &Runner, cfg: &SweepConfig) -> DeviceSweeps {
+    DeviceSweeps { sizes: [2, 4, 8].iter().map(|&k| sweep(runner, cfg, k)).collect() }
+}
+
+impl DeviceSweeps {
+    /// Render the fig. 9 view: average unfairness per scheme.
+    pub fn fig9(&self) -> String {
+        let mut s = format!(
+            "Figure 9 — average system unfairness (lower is better), {}\n",
+            self.sizes[0].device
+        );
+        s += &format!("  {:<10} {:>10} {:>10} {:>10}\n", "requests", "OpenCL", "EK", "accelOS");
+        for sw in &self.sizes {
+            let u = sw.avg_unfairness();
+            s += &format!(
+                "  {:<10} {:>10.2} {:>10.2} {:>10.2}\n",
+                sw.request_size,
+                u[scheme_index(Scheme::Baseline)],
+                u[scheme_index(Scheme::ElasticKernels)],
+                u[scheme_index(Scheme::AccelOs)]
+            );
+        }
+        s
+    }
+
+    /// Render the fig. 10 view: fairness-improvement distributions.
+    pub fn fig10(&self) -> String {
+        let mut s = format!(
+            "Figure 10 — fairness improvement over OpenCL (higher is better), {}\n",
+            self.sizes[0].device
+        );
+        s += &format!(
+            "  {:<10} {:>28} {:>28}\n",
+            "requests", "accelOS avg [min..max] %<1", "EK avg [min..max] %<1"
+        );
+        for sw in &self.sizes {
+            let a = sw.avg_fairness_improvement(Scheme::AccelOs);
+            let (amin, amax, abad) = sw.distribution(|w| w.fairness_improvement(Scheme::AccelOs));
+            let e = sw.avg_fairness_improvement(Scheme::ElasticKernels);
+            let (emin, emax, ebad) =
+                sw.distribution(|w| w.fairness_improvement(Scheme::ElasticKernels));
+            s += &format!(
+                "  {:<10} {:>7.2}x [{:>5.2}..{:>6.2}] {:>4.0}% {:>7.2}x [{:>5.2}..{:>6.2}] {:>4.0}%\n",
+                sw.request_size, a, amin, amax, abad * 100.0, e, emin, emax, ebad * 100.0
+            );
+        }
+        s
+    }
+
+    /// Render the fig. 12 view: average kernel execution overlap.
+    pub fn fig12(&self) -> String {
+        let mut s = format!(
+            "Figure 12 — average kernel execution overlap (higher is better), {}\n",
+            self.sizes[0].device
+        );
+        s += &format!("  {:<10} {:>10} {:>10} {:>10}\n", "requests", "OpenCL", "EK", "accelOS");
+        for sw in &self.sizes {
+            let o = sw.avg_overlap();
+            s += &format!(
+                "  {:<10} {:>9.0}% {:>9.0}% {:>9.0}%\n",
+                sw.request_size,
+                o[scheme_index(Scheme::Baseline)] * 100.0,
+                o[scheme_index(Scheme::ElasticKernels)] * 100.0,
+                o[scheme_index(Scheme::AccelOs)] * 100.0
+            );
+        }
+        s
+    }
+
+    /// Render the fig. 13 view: average throughput speedups.
+    pub fn fig13(&self) -> String {
+        let mut s = format!(
+            "Figure 13 — average system throughput speedup over OpenCL, {}\n",
+            self.sizes[0].device
+        );
+        s += &format!("  {:<10} {:>10} {:>10}\n", "requests", "EK", "accelOS");
+        for sw in &self.sizes {
+            s += &format!(
+                "  {:<10} {:>9.2}x {:>9.2}x\n",
+                sw.request_size,
+                sw.avg_throughput_speedup(Scheme::ElasticKernels),
+                sw.avg_throughput_speedup(Scheme::AccelOs)
+            );
+        }
+        s
+    }
+
+    /// Render the fig. 14 view: throughput-speedup distributions.
+    pub fn fig14(&self) -> String {
+        let mut s = format!(
+            "Figure 14 — throughput speedup distribution over OpenCL, {}\n",
+            self.sizes[0].device
+        );
+        s += &format!(
+            "  {:<10} {:>28} {:>28}\n",
+            "requests", "accelOS [min..max] %slow", "EK [min..max] %slow"
+        );
+        for sw in &self.sizes {
+            let (amin, amax, abad) = sw.distribution(|w| w.throughput_speedup(Scheme::AccelOs));
+            let (emin, emax, ebad) =
+                sw.distribution(|w| w.throughput_speedup(Scheme::ElasticKernels));
+            s += &format!(
+                "  {:<10} [{:>5.2}..{:>5.2}] {:>9.0}% [{:>5.2}..{:>5.2}] {:>9.0}%\n",
+                sw.request_size, amin, amax, abad * 100.0, emin, emax, ebad * 100.0
+            );
+        }
+        s
+    }
+
+    /// Render the table 1/2 view: STP, ANTT and worst-case ANTT.
+    pub fn table_stp_antt(&self) -> String {
+        let mut s = format!(
+            "Tables 1/2 — STP (higher better), ANTT / W.ANTT (lower better), {}\n",
+            self.sizes[0].device
+        );
+        s += &format!(
+            "  {:<6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}\n",
+            "RQSTs", "EK STP", "EK ANTT", "EK W.A", "aOS STP", "aOS ANTT", "aOS W.A"
+        );
+        for sw in &self.sizes {
+            let (estp, eantt, ewa) = sw.avg_stp_antt(Scheme::ElasticKernels);
+            let (astp, aantt, awa) = sw.avg_stp_antt(Scheme::AccelOs);
+            s += &format!(
+                "  {:<6} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}\n",
+                sw.request_size, estp, eantt, ewa, astp, aantt, awa
+            );
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 11 — alphabetic pairwise unfairness
+// ---------------------------------------------------------------------
+
+/// One row of fig. 11.
+#[derive(Debug, Clone)]
+pub struct PairRow {
+    /// The two kernel names.
+    pub pair: (String, String),
+    /// Unfairness: (baseline, EK, accelOS).
+    pub unfairness: (f64, f64, f64),
+}
+
+/// Reproduce fig. 11: unfairness for the alphabetic-neighbour pairs.
+pub fn fig11(runner: &Runner, seed: u64) -> Vec<PairRow> {
+    alphabetic_pairs()
+        .iter()
+        .map(|wl| {
+            let base = runner.run_workload(Scheme::Baseline, wl, seed);
+            let ek = runner.run_workload(Scheme::ElasticKernels, wl, seed);
+            let acc = runner.run_workload(Scheme::AccelOs, wl, seed);
+            PairRow {
+                pair: (wl[0].name.to_string(), wl[1].name.to_string()),
+                unfairness: (base.unfairness(), ek.unfairness(), acc.unfairness()),
+            }
+        })
+        .collect()
+}
+
+/// Render fig. 11 rows.
+pub fn render_fig11(rows: &[PairRow], device: &str) -> String {
+    let mut s = format!("Figure 11 — unfairness for alphabetic 2-kernel workloads, {device}\n");
+    s += &format!("  {:<50} {:>8} {:>8} {:>8}\n", "pair", "OpenCL", "EK", "accelOS");
+    for r in rows {
+        s += &format!(
+            "  {:<50} {:>8.2} {:>8.2} {:>8.2}\n",
+            format!("{} + {}", r.pair.0, r.pair.1),
+            r.unfairness.0,
+            r.unfairness.1,
+            r.unfairness.2
+        );
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Figure 15 — single-kernel performance impact (naive vs optimized)
+// ---------------------------------------------------------------------
+
+/// One kernel's isolated speedups.
+#[derive(Debug, Clone)]
+pub struct SingleKernelRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// accelOS-naive speedup over baseline (isolated).
+    pub naive: f64,
+    /// accelOS-optimized speedup over baseline (isolated).
+    pub optimized: f64,
+}
+
+/// Reproduce fig. 15: per-kernel isolated accelOS speedups.
+pub fn fig15(runner: &Runner, seed: u64) -> Vec<SingleKernelRow> {
+    KernelSpec::all()
+        .iter()
+        .map(|spec| {
+            let base = runner.isolated_time(Scheme::Baseline, spec, seed) as f64;
+            let naive = runner.isolated_time(Scheme::AccelOsNaive, spec, seed) as f64;
+            let opt = runner.isolated_time(Scheme::AccelOs, spec, seed) as f64;
+            SingleKernelRow { name: spec.name, naive: base / naive, optimized: base / opt }
+        })
+        .collect()
+}
+
+/// Render fig. 15 rows plus geometric means.
+pub fn render_fig15(rows: &[SingleKernelRow], device: &str) -> String {
+    let mut s = format!("Figure 15 — accelOS single-kernel performance impact, {device}\n");
+    s += &format!("  {:<30} {:>8} {:>10}\n", "kernel", "naive", "optimized");
+    for r in rows {
+        s += &format!("  {:<30} {:>7.2}x {:>9.2}x\n", r.name, r.naive, r.optimized);
+    }
+    let g_naive = geomean(&rows.iter().map(|r| r.naive).collect::<Vec<_>>());
+    let g_opt = geomean(&rows.iter().map(|r| r.optimized).collect::<Vec<_>>());
+    s += &format!("  {:<30} {:>7.2}x {:>9.2}x  (geometric mean)\n", "geomean", g_naive, g_opt);
+    s
+}
+
+// ---------------------------------------------------------------------
+// §8.5 small kernels + §6.4 chunking ablation
+// ---------------------------------------------------------------------
+
+/// Isolated time of `spec` restricted to `wgs` work groups, as a custom
+/// launch (used by the §8.5 small-kernel study and the chunk ablation).
+pub fn isolated_custom(
+    device: &DeviceConfig,
+    spec: &KernelSpec,
+    wgs: u64,
+    plan_of: impl FnOnce(Vec<u64>) -> LaunchPlan,
+    seed: u64,
+) -> u64 {
+    let costs = spec.vg_costs(wgs as usize, seed);
+    let mut sim = Simulator::new(device.clone());
+    sim.add_launch(KernelLaunch {
+        name: spec.name.to_string(),
+        arrival: 0,
+        req: gpu_sim::WorkGroupReq {
+            threads: spec.wg_size,
+            local_mem: 0,
+            regs_per_thread: 1,
+        },
+        mem_intensity: spec.mem_intensity,
+        plan: plan_of(costs),
+        max_workers: None,
+    });
+    sim.run().total_time().max(1)
+}
+
+/// One row of the §8.5 small-kernel study.
+#[derive(Debug, Clone)]
+pub struct SmallKernelRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Work groups launched.
+    pub wgs: u64,
+    /// Relative difference accelOS vs baseline (positive = slower).
+    pub rel_diff: f64,
+}
+
+/// Reproduce the §8.5 small-kernel experiment: bfs/spmv/tpacf with 2, 4
+/// and 8 work groups differ from standard OpenCL by only a few percent.
+pub fn small_kernels(device: &DeviceConfig, seed: u64) -> Vec<SmallKernelRow> {
+    let mut rows = Vec::new();
+    for name in ["bfs", "spmv", "tpacf"] {
+        let spec = KernelSpec::by_name(name).expect("kernel exists");
+        for wgs in [2u64, 4, 8] {
+            let base = isolated_custom(
+                device,
+                spec,
+                wgs,
+                |c| LaunchPlan::Hardware { wg_costs: c },
+                seed,
+            ) as f64;
+            let acc = isolated_custom(
+                device,
+                spec,
+                wgs,
+                |c| LaunchPlan::PersistentDynamic {
+                    workers: wgs as u32,
+                    vg_costs: c,
+                    chunk: 1,
+                    per_vg_overhead: 2,
+                },
+                seed,
+            ) as f64;
+            rows.push(SmallKernelRow { name: spec.name, wgs, rel_diff: acc / base - 1.0 });
+        }
+    }
+    rows
+}
+
+/// Render the small-kernel rows.
+pub fn render_small_kernels(rows: &[SmallKernelRow], device: &str) -> String {
+    let mut s = format!("§8.5 — small-kernel executions, accelOS vs OpenCL, {device}\n");
+    s += &format!("  {:<10} {:>6} {:>12}\n", "kernel", "WGs", "difference");
+    for r in rows {
+        s += &format!("  {:<10} {:>6} {:>11.1}%\n", r.name, r.wgs, r.rel_diff * 100.0);
+    }
+    s
+}
+
+/// One row of the §6.4 chunking ablation.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Which cost regime: `true` for the artificially shortened variant
+    /// (per-group cost divided by 8, the paper's "small kernel" regime).
+    pub short_variant: bool,
+    /// Chunk size forced for this run (0 = the guided-schedule extension).
+    pub chunk: u32,
+    /// Isolated speedup over the chunk=1 configuration.
+    pub speedup_vs_chunk1: f64,
+}
+
+/// Ablation of §6.4: force every chunk size on representative kernels, in
+/// both the normal regime and an artificially shortened one (per-group
+/// costs ÷ 8, like the paper's §8.5 small datasets). Chunking pays in the
+/// short regime (the atomic dequeue chain binds) and can cost in the
+/// normal regime (coarser chunks hurt balance) — which is exactly why the
+/// policy adapts on instruction count.
+pub fn chunk_ablation(device: &DeviceConfig, seed: u64) -> Vec<AblationRow> {
+    let kernels = ["mri-gridding_uniformAdd", "mri-q_ComputePhiMag", "histo_final", "sgemm"];
+    let mut rows = Vec::new();
+    for name in kernels {
+        let spec = KernelSpec::by_name(name).expect("kernel exists");
+        let workers = (device.total_threads() / spec.wg_size as u64).min(spec.default_wgs) as u32;
+        for short in [false, true] {
+            let div = if short { 8 } else { 1 };
+            let time_for = |chunk: u32| {
+                isolated_custom(
+                    device,
+                    spec,
+                    spec.default_wgs,
+                    |c| LaunchPlan::PersistentDynamic {
+                        workers,
+                        vg_costs: c.iter().map(|&x| (x / div).max(1)).collect(),
+                        chunk,
+                        per_vg_overhead: 2,
+                    },
+                    seed,
+                ) as f64
+            };
+            let t1 = time_for(1);
+            for chunk in [1u32, 2, 4, 6, 8] {
+                rows.push(AblationRow {
+                    name: spec.name,
+                    short_variant: short,
+                    chunk,
+                    speedup_vs_chunk1: t1 / time_for(chunk),
+                });
+            }
+            // Extension: the guided (tapering) schedule, rendered as
+            // chunk = 0 rows.
+            let guided = isolated_custom(
+                device,
+                spec,
+                spec.default_wgs,
+                |c| LaunchPlan::PersistentGuided {
+                    workers,
+                    vg_costs: c.iter().map(|&x| (x / div).max(1)).collect(),
+                    max_chunk: 8,
+                    per_vg_overhead: 2,
+                },
+                seed,
+            ) as f64;
+            rows.push(AblationRow {
+                name: spec.name,
+                short_variant: short,
+                chunk: 0,
+                speedup_vs_chunk1: t1 / guided,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the ablation rows.
+pub fn render_ablation(rows: &[AblationRow], device: &str) -> String {
+    let mut s = format!("§6.4 ablation — dequeue chunk size vs isolated time, {device}\n");
+    s += &format!("  {:<30} {:>8} {:>6} {:>14}\n", "kernel", "regime", "chunk", "vs chunk=1");
+    for r in rows {
+        s += &format!(
+            "  {:<30} {:>8} {:>6} {:>13.2}x\n",
+            r.name,
+            if r.short_variant { "short" } else { "normal" },
+            if r.chunk == 0 { "guided".to_string() } else { r.chunk.to_string() },
+            r.speedup_vs_chunk1
+        );
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Extension — dynamic tenancy (§9: "different number and types of
+// applications may join or leave a system dynamically")
+// ---------------------------------------------------------------------
+
+/// One scheme's outcome under dynamic tenancy.
+#[derive(Debug, Clone)]
+pub struct DynamicTenancyRow {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Unfairness across the tenants.
+    pub unfairness: f64,
+    /// Time for the whole episode.
+    pub total_time: u64,
+}
+
+/// Extension experiment: six tenants join a node at staggered times (two
+/// immediately, then one every ~quarter of the first kernel's isolated
+/// runtime) and leave as they finish. accelOS plans fair shares and grows
+/// into freed capacity; the baseline serialises arrivals; EK's static
+/// sizing never adapts.
+pub fn dynamic_tenancy(runner: &Runner, seed: u64) -> Vec<DynamicTenancyRow> {
+    let names = ["tpacf", "lbm", "histo_main", "spmv", "sgemm", "stencil"];
+    let workload: Workload =
+        names.iter().map(|n| KernelSpec::by_name(n).expect("kernel exists")).collect();
+    // Stagger joins relative to the first tenant's isolated runtime.
+    let t0 = runner.isolated_time(Scheme::Baseline, workload[0], seed);
+    let arrivals: Vec<u64> =
+        (0..workload.len() as u64).map(|i| i.saturating_sub(1) * t0 / 4).collect();
+    Scheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let run = runner.run_workload_with_arrivals(scheme, &workload, &arrivals, seed);
+            DynamicTenancyRow {
+                scheme: scheme.label(),
+                unfairness: run.unfairness(),
+                total_time: run.total_time,
+            }
+        })
+        .collect()
+}
+
+/// Render the dynamic-tenancy rows.
+pub fn render_dynamic_tenancy(rows: &[DynamicTenancyRow], device: &str) -> String {
+    let base_time = rows[0].total_time as f64;
+    let mut s = format!("Extension — dynamic tenancy (staggered joins/leaves), {device}\n");
+    s += &format!("  {:<16} {:>12} {:>16}\n", "scheme", "unfairness", "vs OpenCL time");
+    for r in rows {
+        s += &format!(
+            "  {:<16} {:>12.2} {:>15.2}x\n",
+            r.scheme,
+            r.unfairness,
+            base_time / r.total_time as f64
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::SweepConfig;
+
+    #[test]
+    fn fig2_shapes_match_the_paper() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let f = fig2(&runner, 1);
+        // Baseline slows later arrivals more (fig. 2a): tpacf (last) worse
+        // than bfs (first).
+        assert!(
+            f.baseline_slowdowns[3] > f.baseline_slowdowns[0],
+            "baseline: {:?}",
+            f.baseline_slowdowns
+        );
+        // accelOS is substantially fairer (paper: 5.79x).
+        assert!(f.unfairness.0 / f.unfairness.2 > 2.0, "unfairness {:?}", f.unfairness);
+        // accelOS improves throughput (paper: 1.31x).
+        assert!(f.speedup.1 > 1.0, "accelOS speedup {:.2}", f.speedup.1);
+        let _rendered = f.to_string();
+    }
+
+    #[test]
+    fn tiny_sweep_reproduces_orderings() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let cfg = SweepConfig::test_scale();
+        let sw = sweep(&runner, &cfg, 4);
+        let u = sw.avg_unfairness();
+        // accelOS is fairer than baseline on average.
+        assert!(
+            u[scheme_index(Scheme::AccelOs)] < u[scheme_index(Scheme::Baseline)],
+            "unfairness {u:?}"
+        );
+        // accelOS overlaps more than baseline.
+        let o = sw.avg_overlap();
+        assert!(o[scheme_index(Scheme::AccelOs)] > o[scheme_index(Scheme::Baseline)]);
+        // Renderers do not panic.
+        let ds = DeviceSweeps { sizes: vec![sw] };
+        let _ = ds.fig9();
+        let _ = ds.fig10();
+        let _ = ds.fig12();
+        let _ = ds.fig13();
+        let _ = ds.fig14();
+        let _ = ds.table_stp_antt();
+    }
+
+    #[test]
+    fn fig11_pairs_render() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let rows = fig11(&runner, 3);
+        assert_eq!(rows.len(), 13);
+        let rendered = render_fig11(&rows, "K20m");
+        assert!(rendered.contains("bfs + cutcp"));
+    }
+
+    #[test]
+    fn fig15_geomean_shows_optimized_gain() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let rows = fig15(&runner, 5);
+        assert_eq!(rows.len(), 25);
+        let g_opt = geomean(&rows.iter().map(|r| r.optimized).collect::<Vec<_>>());
+        let g_naive = geomean(&rows.iter().map(|r| r.naive).collect::<Vec<_>>());
+        assert!(g_opt > g_naive, "optimized {g_opt:.3} vs naive {g_naive:.3}");
+        assert!(g_opt > 1.0, "optimized should be a net win: {g_opt:.3}");
+        assert!(g_naive > 0.85, "naive should be a small loss at worst: {g_naive:.3}");
+        let _ = render_fig15(&rows, "K20m");
+    }
+
+    #[test]
+    fn small_kernels_stay_close_to_baseline() {
+        let rows = small_kernels(&DeviceConfig::k20m(), 7);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(
+                r.rel_diff.abs() < 0.15,
+                "{} with {} WGs diverged {:.1}%",
+                r.name,
+                r.wgs,
+                r.rel_diff * 100.0
+            );
+        }
+        let _ = render_small_kernels(&rows, "K20m");
+    }
+
+    #[test]
+    fn dynamic_tenancy_favors_accelos() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let rows = dynamic_tenancy(&runner, 5);
+        assert_eq!(rows.len(), 4);
+        let by = |label: &str| rows.iter().find(|r| r.scheme == label).expect("row");
+        let base = by("OpenCL");
+        let acc = by("accelOS");
+        assert!(
+            acc.unfairness < base.unfairness,
+            "accelOS {:.2} vs baseline {:.2}",
+            acc.unfairness,
+            base.unfairness
+        );
+        assert!(
+            acc.total_time < base.total_time,
+            "accelOS should also finish the episode sooner"
+        );
+        let _ = render_dynamic_tenancy(&rows, "K20m");
+    }
+
+    #[test]
+    fn chunking_helps_short_kernels_and_not_long_ones() {
+        let rows = chunk_ablation(&DeviceConfig::k20m(), 9);
+        // Short-regime uniformAdd with chunk 8 must clearly beat chunk 1
+        // (the atomic dequeue chain binds otherwise).
+        let ua8 = rows
+            .iter()
+            .find(|r| r.name == "mri-gridding_uniformAdd" && r.chunk == 8 && r.short_variant)
+            .expect("row exists");
+        assert!(ua8.speedup_vs_chunk1 > 1.2, "chunking gain {:.2}", ua8.speedup_vs_chunk1);
+        // Normal-regime sgemm must NOT benefit from coarse chunking — this
+        // asymmetry is why §6.4 adapts on instruction count.
+        let sg8 = rows
+            .iter()
+            .find(|r| r.name == "sgemm" && r.chunk == 8 && !r.short_variant)
+            .expect("row exists");
+        assert!(sg8.speedup_vs_chunk1 < 1.05, "sgemm chunking {:.2}", sg8.speedup_vs_chunk1);
+        // The guided extension must recover most of the fixed-chunk win in
+        // the short regime without the fixed policy's normal-regime loss.
+        let ua_guided = rows
+            .iter()
+            .find(|r| r.name == "mri-gridding_uniformAdd" && r.chunk == 0 && r.short_variant)
+            .expect("row exists");
+        assert!(ua_guided.speedup_vs_chunk1 > 1.5, "guided gain {:.2}", ua_guided.speedup_vs_chunk1);
+        let sg_guided = rows
+            .iter()
+            .find(|r| r.name == "sgemm" && r.chunk == 0 && !r.short_variant)
+            .expect("row exists");
+        assert!(
+            sg_guided.speedup_vs_chunk1 > 0.9,
+            "guided avoids the coarse-chunk loss: {:.2}",
+            sg_guided.speedup_vs_chunk1
+        );
+        let _ = render_ablation(&rows, "K20m");
+    }
+}

@@ -1,0 +1,36 @@
+//! # accel-harness — workloads and experiment drivers
+//!
+//! Reproduces the accelOS (CGO 2016) evaluation: workload generation
+//! (§7.2), the co-execution [`runner`] for the four schemes
+//! {standard OpenCL, Elastic Kernels, accelOS-naive, accelOS} on the two
+//! device presets, and one [`experiments`] driver per table and figure.
+//!
+//! The `repro` binary renders any experiment from the command line:
+//!
+//! ```text
+//! cargo run --release -p accel-harness --bin repro -- fig9 --device k20m
+//! cargo run --release -p accel-harness --bin repro -- all --full
+//! ```
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use accel_harness::experiments::{device_sweeps, fig2};
+//! use accel_harness::runner::Runner;
+//! use accel_harness::workloads::SweepConfig;
+//! use gpu_sim::DeviceConfig;
+//!
+//! let runner = Runner::new(DeviceConfig::k20m());
+//! println!("{}", fig2(&runner, 1));
+//! let sweeps = device_sweeps(&runner, &SweepConfig::test_scale());
+//! println!("{}", sweeps.fig9());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod workloads;
+
+pub use runner::{Runner, Scheme, WorkloadRun};
+pub use workloads::{all_pairs, alphabetic_pairs, random_combinations, SweepConfig, Workload};

@@ -1,0 +1,401 @@
+//! The co-execution runner: one workload × one scheme × one device →
+//! per-kernel times, busy intervals and metrics.
+//!
+//! Schemes:
+//!
+//! * [`Scheme::Baseline`] — standard OpenCL: every original work group is a
+//!   hardware work group (serialisation emerges from the FIFO dispatcher);
+//! * [`Scheme::ElasticKernels`] — the static-allocation baseline;
+//! * [`Scheme::AccelOsNaive`] / [`Scheme::AccelOs`] — the paper's runtime,
+//!   without and with §6.4 adaptive scheduling.
+//!
+//! Per-work-group resources come from *compiling* each kernel (registers,
+//! local memory, §6.4 instruction counts); per-work-group costs come from
+//! each kernel's calibrated cost profile, seeded per repetition so that the
+//! paper's 20-repetition averaging has variance to average over.
+
+use accelos::chunk::{chunk_for, Mode};
+use accelos::resource::ResourceDemand;
+use accelos::scheduler::{plan_launches, ExecRequest};
+use elastic_kernels::EkKernel;
+use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, SimReport, Simulator, WorkGroupReq};
+use parboil::{KernelDb, KernelSpec};
+use sched_metrics::IntervalSet;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Software cost added per virtual group by the persistent-worker runtime
+/// (index arithmetic of the replaced work-item functions).
+const PER_VG_OVERHEAD: u64 = 2;
+
+/// The sharing schemes under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Standard vendor OpenCL stack.
+    Baseline,
+    /// Elastic Kernels (Pai et al.), as re-implemented by the paper.
+    ElasticKernels,
+    /// accelOS without adaptive scheduling (§8.5 "naive").
+    AccelOsNaive,
+    /// accelOS with adaptive scheduling (the paper's default).
+    AccelOs,
+}
+
+impl Scheme {
+    /// All schemes, in the order the paper's figures list them.
+    pub fn all() -> [Scheme; 4] {
+        [Scheme::Baseline, Scheme::ElasticKernels, Scheme::AccelOsNaive, Scheme::AccelOs]
+    }
+
+    /// Display label used in rendered tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "OpenCL",
+            Scheme::ElasticKernels => "EK",
+            Scheme::AccelOsNaive => "accelOS-naive",
+            Scheme::AccelOs => "accelOS",
+        }
+    }
+}
+
+/// Result of one workload execution under one scheme.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Kernel names, in arrival order.
+    pub names: Vec<&'static str>,
+    /// Per-kernel turnaround times in the shared run.
+    pub shared: Vec<u64>,
+    /// Per-kernel isolated times under the same scheme.
+    pub alone: Vec<u64>,
+    /// Per-kernel busy intervals in the shared run.
+    pub busy: Vec<IntervalSet>,
+    /// Time for the whole workload to finish.
+    pub total_time: u64,
+}
+
+impl WorkloadRun {
+    /// Individual slowdowns `IS_i` (paper §7.4).
+    pub fn slowdowns(&self) -> Vec<f64> {
+        self.shared
+            .iter()
+            .zip(&self.alone)
+            .map(|(&s, &a)| sched_metrics::individual_slowdown(s, a))
+            .collect()
+    }
+
+    /// System unfairness `U`.
+    pub fn unfairness(&self) -> f64 {
+        sched_metrics::unfairness(&self.slowdowns())
+    }
+
+    /// Kernel execution overlap `O`.
+    pub fn overlap(&self) -> f64 {
+        sched_metrics::execution_overlap(&self.busy)
+    }
+
+    /// `STP` over the workload.
+    pub fn stp(&self) -> f64 {
+        sched_metrics::stp(&self.shared, &self.alone)
+    }
+
+    /// `ANTT` over the workload.
+    pub fn antt(&self) -> f64 {
+        sched_metrics::antt(&self.shared, &self.alone)
+    }
+
+    /// Worst-case `NTT` over the workload.
+    pub fn worst_antt(&self) -> f64 {
+        sched_metrics::worst_antt(&self.shared, &self.alone)
+    }
+}
+
+/// Runs workloads on one device with cached kernel compilation and cached
+/// isolated-execution times.
+#[derive(Debug)]
+pub struct Runner {
+    device: DeviceConfig,
+    db: KernelDb,
+    isolated: Mutex<HashMap<(Scheme, &'static str, u64), u64>>,
+}
+
+impl Runner {
+    /// Runner for `device`, compiling all 25 kernels once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled kernels fail to compile (a bug caught by the
+    /// parboil tests, not an input condition).
+    pub fn new(device: DeviceConfig) -> Self {
+        let db = KernelDb::load().expect("bundled Parboil kernels compile");
+        Runner { device, db, isolated: Mutex::new(HashMap::new()) }
+    }
+
+    /// The device this runner simulates.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// The compiled kernel database.
+    pub fn db(&self) -> &KernelDb {
+        &self.db
+    }
+
+    fn wg_req(&self, spec: &KernelSpec) -> WorkGroupReq {
+        let (_, profile) = self.db.get(spec.name).expect("spec from the same table");
+        WorkGroupReq {
+            threads: spec.wg_size,
+            local_mem: profile.static_local_bytes as u32,
+            regs_per_thread: profile.regs_per_item.max(1) as u32,
+        }
+    }
+
+    fn chunk(&self, spec: &KernelSpec, mode: Mode) -> u32 {
+        let (_, profile) = self.db.get(spec.name).expect("spec from the same table");
+        chunk_for(profile.insn_count, mode)
+    }
+
+    /// Build the machine launches for `workload` under `scheme`, arriving
+    /// at the given times (one per kernel).
+    fn launches_at(
+        &self,
+        scheme: Scheme,
+        workload: &[&'static KernelSpec],
+        arrivals: &[u64],
+        seed: u64,
+    ) -> Vec<KernelLaunch> {
+        let costs: Vec<Vec<u64>> = workload
+            .iter()
+            .map(|s| s.vg_costs(s.default_wgs as usize, seed))
+            .collect();
+        let plans: Vec<LaunchPlan> = match scheme {
+            Scheme::Baseline => {
+                costs.iter().map(|c| LaunchPlan::Hardware { wg_costs: c.clone() }).collect()
+            }
+            Scheme::ElasticKernels => {
+                let eks: Vec<EkKernel> = workload
+                    .iter()
+                    .map(|s| EkKernel { wg_threads: s.wg_size, original_wgs: s.default_wgs })
+                    .collect();
+                elastic_kernels::plan(&self.device, &eks)
+                    .iter()
+                    .zip(&costs)
+                    .map(|(d, c)| d.to_sim_plan(c, PER_VG_OVERHEAD))
+                    .collect()
+            }
+            Scheme::AccelOsNaive | Scheme::AccelOs => {
+                let mode = if scheme == Scheme::AccelOs { Mode::Optimized } else { Mode::Naive };
+                let requests: Vec<ExecRequest> = workload
+                    .iter()
+                    .map(|s| {
+                        let req = self.wg_req(s);
+                        ExecRequest {
+                            kernel: s.name.to_string(),
+                            ndrange: s.default_ndrange(),
+                            demand: ResourceDemand {
+                                wg_threads: req.threads,
+                                wg_local_mem: req.local_mem,
+                                wg_regs: req.regs_total(),
+                                original_wgs: s.default_wgs,
+                            },
+                            chunk: self.chunk(s, mode),
+                        }
+                    })
+                    .collect();
+                plan_launches(&self.device, &requests)
+                    .iter()
+                    .zip(&costs)
+                    .map(|(d, c)| d.to_sim_plan(c.clone(), PER_VG_OVERHEAD))
+                    .collect()
+            }
+        };
+        workload
+            .iter()
+            .zip(plans)
+            .map(|(spec, plan)| {
+                // accelOS launches may grow into capacity freed when other
+                // kernels retire (the adaptivity of iterative applications,
+                // see `KernelLaunch::max_workers`), up to the share a §3
+                // single-kernel allocation would grant. Baseline and EK
+                // launches are static.
+                let max_workers = match scheme {
+                    Scheme::AccelOs | Scheme::AccelOsNaive => {
+                        let req = self.wg_req(spec);
+                        let alloc = accelos::resource::compute_shares(
+                            &self.device,
+                            &[ResourceDemand {
+                                wg_threads: req.threads,
+                                wg_local_mem: req.local_mem,
+                                wg_regs: req.regs_total(),
+                                original_wgs: spec.default_wgs,
+                            }],
+                        );
+                        Some(alloc.wgs_per_kernel[0])
+                    }
+                    _ => None,
+                };
+                KernelLaunch {
+                    name: spec.name.to_string(),
+                    arrival: 0,
+                    req: self.wg_req(spec),
+                    mem_intensity: spec.mem_intensity,
+                    plan,
+                    max_workers,
+                }
+            })
+            .zip(arrivals)
+            .map(|(mut l, &t)| {
+                l.arrival = t;
+                l
+            })
+            .collect()
+    }
+
+    /// Build the machine launches for a concurrent batch (all at time 0).
+    fn launches(
+        &self,
+        scheme: Scheme,
+        workload: &[&'static KernelSpec],
+        seed: u64,
+    ) -> Vec<KernelLaunch> {
+        self.launches_at(scheme, workload, &vec![0; workload.len()], seed)
+    }
+
+    fn simulate(&self, launches: Vec<KernelLaunch>) -> SimReport {
+        let mut sim = Simulator::new(self.device.clone());
+        for l in launches {
+            sim.add_launch(l);
+        }
+        sim.run()
+    }
+
+    /// Isolated execution time of one kernel under `scheme` (cached).
+    pub fn isolated_time(&self, scheme: Scheme, spec: &'static KernelSpec, seed: u64) -> u64 {
+        if let Some(&t) = self.isolated.lock().unwrap().get(&(scheme, spec.name, seed)) {
+            return t;
+        }
+        let report = self.simulate(self.launches(scheme, &[spec], seed));
+        let t = report.total_time().max(1);
+        self.isolated.lock().unwrap().insert((scheme, spec.name, seed), t);
+        t
+    }
+
+    /// Run one workload under one scheme, all requests arriving at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is empty.
+    pub fn run_workload(
+        &self,
+        scheme: Scheme,
+        workload: &[&'static KernelSpec],
+        seed: u64,
+    ) -> WorkloadRun {
+        let arrivals = vec![0; workload.len()];
+        self.run_workload_with_arrivals(scheme, workload, &arrivals, seed)
+    }
+
+    /// Run one workload with *staggered* arrivals — tenants joining (and
+    /// leaving, as they finish) a shared node dynamically, the scenario §9
+    /// says static code-merging approaches cannot handle.
+    ///
+    /// Shares are planned against the whole tenancy (the steady state an
+    /// iterative application converges to); the simulator's elastic growth
+    /// covers the join/leave transients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is empty or the lengths differ.
+    pub fn run_workload_with_arrivals(
+        &self,
+        scheme: Scheme,
+        workload: &[&'static KernelSpec],
+        arrivals: &[u64],
+        seed: u64,
+    ) -> WorkloadRun {
+        assert!(!workload.is_empty(), "workloads need at least one kernel");
+        assert_eq!(workload.len(), arrivals.len(), "one arrival per kernel");
+        let report = self.simulate(self.launches_at(scheme, workload, arrivals, seed));
+        let names: Vec<&'static str> = workload.iter().map(|s| s.name).collect();
+        let shared: Vec<u64> =
+            report.kernels.iter().map(|k| k.turnaround().max(1)).collect();
+        let alone: Vec<u64> =
+            workload.iter().map(|s| self.isolated_time(scheme, s, seed)).collect();
+        let busy: Vec<IntervalSet> = report
+            .kernels
+            .iter()
+            .map(|k| IntervalSet::from_raw(k.busy_intervals.clone()))
+            .collect();
+        WorkloadRun { names, shared, alone, busy, total_time: report.total_time().max(1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str) -> &'static KernelSpec {
+        KernelSpec::by_name(name).expect("kernel exists")
+    }
+
+    #[test]
+    fn baseline_pair_serialises_and_is_unfair() {
+        // A long kernel first, a short one behind it: the short one's
+        // slowdown is dominated by the wait (paper §2.3).
+        let r = Runner::new(DeviceConfig::k20m());
+        let run =
+            r.run_workload(Scheme::Baseline, &[k("mri-q_ComputeQ"), k("histo_final")], 1);
+        assert!(run.unfairness() > 1.5, "baseline U = {}", run.unfairness());
+        assert!(run.overlap() < 0.3, "baseline overlap = {}", run.overlap());
+    }
+
+    #[test]
+    fn accelos_pair_is_fair_and_overlaps() {
+        let r = Runner::new(DeviceConfig::k20m());
+        let run = r.run_workload(Scheme::AccelOs, &[k("sgemm"), k("stencil")], 1);
+        assert!(run.unfairness() < 2.0, "accelOS U = {}", run.unfairness());
+        assert!(run.overlap() > 0.5, "accelOS overlap = {}", run.overlap());
+    }
+
+    #[test]
+    fn accelos_is_fairer_than_baseline_on_mixed_pairs() {
+        // Pairs whose first kernel is long, so baseline serialisation
+        // punishes the second (the paper's motivating scenario).
+        let r = Runner::new(DeviceConfig::k20m());
+        for pair in [["lbm", "histo_final"], ["tpacf", "spmv"], ["mri-q_ComputeQ", "bfs"]] {
+            let wl = [k(pair[0]), k(pair[1])];
+            let base = r.run_workload(Scheme::Baseline, &wl, 3);
+            let acc = r.run_workload(Scheme::AccelOs, &wl, 3);
+            assert!(
+                acc.unfairness() < base.unfairness(),
+                "{pair:?}: accelOS {} vs baseline {}",
+                acc.unfairness(),
+                base.unfairness()
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_times_are_cached_and_deterministic() {
+        let r = Runner::new(DeviceConfig::k20m());
+        let a = r.isolated_time(Scheme::Baseline, k("bfs"), 5);
+        let b = r.isolated_time(Scheme::Baseline, k("bfs"), 5);
+        assert_eq!(a, b);
+        let c = r.isolated_time(Scheme::Baseline, k("bfs"), 6);
+        assert_ne!(a, c, "different cost draws give different times");
+    }
+
+    #[test]
+    fn metrics_are_computable_for_all_schemes() {
+        let r = Runner::new(DeviceConfig::k20m());
+        let wl = [k("histo_final"), k("mri-q_ComputePhiMag")];
+        for scheme in Scheme::all() {
+            let run = r.run_workload(scheme, &wl, 9);
+            assert!(run.unfairness() >= 1.0);
+            assert!((0.0..=1.0).contains(&run.overlap()));
+            assert!(run.stp() > 0.0);
+            assert!(run.antt() >= 1.0 - 1e9);
+            assert!(run.worst_antt() >= run.antt() - 1e-9);
+            assert_eq!(run.names.len(), 2);
+        }
+    }
+}

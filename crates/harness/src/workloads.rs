@@ -1,0 +1,156 @@
+//! Workload generation (paper §7.2).
+//!
+//! The paper evaluates all 625 pairwise combinations of the 25 Parboil
+//! kernels, 16384 random 4-kernel combinations (of the 25⁴ ordered
+//! combinations) and 32768 random 8-kernel combinations. The same
+//! generators live here, with sample counts as parameters so tests can run
+//! tiny sweeps and `--full` can run the paper-sized ones.
+
+use parboil::KernelSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A multi-kernel workload: kernels launched concurrently, in arrival
+/// order.
+pub type Workload = Vec<&'static KernelSpec>;
+
+/// All 25×25 ordered pairwise combinations (the paper's 625).
+pub fn all_pairs() -> Vec<Workload> {
+    let specs = KernelSpec::all();
+    let mut out = Vec::with_capacity(specs.len() * specs.len());
+    for a in specs {
+        for b in specs {
+            out.push(vec![a, b]);
+        }
+    }
+    out
+}
+
+/// The 13 alphabetic-neighbour pairs of fig. 11 (`bfs`+`cutcp`,
+/// `histo_final`+`histo_intermediates`, …; the 25th kernel pairs with the
+/// first to keep 13 rows, mirroring the paper's 13 bars for 25 kernels).
+pub fn alphabetic_pairs() -> Vec<Workload> {
+    let specs = KernelSpec::all();
+    let mut out: Vec<Workload> = specs.chunks(2).filter(|c| c.len() == 2).map(|c| vec![&c[0], &c[1]]).collect();
+    out.push(vec![&specs[24], &specs[0]]);
+    out
+}
+
+/// `count` seeded uniform random `k`-kernel workloads (ordered, with
+/// replacement, like the paper's 25⁴ / 25⁸ combination spaces).
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn random_combinations(k: usize, count: usize, seed: u64) -> Vec<Workload> {
+    assert!(k > 0, "workloads need at least one kernel");
+    let specs = KernelSpec::all();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..k).map(|_| &specs[rng.random_range(0..specs.len())]).collect())
+        .collect()
+}
+
+/// Sweep sizes: how many workloads each request size evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Pairwise workloads (max 625; the paper uses all of them).
+    pub pairs: usize,
+    /// Random 4-kernel workloads (paper: 16384).
+    pub n4: usize,
+    /// Random 8-kernel workloads (paper: 32768).
+    pub n8: usize,
+    /// Repetitions per workload (paper: 20; deterministic simulation makes
+    /// repetitions vary only through cost-sampling seeds).
+    pub reps: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper-sized sweep (625 / 16384 / 32768 / 20 reps).
+    pub fn full() -> Self {
+        SweepConfig { pairs: 625, n4: 16384, n8: 32768, reps: 20, seed: 2016 }
+    }
+
+    /// A laptop-scale default that keeps every distribution's shape
+    /// (625 pairs, 256 each of 4- and 8-kernel workloads, 3 reps).
+    pub fn default_scale() -> Self {
+        SweepConfig { pairs: 625, n4: 256, n8: 256, reps: 3, seed: 2016 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn test_scale() -> Self {
+        SweepConfig { pairs: 12, n4: 6, n8: 4, reps: 1, seed: 2016 }
+    }
+
+    /// The workloads of one request size (2, 4 or 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on request sizes other than 2, 4 or 8.
+    pub fn workloads(&self, request_size: usize) -> Vec<Workload> {
+        match request_size {
+            2 => {
+                let mut p = all_pairs();
+                p.truncate(self.pairs);
+                p
+            }
+            4 => random_combinations(4, self.n4, self.seed ^ 0x4444),
+            8 => random_combinations(8, self.n8, self.seed ^ 0x8888),
+            other => panic!("the paper evaluates 2, 4 and 8 requests, not {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_cover_the_square() {
+        let p = all_pairs();
+        assert_eq!(p.len(), 625);
+        assert!(p.iter().all(|w| w.len() == 2));
+        // First row pairs kernel 0 with every kernel.
+        assert!(p[..25].iter().all(|w| w[0].name == KernelSpec::all()[0].name));
+    }
+
+    #[test]
+    fn alphabetic_pairs_match_fig11() {
+        let p = alphabetic_pairs();
+        assert_eq!(p.len(), 13);
+        assert_eq!(p[0][0].name, "bfs");
+        assert_eq!(p[0][1].name, "cutcp");
+        assert_eq!(p[1][0].name, "histo_final");
+        assert_eq!(p[1][1].name, "histo_intermediates");
+    }
+
+    #[test]
+    fn random_combinations_are_seeded() {
+        let a = random_combinations(4, 10, 1);
+        let b = random_combinations(4, 10, 1);
+        let names = |w: &[Workload]| -> Vec<Vec<&str>> {
+            w.iter().map(|v| v.iter().map(|s| s.name).collect()).collect()
+        };
+        assert_eq!(names(&a), names(&b));
+        let c = random_combinations(4, 10, 2);
+        assert_ne!(names(&a), names(&c));
+        assert!(a.iter().all(|w| w.len() == 4));
+    }
+
+    #[test]
+    fn sweep_config_sizes() {
+        let full = SweepConfig::full();
+        assert_eq!(full.workloads(2).len(), 625);
+        assert_eq!(full.workloads(4).len(), 16384);
+        let test = SweepConfig::test_scale();
+        assert_eq!(test.workloads(8).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "2, 4 and 8")]
+    fn odd_request_sizes_rejected() {
+        let _ = SweepConfig::test_scale().workloads(3);
+    }
+}

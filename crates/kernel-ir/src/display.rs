@@ -1,0 +1,169 @@
+//! Textual form of the IR, for debugging, golden tests and diagnostics.
+//!
+//! The format is line-oriented and stable:
+//!
+//! ```text
+//! kernel void mop(%0: global f32* ina, %1: global f32* out) {
+//! bb0:
+//!   %2 = get_global_id 0
+//!   %3 = gep %1, %2
+//!   ...
+//!   ret
+//! }
+//! ```
+
+use crate::ir::{Function, FunctionKind, Inst, Module, Op, Terminator};
+use std::fmt;
+
+/// Wrapper that implements [`fmt::Display`] for a function.
+///
+/// # Examples
+///
+/// ```
+/// use kernel_ir::builder::FunctionBuilder;
+/// use kernel_ir::display::print_function;
+/// use kernel_ir::ir::FunctionKind;
+/// use kernel_ir::types::Type;
+///
+/// let mut b = FunctionBuilder::new("f", FunctionKind::Helper, Type::Void);
+/// b.ret(None);
+/// let f = b.finish();
+/// assert!(print_function(&f).contains("void f()"));
+/// ```
+pub fn print_function(func: &Function) -> String {
+    format!("{}", FunctionPrinter(func))
+}
+
+/// Print an entire module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for f in &module.functions {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+struct FunctionPrinter<'a>(&'a Function);
+
+impl fmt::Display for FunctionPrinter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let func = self.0;
+        if func.kind == FunctionKind::Kernel {
+            write!(f, "kernel ")?;
+        }
+        write!(f, "{} {}(", func.ret, func.name)?;
+        for (i, p) in func.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "%{i}: {} {}", p.ty, p.name)?;
+        }
+        writeln!(f, ") {{")?;
+        for (bid, block) in func.iter_blocks() {
+            writeln!(f, "{bid}:")?;
+            for inst in &block.insts {
+                write!(f, "  ")?;
+                write_inst(f, inst)?;
+                writeln!(f)?;
+            }
+            match &block.term {
+                Some(t) => {
+                    write!(f, "  ")?;
+                    write_term(f, t)?;
+                    writeln!(f)?;
+                }
+                None => writeln!(f, "  <unterminated>")?,
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+fn write_inst(f: &mut fmt::Formatter<'_>, inst: &Inst) -> fmt::Result {
+    if let Some(r) = inst.result {
+        write!(f, "{r} = ")?;
+    }
+    match &inst.op {
+        Op::Const(c) => write!(f, "const {c}"),
+        Op::Bin(op, a, b) => write!(f, "{} {a}, {b}", op.mnemonic()),
+        Op::Un(op, a) => write!(f, "{} {a}", op.mnemonic()),
+        Op::Cmp(op, a, b) => write!(f, "cmp.{} {a}, {b}", op.mnemonic()),
+        Op::Select(c, a, b) => write!(f, "select {c}, {a}, {b}"),
+        Op::Cast(ty, v) => write!(f, "cast {ty}, {v}"),
+        Op::Alloca { elem, count, space } => write!(f, "alloca {space} {elem} x {count}"),
+        Op::Load(p) => write!(f, "load {p}"),
+        Op::Store { ptr, value } => write!(f, "store {ptr}, {value}"),
+        Op::Gep { ptr, index } => write!(f, "gep {ptr}, {index}"),
+        Op::Call { callee, args } => {
+            write!(f, "call {callee}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")
+        }
+        Op::WorkItem { builtin, dim } => write!(f, "{} {dim}", builtin.name()),
+        Op::AtomicRmw { op, ptr, value } => write!(f, "{} {ptr}, {value}", op.mnemonic()),
+        Op::AtomicCmpXchg { ptr, expected, desired } => {
+            write!(f, "atomic_cmpxchg {ptr}, {expected}, {desired}")
+        }
+        Op::Barrier => write!(f, "barrier"),
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, term: &Terminator) -> fmt::Result {
+    match term {
+        Terminator::Br(b) => write!(f, "br {b}"),
+        Terminator::CondBr { cond, then_bb, else_bb } => {
+            write!(f, "condbr {cond}, {then_bb}, {else_bb}")
+        }
+        Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+        Terminator::Ret(None) => write!(f, "ret"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{BinOp, CmpOp, FunctionKind, WiBuiltin};
+    use crate::types::{AddressSpace, Type};
+
+    #[test]
+    fn prints_kernel_with_all_shapes() {
+        let mut b = FunctionBuilder::new("mop", FunctionKind::Kernel, Type::Void);
+        let buf = b.add_param("out", Type::ptr(AddressSpace::Global, Type::F32));
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let p = b.gep(buf, gid);
+        let v = b.load(p);
+        let c = b.const_f32(1.0);
+        let s = b.bin(BinOp::Add, v, c);
+        let cnd = b.cmp(CmpOp::Lt, gid, gid);
+        let sel = b.select(cnd, s, v);
+        b.store(p, sel);
+        b.barrier();
+        b.ret(None);
+        let text = print_function(&b.finish());
+        assert!(text.contains("kernel void mop(%0: global f32* out)"));
+        assert!(text.contains("get_global_id 0"));
+        assert!(text.contains("cmp.lt"));
+        assert!(text.contains("select"));
+        assert!(text.contains("barrier"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn prints_module() {
+        let mut b = FunctionBuilder::new("f", FunctionKind::Helper, Type::I32);
+        let x = b.add_param("x", Type::I32);
+        b.ret(Some(x));
+        let mut m = Module::new();
+        m.insert_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("i32 f(%0: i32 x)"));
+        assert!(text.contains("ret %0"));
+    }
+}

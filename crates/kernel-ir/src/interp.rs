@@ -1,0 +1,1540 @@
+//! Functional interpreter for kernels over an NDRange.
+//!
+//! This is the reproduction's stand-in for actually running kernels on a GPU:
+//! it executes IR work-item by work-item with correct work-group semantics —
+//! shared `local` memory, barrier synchronisation (round-robin execution of
+//! work items between barriers), and sequentially-consistent atomics. It is
+//! used to check that the accelOS JIT transformation preserves kernel
+//! semantics (differential testing of original vs transformed modules) and to
+//! collect dynamic instruction counts that calibrate the timing simulator.
+//!
+//! Work groups execute one after another; work items of a group are
+//! interleaved only at barriers. That is a legal OpenCL schedule, so any
+//! kernel that is correct under OpenCL's execution model produces its
+//! intended result here (and kernels relying on cross-group scheduling order
+//! are detectably wrong).
+
+use crate::error::InterpError;
+use crate::ir::{
+    AtomicOp, BinOp, BlockId, CmpOp, ConstVal, Function, FunctionKind, Module, Op, Terminator,
+    UnOp, ValueId, WiBuiltin,
+};
+use crate::types::{AddressSpace, Type};
+
+/// Identifier of a device global-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u32);
+
+/// Simulated device global memory: a set of byte buffers.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceMemory {
+    buffers: Vec<Vec<u8>>,
+}
+
+impl DeviceMemory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        DeviceMemory::default()
+    }
+
+    /// Allocate a zero-initialised buffer of `bytes` bytes.
+    pub fn alloc(&mut self, bytes: usize) -> BufferId {
+        self.buffers.push(vec![0u8; bytes]);
+        BufferId(self.buffers.len() as u32 - 1)
+    }
+
+    /// Total bytes currently allocated.
+    pub fn total_bytes(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    /// Raw bytes of a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this memory's [`alloc`](Self::alloc).
+    pub fn bytes(&self, id: BufferId) -> &[u8] {
+        &self.buffers[id.0 as usize]
+    }
+
+    /// Mutable raw bytes of a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this memory's [`alloc`](Self::alloc).
+    pub fn bytes_mut(&mut self, id: BufferId) -> &mut [u8] {
+        &mut self.buffers[id.0 as usize]
+    }
+
+    /// Write a slice of `f32` starting at element 0 (host → device copy).
+    pub fn write_f32(&mut self, id: BufferId, data: &[f32]) {
+        let dst = self.bytes_mut(id);
+        for (i, v) in data.iter().enumerate() {
+            dst[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read the buffer as `f32` elements (device → host copy).
+    pub fn read_f32(&self, id: BufferId) -> Vec<f32> {
+        self.bytes(id)
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Write a slice of `i32` starting at element 0.
+    pub fn write_i32(&mut self, id: BufferId, data: &[i32]) {
+        let dst = self.bytes_mut(id);
+        for (i, v) in data.iter().enumerate() {
+            dst[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read the buffer as `i32` elements.
+    pub fn read_i32(&self, id: BufferId) -> Vec<i32> {
+        self.bytes(id)
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Write a slice of `i64` starting at element 0.
+    pub fn write_i64(&mut self, id: BufferId, data: &[i64]) {
+        let dst = self.bytes_mut(id);
+        for (i, v) in data.iter().enumerate() {
+            dst[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read the buffer as `i64` elements.
+    pub fn read_i64(&self, id: BufferId) -> Vec<i64> {
+        self.bytes(id)
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+/// Which arena a pointer refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arena {
+    /// A global-memory buffer.
+    Global(BufferId),
+    /// The current work group's local memory.
+    Local,
+    /// The current work item's private memory.
+    Private,
+}
+
+/// A runtime pointer value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PtrVal {
+    /// Target arena.
+    pub arena: Arena,
+    /// Byte offset within the arena (may go negative mid-arithmetic; bounds
+    /// are enforced at access time).
+    pub byte_off: i64,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+    /// Pointer.
+    Ptr(PtrVal),
+}
+
+impl Value {
+    fn as_bool(self) -> Result<bool, InterpError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            other => Err(InterpError::Invalid(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    fn as_i64(self) -> Result<i64, InterpError> {
+        match self {
+            Value::I32(v) => Ok(v as i64),
+            Value::I64(v) => Ok(v),
+            other => Err(InterpError::Invalid(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    fn as_ptr(self) -> Result<PtrVal, InterpError> {
+        match self {
+            Value::Ptr(p) => Ok(p),
+            other => Err(InterpError::Invalid(format!("expected pointer, got {other:?}"))),
+        }
+    }
+}
+
+/// Kernel launch geometry (OpenCL NDRange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Number of dimensions in use (1..=3).
+    pub work_dim: u8,
+    /// Global size per dimension (unused dims = 1).
+    pub global: [usize; 3],
+    /// Work-group size per dimension (unused dims = 1).
+    pub local: [usize; 3],
+}
+
+impl NdRange {
+    /// One-dimensional range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is zero or does not divide `global`.
+    pub fn new_1d(global: usize, local: usize) -> Self {
+        let r = NdRange { work_dim: 1, global: [global, 1, 1], local: [local, 1, 1] };
+        r.validate();
+        r
+    }
+
+    /// Two-dimensional range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local size is zero or does not divide its global size.
+    pub fn new_2d(global: [usize; 2], local: [usize; 2]) -> Self {
+        let r = NdRange {
+            work_dim: 2,
+            global: [global[0], global[1], 1],
+            local: [local[0], local[1], 1],
+        };
+        r.validate();
+        r
+    }
+
+    /// Three-dimensional range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any local size is zero or does not divide its global size.
+    pub fn new_3d(global: [usize; 3], local: [usize; 3]) -> Self {
+        let r = NdRange { work_dim: 3, global, local };
+        r.validate();
+        r
+    }
+
+    fn validate(&self) {
+        for d in 0..3 {
+            assert!(self.local[d] > 0, "local size must be positive");
+            assert!(
+                self.global[d] % self.local[d] == 0,
+                "global size {} not divisible by local size {} in dim {d}",
+                self.global[d],
+                self.local[d]
+            );
+        }
+    }
+
+    /// Number of work groups per dimension.
+    pub fn num_groups(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Total number of work groups.
+    pub fn total_groups(&self) -> usize {
+        let g = self.num_groups();
+        g[0] * g[1] * g[2]
+    }
+
+    /// Work items per group.
+    pub fn wg_size(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Total number of work items.
+    pub fn total_items(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+}
+
+/// A kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Global/constant buffer argument.
+    Buffer(BufferId),
+    /// Scalar argument.
+    Scalar(Value),
+    /// Dynamically sized `local` pointer argument: number of *elements*
+    /// (element type comes from the kernel signature), mirroring
+    /// `clSetKernelArg(k, i, n * sizeof(T), NULL)`.
+    Local {
+        /// Element count.
+        elems: u32,
+    },
+}
+
+/// Dynamic execution statistics of one kernel launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynStats {
+    /// Executed (non-terminator) instructions per work group, indexed by flat
+    /// group id.
+    pub insns_per_wg: Vec<u64>,
+    /// Total executed instructions.
+    pub total_insns: u64,
+    /// Executed loads + stores.
+    pub mem_ops: u64,
+    /// Executed atomic operations.
+    pub atomic_ops: u64,
+    /// Executed barriers (per work item).
+    pub barriers: u64,
+}
+
+impl DynStats {
+    /// Coefficient of variation of per-work-group instruction counts — the
+    /// "work-group imbalance" that makes dynamic scheduling win (paper §8.5).
+    pub fn wg_imbalance(&self) -> f64 {
+        let n = self.insns_per_wg.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.insns_per_wg.iter().sum::<u64>() as f64 / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .insns_per_wg
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Interpreter tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpConfig {
+    /// Maximum instructions one work item may execute (runaway-loop guard).
+    pub step_limit: u64,
+    /// Local memory capacity in bytes per work group (checked at launch).
+    pub local_mem_capacity: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { step_limit: 50_000_000, local_mem_capacity: 1 << 20 }
+    }
+}
+
+/// Interpreter size of one element (pointers are serialised as 16 bytes:
+/// tag + buffer id + offset; scalar types use their natural size).
+fn interp_size(ty: &Type) -> usize {
+    match ty {
+        Type::Ptr { .. } => 16,
+        other => other.byte_size(),
+    }
+}
+
+fn encode_value(v: Value, out: &mut [u8]) {
+    match v {
+        Value::Bool(b) => out[0] = b as u8,
+        Value::I32(x) => out[..4].copy_from_slice(&x.to_le_bytes()),
+        Value::F32(x) => out[..4].copy_from_slice(&x.to_le_bytes()),
+        Value::I64(x) => out[..8].copy_from_slice(&x.to_le_bytes()),
+        Value::F64(x) => out[..8].copy_from_slice(&x.to_le_bytes()),
+        Value::Ptr(p) => {
+            let (tag, id): (u8, u32) = match p.arena {
+                Arena::Global(b) => (0, b.0),
+                Arena::Local => (1, 0),
+                Arena::Private => (2, 0),
+            };
+            out[0] = tag;
+            out[1..4].fill(0);
+            out[4..8].copy_from_slice(&id.to_le_bytes());
+            out[8..16].copy_from_slice(&p.byte_off.to_le_bytes());
+        }
+    }
+}
+
+fn decode_value(ty: &Type, bytes: &[u8]) -> Value {
+    match ty {
+        Type::Bool => Value::Bool(bytes[0] != 0),
+        Type::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
+        Type::F32 => Value::F32(f32::from_le_bytes(bytes[..4].try_into().unwrap())),
+        Type::I64 => Value::I64(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
+        Type::F64 => Value::F64(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
+        Type::Ptr { .. } => {
+            let tag = bytes[0];
+            let id = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            let off = i64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            let arena = match tag {
+                0 => Arena::Global(BufferId(id)),
+                1 => Arena::Local,
+                _ => Arena::Private,
+            };
+            Value::Ptr(PtrVal { arena, byte_off: off })
+        }
+        Type::Void => unreachable!("void cannot be decoded"),
+    }
+}
+
+/// Per-work-item coordinates.
+#[derive(Debug, Clone, Copy)]
+struct WiCtx {
+    global_id: [usize; 3],
+    local_id: [usize; 3],
+    group_id: [usize; 3],
+}
+
+#[derive(Debug)]
+struct Frame {
+    func_idx: usize,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<Option<Value>>,
+    /// Register in the *caller* frame to receive our return value.
+    ret_dst: Option<ValueId>,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum WiStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+struct WorkItem {
+    ctx: WiCtx,
+    frames: Vec<Frame>,
+    private: Vec<u8>,
+    status: WiStatus,
+    steps: u64,
+}
+
+/// The kernel interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use kernel_ir::builder::FunctionBuilder;
+/// use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange};
+/// use kernel_ir::ir::{FunctionKind, Module, WiBuiltin};
+/// use kernel_ir::types::{AddressSpace, Type};
+///
+/// # fn main() -> Result<(), kernel_ir::error::InterpError> {
+/// // kernel void iota(global i64* out) { out[gid] = gid; }
+/// let mut b = FunctionBuilder::new("iota", FunctionKind::Kernel, Type::Void);
+/// let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I64));
+/// let gid = b.work_item(WiBuiltin::GlobalId, 0);
+/// let p = b.gep(out, gid);
+/// b.store(p, gid);
+/// b.ret(None);
+/// let mut m = Module::new();
+/// m.insert_function(b.finish());
+///
+/// let mut mem = DeviceMemory::new();
+/// let buf = mem.alloc(8 * 8);
+/// Interpreter::new(&m).run_kernel(
+///     &mut mem, "iota", NdRange::new_1d(8, 4), &[ArgValue::Buffer(buf)],
+/// )?;
+/// assert_eq!(mem.read_i64(buf), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    config: InterpConfig,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Interpreter over `module` with default configuration.
+    pub fn new(module: &'m Module) -> Self {
+        Interpreter { module, config: InterpConfig::default() }
+    }
+
+    /// Interpreter with an explicit configuration.
+    pub fn with_config(module: &'m Module, config: InterpConfig) -> Self {
+        Interpreter { module, config }
+    }
+
+    /// Execute `kernel` over `ndrange` with `args`, mutating `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] on argument mismatches, out-of-bounds
+    /// accesses, division by zero, barrier divergence, or exceeding the step
+    /// limit.
+    pub fn run_kernel(
+        &self,
+        mem: &mut DeviceMemory,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[ArgValue],
+    ) -> Result<DynStats, InterpError> {
+        let (func_idx, func) = self
+            .module
+            .functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == kernel)
+            .ok_or_else(|| InterpError::UnknownFunction(kernel.into()))?;
+        if func.kind != FunctionKind::Kernel {
+            return Err(InterpError::Invalid(format!("`{kernel}` is not a kernel")));
+        }
+        if func.params.len() != args.len() {
+            return Err(InterpError::ArgMismatch(format!(
+                "kernel `{kernel}` takes {} args, got {}",
+                func.params.len(),
+                args.len()
+            )));
+        }
+
+        // Resolve arguments to runtime values; local args get arena offsets
+        // assigned per work group (same layout every group).
+        let mut arg_plan: Vec<ArgPlan> = Vec::with_capacity(args.len());
+        let mut local_bytes = 0usize;
+        for (i, (arg, param)) in args.iter().zip(&func.params).enumerate() {
+            match (arg, &param.ty) {
+                (ArgValue::Buffer(b), Type::Ptr { space, .. })
+                    if matches!(space, AddressSpace::Global | AddressSpace::Constant) =>
+                {
+                    if b.0 as usize >= mem.buffers.len() {
+                        return Err(InterpError::ArgMismatch(format!(
+                            "argument {i}: unknown buffer {b:?}"
+                        )));
+                    }
+                    arg_plan.push(ArgPlan::Value(Value::Ptr(PtrVal {
+                        arena: Arena::Global(*b),
+                        byte_off: 0,
+                    })));
+                }
+                (ArgValue::Local { elems }, Type::Ptr { space: AddressSpace::Local, elem }) => {
+                    let off = local_bytes;
+                    local_bytes += interp_size(elem) * (*elems as usize);
+                    arg_plan.push(ArgPlan::Value(Value::Ptr(PtrVal {
+                        arena: Arena::Local,
+                        byte_off: off as i64,
+                    })));
+                }
+                (ArgValue::Scalar(v), ty) => {
+                    let ok = matches!(
+                        (v, ty),
+                        (Value::Bool(_), Type::Bool)
+                            | (Value::I32(_), Type::I32)
+                            | (Value::I64(_), Type::I64)
+                            | (Value::F32(_), Type::F32)
+                            | (Value::F64(_), Type::F64)
+                    );
+                    if !ok {
+                        return Err(InterpError::ArgMismatch(format!(
+                            "argument {i} (`{}`): scalar {v:?} does not match {ty}",
+                            param.name
+                        )));
+                    }
+                    arg_plan.push(ArgPlan::Value(*v));
+                }
+                (a, ty) => {
+                    return Err(InterpError::ArgMismatch(format!(
+                        "argument {i} (`{}`): {a:?} does not match {ty}",
+                        param.name
+                    )));
+                }
+            }
+        }
+
+        // Pre-plan static local allocas of the kernel: one slot per alloca
+        // instruction, shared by all work items of a group.
+        let mut static_local: Vec<(BlockId, usize, usize)> = Vec::new(); // (block, ip, offset)
+        for (bid, block) in func.iter_blocks() {
+            for (ip, inst) in block.insts.iter().enumerate() {
+                if let Op::Alloca { elem, count, space: AddressSpace::Local } = &inst.op {
+                    static_local.push((bid, ip, local_bytes));
+                    local_bytes += interp_size(elem) * (*count as usize);
+                }
+            }
+        }
+        if local_bytes > self.config.local_mem_capacity {
+            return Err(InterpError::Invalid(format!(
+                "work group needs {local_bytes} bytes of local memory, capacity is {}",
+                self.config.local_mem_capacity
+            )));
+        }
+
+        let groups = ndrange.num_groups();
+        let mut stats = DynStats {
+            insns_per_wg: Vec::with_capacity(ndrange.total_groups()),
+            ..DynStats::default()
+        };
+        for gz in 0..groups[2] {
+            for gy in 0..groups[1] {
+                for gx in 0..groups[0] {
+                    let wg_insns = self.run_work_group(
+                        mem,
+                        func_idx,
+                        func,
+                        ndrange,
+                        [gx, gy, gz],
+                        &arg_plan,
+                        &static_local,
+                        local_bytes,
+                        &mut stats,
+                    )?;
+                    stats.insns_per_wg.push(wg_insns);
+                }
+            }
+        }
+        stats.total_insns = stats.insns_per_wg.iter().sum();
+        Ok(stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_work_group(
+        &self,
+        mem: &mut DeviceMemory,
+        func_idx: usize,
+        func: &Function,
+        ndrange: NdRange,
+        group_id: [usize; 3],
+        arg_plan: &[ArgPlan],
+        static_local: &[(BlockId, usize, usize)],
+        local_bytes: usize,
+        stats: &mut DynStats,
+    ) -> Result<u64, InterpError> {
+        let mut local = vec![0u8; local_bytes];
+        let mut items: Vec<WorkItem> = Vec::with_capacity(ndrange.wg_size());
+        for lz in 0..ndrange.local[2] {
+            for ly in 0..ndrange.local[1] {
+                for lx in 0..ndrange.local[0] {
+                    let ctx = WiCtx {
+                        local_id: [lx, ly, lz],
+                        group_id,
+                        global_id: [
+                            group_id[0] * ndrange.local[0] + lx,
+                            group_id[1] * ndrange.local[1] + ly,
+                            group_id[2] * ndrange.local[2] + lz,
+                        ],
+                    };
+                    let mut regs = vec![None; func.value_types.len()];
+                    for (i, plan) in arg_plan.iter().enumerate() {
+                        let ArgPlan::Value(v) = plan;
+                        regs[i] = Some(*v);
+                    }
+                    items.push(WorkItem {
+                        ctx,
+                        frames: vec![Frame {
+                            func_idx,
+                            block: BlockId(0),
+                            ip: 0,
+                            regs,
+                            ret_dst: None,
+                        }],
+                        private: Vec::new(),
+                        status: WiStatus::Running,
+                        steps: 0,
+                    });
+                }
+            }
+        }
+
+        let mut wg_insns: u64 = 0;
+        loop {
+            for item in items.iter_mut() {
+                if item.status == WiStatus::Done {
+                    continue;
+                }
+                item.status = WiStatus::Running;
+                self.run_until_pause(mem, &mut local, static_local, ndrange, item, stats, &mut wg_insns)?;
+            }
+            // After run_until_pause every item is Done or AtBarrier.
+            let done = items.iter().filter(|i| i.status == WiStatus::Done).count();
+            if done == items.len() {
+                break;
+            }
+            if done > 0 {
+                let at_barrier = items.len() - done;
+                return Err(InterpError::BarrierDivergence(format!(
+                    "{done} work items finished while {at_barrier} wait at a barrier"
+                )));
+            }
+            // All at barrier: release and continue.
+        }
+        Ok(wg_insns)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_until_pause(
+        &self,
+        mem: &mut DeviceMemory,
+        local: &mut Vec<u8>,
+        static_local: &[(BlockId, usize, usize)],
+        ndrange: NdRange,
+        item: &mut WorkItem,
+        stats: &mut DynStats,
+        wg_insns: &mut u64,
+    ) -> Result<(), InterpError> {
+        loop {
+            if item.frames.is_empty() {
+                item.status = WiStatus::Done;
+                return Ok(());
+            }
+            item.steps += 1;
+            if item.steps > self.config.step_limit {
+                return Err(InterpError::StepLimitExceeded(self.config.step_limit));
+            }
+            let frame = item.frames.last_mut().unwrap();
+            let func = &self.module.functions[frame.func_idx];
+            let block = &func.blocks[frame.block.index()];
+
+            if frame.ip >= block.insts.len() {
+                // Terminator.
+                match block.term.as_ref().expect("verified function") {
+                    Terminator::Br(b) => {
+                        frame.block = *b;
+                        frame.ip = 0;
+                    }
+                    Terminator::CondBr { cond, then_bb, else_bb } => {
+                        let c = get_reg(frame, *cond)?.as_bool()?;
+                        frame.block = if c { *then_bb } else { *else_bb };
+                        frame.ip = 0;
+                    }
+                    Terminator::Ret(v) => {
+                        let rv = match v {
+                            Some(v) => Some(get_reg(frame, *v)?),
+                            None => None,
+                        };
+                        let ret_dst = frame.ret_dst;
+                        item.frames.pop();
+                        if let (Some(dst), Some(val)) = (ret_dst, rv) {
+                            if let Some(caller) = item.frames.last_mut() {
+                                caller.regs[dst.index()] = Some(val);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
+            let inst = &block.insts[frame.ip];
+            *wg_insns += 1;
+            let cur_ip = frame.ip;
+            let cur_block = frame.block;
+            frame.ip += 1;
+
+            match &inst.op {
+                Op::Const(c) => {
+                    let v = match c {
+                        ConstVal::Bool(b) => Value::Bool(*b),
+                        ConstVal::I32(x) => Value::I32(*x),
+                        ConstVal::I64(x) => Value::I64(*x),
+                        ConstVal::F32(x) => Value::F32(*x),
+                        ConstVal::F64(x) => Value::F64(*x),
+                    };
+                    set_result(item, inst.result, v);
+                }
+                Op::Bin(op, a, b) => {
+                    let frame = item.frames.last().unwrap();
+                    let va = get_reg(frame, *a)?;
+                    let vb = get_reg(frame, *b)?;
+                    let v = eval_bin(*op, va, vb)?;
+                    set_result(item, inst.result, v);
+                }
+                Op::Un(op, a) => {
+                    let frame = item.frames.last().unwrap();
+                    let va = get_reg(frame, *a)?;
+                    let v = eval_un(*op, va)?;
+                    set_result(item, inst.result, v);
+                }
+                Op::Cmp(op, a, b) => {
+                    let frame = item.frames.last().unwrap();
+                    let va = get_reg(frame, *a)?;
+                    let vb = get_reg(frame, *b)?;
+                    let v = Value::Bool(eval_cmp(*op, va, vb)?);
+                    set_result(item, inst.result, v);
+                }
+                Op::Select(c, a, b) => {
+                    let frame = item.frames.last().unwrap();
+                    let cond = get_reg(frame, *c)?.as_bool()?;
+                    let v = if cond { get_reg(frame, *a)? } else { get_reg(frame, *b)? };
+                    set_result(item, inst.result, v);
+                }
+                Op::Cast(ty, a) => {
+                    let frame = item.frames.last().unwrap();
+                    let va = get_reg(frame, *a)?;
+                    let v = eval_cast(ty, va)?;
+                    set_result(item, inst.result, v);
+                }
+                Op::Alloca { elem, count, space } => {
+                    let bytes = interp_size(elem) * (*count as usize);
+                    let ptr = match space {
+                        AddressSpace::Private => {
+                            let off = item.private.len();
+                            item.private.resize(off + bytes, 0);
+                            PtrVal { arena: Arena::Private, byte_off: off as i64 }
+                        }
+                        AddressSpace::Local => {
+                            // Pre-planned shared slot.
+                            let off = static_local
+                                .iter()
+                                .find(|(b, ip, _)| *b == cur_block && *ip == cur_ip)
+                                .map(|(_, _, off)| *off)
+                                .ok_or_else(|| {
+                                    InterpError::Invalid(
+                                        "local alloca outside the kernel entry function".into(),
+                                    )
+                                })?;
+                            PtrVal { arena: Arena::Local, byte_off: off as i64 }
+                        }
+                        other => {
+                            return Err(InterpError::Invalid(format!("alloca in {other}")));
+                        }
+                    };
+                    set_result(item, inst.result, Value::Ptr(ptr));
+                }
+                Op::Load(p) => {
+                    stats.mem_ops += 1;
+                    let frame = item.frames.last().unwrap();
+                    let ptr = get_reg(frame, *p)?.as_ptr()?;
+                    let ty = func
+                        .value_type(inst.result.expect("load has a result"))
+                        .clone();
+                    let size = interp_size(&ty);
+                    let v = {
+                        let bytes = self.arena_bytes(mem, local, item, ptr, size)?;
+                        decode_value(&ty, bytes)
+                    };
+                    set_result(item, inst.result, v);
+                }
+                Op::Store { ptr, value } => {
+                    stats.mem_ops += 1;
+                    let frame = item.frames.last().unwrap();
+                    let p = get_reg(frame, *ptr)?.as_ptr()?;
+                    let v = get_reg(frame, *value)?;
+                    let size = match v {
+                        Value::Bool(_) => 1,
+                        Value::I32(_) | Value::F32(_) => 4,
+                        Value::I64(_) | Value::F64(_) => 8,
+                        Value::Ptr(_) => 16,
+                    };
+                    let bytes = self.arena_bytes_mut(mem, local, item, p, size)?;
+                    encode_value(v, bytes);
+                }
+                Op::Gep { ptr, index } => {
+                    let frame = item.frames.last().unwrap();
+                    let p = get_reg(frame, *ptr)?.as_ptr()?;
+                    let idx = get_reg(frame, *index)?.as_i64()?;
+                    let stride = interp_size(
+                        func.value_type(*ptr)
+                            .pointee()
+                            .ok_or_else(|| InterpError::Invalid("gep on non-pointer".into()))?,
+                    );
+                    let v = Value::Ptr(PtrVal {
+                        arena: p.arena,
+                        byte_off: p.byte_off + idx * stride as i64,
+                    });
+                    set_result(item, inst.result, v);
+                }
+                Op::Call { callee, args } => {
+                    let (callee_idx, callee_fn) = self
+                        .module
+                        .functions
+                        .iter()
+                        .enumerate()
+                        .find(|(_, f)| f.name == *callee)
+                        .ok_or_else(|| InterpError::UnknownFunction(callee.clone()))?;
+                    let frame = item.frames.last().unwrap();
+                    let mut regs = vec![None; callee_fn.value_types.len()];
+                    for (i, a) in args.iter().enumerate() {
+                        regs[i] = Some(get_reg(frame, *a)?);
+                    }
+                    item.frames.push(Frame {
+                        func_idx: callee_idx,
+                        block: BlockId(0),
+                        ip: 0,
+                        regs,
+                        ret_dst: inst.result,
+                    });
+                }
+                Op::WorkItem { builtin, dim } => {
+                    let d = *dim as usize;
+                    let c = &item.ctx;
+                    let v = match builtin {
+                        WiBuiltin::GlobalId => c.global_id[d],
+                        WiBuiltin::LocalId => c.local_id[d],
+                        WiBuiltin::GroupId => c.group_id[d],
+                        WiBuiltin::GlobalSize => ndrange.global[d],
+                        WiBuiltin::LocalSize => ndrange.local[d],
+                        WiBuiltin::NumGroups => ndrange.num_groups()[d],
+                        WiBuiltin::WorkDim => ndrange.work_dim as usize,
+                    };
+                    set_result(item, inst.result, Value::I64(v as i64));
+                }
+                Op::AtomicRmw { op, ptr, value } => {
+                    stats.atomic_ops += 1;
+                    let frame = item.frames.last().unwrap();
+                    let p = get_reg(frame, *ptr)?.as_ptr()?;
+                    let v = get_reg(frame, *value)?;
+                    let is64 = matches!(v, Value::I64(_));
+                    let size = if is64 { 8 } else { 4 };
+                    let bytes = self.arena_bytes_mut(mem, local, item, p, size)?;
+                    let old = if is64 {
+                        let old = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                        let operand = v.as_i64()?;
+                        let new = apply_atomic(*op, old, operand);
+                        bytes[..8].copy_from_slice(&new.to_le_bytes());
+                        Value::I64(old)
+                    } else {
+                        let old = i32::from_le_bytes(bytes[..4].try_into().unwrap());
+                        let operand = match v {
+                            Value::I32(x) => x,
+                            _ => return Err(InterpError::Invalid("atomic operand type".into())),
+                        };
+                        let new = apply_atomic(*op, old as i64, operand as i64) as i32;
+                        bytes[..4].copy_from_slice(&new.to_le_bytes());
+                        Value::I32(old)
+                    };
+                    set_result(item, inst.result, old);
+                }
+                Op::AtomicCmpXchg { ptr, expected, desired } => {
+                    stats.atomic_ops += 1;
+                    let frame = item.frames.last().unwrap();
+                    let p = get_reg(frame, *ptr)?.as_ptr()?;
+                    let exp = get_reg(frame, *expected)?;
+                    let des = get_reg(frame, *desired)?;
+                    let is64 = matches!(des, Value::I64(_));
+                    let size = if is64 { 8 } else { 4 };
+                    let bytes = self.arena_bytes_mut(mem, local, item, p, size)?;
+                    let old = if is64 {
+                        let old = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                        if old == exp.as_i64()? {
+                            bytes[..8].copy_from_slice(&des.as_i64()?.to_le_bytes());
+                        }
+                        Value::I64(old)
+                    } else {
+                        let old = i32::from_le_bytes(bytes[..4].try_into().unwrap());
+                        if old as i64 == exp.as_i64()? {
+                            bytes[..4]
+                                .copy_from_slice(&(des.as_i64()? as i32).to_le_bytes());
+                        }
+                        Value::I32(old)
+                    };
+                    set_result(item, inst.result, old);
+                }
+                Op::Barrier => {
+                    stats.barriers += 1;
+                    item.status = WiStatus::AtBarrier;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn arena_bytes<'a>(
+        &self,
+        mem: &'a DeviceMemory,
+        local: &'a [u8],
+        item: &'a WorkItem,
+        p: PtrVal,
+        size: usize,
+    ) -> Result<&'a [u8], InterpError> {
+        let (storage, what): (&[u8], &str) = match p.arena {
+            Arena::Global(b) => {
+                let idx = b.0 as usize;
+                if idx >= mem.buffers.len() {
+                    return Err(InterpError::Invalid(format!("dangling buffer {b:?}")));
+                }
+                (&mem.buffers[idx], "global buffer")
+            }
+            Arena::Local => (local, "local memory"),
+            Arena::Private => (&item.private, "private memory"),
+        };
+        bounds(storage, p.byte_off, size, what)?;
+        let off = p.byte_off as usize;
+        Ok(&storage[off..off + size])
+    }
+
+    fn arena_bytes_mut<'a>(
+        &self,
+        mem: &'a mut DeviceMemory,
+        local: &'a mut [u8],
+        item: &'a mut WorkItem,
+        p: PtrVal,
+        size: usize,
+    ) -> Result<&'a mut [u8], InterpError> {
+        let (storage, what): (&mut [u8], &str) = match p.arena {
+            Arena::Global(b) => {
+                let idx = b.0 as usize;
+                if idx >= mem.buffers.len() {
+                    return Err(InterpError::Invalid(format!("dangling buffer {b:?}")));
+                }
+                (&mut mem.buffers[idx], "global buffer")
+            }
+            Arena::Local => (local, "local memory"),
+            Arena::Private => (&mut item.private, "private memory"),
+        };
+        bounds(storage, p.byte_off, size, what)?;
+        let off = p.byte_off as usize;
+        Ok(&mut storage[off..off + size])
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArgPlan {
+    Value(Value),
+}
+
+fn bounds(storage: &[u8], off: i64, size: usize, what: &str) -> Result<(), InterpError> {
+    if off < 0 || (off as usize) + size > storage.len() {
+        return Err(InterpError::OutOfBounds {
+            what: what.into(),
+            offset: off.max(0) as usize,
+            size: storage.len(),
+        });
+    }
+    Ok(())
+}
+
+fn get_reg(frame: &Frame, v: ValueId) -> Result<Value, InterpError> {
+    frame.regs[v.index()]
+        .ok_or_else(|| InterpError::Invalid(format!("read of undefined value {v}")))
+}
+
+fn set_result(item: &mut WorkItem, result: Option<ValueId>, v: Value) {
+    if let Some(r) = result {
+        let frame = item.frames.last_mut().unwrap();
+        frame.regs[r.index()] = Some(v);
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, InterpError> {
+    use BinOp::*;
+    Ok(match (a, b) {
+        (Value::I32(x), Value::I32(y)) => Value::I32(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(InterpError::DivideByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(InterpError::DivideByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+            Min => x.min(y),
+            Max => x.max(y),
+        }),
+        (Value::I64(x), Value::I64(y)) => Value::I64(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(InterpError::DivideByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(InterpError::DivideByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+            Min => x.min(y),
+            Max => x.max(y),
+        }),
+        (Value::F32(x), Value::F32(y)) => Value::F32(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Min => x.min(y),
+            Max => x.max(y),
+            other => {
+                return Err(InterpError::Invalid(format!(
+                    "float op `{}` unsupported",
+                    other.mnemonic()
+                )))
+            }
+        }),
+        (Value::F64(x), Value::F64(y)) => Value::F64(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Min => x.min(y),
+            Max => x.max(y),
+            other => {
+                return Err(InterpError::Invalid(format!(
+                    "float op `{}` unsupported",
+                    other.mnemonic()
+                )))
+            }
+        }),
+        (a, b) => {
+            return Err(InterpError::Invalid(format!(
+                "binop on mismatched values {a:?} and {b:?}"
+            )))
+        }
+    })
+}
+
+fn eval_un(op: UnOp, a: Value) -> Result<Value, InterpError> {
+    Ok(match (op, a) {
+        (UnOp::Neg, Value::I32(x)) => Value::I32(x.wrapping_neg()),
+        (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
+        (UnOp::Neg, Value::F32(x)) => Value::F32(-x),
+        (UnOp::Neg, Value::F64(x)) => Value::F64(-x),
+        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+        (UnOp::Abs, Value::I32(x)) => Value::I32(x.wrapping_abs()),
+        (UnOp::Abs, Value::I64(x)) => Value::I64(x.wrapping_abs()),
+        (UnOp::Abs, Value::F32(x)) => Value::F32(x.abs()),
+        (UnOp::Abs, Value::F64(x)) => Value::F64(x.abs()),
+        (UnOp::Sqrt, Value::F32(x)) => Value::F32(x.sqrt()),
+        (UnOp::Sqrt, Value::F64(x)) => Value::F64(x.sqrt()),
+        (UnOp::Exp, Value::F32(x)) => Value::F32(x.exp()),
+        (UnOp::Exp, Value::F64(x)) => Value::F64(x.exp()),
+        (UnOp::Log, Value::F32(x)) => Value::F32(x.ln()),
+        (UnOp::Log, Value::F64(x)) => Value::F64(x.ln()),
+        (UnOp::Sin, Value::F32(x)) => Value::F32(x.sin()),
+        (UnOp::Sin, Value::F64(x)) => Value::F64(x.sin()),
+        (UnOp::Cos, Value::F32(x)) => Value::F32(x.cos()),
+        (UnOp::Cos, Value::F64(x)) => Value::F64(x.cos()),
+        (UnOp::Floor, Value::F32(x)) => Value::F32(x.floor()),
+        (UnOp::Floor, Value::F64(x)) => Value::F64(x.floor()),
+        (UnOp::Ceil, Value::F32(x)) => Value::F32(x.ceil()),
+        (UnOp::Ceil, Value::F64(x)) => Value::F64(x.ceil()),
+        (op, a) => {
+            return Err(InterpError::Invalid(format!("unop {} on {a:?}", op.mnemonic())))
+        }
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Result<bool, InterpError> {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (Value::I32(x), Value::I32(y)) => x.cmp(&y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(&y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(&y),
+        (Value::F32(x), Value::F32(y)) => {
+            return Ok(float_cmp(op, x.partial_cmp(&y)));
+        }
+        (Value::F64(x), Value::F64(y)) => {
+            return Ok(float_cmp(op, x.partial_cmp(&y)));
+        }
+        (Value::Ptr(x), Value::Ptr(y)) => x.byte_off.cmp(&y.byte_off),
+        (a, b) => {
+            return Err(InterpError::Invalid(format!("cmp on {a:?} and {b:?}")));
+        }
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+fn float_cmp(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering;
+    match (op, ord) {
+        (_, None) => matches!(op, CmpOp::Ne), // NaN: only != is true
+        (CmpOp::Eq, Some(o)) => o == Ordering::Equal,
+        (CmpOp::Ne, Some(o)) => o != Ordering::Equal,
+        (CmpOp::Lt, Some(o)) => o == Ordering::Less,
+        (CmpOp::Le, Some(o)) => o != Ordering::Greater,
+        (CmpOp::Gt, Some(o)) => o == Ordering::Greater,
+        (CmpOp::Ge, Some(o)) => o != Ordering::Less,
+    }
+}
+
+fn eval_cast(ty: &Type, v: Value) -> Result<Value, InterpError> {
+    Ok(match (ty, v) {
+        (Type::I32, Value::I32(x)) => Value::I32(x),
+        (Type::I32, Value::I64(x)) => Value::I32(x as i32),
+        (Type::I32, Value::F32(x)) => Value::I32(x as i32),
+        (Type::I32, Value::F64(x)) => Value::I32(x as i32),
+        (Type::I32, Value::Bool(b)) => Value::I32(b as i32),
+        (Type::I64, Value::I32(x)) => Value::I64(x as i64),
+        (Type::I64, Value::I64(x)) => Value::I64(x),
+        (Type::I64, Value::F32(x)) => Value::I64(x as i64),
+        (Type::I64, Value::F64(x)) => Value::I64(x as i64),
+        (Type::I64, Value::Bool(b)) => Value::I64(b as i64),
+        (Type::F32, Value::I32(x)) => Value::F32(x as f32),
+        (Type::F32, Value::I64(x)) => Value::F32(x as f32),
+        (Type::F32, Value::F32(x)) => Value::F32(x),
+        (Type::F32, Value::F64(x)) => Value::F32(x as f32),
+        (Type::F32, Value::Bool(b)) => Value::F32(b as i32 as f32),
+        (Type::F64, Value::I32(x)) => Value::F64(x as f64),
+        (Type::F64, Value::I64(x)) => Value::F64(x as f64),
+        (Type::F64, Value::F32(x)) => Value::F64(x as f64),
+        (Type::F64, Value::F64(x)) => Value::F64(x),
+        (Type::F64, Value::Bool(b)) => Value::F64(b as i32 as f64),
+        (Type::Ptr { .. }, Value::Ptr(p)) => Value::Ptr(p),
+        (ty, v) => return Err(InterpError::Invalid(format!("cast {v:?} -> {ty}"))),
+    })
+}
+
+fn apply_atomic(op: AtomicOp, old: i64, operand: i64) -> i64 {
+    match op {
+        AtomicOp::Add => old.wrapping_add(operand),
+        AtomicOp::Sub => old.wrapping_sub(operand),
+        AtomicOp::Min => old.min(operand),
+        AtomicOp::Max => old.max(operand),
+        AtomicOp::Xchg => operand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{AtomicOp, BinOp, CmpOp, FunctionKind, Module, WiBuiltin};
+    use crate::types::{AddressSpace, Type};
+    use crate::verify::assert_verifies;
+
+    fn module_of(funcs: Vec<Function>) -> Module {
+        let mut m = Module::new();
+        for f in funcs {
+            m.insert_function(f);
+        }
+        assert_verifies(&m);
+        m
+    }
+
+    /// kernel void scale(global f32* buf, f32 k) { buf[gid] *= k; }
+    fn scale_kernel() -> Module {
+        let mut b = FunctionBuilder::new("scale", FunctionKind::Kernel, Type::Void);
+        let buf = b.add_param("buf", Type::ptr(AddressSpace::Global, Type::F32));
+        let k = b.add_param("k", Type::F32);
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let p = b.gep(buf, gid);
+        let v = b.load(p);
+        let d = b.bin(BinOp::Mul, v, k);
+        b.store(p, d);
+        b.ret(None);
+        module_of(vec![b.finish()])
+    }
+
+    #[test]
+    fn scales_a_buffer() {
+        let m = scale_kernel();
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(4 * 8);
+        mem.write_f32(buf, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let stats = Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "scale",
+                NdRange::new_1d(8, 4),
+                &[ArgValue::Buffer(buf), ArgValue::Scalar(Value::F32(3.0))],
+            )
+            .unwrap();
+        assert_eq!(mem.read_f32(buf), vec![3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0]);
+        assert_eq!(stats.insns_per_wg.len(), 2);
+        assert!(stats.total_insns > 0);
+        assert_eq!(stats.mem_ops, 16); // 8 loads + 8 stores
+    }
+
+    /// Reduction with local memory + barriers:
+    /// kernel void reduce(global i32* in, global i32* out, local i32* tmp)
+    /// Each group sums its local slice tree-style and atomically adds to out[0].
+    fn reduce_kernel() -> Module {
+        let mut b = FunctionBuilder::new("reduce", FunctionKind::Kernel, Type::Void);
+        let input = b.add_param("in", Type::ptr(AddressSpace::Global, Type::I32));
+        let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I32));
+        let tmp = b.add_param("tmp", Type::ptr(AddressSpace::Local, Type::I32));
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let lid = b.work_item(WiBuiltin::LocalId, 0);
+        // tmp[lid] = in[gid]
+        let pin = b.gep(input, gid);
+        let v = b.load(pin);
+        let pt = b.gep(tmp, lid);
+        b.store(pt, v);
+        b.barrier();
+        // for (s = lsize/2; s > 0; s >>= 1) { if (lid < s) tmp[lid]+=tmp[lid+s]; barrier; }
+        let lsize = b.work_item(WiBuiltin::LocalSize, 0);
+        let two = b.const_i64(2);
+        let s0 = b.bin(BinOp::Div, lsize, two);
+        let scell = b.alloca(Type::I64, 1, AddressSpace::Private);
+        b.store(scell, s0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let merge = b.new_block();
+        let cont = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let s = b.load(scell);
+        let zero = b.const_i64(0);
+        let c = b.cmp(CmpOp::Gt, s, zero);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let is_low = b.cmp(CmpOp::Lt, lid, s);
+        let addbb = b.new_block();
+        b.cond_br(is_low, addbb, merge);
+        b.switch_to(addbb);
+        let pa = b.gep(tmp, lid);
+        let hi = b.bin(BinOp::Add, lid, s);
+        let pb = b.gep(tmp, hi);
+        let va = b.load(pa);
+        let vb = b.load(pb);
+        let sum = b.bin(BinOp::Add, va, vb);
+        b.store(pa, sum);
+        b.br(merge);
+        b.switch_to(merge);
+        b.barrier();
+        b.br(cont);
+        b.switch_to(cont);
+        let s2 = b.load(scell);
+        let one = b.const_i64(1);
+        let shifted = b.bin(BinOp::Shr, s2, one);
+        b.store(scell, shifted);
+        b.br(header);
+        b.switch_to(exit);
+        // if (lid == 0) atomic_add(out, tmp[0])
+        let z = b.const_i64(0);
+        let is_master = b.cmp(CmpOp::Eq, lid, z);
+        let do_add = b.new_block();
+        let done = b.new_block();
+        b.cond_br(is_master, do_add, done);
+        b.switch_to(do_add);
+        let p0 = b.gep(tmp, z);
+        let total = b.load(p0);
+        let _ = b.atomic_rmw(AtomicOp::Add, out, total);
+        b.br(done);
+        b.switch_to(done);
+        b.ret(None);
+        module_of(vec![b.finish()])
+    }
+
+    #[test]
+    fn reduction_with_barriers_and_atomics() {
+        let m = reduce_kernel();
+        let mut mem = DeviceMemory::new();
+        let input = mem.alloc(4 * 64);
+        let out = mem.alloc(4);
+        let data: Vec<i32> = (1..=64).collect();
+        mem.write_i32(input, &data);
+        let stats = Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "reduce",
+                NdRange::new_1d(64, 16),
+                &[
+                    ArgValue::Buffer(input),
+                    ArgValue::Buffer(out),
+                    ArgValue::Local { elems: 16 },
+                ],
+            )
+            .unwrap();
+        assert_eq!(mem.read_i32(out)[0], (1..=64).sum::<i32>());
+        assert_eq!(stats.atomic_ops, 4); // one per group
+        assert!(stats.barriers > 0);
+    }
+
+    #[test]
+    fn static_local_alloca_is_shared() {
+        // kernel: local i32 cell[1]; if (lid==0) cell[0]=42; barrier; out[gid]=cell[0];
+        let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+        let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I32));
+        let cell = b.alloca(Type::I32, 1, AddressSpace::Local);
+        let lid = b.work_item(WiBuiltin::LocalId, 0);
+        let zero = b.const_i64(0);
+        let is0 = b.cmp(CmpOp::Eq, lid, zero);
+        let wr = b.new_block();
+        let join = b.new_block();
+        b.cond_br(is0, wr, join);
+        b.switch_to(wr);
+        let c42 = b.const_i32(42);
+        b.store(cell, c42);
+        b.br(join);
+        b.switch_to(join);
+        b.barrier();
+        let v = b.load(cell);
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let p = b.gep(out, gid);
+        b.store(p, v);
+        b.ret(None);
+        let m = module_of(vec![b.finish()]);
+        let mut mem = DeviceMemory::new();
+        let out_buf = mem.alloc(4 * 8);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(8, 8), &[ArgValue::Buffer(out_buf)])
+            .unwrap();
+        assert_eq!(mem.read_i32(out_buf), vec![42; 8]);
+    }
+
+    #[test]
+    fn barrier_divergence_detected() {
+        // if (lid == 0) barrier();   — divergent
+        let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+        let lid = b.work_item(WiBuiltin::LocalId, 0);
+        let zero = b.const_i64(0);
+        let is0 = b.cmp(CmpOp::Eq, lid, zero);
+        let t = b.new_block();
+        let j = b.new_block();
+        b.cond_br(is0, t, j);
+        b.switch_to(t);
+        b.barrier();
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let m = module_of(vec![b.finish()]);
+        let mut mem = DeviceMemory::new();
+        let err = Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(4, 4), &[])
+            .unwrap_err();
+        assert!(matches!(err, InterpError::BarrierDivergence(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let m = scale_kernel();
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(4 * 4); // too small for 8 items
+        let err = Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "scale",
+                NdRange::new_1d(8, 4),
+                &[ArgValue::Buffer(buf), ArgValue::Scalar(Value::F32(1.0))],
+            )
+            .unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut b = FunctionBuilder::new("spin", FunctionKind::Kernel, Type::Void);
+        let l = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        let _ = b.const_i32(0);
+        b.br(l);
+        let m = module_of(vec![b.finish()]);
+        let mut mem = DeviceMemory::new();
+        let interp = Interpreter::with_config(
+            &m,
+            InterpConfig { step_limit: 1000, ..InterpConfig::default() },
+        );
+        let err = interp
+            .run_kernel(&mut mem, "spin", NdRange::new_1d(1, 1), &[])
+            .unwrap_err();
+        assert!(matches!(err, InterpError::StepLimitExceeded(1000)));
+    }
+
+    #[test]
+    fn helper_calls_work() {
+        // helper f32 square(f32 x) { return x*x; }  kernel uses it.
+        let mut h = FunctionBuilder::new("square", FunctionKind::Helper, Type::F32);
+        let x = h.add_param("x", Type::F32);
+        let xx = h.bin(BinOp::Mul, x, x);
+        h.ret(Some(xx));
+
+        let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+        let buf = b.add_param("buf", Type::ptr(AddressSpace::Global, Type::F32));
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let p = b.gep(buf, gid);
+        let v = b.load(p);
+        let sq = b.call("square", vec![v], Type::F32).unwrap();
+        b.store(p, sq);
+        b.ret(None);
+        let m = module_of(vec![h.finish(), b.finish()]);
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(4 * 4);
+        mem.write_f32(buf, &[1.0, 2.0, 3.0, 4.0]);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(4, 2), &[ArgValue::Buffer(buf)])
+            .unwrap();
+        assert_eq!(mem.read_f32(buf), vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn wrong_arg_kind_rejected() {
+        let m = scale_kernel();
+        let mut mem = DeviceMemory::new();
+        let err = Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "scale",
+                NdRange::new_1d(4, 4),
+                &[ArgValue::Scalar(Value::I32(0)), ArgValue::Scalar(Value::F32(1.0))],
+            )
+            .unwrap_err();
+        assert!(matches!(err, InterpError::ArgMismatch(_)));
+    }
+
+    #[test]
+    fn dyn_stats_imbalance() {
+        let s = DynStats { insns_per_wg: vec![100, 100, 100, 100], ..DynStats::default() };
+        assert!(s.wg_imbalance() < 1e-9);
+        let s2 = DynStats { insns_per_wg: vec![10, 1000], ..DynStats::default() };
+        assert!(s2.wg_imbalance() > 0.5);
+        let s3 = DynStats::default();
+        assert_eq!(s3.wg_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn ndrange_geometry() {
+        let r = NdRange::new_2d([8, 4], [4, 2]);
+        assert_eq!(r.num_groups(), [2, 2, 1]);
+        assert_eq!(r.total_groups(), 4);
+        assert_eq!(r.wg_size(), 8);
+        assert_eq!(r.total_items(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn ndrange_rejects_indivisible() {
+        let _ = NdRange::new_1d(10, 4);
+    }
+
+    #[test]
+    fn pointer_roundtrip_through_memory() {
+        // Store a pointer into a private cell and load it back.
+        let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+        let buf = b.add_param("buf", Type::ptr(AddressSpace::Global, Type::I32));
+        let pp = b.alloca(Type::ptr(AddressSpace::Global, Type::I32), 1, AddressSpace::Private);
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let elt = b.gep(buf, gid);
+        b.store(pp, elt);
+        let elt2 = b.load(pp);
+        let seven = b.const_i32(7);
+        b.store(elt2, seven);
+        b.ret(None);
+        let m = module_of(vec![b.finish()]);
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(4 * 4);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(4, 4), &[ArgValue::Buffer(buf)])
+            .unwrap();
+        assert_eq!(mem.read_i32(buf), vec![7; 4]);
+    }
+}

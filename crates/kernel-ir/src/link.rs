@@ -1,0 +1,170 @@
+//! Module linking: merge a library module into an application module.
+//!
+//! The accelOS JIT "statically links kernels against the GPU scheduling
+//! library" (paper §6). In this reproduction the scheduling library is itself
+//! IR, and linking is a module merge with collision handling: identical
+//! definitions are deduplicated, differing definitions are an error unless a
+//! rename is requested.
+
+use crate::error::IrError;
+use crate::ir::{Function, Module, Op};
+
+/// How to resolve a name collision during [`link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collision {
+    /// Keep the destination's function; drop the incoming one if identical,
+    /// error otherwise.
+    KeepIfIdentical,
+    /// Rename the incoming function by suffixing `__lib<N>` and rewrite its
+    /// (intra-library) callers.
+    Rename,
+}
+
+/// Link `lib` into `dst`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when a name collides with a *different* definition and
+/// the policy is [`Collision::KeepIfIdentical`].
+///
+/// # Examples
+///
+/// ```
+/// use kernel_ir::builder::FunctionBuilder;
+/// use kernel_ir::ir::{FunctionKind, Module};
+/// use kernel_ir::link::{link, Collision};
+/// use kernel_ir::types::Type;
+///
+/// # fn main() -> Result<(), kernel_ir::error::IrError> {
+/// let mut app = Module::new();
+/// let mut lib = Module::new();
+/// let mut f = FunctionBuilder::new("rt_helper", FunctionKind::Helper, Type::Void);
+/// f.ret(None);
+/// lib.insert_function(f.finish());
+/// link(&mut app, lib, Collision::KeepIfIdentical)?;
+/// assert!(app.function("rt_helper").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn link(dst: &mut Module, lib: Module, policy: Collision) -> Result<(), IrError> {
+    // Pass 1: decide renames.
+    let mut renames: Vec<(String, String)> = Vec::new();
+    let mut incoming: Vec<Function> = Vec::new();
+    for f in lib.functions {
+        match dst.function(&f.name) {
+            None => incoming.push(f),
+            Some(existing) if *existing == f => {} // identical: dedup
+            Some(_) => match policy {
+                Collision::KeepIfIdentical => {
+                    return Err(IrError::new(format!(
+                        "link collision: `{}` defined differently in both modules",
+                        f.name
+                    )));
+                }
+                Collision::Rename => {
+                    let mut n = 0usize;
+                    let new_name = loop {
+                        let cand = format!("{}__lib{n}", f.name);
+                        if dst.function(&cand).is_none() {
+                            break cand;
+                        }
+                        n += 1;
+                    };
+                    renames.push((f.name.clone(), new_name.clone()));
+                    let mut f = f;
+                    f.name = new_name;
+                    incoming.push(f);
+                }
+            },
+        }
+    }
+    // Pass 2: rewrite calls inside the incoming set to renamed targets.
+    for f in &mut incoming {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                if let Op::Call { callee, .. } = &mut inst.op {
+                    if let Some((_, to)) = renames.iter().find(|(from, _)| from == callee) {
+                        *callee = to.clone();
+                    }
+                }
+            }
+        }
+    }
+    for f in incoming {
+        dst.functions.push(f);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::FunctionKind;
+    use crate::types::Type;
+    use crate::verify::verify_module;
+
+    fn helper(name: &str, insts: usize) -> Function {
+        let mut b = FunctionBuilder::new(name, FunctionKind::Helper, Type::Void);
+        for _ in 0..insts {
+            let _ = b.const_i32(0);
+        }
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn merges_disjoint_modules() {
+        let mut dst = Module::new();
+        dst.insert_function(helper("a", 1));
+        let mut lib = Module::new();
+        lib.insert_function(helper("b", 1));
+        link(&mut dst, lib, Collision::KeepIfIdentical).unwrap();
+        assert!(dst.function("a").is_some());
+        assert!(dst.function("b").is_some());
+        verify_module(&dst).unwrap();
+    }
+
+    #[test]
+    fn dedups_identical_definitions() {
+        let mut dst = Module::new();
+        dst.insert_function(helper("a", 2));
+        let mut lib = Module::new();
+        lib.insert_function(helper("a", 2));
+        link(&mut dst, lib, Collision::KeepIfIdentical).unwrap();
+        assert_eq!(dst.functions.len(), 1);
+    }
+
+    #[test]
+    fn errors_on_conflicting_definitions() {
+        let mut dst = Module::new();
+        dst.insert_function(helper("a", 1));
+        let mut lib = Module::new();
+        lib.insert_function(helper("a", 3));
+        let e = link(&mut dst, lib, Collision::KeepIfIdentical).unwrap_err();
+        assert!(e.to_string().contains("collision"));
+    }
+
+    #[test]
+    fn renames_and_rewrites_internal_calls() {
+        let mut dst = Module::new();
+        dst.insert_function(helper("util", 1));
+
+        let mut lib = Module::new();
+        lib.insert_function(helper("util", 3)); // conflicts
+        let mut caller = FunctionBuilder::new("entry", FunctionKind::Helper, Type::Void);
+        caller.call("util", vec![], Type::Void);
+        caller.ret(None);
+        lib.insert_function(caller.finish());
+
+        link(&mut dst, lib, Collision::Rename).unwrap();
+        assert!(dst.function("util__lib0").is_some());
+        let entry = dst.function("entry").unwrap();
+        let called = match &entry.blocks[0].insts[0].op {
+            Op::Call { callee, .. } => callee.clone(),
+            other => panic!("expected call, got {other:?}"),
+        };
+        assert_eq!(called, "util__lib0");
+        verify_module(&dst).unwrap();
+    }
+}

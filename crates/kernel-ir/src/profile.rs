@@ -1,0 +1,104 @@
+//! Kernel resource profiles: the static facts the accelOS resource-sharing
+//! algorithm (paper §3) needs about each kernel.
+//!
+//! A [`KernelProfile`] bundles the three per-work-group resource demands —
+//! threads (`w_i`), local memory (`m_i`), registers (`r_i`) — plus the static
+//! instruction count used by adaptive scheduling (§6.4).
+
+use crate::analysis::{local_mem_usage, register_pressure, static_insn_count};
+use crate::error::IrError;
+use crate::ir::{FunctionKind, Module};
+
+/// Static resource profile of one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Estimated registers per work item (`r_i` per thread).
+    pub regs_per_item: usize,
+    /// Statically declared local memory bytes per work group (before dynamic
+    /// `clSetKernelArg` local arguments, which the launch layer adds).
+    pub static_local_bytes: usize,
+    /// Static instruction count including reachable helpers (§6.4 input).
+    pub insn_count: usize,
+    /// Whether the kernel (or a callee) uses barriers.
+    pub uses_barrier: bool,
+    /// Whether the kernel (or a callee) uses atomics.
+    pub uses_atomics: bool,
+}
+
+impl KernelProfile {
+    /// Profile the kernel `name` in `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError`] if `name` is missing or is not a kernel.
+    pub fn of(module: &Module, name: &str) -> Result<Self, IrError> {
+        let func = module
+            .function(name)
+            .ok_or_else(|| IrError::new(format!("no function `{name}`")))?;
+        if func.kind != FunctionKind::Kernel {
+            return Err(IrError::in_function(name, "not a kernel"));
+        }
+        Ok(KernelProfile {
+            name: name.to_string(),
+            regs_per_item: register_pressure(func),
+            static_local_bytes: local_mem_usage(func),
+            insn_count: static_insn_count(func, module),
+            uses_barrier: crate::analysis::uses_barrier(func, module),
+            uses_atomics: crate::analysis::uses_atomics(func, module),
+        })
+    }
+
+    /// Profiles of every kernel in the module, in definition order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IrError`] from [`KernelProfile::of`] (cannot fail for
+    /// names reported by [`Module::kernel_names`]).
+    pub fn all(module: &Module) -> Result<Vec<Self>, IrError> {
+        module.kernel_names().into_iter().map(|n| Self::of(module, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{BinOp, FunctionKind, WiBuiltin};
+    use crate::types::{AddressSpace, Type};
+
+    #[test]
+    fn profiles_kernel() {
+        let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+        let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::F32));
+        let _tile = b.alloca(Type::F32, 32, AddressSpace::Local);
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let p = b.gep(out, gid);
+        let v = b.load(p);
+        let s = b.bin(BinOp::Add, v, v);
+        b.store(p, s);
+        b.barrier();
+        b.ret(None);
+        let mut m = Module::new();
+        m.insert_function(b.finish());
+        let prof = KernelProfile::of(&m, "k").unwrap();
+        assert_eq!(prof.name, "k");
+        assert_eq!(prof.static_local_bytes, 128);
+        assert!(prof.regs_per_item >= 1);
+        assert_eq!(prof.insn_count, 7);
+        assert!(prof.uses_barrier);
+        assert!(!prof.uses_atomics);
+        assert_eq!(KernelProfile::all(&m).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_helpers_and_unknowns() {
+        let mut h = FunctionBuilder::new("h", FunctionKind::Helper, Type::Void);
+        h.ret(None);
+        let mut m = Module::new();
+        m.insert_function(h.finish());
+        assert!(KernelProfile::of(&m, "h").is_err());
+        assert!(KernelProfile::of(&m, "nope").is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Abstract syntax tree for MiniCL.
+//!
+//! Every expression and declaration carries a [`NodeId`] so later passes
+//! (type checking, resolution) can attach information in side tables without
+//! mutating the tree.
+
+use crate::token::Pos;
+use kernel_ir::types::AddressSpace;
+
+/// Unique id of an AST node within one translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Base (non-pointer) source types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseType {
+    /// `void`
+    Void,
+    /// `bool`
+    Bool,
+    /// `int`
+    Int,
+    /// `uint` (modelled as `i32`; MiniCL has no unsigned arithmetic).
+    Uint,
+    /// `long`
+    Long,
+    /// `size_t` (modelled as `i64`).
+    SizeT,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+}
+
+/// A syntactic type: base type, optional pointer, optional address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeName {
+    /// Address space qualifier (`global float*`); defaults to `Private` for
+    /// non-pointer declarations.
+    pub space: Option<AddressSpace>,
+    /// Whether `const` was written (informational; `constant` is the
+    /// enforced read-only space).
+    pub is_const: bool,
+    /// The scalar base type.
+    pub base: BaseType,
+    /// Whether a `*` followed.
+    pub is_ptr: bool,
+}
+
+/// Binary operators (source level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Compound assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Rem,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Node id for side tables.
+    pub id: NodeId,
+    /// Source position.
+    pub pos: Pos,
+    /// The expression kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal; `bool` is `true` for single precision (`f` suffix).
+    FloatLit(f64, bool),
+    /// `true`/`false`.
+    BoolLit(bool),
+    /// Variable reference.
+    Ident(String),
+    /// Binary operation.
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnKind, Box<Expr>),
+    /// C-style cast `(float)x`.
+    Cast(TypeName, Box<Expr>),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Call of a user function or builtin.
+    Call(String, Vec<Expr>),
+    /// Ternary `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String, NodeId, Pos),
+    /// `base[index]` where `base` evaluates to a pointer.
+    Index(Box<Expr>, Box<Expr>, NodeId, Pos),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration, optionally an array, optionally initialised.
+    Decl {
+        /// Node id (resolution attaches the slot here).
+        id: NodeId,
+        /// Position of the name.
+        pos: Pos,
+        /// Declared type.
+        ty: TypeName,
+        /// Variable name.
+        name: String,
+        /// `Some(n)` for `T name[n];`.
+        array: Option<u32>,
+        /// Initialiser (scalars only).
+        init: Option<Expr>,
+    },
+    /// Assignment through an lvalue.
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Plain or compound operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `do { } while (c);` loop.
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for` loop. Init and step are restricted to declaration/assignment
+    /// statements (C expression-statements like `i++` are accepted by the
+    /// parser and desugared).
+    For {
+        /// Optional init statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// Expression evaluated for side effects (function call).
+    ExprStmt(Expr),
+    /// `barrier(...)`.
+    Barrier(Pos),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Node id (resolution attaches the slot here).
+    pub id: NodeId,
+    /// Position.
+    pub pos: Pos,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Position of the name.
+    pub pos: Pos,
+    /// Whether declared `kernel`.
+    pub is_kernel: bool,
+    /// Return type.
+    pub ret: TypeName,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Function definitions in source order.
+    pub functions: Vec<FuncDecl>,
+    /// Number of node ids handed out (side tables can size themselves).
+    pub node_count: u32,
+}

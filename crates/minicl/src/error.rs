@@ -1,0 +1,50 @@
+//! Compilation error type for MiniCL.
+
+use crate::token::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// A front-end error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the error occurred (0:0 when unknown).
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Error at a known position.
+    pub fn at(pos: Pos, message: impl Into<String>) -> Self {
+        CompileError { pos, message: message.into() }
+    }
+
+    /// Error without a position.
+    pub fn new(message: impl Into<String>) -> Self {
+        CompileError { pos: Pos::default(), message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "{}: {}", self.pos, self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CompileError::at(Pos { line: 3, col: 7 }, "bad token");
+        assert_eq!(e.to_string(), "3:7: bad token");
+        assert_eq!(CompileError::new("no pos").to_string(), "no pos");
+    }
+}

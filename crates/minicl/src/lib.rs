@@ -1,0 +1,92 @@
+//! # minicl — a mini OpenCL C front end
+//!
+//! The front-end substrate of the accelOS (CGO 2016) reproduction. It
+//! compiles a practical subset of OpenCL C ("MiniCL") into the [`kernel_ir`]
+//! intermediate representation that the accelOS JIT transforms and the
+//! bundled interpreter executes.
+//!
+//! Pipeline: [`token::lex`] → [`parser::parse`] → [`lower::lower`] →
+//! `kernel_ir::verify`.
+//!
+//! The dialect covers what accelerator kernels actually use: scalar types
+//! (`int`, `uint`, `long`, `size_t`, `float`, `double`, `bool`), pointers
+//! qualified by `global`/`local`/`constant`/`private`, arrays in private or
+//! local memory, `if`/`while`/`do`/`for`/`break`/`continue`/`return`,
+//! work-item builtins (`get_global_id`, …), math builtins (`sqrt`, `exp`,
+//! `min`/`max`, …), atomics (`atomic_add`, …) and `barrier()`. See
+//! [`lower`] for the documented semantic simplifications.
+//!
+//! # Examples
+//!
+//! ```
+//! use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = minicl::compile(
+//!     "kernel void scale(global float* buf, float s) {
+//!         size_t i = get_global_id(0);
+//!         buf[i] = buf[i] * s;
+//!     }",
+//! )?;
+//!
+//! let mut mem = DeviceMemory::new();
+//! let buf = mem.alloc(4 * 4);
+//! mem.write_f32(buf, &[1.0, 2.0, 3.0, 4.0]);
+//! Interpreter::new(&module).run_kernel(
+//!     &mut mem,
+//!     "scale",
+//!     NdRange::new_1d(4, 2),
+//!     &[ArgValue::Buffer(buf), ArgValue::Scalar(kernel_ir::Value::F32(10.0))],
+//! )?;
+//! assert_eq!(mem.read_f32(buf), vec![10.0, 20.0, 30.0, 40.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::CompileError;
+
+use kernel_ir::ir::Module;
+
+/// Compile MiniCL source into a verified IR [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on lexical, syntactic or type errors, and an
+/// internal error if the produced IR fails verification (which would be a
+/// bug in the front end, not in the input).
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let prog = parser::parse(src)?;
+    let module = lower::lower(&prog)?;
+    kernel_ir::verify::verify_module(&module)
+        .map_err(|e| CompileError::new(format!("internal: lowered IR failed verification: {e}")))?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_smoke() {
+        let m = compile("kernel void k(global int* o) { o[get_global_id(0)] = 1; }").unwrap();
+        assert_eq!(m.kernel_names(), vec!["k"]);
+    }
+
+    #[test]
+    fn compile_reports_parse_errors() {
+        assert!(compile("kernel void k( {").is_err());
+    }
+
+    #[test]
+    fn compile_reports_type_errors() {
+        assert!(compile("kernel void k(global int* o) { o[0] = nope(); }").is_err());
+    }
+}

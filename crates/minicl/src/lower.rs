@@ -1,0 +1,1125 @@
+//! Lowering from the MiniCL AST to `kernel-ir`.
+//!
+//! The lowering performs type checking on the fly and emits clang-`-O0`-style
+//! IR: every source variable lives in a private `alloca` cell; loops and
+//! conditionals become explicit CFG edges. This mirrors the IR shape the
+//! accelOS JIT pass in the paper consumes before vendor optimisation.
+//!
+//! # Semantics notes (deliberate MiniCL simplifications)
+//!
+//! * `a && b`, `a || b` and `c ? x : y` evaluate **all** operands (they lower
+//!   to `select`), unlike C's short-circuit rules. Kernel sources in this
+//!   repository are written accordingly.
+//! * `uint` is modelled as `i32`, `size_t` as `i64`.
+//! * Falling off the end of a non-`void` function returns a zero value.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::Pos;
+use kernel_ir::builder::FunctionBuilder;
+use kernel_ir::ir::{AtomicOp, BinOp, BlockId, CmpOp, FunctionKind, Module, UnOp, ValueId, WiBuiltin};
+use kernel_ir::types::{AddressSpace, Type};
+use std::collections::HashMap;
+
+/// Lower a parsed [`Program`] to a verified-shape IR [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on any type error, unknown identifier, bad
+/// builtin usage, or unsupported construct.
+pub fn lower(prog: &Program) -> Result<Module, CompileError> {
+    let mut sigs: HashMap<String, Signature> = HashMap::new();
+    for f in &prog.functions {
+        let params = f
+            .params
+            .iter()
+            .map(|p| type_of_name(&p.ty, true))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ret = type_of_name(&f.ret, false)?;
+        if sigs
+            .insert(f.name.clone(), Signature { params, ret, is_kernel: f.is_kernel })
+            .is_some()
+        {
+            return Err(CompileError::at(f.pos, format!("duplicate function `{}`", f.name)));
+        }
+    }
+
+    let mut module = Module::new();
+    for f in &prog.functions {
+        let func = Lowerer::new(&sigs, f)?.lower_function(f)?;
+        module.insert_function(func);
+    }
+    Ok(module)
+}
+
+#[derive(Debug, Clone)]
+struct Signature {
+    params: Vec<Type>,
+    ret: Type,
+    is_kernel: bool,
+}
+
+/// Convert a syntactic type to an IR type.
+///
+/// Pointer declarations default to `global` when written without an address
+/// space in a parameter list (the common OpenCL shorthand), and to `private`
+/// elsewhere.
+fn type_of_name(tn: &TypeName, is_param: bool) -> Result<Type, CompileError> {
+    let base = match tn.base {
+        BaseType::Void => Type::Void,
+        BaseType::Bool => Type::Bool,
+        BaseType::Int | BaseType::Uint => Type::I32,
+        BaseType::Long | BaseType::SizeT => Type::I64,
+        BaseType::Float => Type::F32,
+        BaseType::Double => Type::F64,
+    };
+    if tn.is_ptr {
+        let default = if is_param { AddressSpace::Global } else { AddressSpace::Private };
+        Ok(Type::ptr(tn.space.unwrap_or(default), base))
+    } else {
+        Ok(base)
+    }
+}
+
+/// How a source variable is bound.
+#[derive(Debug, Clone)]
+enum Binding {
+    /// Scalar or pointer variable stored in a private cell; the `ValueId` is
+    /// a pointer to the cell, the `Type` is the variable's type.
+    Cell(ValueId, Type),
+    /// An array declaration; the `ValueId` *is* the pointer value.
+    Direct(ValueId, Type),
+}
+
+struct LoopCtx {
+    continue_to: BlockId,
+    break_to: BlockId,
+}
+
+struct Lowerer<'a> {
+    sigs: &'a HashMap<String, Signature>,
+    b: FunctionBuilder,
+    scopes: Vec<HashMap<String, Binding>>,
+    loops: Vec<LoopCtx>,
+    ret: Type,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(sigs: &'a HashMap<String, Signature>, f: &FuncDecl) -> Result<Self, CompileError> {
+        let ret = type_of_name(&f.ret, false)?;
+        let kind = if f.is_kernel { FunctionKind::Kernel } else { FunctionKind::Helper };
+        if f.is_kernel && ret != Type::Void {
+            return Err(CompileError::at(f.pos, "kernels must return void"));
+        }
+        let b = FunctionBuilder::new(&f.name, kind, ret.clone());
+        Ok(Lowerer { sigs, b, scopes: vec![HashMap::new()], loops: Vec::new(), ret })
+    }
+
+    fn lower_function(mut self, f: &FuncDecl) -> Result<kernel_ir::ir::Function, CompileError> {
+        // Parameters first (they must occupy the first value ids), then copy
+        // each into a private cell so that assignments to parameters work.
+        let mut param_ids = Vec::new();
+        for p in &f.params {
+            let ty = type_of_name(&p.ty, true)?;
+            if ty == Type::Void {
+                return Err(CompileError::at(p.pos, "parameter of type void"));
+            }
+            param_ids.push((self.b.add_param(&p.name, ty.clone()), ty, p.name.clone(), p.pos));
+        }
+        for (id, ty, name, pos) in param_ids {
+            let cell = self.b.alloca(ty.clone(), 1, AddressSpace::Private);
+            self.b.store(cell, id);
+            self.declare(&name, Binding::Cell(cell, ty), pos)?;
+        }
+
+        self.lower_stmts(&f.body)?;
+
+        if !self.b.is_terminated() {
+            if self.ret == Type::Void {
+                self.b.ret(None);
+            } else {
+                // Fall-off return of a zero value (documented semantics).
+                let ret_ty = self.ret.clone();
+                let z = self.zero_of(&ret_ty, f.pos)?;
+                self.b.ret(Some(z));
+            }
+        }
+        Ok(self.b.finish())
+    }
+
+    fn declare(&mut self, name: &str, binding: Binding, pos: Pos) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_string(), binding).is_some() {
+            return Err(CompileError::at(pos, format!("redeclaration of `{name}`")));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<Binding, CompileError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Ok(b.clone());
+            }
+        }
+        Err(CompileError::at(pos, format!("unknown variable `{name}`")))
+    }
+
+    fn zero_of(&mut self, ty: &Type, pos: Pos) -> Result<ValueId, CompileError> {
+        Ok(match ty {
+            Type::Bool => self.b.const_bool(false),
+            Type::I32 => self.b.const_i32(0),
+            Type::I64 => self.b.const_i64(0),
+            Type::F32 => self.b.const_f32(0.0),
+            Type::F64 => self.b.const_f64(0.0),
+            other => {
+                return Err(CompileError::at(pos, format!("cannot produce a default `{other}`")))
+            }
+        })
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            if self.b.is_terminated() {
+                // Dead code after return/break/continue still needs a block
+                // to land in (it will be unreachable, which the verifier
+                // accepts).
+                let dead = self.b.new_block();
+                self.b.switch_to(dead);
+            }
+            self.lower_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { pos, ty, name, array, init, .. } => self.lower_decl(*pos, ty, name, *array, init.as_ref()),
+            Stmt::Assign { target, op, value } => self.lower_assign(target, *op, value),
+            Stmt::If { cond, then_branch, else_branch } => {
+                let (c, _) = self.lower_expr_as_bool(cond)?;
+                let then_bb = self.b.new_block();
+                let else_bb = self.b.new_block();
+                let join = self.b.new_block();
+                self.b.cond_br(c, then_bb, else_bb);
+                self.b.switch_to(then_bb);
+                self.lower_stmts(then_branch)?;
+                if !self.b.is_terminated() {
+                    self.b.br(join);
+                }
+                self.b.switch_to(else_bb);
+                self.lower_stmts(else_branch)?;
+                if !self.b.is_terminated() {
+                    self.b.br(join);
+                }
+                self.b.switch_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(head);
+                self.b.switch_to(head);
+                let (c, _) = self.lower_expr_as_bool(cond)?;
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to(body_bb);
+                self.loops.push(LoopCtx { continue_to: head, break_to: exit });
+                self.lower_stmts(body)?;
+                self.loops.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(head);
+                }
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_bb = self.b.new_block();
+                let head = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(body_bb);
+                self.b.switch_to(body_bb);
+                self.loops.push(LoopCtx { continue_to: head, break_to: exit });
+                self.lower_stmts(body)?;
+                self.loops.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(head);
+                }
+                self.b.switch_to(head);
+                let (c, _) = self.lower_expr_as_bool(cond)?;
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i)?;
+                }
+                let head = self.b.new_block();
+                let body_bb = self.b.new_block();
+                let step_bb = self.b.new_block();
+                let exit = self.b.new_block();
+                self.b.br(head);
+                self.b.switch_to(head);
+                match cond {
+                    Some(c) => {
+                        let (v, _) = self.lower_expr_as_bool(c)?;
+                        self.b.cond_br(v, body_bb, exit);
+                    }
+                    None => self.b.br(body_bb),
+                }
+                self.b.switch_to(body_bb);
+                self.loops.push(LoopCtx { continue_to: step_bb, break_to: exit });
+                self.lower_stmts(body)?;
+                self.loops.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(step_bb);
+                }
+                self.b.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_stmt(st)?;
+                }
+                self.b.br(head);
+                self.b.switch_to(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value, pos) => {
+                match (value, self.ret.clone()) {
+                    (None, Type::Void) => {
+                        self.b.ret(None);
+                        Ok(())
+                    }
+                    (Some(_), Type::Void) => {
+                        Err(CompileError::at(*pos, "returning a value from a void function"))
+                    }
+                    (None, _) => Err(CompileError::at(*pos, "missing return value")),
+                    (Some(e), ret_ty) => {
+                        let (v, ty) = self.lower_expr(e)?;
+                        let v = self.coerce(v, &ty, &ret_ty, *pos)?;
+                        self.b.ret(Some(v));
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::Break(pos) => {
+                let target = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::at(*pos, "`break` outside a loop"))?
+                    .break_to;
+                self.b.br(target);
+                Ok(())
+            }
+            Stmt::Continue(pos) => {
+                let target = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::at(*pos, "`continue` outside a loop"))?
+                    .continue_to;
+                self.b.br(target);
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => {
+                self.lower_expr_allow_void(e)?;
+                Ok(())
+            }
+            Stmt::Barrier(_) => {
+                self.b.barrier();
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_decl(
+        &mut self,
+        pos: Pos,
+        tn: &TypeName,
+        name: &str,
+        array: Option<u32>,
+        init: Option<&Expr>,
+    ) -> Result<(), CompileError> {
+        let ty = type_of_name(tn, false)?;
+        if let Some(n) = array {
+            if ty.is_ptr() {
+                return Err(CompileError::at(pos, "array of pointers is not supported"));
+            }
+            if ty == Type::Void {
+                return Err(CompileError::at(pos, "array of void"));
+            }
+            let space = tn.space.unwrap_or(AddressSpace::Private);
+            if !matches!(space, AddressSpace::Private | AddressSpace::Local) {
+                return Err(CompileError::at(
+                    pos,
+                    format!("arrays may only live in private or local memory, not `{space}`"),
+                ));
+            }
+            if init.is_some() {
+                return Err(CompileError::at(pos, "array initialisers are not supported"));
+            }
+            let ptr = self.b.alloca(ty.clone(), n, space);
+            let pty = Type::ptr(space, ty);
+            self.declare(name, Binding::Direct(ptr, pty), pos)?;
+            return Ok(());
+        }
+        if ty == Type::Void {
+            return Err(CompileError::at(pos, "variable of type void"));
+        }
+        let cell = self.b.alloca(ty.clone(), 1, AddressSpace::Private);
+        if let Some(e) = init {
+            let (v, vty) = self.lower_expr(e)?;
+            let v = self.coerce(v, &vty, &ty, pos)?;
+            self.b.store(cell, v);
+        }
+        self.declare(name, Binding::Cell(cell, ty), pos)?;
+        Ok(())
+    }
+
+    fn lower_assign(&mut self, target: &LValue, op: AssignOp, value: &Expr) -> Result<(), CompileError> {
+        match target {
+            LValue::Var(name, _, pos) => {
+                let binding = self.lookup(name, *pos)?;
+                let (cell, ty) = match binding {
+                    Binding::Cell(c, t) => (c, t),
+                    Binding::Direct(..) => {
+                        return Err(CompileError::at(*pos, format!("cannot assign to array `{name}`")))
+                    }
+                };
+                let stored = self.assigned_value(op, Some((cell, &ty)), value, *pos)?;
+                self.b.store(cell, stored);
+                Ok(())
+            }
+            LValue::Index(base, index, _, pos) => {
+                let ptr = self.lower_index_ptr(base, index, *pos)?;
+                let elem_ty = self
+                    .b
+                    .type_of(ptr)
+                    .pointee()
+                    .expect("index pointer is always a pointer")
+                    .clone();
+                let stored = self.assigned_value(op, Some((ptr, &elem_ty)), value, *pos)?;
+                self.b.store(ptr, stored);
+                Ok(())
+            }
+        }
+    }
+
+    /// Compute the value to store for `target op= value`, loading the old
+    /// value through `ptr` for compound ops.
+    fn assigned_value(
+        &mut self,
+        op: AssignOp,
+        ptr_and_ty: Option<(ValueId, &Type)>,
+        value: &Expr,
+        pos: Pos,
+    ) -> Result<ValueId, CompileError> {
+        let (ptr, ty) = ptr_and_ty.expect("assignment target always resolved");
+        let (rhs, rhs_ty) = self.lower_expr(value)?;
+        match op {
+            AssignOp::Set => self.coerce(rhs, &rhs_ty, ty, pos),
+            _ => {
+                let bin = match op {
+                    AssignOp::Add => BinOp::Add,
+                    AssignOp::Sub => BinOp::Sub,
+                    AssignOp::Mul => BinOp::Mul,
+                    AssignOp::Div => BinOp::Div,
+                    AssignOp::Rem => BinOp::Rem,
+                    AssignOp::Set => unreachable!(),
+                };
+                let old = self.b.load(ptr);
+                if ty.is_ptr() {
+                    return Err(CompileError::at(pos, "compound assignment to a pointer"));
+                }
+                let rhs = self.coerce(rhs, &rhs_ty, ty, pos)?;
+                Ok(self.b.bin(bin, old, rhs))
+            }
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// Lower an expression; error if it has type void.
+    fn lower_expr(&mut self, e: &Expr) -> Result<(ValueId, Type), CompileError> {
+        match self.lower_expr_allow_void(e)? {
+            Some(v) => Ok(v),
+            None => Err(CompileError::at(e.pos, "void value used in an expression")),
+        }
+    }
+
+    fn lower_expr_allow_void(&mut self, e: &Expr) -> Result<Option<(ValueId, Type)>, CompileError> {
+        let pos = e.pos;
+        let out = match &e.kind {
+            ExprKind::IntLit(v) => {
+                if let Ok(v32) = i32::try_from(*v) {
+                    (self.b.const_i32(v32), Type::I32)
+                } else {
+                    (self.b.const_i64(*v), Type::I64)
+                }
+            }
+            ExprKind::FloatLit(v, single) => {
+                if *single {
+                    (self.b.const_f32(*v as f32), Type::F32)
+                } else {
+                    (self.b.const_f64(*v), Type::F64)
+                }
+            }
+            ExprKind::BoolLit(v) => (self.b.const_bool(*v), Type::Bool),
+            ExprKind::Ident(name) => match self.lookup(name, pos)? {
+                Binding::Cell(cell, ty) => (self.b.load(cell), ty),
+                Binding::Direct(v, ty) => (v, ty),
+            },
+            ExprKind::Bin(kind, lhs, rhs) => self.lower_bin(*kind, lhs, rhs, pos)?,
+            ExprKind::Un(kind, inner) => {
+                let (v, ty) = self.lower_expr(inner)?;
+                match kind {
+                    UnKind::Neg => {
+                        if !ty.is_numeric() {
+                            return Err(CompileError::at(pos, format!("cannot negate `{ty}`")));
+                        }
+                        (self.b.un(UnOp::Neg, v), ty)
+                    }
+                    UnKind::Not => {
+                        let b = self.to_bool(v, &ty, pos)?;
+                        (self.b.un(UnOp::Not, b), Type::Bool)
+                    }
+                }
+            }
+            ExprKind::Cast(tn, inner) => {
+                let target = type_of_name(tn, false)?;
+                let (v, ty) = self.lower_expr(inner)?;
+                if target == ty {
+                    (v, target)
+                } else if target.is_numeric() && (ty.is_numeric() || ty == Type::Bool) {
+                    (self.b.cast(target.clone(), v), target)
+                } else {
+                    return Err(CompileError::at(pos, format!("invalid cast from `{ty}` to `{target}`")));
+                }
+            }
+            ExprKind::Index(base, index) => {
+                let ptr = self.lower_index_ptr(base, index, pos)?;
+                let elem = self
+                    .b
+                    .type_of(ptr)
+                    .pointee()
+                    .expect("index pointer is always a pointer")
+                    .clone();
+                (self.b.load(ptr), elem)
+            }
+            ExprKind::Call(name, args) => return self.lower_call(name, args, pos),
+            ExprKind::Ternary(cond, then_e, else_e) => {
+                // Lowered to `select`: both arms are evaluated (see module
+                // docs for the documented deviation from C).
+                let (c, cty) = self.lower_expr(cond)?;
+                let c = self.to_bool(c, &cty, pos)?;
+                let (a, aty) = self.lower_expr(then_e)?;
+                let (b_v, bty) = self.lower_expr(else_e)?;
+                let ty = self.unify(&aty, &bty, pos)?;
+                let a = self.coerce(a, &aty, &ty, pos)?;
+                let b_v = self.coerce(b_v, &bty, &ty, pos)?;
+                (self.b.select(c, a, b_v), ty)
+            }
+        };
+        Ok(Some(out))
+    }
+
+    fn lower_index_ptr(&mut self, base: &Expr, index: &Expr, pos: Pos) -> Result<ValueId, CompileError> {
+        let (bv, bty) = self.lower_expr(base)?;
+        if !bty.is_ptr() {
+            return Err(CompileError::at(pos, format!("cannot index non-pointer `{bty}`")));
+        }
+        let (iv, ity) = self.lower_expr(index)?;
+        if !ity.is_int() {
+            return Err(CompileError::at(pos, format!("array index must be an integer, got `{ity}`")));
+        }
+        Ok(self.b.gep(bv, iv))
+    }
+
+    fn lower_bin(
+        &mut self,
+        kind: BinKind,
+        lhs: &Expr,
+        rhs: &Expr,
+        pos: Pos,
+    ) -> Result<(ValueId, Type), CompileError> {
+        // Logical operators first: they operate on bools.
+        if matches!(kind, BinKind::LogAnd | BinKind::LogOr) {
+            let (l, lt) = self.lower_expr(lhs)?;
+            let l = self.to_bool(l, &lt, pos)?;
+            let (r, rt) = self.lower_expr(rhs)?;
+            let r = self.to_bool(r, &rt, pos)?;
+            let out = match kind {
+                BinKind::LogAnd => {
+                    let f = self.b.const_bool(false);
+                    self.b.select(l, r, f)
+                }
+                BinKind::LogOr => {
+                    let t = self.b.const_bool(true);
+                    self.b.select(l, t, r)
+                }
+                _ => unreachable!(),
+            };
+            return Ok((out, Type::Bool));
+        }
+
+        let (l, lt) = self.lower_expr(lhs)?;
+        let (r, rt) = self.lower_expr(rhs)?;
+
+        // Pointer arithmetic: ptr + int and ptr - int lower to gep.
+        if lt.is_ptr() && matches!(kind, BinKind::Add | BinKind::Sub) {
+            if !rt.is_int() {
+                return Err(CompileError::at(pos, "pointer offset must be an integer"));
+            }
+            let off = if kind == BinKind::Sub { self.b.un(UnOp::Neg, r) } else { r };
+            return Ok((self.b.gep(l, off), lt));
+        }
+
+        let cmp = match kind {
+            BinKind::Eq => Some(CmpOp::Eq),
+            BinKind::Ne => Some(CmpOp::Ne),
+            BinKind::Lt => Some(CmpOp::Lt),
+            BinKind::Le => Some(CmpOp::Le),
+            BinKind::Gt => Some(CmpOp::Gt),
+            BinKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            let ty = self.unify(&lt, &rt, pos)?;
+            let l = self.coerce(l, &lt, &ty, pos)?;
+            let r = self.coerce(r, &rt, &ty, pos)?;
+            return Ok((self.b.cmp(op, l, r), Type::Bool));
+        }
+
+        let op = match kind {
+            BinKind::Add => BinOp::Add,
+            BinKind::Sub => BinOp::Sub,
+            BinKind::Mul => BinOp::Mul,
+            BinKind::Div => BinOp::Div,
+            BinKind::Rem => BinOp::Rem,
+            BinKind::And => BinOp::And,
+            BinKind::Or => BinOp::Or,
+            BinKind::Xor => BinOp::Xor,
+            BinKind::Shl => BinOp::Shl,
+            BinKind::Shr => BinOp::Shr,
+            _ => unreachable!("comparison and logical ops handled above"),
+        };
+        let ty = self.unify(&lt, &rt, pos)?;
+        if op.int_only() && !ty.is_int() {
+            return Err(CompileError::at(pos, format!("`{}` requires integer operands, got `{ty}`", op.mnemonic())));
+        }
+        if !ty.is_numeric() {
+            return Err(CompileError::at(pos, format!("`{}` requires numeric operands, got `{ty}`", op.mnemonic())));
+        }
+        let l = self.coerce(l, &lt, &ty, pos)?;
+        let r = self.coerce(r, &rt, &ty, pos)?;
+        Ok((self.b.bin(op, l, r), ty))
+    }
+
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+    ) -> Result<Option<(ValueId, Type)>, CompileError> {
+        // Work-item builtins need a literal dimension argument.
+        let wi = match name {
+            "get_global_id" => Some(WiBuiltin::GlobalId),
+            "get_local_id" => Some(WiBuiltin::LocalId),
+            "get_group_id" => Some(WiBuiltin::GroupId),
+            "get_global_size" => Some(WiBuiltin::GlobalSize),
+            "get_local_size" => Some(WiBuiltin::LocalSize),
+            "get_num_groups" => Some(WiBuiltin::NumGroups),
+            "get_work_dim" => Some(WiBuiltin::WorkDim),
+            _ => None,
+        };
+        if let Some(builtin) = wi {
+            let dim = if builtin == WiBuiltin::WorkDim {
+                0
+            } else {
+                match args {
+                    [Expr { kind: ExprKind::IntLit(d), .. }] if (0..=2).contains(d) => *d as u8,
+                    _ => {
+                        return Err(CompileError::at(
+                            pos,
+                            format!("`{name}` takes one literal dimension argument 0..=2"),
+                        ))
+                    }
+                }
+            };
+            return Ok(Some((self.b.work_item(builtin, dim), Type::I64)));
+        }
+
+        // Unary float math builtins.
+        let un = match name {
+            "sqrt" => Some(UnOp::Sqrt),
+            "fabs" => Some(UnOp::Abs),
+            "exp" => Some(UnOp::Exp),
+            "log" => Some(UnOp::Log),
+            "sin" => Some(UnOp::Sin),
+            "cos" => Some(UnOp::Cos),
+            "floor" => Some(UnOp::Floor),
+            "ceil" => Some(UnOp::Ceil),
+            _ => None,
+        };
+        if let Some(op) = un {
+            let [a] = args else {
+                return Err(CompileError::at(pos, format!("`{name}` takes exactly one argument")));
+            };
+            let (v, ty) = self.lower_expr(a)?;
+            if !ty.is_float() {
+                return Err(CompileError::at(pos, format!("`{name}` requires a float argument, got `{ty}`")));
+            }
+            return Ok(Some((self.b.un(op, v), ty)));
+        }
+        if name == "abs" {
+            let [a] = args else {
+                return Err(CompileError::at(pos, "`abs` takes exactly one argument".to_string()));
+            };
+            let (v, ty) = self.lower_expr(a)?;
+            if !ty.is_numeric() {
+                return Err(CompileError::at(pos, format!("`abs` requires a numeric argument, got `{ty}`")));
+            }
+            return Ok(Some((self.b.un(UnOp::Abs, v), ty)));
+        }
+        if name == "rsqrt" {
+            let [a] = args else {
+                return Err(CompileError::at(pos, "`rsqrt` takes exactly one argument".to_string()));
+            };
+            let (v, ty) = self.lower_expr(a)?;
+            if !ty.is_float() {
+                return Err(CompileError::at(pos, format!("`rsqrt` requires a float argument, got `{ty}`")));
+            }
+            let s = self.b.un(UnOp::Sqrt, v);
+            let one = if ty == Type::F32 { self.b.const_f32(1.0) } else { self.b.const_f64(1.0) };
+            return Ok(Some((self.b.bin(BinOp::Div, one, s), ty)));
+        }
+        if name == "pow" || name == "powf" {
+            // pow(x, y) = exp(y * log(x)); valid for x > 0, which is how the
+            // bundled kernels use it.
+            let [x, y] = args else {
+                return Err(CompileError::at(pos, "`pow` takes exactly two arguments".to_string()));
+            };
+            let (xv, xt) = self.lower_expr(x)?;
+            let (yv, yt) = self.lower_expr(y)?;
+            let ty = self.unify(&xt, &yt, pos)?;
+            if !ty.is_float() {
+                return Err(CompileError::at(pos, "`pow` requires float arguments".to_string()));
+            }
+            let xv = self.coerce(xv, &xt, &ty, pos)?;
+            let yv = self.coerce(yv, &yt, &ty, pos)?;
+            let lx = self.b.un(UnOp::Log, xv);
+            let m = self.b.bin(BinOp::Mul, yv, lx);
+            return Ok(Some((self.b.un(UnOp::Exp, m), ty)));
+        }
+
+        // Two-operand min/max (integer or float, like OpenCL's min/fmin).
+        if matches!(name, "min" | "max" | "fmin" | "fmax") {
+            let [a, b] = args else {
+                return Err(CompileError::at(pos, format!("`{name}` takes exactly two arguments")));
+            };
+            let (av, at) = self.lower_expr(a)?;
+            let (bv, bt) = self.lower_expr(b)?;
+            let ty = self.unify(&at, &bt, pos)?;
+            if !ty.is_numeric() {
+                return Err(CompileError::at(pos, format!("`{name}` requires numeric arguments")));
+            }
+            let av = self.coerce(av, &at, &ty, pos)?;
+            let bv = self.coerce(bv, &bt, &ty, pos)?;
+            let op = if name.ends_with("min") || name == "min" { BinOp::Min } else { BinOp::Max };
+            return Ok(Some((self.b.bin(op, av, bv), ty)));
+        }
+
+        // Atomics.
+        let atomic = match name {
+            "atomic_add" | "atom_add" => Some(AtomicOp::Add),
+            "atomic_sub" | "atom_sub" => Some(AtomicOp::Sub),
+            "atomic_min" | "atom_min" => Some(AtomicOp::Min),
+            "atomic_max" | "atom_max" => Some(AtomicOp::Max),
+            "atomic_xchg" | "atom_xchg" => Some(AtomicOp::Xchg),
+            _ => None,
+        };
+        if let Some(op) = atomic {
+            let [p, v] = args else {
+                return Err(CompileError::at(pos, format!("`{name}` takes a pointer and a value")));
+            };
+            let (pv, pt) = self.lower_expr(p)?;
+            let elem = pt
+                .pointee()
+                .ok_or_else(|| CompileError::at(pos, format!("`{name}` requires a pointer argument")))?
+                .clone();
+            if !elem.is_int() {
+                return Err(CompileError::at(pos, format!("`{name}` requires an integer pointee")));
+            }
+            let (vv, vt) = self.lower_expr(v)?;
+            let vv = self.coerce(vv, &vt, &elem, pos)?;
+            return Ok(Some((self.b.atomic_rmw(op, pv, vv), elem)));
+        }
+        if name == "atomic_cmpxchg" || name == "atom_cmpxchg" {
+            let [p, ex, de] = args else {
+                return Err(CompileError::at(pos, "`atomic_cmpxchg` takes pointer, expected, desired".to_string()));
+            };
+            let (pv, pt) = self.lower_expr(p)?;
+            let elem = pt
+                .pointee()
+                .ok_or_else(|| CompileError::at(pos, "`atomic_cmpxchg` requires a pointer argument"))?
+                .clone();
+            let (ev, et) = self.lower_expr(ex)?;
+            let (dv, dt) = self.lower_expr(de)?;
+            let ev = self.coerce(ev, &et, &elem, pos)?;
+            let dv = self.coerce(dv, &dt, &elem, pos)?;
+            return Ok(Some((self.b.atomic_cmpxchg(pv, ev, dv), elem)));
+        }
+
+        // User-defined function.
+        let sig = self
+            .sigs
+            .get(name)
+            .ok_or_else(|| CompileError::at(pos, format!("unknown function `{name}`")))?
+            .clone();
+        if sig.is_kernel {
+            return Err(CompileError::at(pos, format!("cannot call kernel `{name}` from device code")));
+        }
+        if sig.params.len() != args.len() {
+            return Err(CompileError::at(
+                pos,
+                format!("`{name}` takes {} arguments, {} given", sig.params.len(), args.len()),
+            ));
+        }
+        let mut lowered = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let (v, ty) = self.lower_expr(a)?;
+            lowered.push(self.coerce(v, &ty, pty, a.pos)?);
+        }
+        let ret = sig.ret.clone();
+        match self.b.call(name, lowered, ret.clone()) {
+            Some(v) => Ok(Some((v, ret))),
+            None => Ok(None),
+        }
+    }
+
+    // ---- conversions ----------------------------------------------------
+
+    fn rank(ty: &Type) -> Option<u8> {
+        match ty {
+            Type::Bool => Some(0),
+            Type::I32 => Some(1),
+            Type::I64 => Some(2),
+            Type::F32 => Some(3),
+            Type::F64 => Some(4),
+            _ => None,
+        }
+    }
+
+    /// The common type of two operands (usual arithmetic conversions).
+    fn unify(&self, a: &Type, b: &Type, pos: Pos) -> Result<Type, CompileError> {
+        if a == b {
+            return Ok(a.clone());
+        }
+        match (Self::rank(a), Self::rank(b)) {
+            (Some(ra), Some(rb)) => Ok(if ra >= rb { a.clone() } else { b.clone() }),
+            _ => Err(CompileError::at(pos, format!("incompatible operand types `{a}` and `{b}`"))),
+        }
+    }
+
+    /// Convert `v: from` to `to`, inserting a cast when needed.
+    fn coerce(&mut self, v: ValueId, from: &Type, to: &Type, pos: Pos) -> Result<ValueId, CompileError> {
+        if from == to {
+            return Ok(v);
+        }
+        if Self::rank(from).is_some() && Self::rank(to).is_some() {
+            return Ok(self.b.cast(to.clone(), v));
+        }
+        Err(CompileError::at(pos, format!("cannot convert `{from}` to `{to}`")))
+    }
+
+    /// Coerce an arbitrary scalar to `bool` (`x` becomes `x != 0`).
+    fn to_bool(&mut self, v: ValueId, ty: &Type, pos: Pos) -> Result<ValueId, CompileError> {
+        match ty {
+            Type::Bool => Ok(v),
+            t if t.is_numeric() => {
+                let z = self.zero_of(t, pos)?;
+                Ok(self.b.cmp(CmpOp::Ne, v, z))
+            }
+            other => Err(CompileError::at(pos, format!("cannot use `{other}` as a condition"))),
+        }
+    }
+
+    fn lower_expr_as_bool(&mut self, e: &Expr) -> Result<(ValueId, Type), CompileError> {
+        let (v, ty) = self.lower_expr(e)?;
+        let b = self.to_bool(v, &ty, e.pos)?;
+        Ok((b, Type::Bool))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange, Value};
+    use kernel_ir::verify::verify_module;
+
+    fn compile(src: &str) -> Module {
+        let prog = parse(src).expect("parse");
+        let m = lower(&prog).expect("lower");
+        verify_module(&m).expect("verify");
+        m
+    }
+
+    #[test]
+    fn vector_add_runs() {
+        let m = compile(
+            "kernel void vadd(global const float* a, global const float* b, global float* c) {
+                size_t i = get_global_id(0);
+                c[i] = a[i] + b[i];
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(16);
+        let b = mem.alloc(16);
+        let c = mem.alloc(16);
+        mem.write_f32(a, &[1.0, 2.0, 3.0, 4.0]);
+        mem.write_f32(b, &[10.0, 20.0, 30.0, 40.0]);
+        Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "vadd",
+                NdRange::new_1d(4, 2),
+                &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(c)],
+            )
+            .unwrap();
+        assert_eq!(mem.read_f32(c), vec![11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn control_flow_and_loops() {
+        let m = compile(
+            "kernel void k(global int* out, int n) {
+                size_t gid = get_global_id(0);
+                int acc = 0;
+                for (int i = 0; i < n; ++i) {
+                    if (i % 2 == 0) { acc += i; } else { acc -= 1; }
+                }
+                out[gid] = acc;
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(8);
+        Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "k",
+                NdRange::new_1d(2, 1),
+                &[ArgValue::Buffer(out), ArgValue::Scalar(Value::I32(5))],
+            )
+            .unwrap();
+        // i=0:+0, i=1:-1, i=2:+2, i=3:-1, i=4:+4 => 4
+        assert_eq!(mem.read_i32(out), vec![4, 4]);
+    }
+
+    #[test]
+    fn while_break_continue() {
+        let m = compile(
+            "kernel void k(global int* out) {
+                int i = 0;
+                int acc = 0;
+                while (true) {
+                    i += 1;
+                    if (i > 10) { break; }
+                    if (i % 2 == 0) { continue; }
+                    acc += i;
+                }
+                out[get_global_id(0)] = acc;
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(4);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(out)])
+            .unwrap();
+        assert_eq!(mem.read_i32(out), vec![1 + 3 + 5 + 7 + 9]);
+    }
+
+    #[test]
+    fn helper_function_calls() {
+        let m = compile(
+            "float square(float x) { return x * x; }
+            kernel void k(global float* out) {
+                size_t i = get_global_id(0);
+                out[i] = square((float)i);
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(16);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(4, 2), &[ArgValue::Buffer(out)])
+            .unwrap();
+        assert_eq!(mem.read_f32(out), vec![0.0, 1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn local_memory_and_barrier() {
+        let m = compile(
+            "kernel void rev(global const float* in, global float* out) {
+                local float tile[4];
+                size_t lid = get_local_id(0);
+                size_t ls = get_local_size(0);
+                size_t base = get_group_id(0) * ls;
+                tile[lid] = in[base + lid];
+                barrier(0);
+                out[base + lid] = tile[ls - 1 - lid];
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let inb = mem.alloc(32);
+        let out = mem.alloc(32);
+        mem.write_f32(inb, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "rev",
+                NdRange::new_1d(8, 4),
+                &[ArgValue::Buffer(inb), ArgValue::Buffer(out)],
+            )
+            .unwrap();
+        assert_eq!(mem.read_f32(out), vec![4.0, 3.0, 2.0, 1.0, 8.0, 7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn atomics_count() {
+        let m = compile(
+            "kernel void count(global int* counter) {
+                atomic_add(counter, 1);
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let c = mem.alloc(4);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "count", NdRange::new_1d(64, 8), &[ArgValue::Buffer(c)])
+            .unwrap();
+        assert_eq!(mem.read_i32(c), vec![64]);
+    }
+
+    #[test]
+    fn ternary_and_logic() {
+        let m = compile(
+            "kernel void k(global int* out, int n) {
+                size_t i = get_global_id(0);
+                int v = (int)i;
+                out[i] = (v > 1 && v < n) ? v : -v;
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(16);
+        Interpreter::new(&m)
+            .run_kernel(
+                &mut mem,
+                "k",
+                NdRange::new_1d(4, 2),
+                &[ArgValue::Buffer(out), ArgValue::Scalar(Value::I32(3))],
+            )
+            .unwrap();
+        assert_eq!(mem.read_i32(out), vec![0, -1, 2, -3]);
+    }
+
+    #[test]
+    fn math_builtins() {
+        let m = compile(
+            "kernel void k(global float* out) {
+                out[0] = sqrt(16.0f);
+                out[1] = fabs(-2.5f);
+                out[2] = min(3.0f, 1.0f);
+                out[3] = max(3, 7);
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(16);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(out)])
+            .unwrap();
+        let v = mem.read_f32(out);
+        assert_eq!(v[0], 4.0);
+        assert_eq!(v[1], 2.5);
+        assert_eq!(v[2], 1.0);
+        // out[3] stores an int-max result converted on assignment.
+        assert_eq!(v[3], 7.0);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let prog = parse("kernel void k(global float* o) { o[0] = unknown; }").unwrap();
+        assert!(lower(&prog).is_err());
+        let prog = parse("kernel void k(global float* o) { o[1.5] = 0.0f; }").unwrap();
+        assert!(lower(&prog).is_err());
+        let prog = parse("int f() { } kernel void k(global int* o) { o[0] = f(); }").unwrap();
+        // Fall-off non-void returns zero (documented), so this lowers fine.
+        assert!(lower(&prog).is_ok());
+        let prog = parse("kernel int k(global int* o) { return 1; }").unwrap();
+        assert!(lower(&prog).is_err(), "kernels must return void");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let prog = parse("kernel void k(global int* o) { break; }").unwrap();
+        assert!(lower(&prog).is_err());
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let prog = parse("void f() {} void f() {}").unwrap();
+        assert!(lower(&prog).is_err());
+    }
+
+    #[test]
+    fn dead_code_after_return_is_tolerated() {
+        let m = compile(
+            "kernel void k(global int* o) {
+                o[0] = 1;
+                return;
+                o[0] = 2;
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let o = mem.alloc(4);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(o)])
+            .unwrap();
+        assert_eq!(mem.read_i32(o), vec![1]);
+    }
+
+    #[test]
+    fn do_while_executes_at_least_once() {
+        let m = compile(
+            "kernel void k(global int* o) {
+                int i = 100;
+                int n = 0;
+                do { n += 1; i += 1; } while (i < 3);
+                o[0] = n;
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let o = mem.alloc(4);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(o)])
+            .unwrap();
+        assert_eq!(mem.read_i32(o), vec![1]);
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let m = compile(
+            "kernel void k(global float* o) {
+                global float* p = o + 2;
+                p[0] = 5.0f;
+            }",
+        );
+        let mut mem = DeviceMemory::new();
+        let o = mem.alloc(16);
+        Interpreter::new(&m)
+            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(o)])
+            .unwrap();
+        assert_eq!(mem.read_f32(o)[2], 5.0);
+    }
+}

@@ -1,0 +1,572 @@
+//! Lexical analysis for MiniCL, the OpenCL C dialect of this reproduction.
+
+use crate::error::CompileError;
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword-adjacent name.
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex).
+    IntLit(i64),
+    /// Float literal; `true` when suffixed `f`/`F` (single precision).
+    FloatLit(f64, bool),
+    /// A keyword.
+    Kw(Kw),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Eq,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `%=`
+    PercentEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::IntLit(v) => write!(f, "integer literal `{v}`"),
+            Tok::FloatLit(v, _) => write!(f, "float literal `{v}`"),
+            Tok::Kw(k) => write!(f, "keyword `{k}`"),
+            Tok::Eof => f.write_str("end of input"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Question => "?",
+                    Tok::Colon => ":",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::PlusPlus => "++",
+                    Tok::MinusMinus => "--",
+                    Tok::Bang => "!",
+                    Tok::Tilde => "~",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::AmpAmp => "&&",
+                    Tok::PipePipe => "||",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::Le => "<=",
+                    Tok::Ge => ">=",
+                    Tok::EqEq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Eq => "=",
+                    Tok::PlusEq => "+=",
+                    Tok::MinusEq => "-=",
+                    Tok::StarEq => "*=",
+                    Tok::SlashEq => "/=",
+                    Tok::PercentEq => "%=",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// MiniCL keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `kernel` (also accepts `__kernel`).
+    Kernel,
+    /// `void`
+    Void,
+    /// `bool`
+    Bool,
+    /// `int`
+    Int,
+    /// `uint`
+    Uint,
+    /// `long`
+    Long,
+    /// `size_t`
+    SizeT,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `global` (also `__global`)
+    Global,
+    /// `local` (also `__local`)
+    Local,
+    /// `constant` (also `__constant`)
+    Constant,
+    /// `private` (also `__private`)
+    Private,
+    /// `const`
+    Const,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+impl fmt::Display for Kw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Kw::Kernel => "kernel",
+            Kw::Void => "void",
+            Kw::Bool => "bool",
+            Kw::Int => "int",
+            Kw::Uint => "uint",
+            Kw::Long => "long",
+            Kw::SizeT => "size_t",
+            Kw::Float => "float",
+            Kw::Double => "double",
+            Kw::Global => "global",
+            Kw::Local => "local",
+            Kw::Constant => "constant",
+            Kw::Private => "private",
+            Kw::Const => "const",
+            Kw::If => "if",
+            Kw::Else => "else",
+            Kw::For => "for",
+            Kw::While => "while",
+            Kw::Do => "do",
+            Kw::Return => "return",
+            Kw::Break => "break",
+            Kw::Continue => "continue",
+            Kw::True => "true",
+            Kw::False => "false",
+        };
+        f.write_str(s)
+    }
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "kernel" | "__kernel" => Kw::Kernel,
+        "void" => Kw::Void,
+        "bool" => Kw::Bool,
+        "int" => Kw::Int,
+        "uint" | "unsigned" => Kw::Uint,
+        "long" => Kw::Long,
+        "size_t" => Kw::SizeT,
+        "float" => Kw::Float,
+        "double" => Kw::Double,
+        "global" | "__global" => Kw::Global,
+        "local" | "__local" => Kw::Local,
+        "constant" | "__constant" => Kw::Constant,
+        "private" | "__private" => Kw::Private,
+        "const" => Kw::Const,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "for" => Kw::For,
+        "while" => Kw::While,
+        "do" => Kw::Do,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        _ => return None,
+    })
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Tokenise MiniCL source.
+///
+/// Line (`//`) and block (`/* */`) comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on unknown characters, malformed numbers and
+/// unterminated block comments.
+///
+/// # Examples
+///
+/// ```
+/// use minicl::token::{lex, Tok};
+/// let toks = lex("x = 42;").unwrap();
+/// assert_eq!(toks[1].tok, Tok::Eq);
+/// assert_eq!(toks[2].tok, Tok::IntLit(42));
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! advance {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                advance!();
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                advance!();
+                advance!();
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance!();
+                        advance!();
+                        closed = true;
+                        break;
+                    }
+                    advance!();
+                }
+                if !closed {
+                    return Err(CompileError::at(pos, "unterminated block comment"));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    advance!();
+                }
+                let word = &src[start..i];
+                let tok = match keyword(word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_string()),
+                };
+                toks.push(Token { tok, pos });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                    advance!();
+                    advance!();
+                    let hs = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        advance!();
+                    }
+                    let v = i64::from_str_radix(&src[hs..i], 16)
+                        .map_err(|e| CompileError::at(pos, format!("bad hex literal: {e}")))?;
+                    toks.push(Token { tok: Tok::IntLit(v), pos });
+                    continue;
+                }
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance!();
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    advance!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        advance!();
+                    }
+                }
+                if i < bytes.len() && (bytes[i] | 32) == b'e' {
+                    is_float = true;
+                    advance!();
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        advance!();
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        advance!();
+                    }
+                }
+                let text = &src[start..i];
+                let mut single = false;
+                if i < bytes.len() && (bytes[i] | 32) == b'f' {
+                    is_float = true;
+                    single = true;
+                    advance!();
+                }
+                let tok = if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|e| CompileError::at(pos, format!("bad float literal: {e}")))?;
+                    Tok::FloatLit(v, single)
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| CompileError::at(pos, format!("bad int literal: {e}")))?;
+                    Tok::IntLit(v)
+                };
+                toks.push(Token { tok, pos });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "++" => (Tok::PlusPlus, 2),
+                    "--" => (Tok::MinusMinus, 2),
+                    "&&" => (Tok::AmpAmp, 2),
+                    "||" => (Tok::PipePipe, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "+=" => (Tok::PlusEq, 2),
+                    "-=" => (Tok::MinusEq, 2),
+                    "*=" => (Tok::StarEq, 2),
+                    "/=" => (Tok::SlashEq, 2),
+                    "%=" => (Tok::PercentEq, 2),
+                    _ => {
+                        let t = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b'?' => Tok::Question,
+                            b':' => Tok::Colon,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'!' => Tok::Bang,
+                            b'~' => Tok::Tilde,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'=' => Tok::Eq,
+                            other => {
+                                return Err(CompileError::at(
+                                    pos,
+                                    format!("unexpected character `{}`", other as char),
+                                ));
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                for _ in 0..len {
+                    advance!();
+                }
+                toks.push(Token { tok, pos });
+            }
+        }
+    }
+    toks.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_kernel_header() {
+        let toks = kinds("kernel void mop(global const float* ina)");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Kw(Kw::Kernel),
+                Tok::Kw(Kw::Void),
+                Tok::Ident("mop".into()),
+                Tok::LParen,
+                Tok::Kw(Kw::Global),
+                Tok::Kw(Kw::Const),
+                Tok::Kw(Kw::Float),
+                Tok::Star,
+                Tok::Ident("ina".into()),
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], Tok::IntLit(42));
+        assert_eq!(kinds("0x1F")[0], Tok::IntLit(31));
+        assert_eq!(kinds("1.5")[0], Tok::FloatLit(1.5, false));
+        assert_eq!(kinds("1.5f")[0], Tok::FloatLit(1.5, true));
+        assert_eq!(kinds("2e3")[0], Tok::FloatLit(2000.0, false));
+        assert_eq!(kinds("1.0e-2f")[0], Tok::FloatLit(0.01, true));
+        assert_eq!(kinds("3f")[0], Tok::FloatLit(3.0, true));
+    }
+
+    #[test]
+    fn lexes_double_underscore_keywords() {
+        assert_eq!(kinds("__kernel")[0], Tok::Kw(Kw::Kernel));
+        assert_eq!(kinds("__global")[0], Tok::Kw(Kw::Global));
+        assert_eq!(kinds("__local")[0], Tok::Kw(Kw::Local));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("a // comment\n b /* multi\nline */ c");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a<<=1"); // lexes as a, <<, =, 1
+        assert_eq!(toks[1], Tok::Shl);
+        assert_eq!(kinds("a+=b")[1], Tok::PlusEq);
+        assert_eq!(kinds("a&&b")[1], Tok::AmpAmp);
+        assert_eq!(kinds("i++")[1], Tok::PlusPlus);
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! Dataset generators: build real (functional-plane) launches for every
+//! Parboil kernel at a reduced scale.
+//!
+//! Each generator allocates and fills the kernel's buffers with seeded
+//! pseudo-random data shaped like the original benchmark's inputs (CSR
+//! graphs for `bfs`/`spmv`, packed atoms for `cutcp`, sample streams for
+//! the `histo`/`mri` families, frames for `sad`, matrices for `sgemm`),
+//! binds the arguments, and returns the launch geometry. Scale 1 is small
+//! enough for the interpreter; larger scales grow the dataset linearly.
+
+use crate::KernelSpec;
+use clrt::{Arg, Buffer, ClError, Context, Kernel, Program};
+use kernel_ir::interp::NdRange;
+use kernel_ir::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ready-to-enqueue functional launch.
+#[derive(Debug)]
+pub struct PreparedLaunch {
+    /// The kernel with every argument bound.
+    pub kernel: Kernel,
+    /// Launch geometry (reduced scale).
+    pub ndrange: NdRange,
+    /// Buffers of interest for validation (kernel-specific meaning).
+    pub outputs: Vec<Buffer>,
+}
+
+fn rng_for(spec: &KernelSpec, seed: u64) -> StdRng {
+    let mut h: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for b in spec.name.bytes() {
+        h = h.rotate_left(7) ^ b as u64;
+    }
+    StdRng::seed_from_u64(h)
+}
+
+fn f32s(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.random::<f32>()).collect()
+}
+
+fn i32s(rng: &mut StdRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// CSR adjacency with `nodes` rows and degrees in `0..max_deg`.
+fn csr(rng: &mut StdRng, nodes: usize, max_deg: i32) -> (Vec<i32>, Vec<i32>) {
+    let mut row_ptr = Vec::with_capacity(nodes + 1);
+    let mut cols = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..nodes {
+        let deg = rng.random_range(0..max_deg);
+        for _ in 0..deg {
+            cols.push(rng.random_range(0..nodes as i32));
+        }
+        row_ptr.push(cols.len() as i32);
+    }
+    (row_ptr, cols)
+}
+
+/// Build the functional launch for `spec` at `scale` (1 = smallest).
+///
+/// # Errors
+///
+/// Propagates [`ClError`] from buffer writes and argument binding; returns
+/// [`ClError::InvalidKernelName`] if `program` was not built from the
+/// spec's source.
+///
+/// # Panics
+///
+/// Panics if `scale` is zero.
+pub fn prepare_launch(
+    spec: &KernelSpec,
+    ctx: &mut Context,
+    program: &Program,
+    scale: usize,
+    seed: u64,
+) -> Result<PreparedLaunch, ClError> {
+    assert!(scale > 0, "scale must be at least 1");
+    let mut rng = rng_for(spec, seed);
+    let mut kernel = program.create_kernel(spec.entry)?;
+    let s = scale;
+
+    // Shorthands for building buffers.
+    macro_rules! fbuf {
+        ($data:expr) => {{
+            let d: Vec<f32> = $data;
+            let b = ctx.create_buffer(d.len() * 4);
+            ctx.write_f32(b, &d)?;
+            b
+        }};
+    }
+    macro_rules! ibuf {
+        ($data:expr) => {{
+            let d: Vec<i32> = $data;
+            let b = ctx.create_buffer(d.len() * 4);
+            ctx.write_i32(b, &d)?;
+            b
+        }};
+    }
+
+    let (ndrange, outputs) = match spec.name {
+        "bfs" => {
+            let nodes = 1024 * s;
+            let (row_ptr, cols) = csr(&mut rng, nodes, 16);
+            let frontier_size = 256 * s as i32;
+            let mut dist = vec![-1i32; nodes];
+            let frontier: Vec<i32> = (0..frontier_size)
+                .map(|_| rng.random_range(0..nodes as i32))
+                .collect();
+            for &f in &frontier {
+                dist[f as usize] = 1;
+            }
+            let b_row = ibuf!(row_ptr);
+            let b_cols = ibuf!(cols);
+            let b_dist = ibuf!(dist);
+            let b_frontier = ibuf!(frontier);
+            let b_next = ibuf!(vec![0; nodes]);
+            let b_count = ibuf!(vec![0]);
+            kernel.set_arg(0, Arg::Buffer(b_row))?;
+            kernel.set_arg(1, Arg::Buffer(b_cols))?;
+            kernel.set_arg(2, Arg::Buffer(b_dist))?;
+            kernel.set_arg(3, Arg::Buffer(b_frontier))?;
+            kernel.set_arg(4, Arg::Buffer(b_next))?;
+            kernel.set_arg(5, Arg::Buffer(b_count))?;
+            kernel.set_arg(6, Arg::Scalar(Value::I32(frontier_size)))?;
+            kernel.set_arg(7, Arg::Scalar(Value::I32(2)))?;
+            (NdRange::new_1d(512 * s, 512), vec![b_dist, b_count])
+        }
+        "cutcp" => {
+            let natoms = 64 * s as i32;
+            let (nx, ny) = (64, 16 * s);
+            let atoms = fbuf!(f32s(&mut rng, 4 * natoms as usize));
+            let lattice = fbuf!(vec![0.0; nx * ny]);
+            kernel.set_arg(0, Arg::Buffer(atoms))?;
+            kernel.set_arg(1, Arg::Buffer(lattice))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(natoms)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::F32(100.0)))?;
+            kernel.set_arg(4, Arg::Scalar(Value::I32(nx as i32)))?;
+            (NdRange::new_2d([nx, ny], [16, 8]), vec![lattice])
+        }
+        "histo_final" => {
+            let nbins = 256 * s;
+            let histo = ibuf!(i32s(&mut rng, nbins, 0, 1000));
+            let out = ibuf!(vec![0; nbins]);
+            kernel.set_arg(0, Arg::Buffer(histo))?;
+            kernel.set_arg(1, Arg::Buffer(out))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(nbins as i32)))?;
+            (NdRange::new_1d(nbins, 256), vec![out])
+        }
+        "histo_intermediates" => {
+            let n = 2048 * s;
+            let input = ibuf!(i32s(&mut rng, n, -10_000, 10_000));
+            let bins = ibuf!(vec![0; n]);
+            kernel.set_arg(0, Arg::Buffer(input))?;
+            kernel.set_arg(1, Arg::Buffer(bins))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(256)))?;
+            (NdRange::new_1d(n, 256), vec![bins])
+        }
+        "histo_main" => {
+            let n = 2048 * s;
+            let bins = ibuf!(i32s(&mut rng, n, 0, 256));
+            let histo = ibuf!(vec![0; 256]);
+            kernel.set_arg(0, Arg::Buffer(bins))?;
+            kernel.set_arg(1, Arg::Buffer(histo))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(256)))?;
+            (NdRange::new_1d(512, 256), vec![histo])
+        }
+        "histo_prescan" => {
+            let n = 2048 * s;
+            let input = ibuf!(i32s(&mut rng, n, -5_000, 5_000));
+            let minmax = ibuf!(vec![i32::MAX, i32::MIN]);
+            kernel.set_arg(0, Arg::Buffer(input))?;
+            kernel.set_arg(1, Arg::Buffer(minmax))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 128), vec![minmax])
+        }
+        "lbm" => {
+            let (nx, n) = (64, 4096 * s);
+            let src = fbuf!(f32s(&mut rng, n));
+            let dst = fbuf!(vec![0.0; n]);
+            kernel.set_arg(0, Arg::Buffer(src))?;
+            kernel.set_arg(1, Arg::Buffer(dst))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(nx)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 128), vec![dst])
+        }
+        "mri-gridding_GPU" => {
+            let n = 1024 * s;
+            let gridsize = 256;
+            let samples = fbuf!(f32s(&mut rng, n));
+            let grid = ibuf!(vec![0; gridsize]);
+            kernel.set_arg(0, Arg::Buffer(samples))?;
+            kernel.set_arg(1, Arg::Buffer(grid))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(gridsize as i32)))?;
+            kernel.set_arg(4, Arg::Scalar(Value::I32(4)))?;
+            (NdRange::new_1d(n, 256), vec![grid])
+        }
+        "mri-gridding_binning" => {
+            let n = 2048 * s;
+            let nbins = 64;
+            let sx = fbuf!(f32s(&mut rng, n));
+            let bin_of = ibuf!(vec![0; n]);
+            let bin_count = ibuf!(vec![0; nbins]);
+            kernel.set_arg(0, Arg::Buffer(sx))?;
+            kernel.set_arg(1, Arg::Buffer(bin_of))?;
+            kernel.set_arg(2, Arg::Buffer(bin_count))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(4, Arg::Scalar(Value::I32(nbins as i32)))?;
+            (NdRange::new_1d(n, 256), vec![bin_of, bin_count])
+        }
+        "mri-gridding_reorder" => {
+            let n = 1024 * s;
+            let nbins = 32usize;
+            let bin_of_v = i32s(&mut rng, n, 0, nbins as i32);
+            let mut counts = vec![0i32; nbins];
+            for &b in &bin_of_v {
+                counts[b as usize] += 1;
+            }
+            let mut bin_start_v = vec![0i32; nbins];
+            for i in 1..nbins {
+                bin_start_v[i] = bin_start_v[i - 1] + counts[i - 1];
+            }
+            let sx = fbuf!(f32s(&mut rng, n));
+            let bin_of = ibuf!(bin_of_v);
+            let bin_start = ibuf!(bin_start_v);
+            let cursor = ibuf!(vec![0; nbins]);
+            let out = ibuf!(vec![0; n]);
+            kernel.set_arg(0, Arg::Buffer(sx))?;
+            kernel.set_arg(1, Arg::Buffer(bin_of))?;
+            kernel.set_arg(2, Arg::Buffer(bin_start))?;
+            kernel.set_arg(3, Arg::Buffer(cursor))?;
+            kernel.set_arg(4, Arg::Buffer(out))?;
+            kernel.set_arg(5, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 256), vec![out])
+        }
+        "mri-gridding_scan_L1" => {
+            let n = 2048 * s;
+            let input = ibuf!(i32s(&mut rng, n, 0, 8));
+            let out = ibuf!(vec![0; n]);
+            let sums = ibuf!(vec![0; n / 256]);
+            kernel.set_arg(0, Arg::Buffer(input))?;
+            kernel.set_arg(1, Arg::Buffer(out))?;
+            kernel.set_arg(2, Arg::Buffer(sums))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 256), vec![out, sums])
+        }
+        "mri-gridding_scan_inter1" => {
+            let nblocks = 64 * s;
+            let sums = ibuf!(i32s(&mut rng, nblocks, 0, 100));
+            kernel.set_arg(0, Arg::Buffer(sums))?;
+            kernel.set_arg(1, Arg::Scalar(Value::I32(nblocks as i32)))?;
+            (NdRange::new_1d(64, 64), vec![sums])
+        }
+        "mri-gridding_scan_inter2" => {
+            let nblocks = 512 * s;
+            let sums = ibuf!(i32s(&mut rng, nblocks, 0, 100));
+            let carry = ibuf!(i32s(&mut rng, nblocks / 64 + 1, 0, 50));
+            kernel.set_arg(0, Arg::Buffer(sums))?;
+            kernel.set_arg(1, Arg::Buffer(carry))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(nblocks as i32)))?;
+            (NdRange::new_1d(nblocks, 256), vec![sums])
+        }
+        "mri-gridding_splitRearrange" => {
+            let n = 1024 * s;
+            let keys = ibuf!(i32s(&mut rng, n, 0, 1 << 20));
+            // `pos` must be a permutation for the scatter to be total.
+            let mut perm: Vec<i32> = (0..n as i32).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.random_range(0..=i));
+            }
+            let pos = ibuf!(perm);
+            let out = ibuf!(vec![0; n]);
+            kernel.set_arg(0, Arg::Buffer(keys))?;
+            kernel.set_arg(1, Arg::Buffer(pos))?;
+            kernel.set_arg(2, Arg::Buffer(out))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 256), vec![out])
+        }
+        "mri-gridding_splitSort" => {
+            let n = 1024 * s;
+            let keys = ibuf!(i32s(&mut rng, n, 0, 1 << 20));
+            kernel.set_arg(0, Arg::Buffer(keys))?;
+            kernel.set_arg(1, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(0)))?;
+            (NdRange::new_1d(n, 128), vec![keys])
+        }
+        "mri-gridding_uniformAdd" => {
+            let n = 2048 * s;
+            let data = ibuf!(i32s(&mut rng, n, 0, 1000));
+            let offsets = ibuf!(i32s(&mut rng, n / 256, 0, 100));
+            kernel.set_arg(0, Arg::Buffer(data))?;
+            kernel.set_arg(1, Arg::Buffer(offsets))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 256), vec![data])
+        }
+        "mri-q_ComputePhiMag" => {
+            let n = 1024 * s;
+            let phir = fbuf!(f32s(&mut rng, n));
+            let phii = fbuf!(f32s(&mut rng, n));
+            let mag = fbuf!(vec![0.0; n]);
+            kernel.set_arg(0, Arg::Buffer(phir))?;
+            kernel.set_arg(1, Arg::Buffer(phii))?;
+            kernel.set_arg(2, Arg::Buffer(mag))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 256), vec![mag])
+        }
+        "mri-q_ComputeQ" => {
+            let n = 512 * s;
+            let nk = 128;
+            let kx = fbuf!(f32s(&mut rng, nk));
+            let mag = fbuf!(f32s(&mut rng, nk));
+            let qr = fbuf!(vec![0.0; n]);
+            let qi = fbuf!(vec![0.0; n]);
+            kernel.set_arg(0, Arg::Buffer(kx))?;
+            kernel.set_arg(1, Arg::Buffer(mag))?;
+            kernel.set_arg(2, Arg::Buffer(qr))?;
+            kernel.set_arg(3, Arg::Buffer(qi))?;
+            kernel.set_arg(4, Arg::Scalar(Value::I32(nk as i32)))?;
+            (NdRange::new_1d(n, 256), vec![qr, qi])
+        }
+        "sad_calc" => {
+            let width = 64;
+            let positions = 8 * s;
+            let blocks = (width / 4) * (width / 4);
+            let cur = ibuf!(i32s(&mut rng, width * width, 0, 256));
+            let refb = ibuf!(i32s(&mut rng, width * width + positions, 0, 256));
+            let sad = ibuf!(vec![0; positions * blocks]);
+            kernel.set_arg(0, Arg::Buffer(cur))?;
+            kernel.set_arg(1, Arg::Buffer(refb))?;
+            kernel.set_arg(2, Arg::Buffer(sad))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(width as i32)))?;
+            kernel.set_arg(4, Arg::Scalar(Value::I32(positions as i32)))?;
+            (NdRange::new_2d([blocks, positions], [32, 4]), vec![sad])
+        }
+        "sad_calc_16" => {
+            let blocks16 = 16;
+            let positions = 8 * s;
+            let sad8 = ibuf!(i32s(&mut rng, positions * blocks16 * 4, 0, 4000));
+            let sad16 = ibuf!(vec![0; positions * blocks16]);
+            kernel.set_arg(0, Arg::Buffer(sad8))?;
+            kernel.set_arg(1, Arg::Buffer(sad16))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(blocks16 as i32)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(positions as i32)))?;
+            (NdRange::new_2d([blocks16, positions], [16, 8]), vec![sad16])
+        }
+        "sad_calc_8" => {
+            let blocks8 = 64;
+            let positions = 8 * s;
+            let sad4 = ibuf!(i32s(&mut rng, positions * blocks8 * 4, 0, 2000));
+            let sad8 = ibuf!(vec![0; positions * blocks8]);
+            kernel.set_arg(0, Arg::Buffer(sad4))?;
+            kernel.set_arg(1, Arg::Buffer(sad8))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(blocks8 as i32)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(positions as i32)))?;
+            (NdRange::new_2d([blocks8, positions], [32, 4]), vec![sad8])
+        }
+        "sgemm" => {
+            let n = 64 * s;
+            let a = fbuf!(f32s(&mut rng, n * n));
+            let b = fbuf!(f32s(&mut rng, n * n));
+            let c = fbuf!(vec![0.0; n * n]);
+            kernel.set_arg(0, Arg::Buffer(a))?;
+            kernel.set_arg(1, Arg::Buffer(b))?;
+            kernel.set_arg(2, Arg::Buffer(c))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(4, Arg::Scalar(Value::F32(1.0)))?;
+            kernel.set_arg(5, Arg::Scalar(Value::F32(0.0)))?;
+            (NdRange::new_2d([n, n], [64, 2]), vec![c])
+        }
+        "spmv" => {
+            let rows = 1024 * s;
+            let (row_ptr, cols) = csr(&mut rng, rows, 32);
+            let nnz = cols.len();
+            let b_row = ibuf!(row_ptr);
+            let b_cols = ibuf!(cols);
+            let vals = fbuf!(f32s(&mut rng, nnz.max(1)));
+            let x = fbuf!(f32s(&mut rng, rows));
+            let y = fbuf!(vec![0.0; rows]);
+            kernel.set_arg(0, Arg::Buffer(b_row))?;
+            kernel.set_arg(1, Arg::Buffer(b_cols))?;
+            kernel.set_arg(2, Arg::Buffer(vals))?;
+            kernel.set_arg(3, Arg::Buffer(x))?;
+            kernel.set_arg(4, Arg::Buffer(y))?;
+            kernel.set_arg(5, Arg::Scalar(Value::I32(rows as i32)))?;
+            (NdRange::new_1d(rows, 128), vec![y])
+        }
+        "stencil" => {
+            let (nx, ny) = (16, 16);
+            let n = 4096 * s;
+            let input = fbuf!(f32s(&mut rng, n));
+            let out = fbuf!(vec![0.0; n]);
+            kernel.set_arg(0, Arg::Buffer(input))?;
+            kernel.set_arg(1, Arg::Buffer(out))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(nx)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(ny)))?;
+            kernel.set_arg(4, Arg::Scalar(Value::I32(n as i32)))?;
+            (NdRange::new_1d(n, 256), vec![out])
+        }
+        "tpacf" => {
+            let n = 1024 * s;
+            let nbins = 64;
+            let angles = fbuf!(f32s(&mut rng, n));
+            let hist = ibuf!(vec![0; nbins]);
+            kernel.set_arg(0, Arg::Buffer(angles))?;
+            kernel.set_arg(1, Arg::Buffer(hist))?;
+            kernel.set_arg(2, Arg::Scalar(Value::I32(n as i32)))?;
+            kernel.set_arg(3, Arg::Scalar(Value::I32(nbins as i32)))?;
+            (NdRange::new_1d(n, 128), vec![hist])
+        }
+        other => {
+            return Err(ClError::InvalidKernelName(format!(
+                "no dataset generator for `{other}`"
+            )))
+        }
+    };
+
+    Ok(PreparedLaunch { kernel, ndrange, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clrt::{CommandQueue, Platform};
+
+    /// Every kernel must run functionally end-to-end on its dataset.
+    #[test]
+    fn all_kernels_execute_on_their_datasets() {
+        for spec in KernelSpec::all() {
+            let mut ctx = Context::new(&Platform::nvidia());
+            let program = Program::build(spec.source)
+                .unwrap_or_else(|e| panic!("`{}` build: {e}", spec.name));
+            let prepared = prepare_launch(spec, &mut ctx, &program, 1, 7)
+                .unwrap_or_else(|e| panic!("`{}` prepare: {e}", spec.name));
+            let mut q = CommandQueue::new();
+            let ev = q
+                .enqueue_nd_range(&mut ctx, &prepared.kernel, prepared.ndrange)
+                .unwrap_or_else(|e| panic!("`{}` run: {e}", spec.name));
+            assert!(ev.stats.total_insns > 0, "`{}` executed nothing", spec.name);
+        }
+    }
+
+    #[test]
+    fn spot_check_semantics_histo_main() {
+        let spec = KernelSpec::by_name("histo_main").unwrap();
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).unwrap();
+        let p = prepare_launch(spec, &mut ctx, &program, 1, 3).unwrap();
+        let mut q = CommandQueue::new();
+        q.enqueue_nd_range(&mut ctx, &p.kernel, p.ndrange).unwrap();
+        let histo = ctx.read_i32(p.outputs[0]).unwrap();
+        assert_eq!(histo.iter().sum::<i32>(), 2048, "every sample lands in a bin");
+    }
+
+    #[test]
+    fn spot_check_semantics_splitsort_sorts_tiles() {
+        let spec = KernelSpec::by_name("mri-gridding_splitSort").unwrap();
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).unwrap();
+        let p = prepare_launch(spec, &mut ctx, &program, 1, 3).unwrap();
+        let mut q = CommandQueue::new();
+        q.enqueue_nd_range(&mut ctx, &p.kernel, p.ndrange).unwrap();
+        let keys = ctx.read_i32(p.outputs[0]).unwrap();
+        for tile in keys.chunks(128) {
+            for w in tile.windows(2) {
+                assert!(w[0] <= w[1], "each 128-wide tile must be sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn spot_check_semantics_scan_l1() {
+        let spec = KernelSpec::by_name("mri-gridding_scan_L1").unwrap();
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).unwrap();
+        let p = prepare_launch(spec, &mut ctx, &program, 1, 9).unwrap();
+        let mut q = CommandQueue::new();
+        q.enqueue_nd_range(&mut ctx, &p.kernel, p.ndrange).unwrap();
+        let out = ctx.read_i32(p.outputs[0]).unwrap();
+        // Inclusive scans of non-negative inputs are non-decreasing within
+        // each block.
+        for blk in out.chunks(256) {
+            for w in blk.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_grows_datasets() {
+        let spec = KernelSpec::by_name("stencil").unwrap();
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).unwrap();
+        let p1 = prepare_launch(spec, &mut ctx, &program, 1, 1).unwrap();
+        let p2 = prepare_launch(spec, &mut ctx, &program, 2, 1).unwrap();
+        assert_eq!(p2.ndrange.total_items(), 2 * p1.ndrange.total_items());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be at least 1")]
+    fn zero_scale_rejected() {
+        let spec = KernelSpec::by_name("lbm").unwrap();
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).unwrap();
+        let _ = prepare_launch(spec, &mut ctx, &program, 0, 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Fairness metrics for accelerator sharing (paper §7.4).
+//!
+//! A heterogeneous system is fair if the slowdowns of kernel executions
+//! running concurrently are the same (Ebrahimi et al., ASPLOS'10, as adopted
+//! by the paper).
+
+/// Individual slowdown of one kernel execution:
+/// `IS_i = T(shared)_i / T(alone)_i`.
+///
+/// # Panics
+///
+/// Panics if `alone` is zero.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sched_metrics::individual_slowdown(200, 100), 2.0);
+/// ```
+pub fn individual_slowdown(shared: u64, alone: u64) -> f64 {
+    assert!(alone > 0, "isolated execution time must be positive");
+    shared as f64 / alone as f64
+}
+
+/// System unfairness: `U = max(IS) / min(IS)` (lower is better; 1.0 is
+/// perfectly fair).
+///
+/// # Panics
+///
+/// Panics if `slowdowns` is empty or contains a non-positive value.
+///
+/// # Examples
+///
+/// ```
+/// let u = sched_metrics::unfairness(&[2.0, 4.0]);
+/// assert_eq!(u, 2.0);
+/// assert_eq!(sched_metrics::unfairness(&[3.0, 3.0, 3.0]), 1.0);
+/// ```
+pub fn unfairness(slowdowns: &[f64]) -> f64 {
+    assert!(!slowdowns.is_empty(), "need at least one slowdown");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &s in slowdowns {
+        assert!(s > 0.0, "slowdowns must be positive, got {s}");
+        min = min.min(s);
+        max = max.max(s);
+    }
+    max / min
+}
+
+/// Fairness improvement of scheme X over the baseline:
+/// `U_baseline / U_X` (higher is better; >1 means X is fairer).
+///
+/// # Panics
+///
+/// Panics if `u_x` is not positive.
+pub fn fairness_improvement(u_baseline: f64, u_x: f64) -> f64 {
+    assert!(u_x > 0.0, "unfairness must be positive");
+    u_baseline / u_x
+}
+
+/// Average normalized turnaround time (Eyerman & Eeckhout):
+/// `ANTT = (1/n) Σ T(shared)_i / T(alone)_i` (lower is better).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `alone` has zeros.
+pub fn antt(shared: &[u64], alone: &[u64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "mismatched lengths");
+    assert!(!shared.is_empty(), "need at least one kernel");
+    let sum: f64 = shared.iter().zip(alone).map(|(&s, &a)| individual_slowdown(s, a)).sum();
+    sum / shared.len() as f64
+}
+
+/// Worst-case normalized turnaround time: `max_i T(shared)_i / T(alone)_i`.
+///
+/// # Panics
+///
+/// Panics like [`antt`].
+pub fn worst_antt(shared: &[u64], alone: &[u64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "mismatched lengths");
+    assert!(!shared.is_empty(), "need at least one kernel");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| individual_slowdown(s, a))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// System throughput (Eyerman & Eeckhout):
+/// `STP = Σ T(alone)_i / T(shared)_i` (higher is better; at most n).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `shared` has zeros.
+pub fn stp(shared: &[u64], alone: &[u64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "mismatched lengths");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(s > 0, "shared execution time must be positive");
+            a as f64 / s as f64
+        })
+        .sum()
+}
+
+/// Jain's fairness index (Jain et al., the paper's reference [17]):
+/// `J = (Σ x_i)² / (n · Σ x_i²)` over per-kernel *throughputs*
+/// `x_i = T(alone)_i / T(shared)_i`. Ranges over `(0, 1]`; 1 is perfectly
+/// fair, `1/n` is maximally unfair.
+///
+/// The paper adopts max/min [`unfairness`] as its headline metric; Jain's
+/// index is provided for cross-checking because it weights *all* kernels,
+/// not only the extremes.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain zeros.
+///
+/// # Examples
+///
+/// ```
+/// // Equal slowdowns => perfectly fair.
+/// assert!((sched_metrics::jain_index(&[200, 200], &[100, 100]) - 1.0).abs() < 1e-12);
+/// // One kernel starved => index falls towards 1/n.
+/// let j = sched_metrics::jain_index(&[100, 1_000], &[100, 100]);
+/// assert!(j < 0.65);
+/// ```
+pub fn jain_index(shared: &[u64], alone: &[u64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "mismatched lengths");
+    assert!(!shared.is_empty(), "need at least one kernel");
+    let xs: Vec<f64> = shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(s > 0 && a > 0, "times must be positive");
+            a as f64 / s as f64
+        })
+        .collect();
+    let sum: f64 = xs.iter().sum();
+    let sq_sum: f64 = xs.iter().map(|x| x * x).sum();
+    (sum * sum) / (xs.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfectly_fair_system() {
+        assert_eq!(unfairness(&[2.0, 2.0, 2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn serialised_system_is_unfair() {
+        // 4 equal kernels run back to back: slowdowns 1, 2, 3, 4.
+        let u = unfairness(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(u, 4.0);
+    }
+
+    #[test]
+    fn improvement_ratio() {
+        assert_eq!(fairness_improvement(8.0, 2.0), 4.0);
+        assert!(fairness_improvement(1.0, 2.0) < 1.0);
+    }
+
+    #[test]
+    fn antt_and_worst() {
+        let shared = [200, 300];
+        let alone = [100, 100];
+        assert_eq!(antt(&shared, &alone), 2.5);
+        assert_eq!(worst_antt(&shared, &alone), 3.0);
+    }
+
+    #[test]
+    fn stp_of_ideal_sharing() {
+        // Two kernels each slowed 2x => STP = 1.0 (work conserving).
+        assert_eq!(stp(&[200, 200], &[100, 100]), 1.0);
+        // No sharing penalty at all => STP = 2.0.
+        assert_eq!(stp(&[100, 100], &[100, 100]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_alone_time_rejected() {
+        let _ = individual_slowdown(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_slowdowns_rejected() {
+        let _ = unfairness(&[]);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_index(&[300; 8], &[100; 8]) - 1.0).abs() < 1e-12);
+        // n kernels, one getting everything: J -> 1/n.
+        let shared = [100, 10_000, 10_000, 10_000];
+        let alone = [100, 100, 100, 100];
+        let j = jain_index(&shared, &alone);
+        assert!(j > 0.25 && j < 0.30, "near 1/n: {j}");
+    }
+
+    proptest! {
+        #[test]
+        fn unfairness_at_least_one(xs in proptest::collection::vec(0.01f64..100.0, 1..16)) {
+            prop_assert!(unfairness(&xs) >= 1.0);
+        }
+
+        #[test]
+        fn jain_index_is_a_fraction(
+            pairs in proptest::collection::vec((1u64..10_000, 1u64..10_000), 1..16)
+        ) {
+            let shared: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let alone: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            let j = jain_index(&shared, &alone);
+            let n = pairs.len() as f64;
+            prop_assert!(j >= 1.0 / n - 1e-12);
+            prop_assert!(j <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn unfairness_scale_invariant(
+            xs in proptest::collection::vec(0.01f64..100.0, 1..16),
+            k in 0.1f64..10.0,
+        ) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            let d = (unfairness(&xs) - unfairness(&scaled)).abs();
+            prop_assert!(d < 1e-9 * unfairness(&xs).max(1.0));
+        }
+
+        #[test]
+        fn antt_between_min_and_max_slowdown(
+            pairs in proptest::collection::vec((1u64..10_000, 1u64..10_000), 1..16)
+        ) {
+            let shared: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let alone: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+            let a = antt(&shared, &alone);
+            let w = worst_antt(&shared, &alone);
+            prop_assert!(a <= w + 1e-12);
+        }
+
+        #[test]
+        fn stp_bounded_by_n(
+            pairs in proptest::collection::vec((1u64..10_000, 1u64..10_000), 1..16)
+        ) {
+            // When shared >= alone for every kernel (the physical case),
+            // each term is at most 1, so STP <= n.
+            let shared: Vec<u64> = pairs.iter().map(|p| p.0.max(p.1)).collect();
+            let alone: Vec<u64> = pairs.iter().map(|p| p.0.min(p.1).max(1)).collect();
+            prop_assert!(stp(&shared, &alone) <= pairs.len() as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Interval algebra over `(start, end)` pairs.
+//!
+//! The paper's kernel-execution-overlap metric (§7.4) is defined on the time
+//! intervals during which each kernel has at least one resident work group.
+//! This module provides the union/intersection machinery those computations
+//! need.
+
+/// A half-open interval set: disjoint, sorted `(start, end)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use sched_metrics::intervals::IntervalSet;
+/// let a = IntervalSet::from_raw(vec![(0, 10), (5, 20), (30, 40)]);
+/// assert_eq!(a.as_slice(), &[(0, 20), (30, 40)]);
+/// assert_eq!(a.total_len(), 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    ivs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Normalise arbitrary (possibly overlapping, unsorted, empty) intervals
+    /// into a canonical set. Empty (`start >= end`) intervals are dropped.
+    pub fn from_raw(mut ivs: Vec<(u64, u64)>) -> Self {
+        ivs.retain(|(s, e)| s < e);
+        ivs.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(ivs.len());
+        for (s, e) in ivs {
+            match out.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// The canonical intervals.
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.ivs
+    }
+
+    /// Sum of interval lengths.
+    pub fn total_len(&self) -> u64 {
+        self.ivs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Union with another set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = self.ivs.clone();
+        all.extend_from_slice(&other.ivs);
+        IntervalSet::from_raw(all)
+    }
+
+    /// Intersection with another set (classic two-pointer sweep).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (a0, a1) = self.ivs[i];
+            let (b0, b1) = other.ivs[j];
+            let s = a0.max(b0);
+            let e = a1.min(b1);
+            if s < e {
+                out.push((s, e));
+            }
+            if a1 <= b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+}
+
+/// Union of many interval sets.
+pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> IntervalSet {
+    sets.into_iter().fold(IntervalSet::new(), |acc, s| acc.union(s))
+}
+
+/// Intersection of many interval sets.
+///
+/// Returns the empty set when given no sets (there is no identity element
+/// representable without a universe bound).
+pub fn intersect_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> IntervalSet {
+    let mut it = sets.into_iter();
+    let Some(first) = it.next() else {
+        return IntervalSet::new();
+    };
+    it.fold(first.clone(), |acc, s| acc.intersect(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalisation_merges_and_sorts() {
+        let s = IntervalSet::from_raw(vec![(10, 20), (0, 5), (4, 12), (30, 30)]);
+        assert_eq!(s.as_slice(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = IntervalSet::from_raw(vec![(0, 10), (20, 30)]);
+        let b = IntervalSet::from_raw(vec![(5, 25)]);
+        assert_eq!(a.union(&b).as_slice(), &[(0, 30)]);
+        assert_eq!(a.intersect(&b).as_slice(), &[(5, 10), (20, 25)]);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = IntervalSet::from_raw(vec![(0, 10)]);
+        let b = IntervalSet::from_raw(vec![(10, 20)]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn union_all_and_intersect_all() {
+        let sets: Vec<IntervalSet> = vec![
+            IntervalSet::from_raw(vec![(0, 10)]),
+            IntervalSet::from_raw(vec![(5, 15)]),
+            IntervalSet::from_raw(vec![(8, 20)]),
+        ];
+        assert_eq!(union_all(&sets).as_slice(), &[(0, 20)]);
+        assert_eq!(intersect_all(&sets).as_slice(), &[(8, 10)]);
+        assert!(intersect_all(std::iter::empty::<&IntervalSet>()).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn canonical_form_is_disjoint_and_sorted(
+            raw in proptest::collection::vec((0u64..1_000, 0u64..1_000), 0..40)
+        ) {
+            let ivs: Vec<(u64, u64)> = raw.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect();
+            let s = IntervalSet::from_raw(ivs);
+            for w in s.as_slice().windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "gaps must separate canonical intervals");
+            }
+            for (a, b) in s.as_slice() {
+                prop_assert!(a < b);
+            }
+        }
+
+        #[test]
+        fn union_is_commutative_and_no_smaller(
+            xs in proptest::collection::vec((0u64..500, 1u64..100), 0..20),
+            ys in proptest::collection::vec((0u64..500, 1u64..100), 0..20),
+        ) {
+            let a = IntervalSet::from_raw(xs.iter().map(|&(s, l)| (s, s + l)).collect());
+            let b = IntervalSet::from_raw(ys.iter().map(|&(s, l)| (s, s + l)).collect());
+            let u1 = a.union(&b);
+            let u2 = b.union(&a);
+            prop_assert_eq!(&u1, &u2);
+            prop_assert!(u1.total_len() >= a.total_len().max(b.total_len()));
+            prop_assert!(u1.total_len() <= a.total_len() + b.total_len());
+        }
+
+        #[test]
+        fn intersection_is_bounded_by_operands(
+            xs in proptest::collection::vec((0u64..500, 1u64..100), 0..20),
+            ys in proptest::collection::vec((0u64..500, 1u64..100), 0..20),
+        ) {
+            let a = IntervalSet::from_raw(xs.iter().map(|&(s, l)| (s, s + l)).collect());
+            let b = IntervalSet::from_raw(ys.iter().map(|&(s, l)| (s, s + l)).collect());
+            let i = a.intersect(&b);
+            prop_assert!(i.total_len() <= a.total_len().min(b.total_len()));
+            // inclusion-exclusion: |A∪B| = |A| + |B| - |A∩B|
+            prop_assert_eq!(
+                a.union(&b).total_len() + i.total_len(),
+                a.total_len() + b.total_len()
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # sched-metrics — fairness and throughput metrics for accelerator sharing
+//!
+//! Implements every metric of the accelOS paper's §7.4:
+//!
+//! * [`individual_slowdown`] — `IS_i = T(shared)_i / T(alone)_i`;
+//! * [`unfairness`] — `U = max(IS) / min(IS)` (Ebrahimi et al.);
+//! * [`fairness_improvement`] — `U_baseline / U_X`;
+//! * [`execution_overlap`] — `O = T(c) / T(t)` on busy-interval sets;
+//! * [`throughput_speedup`] — `T_baseline / T_X`;
+//! * [`stp`], [`antt`], [`worst_antt`] — Eyerman & Eeckhout's multiprogram
+//!   metrics used by the paper's tables 1 and 2;
+//! * [`jain_index`] — Jain's fairness index (the paper's reference [17]),
+//!   for cross-checking the max/min metric.
+//!
+//! # Examples
+//!
+//! ```
+//! // Four equal kernels serialised by the baseline: slowdowns 1..4.
+//! let baseline = sched_metrics::unfairness(&[1.0, 2.0, 3.0, 4.0]);
+//! // accelOS slows each evenly.
+//! let accelos = sched_metrics::unfairness(&[3.6, 3.7, 3.8, 3.9]);
+//! let improvement = sched_metrics::fairness_improvement(baseline, accelos);
+//! assert!(improvement > 3.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod intervals;
+pub mod throughput;
+
+pub use fairness::{antt, fairness_improvement, individual_slowdown, jain_index, stp, unfairness, worst_antt};
+pub use intervals::IntervalSet;
+pub use throughput::{execution_overlap, throughput_speedup};

@@ -1,0 +1,110 @@
+//! Throughput and overlap metrics (paper §7.4).
+
+use crate::intervals::{intersect_all, union_all, IntervalSet};
+
+/// System throughput speedup of scheme X over the baseline:
+/// `T_baseline / T_X`, where each `T` is the time for *all* kernels of the
+/// workload to finish.
+///
+/// # Panics
+///
+/// Panics if `t_x` is zero.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sched_metrics::throughput_speedup(1300, 1000), 1.3);
+/// ```
+pub fn throughput_speedup(t_baseline: u64, t_x: u64) -> f64 {
+    assert!(t_x > 0, "execution time must be positive");
+    t_baseline as f64 / t_x as f64
+}
+
+/// Kernel execution overlap: `O = T(c) / T(t)` where `T(t)` is the time the
+/// accelerator is executing at least one of the kernels and `T(c)` the time
+/// *all* kernels are co-executing.
+///
+/// Returns a value in `[0, 1]`; returns 0.0 for an empty slice or when
+/// nothing ever executes.
+///
+/// # Examples
+///
+/// ```
+/// use sched_metrics::intervals::IntervalSet;
+/// use sched_metrics::execution_overlap;
+///
+/// // Two kernels sharing 50 of 150 total busy cycles.
+/// let a = IntervalSet::from_raw(vec![(0, 100)]);
+/// let b = IntervalSet::from_raw(vec![(50, 150)]);
+/// let o = execution_overlap(&[a, b]);
+/// assert!((o - 50.0 / 150.0).abs() < 1e-12);
+/// ```
+pub fn execution_overlap(busy: &[IntervalSet]) -> f64 {
+    if busy.is_empty() {
+        return 0.0;
+    }
+    let total = union_all(busy).total_len();
+    if total == 0 {
+        return 0.0;
+    }
+    let common = intersect_all(busy).total_len();
+    common as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_execution_has_zero_overlap() {
+        let a = IntervalSet::from_raw(vec![(0, 100)]);
+        let b = IntervalSet::from_raw(vec![(100, 200)]);
+        assert_eq!(execution_overlap(&[a, b]), 0.0);
+    }
+
+    #[test]
+    fn identical_intervals_have_full_overlap() {
+        let a = IntervalSet::from_raw(vec![(0, 100)]);
+        let sets = vec![a.clone(), a.clone(), a];
+        assert_eq!(execution_overlap(&sets), 1.0);
+    }
+
+    #[test]
+    fn all_kernels_must_co_execute() {
+        // a and b overlap, c is disjoint: with three kernels, T(c)=0.
+        let a = IntervalSet::from_raw(vec![(0, 100)]);
+        let b = IntervalSet::from_raw(vec![(50, 150)]);
+        let c = IntervalSet::from_raw(vec![(200, 300)]);
+        assert_eq!(execution_overlap(&[a, b, c]), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(execution_overlap(&[]), 0.0);
+        assert_eq!(execution_overlap(&[IntervalSet::new()]), 0.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(throughput_speedup(2000, 1000), 2.0);
+        assert_eq!(throughput_speedup(500, 1000), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_a_fraction(
+            sets in proptest::collection::vec(
+                proptest::collection::vec((0u64..500, 1u64..100), 1..10),
+                1..6,
+            )
+        ) {
+            let busy: Vec<IntervalSet> = sets
+                .into_iter()
+                .map(|v| IntervalSet::from_raw(v.into_iter().map(|(s, l)| (s, s + l)).collect()))
+                .collect();
+            let o = execution_overlap(&busy);
+            prop_assert!((0.0..=1.0).contains(&o));
+        }
+    }
+}

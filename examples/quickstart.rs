@@ -1,0 +1,62 @@
+//! Quickstart: compile an OpenCL-style kernel, run it transparently under
+//! the accelOS runtime, and read the results back.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use accelos::chunk::Mode;
+use accelos::proxycl::ProxyCl;
+use clrt::{Arg, Platform};
+use kernel_ir::interp::NdRange;
+use kernel_ir::Value;
+
+fn main() -> Result<(), clrt::ClError> {
+    // Attach the accelOS runtime to the NVIDIA-like platform. Applications
+    // keep using the ordinary host API — accelOS intercepts program builds
+    // (JIT transformation) and kernel launches (software scheduling).
+    let mut os = ProxyCl::new(&Platform::nvidia(), Mode::Optimized);
+
+    let program = os.build_program(
+        "kernel void saxpy(global float* y, global const float* x, float a) {
+            size_t i = get_global_id(0);
+            y[i] = a * x[i] + y[i];
+        }",
+    )?;
+    println!("built `saxpy`: kernels under accelOS keep their names and arity");
+    let info = program.info("saxpy").expect("kernel was just built");
+    println!(
+        "  JIT: compute fn `{}`, dequeue chunk {}, {} hoisted locals, {} IR instructions",
+        info.compute_fn, info.chunk, info.hoisted_locals, info.original_insns
+    );
+
+    // Ordinary buffer setup.
+    let n = 1 << 12;
+    let y = os.context_mut().create_buffer(n * 4);
+    let x = os.context_mut().create_buffer(n * 4);
+    os.context_mut().write_f32(y, &vec![1.0; n])?;
+    os.context_mut().write_f32(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>())?;
+
+    let mut kernel = program.create_kernel("saxpy")?;
+    kernel.set_arg(0, Arg::Buffer(y))?;
+    kernel.set_arg(1, Arg::Buffer(x))?;
+    kernel.set_arg(2, Arg::Scalar(Value::F32(2.0)))?;
+
+    // The launch goes through the Kernel Scheduler: the NDRange is recorded
+    // as a Virtual NDRange in device memory, the hardware launch shrinks to
+    // the fair-share worker count, and the persistent workers dequeue the
+    // original work groups.
+    let event = os.enqueue(&program, &kernel, NdRange::new_1d(n, 256))?;
+    println!(
+        "launch: device time {} cycles ({} dynamic instructions executed)",
+        event.duration(),
+        event.stats.total_insns
+    );
+
+    let out = os.context_mut().read_f32(y)?;
+    assert_eq!(out[0], 1.0);
+    assert_eq!(out[100], 201.0);
+    assert_eq!(out[n - 1], 2.0 * (n as f32 - 1.0) + 1.0);
+    println!("results verified: y = 2x + 1 for all {n} elements");
+    Ok(())
+}
