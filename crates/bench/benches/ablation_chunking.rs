@@ -1,21 +1,27 @@
 //! Bench: the §6.4 adaptive-scheduling ablation.
-use accel_bench::print_once;
-use accel_harness::experiments::{chunk_ablation, render_ablation, small_kernels, render_small_kernels};
+use accel_bench::figure_bench;
+use accel_harness::experiments::{
+    chunk_ablation, render_ablation, render_small_kernels, small_kernels,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::DeviceConfig;
 
 fn bench(c: &mut Criterion) {
     let dev = DeviceConfig::k20m();
-    print_once("ablation", || {
-        format!(
-            "{}\n{}",
-            render_ablation(&chunk_ablation(&dev, 2016), &dev.name),
-            render_small_kernels(&small_kernels(&dev, 2016), &dev.name)
-        )
-    });
-    c.bench_function("ablation_chunking", |b| {
-        b.iter(|| std::hint::black_box(chunk_ablation(&dev, 2016)))
-    });
+    figure_bench(
+        c,
+        "ablation_chunking",
+        || {
+            format!(
+                "{}\n{}",
+                render_ablation(&chunk_ablation(&dev, 2016), &dev.name),
+                render_small_kernels(&small_kernels(&dev, 2016), &dev.name)
+            )
+        },
+        || {
+            std::hint::black_box(chunk_ablation(&dev, 2016));
+        },
+    );
 }
 
 criterion_group!(benches, bench);

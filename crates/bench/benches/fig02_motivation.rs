@@ -1,14 +1,18 @@
 //! Bench: regenerate fig. 2 (motivation workload).
-use accel_bench::{k20m_runner, print_once};
+use accel_bench::{figure_bench, k20m_runner};
 use accel_harness::experiments::fig2;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let runner = k20m_runner();
-    print_once("fig2", || fig2(runner, 2016).to_string());
-    c.bench_function("fig02_motivation", |b| {
-        b.iter(|| std::hint::black_box(fig2(runner, 2016)))
-    });
+    figure_bench(
+        c,
+        "fig02_motivation",
+        || fig2(runner, 2016).to_string(),
+        || {
+            std::hint::black_box(fig2(runner, 2016));
+        },
+    );
 }
 
 criterion_group!(benches, bench);

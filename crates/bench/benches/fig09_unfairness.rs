@@ -1,19 +1,9 @@
 //! Bench: regenerate fig. 9 (average system unfairness).
-use accel_bench::{bench_config, k20m_runner, print_once};
-use accel_harness::experiments::{sweep, DeviceSweeps};
+use accel_bench::{k20m_runner, sweep_view_bench};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let runner = k20m_runner();
-    let cfg = bench_config();
-    print_once("fig9", || {
-        let ds = DeviceSweeps { sizes: vec![sweep(runner, &cfg, 2), sweep(runner, &cfg, 4), sweep(runner, &cfg, 8)] };
-        ds.fig9()
-    });
-    let mut g = c.benchmark_group("fig09_unfairness");
-    g.sample_size(10);
-    g.bench_function("sweep_2rq", |b| b.iter(|| std::hint::black_box(sweep(runner, &cfg, 2))));
-    g.finish();
+    sweep_view_bench(c, "fig09_unfairness", k20m_runner(), |ds| ds.fig9(), 2);
 }
 
 criterion_group!(benches, bench);

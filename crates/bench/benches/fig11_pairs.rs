@@ -1,19 +1,25 @@
 //! Bench: regenerate fig. 11 (alphabetic pairwise unfairness).
-use accel_bench::{k20m_runner, print_once, r9_runner};
+use accel_bench::{figure_bench, k20m_runner, r9_runner};
 use accel_harness::experiments::{fig11, render_fig11};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let nv = k20m_runner();
     let amd = r9_runner();
-    print_once("fig11", || {
-        format!(
-            "{}\n{}",
-            render_fig11(&fig11(nv, 2016), "K20m"),
-            render_fig11(&fig11(amd, 2016), "R9 295X2")
-        )
-    });
-    c.bench_function("fig11_pairs", |b| b.iter(|| std::hint::black_box(fig11(nv, 2016))));
+    figure_bench(
+        c,
+        "fig11_pairs",
+        || {
+            format!(
+                "{}\n{}",
+                render_fig11(&fig11(nv, 2016), "K20m"),
+                render_fig11(&fig11(amd, 2016), "R9 295X2")
+            )
+        },
+        || {
+            std::hint::black_box(fig11(nv, 2016));
+        },
+    );
 }
 
 criterion_group!(benches, bench);

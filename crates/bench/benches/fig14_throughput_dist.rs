@@ -1,19 +1,15 @@
 //! Bench: regenerate fig. 14 (throughput-speedup distribution).
-use accel_bench::{bench_config, k20m_runner, print_once};
-use accel_harness::experiments::{sweep, DeviceSweeps};
+use accel_bench::{k20m_runner, sweep_view_bench};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let runner = k20m_runner();
-    let cfg = bench_config();
-    print_once("fig14", || {
-        let ds = DeviceSweeps { sizes: vec![sweep(runner, &cfg, 2), sweep(runner, &cfg, 4), sweep(runner, &cfg, 8)] };
-        ds.fig14()
-    });
-    let mut g = c.benchmark_group("fig14_throughput_dist");
-    g.sample_size(10);
-    g.bench_function("sweep_4rq", |b| b.iter(|| std::hint::black_box(sweep(runner, &cfg, 4))));
-    g.finish();
+    sweep_view_bench(
+        c,
+        "fig14_throughput_dist",
+        k20m_runner(),
+        |ds| ds.fig14(),
+        4,
+    );
 }
 
 criterion_group!(benches, bench);

@@ -1,19 +1,25 @@
 //! Bench: regenerate fig. 15 (single-kernel performance impact).
-use accel_bench::{k20m_runner, print_once, r9_runner};
+use accel_bench::{figure_bench, k20m_runner, r9_runner};
 use accel_harness::experiments::{fig15, render_fig15};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let nv = k20m_runner();
     let amd = r9_runner();
-    print_once("fig15", || {
-        format!(
-            "{}\n{}",
-            render_fig15(&fig15(nv, 2016), "K20m"),
-            render_fig15(&fig15(amd, 2016), "R9 295X2")
-        )
-    });
-    c.bench_function("fig15_single_kernel", |b| b.iter(|| std::hint::black_box(fig15(nv, 2016))));
+    figure_bench(
+        c,
+        "fig15_single_kernel",
+        || {
+            format!(
+                "{}\n{}",
+                render_fig15(&fig15(nv, 2016), "K20m"),
+                render_fig15(&fig15(amd, 2016), "R9 295X2")
+            )
+        },
+        || {
+            std::hint::black_box(fig15(nv, 2016));
+        },
+    );
 }
 
 criterion_group!(benches, bench);

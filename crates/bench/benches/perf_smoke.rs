@@ -1,0 +1,41 @@
+//! Bench: the repro pipeline itself — sequential reference sweep vs the
+//! parallel sweep, on the fixed fig. 10-style configuration recorded in
+//! `BENCH_pr1.json` (see `cargo run -p accel-bench --bin bench_pr1`).
+//!
+//! Besides timing, the first iteration cross-checks that the parallel
+//! sweep reproduces the sequential metrics bit-for-bit.
+use accel_bench::{k20m_runner, perf_smoke_config, print_once};
+use accel_harness::experiments::{sweep, sweep_seq};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let runner = k20m_runner();
+    let cfg = perf_smoke_config();
+    print_once("perf_smoke", || {
+        let par = sweep(runner, &cfg, 4);
+        let seq = sweep_seq(runner, &cfg, 4);
+        assert_eq!(
+            par, seq,
+            "parallel sweep must be bit-identical to sequential"
+        );
+        format!(
+            "perf_smoke: parallel sweep verified bit-identical to sequential \
+             ({} workloads x {} reps, {} rayon threads)",
+            par.workloads.len(),
+            cfg.reps,
+            rayon::current_num_threads()
+        )
+    });
+    let mut g = c.benchmark_group("perf_smoke");
+    g.sample_size(10);
+    g.bench_function("sweep_seq_4rq", |b| {
+        b.iter(|| std::hint::black_box(sweep_seq(runner, &cfg, 4)))
+    });
+    g.bench_function("sweep_par_4rq", |b| {
+        b.iter(|| std::hint::black_box(sweep(runner, &cfg, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

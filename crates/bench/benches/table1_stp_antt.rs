@@ -1,19 +1,15 @@
 //! Bench: regenerate table 1 (STP/ANTT on the NVIDIA preset).
-use accel_bench::{bench_config, k20m_runner, print_once};
-use accel_harness::experiments::{sweep, DeviceSweeps};
+use accel_bench::{k20m_runner, sweep_view_bench};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let runner = k20m_runner();
-    let cfg = bench_config();
-    print_once("table1", || {
-        let ds = DeviceSweeps { sizes: vec![sweep(runner, &cfg, 2), sweep(runner, &cfg, 4), sweep(runner, &cfg, 8)] };
-        ds.table_stp_antt()
-    });
-    let mut g = c.benchmark_group("table1_stp_antt");
-    g.sample_size(10);
-    g.bench_function("sweep_2rq", |b| b.iter(|| std::hint::black_box(sweep(runner, &cfg, 2))));
-    g.finish();
+    sweep_view_bench(
+        c,
+        "table1_stp_antt",
+        k20m_runner(),
+        |ds| ds.table_stp_antt(),
+        2,
+    );
 }
 
 criterion_group!(benches, bench);

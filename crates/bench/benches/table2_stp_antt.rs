@@ -1,19 +1,15 @@
 //! Bench: regenerate table 2 (STP/ANTT on the AMD preset).
-use accel_bench::{bench_config, print_once, r9_runner};
-use accel_harness::experiments::{sweep, DeviceSweeps};
+use accel_bench::{r9_runner, sweep_view_bench};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let runner = r9_runner();
-    let cfg = bench_config();
-    print_once("table2", || {
-        let ds = DeviceSweeps { sizes: vec![sweep(runner, &cfg, 2), sweep(runner, &cfg, 4), sweep(runner, &cfg, 8)] };
-        ds.table_stp_antt()
-    });
-    let mut g = c.benchmark_group("table2_stp_antt");
-    g.sample_size(10);
-    g.bench_function("sweep_2rq", |b| b.iter(|| std::hint::black_box(sweep(runner, &cfg, 2))));
-    g.finish();
+    sweep_view_bench(
+        c,
+        "table2_stp_antt",
+        r9_runner(),
+        |ds| ds.table_stp_antt(),
+        2,
+    );
 }
 
 criterion_group!(benches, bench);

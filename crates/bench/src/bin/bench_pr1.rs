@@ -1,0 +1,79 @@
+//! `bench_pr1` — record the PR-1 perf-trajectory point.
+//!
+//! Runs the frozen fig. 10-style sweep (see
+//! [`accel_bench::perf_smoke_config`]) through the sequential reference
+//! path and the parallel pipeline on each request size {2, 4, 8}, verifies
+//! the outputs are bit-identical, and writes the wall-clock record to
+//! `BENCH_pr1.json` (CWD). Future PRs emit `BENCH_pr<N>.json` next to it,
+//! giving the repo a perf trajectory that is trivial to diff.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr1`
+
+use accel_bench::{k20m_runner, perf_smoke_config};
+use accel_harness::experiments::{sweep, sweep_seq, Sweep};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+fn main() {
+    let runner = k20m_runner();
+    let cfg = perf_smoke_config();
+    let threads = rayon::current_num_threads();
+
+    let mut rows = Vec::new();
+    for rq in [2usize, 4, 8] {
+        // Warm caches (kernel compilation, isolated times) out of the
+        // measured region, then measure each path.
+        let _ = sweep_seq(runner, &cfg, rq);
+        let (seq, seq_ms): (Sweep, f64) = time(|| sweep_seq(runner, &cfg, rq));
+        let (par, par_ms): (Sweep, f64) = time(|| sweep(runner, &cfg, rq));
+        assert_eq!(
+            seq, par,
+            "parallel sweep diverged from sequential at {rq} requests"
+        );
+        println!(
+            "request size {rq}: sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms \
+             ({:.2}x, {} threads), outputs bit-identical",
+            seq_ms / par_ms,
+            threads
+        );
+        rows.push((rq, seq_ms, par_ms));
+    }
+
+    let total_seq: f64 = rows.iter().map(|r| r.1).sum();
+    let total_par: f64 = rows.iter().map(|r| r.2).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 1,\n");
+    json.push_str("  \"bench\": \"perf_smoke fig10-style sweep (K20m preset)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"pairs\": {}, \"n4\": {}, \"n8\": {}, \"reps\": {}, \"seed\": {} }},",
+        cfg.pairs, cfg.n4, cfg.n8, cfg.reps, cfg.seed
+    );
+    let _ = writeln!(json, "  \"host_threads\": {threads},");
+    json.push_str("  \"request_sizes\": [\n");
+    for (i, (rq, seq_ms, par_ms)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"requests\": {rq}, \"sequential_ms\": {seq_ms:.2}, \"parallel_ms\": {par_ms:.2}, \"speedup\": {:.3}, \"bit_identical\": true }}",
+            seq_ms / par_ms
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"total\": {{ \"sequential_ms\": {total_seq:.2}, \"parallel_ms\": {total_par:.2}, \"speedup\": {:.3} }}",
+        total_seq / total_par
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
+    println!("wrote BENCH_pr1.json");
+}

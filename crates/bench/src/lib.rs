@@ -17,7 +17,26 @@ use std::sync::OnceLock;
 /// Sweep scale used by benches: big enough for stable shapes, small enough
 /// for minutes-long runs.
 pub fn bench_config() -> SweepConfig {
-    SweepConfig { pairs: 50, n4: 16, n8: 8, reps: 1, seed: 2016 }
+    SweepConfig {
+        pairs: 50,
+        n4: 16,
+        n8: 8,
+        reps: 1,
+        seed: 2016,
+    }
+}
+
+/// The fixed fig. 10-style configuration behind the `perf_smoke` bench and
+/// `BENCH_pr*.json` trajectory points. Frozen so wall-clock numbers stay
+/// comparable across PRs.
+pub fn perf_smoke_config() -> SweepConfig {
+    SweepConfig {
+        pairs: 48,
+        n4: 16,
+        n8: 8,
+        reps: 2,
+        seed: 2016,
+    }
 }
 
 /// Shared NVIDIA-preset runner (kernels compile once per process).
@@ -42,4 +61,46 @@ pub fn print_once(key: &'static str, render: impl FnOnce() -> String) {
     if printed.lock().unwrap().insert(key) {
         println!("\n{}", render());
     }
+}
+
+/// The shape shared by every "row" figure bench (fig. 2/11/15, ablation):
+/// print the rendered table once, then time `measured` under `key`.
+pub fn figure_bench(
+    c: &mut criterion::Criterion,
+    key: &'static str,
+    render: impl FnOnce() -> String,
+    mut measured: impl FnMut(),
+) {
+    print_once(key, render);
+    c.bench_function(key, |b| b.iter(&mut measured));
+}
+
+/// The shape shared by every "sweep projection" bench (fig. 9/10/12/13/14,
+/// tables 1/2): render one view of the 2/4/8-request device sweeps once,
+/// then time the sweep of `bench_rq` requests under `key`.
+pub fn sweep_view_bench(
+    c: &mut criterion::Criterion,
+    key: &'static str,
+    runner: &'static Runner,
+    view: impl FnOnce(&accel_harness::experiments::DeviceSweeps) -> String,
+    bench_rq: usize,
+) {
+    use accel_harness::experiments::{sweep, DeviceSweeps};
+    let cfg = bench_config();
+    print_once(key, || {
+        let ds = DeviceSweeps {
+            sizes: vec![
+                sweep(runner, &cfg, 2),
+                sweep(runner, &cfg, 4),
+                sweep(runner, &cfg, 8),
+            ],
+        };
+        view(&ds)
+    });
+    let mut g = c.benchmark_group(key);
+    g.sample_size(10);
+    g.bench_function(format!("sweep_{bench_rq}rq"), |b| {
+        b.iter(|| std::hint::black_box(sweep(runner, &cfg, bench_rq)))
+    });
+    g.finish();
 }

@@ -45,7 +45,11 @@ pub struct Context {
 impl Context {
     /// Create a context on a platform's device.
     pub fn new(platform: &Platform) -> Self {
-        Context { device: platform.device().clone(), mem: DeviceMemory::new(), allocated: 0 }
+        Context {
+            device: platform.device().clone(),
+            mem: DeviceMemory::new(),
+            allocated: 0,
+        }
     }
 
     /// The device this context targets.
@@ -61,7 +65,10 @@ impl Context {
     /// Allocate a device buffer (`clCreateBuffer`).
     pub fn create_buffer(&mut self, bytes: usize) -> Buffer {
         self.allocated += bytes;
-        Buffer { id: self.mem.alloc(bytes), bytes }
+        Buffer {
+            id: self.mem.alloc(bytes),
+            bytes,
+        }
     }
 
     fn check(&self, buf: Buffer, bytes: usize) -> Result<(), ClError> {

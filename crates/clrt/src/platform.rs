@@ -29,17 +29,26 @@ impl Platform {
 
     /// The NVIDIA-like platform (Tesla K20m preset).
     pub fn nvidia() -> Platform {
-        Platform { name: "NVIDIA OpenCL (simulated)".into(), device: DeviceConfig::k20m() }
+        Platform {
+            name: "NVIDIA OpenCL (simulated)".into(),
+            device: DeviceConfig::k20m(),
+        }
     }
 
     /// The AMD-like platform (R9 295X2 preset).
     pub fn amd() -> Platform {
-        Platform { name: "AMD APP (simulated)".into(), device: DeviceConfig::r9_295x2() }
+        Platform {
+            name: "AMD APP (simulated)".into(),
+            device: DeviceConfig::r9_295x2(),
+        }
     }
 
     /// A tiny-device platform for tests.
     pub fn test_tiny() -> Platform {
-        Platform { name: "test platform".into(), device: DeviceConfig::test_tiny() }
+        Platform {
+            name: "test platform".into(),
+            device: DeviceConfig::test_tiny(),
+        }
     }
 
     /// Platform name.

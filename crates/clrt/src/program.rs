@@ -38,8 +38,7 @@ impl Program {
     /// Returns [`ClError::BuildFailure`] with the front end's diagnostic on
     /// any compile error.
     pub fn build(source: &str) -> Result<Program, ClError> {
-        let module =
-            minicl::compile(source).map_err(|e| ClError::BuildFailure(e.to_string()))?;
+        let module = minicl::compile(source).map_err(|e| ClError::BuildFailure(e.to_string()))?;
         Self::from_module(module, source)
     }
 
@@ -55,12 +54,20 @@ impl Program {
             .map_err(|e| ClError::BuildFailure(e.to_string()))?;
         let profiles =
             KernelProfile::all(&module).map_err(|e| ClError::BuildFailure(e.to_string()))?;
-        Ok(Program { module: Rc::new(module), profiles, source: source.to_string() })
+        Ok(Program {
+            module: Rc::new(module),
+            profiles,
+            source: source.to_string(),
+        })
     }
 
     /// Names of kernels in the program.
     pub fn kernel_names(&self) -> Vec<String> {
-        self.module.kernel_names().into_iter().map(str::to_string).collect()
+        self.module
+            .kernel_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
     }
 
     /// The compiled module.
@@ -173,9 +180,10 @@ impl Kernel {
     ///
     /// Returns [`ClError::InvalidArgs`] if `index` is out of range.
     pub fn set_arg(&mut self, index: usize, arg: Arg) -> Result<(), ClError> {
-        let slot = self.args.get_mut(index).ok_or_else(|| {
-            ClError::InvalidArgs(format!("kernel takes {} arguments", index))
-        })?;
+        let slot = self
+            .args
+            .get_mut(index)
+            .ok_or_else(|| ClError::InvalidArgs(format!("kernel takes {} arguments", index)))?;
         *slot = Some(arg);
         Ok(())
     }
@@ -206,9 +214,7 @@ impl Kernel {
             .iter()
             .zip(&func.params)
             .map(|(a, p)| match (a, p.ty.pointee()) {
-                (Some(Arg::Local { elems }), Some(elem)) => {
-                    *elems as usize * elem.byte_size()
-                }
+                (Some(Arg::Local { elems }), Some(elem)) => *elems as usize * elem.byte_size(),
                 _ => 0,
             })
             .sum()
@@ -239,12 +245,18 @@ mod tests {
     #[test]
     fn unknown_kernel_rejected() {
         let p = Program::build(SRC).unwrap();
-        assert!(matches!(p.create_kernel("zzz"), Err(ClError::InvalidKernelName(_))));
+        assert!(matches!(
+            p.create_kernel("zzz"),
+            Err(ClError::InvalidKernelName(_))
+        ));
     }
 
     #[test]
     fn bad_source_reports_build_failure() {
-        assert!(matches!(Program::build("kernel void ("), Err(ClError::BuildFailure(_))));
+        assert!(matches!(
+            Program::build("kernel void ("),
+            Err(ClError::BuildFailure(_))
+        ));
     }
 
     #[test]

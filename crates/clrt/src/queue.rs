@@ -130,7 +130,7 @@ impl CommandQueue {
         } else {
             (stats.mem_ops as f64 / stats.total_insns as f64).min(1.0)
         };
-        let wg_costs: Vec<u64> = stats.insns_per_wg.iter().map(|&c| c.max(1)).collect();
+        let wg_costs: gpu_sim::Costs = stats.insns_per_wg.iter().map(|&c| c.max(1)).collect();
         let mut sim = Simulator::new(dev);
         let id = sim.add_launch(KernelLaunch {
             name: kernel.name().to_string(),
@@ -147,7 +147,12 @@ impl CommandQueue {
         let start = queued + k.first_start.unwrap_or(0);
         let end = queued + k.end;
         self.cursor = end;
-        Ok(Event { queued, start, end, stats })
+        Ok(Event {
+            queued,
+            start,
+            end,
+            stats,
+        })
     }
 }
 
@@ -189,8 +194,12 @@ mod tests {
     fn in_order_queue_serialises_commands() {
         let (mut ctx, k, buf) = setup();
         let mut q = CommandQueue::new();
-        let e1 = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4)).unwrap();
-        let e2 = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4)).unwrap();
+        let e1 = q
+            .enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4))
+            .unwrap();
+        let e2 = q
+            .enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4))
+            .unwrap();
         assert!(e2.queued >= e1.end);
         assert_eq!(q.finish(), e2.end);
         assert_eq!(ctx.read_i32(buf).unwrap(), vec![2; 16]);
@@ -200,7 +209,9 @@ mod tests {
     fn event_times_are_consistent() {
         let (mut ctx, k, _) = setup();
         let mut q = CommandQueue::new();
-        let e = q.enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4)).unwrap();
+        let e = q
+            .enqueue_nd_range(&mut ctx, &k, NdRange::new_1d(16, 4))
+            .unwrap();
         assert!(e.queued <= e.start);
         assert!(e.start < e.end);
         assert!(e.stats.total_insns > 0);
@@ -218,10 +229,7 @@ mod tests {
     #[test]
     fn execution_failures_are_surfaced() {
         let mut ctx = Context::new(&Platform::test_tiny());
-        let p = Program::build(
-            "kernel void oob(global int* b) { b[1000000] = 1; }",
-        )
-        .unwrap();
+        let p = Program::build("kernel void oob(global int* b) { b[1000000] = 1; }").unwrap();
         let mut k = p.create_kernel("oob").unwrap();
         let buf = ctx.create_buffer(4);
         k.set_arg(0, Arg::Buffer(buf)).unwrap();

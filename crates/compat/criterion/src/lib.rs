@@ -1,0 +1,159 @@
+//! # criterion (vendored shim)
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! vendors the subset of the `criterion` API the workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function` with
+//! `b.iter(..)`, the [`criterion_group!`] / [`criterion_main!`] macros and
+//! [`black_box`]. Instead of criterion's full statistical machinery it
+//! runs one warm-up iteration plus `sample_size` timed samples and prints
+//! min / median / mean per benchmark — enough to track the perf trajectory
+//! recorded in `BENCH_pr*.json`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 1,
+        };
+        // Warm-up pass (also primes lazy statics the benches rely on).
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let n = sorted.len().max(1);
+        let median = sorted[n / 2];
+        println!(
+            "bench {}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id,
+            sorted.first().copied().unwrap_or_default(),
+            median,
+            total / n as u32,
+            n
+        );
+        self
+    }
+
+    /// Finish the group (drop-equivalent; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters);
+    }
+}
+
+/// Declare a group of bench functions (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut runs = 0u32;
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! # proptest (vendored shim)
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! vendors the subset of the `proptest` API the workspace's property tests
+//! use: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive`, range / tuple / `Just` / string-pattern strategies,
+//! [`collection::vec`], [`bool::ANY`], [`prop_oneof!`] and the
+//! `prop_assert*` macros.
+//!
+//! Semantics versus real proptest: cases are generated from a seed derived
+//! from the test name (stable across runs — failures are reproducible),
+//! and there is **no shrinking**; a failing case reports the case number
+//! and message and panics immediately. That trades debuggability for zero
+//! dependencies, which is the right trade for an offline CI.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical `bool` strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.rng.random_bool(0.5)
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !len.is_empty() || len.start == len.end,
+            "empty length range"
+        );
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.rng.random_range(self.len.start..self.len.end)
+            };
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Generate each listed test body for `config.cases` generated inputs.
+///
+/// Supports the `#![proptest_config(..)]` header and one or more
+/// `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::__proptest_run!(config, $name, ( $( $arg in $strategy ),+ ) $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::test_runner::ProptestConfig::default();
+                $crate::__proptest_run!(config, $name, ( $( $arg in $strategy ),+ ) $body);
+            }
+        )*
+    };
+}
+
+/// Internal driver behind [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($config:expr, $name:ident, ( $( $arg:ident in $strategy:expr ),+ ) $body:block) => {{
+        let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+        for case in 0..$config.cases {
+            $(
+                let $arg = $crate::strategy::Strategy::gen_value(&$strategy, &mut rng);
+            )+
+            let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                Ok(())
+            })();
+            if let ::std::result::Result::Err(e) = outcome {
+                panic!("proptest `{}` failed at case {}/{}: {}", stringify!($name), case + 1, $config.cases, e);
+            }
+        }
+    }};
+}
+
+/// Assert inside a proptest body (fails the current case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}

@@ -35,8 +35,8 @@ use kernel_ir::analysis::static_insn_count;
 use kernel_ir::builder::FunctionBuilder;
 use kernel_ir::error::IrError;
 use kernel_ir::ir::{
-    AtomicOp, BinOp, CmpOp, ConstVal, Function, FunctionKind, Inst, Module, Op, Param,
-    Terminator, ValueId, WiBuiltin,
+    AtomicOp, BinOp, CmpOp, ConstVal, Function, FunctionKind, Inst, Module, Op, Param, Terminator,
+    ValueId, WiBuiltin,
 };
 use kernel_ir::types::{AddressSpace, Type};
 use std::collections::{BTreeMap, BTreeSet};
@@ -147,16 +147,20 @@ pub fn transform_module(module: &Module, mode: Mode) -> Result<TransformedProgra
 
     kernel_ir::verify::verify_module(&out)
         .map_err(|e| IrError::new(format!("internal: transformed module invalid: {e}")))?;
-    Ok(TransformedProgram { module: out, kernels: infos })
+    Ok(TransformedProgram {
+        module: out,
+        kernels: infos,
+    })
 }
 
 /// Helpers that must receive `rt`/`hdlr` parameters: those that use a
 /// group-dependent builtin, or (transitively) call one that does.
 fn helpers_needing_runtime(module: &Module) -> BTreeSet<String> {
     let uses_direct = |f: &Function| -> bool {
-        f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(&i.op, Op::WorkItem { builtin, .. } if builtin.group_dependent())
-        })
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(&i.op, Op::WorkItem { builtin, .. } if builtin.group_dependent()))
     };
     let mut need: BTreeSet<String> = module
         .functions
@@ -171,9 +175,11 @@ fn helpers_needing_runtime(module: &Module) -> BTreeSet<String> {
             if f.kind != FunctionKind::Helper || need.contains(&f.name) {
                 continue;
             }
-            let calls_needy = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-                matches!(&i.op, Op::Call { callee, .. } if need.contains(callee))
-            });
+            let calls_needy = f
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|i| matches!(&i.op, Op::Call { callee, .. } if need.contains(callee)));
             if calls_needy {
                 need.insert(f.name.clone());
                 grew = true;
@@ -216,7 +222,11 @@ fn for_each_operand_mut(op: &mut Op, f: &mut impl FnMut(&mut ValueId)) {
             f(ptr);
             f(value);
         }
-        Op::AtomicCmpXchg { ptr, expected, desired } => {
+        Op::AtomicCmpXchg {
+            ptr,
+            expected,
+            desired,
+        } => {
             f(ptr);
             f(expected);
             f(desired);
@@ -262,8 +272,14 @@ fn extend_with_runtime(func: &mut Function, extended: &BTreeSet<String>) {
             ValueId(v.0 + shift)
         }
     });
-    func.params.push(Param { name: "rt".into(), ty: rt_type() });
-    func.params.push(Param { name: "hdlr".into(), ty: Type::I64 });
+    func.params.push(Param {
+        name: "rt".into(),
+        ty: rt_type(),
+    });
+    func.params.push(Param {
+        name: "hdlr".into(),
+        ty: Type::I64,
+    });
     func.value_types.insert(old_params, rt_type());
     func.value_types.insert(old_params + 1, Type::I64);
     let rt = ValueId(old_params as u32);
@@ -299,7 +315,10 @@ impl<'f> Splicer<'f> {
 
     fn emit(&mut self, ty: Type, op: Op) -> ValueId {
         let id = self.fresh(ty);
-        self.out.push(Inst { result: Some(id), op });
+        self.out.push(Inst {
+            result: Some(id),
+            op,
+        });
         id
     }
 
@@ -314,7 +333,13 @@ impl<'f> Splicer<'f> {
     /// `load rt[slot]`.
     fn load_rt(&mut self, rt: ValueId, slot: usize) -> ValueId {
         let idx = self.const_i64(slot as i64);
-        let p = self.emit(rt_type(), Op::Gep { ptr: rt, index: idx });
+        let p = self.emit(
+            rt_type(),
+            Op::Gep {
+                ptr: rt,
+                index: idx,
+            },
+        );
         self.emit(Type::I64, Op::Load(p))
     }
 
@@ -346,7 +371,10 @@ impl<'f> Splicer<'f> {
 fn replace_group_builtins(func: &mut Function, rt: ValueId, hdlr: ValueId) {
     for b in 0..func.blocks.len() {
         let insts = std::mem::take(&mut func.blocks[b].insts);
-        let mut sp = Splicer { func, out: Vec::with_capacity(insts.len()) };
+        let mut sp = Splicer {
+            func,
+            out: Vec::with_capacity(insts.len()),
+        };
         for inst in insts {
             match &inst.op {
                 Op::WorkItem { builtin, dim } if builtin.group_dependent() => {
@@ -358,7 +386,13 @@ fn replace_group_builtins(func: &mut Function, rt: ValueId, hdlr: ValueId) {
                         }
                         WiBuiltin::NumGroups => {
                             let idx = sp.const_i64((SLOT_DIMS + dim as usize) as i64);
-                            let p = sp.emit(rt_type(), Op::Gep { ptr: rt, index: idx });
+                            let p = sp.emit(
+                                rt_type(),
+                                Op::Gep {
+                                    ptr: rt,
+                                    index: idx,
+                                },
+                            );
                             sp.emit_into(inst.result, Op::Load(p));
                         }
                         WiBuiltin::GlobalSize => {
@@ -366,7 +400,10 @@ fn replace_group_builtins(func: &mut Function, rt: ValueId, hdlr: ValueId) {
                             let n = sp.load_rt(rt, SLOT_DIMS + dim as usize);
                             let ls = sp.emit(
                                 Type::I64,
-                                Op::WorkItem { builtin: WiBuiltin::LocalSize, dim },
+                                Op::WorkItem {
+                                    builtin: WiBuiltin::LocalSize,
+                                    dim,
+                                },
                             );
                             sp.emit_into(inst.result, Op::Bin(BinOp::Mul, n, ls));
                         }
@@ -377,12 +414,18 @@ fn replace_group_builtins(func: &mut Function, rt: ValueId, hdlr: ValueId) {
                             sp.emit_into(Some(g), gop);
                             let ls = sp.emit(
                                 Type::I64,
-                                Op::WorkItem { builtin: WiBuiltin::LocalSize, dim },
+                                Op::WorkItem {
+                                    builtin: WiBuiltin::LocalSize,
+                                    dim,
+                                },
                             );
                             let base = sp.emit(Type::I64, Op::Bin(BinOp::Mul, g, ls));
                             let lid = sp.emit(
                                 Type::I64,
-                                Op::WorkItem { builtin: WiBuiltin::LocalId, dim },
+                                Op::WorkItem {
+                                    builtin: WiBuiltin::LocalId,
+                                    dim,
+                                },
                             );
                             sp.emit_into(inst.result, Op::Bin(BinOp::Add, base, lid));
                         }
@@ -414,12 +457,20 @@ fn hoist_local_allocas(func: &mut Function) -> Vec<HoistedLocal> {
     let mut found: Vec<(usize, usize, ValueId, HoistedLocal)> = Vec::new();
     for (b, block) in func.blocks.iter().enumerate() {
         for (ip, inst) in block.insts.iter().enumerate() {
-            if let Op::Alloca { elem, count, space: AddressSpace::Local } = &inst.op {
+            if let Op::Alloca {
+                elem,
+                count,
+                space: AddressSpace::Local,
+            } = &inst.op
+            {
                 found.push((
                     b,
                     ip,
                     inst.result.expect("alloca always has a result"),
-                    HoistedLocal { elem: elem.clone(), count: *count },
+                    HoistedLocal {
+                        elem: elem.clone(),
+                        count: *count,
+                    },
                 ));
             }
         }
@@ -442,7 +493,10 @@ fn hoist_local_allocas(func: &mut Function) -> Vec<HoistedLocal> {
         let ty = Type::ptr(AddressSpace::Local, h.elem.clone());
         func.params.insert(
             insert_at + j,
-            Param { name: format!("lheap{j}"), ty: ty.clone() },
+            Param {
+                name: format!("lheap{j}"),
+                ty: ty.clone(),
+            },
         );
         func.value_types.insert(insert_at + j, ty);
     }
@@ -456,9 +510,15 @@ fn hoist_local_allocas(func: &mut Function) -> Vec<HoistedLocal> {
         .collect();
     remap_values(func, &|v: ValueId| subst.get(&v).copied().unwrap_or(v));
     for block in &mut func.blocks {
-        block
-            .insts
-            .retain(|inst| !matches!(inst.op, Op::Alloca { space: AddressSpace::Local, .. }));
+        block.insts.retain(|inst| {
+            !matches!(
+                inst.op,
+                Op::Alloca {
+                    space: AddressSpace::Local,
+                    ..
+                }
+            )
+        });
     }
     found.into_iter().map(|(_, _, _, h)| h).collect()
 }
@@ -776,10 +836,8 @@ mod tests {
 
     #[test]
     fn transform_metadata_is_reported() {
-        let m = minicl::compile(
-            "kernel void small(global int* o) { o[get_global_id(0)] = 1; }",
-        )
-        .unwrap();
+        let m = minicl::compile("kernel void small(global int* o) { o[get_global_id(0)] = 1; }")
+            .unwrap();
         let tp = transform_module(&m, Mode::Optimized).unwrap();
         let info = tp.info("small").unwrap();
         assert_eq!(info.kernel, "small");
@@ -793,10 +851,8 @@ mod tests {
 
     #[test]
     fn naive_mode_forces_chunk_one() {
-        let m = minicl::compile(
-            "kernel void small(global int* o) { o[get_global_id(0)] = 1; }",
-        )
-        .unwrap();
+        let m = minicl::compile("kernel void small(global int* o) { o[get_global_id(0)] = 1; }")
+            .unwrap();
         let tp = transform_module(&m, Mode::Naive).unwrap();
         assert_eq!(tp.info("small").unwrap().chunk, 1);
     }
@@ -820,7 +876,10 @@ mod tests {
                 .any(|i| matches!(i.op, kernel_ir::ir::Op::Call { .. })),
             "no calls remain after inlining"
         );
-        assert!(inlined.module.function("k__vg").is_none(), "compute fn dropped");
+        assert!(
+            inlined.module.function("k__vg").is_none(),
+            "compute fn dropped"
+        );
 
         // Differential check against the uninlined transformed module.
         let nd = NdRange::new_1d(32, 8);

@@ -46,7 +46,12 @@ pub struct MemoryManager {
 impl MemoryManager {
     /// Manager for a device with `capacity` bytes of global memory.
     pub fn new(capacity: u64) -> Self {
-        MemoryManager { capacity, used: 0, allocs: BTreeMap::new(), waiting: Vec::new() }
+        MemoryManager {
+            capacity,
+            used: 0,
+            allocs: BTreeMap::new(),
+            waiting: Vec::new(),
+        }
     }
 
     /// Bytes currently allocated.
@@ -85,7 +90,10 @@ impl MemoryManager {
     ///
     /// Panics if `app` has fewer than `bytes` admitted.
     pub fn release(&mut self, app: AppId, bytes: u64) -> Vec<AppId> {
-        let held = self.allocs.get_mut(&app).expect("release from an app with allocations");
+        let held = self
+            .allocs
+            .get_mut(&app)
+            .expect("release from an app with allocations");
         assert!(*held >= bytes, "application releases more than it holds");
         *held -= bytes;
         if *held == 0 {

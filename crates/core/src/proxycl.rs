@@ -141,7 +141,11 @@ pub struct ProxyCl {
 impl ProxyCl {
     /// Attach the accelOS runtime to a platform.
     pub fn new(platform: &Platform, mode: Mode) -> Self {
-        ProxyCl { ctx: Context::new(platform), mode, cursor: 0 }
+        ProxyCl {
+            ctx: Context::new(platform),
+            mode,
+            cursor: 0,
+        }
     }
 
     /// The wrapped context (buffers and reads pass through untouched —
@@ -162,12 +166,14 @@ impl ProxyCl {
     ///
     /// Returns [`ClError::BuildFailure`] on front-end or JIT errors.
     pub fn build_program(&mut self, source: &str) -> Result<ProxyProgram, ClError> {
-        let module =
-            minicl::compile(source).map_err(|e| ClError::BuildFailure(e.to_string()))?;
+        let module = minicl::compile(source).map_err(|e| ClError::BuildFailure(e.to_string()))?;
         let transformed = transform_module(&module, self.mode)
             .map_err(|e| ClError::BuildFailure(e.to_string()))?;
         let program = Program::from_module(transformed.module, source)?;
-        Ok(ProxyProgram { program, infos: transformed.kernels })
+        Ok(ProxyProgram {
+            program,
+            infos: transformed.kernels,
+        })
     }
 
     /// Intercepted single-kernel enqueue (fig. 6 case (b)).
@@ -185,8 +191,11 @@ impl ProxyCl {
             .info(kernel.name())
             .ok_or_else(|| ClError::InvalidKernelName(kernel.name().to_string()))?
             .chunk;
-        let pending =
-            vec![PendingExec { kernel: kernel.clone(), chunk, ndrange }];
+        let pending = vec![PendingExec {
+            kernel: kernel.clone(),
+            chunk,
+            ndrange,
+        }];
         Ok(self.enqueue_concurrent(pending)?.remove(0))
     }
 
@@ -200,10 +209,7 @@ impl ProxyCl {
     ///
     /// Returns [`ClError::InvalidArgs`] for unbound arguments or an empty
     /// batch, and [`ClError::ExecutionFailure`] if any kernel faults.
-    pub fn enqueue_concurrent(
-        &mut self,
-        batch: Vec<PendingExec>,
-    ) -> Result<Vec<Event>, ClError> {
+    pub fn enqueue_concurrent(&mut self, batch: Vec<PendingExec>) -> Result<Vec<Event>, ClError> {
         if batch.is_empty() {
             return Err(ClError::InvalidArgs("empty execution batch".into()));
         }
@@ -292,7 +298,12 @@ impl ProxyCl {
         let args: Vec<ArgValue> = kernel.resolved_args()?;
 
         Interpreter::new(kernel.module())
-            .run_kernel(self.ctx.memory_mut(), kernel.name(), decision.hardware_range, &args)
+            .run_kernel(
+                self.ctx.memory_mut(),
+                kernel.name(),
+                decision.hardware_range,
+                &args,
+            )
             .map_err(|e| ClError::ExecutionFailure(e.to_string()))
     }
 }
@@ -323,8 +334,12 @@ mod tests {
         let buf = os.context_mut().create_buffer(16 * 4);
         os.context_mut().write_f32(buf, &[1.0; 16]).unwrap();
         kernel.set_arg(0, Arg::Buffer(buf)).unwrap();
-        kernel.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(3.0))).unwrap();
-        let ev = os.enqueue(&program, &kernel, NdRange::new_1d(16, 4)).unwrap();
+        kernel
+            .set_arg(1, Arg::Scalar(kernel_ir::Value::F32(3.0)))
+            .unwrap();
+        let ev = os
+            .enqueue(&program, &kernel, NdRange::new_1d(16, 4))
+            .unwrap();
         assert_eq!(os.context_mut().read_f32(buf).unwrap(), vec![3.0; 16]);
         assert!(ev.duration() > 0);
         assert!(ev.stats.total_insns > 0);
@@ -341,21 +356,32 @@ mod tests {
             let buf = os.context_mut().create_buffer(64 * 4);
             os.context_mut().write_f32(buf, &[1.0; 64]).unwrap();
             k.set_arg(0, Arg::Buffer(buf)).unwrap();
-            k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val))).unwrap();
+            k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val)))
+                .unwrap();
             (k, buf)
         };
         let (k1, b1) = make(2.0);
         let (k2, b2) = make(5.0);
         let batch = vec![
-            PendingExec { kernel: k1, chunk, ndrange: NdRange::new_1d(64, 8) },
-            PendingExec { kernel: k2, chunk, ndrange: NdRange::new_1d(64, 8) },
+            PendingExec {
+                kernel: k1,
+                chunk,
+                ndrange: NdRange::new_1d(64, 8),
+            },
+            PendingExec {
+                kernel: k2,
+                chunk,
+                ndrange: NdRange::new_1d(64, 8),
+            },
         ];
         let events = os.enqueue_concurrent(batch).unwrap();
         assert_eq!(os.context_mut().read_f32(b1).unwrap(), vec![2.0; 64]);
         assert_eq!(os.context_mut().read_f32(b2).unwrap(), vec![5.0; 64]);
         // Space sharing: the two executions overlap in device time.
-        let overlap =
-            events[0].end.min(events[1].end).saturating_sub(events[0].start.max(events[1].start));
+        let overlap = events[0]
+            .end
+            .min(events[1].end)
+            .saturating_sub(events[0].start.max(events[1].start));
         assert!(overlap > 0, "batched kernels should co-execute: {events:?}");
     }
 
@@ -370,7 +396,10 @@ mod tests {
     #[test]
     fn empty_batch_rejected() {
         let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
-        assert!(matches!(os.enqueue_concurrent(vec![]), Err(ClError::InvalidArgs(_))));
+        assert!(matches!(
+            os.enqueue_concurrent(vec![]),
+            Err(ClError::InvalidArgs(_))
+        ));
     }
 
     #[test]
@@ -382,8 +411,11 @@ mod tests {
         let buf = os.context_mut().create_buffer(8 * 4);
         os.context_mut().write_f32(buf, &[2.0; 8]).unwrap();
         kernel.set_arg(0, Arg::Buffer(buf)).unwrap();
-        kernel.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(0.5))).unwrap();
-        os.enqueue(&program, &kernel, NdRange::new_1d(8, 4)).unwrap();
+        kernel
+            .set_arg(1, Arg::Scalar(kernel_ir::Value::F32(0.5)))
+            .unwrap();
+        os.enqueue(&program, &kernel, NdRange::new_1d(8, 4))
+            .unwrap();
         assert_eq!(os.context_mut().read_f32(buf).unwrap(), vec![1.0; 8]);
     }
 }

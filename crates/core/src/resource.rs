@@ -102,12 +102,23 @@ pub fn compute_weighted_shares(
         .iter()
         .zip(weights)
         .map(|(d, &w)| {
-            assert!(d.wg_threads > 0, "work groups must have at least one thread");
+            assert!(
+                d.wg_threads > 0,
+                "work groups must have at least one thread"
+            );
             let share = w / wsum;
             // x_i = T / (K w_i) generalised to share-weighted fractions.
             let x = t * share / d.wg_threads as f64;
-            let y = if d.wg_local_mem == 0 { f64::INFINITY } else { l * share / d.wg_local_mem as f64 };
-            let z = if d.wg_regs == 0 { f64::INFINITY } else { r * share / d.wg_regs as f64 };
+            let y = if d.wg_local_mem == 0 {
+                f64::INFINITY
+            } else {
+                l * share / d.wg_local_mem as f64
+            };
+            let z = if d.wg_regs == 0 {
+                f64::INFINITY
+            } else {
+                r * share / d.wg_regs as f64
+            };
             let n = x.min(y).min(z).floor() as u64;
             n.clamp(1, d.original_wgs.max(1))
         })
@@ -116,9 +127,21 @@ pub fn compute_weighted_shares(
     // Greedy saturation: grow allocations round-robin while all three
     // aggregate constraints still hold (paper §3, final paragraph).
     let fits = |n: &[u64]| -> bool {
-        let threads: u64 = n.iter().zip(demands).map(|(&x, d)| x * d.wg_threads as u64).sum();
-        let local: u64 = n.iter().zip(demands).map(|(&x, d)| x * d.wg_local_mem as u64).sum();
-        let regs: u64 = n.iter().zip(demands).map(|(&x, d)| x * d.wg_regs as u64).sum();
+        let threads: u64 = n
+            .iter()
+            .zip(demands)
+            .map(|(&x, d)| x * d.wg_threads as u64)
+            .sum();
+        let local: u64 = n
+            .iter()
+            .zip(demands)
+            .map(|(&x, d)| x * d.wg_local_mem as u64)
+            .sum();
+        let regs: u64 = n
+            .iter()
+            .zip(demands)
+            .map(|(&x, d)| x * d.wg_regs as u64)
+            .sum();
         threads <= device.total_threads()
             && local <= device.total_local_mem()
             && regs <= device.total_regs()
@@ -154,7 +177,9 @@ pub fn compute_weighted_shares(
         }
     }
 
-    ShareAllocation { wgs_per_kernel: n.iter().map(|&x| x as u32).collect() }
+    ShareAllocation {
+        wgs_per_kernel: n.iter().map(|&x| x as u32).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -187,13 +212,16 @@ mod tests {
         let n = &alloc.wgs_per_kernel;
         let min = *n.iter().min().unwrap();
         let max = *n.iter().max().unwrap();
-        assert!(max - min <= 1, "shares should differ by at most one WG: {n:?}");
+        assert!(
+            max - min <= 1,
+            "shares should differ by at most one WG: {n:?}"
+        );
     }
 
     #[test]
     fn local_memory_can_be_the_binding_constraint() {
         let dev = DeviceConfig::k20m(); // 13 * 48KiB local
-        // Threads would allow 104 WGs; local memory allows 13*48K/24K = 26.
+                                        // Threads would allow 104 WGs; local memory allows 13*48K/24K = 26.
         let alloc = compute_shares(&dev, &[demand(256, 24 * 1024, 1)]);
         assert_eq!(alloc.wgs_per_kernel[0], 26);
     }
@@ -201,7 +229,7 @@ mod tests {
     #[test]
     fn registers_can_be_the_binding_constraint() {
         let dev = DeviceConfig::k20m(); // 13 * 65536 regs
-        // 256 threads * 64 regs = 16384 regs per WG => 52 WGs; threads allow 104.
+                                        // 256 threads * 64 regs = 16384 regs per WG => 52 WGs; threads allow 104.
         let alloc = compute_shares(&dev, &[demand(256, 0, 64)]);
         assert_eq!(alloc.wgs_per_kernel[0], 52);
     }
@@ -247,18 +275,37 @@ mod tests {
         let d = demand(256, 0, 8);
         let alloc = compute_weighted_shares(&dev, &[d, d], &[3.0, 1.0]);
         let n = &alloc.wgs_per_kernel;
-        assert!(n[0] > n[1] * 2, "3:1 weighting should roughly triple the share: {n:?}");
+        assert!(
+            n[0] > n[1] * 2,
+            "3:1 weighting should roughly triple the share: {n:?}"
+        );
     }
 
     #[test]
     fn constraints_hold_after_saturation() {
         let dev = DeviceConfig::r9_295x2();
-        let ds = [demand(256, 8 * 1024, 32), demand(64, 512, 8), demand(512, 16 * 1024, 16)];
+        let ds = [
+            demand(256, 8 * 1024, 32),
+            demand(64, 512, 8),
+            demand(512, 16 * 1024, 16),
+        ];
         let alloc = compute_shares(&dev, &ds);
         let n = &alloc.wgs_per_kernel;
-        let threads: u64 = n.iter().zip(&ds).map(|(&x, d)| x as u64 * d.wg_threads as u64).sum();
-        let local: u64 = n.iter().zip(&ds).map(|(&x, d)| x as u64 * d.wg_local_mem as u64).sum();
-        let regs: u64 = n.iter().zip(&ds).map(|(&x, d)| x as u64 * d.wg_regs as u64).sum();
+        let threads: u64 = n
+            .iter()
+            .zip(&ds)
+            .map(|(&x, d)| x as u64 * d.wg_threads as u64)
+            .sum();
+        let local: u64 = n
+            .iter()
+            .zip(&ds)
+            .map(|(&x, d)| x as u64 * d.wg_local_mem as u64)
+            .sum();
+        let regs: u64 = n
+            .iter()
+            .zip(&ds)
+            .map(|(&x, d)| x as u64 * d.wg_regs as u64)
+            .sum();
         assert!(threads <= dev.total_threads());
         assert!(local <= dev.total_local_mem());
         assert!(regs <= dev.total_regs());

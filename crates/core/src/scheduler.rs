@@ -17,14 +17,16 @@
 
 use crate::resource::{compute_shares, ResourceDemand};
 use crate::vrange::{VirtualNdRange, DESCRIPTOR_LEN};
-use gpu_sim::{DeviceConfig, LaunchPlan};
+use gpu_sim::{Costs, DeviceConfig, LaunchPlan};
 use kernel_ir::interp::NdRange;
+use std::sync::Arc;
 
 /// One kernel execution request as the scheduler sees it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecRequest {
     /// Kernel name (post-JIT scheduling kernel — same as the original).
-    pub kernel: String,
+    /// Shared (`Arc<str>`) so per-batch planning never copies name bytes.
+    pub kernel: Arc<str>,
     /// The original launch geometry.
     pub ndrange: NdRange,
     /// Per-work-group resource demand.
@@ -37,7 +39,7 @@ pub struct ExecRequest {
 impl ExecRequest {
     /// Build a request, deriving `original_wgs` from the geometry.
     pub fn new(
-        kernel: impl Into<String>,
+        kernel: impl Into<Arc<str>>,
         ndrange: NdRange,
         wg_local_mem: u32,
         regs_per_thread: u32,
@@ -61,8 +63,8 @@ impl ExecRequest {
 /// The scheduler's decision for one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaunchDecision {
-    /// Kernel name.
-    pub kernel: String,
+    /// Kernel name (shared with the originating [`ExecRequest`]).
+    pub kernel: Arc<str>,
     /// Persistent work groups to launch.
     pub workers: u32,
     /// The altered hardware NDRange (reduced global size, same work-group
@@ -77,13 +79,17 @@ pub struct LaunchDecision {
 impl LaunchDecision {
     /// Convert to a machine-level plan for the timing plane.
     ///
-    /// `vg_costs` gives each virtual group's execution cost;
-    /// `per_vg_overhead` is the software runtime's per-group cost.
+    /// `vg_costs` gives each virtual group's execution cost. It is a shared
+    /// [`Costs`] table, so callers holding one cost draw for several plans
+    /// (the harness runs four schemes against the same draw) hand out
+    /// `Arc` clones instead of copying the array. `per_vg_overhead` is the
+    /// software runtime's per-group cost.
     ///
     /// # Panics
     ///
     /// Panics if `vg_costs` does not cover the original group count.
-    pub fn to_sim_plan(&self, vg_costs: Vec<u64>, per_vg_overhead: u64) -> LaunchPlan {
+    pub fn to_sim_plan(&self, vg_costs: impl Into<Costs>, per_vg_overhead: u64) -> LaunchPlan {
+        let vg_costs = vg_costs.into();
         assert_eq!(
             vg_costs.len() as i64,
             self.descriptor[1],
@@ -188,7 +194,12 @@ mod tests {
         let plan = &plan_launches(&dev, &reqs)[0];
         let sim = plan.to_sim_plan(vec![10; 1024], 2);
         match sim {
-            LaunchPlan::PersistentDynamic { workers, vg_costs, chunk, per_vg_overhead } => {
+            LaunchPlan::PersistentDynamic {
+                workers,
+                vg_costs,
+                chunk,
+                per_vg_overhead,
+            } => {
                 assert_eq!(workers, plan.workers);
                 assert_eq!(vg_costs.len(), 1024);
                 assert_eq!(chunk, 4);

@@ -63,7 +63,13 @@ impl VirtualNdRange {
     /// The descriptor words to write into accelerator memory.
     pub fn descriptor(&self) -> [i64; DESCRIPTOR_LEN] {
         let g = self.original.num_groups();
-        [0, self.total_groups() as i64, g[0] as i64, g[1] as i64, g[2] as i64]
+        [
+            0,
+            self.total_groups() as i64,
+            g[0] as i64,
+            g[1] as i64,
+            g[2] as i64,
+        ]
     }
 
     /// The hardware NDRange that runs `workers` persistent work groups with

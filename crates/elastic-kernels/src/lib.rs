@@ -56,7 +56,10 @@ impl EkDecision {
             .iter()
             .map(|idxs| idxs.iter().map(|&i| vg_costs[i as usize]).collect())
             .collect();
-        LaunchPlan::PersistentStatic { assignments, per_vg_overhead }
+        LaunchPlan::PersistentStatic {
+            assignments,
+            per_vg_overhead,
+        }
     }
 }
 
@@ -91,13 +94,15 @@ pub fn plan(device: &DeviceConfig, kernels: &[EkKernel]) -> Vec<EkDecision> {
         .iter()
         .map(|k| {
             let target_threads = device.total_threads();
-            let workers =
-                ((target_threads / k.wg_threads.max(1) as u64).max(1)).min(k.original_wgs.max(1))
-                    as u32;
+            let workers = ((target_threads / k.wg_threads.max(1) as u64).max(1))
+                .min(k.original_wgs.max(1)) as u32;
             let assignments = (0..workers as u64)
                 .map(|w| (w..k.original_wgs).step_by(workers as usize).collect())
                 .collect();
-            EkDecision { workers, assignments }
+            EkDecision {
+                workers,
+                assignments,
+            }
         })
         .collect()
 }
@@ -109,7 +114,13 @@ mod tests {
     #[test]
     fn slices_cover_every_group_exactly_once() {
         let dev = DeviceConfig::test_tiny();
-        let d = &plan(&dev, &[EkKernel { wg_threads: 64, original_wgs: 37 }])[0];
+        let d = &plan(
+            &dev,
+            &[EkKernel {
+                wg_threads: 64,
+                original_wgs: 37,
+            }],
+        )[0];
         let mut seen: Vec<u64> = d.assignments.iter().flatten().copied().collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..37).collect::<Vec<_>>());
@@ -118,7 +129,10 @@ mod tests {
     #[test]
     fn allocation_ignores_request_count() {
         let dev = DeviceConfig::k20m();
-        let k = EkKernel { wg_threads: 128, original_wgs: 100_000 };
+        let k = EkKernel {
+            wg_threads: 128,
+            original_wgs: 100_000,
+        };
         let two = plan(&dev, &[k, k]);
         let eight = plan(&dev, &[k; 8]);
         assert_eq!(two[0].workers, eight[0].workers, "EK is static in K");
@@ -127,19 +141,34 @@ mod tests {
     #[test]
     fn workers_capped_by_original_groups() {
         let dev = DeviceConfig::k20m();
-        let d = &plan(&dev, &[EkKernel { wg_threads: 64, original_wgs: 3 }])[0];
+        let d = &plan(
+            &dev,
+            &[EkKernel {
+                wg_threads: 64,
+                original_wgs: 3,
+            }],
+        )[0];
         assert_eq!(d.workers, 3);
     }
 
     #[test]
     fn sim_plan_uses_assigned_costs() {
         let dev = DeviceConfig::test_tiny();
-        let d = &plan(&dev, &[EkKernel { wg_threads: 128, original_wgs: 4 }])[0];
+        let d = &plan(
+            &dev,
+            &[EkKernel {
+                wg_threads: 128,
+                original_wgs: 4,
+            }],
+        )[0];
         // tiny device: 256 threads => 2 workers of 128 threads.
         assert_eq!(d.workers, 2);
         let plan = d.to_sim_plan(&[5, 6, 7, 8], 1);
         match plan {
-            LaunchPlan::PersistentStatic { assignments, per_vg_overhead } => {
+            LaunchPlan::PersistentStatic {
+                assignments,
+                per_vg_overhead,
+            } => {
                 assert_eq!(assignments, vec![vec![5, 7], vec![6, 8]]);
                 assert_eq!(per_vg_overhead, 1);
             }
@@ -150,7 +179,10 @@ mod tests {
     #[test]
     fn each_kernel_claims_the_whole_device() {
         let dev = DeviceConfig::k20m();
-        let k = EkKernel { wg_threads: 256, original_wgs: 10_000 };
+        let k = EkKernel {
+            wg_threads: 256,
+            original_wgs: 10_000,
+        };
         let d = plan(&dev, &[k, k]);
         for x in &d {
             assert_eq!(x.workers as u64 * 256, dev.total_threads());

@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn wg_req_regs() {
-        let req = WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 10 };
+        let req = WorkGroupReq {
+            threads: 64,
+            local_mem: 0,
+            regs_per_thread: 10,
+        };
         assert_eq!(req.regs_total(), 640);
     }
 }

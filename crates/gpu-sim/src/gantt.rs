@@ -27,7 +27,7 @@ use crate::report::SimReport;
 ///         arrival: 0,
 ///         req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
 ///         mem_intensity: 0.0,
-///         plan: LaunchPlan::Hardware { wg_costs: vec![100; 32] },
+///         plan: LaunchPlan::Hardware { wg_costs: vec![100; 32].into() },
 ///         max_workers: None,
 ///     });
 /// }
@@ -96,7 +96,11 @@ mod tests {
             sim.add_launch(KernelLaunch {
                 name: format!("k{i}"),
                 arrival: 0,
-                req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+                req: WorkGroupReq {
+                    threads: 64,
+                    local_mem: 0,
+                    regs_per_thread: 1,
+                },
                 mem_intensity: 0.0,
                 plan: plan_of(i),
                 max_workers: None,
@@ -107,7 +111,9 @@ mod tests {
 
     #[test]
     fn serial_baseline_draws_a_staircase() {
-        let r = two_kernel_report(|_| LaunchPlan::Hardware { wg_costs: vec![100; 64] });
+        let r = two_kernel_report(|_| LaunchPlan::Hardware {
+            wg_costs: vec![100; 64].into(),
+        });
         let chart = render(&r, 40);
         let rows: Vec<&str> = chart.lines().collect();
         assert_eq!(rows.len(), 3);
@@ -125,7 +131,7 @@ mod tests {
     fn shared_bands_overlap() {
         let r = two_kernel_report(|_| LaunchPlan::PersistentDynamic {
             workers: 1,
-            vg_costs: vec![100; 20],
+            vg_costs: vec![100; 20].into(),
             chunk: 1,
             per_vg_overhead: 1,
         });
@@ -142,15 +148,23 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        let r = SimReport { kernels: vec![], makespan: 0, trace: vec![] };
+        let r = SimReport {
+            kernels: vec![],
+            makespan: 0,
+            trace: vec![],
+        };
         assert_eq!(render(&r, 40), "");
-        let r2 = two_kernel_report(|_| LaunchPlan::Hardware { wg_costs: vec![10] });
+        let r2 = two_kernel_report(|_| LaunchPlan::Hardware {
+            wg_costs: vec![10].into(),
+        });
         assert_eq!(render(&r2, 0), "");
     }
 
     #[test]
     fn ruler_reports_makespan() {
-        let r = two_kernel_report(|_| LaunchPlan::Hardware { wg_costs: vec![10; 4] });
+        let r = two_kernel_report(|_| LaunchPlan::Hardware {
+            wg_costs: vec![10; 4].into(),
+        });
         let chart = render(&r, 40);
         assert!(chart.contains(&format!("{} cycles", r.makespan)));
     }

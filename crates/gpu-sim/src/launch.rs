@@ -6,10 +6,20 @@
 //! This module only describes the resulting machine-level launch.
 
 use crate::config::WorkGroupReq;
+use std::sync::Arc;
 
 /// Identifier of a kernel launch within one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LaunchId(pub u32);
+
+/// Shared per-(virtual-)work-group cost table.
+///
+/// Plans hold costs behind an `Arc` so the planning layers (`accelos`,
+/// `elastic-kernels`, the harness) can hand the same calibrated cost draw
+/// to several plans — and clone plans — without copying the underlying
+/// array (these tables are the dominant allocation of a sweep: up to one
+/// `u64` per original work group, thousands per kernel per repetition).
+pub type Costs = Arc<[u64]>;
 
 /// How the launch's work is organised on the device.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,7 +29,7 @@ pub enum LaunchPlan {
     /// paper's §2.3 baseline).
     Hardware {
         /// Execution cost of each work group, in cycles (index = flat WG id).
-        wg_costs: Vec<u64>,
+        wg_costs: Costs,
     },
     /// accelOS: `workers` persistent work groups each loop { atomically
     /// dequeue `chunk` virtual groups; execute them } until the shared
@@ -28,7 +38,7 @@ pub enum LaunchPlan {
         /// Number of persistent work groups launched.
         workers: u32,
         /// Execution cost of each *virtual* group, in cycles.
-        vg_costs: Vec<u64>,
+        vg_costs: Costs,
         /// Virtual groups fetched per atomic dequeue (§6.4 adaptive
         /// scheduling picks 8/6/4/2/1 from the kernel's instruction count).
         chunk: u32,
@@ -46,7 +56,7 @@ pub enum LaunchPlan {
         /// Number of persistent work groups launched.
         workers: u32,
         /// Execution cost of each virtual group, in cycles.
-        vg_costs: Vec<u64>,
+        vg_costs: Costs,
         /// Upper bound on groups per claim.
         max_chunk: u32,
         /// Extra per-virtual-group software cost.
@@ -80,9 +90,7 @@ impl LaunchPlan {
             LaunchPlan::Hardware { wg_costs } => wg_costs.iter().sum(),
             LaunchPlan::PersistentDynamic { vg_costs, .. }
             | LaunchPlan::PersistentGuided { vg_costs, .. } => vg_costs.iter().sum(),
-            LaunchPlan::PersistentStatic { assignments, .. } => {
-                assignments.iter().flatten().sum()
-            }
+            LaunchPlan::PersistentStatic { assignments, .. } => assignments.iter().flatten().sum(),
         }
     }
 }
@@ -98,7 +106,7 @@ impl LaunchPlan {
 ///     arrival: 0,
 ///     req: WorkGroupReq { threads: 128, local_mem: 2048, regs_per_thread: 30 },
 ///     mem_intensity: 0.4,
-///     plan: LaunchPlan::Hardware { wg_costs: vec![1_000; 64] },
+///     plan: LaunchPlan::Hardware { wg_costs: vec![1_000; 64].into() },
 ///     max_workers: None,
 /// };
 /// assert_eq!(launch.plan.machine_wgs(), 64);
@@ -131,10 +139,16 @@ mod tests {
 
     #[test]
     fn machine_wgs_per_plan() {
-        assert_eq!(LaunchPlan::Hardware { wg_costs: vec![1, 2, 3] }.machine_wgs(), 3);
+        assert_eq!(
+            LaunchPlan::Hardware {
+                wg_costs: vec![1, 2, 3].into()
+            }
+            .machine_wgs(),
+            3
+        );
         let dynamic = LaunchPlan::PersistentDynamic {
             workers: 4,
-            vg_costs: vec![5; 100],
+            vg_costs: vec![5; 100].into(),
             chunk: 2,
             per_vg_overhead: 1,
         };
@@ -148,7 +162,13 @@ mod tests {
 
     #[test]
     fn total_work_sums_costs() {
-        assert_eq!(LaunchPlan::Hardware { wg_costs: vec![1, 2, 3] }.total_work(), 6);
+        assert_eq!(
+            LaunchPlan::Hardware {
+                wg_costs: vec![1, 2, 3].into()
+            }
+            .total_work(),
+            6
+        );
         let stat = LaunchPlan::PersistentStatic {
             assignments: vec![vec![1, 2], vec![3]],
             per_vg_overhead: 9,

@@ -22,12 +22,12 @@
 //! let mut sim = Simulator::new(DeviceConfig::test_tiny());
 //! let a = sim.add_launch(KernelLaunch {
 //!     name: "a".into(), arrival: 0, req, mem_intensity: 0.0,
-//!     plan: LaunchPlan::Hardware { wg_costs: vec![500; 32] },
+//!     plan: LaunchPlan::Hardware { wg_costs: vec![500; 32].into() },
 //!     max_workers: None,
 //! });
 //! let b = sim.add_launch(KernelLaunch {
 //!     name: "b".into(), arrival: 0, req, mem_intensity: 0.0,
-//!     plan: LaunchPlan::Hardware { wg_costs: vec![500; 32] },
+//!     plan: LaunchPlan::Hardware { wg_costs: vec![500; 32].into() },
 //!     max_workers: None,
 //! });
 //! let report = sim.run();
@@ -45,6 +45,6 @@ pub mod report;
 pub mod sim;
 
 pub use config::{DeviceConfig, WorkGroupReq};
-pub use launch::{KernelLaunch, LaunchId, LaunchPlan};
+pub use launch::{Costs, KernelLaunch, LaunchId, LaunchPlan};
 pub use report::{KernelReport, SimReport, TraceEvent, TraceKind};
 pub use sim::Simulator;

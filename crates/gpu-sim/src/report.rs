@@ -119,7 +119,11 @@ mod tests {
             busy_intervals: vec![],
             machine_wgs: 0,
         };
-        let r = SimReport { kernels: vec![mk(5, 60), mk(10, 80)], makespan: 80, trace: vec![] };
+        let r = SimReport {
+            kernels: vec![mk(5, 60), mk(10, 80)],
+            makespan: 80,
+            trace: vec![],
+        };
         assert_eq!(r.total_time(), 75);
     }
 }

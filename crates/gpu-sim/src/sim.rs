@@ -48,7 +48,7 @@ use std::collections::{BinaryHeap, VecDeque};
 ///     arrival: 0,
 ///     req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
 ///     mem_intensity: 0.0,
-///     plan: LaunchPlan::Hardware { wg_costs: vec![100; 8] },
+///     plan: LaunchPlan::Hardware { wg_costs: vec![100; 8].into() },
 ///     max_workers: None,
 /// });
 /// let report = sim.run();
@@ -79,6 +79,10 @@ struct Task {
     launch: usize,
     kind: TaskKind,
     cu: usize,
+    /// Index of this task among its launch's machine work groups, fixed at
+    /// creation (avoids the O(tasks) rescans a positional lookup would
+    /// need on every static-worker segment).
+    wi: usize,
 }
 
 #[derive(Debug)]
@@ -106,7 +110,7 @@ struct KernelRt {
     spawned: usize,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     Arrival(usize),
     PhaseDone(usize),
@@ -115,7 +119,11 @@ enum Event {
 impl Simulator {
     /// Simulator for `config` with no launches yet.
     pub fn new(config: DeviceConfig) -> Self {
-        Simulator { config, launches: Vec::new(), collect_trace: false }
+        Simulator {
+            config,
+            launches: Vec::new(),
+            collect_trace: false,
+        }
     }
 
     /// Enable timeline collection (off by default; traces can be large).
@@ -157,12 +165,16 @@ struct Engine {
     collect_trace: bool,
     now: u64,
     seq: u64,
-    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    /// Parallel store for heap payloads (heap holds indices into this).
-    events: Vec<Event>,
+    /// Pending events keyed by (time, insertion sequence). Events are
+    /// small `Copy` payloads stored inline — no side table to grow
+    /// unboundedly or to indirect through on every pop.
+    heap: BinaryHeap<Reverse<(u64, u64, Event)>>,
     cus: Vec<Cu>,
     tasks: Vec<Task>,
     kernels: Vec<KernelRt>,
+    /// Launches eligible for elastic growth (precomputed so `rebalance`
+    /// does not rescan every launch on every kernel retirement).
+    growable: Vec<usize>,
     rr_cursor: usize,
     /// Sum over resident work groups of `threads * mem_intensity`.
     resident_mem_load: f64,
@@ -197,6 +209,18 @@ impl Engine {
                 spawned: l.plan.machine_wgs(),
             })
             .collect();
+        let growable = launches
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.max_workers.is_some()
+                    && matches!(
+                        l.plan,
+                        LaunchPlan::PersistentDynamic { .. } | LaunchPlan::PersistentGuided { .. }
+                    )
+            })
+            .map(|(i, _)| i)
+            .collect();
         Engine {
             config,
             launches,
@@ -204,10 +228,10 @@ impl Engine {
             now: 0,
             seq: 0,
             heap: BinaryHeap::new(),
-            events: Vec::new(),
             cus,
             tasks: Vec::new(),
             kernels,
+            growable,
             rr_cursor: 0,
             resident_mem_load: 0.0,
             resident_compute_load: 0.0,
@@ -216,19 +240,17 @@ impl Engine {
     }
 
     fn schedule(&mut self, time: u64, ev: Event) {
-        let idx = self.events.len();
-        self.events.push(ev);
         self.seq += 1;
-        self.heap.push(Reverse((time, self.seq, idx)));
+        self.heap.push(Reverse((time, self.seq, ev)));
     }
 
     fn run(mut self) -> SimReport {
         for i in 0..self.launches.len() {
             self.schedule(self.launches[i].arrival, Event::Arrival(i));
         }
-        while let Some(Reverse((time, _, idx))) = self.heap.pop() {
+        while let Some(Reverse((time, _, ev))) = self.heap.pop() {
             self.now = time;
-            match self.events[idx] {
+            match ev {
                 Event::Arrival(l) => self.on_arrival(l),
                 Event::PhaseDone(t) => self.on_phase_done(t),
             }
@@ -248,12 +270,16 @@ impl Engine {
                 machine_wgs: k.machine_wgs,
             })
             .collect();
-        SimReport { kernels, makespan, trace: self.trace }
+        SimReport {
+            kernels,
+            makespan,
+            trace: self.trace,
+        }
     }
 
     fn on_arrival(&mut self, l: usize) {
         let n = self.launches[l].plan.machine_wgs();
-        let mut touched = Vec::new();
+        let first_cu = self.rr_cursor % self.config.num_cus;
         for w in 0..n {
             let kind = match &self.launches[l].plan {
                 LaunchPlan::Hardware { wg_costs } => TaskKind::HardwareWg { cost: wg_costs[w] },
@@ -265,18 +291,30 @@ impl Engine {
             let cu = self.rr_cursor % self.config.num_cus;
             self.rr_cursor += 1;
             let tid = self.tasks.len();
-            self.tasks.push(Task { launch: l, kind, cu });
+            self.tasks.push(Task {
+                launch: l,
+                kind,
+                cu,
+                wi: w,
+            });
             self.cus[cu].queue.push_back(tid);
-            touched.push(cu);
         }
         // A launch with zero machine work groups completes immediately.
         if n == 0 {
             self.kernels[l].end = self.now;
         }
-        touched.sort_unstable();
-        touched.dedup();
-        for cu in touched {
-            self.try_start(cu);
+        // The round-robin dispatch touched exactly min(n, num_cus) distinct
+        // queues starting at `first_cu` — no need to record them per task.
+        // Visit them in ascending CU order (the historical order of the
+        // sorted `touched` list): `try_start` order is observable, because
+        // each started task snapshots the contention loads of its
+        // predecessors.
+        let touched = n.min(self.config.num_cus);
+        for cu in 0..self.config.num_cus {
+            let offset = (cu + self.config.num_cus - first_cu) % self.config.num_cus;
+            if offset < touched {
+                self.try_start(cu);
+            }
         }
     }
 
@@ -362,12 +400,14 @@ impl Engine {
     /// `ready_at` (or retires if its slice is exhausted).
     fn schedule_static_segment(&mut self, tid: usize, ready_at: u64) {
         let l = self.tasks[tid].launch;
-        let w = self.worker_index(tid);
+        let w = self.tasks[tid].wi;
         let TaskKind::StaticWorker { next } = self.tasks[tid].kind else {
             unreachable!("static segments only for static workers");
         };
-        let LaunchPlan::PersistentStatic { assignments, per_vg_overhead } =
-            &self.launches[l].plan
+        let LaunchPlan::PersistentStatic {
+            assignments,
+            per_vg_overhead,
+        } = &self.launches[l].plan
         else {
             unreachable!("StaticWorker only exists for PersistentStatic plans");
         };
@@ -382,28 +422,24 @@ impl Engine {
         }
     }
 
-    /// Index of `tid` among its launch's machine work groups.
-    fn worker_index(&self, tid: usize) -> usize {
-        // Tasks of one launch are created contiguously at arrival.
-        let l = self.tasks[tid].launch;
-        let first = self
-            .tasks
-            .iter()
-            .position(|t| t.launch == l)
-            .expect("the task itself belongs to the launch");
-        tid - first
-    }
-
     /// Persistent worker `tid` is ready to fetch its next chunk at
     /// `ready_at`; either schedules the chunk's completion or, if the queue
     /// is empty, the worker's retirement.
     fn schedule_dequeue(&mut self, tid: usize, ready_at: u64) {
         let l = self.tasks[tid].launch;
         let (vg_costs, chunk, per_vg) = match &self.launches[l].plan {
-            LaunchPlan::PersistentDynamic { vg_costs, chunk, per_vg_overhead, .. } => {
-                (vg_costs, *chunk as usize, *per_vg_overhead)
-            }
-            LaunchPlan::PersistentGuided { vg_costs, max_chunk, per_vg_overhead, workers } => {
+            LaunchPlan::PersistentDynamic {
+                vg_costs,
+                chunk,
+                per_vg_overhead,
+                ..
+            } => (vg_costs, *chunk as usize, *per_vg_overhead),
+            LaunchPlan::PersistentGuided {
+                vg_costs,
+                max_chunk,
+                per_vg_overhead,
+                workers,
+            } => {
                 // Guided schedule: claim a 1/(2*workers) share of what is
                 // left, tapering to single groups at the tail.
                 let remaining = vg_costs.len().saturating_sub(self.kernels[l].next_vg);
@@ -425,8 +461,7 @@ impl Engine {
         let deq_start = ready_at.max(k.queue_free_at);
         let deq_end = deq_start + self.config.atomic_op_cost;
         k.queue_free_at = deq_end;
-        let work: u64 =
-            vg_costs[start..end].iter().sum::<u64>() + per_vg * (end - start) as u64;
+        let work: u64 = vg_costs[start..end].iter().sum::<u64>() + per_vg * (end - start) as u64;
         let exec = self.scaled(work, l);
         if self.collect_trace {
             self.trace.push(TraceEvent {
@@ -456,11 +491,9 @@ impl Engine {
                 }
             }
             TaskKind::StaticWorker { next } => {
-                let w = self.worker_index(tid);
+                let w = self.tasks[tid].wi;
                 let remaining = match &self.launches[l].plan {
-                    LaunchPlan::PersistentStatic { assignments, .. } => {
-                        next < assignments[w].len()
-                    }
+                    LaunchPlan::PersistentStatic { assignments, .. } => next < assignments[w].len(),
                     _ => unreachable!(),
                 };
                 if remaining {
@@ -514,15 +547,20 @@ impl Engine {
 
     /// A kernel retired: let elastic dynamic launches grow into the freed
     /// capacity (round-robin across launches so nobody monopolises it).
+    /// Only the precomputed `growable` launches are visited, and each pass
+    /// walks the CUs once per placement attempt.
     fn rebalance(&mut self) {
         loop {
             let mut grew = false;
-            for l in 0..self.launches.len() {
-                let Some(max) = self.launches[l].max_workers else { continue };
+            for gi in 0..self.growable.len() {
+                let l = self.growable[gi];
+                let max = self.launches[l]
+                    .max_workers
+                    .expect("growable implies max_workers");
                 let (LaunchPlan::PersistentDynamic { vg_costs, .. }
                 | LaunchPlan::PersistentGuided { vg_costs, .. }) = &self.launches[l].plan
                 else {
-                    continue;
+                    unreachable!("growable implies a dynamic plan");
                 };
                 if self.kernels[l].spawned >= max as usize
                     || self.kernels[l].next_vg >= vg_costs.len()
@@ -541,7 +579,13 @@ impl Engine {
                 });
                 let Some(cu) = cu else { continue };
                 let tid = self.tasks.len();
-                self.tasks.push(Task { launch: l, kind: TaskKind::DynWorker, cu });
+                let wi = self.kernels[l].spawned;
+                self.tasks.push(Task {
+                    launch: l,
+                    kind: TaskKind::DynWorker,
+                    cu,
+                    wi,
+                });
                 self.kernels[l].spawned += 1;
                 self.kernels[l].tasks_left += 1;
                 self.kernels[l].machine_wgs += 1;
@@ -561,7 +605,11 @@ mod tests {
     use crate::config::WorkGroupReq;
 
     fn req64() -> WorkGroupReq {
-        WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 }
+        WorkGroupReq {
+            threads: 64,
+            local_mem: 0,
+            regs_per_thread: 1,
+        }
     }
 
     fn hw_launch(name: &str, wgs: usize, cost: u64) -> KernelLaunch {
@@ -570,7 +618,9 @@ mod tests {
             arrival: 0,
             req: req64(),
             mem_intensity: 0.0,
-            plan: LaunchPlan::Hardware { wg_costs: vec![cost; wgs] },
+            plan: LaunchPlan::Hardware {
+                wg_costs: vec![cost; wgs].into(),
+            },
             max_workers: None,
         }
     }
@@ -625,7 +675,7 @@ mod tests {
             mem_intensity: 0.0,
             plan: LaunchPlan::PersistentDynamic {
                 workers: 4,
-                vg_costs: vec![50; 40],
+                vg_costs: vec![50; 40].into(),
                 chunk: 1,
                 per_vg_overhead: 2,
             },
@@ -650,7 +700,7 @@ mod tests {
             mem_intensity: 0.0,
             plan: LaunchPlan::PersistentDynamic {
                 workers: 2,
-                vg_costs: vec![100; 20],
+                vg_costs: vec![100; 20].into(),
                 chunk: 2,
                 per_vg_overhead: 1,
             },
@@ -682,7 +732,7 @@ mod tests {
         };
         let dynamic_plan = LaunchPlan::PersistentDynamic {
             workers: 4,
-            vg_costs: costs.clone(),
+            vg_costs: costs.clone().into(),
             chunk: 1,
             per_vg_overhead: 1,
         };
@@ -710,7 +760,7 @@ mod tests {
     fn chunking_reduces_atomic_overhead_for_short_kernels() {
         let mk = |chunk| LaunchPlan::PersistentDynamic {
             workers: 2,
-            vg_costs: vec![5; 200],
+            vg_costs: vec![5; 200].into(),
             chunk,
             per_vg_overhead: 1,
         };
@@ -741,7 +791,7 @@ mod tests {
             mem_intensity: 0.0,
             plan: LaunchPlan::PersistentGuided {
                 workers: 4,
-                vg_costs: vec![50; 40],
+                vg_costs: vec![50; 40].into(),
                 max_chunk: 8,
                 per_vg_overhead: 2,
             },
@@ -774,17 +824,20 @@ mod tests {
         };
         let fixed = run(LaunchPlan::PersistentDynamic {
             workers: 4,
-            vg_costs: costs.clone(),
+            vg_costs: costs.clone().into(),
             chunk: 8,
             per_vg_overhead: 1,
         });
         let guided = run(LaunchPlan::PersistentGuided {
             workers: 4,
-            vg_costs: costs,
+            vg_costs: costs.into(),
             max_chunk: 8,
             per_vg_overhead: 1,
         });
-        assert!(guided <= fixed, "guided {guided} should not lose to fixed {fixed}");
+        assert!(
+            guided <= fixed,
+            "guided {guided} should not lose to fixed {fixed}"
+        );
     }
 
     #[test]
@@ -808,7 +861,11 @@ mod tests {
                 sim.add_launch(KernelLaunch {
                     name: format!("k{i}"),
                     arrival: 0,
-                    req: WorkGroupReq { threads: 256, local_mem: 1024, regs_per_thread: 16 },
+                    req: WorkGroupReq {
+                        threads: 256,
+                        local_mem: 1024,
+                        regs_per_thread: 16,
+                    },
                     mem_intensity: 0.5,
                     plan: LaunchPlan::PersistentDynamic {
                         workers: 8,
@@ -836,16 +893,25 @@ mod tests {
             sim.add_launch(KernelLaunch {
                 name: "k".into(),
                 arrival: 0,
-                req: WorkGroupReq { threads: 128, local_mem: 0, regs_per_thread: 1 },
+                req: WorkGroupReq {
+                    threads: 128,
+                    local_mem: 0,
+                    regs_per_thread: 1,
+                },
                 mem_intensity: mem,
-                plan: LaunchPlan::Hardware { wg_costs: vec![1_000; 2] },
+                plan: LaunchPlan::Hardware {
+                    wg_costs: vec![1_000; 2].into(),
+                },
                 max_workers: None,
             });
             sim.run().makespan
         };
         let bound = mk(1.0);
         let free = mk(0.0);
-        assert!(bound >= free * 3 / 2, "memory-bound {bound} vs compute-bound {free}");
+        assert!(
+            bound >= free * 3 / 2,
+            "memory-bound {bound} vs compute-bound {free}"
+        );
     }
 
     #[test]
@@ -865,11 +931,15 @@ mod tests {
             sim.add_launch(KernelLaunch {
                 name: "partner".into(),
                 arrival: 0,
-                req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+                req: WorkGroupReq {
+                    threads: 64,
+                    local_mem: 0,
+                    regs_per_thread: 1,
+                },
                 mem_intensity: partner_mem,
                 plan: LaunchPlan::PersistentDynamic {
                     workers: 2,
-                    vg_costs: vec![50; 400],
+                    vg_costs: vec![50; 400].into(),
                     chunk: 1,
                     per_vg_overhead: 0,
                 },
@@ -878,15 +948,24 @@ mod tests {
             let victim = sim.add_launch(KernelLaunch {
                 name: "victim".into(),
                 arrival: 50,
-                req: WorkGroupReq { threads: 64, local_mem: 0, regs_per_thread: 1 },
+                req: WorkGroupReq {
+                    threads: 64,
+                    local_mem: 0,
+                    regs_per_thread: 1,
+                },
                 mem_intensity: 1.0,
-                plan: LaunchPlan::Hardware { wg_costs: vec![100; 40] },
+                plan: LaunchPlan::Hardware {
+                    wg_costs: vec![100; 40].into(),
+                },
                 max_workers: None,
             });
             let r = sim.run();
             r.kernel(victim).end
         };
-        assert!(mk(0.0) < mk(1.0), "compute partner should relieve bandwidth");
+        assert!(
+            mk(0.0) < mk(1.0),
+            "compute partner should relieve bandwidth"
+        );
     }
 
     #[test]
@@ -894,8 +973,16 @@ mod tests {
         let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
         sim.add_launch(hw_launch("a", 2, 10));
         let r = sim.run();
-        let starts = r.trace.iter().filter(|t| t.kind == TraceKind::WgStart).count();
-        let ends = r.trace.iter().filter(|t| t.kind == TraceKind::WgEnd).count();
+        let starts = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::WgStart)
+            .count();
+        let ends = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::WgEnd)
+            .count();
         assert_eq!(starts, 2);
         assert_eq!(ends, 2);
     }
@@ -907,9 +994,15 @@ mod tests {
         sim.add_launch(KernelLaunch {
             name: "huge".into(),
             arrival: 0,
-            req: WorkGroupReq { threads: 4096, local_mem: 0, regs_per_thread: 1 },
+            req: WorkGroupReq {
+                threads: 4096,
+                local_mem: 0,
+                regs_per_thread: 1,
+            },
             mem_intensity: 0.0,
-            plan: LaunchPlan::Hardware { wg_costs: vec![1] },
+            plan: LaunchPlan::Hardware {
+                wg_costs: vec![1].into(),
+            },
             max_workers: None,
         });
     }

@@ -6,7 +6,13 @@ use parboil::KernelSpec;
 fn probe_sweep() {
     use accel_harness::experiments::{device_sweeps, DeviceSweeps};
     use accel_harness::workloads::SweepConfig;
-    let cfg = SweepConfig { pairs: 80, n4: 40, n8: 30, reps: 1, seed: 2016 };
+    let cfg = SweepConfig {
+        pairs: 80,
+        n4: 40,
+        n8: 30,
+        reps: 1,
+        seed: 2016,
+    };
     let r = Runner::new(DeviceConfig::k20m());
     let ds: DeviceSweeps = device_sweeps(&r, &cfg);
     println!("{}", ds.fig9());
@@ -23,12 +29,23 @@ fn main() {
         return;
     }
     let r = Runner::new(DeviceConfig::k20m());
-    println!("{:<30} {:>10} {:>10} {:>10} {:>8} {:>8}", "kernel", "base", "naive", "opt", "n/b", "o/b");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "kernel", "base", "naive", "opt", "n/b", "o/b"
+    );
     for spec in KernelSpec::all() {
         let b = r.isolated_time(Scheme::Baseline, spec, 5) as f64;
         let n = r.isolated_time(Scheme::AccelOsNaive, spec, 5) as f64;
         let o = r.isolated_time(Scheme::AccelOs, spec, 5) as f64;
-        println!("{:<30} {:>10.0} {:>10.0} {:>10.0} {:>8.3} {:>8.3}", spec.name, b, n, o, b/n, b/o);
+        println!(
+            "{:<30} {:>10.0} {:>10.0} {:>10.0} {:>8.3} {:>8.3}",
+            spec.name,
+            b,
+            n,
+            o,
+            b / n,
+            b / o
+        );
     }
     // insn counts + chunks
     for spec in KernelSpec::all() {
@@ -36,10 +53,23 @@ fn main() {
         println!("insns {:<30} {:>5}", spec.name, prof.insn_count);
     }
     // fig2 pieces
-    let wl: Vec<_> = ["bfs","cutcp","stencil","tpacf"].iter().map(|n| KernelSpec::by_name(n).unwrap()).collect();
+    let wl: Vec<_> = ["bfs", "cutcp", "stencil", "tpacf"]
+        .iter()
+        .map(|n| KernelSpec::by_name(n).unwrap())
+        .collect();
     for s in [Scheme::Baseline, Scheme::ElasticKernels, Scheme::AccelOs] {
         let run = r.run_workload(s, &wl, 1);
-        println!("{:?}: total={} U={:.2} overlap={:.2} slow={:?}", s, run.total_time, run.unfairness(), run.overlap(), run.slowdowns().iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>());
+        println!(
+            "{:?}: total={} U={:.2} overlap={:.2} slow={:?}",
+            s,
+            run.total_time,
+            run.unfairness(),
+            run.overlap(),
+            run.slowdowns()
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }
 // (insn counts appended by probe2 in main above)

@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment>... [--device k20m|r9|both] [--full]
 //!       [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]
+//!       [--jobs N] [--sequential]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
 //!              fig15 small ablation all
@@ -10,7 +11,13 @@
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
 //! paper-sized sweep (625 pairs, 16384 4-kernel and 32768 8-kernel
-//! workloads, 20 repetitions — hours of CPU time).
+//! workloads, 20 repetitions — hours of CPU time, so consider `--jobs`).
+//!
+//! Sweeps shard their `(workload × repetition)` grid across a thread pool
+//! sized to the host (override with `--jobs N`; `--sequential` is
+//! shorthand for `--jobs 1`). Thread count never changes the numbers:
+//! per-repetition seeds derive from `(workload, rep)`, not from iteration
+//! order, and results merge in deterministic order.
 
 use accel_harness::experiments::{
     chunk_ablation, device_sweeps, dynamic_tenancy, fig11, fig15, fig2, render_ablation,
@@ -52,6 +59,11 @@ fn parse_args() -> Result<Options, String> {
             "--n8" => cfg.n8 = take(&mut i)?,
             "--reps" => cfg.reps = take(&mut i)? as u32,
             "--seed" => cfg.seed = take(&mut i)? as u64,
+            "--jobs" => {
+                let n = take(&mut i)?.max(1);
+                std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+            }
+            "--sequential" => std::env::set_var("RAYON_NUM_THREADS", "1"),
             exp if !exp.starts_with('-') => experiments.push(exp.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -66,7 +78,11 @@ fn parse_args() -> Result<Options, String> {
         "both" => vec![DeviceConfig::k20m(), DeviceConfig::r9_295x2()],
         other => return Err(format!("unknown device `{other}` (k20m | r9 | both)")),
     };
-    Ok(Options { experiments, devices, cfg })
+    Ok(Options {
+        experiments,
+        devices,
+        cfg,
+    })
 }
 
 fn wants(experiments: &[String], name: &str) -> bool {
@@ -74,9 +90,11 @@ fn wants(experiments: &[String], name: &str) -> bool {
 }
 
 fn needs_sweep(experiments: &[String]) -> bool {
-    ["fig9", "fig10", "fig12", "fig13", "fig14", "table1", "table2"]
-        .iter()
-        .any(|e| wants(experiments, e))
+    [
+        "fig9", "fig10", "fig12", "fig13", "fig14", "table1", "table2",
+    ]
+    .iter()
+    .any(|e| wants(experiments, e))
 }
 
 fn main() {
@@ -86,7 +104,8 @@ fn main() {
             eprintln!("repro: {e}");
             eprintln!(
                 "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|all>... \
-                 [--device k20m|r9|both] [--full] [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]"
+                 [--device k20m|r9|both] [--full] [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
+                 [--jobs N] [--sequential]"
             );
             std::process::exit(2);
         }
@@ -132,10 +151,16 @@ fn main() {
         }
 
         if wants(exps, "fig11") {
-            println!("{}", render_fig11(&fig11(&runner, opts.cfg.seed), &device.name));
+            println!(
+                "{}",
+                render_fig11(&fig11(&runner, opts.cfg.seed), &device.name)
+            );
         }
         if wants(exps, "fig15") {
-            println!("{}", render_fig15(&fig15(&runner, opts.cfg.seed), &device.name));
+            println!(
+                "{}",
+                render_fig15(&fig15(&runner, opts.cfg.seed), &device.name)
+            );
         }
         if wants(exps, "small") {
             println!(
@@ -144,7 +169,10 @@ fn main() {
             );
         }
         if wants(exps, "ablation") {
-            println!("{}", render_ablation(&chunk_ablation(device, opts.cfg.seed), &device.name));
+            println!(
+                "{}",
+                render_ablation(&chunk_ablation(device, opts.cfg.seed), &device.name)
+            );
         }
         if wants(exps, "dynamic") {
             println!(

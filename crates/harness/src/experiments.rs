@@ -10,6 +10,7 @@ use crate::runner::{Runner, Scheme, WorkloadRun};
 use crate::workloads::{alphabetic_pairs, SweepConfig, Workload};
 use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator};
 use parboil::KernelSpec;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Geometric mean of a non-empty slice.
@@ -24,7 +25,11 @@ fn mean(xs: &[f64]) -> f64 {
 }
 
 /// Metrics of one workload under every scheme (averaged over repetitions).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bit-level) — the parallel sweep is required to
+/// reproduce the sequential sweep's numbers identically, and the
+/// determinism tests assert it through this impl.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadMetrics {
     /// Unfairness per scheme, ordered as [`Scheme::all`].
     pub unfairness: [f64; 4],
@@ -55,11 +60,14 @@ impl WorkloadMetrics {
 }
 
 fn scheme_index(s: Scheme) -> usize {
-    Scheme::all().iter().position(|&x| x == s).expect("scheme in table")
+    Scheme::all()
+        .iter()
+        .position(|&x| x == s)
+        .expect("scheme in table")
 }
 
 /// One full sweep: per-workload metrics for one device and request size.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     /// Request size (2, 4 or 8).
     pub request_size: usize,
@@ -74,7 +82,13 @@ impl Sweep {
     pub fn avg_unfairness(&self) -> [f64; 4] {
         let mut out = [0.0; 4];
         for (i, o) in out.iter_mut().enumerate() {
-            *o = mean(&self.workloads.iter().map(|w| w.unfairness[i]).collect::<Vec<_>>());
+            *o = mean(
+                &self
+                    .workloads
+                    .iter()
+                    .map(|w| w.unfairness[i])
+                    .collect::<Vec<_>>(),
+            );
         }
         out
     }
@@ -83,19 +97,37 @@ impl Sweep {
     pub fn avg_overlap(&self) -> [f64; 4] {
         let mut out = [0.0; 4];
         for (i, o) in out.iter_mut().enumerate() {
-            *o = mean(&self.workloads.iter().map(|w| w.overlap[i]).collect::<Vec<_>>());
+            *o = mean(
+                &self
+                    .workloads
+                    .iter()
+                    .map(|w| w.overlap[i])
+                    .collect::<Vec<_>>(),
+            );
         }
         out
     }
 
     /// Average fairness improvement of `scheme` over baseline.
     pub fn avg_fairness_improvement(&self, scheme: Scheme) -> f64 {
-        mean(&self.workloads.iter().map(|w| w.fairness_improvement(scheme)).collect::<Vec<_>>())
+        mean(
+            &self
+                .workloads
+                .iter()
+                .map(|w| w.fairness_improvement(scheme))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Average throughput speedup of `scheme` over baseline.
     pub fn avg_throughput_speedup(&self, scheme: Scheme) -> f64 {
-        mean(&self.workloads.iter().map(|w| w.throughput_speedup(scheme)).collect::<Vec<_>>())
+        mean(
+            &self
+                .workloads
+                .iter()
+                .map(|w| w.throughput_speedup(scheme))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Average STP / ANTT / worst-ANTT of `scheme`.
@@ -104,7 +136,13 @@ impl Sweep {
         (
             mean(&self.workloads.iter().map(|w| w.stp[i]).collect::<Vec<_>>()),
             mean(&self.workloads.iter().map(|w| w.antt[i]).collect::<Vec<_>>()),
-            mean(&self.workloads.iter().map(|w| w.worst_antt[i]).collect::<Vec<_>>()),
+            mean(
+                &self
+                    .workloads
+                    .iter()
+                    .map(|w| w.worst_antt[i])
+                    .collect::<Vec<_>>(),
+            ),
         )
     }
 
@@ -119,8 +157,46 @@ impl Sweep {
     }
 }
 
-/// Run one workload under all four schemes, `reps` times, and average.
-pub fn measure_workload(runner: &Runner, workload: &Workload, reps: u32, seed: u64) -> WorkloadMetrics {
+/// The six metrics of one `(workload, scheme, repetition)` run — the unit
+/// of work the parallel sweep distributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SchemeRun {
+    unfairness: f64,
+    overlap: f64,
+    total_time: f64,
+    stp: f64,
+    antt: f64,
+    worst_antt: f64,
+}
+
+/// Seed of repetition `rep` for a workload whose base seed is `seed`.
+///
+/// Derived from `(seed, rep)` alone — never from iteration order — which is
+/// what lets the sweep shard `(workload × rep × scheme)` cells across
+/// threads and still reproduce the sequential numbers bit-for-bit.
+fn rep_seed(seed: u64, rep: u32) -> u64 {
+    seed.wrapping_add(rep as u64).wrapping_mul(0x9e37_79b9)
+}
+
+/// Run one repetition of one workload under all four schemes.
+fn measure_rep(runner: &Runner, workload: &Workload, seed: u64, rep: u32) -> [SchemeRun; 4] {
+    let rep_seed = rep_seed(seed, rep);
+    Scheme::all().map(|scheme| {
+        let run: WorkloadRun = runner.run_workload(scheme, workload, rep_seed);
+        SchemeRun {
+            unfairness: run.unfairness(),
+            overlap: run.overlap(),
+            total_time: run.total_time as f64,
+            stp: run.stp(),
+            antt: run.antt(),
+            worst_antt: run.worst_antt(),
+        }
+    })
+}
+
+/// Average per-rep scheme runs, accumulating in repetition order (the same
+/// float-addition order as the historical sequential loop).
+fn average_reps(per_rep: &[[SchemeRun; 4]]) -> WorkloadMetrics {
     let mut acc = WorkloadMetrics {
         unfairness: [0.0; 4],
         overlap: [0.0; 4],
@@ -129,19 +205,17 @@ pub fn measure_workload(runner: &Runner, workload: &Workload, reps: u32, seed: u
         antt: [0.0; 4],
         worst_antt: [0.0; 4],
     };
-    for rep in 0..reps {
-        let rep_seed = seed.wrapping_add(rep as u64).wrapping_mul(0x9e37_79b9);
-        for (i, scheme) in Scheme::all().into_iter().enumerate() {
-            let run: WorkloadRun = runner.run_workload(scheme, workload, rep_seed);
-            acc.unfairness[i] += run.unfairness();
-            acc.overlap[i] += run.overlap();
-            acc.total_time[i] += run.total_time as f64;
-            acc.stp[i] += run.stp();
-            acc.antt[i] += run.antt();
-            acc.worst_antt[i] += run.worst_antt();
+    for rep in per_rep {
+        for (i, run) in rep.iter().enumerate() {
+            acc.unfairness[i] += run.unfairness;
+            acc.overlap[i] += run.overlap;
+            acc.total_time[i] += run.total_time;
+            acc.stp[i] += run.stp;
+            acc.antt[i] += run.antt;
+            acc.worst_antt[i] += run.worst_antt;
         }
     }
-    let n = reps as f64;
+    let n = per_rep.len() as f64;
     for i in 0..4 {
         acc.unfairness[i] /= n;
         acc.overlap[i] /= n;
@@ -153,8 +227,49 @@ pub fn measure_workload(runner: &Runner, workload: &Workload, reps: u32, seed: u
     acc
 }
 
-/// Sweep one request size on one device.
+/// Run one workload under all four schemes, `reps` times, and average.
+///
+/// `reps` is clamped to at least 1 (matching [`sweep`] / [`sweep_seq`], so
+/// `reps == 0` configurations cannot make the two sweep paths diverge or
+/// produce NaN averages).
+pub fn measure_workload(
+    runner: &Runner,
+    workload: &Workload,
+    reps: u32,
+    seed: u64,
+) -> WorkloadMetrics {
+    let per_rep: Vec<[SchemeRun; 4]> = (0..reps.max(1))
+        .map(|rep| measure_rep(runner, workload, seed, rep))
+        .collect();
+    average_reps(&per_rep)
+}
+
+/// Sweep one request size on one device, fanning the `(workload × rep)`
+/// grid out across the rayon pool (each unit runs its four schemes
+/// inline). Results are merged in `(workload, rep)` order, so the output
+/// is bit-identical to [`sweep_seq`] regardless of thread count.
 pub fn sweep(runner: &Runner, cfg: &SweepConfig, request_size: usize) -> Sweep {
+    let workloads = cfg.workloads(request_size);
+    let reps = cfg.reps.max(1);
+    let units: Vec<(usize, u32)> = (0..workloads.len())
+        .flat_map(|i| (0..reps).map(move |r| (i, r)))
+        .collect();
+    let runs: Vec<[SchemeRun; 4]> = units
+        .par_iter()
+        .map(|&(i, rep)| measure_rep(runner, &workloads[i], cfg.seed.wrapping_add(i as u64), rep))
+        .collect();
+    let metrics = runs.chunks(reps as usize).map(average_reps).collect();
+    Sweep {
+        request_size,
+        device: runner.device().name.clone(),
+        workloads: metrics,
+    }
+}
+
+/// The historical single-threaded sweep. Kept as the reference the
+/// parallel [`sweep`] is differentially tested against (and for hosts
+/// where spawning threads is undesirable).
+pub fn sweep_seq(runner: &Runner, cfg: &SweepConfig, request_size: usize) -> Sweep {
     let workloads = cfg.workloads(request_size);
     let metrics = workloads
         .iter()
@@ -190,8 +305,10 @@ pub struct Fig2 {
 /// Reproduce fig. 2: parallel execution of bfs, cutcp, stencil and tpacf.
 pub fn fig2(runner: &Runner, seed: u64) -> Fig2 {
     let names = ["bfs", "cutcp", "stencil", "tpacf"];
-    let wl: Workload =
-        names.iter().map(|n| KernelSpec::by_name(n).expect("kernel exists")).collect();
+    let wl: Workload = names
+        .iter()
+        .map(|n| KernelSpec::by_name(n).expect("kernel exists"))
+        .collect();
     let base = runner.run_workload(Scheme::Baseline, &wl, seed);
     let ek = runner.run_workload(Scheme::ElasticKernels, &wl, seed);
     let acc = runner.run_workload(Scheme::AccelOs, &wl, seed);
@@ -209,7 +326,10 @@ pub fn fig2(runner: &Runner, seed: u64) -> Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2 — parallel execution of bfs, cutcp, stencil, tpacf")?;
+        writeln!(
+            f,
+            "Figure 2 — parallel execution of bfs, cutcp, stencil, tpacf"
+        )?;
         writeln!(f, "(a) individual slowdowns:")?;
         writeln!(f, "  {:<10} {:>10} {:>10}", "kernel", "OpenCL", "accelOS")?;
         for (i, n) in self.names.iter().enumerate() {
@@ -248,7 +368,9 @@ pub struct DeviceSweeps {
 
 /// Run the paper's three sweeps (2, 4, 8 requests) on one device.
 pub fn device_sweeps(runner: &Runner, cfg: &SweepConfig) -> DeviceSweeps {
-    DeviceSweeps { sizes: [2, 4, 8].iter().map(|&k| sweep(runner, cfg, k)).collect() }
+    DeviceSweeps {
+        sizes: [2, 4, 8].iter().map(|&k| sweep(runner, cfg, k)).collect(),
+    }
 }
 
 impl DeviceSweeps {
@@ -258,7 +380,10 @@ impl DeviceSweeps {
             "Figure 9 — average system unfairness (lower is better), {}\n",
             self.sizes[0].device
         );
-        s += &format!("  {:<10} {:>10} {:>10} {:>10}\n", "requests", "OpenCL", "EK", "accelOS");
+        s += &format!(
+            "  {:<10} {:>10} {:>10} {:>10}\n",
+            "requests", "OpenCL", "EK", "accelOS"
+        );
         for sw in &self.sizes {
             let u = sw.avg_unfairness();
             s += &format!(
@@ -302,7 +427,10 @@ impl DeviceSweeps {
             "Figure 12 — average kernel execution overlap (higher is better), {}\n",
             self.sizes[0].device
         );
-        s += &format!("  {:<10} {:>10} {:>10} {:>10}\n", "requests", "OpenCL", "EK", "accelOS");
+        s += &format!(
+            "  {:<10} {:>10} {:>10} {:>10}\n",
+            "requests", "OpenCL", "EK", "accelOS"
+        );
         for sw in &self.sizes {
             let o = sw.avg_overlap();
             s += &format!(
@@ -350,7 +478,13 @@ impl DeviceSweeps {
                 sw.distribution(|w| w.throughput_speedup(Scheme::ElasticKernels));
             s += &format!(
                 "  {:<10} [{:>5.2}..{:>5.2}] {:>9.0}% [{:>5.2}..{:>5.2}] {:>9.0}%\n",
-                sw.request_size, amin, amax, abad * 100.0, emin, emax, ebad * 100.0
+                sw.request_size,
+                amin,
+                amax,
+                abad * 100.0,
+                emin,
+                emax,
+                ebad * 100.0
             );
         }
         s
@@ -391,10 +525,11 @@ pub struct PairRow {
     pub unfairness: (f64, f64, f64),
 }
 
-/// Reproduce fig. 11: unfairness for the alphabetic-neighbour pairs.
+/// Reproduce fig. 11: unfairness for the alphabetic-neighbour pairs
+/// (pairs are independent, so they fan out across the rayon pool).
 pub fn fig11(runner: &Runner, seed: u64) -> Vec<PairRow> {
     alphabetic_pairs()
-        .iter()
+        .par_iter()
         .map(|wl| {
             let base = runner.run_workload(Scheme::Baseline, wl, seed);
             let ek = runner.run_workload(Scheme::ElasticKernels, wl, seed);
@@ -410,7 +545,10 @@ pub fn fig11(runner: &Runner, seed: u64) -> Vec<PairRow> {
 /// Render fig. 11 rows.
 pub fn render_fig11(rows: &[PairRow], device: &str) -> String {
     let mut s = format!("Figure 11 — unfairness for alphabetic 2-kernel workloads, {device}\n");
-    s += &format!("  {:<50} {:>8} {:>8} {:>8}\n", "pair", "OpenCL", "EK", "accelOS");
+    s += &format!(
+        "  {:<50} {:>8} {:>8} {:>8}\n",
+        "pair", "OpenCL", "EK", "accelOS"
+    );
     for r in rows {
         s += &format!(
             "  {:<50} {:>8.2} {:>8.2} {:>8.2}\n",
@@ -438,15 +576,20 @@ pub struct SingleKernelRow {
     pub optimized: f64,
 }
 
-/// Reproduce fig. 15: per-kernel isolated accelOS speedups.
+/// Reproduce fig. 15: per-kernel isolated accelOS speedups (kernels are
+/// independent, so they fan out across the rayon pool).
 pub fn fig15(runner: &Runner, seed: u64) -> Vec<SingleKernelRow> {
     KernelSpec::all()
-        .iter()
+        .par_iter()
         .map(|spec| {
             let base = runner.isolated_time(Scheme::Baseline, spec, seed) as f64;
             let naive = runner.isolated_time(Scheme::AccelOsNaive, spec, seed) as f64;
             let opt = runner.isolated_time(Scheme::AccelOs, spec, seed) as f64;
-            SingleKernelRow { name: spec.name, naive: base / naive, optimized: base / opt }
+            SingleKernelRow {
+                name: spec.name,
+                naive: base / naive,
+                optimized: base / opt,
+            }
         })
         .collect()
 }
@@ -460,7 +603,10 @@ pub fn render_fig15(rows: &[SingleKernelRow], device: &str) -> String {
     }
     let g_naive = geomean(&rows.iter().map(|r| r.naive).collect::<Vec<_>>());
     let g_opt = geomean(&rows.iter().map(|r| r.optimized).collect::<Vec<_>>());
-    s += &format!("  {:<30} {:>7.2}x {:>9.2}x  (geometric mean)\n", "geomean", g_naive, g_opt);
+    s += &format!(
+        "  {:<30} {:>7.2}x {:>9.2}x  (geometric mean)\n",
+        "geomean", g_naive, g_opt
+    );
     s
 }
 
@@ -516,7 +662,7 @@ pub fn small_kernels(device: &DeviceConfig, seed: u64) -> Vec<SmallKernelRow> {
                 device,
                 spec,
                 wgs,
-                |c| LaunchPlan::Hardware { wg_costs: c },
+                |c| LaunchPlan::Hardware { wg_costs: c.into() },
                 seed,
             ) as f64;
             let acc = isolated_custom(
@@ -525,13 +671,17 @@ pub fn small_kernels(device: &DeviceConfig, seed: u64) -> Vec<SmallKernelRow> {
                 wgs,
                 |c| LaunchPlan::PersistentDynamic {
                     workers: wgs as u32,
-                    vg_costs: c,
+                    vg_costs: c.into(),
                     chunk: 1,
                     per_vg_overhead: 2,
                 },
                 seed,
             ) as f64;
-            rows.push(SmallKernelRow { name: spec.name, wgs, rel_diff: acc / base - 1.0 });
+            rows.push(SmallKernelRow {
+                name: spec.name,
+                wgs,
+                rel_diff: acc / base - 1.0,
+            });
         }
     }
     rows
@@ -542,7 +692,12 @@ pub fn render_small_kernels(rows: &[SmallKernelRow], device: &str) -> String {
     let mut s = format!("§8.5 — small-kernel executions, accelOS vs OpenCL, {device}\n");
     s += &format!("  {:<10} {:>6} {:>12}\n", "kernel", "WGs", "difference");
     for r in rows {
-        s += &format!("  {:<10} {:>6} {:>11.1}%\n", r.name, r.wgs, r.rel_diff * 100.0);
+        s += &format!(
+            "  {:<10} {:>6} {:>11.1}%\n",
+            r.name,
+            r.wgs,
+            r.rel_diff * 100.0
+        );
     }
     s
 }
@@ -568,7 +723,12 @@ pub struct AblationRow {
 /// normal regime (coarser chunks hurt balance) — which is exactly why the
 /// policy adapts on instruction count.
 pub fn chunk_ablation(device: &DeviceConfig, seed: u64) -> Vec<AblationRow> {
-    let kernels = ["mri-gridding_uniformAdd", "mri-q_ComputePhiMag", "histo_final", "sgemm"];
+    let kernels = [
+        "mri-gridding_uniformAdd",
+        "mri-q_ComputePhiMag",
+        "histo_final",
+        "sgemm",
+    ];
     let mut rows = Vec::new();
     for name in kernels {
         let spec = KernelSpec::by_name(name).expect("kernel exists");
@@ -626,13 +786,20 @@ pub fn chunk_ablation(device: &DeviceConfig, seed: u64) -> Vec<AblationRow> {
 /// Render the ablation rows.
 pub fn render_ablation(rows: &[AblationRow], device: &str) -> String {
     let mut s = format!("§6.4 ablation — dequeue chunk size vs isolated time, {device}\n");
-    s += &format!("  {:<30} {:>8} {:>6} {:>14}\n", "kernel", "regime", "chunk", "vs chunk=1");
+    s += &format!(
+        "  {:<30} {:>8} {:>6} {:>14}\n",
+        "kernel", "regime", "chunk", "vs chunk=1"
+    );
     for r in rows {
         s += &format!(
             "  {:<30} {:>8} {:>6} {:>13.2}x\n",
             r.name,
             if r.short_variant { "short" } else { "normal" },
-            if r.chunk == 0 { "guided".to_string() } else { r.chunk.to_string() },
+            if r.chunk == 0 {
+                "guided".to_string()
+            } else {
+                r.chunk.to_string()
+            },
             r.speedup_vs_chunk1
         );
     }
@@ -662,12 +829,15 @@ pub struct DynamicTenancyRow {
 /// sizing never adapts.
 pub fn dynamic_tenancy(runner: &Runner, seed: u64) -> Vec<DynamicTenancyRow> {
     let names = ["tpacf", "lbm", "histo_main", "spmv", "sgemm", "stencil"];
-    let workload: Workload =
-        names.iter().map(|n| KernelSpec::by_name(n).expect("kernel exists")).collect();
+    let workload: Workload = names
+        .iter()
+        .map(|n| KernelSpec::by_name(n).expect("kernel exists"))
+        .collect();
     // Stagger joins relative to the first tenant's isolated runtime.
     let t0 = runner.isolated_time(Scheme::Baseline, workload[0], seed);
-    let arrivals: Vec<u64> =
-        (0..workload.len() as u64).map(|i| i.saturating_sub(1) * t0 / 4).collect();
+    let arrivals: Vec<u64> = (0..workload.len() as u64)
+        .map(|i| i.saturating_sub(1) * t0 / 4)
+        .collect();
     Scheme::all()
         .into_iter()
         .map(|scheme| {
@@ -685,7 +855,10 @@ pub fn dynamic_tenancy(runner: &Runner, seed: u64) -> Vec<DynamicTenancyRow> {
 pub fn render_dynamic_tenancy(rows: &[DynamicTenancyRow], device: &str) -> String {
     let base_time = rows[0].total_time as f64;
     let mut s = format!("Extension — dynamic tenancy (staggered joins/leaves), {device}\n");
-    s += &format!("  {:<16} {:>12} {:>16}\n", "scheme", "unfairness", "vs OpenCL time");
+    s += &format!(
+        "  {:<16} {:>12} {:>16}\n",
+        "scheme", "unfairness", "vs OpenCL time"
+    );
     for r in rows {
         s += &format!(
             "  {:<16} {:>12.2} {:>15.2}x\n",
@@ -714,7 +887,11 @@ mod tests {
             f.baseline_slowdowns
         );
         // accelOS is substantially fairer (paper: 5.79x).
-        assert!(f.unfairness.0 / f.unfairness.2 > 2.0, "unfairness {:?}", f.unfairness);
+        assert!(
+            f.unfairness.0 / f.unfairness.2 > 2.0,
+            "unfairness {:?}",
+            f.unfairness
+        );
         // accelOS improves throughput (paper: 1.31x).
         assert!(f.speedup.1 > 1.0, "accelOS speedup {:.2}", f.speedup.1);
         let _rendered = f.to_string();
@@ -760,9 +937,15 @@ mod tests {
         assert_eq!(rows.len(), 25);
         let g_opt = geomean(&rows.iter().map(|r| r.optimized).collect::<Vec<_>>());
         let g_naive = geomean(&rows.iter().map(|r| r.naive).collect::<Vec<_>>());
-        assert!(g_opt > g_naive, "optimized {g_opt:.3} vs naive {g_naive:.3}");
+        assert!(
+            g_opt > g_naive,
+            "optimized {g_opt:.3} vs naive {g_naive:.3}"
+        );
         assert!(g_opt > 1.0, "optimized should be a net win: {g_opt:.3}");
-        assert!(g_naive > 0.85, "naive should be a small loss at worst: {g_naive:.3}");
+        assert!(
+            g_naive > 0.85,
+            "naive should be a small loss at worst: {g_naive:.3}"
+        );
         let _ = render_fig15(&rows, "K20m");
     }
 
@@ -812,21 +995,33 @@ mod tests {
             .iter()
             .find(|r| r.name == "mri-gridding_uniformAdd" && r.chunk == 8 && r.short_variant)
             .expect("row exists");
-        assert!(ua8.speedup_vs_chunk1 > 1.2, "chunking gain {:.2}", ua8.speedup_vs_chunk1);
+        assert!(
+            ua8.speedup_vs_chunk1 > 1.2,
+            "chunking gain {:.2}",
+            ua8.speedup_vs_chunk1
+        );
         // Normal-regime sgemm must NOT benefit from coarse chunking — this
         // asymmetry is why §6.4 adapts on instruction count.
         let sg8 = rows
             .iter()
             .find(|r| r.name == "sgemm" && r.chunk == 8 && !r.short_variant)
             .expect("row exists");
-        assert!(sg8.speedup_vs_chunk1 < 1.05, "sgemm chunking {:.2}", sg8.speedup_vs_chunk1);
+        assert!(
+            sg8.speedup_vs_chunk1 < 1.05,
+            "sgemm chunking {:.2}",
+            sg8.speedup_vs_chunk1
+        );
         // The guided extension must recover most of the fixed-chunk win in
         // the short regime without the fixed policy's normal-regime loss.
         let ua_guided = rows
             .iter()
             .find(|r| r.name == "mri-gridding_uniformAdd" && r.chunk == 0 && r.short_variant)
             .expect("row exists");
-        assert!(ua_guided.speedup_vs_chunk1 > 1.5, "guided gain {:.2}", ua_guided.speedup_vs_chunk1);
+        assert!(
+            ua_guided.speedup_vs_chunk1 > 1.5,
+            "guided gain {:.2}",
+            ua_guided.speedup_vs_chunk1
+        );
         let sg_guided = rows
             .iter()
             .find(|r| r.name == "sgemm" && r.chunk == 0 && !r.short_variant)

@@ -18,11 +18,18 @@ use accelos::chunk::{chunk_for, Mode};
 use accelos::resource::ResourceDemand;
 use accelos::scheduler::{plan_launches, ExecRequest};
 use elastic_kernels::EkKernel;
-use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, SimReport, Simulator, WorkGroupReq};
+use gpu_sim::{Costs, DeviceConfig, KernelLaunch, LaunchPlan, SimReport, Simulator, WorkGroupReq};
 use parboil::{KernelDb, KernelSpec};
 use sched_metrics::IntervalSet;
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+/// Entries kept in the per-runner cost-draw cache before it is cleared.
+/// Draws are only reused within one repetition (the four schemes and the
+/// isolated runs of the same `(workload, seed)`), so a small bound keeps
+/// the hot set resident without letting a paper-sized sweep accumulate
+/// gigabytes of stale tables.
+const COST_CACHE_CAP: usize = 512;
 
 /// Software cost added per virtual group by the persistent-worker runtime
 /// (index arithmetic of the replaced work-item functions).
@@ -44,7 +51,12 @@ pub enum Scheme {
 impl Scheme {
     /// All schemes, in the order the paper's figures list them.
     pub fn all() -> [Scheme; 4] {
-        [Scheme::Baseline, Scheme::ElasticKernels, Scheme::AccelOsNaive, Scheme::AccelOs]
+        [
+            Scheme::Baseline,
+            Scheme::ElasticKernels,
+            Scheme::AccelOsNaive,
+            Scheme::AccelOs,
+        ]
     }
 
     /// Display label used in rendered tables.
@@ -116,6 +128,11 @@ pub struct Runner {
     device: DeviceConfig,
     db: KernelDb,
     isolated: Mutex<HashMap<(Scheme, &'static str, u64), u64>>,
+    /// Cached per-work-group cost draws keyed `(kernel, n, seed)` — every
+    /// scheme of a repetition consumes the *same* draw, so without this
+    /// cache a 4-scheme measurement regenerates (and re-allocates) each
+    /// kernel's cost table four times.
+    costs: Mutex<HashMap<(&'static str, usize, u64), Costs>>,
 }
 
 impl Runner {
@@ -127,7 +144,31 @@ impl Runner {
     /// parboil tests, not an input condition).
     pub fn new(device: DeviceConfig) -> Self {
         let db = KernelDb::load().expect("bundled Parboil kernels compile");
-        Runner { device, db, isolated: Mutex::new(HashMap::new()) }
+        Runner {
+            device,
+            db,
+            isolated: Mutex::new(HashMap::new()),
+            costs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The deterministic cost draw for `(spec, n, seed)` as a shared table
+    /// (cached; see [`Runner::costs`]).
+    fn vg_costs_cached(&self, spec: &'static KernelSpec, n: usize, seed: u64) -> Costs {
+        let key = (spec.name, n, seed);
+        {
+            let cache = self.costs.lock().unwrap();
+            if let Some(c) = cache.get(&key) {
+                return c.clone();
+            }
+        }
+        let draw: Costs = spec.vg_costs(n, seed).into();
+        let mut cache = self.costs.lock().unwrap();
+        if cache.len() >= COST_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, draw.clone());
+        draw
     }
 
     /// The device this runner simulates.
@@ -163,33 +204,43 @@ impl Runner {
         arrivals: &[u64],
         seed: u64,
     ) -> Vec<KernelLaunch> {
-        let costs: Vec<Vec<u64>> = workload
+        let costs: Vec<Costs> = workload
             .iter()
-            .map(|s| s.vg_costs(s.default_wgs as usize, seed))
+            .map(|s| self.vg_costs_cached(s, s.default_wgs as usize, seed))
             .collect();
         let plans: Vec<LaunchPlan> = match scheme {
-            Scheme::Baseline => {
-                costs.iter().map(|c| LaunchPlan::Hardware { wg_costs: c.clone() }).collect()
-            }
+            Scheme::Baseline => costs
+                .iter()
+                .map(|c| LaunchPlan::Hardware {
+                    wg_costs: c.clone(),
+                })
+                .collect(),
             Scheme::ElasticKernels => {
                 let eks: Vec<EkKernel> = workload
                     .iter()
-                    .map(|s| EkKernel { wg_threads: s.wg_size, original_wgs: s.default_wgs })
+                    .map(|s| EkKernel {
+                        wg_threads: s.wg_size,
+                        original_wgs: s.default_wgs,
+                    })
                     .collect();
                 elastic_kernels::plan(&self.device, &eks)
                     .iter()
                     .zip(&costs)
-                    .map(|(d, c)| d.to_sim_plan(c, PER_VG_OVERHEAD))
+                    .map(|(d, c)| d.to_sim_plan(c.as_ref(), PER_VG_OVERHEAD))
                     .collect()
             }
             Scheme::AccelOsNaive | Scheme::AccelOs => {
-                let mode = if scheme == Scheme::AccelOs { Mode::Optimized } else { Mode::Naive };
+                let mode = if scheme == Scheme::AccelOs {
+                    Mode::Optimized
+                } else {
+                    Mode::Naive
+                };
                 let requests: Vec<ExecRequest> = workload
                     .iter()
                     .map(|s| {
                         let req = self.wg_req(s);
                         ExecRequest {
-                            kernel: s.name.to_string(),
+                            kernel: s.name.into(),
                             ndrange: s.default_ndrange(),
                             demand: ResourceDemand {
                                 wg_threads: req.threads,
@@ -270,12 +321,20 @@ impl Runner {
 
     /// Isolated execution time of one kernel under `scheme` (cached).
     pub fn isolated_time(&self, scheme: Scheme, spec: &'static KernelSpec, seed: u64) -> u64 {
-        if let Some(&t) = self.isolated.lock().unwrap().get(&(scheme, spec.name, seed)) {
+        if let Some(&t) = self
+            .isolated
+            .lock()
+            .unwrap()
+            .get(&(scheme, spec.name, seed))
+        {
             return t;
         }
         let report = self.simulate(self.launches(scheme, &[spec], seed));
         let t = report.total_time().max(1);
-        self.isolated.lock().unwrap().insert((scheme, spec.name, seed), t);
+        self.isolated
+            .lock()
+            .unwrap()
+            .insert((scheme, spec.name, seed), t);
         t
     }
 
@@ -316,16 +375,27 @@ impl Runner {
         assert_eq!(workload.len(), arrivals.len(), "one arrival per kernel");
         let report = self.simulate(self.launches_at(scheme, workload, arrivals, seed));
         let names: Vec<&'static str> = workload.iter().map(|s| s.name).collect();
-        let shared: Vec<u64> =
-            report.kernels.iter().map(|k| k.turnaround().max(1)).collect();
-        let alone: Vec<u64> =
-            workload.iter().map(|s| self.isolated_time(scheme, s, seed)).collect();
+        let shared: Vec<u64> = report
+            .kernels
+            .iter()
+            .map(|k| k.turnaround().max(1))
+            .collect();
+        let alone: Vec<u64> = workload
+            .iter()
+            .map(|s| self.isolated_time(scheme, s, seed))
+            .collect();
         let busy: Vec<IntervalSet> = report
             .kernels
             .iter()
             .map(|k| IntervalSet::from_raw(k.busy_intervals.clone()))
             .collect();
-        WorkloadRun { names, shared, alone, busy, total_time: report.total_time().max(1) }
+        WorkloadRun {
+            names,
+            shared,
+            alone,
+            busy,
+            total_time: report.total_time().max(1),
+        }
     }
 }
 
@@ -342,8 +412,11 @@ mod tests {
         // A long kernel first, a short one behind it: the short one's
         // slowdown is dominated by the wait (paper §2.3).
         let r = Runner::new(DeviceConfig::k20m());
-        let run =
-            r.run_workload(Scheme::Baseline, &[k("mri-q_ComputeQ"), k("histo_final")], 1);
+        let run = r.run_workload(
+            Scheme::Baseline,
+            &[k("mri-q_ComputeQ"), k("histo_final")],
+            1,
+        );
         assert!(run.unfairness() > 1.5, "baseline U = {}", run.unfairness());
         assert!(run.overlap() < 0.3, "baseline overlap = {}", run.overlap());
     }
@@ -361,7 +434,11 @@ mod tests {
         // Pairs whose first kernel is long, so baseline serialisation
         // punishes the second (the paper's motivating scenario).
         let r = Runner::new(DeviceConfig::k20m());
-        for pair in [["lbm", "histo_final"], ["tpacf", "spmv"], ["mri-q_ComputeQ", "bfs"]] {
+        for pair in [
+            ["lbm", "histo_final"],
+            ["tpacf", "spmv"],
+            ["mri-q_ComputeQ", "bfs"],
+        ] {
             let wl = [k(pair[0]), k(pair[1])];
             let base = r.run_workload(Scheme::Baseline, &wl, 3);
             let acc = r.run_workload(Scheme::AccelOs, &wl, 3);

@@ -31,7 +31,11 @@ pub fn all_pairs() -> Vec<Workload> {
 /// first to keep 13 rows, mirroring the paper's 13 bars for 25 kernels).
 pub fn alphabetic_pairs() -> Vec<Workload> {
     let specs = KernelSpec::all();
-    let mut out: Vec<Workload> = specs.chunks(2).filter(|c| c.len() == 2).map(|c| vec![&c[0], &c[1]]).collect();
+    let mut out: Vec<Workload> = specs
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|c| vec![&c[0], &c[1]])
+        .collect();
     out.push(vec![&specs[24], &specs[0]]);
     out
 }
@@ -47,7 +51,11 @@ pub fn random_combinations(k: usize, count: usize, seed: u64) -> Vec<Workload> {
     let specs = KernelSpec::all();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
-        .map(|_| (0..k).map(|_| &specs[rng.random_range(0..specs.len())]).collect())
+        .map(|_| {
+            (0..k)
+                .map(|_| &specs[rng.random_range(0..specs.len())])
+                .collect()
+        })
         .collect()
 }
 
@@ -70,18 +78,36 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The paper-sized sweep (625 / 16384 / 32768 / 20 reps).
     pub fn full() -> Self {
-        SweepConfig { pairs: 625, n4: 16384, n8: 32768, reps: 20, seed: 2016 }
+        SweepConfig {
+            pairs: 625,
+            n4: 16384,
+            n8: 32768,
+            reps: 20,
+            seed: 2016,
+        }
     }
 
     /// A laptop-scale default that keeps every distribution's shape
     /// (625 pairs, 256 each of 4- and 8-kernel workloads, 3 reps).
     pub fn default_scale() -> Self {
-        SweepConfig { pairs: 625, n4: 256, n8: 256, reps: 3, seed: 2016 }
+        SweepConfig {
+            pairs: 625,
+            n4: 256,
+            n8: 256,
+            reps: 3,
+            seed: 2016,
+        }
     }
 
     /// A tiny configuration for unit tests.
     pub fn test_scale() -> Self {
-        SweepConfig { pairs: 12, n4: 6, n8: 4, reps: 1, seed: 2016 }
+        SweepConfig {
+            pairs: 12,
+            n4: 6,
+            n8: 4,
+            reps: 1,
+            seed: 2016,
+        }
     }
 
     /// The workloads of one request size (2, 4 or 8).
@@ -113,7 +139,9 @@ mod tests {
         assert_eq!(p.len(), 625);
         assert!(p.iter().all(|w| w.len() == 2));
         // First row pairs kernel 0 with every kernel.
-        assert!(p[..25].iter().all(|w| w[0].name == KernelSpec::all()[0].name));
+        assert!(p[..25]
+            .iter()
+            .all(|w| w[0].name == KernelSpec::all()[0].name));
     }
 
     #[test]
@@ -131,7 +159,9 @@ mod tests {
         let a = random_combinations(4, 10, 1);
         let b = random_combinations(4, 10, 1);
         let names = |w: &[Workload]| -> Vec<Vec<&str>> {
-            w.iter().map(|v| v.iter().map(|s| s.name).collect()).collect()
+            w.iter()
+                .map(|v| v.iter().map(|s| s.name).collect())
+                .collect()
         };
         assert_eq!(names(&a), names(&b));
         let c = random_combinations(4, 10, 2);

@@ -129,7 +129,12 @@ pub fn local_mem_usage(func: &Function) -> usize {
     let mut bytes = 0usize;
     for block in &func.blocks {
         for inst in &block.insts {
-            if let Op::Alloca { elem, count, space: AddressSpace::Local } = &inst.op {
+            if let Op::Alloca {
+                elem,
+                count,
+                space: AddressSpace::Local,
+            } = &inst.op
+            {
                 bytes += elem.byte_size() * (*count as usize);
             }
         }
@@ -168,7 +173,11 @@ pub fn callees(func: &Function) -> Vec<String> {
 
 /// The call graph of a module: function name → direct callees.
 pub fn callgraph(module: &Module) -> BTreeMap<String, Vec<String>> {
-    module.functions.iter().map(|f| (f.name.clone(), callees(f))).collect()
+    module
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), callees(f)))
+        .collect()
 }
 
 /// All helper functions transitively reachable from `func` via calls,
@@ -192,7 +201,45 @@ pub fn reachable_helpers(func: &Function, module: &Module) -> Vec<String> {
 /// Whether the function (or any reachable callee) contains a barrier.
 pub fn uses_barrier(func: &Function, module: &Module) -> bool {
     let has = |f: &Function| {
-        f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i.op, Op::Barrier)))
+        f.blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i.op, Op::Barrier)))
+    };
+    if has(func) {
+        return true;
+    }
+    reachable_helpers(func, module)
+        .iter()
+        .filter_map(|n| module.function(n))
+        .any(has)
+}
+
+/// Whether the function (or any reachable callee) performs atomics on
+/// *global* (or constant) memory.
+///
+/// This is the gate for cross-work-group parallel interpretation
+/// ([`crate::interp::Interpreter::run_kernel_parallel`]): work groups never
+/// share `local` or `private` arenas, so local-space atomics are safe under
+/// group-level parallelism, while global-memory atomics introduce
+/// cross-group ordering the sequential interpreter resolves by running
+/// groups in flat order.
+pub fn uses_global_atomics(func: &Function, module: &Module) -> bool {
+    let has = |f: &Function| {
+        f.blocks.iter().any(|b| {
+            b.insts.iter().any(|i| {
+                let ptr = match &i.op {
+                    Op::AtomicRmw { ptr, .. } | Op::AtomicCmpXchg { ptr, .. } => *ptr,
+                    _ => return false,
+                };
+                matches!(
+                    f.value_type(ptr),
+                    crate::types::Type::Ptr {
+                        space: AddressSpace::Global | AddressSpace::Constant,
+                        ..
+                    }
+                )
+            })
+        })
     };
     if has(func) {
         return true;
@@ -256,7 +303,7 @@ mod tests {
     fn pressure_is_reasonable() {
         let (f, _) = simple_kernel();
         let p = register_pressure(&f);
-        assert!(p >= 2 && p <= 6, "pressure {p}");
+        assert!((2..=6).contains(&p), "pressure {p}");
     }
 
     #[test]
@@ -264,10 +311,12 @@ mod tests {
         // Chain of adds where every intermediate is kept alive until the end.
         let mut b = FunctionBuilder::new("f", FunctionKind::Helper, Type::I32);
         let x = b.add_param("x", Type::I32);
-        let vals: Vec<_> = (0..8).map(|i| {
-            let c = b.const_i32(i);
-            b.bin(BinOp::Mul, x, c)
-        }).collect();
+        let vals: Vec<_> = (0..8)
+            .map(|i| {
+                let c = b.const_i32(i);
+                b.bin(BinOp::Mul, x, c)
+            })
+            .collect();
         let mut acc = vals[0];
         for v in &vals[1..] {
             acc = b.bin(BinOp::Add, acc, *v);

@@ -70,7 +70,10 @@ impl FunctionBuilder {
             "parameters must be added before instructions"
         );
         let id = ValueId(self.func.value_types.len() as u32);
-        self.func.params.push(Param { name: name.into(), ty: ty.clone() });
+        self.func.params.push(Param {
+            name: name.into(),
+            ty: ty.clone(),
+        });
         self.func.value_types.push(ty);
         id
     }
@@ -84,7 +87,10 @@ impl FunctionBuilder {
 
     /// Move the insertion point to `block`.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(block.index() < self.func.blocks.len(), "unknown block {block}");
+        assert!(
+            block.index() < self.func.blocks.len(),
+            "unknown block {block}"
+        );
         self.current = block;
     }
 
@@ -106,13 +112,20 @@ impl FunctionBuilder {
 
     fn push(&mut self, inst: Inst) {
         let blk = &mut self.func.blocks[self.current.index()];
-        assert!(blk.term.is_none(), "appending to a terminated block {}", self.current);
+        assert!(
+            blk.term.is_none(),
+            "appending to a terminated block {}",
+            self.current
+        );
         blk.insts.push(inst);
     }
 
     fn emit(&mut self, ty: Type, op: Op) -> ValueId {
         let id = self.fresh(ty);
-        self.push(Inst { result: Some(id), op });
+        self.push(Inst {
+            result: Some(id),
+            op,
+        });
         id
     }
 
@@ -212,12 +225,26 @@ impl FunctionBuilder {
 
     /// Call `callee` with `args`; `ret` is the callee's return type (the
     /// builder cannot see other functions, so the caller supplies it).
-    pub fn call(&mut self, callee: impl Into<String>, args: Vec<ValueId>, ret: Type) -> Option<ValueId> {
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: Vec<ValueId>,
+        ret: Type,
+    ) -> Option<ValueId> {
         if ret == Type::Void {
-            self.emit_void(Op::Call { callee: callee.into(), args });
+            self.emit_void(Op::Call {
+                callee: callee.into(),
+                args,
+            });
             None
         } else {
-            Some(self.emit(ret, Op::Call { callee: callee.into(), args }))
+            Some(self.emit(
+                ret,
+                Op::Call {
+                    callee: callee.into(),
+                    args,
+                },
+            ))
         }
     }
 
@@ -251,7 +278,14 @@ impl FunctionBuilder {
             .pointee()
             .unwrap_or_else(|| panic!("atomic through non-pointer {ptr}"))
             .clone();
-        self.emit(ty, Op::AtomicCmpXchg { ptr, expected, desired })
+        self.emit(
+            ty,
+            Op::AtomicCmpXchg {
+                ptr,
+                expected,
+                desired,
+            },
+        )
     }
 
     /// Work-group barrier.
@@ -261,7 +295,11 @@ impl FunctionBuilder {
 
     fn terminate(&mut self, term: Terminator) {
         let blk = &mut self.func.blocks[self.current.index()];
-        assert!(blk.term.is_none(), "block {} already terminated", self.current);
+        assert!(
+            blk.term.is_none(),
+            "block {} already terminated",
+            self.current
+        );
         blk.term = Some(term);
     }
 
@@ -272,7 +310,11 @@ impl FunctionBuilder {
 
     /// Conditional branch; terminates the current block.
     pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
-        self.terminate(Terminator::CondBr { cond, then_bb, else_bb });
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Return; terminates the current block.
@@ -292,7 +334,11 @@ impl FunctionBuilder {
     /// Panics if any block lacks a terminator.
     pub fn finish(self) -> Function {
         for (i, b) in self.func.blocks.iter().enumerate() {
-            assert!(b.term.is_some(), "block bb{i} of `{}` lacks a terminator", self.func.name);
+            assert!(
+                b.term.is_some(),
+                "block bb{i} of `{}` lacks a terminator",
+                self.func.name
+            );
         }
         self.func
     }

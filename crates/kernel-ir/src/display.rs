@@ -107,7 +107,11 @@ fn write_inst(f: &mut fmt::Formatter<'_>, inst: &Inst) -> fmt::Result {
         }
         Op::WorkItem { builtin, dim } => write!(f, "{} {dim}", builtin.name()),
         Op::AtomicRmw { op, ptr, value } => write!(f, "{} {ptr}, {value}", op.mnemonic()),
-        Op::AtomicCmpXchg { ptr, expected, desired } => {
+        Op::AtomicCmpXchg {
+            ptr,
+            expected,
+            desired,
+        } => {
             write!(f, "atomic_cmpxchg {ptr}, {expected}, {desired}")
         }
         Op::Barrier => write!(f, "barrier"),
@@ -117,7 +121,11 @@ fn write_inst(f: &mut fmt::Formatter<'_>, inst: &Inst) -> fmt::Result {
 fn write_term(f: &mut fmt::Formatter<'_>, term: &Terminator) -> fmt::Result {
     match term {
         Terminator::Br(b) => write!(f, "br {b}"),
-        Terminator::CondBr { cond, then_bb, else_bb } => {
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             write!(f, "condbr {cond}, {then_bb}, {else_bb}")
         }
         Terminator::Ret(Some(v)) => write!(f, "ret {v}"),

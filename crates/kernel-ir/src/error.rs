@@ -15,12 +15,18 @@ pub struct IrError {
 impl IrError {
     /// Error not attributed to a particular function.
     pub fn new(message: impl Into<String>) -> Self {
-        IrError { function: None, message: message.into() }
+        IrError {
+            function: None,
+            message: message.into(),
+        }
     }
 
     /// Error attributed to `function`.
     pub fn in_function(function: impl Into<String>, message: impl Into<String>) -> Self {
-        IrError { function: Some(function.into()), message: message.into() }
+        IrError {
+            function: Some(function.into()),
+            message: message.into(),
+        }
     }
 }
 
@@ -69,7 +75,10 @@ impl fmt::Display for InterpError {
             InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             InterpError::ArgMismatch(m) => write!(f, "kernel argument mismatch: {m}"),
             InterpError::OutOfBounds { what, offset, size } => {
-                write!(f, "out-of-bounds access to {what}: byte offset {offset} of {size}")
+                write!(
+                    f,
+                    "out-of-bounds access to {what}: byte offset {offset} of {size}"
+                )
             }
             InterpError::DivideByZero => f.write_str("integer division by zero"),
             InterpError::BarrierDivergence(m) => write!(f, "barrier divergence: {m}"),
@@ -93,9 +102,15 @@ mod tests {
         assert_eq!(e.to_string(), "in function `k`: bad terminator");
         assert_eq!(IrError::new("x").to_string(), "x");
         assert!(InterpError::DivideByZero.to_string().contains("division"));
-        let oob = InterpError::OutOfBounds { what: "buffer 0".into(), offset: 64, size: 32 };
+        let oob = InterpError::OutOfBounds {
+            what: "buffer 0".into(),
+            offset: 64,
+            size: 32,
+        };
         assert!(oob.to_string().contains("byte offset 64"));
-        assert!(InterpError::StepLimitExceeded(10).to_string().contains("10"));
+        assert!(InterpError::StepLimitExceeded(10)
+            .to_string()
+            .contains("10"));
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn inline_module(module: &mut Module) -> Result<(), IrError> {
             let Some(site) = find_call(&func) else { break };
             let callee = module
                 .function(&site.callee)
-                .ok_or_else(|| IrError::in_function(name, format!("unknown callee `{}`", site.callee)))?
+                .ok_or_else(|| {
+                    IrError::in_function(name, format!("unknown callee `{}`", site.callee))
+                })?
                 .clone();
             let inlined = inline_one(&func, &site, &callee)?;
             module.insert_function(inlined);
@@ -137,7 +139,10 @@ fn check_acyclic(module: &Module) -> Result<(), IrError> {
             return Ok(());
         }
         if !visiting.insert(name.to_string()) {
-            return Err(IrError::in_function(name, "recursive call cycle; cannot inline"));
+            return Err(IrError::in_function(
+                name,
+                "recursive call cycle; cannot inline",
+            ));
         }
         if let Some(f) = module.function(name) {
             for callee in crate::analysis::callees(f) {
@@ -189,7 +194,10 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
     let call_block = &func.blocks[site.block.index()];
     let before: Vec<Inst> = call_block.insts[..site.ip].to_vec();
     let after: Vec<Inst> = call_block.insts[site.ip + 1..].to_vec();
-    let cont_term = call_block.term.clone().expect("source blocks are terminated");
+    let cont_term = call_block
+        .term
+        .clone()
+        .expect("source blocks are terminated");
 
     // Callee blocks are appended after the caller's; block b of the callee
     // becomes caller block `block_base + b`. The continuation goes last.
@@ -222,8 +230,10 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
             },
         });
     }
-    out.blocks[site.block.index()] =
-        Block { insts: before, term: Some(Terminator::Br(map_block(callee.entry()))) };
+    out.blocks[site.block.index()] = Block {
+        insts: before,
+        term: Some(Terminator::Br(map_block(callee.entry()))),
+    };
 
     // Copy callee blocks, remapping values and blocks; `ret` becomes a
     // store into the return cell plus a branch to the continuation.
@@ -232,11 +242,18 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
         for inst in &cblock.insts {
             let mut op = inst.op.clone();
             remap_op(&mut op, &map_val);
-            insts.push(Inst { result: inst.result.map(map_val), op });
+            insts.push(Inst {
+                result: inst.result.map(map_val),
+                op,
+            });
         }
         let term = match cblock.term.as_ref().expect("callee blocks are terminated") {
             Terminator::Br(b) => Terminator::Br(map_block(*b)),
-            Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::CondBr {
                 cond: map_val(*cond),
                 then_bb: map_block(*then_bb),
                 else_bb: map_block(*else_bb),
@@ -244,22 +261,37 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
             Terminator::Ret(v) => {
                 if let (Some((cell, _)), Some(v)) = (ret_cell, v) {
                     let src = map_val(*v);
-                    insts.push(Inst { result: None, op: Op::Store { ptr: cell, value: src } });
+                    insts.push(Inst {
+                        result: None,
+                        op: Op::Store {
+                            ptr: cell,
+                            value: src,
+                        },
+                    });
                 }
                 Terminator::Br(cont_id)
             }
         };
-        out.blocks.push(Block { insts, term: Some(term) });
+        out.blocks.push(Block {
+            insts,
+            term: Some(term),
+        });
     }
 
     // Continuation block: load the returned value (if any), then
     // everything after the call.
     let mut cont_insts = Vec::with_capacity(after.len() + 1);
     if let Some((cell, dst)) = ret_cell {
-        cont_insts.push(Inst { result: Some(dst), op: Op::Load(cell) });
+        cont_insts.push(Inst {
+            result: Some(dst),
+            op: Op::Load(cell),
+        });
     }
     cont_insts.extend(after);
-    out.blocks.push(Block { insts: cont_insts, term: Some(cont_term) });
+    out.blocks.push(Block {
+        insts: cont_insts,
+        term: Some(cont_term),
+    });
 
     debug_assert_eq!(out.blocks.len() as u32, cont_id.0 + 1);
     Ok(out)
@@ -306,7 +338,11 @@ fn remap_op(op: &mut Op, map: &impl Fn(ValueId) -> ValueId) {
             *ptr = it.next().expect("two operands");
             *value = it.next().expect("two operands");
         }
-        Op::AtomicCmpXchg { ptr, expected, desired } => {
+        Op::AtomicCmpXchg {
+            ptr,
+            expected,
+            desired,
+        } => {
             *ptr = it.next().expect("three operands");
             *expected = it.next().expect("three operands");
             *desired = it.next().expect("three operands");
@@ -365,10 +401,16 @@ mod tests {
         inline_module(&mut m).unwrap();
         verify_module(&m).unwrap();
         assert_eq!(run(&m), expected);
-        assert!(m.function("add3").is_none(), "helper dropped after inlining");
+        assert!(
+            m.function("add3").is_none(),
+            "helper dropped after inlining"
+        );
         let k = m.function("k").unwrap();
         assert!(
-            !k.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i.op, Op::Call { .. })),
+            !k.blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .any(|i| matches!(i.op, Op::Call { .. })),
             "no calls remain"
         );
     }

@@ -75,7 +75,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether the operation is defined only on integer operands.
     pub fn int_only(self) -> bool {
-        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
     }
 
     /// Mnemonic used by the printer.
@@ -400,7 +403,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br(b) => vec![*b],
-            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) => vec![],
         }
     }
@@ -418,7 +423,10 @@ pub struct Block {
 impl Block {
     /// An empty, unterminated block.
     pub fn new() -> Self {
-        Block { insts: Vec::new(), term: None }
+        Block {
+            insts: Vec::new(),
+            term: None,
+        }
     }
 }
 
@@ -482,7 +490,10 @@ impl Function {
 
     /// Iterate over `(BlockId, &Block)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Total number of non-terminator instructions, the "kernel instructions
@@ -541,7 +552,11 @@ mod tests {
     #[test]
     fn terminator_successors() {
         assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
-        let cb = Terminator::CondBr { cond: ValueId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let cb = Terminator::CondBr {
+            cond: ValueId(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(cb.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Ret(None).successors().is_empty());
     }

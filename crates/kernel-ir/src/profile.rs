@@ -57,7 +57,11 @@ impl KernelProfile {
     /// Propagates [`IrError`] from [`KernelProfile::of`] (cannot fail for
     /// names reported by [`Module::kernel_names`]).
     pub fn all(module: &Module) -> Result<Vec<Self>, IrError> {
-        module.kernel_names().into_iter().map(|n| Self::of(module, n)).collect()
+        module
+            .kernel_names()
+            .into_iter()
+            .map(|n| Self::of(module, n))
+            .collect()
     }
 }
 

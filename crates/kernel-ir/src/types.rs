@@ -80,7 +80,10 @@ pub enum Type {
 impl Type {
     /// Convenience constructor for a pointer type.
     pub fn ptr(space: AddressSpace, elem: Type) -> Self {
-        Type::Ptr { space, elem: Box::new(elem) }
+        Type::Ptr {
+            space,
+            elem: Box::new(elem),
+        }
     }
 
     /// Returns `true` for any pointer type.
@@ -189,7 +192,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Type::ptr(AddressSpace::Global, Type::F32).to_string(), "global f32*");
+        assert_eq!(
+            Type::ptr(AddressSpace::Global, Type::F32).to_string(),
+            "global f32*"
+        );
         assert_eq!(Type::Void.to_string(), "void");
         assert_eq!(Type::Bool.to_string(), "bool");
         assert_eq!(Type::F64.to_string(), "f64");

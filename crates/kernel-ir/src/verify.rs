@@ -46,7 +46,10 @@ pub fn verify_module(module: &Module) -> Result<(), IrError> {
     let mut names = HashMap::new();
     for f in &module.functions {
         if names.insert(f.name.as_str(), ()).is_some() {
-            return Err(IrError::new(format!("duplicate function name `{}`", f.name)));
+            return Err(IrError::new(format!(
+                "duplicate function name `{}`",
+                f.name
+            )));
         }
     }
     for f in &module.functions {
@@ -71,7 +74,10 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), IrError> 
     }
     for (i, p) in func.params.iter().enumerate() {
         if func.value_types.get(i) != Some(&p.ty) {
-            return Err(err(format!("parameter {i} (`{}`) type table mismatch", p.name)));
+            return Err(err(format!(
+                "parameter {i} (`{}`) type table mismatch",
+                p.name
+            )));
         }
     }
 
@@ -90,7 +96,9 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), IrError> 
             match (v, &func.ret) {
                 (None, Type::Void) => {}
                 (None, other) => {
-                    return Err(err(format!("return without value in function returning {other}")))
+                    return Err(err(format!(
+                        "return without value in function returning {other}"
+                    )))
                 }
                 (Some(_), Type::Void) => {
                     return Err(err("return with value in void function".into()))
@@ -135,8 +143,7 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), IrError> 
     // Per-instruction checks: types + dominance of operands.
     for (bid, block) in func.iter_blocks() {
         for (pos, inst) in block.insts.iter().enumerate() {
-            check_inst(func, module, inst, bid)
-                .map_err(|m| err(format!("{bid}[{pos}]: {m}")))?;
+            check_inst(func, module, inst, bid).map_err(|m| err(format!("{bid}[{pos}]: {m}")))?;
             for v in operands(&inst.op) {
                 check_dominates(func, &dom, &def_site, v, bid, pos)
                     .map_err(|m| err(format!("{bid}[{pos}]: {m}")))?;
@@ -160,7 +167,10 @@ pub fn verify_function(func: &Function, module: &Module) -> Result<(), IrError> 
 
 fn check_value(func: &Function, v: ValueId) -> Result<(), IrError> {
     if v.index() >= func.value_types.len() {
-        return Err(IrError::in_function(&func.name, format!("value {v} out of range")));
+        return Err(IrError::in_function(
+            &func.name,
+            format!("value {v} out of range"),
+        ));
     }
     Ok(())
 }
@@ -176,7 +186,11 @@ pub(crate) fn operands(op: &Op) -> Vec<ValueId> {
         Op::Gep { ptr, index } => vec![*ptr, *index],
         Op::Call { args, .. } => args.clone(),
         Op::AtomicRmw { ptr, value, .. } => vec![*ptr, *value],
-        Op::AtomicCmpXchg { ptr, expected, desired } => vec![*ptr, *expected, *desired],
+        Op::AtomicCmpXchg {
+            ptr,
+            expected,
+            desired,
+        } => vec![*ptr, *expected, *desired],
     }
 }
 
@@ -197,10 +211,16 @@ fn check_inst(func: &Function, module: &Module, inst: &Inst, _bid: BlockId) -> R
             let ta = func.value_type(*a);
             let tb = func.value_type(*b);
             if ta != tb {
-                return Err(format!("binop `{}` operand types differ: {ta} vs {tb}", op.mnemonic()));
+                return Err(format!(
+                    "binop `{}` operand types differ: {ta} vs {tb}",
+                    op.mnemonic()
+                ));
             }
             if !ta.is_numeric() {
-                return Err(format!("binop `{}` on non-numeric type {ta}", op.mnemonic()));
+                return Err(format!(
+                    "binop `{}` on non-numeric type {ta}",
+                    op.mnemonic()
+                ));
             }
             if op.int_only() && !ta.is_int() {
                 return Err(format!("integer-only op `{}` on {ta}", op.mnemonic()));
@@ -294,14 +314,18 @@ fn check_inst(func: &Function, module: &Module, inst: &Inst, _bid: BlockId) -> R
         }
         Op::Load(p) => {
             let tp = func.value_type(*p);
-            let elem = tp.pointee().ok_or_else(|| format!("load through non-pointer {tp}"))?;
+            let elem = tp
+                .pointee()
+                .ok_or_else(|| format!("load through non-pointer {tp}"))?;
             if rty(inst.result).as_ref() != Some(elem) {
                 return Err("load result type mismatch".into());
             }
         }
         Op::Store { ptr, value } => {
             let tp = func.value_type(*ptr);
-            let elem = tp.pointee().ok_or_else(|| format!("store through non-pointer {tp}"))?;
+            let elem = tp
+                .pointee()
+                .ok_or_else(|| format!("store through non-pointer {tp}"))?;
             if tp.space() == Some(AddressSpace::Constant) {
                 return Err("store to constant memory".into());
             }
@@ -329,7 +353,9 @@ fn check_inst(func: &Function, module: &Module, inst: &Inst, _bid: BlockId) -> R
                 .function(callee)
                 .ok_or_else(|| format!("call of unknown function `{callee}`"))?;
             if target.kind == FunctionKind::Kernel {
-                return Err(format!("call of kernel `{callee}` (kernels are entry points)"));
+                return Err(format!(
+                    "call of kernel `{callee}` (kernels are entry points)"
+                ));
             }
             if target.params.len() != args.len() {
                 return Err(format!(
@@ -366,9 +392,16 @@ fn check_inst(func: &Function, module: &Module, inst: &Inst, _bid: BlockId) -> R
                 return Err("work-item builtin must produce i64".into());
             }
         }
-        Op::AtomicRmw { ptr, value, .. } | Op::AtomicCmpXchg { ptr, desired: value, .. } => {
+        Op::AtomicRmw { ptr, value, .. }
+        | Op::AtomicCmpXchg {
+            ptr,
+            desired: value,
+            ..
+        } => {
             let tp = func.value_type(*ptr);
-            let elem = tp.pointee().ok_or_else(|| format!("atomic through non-pointer {tp}"))?;
+            let elem = tp
+                .pointee()
+                .ok_or_else(|| format!("atomic through non-pointer {tp}"))?;
             if !elem.is_int() {
                 return Err(format!("atomic on non-integer pointee {elem}"));
             }
@@ -399,7 +432,11 @@ fn check_inst(func: &Function, module: &Module, inst: &Inst, _bid: BlockId) -> R
 /// (the conventional initialisation), which keeps uses in dead code legal.
 pub fn dominators(func: &Function) -> Vec<Vec<BlockId>> {
     let n = func.blocks.len();
-    let full: u128 = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     assert!(n <= 128, "function with more than 128 blocks");
     let mut dom = vec![full; n];
     dom[0] = 1; // entry dominated only by itself
@@ -420,7 +457,12 @@ pub fn dominators(func: &Function) -> Vec<Vec<BlockId>> {
         }
     }
     dom.iter()
-        .map(|bits| (0..n).filter(|i| bits & (1u128 << i) != 0).map(|i| BlockId(i as u32)).collect())
+        .map(|bits| {
+            (0..n)
+                .filter(|i| bits & (1u128 << i) != 0)
+                .map(|i| BlockId(i as u32))
+                .collect()
+        })
         .collect()
 }
 
@@ -451,8 +493,8 @@ fn check_dominates(
     if v.index() < func.params.len() {
         return Ok(()); // parameters dominate everything
     }
-    let (def_bb, def_pos) = def_site[v.index()]
-        .ok_or_else(|| format!("use of never-defined value {v}"))?;
+    let (def_bb, def_pos) =
+        def_site[v.index()].ok_or_else(|| format!("use of never-defined value {v}"))?;
     if def_bb == use_bb {
         if def_pos >= use_pos {
             return Err(format!("use of {v} before its definition in {use_bb}"));
@@ -462,7 +504,9 @@ fn check_dominates(
     if dom[use_bb.index()].contains(&def_bb) {
         Ok(())
     } else {
-        Err(format!("definition of {v} in {def_bb} does not dominate use in {use_bb}"))
+        Err(format!(
+            "definition of {v} in {def_bb} does not dominate use in {use_bb}"
+        ))
     }
 }
 
@@ -481,7 +525,10 @@ pub(crate) use self::operands as op_operands;
 #[doc(hidden)]
 pub fn assert_verifies(module: &Module) {
     if let Err(e) = verify_module(module) {
-        panic!("module failed verification: {e}\n{}", crate::display::print_module(module));
+        panic!(
+            "module failed verification: {e}\n{}",
+            crate::display::print_module(module)
+        );
     }
 }
 
@@ -542,7 +589,10 @@ mod tests {
         b.ret(None);
         let m = module_of(vec![b.finish()]);
         let e = verify_module(&m).unwrap_err();
-        assert!(e.to_string().contains("local alloca outside a kernel"), "{e}");
+        assert!(
+            e.to_string().contains("local alloca outside a kernel"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -571,7 +621,10 @@ mod tests {
         b.call("nope", vec![], Type::Void);
         b.ret(None);
         let m = module_of(vec![b.finish()]);
-        assert!(verify_module(&m).unwrap_err().to_string().contains("unknown function"));
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown function"));
 
         let mut h = FunctionBuilder::new("h", FunctionKind::Helper, Type::Void);
         let _ = h.add_param("x", Type::I32);
@@ -580,7 +633,10 @@ mod tests {
         b2.call("h", vec![], Type::Void);
         b2.ret(None);
         let m2 = module_of(vec![h.finish(), b2.finish()]);
-        assert!(verify_module(&m2).unwrap_err().to_string().contains("0 args, expected 1"));
+        assert!(verify_module(&m2)
+            .unwrap_err()
+            .to_string()
+            .contains("0 args, expected 1"));
     }
 
     #[test]
@@ -609,8 +665,13 @@ mod tests {
         a.ret(None);
         let mut b = FunctionBuilder::new("f", FunctionKind::Helper, Type::Void);
         b.ret(None);
-        let m = Module { functions: vec![a.finish(), b.finish()] };
-        assert!(verify_module(&m).unwrap_err().to_string().contains("duplicate"));
+        let m = Module {
+            functions: vec![a.finish(), b.finish()],
+        };
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]
@@ -638,7 +699,10 @@ mod tests {
         b.switch_to(e);
         b.ret(None);
         let m = module_of(vec![b.finish()]);
-        assert!(verify_module(&m).unwrap_err().to_string().contains("not bool"));
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("not bool"));
     }
 
     #[test]
@@ -692,7 +756,10 @@ mod tests {
         b.store(p, v);
         b.ret(None);
         let m = module_of(vec![b.finish()]);
-        assert!(verify_module(&m).unwrap_err().to_string().contains("constant"));
+        assert!(verify_module(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("constant"));
     }
 
     #[test]

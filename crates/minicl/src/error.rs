@@ -16,12 +16,18 @@ pub struct CompileError {
 impl CompileError {
     /// Error at a known position.
     pub fn at(pos: Pos, message: impl Into<String>) -> Self {
-        CompileError { pos, message: message.into() }
+        CompileError {
+            pos,
+            message: message.into(),
+        }
     }
 
     /// Error without a position.
     pub fn new(message: impl Into<String>) -> Self {
-        CompileError { pos: Pos::default(), message: message.into() }
+        CompileError {
+            pos: Pos::default(),
+            message: message.into(),
+        }
     }
 }
 

@@ -17,7 +17,9 @@ use crate::ast::*;
 use crate::error::CompileError;
 use crate::token::Pos;
 use kernel_ir::builder::FunctionBuilder;
-use kernel_ir::ir::{AtomicOp, BinOp, BlockId, CmpOp, FunctionKind, Module, UnOp, ValueId, WiBuiltin};
+use kernel_ir::ir::{
+    AtomicOp, BinOp, BlockId, CmpOp, FunctionKind, Module, UnOp, ValueId, WiBuiltin,
+};
 use kernel_ir::types::{AddressSpace, Type};
 use std::collections::HashMap;
 
@@ -37,10 +39,20 @@ pub fn lower(prog: &Program) -> Result<Module, CompileError> {
             .collect::<Result<Vec<_>, _>>()?;
         let ret = type_of_name(&f.ret, false)?;
         if sigs
-            .insert(f.name.clone(), Signature { params, ret, is_kernel: f.is_kernel })
+            .insert(
+                f.name.clone(),
+                Signature {
+                    params,
+                    ret,
+                    is_kernel: f.is_kernel,
+                },
+            )
             .is_some()
         {
-            return Err(CompileError::at(f.pos, format!("duplicate function `{}`", f.name)));
+            return Err(CompileError::at(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
     }
 
@@ -74,7 +86,11 @@ fn type_of_name(tn: &TypeName, is_param: bool) -> Result<Type, CompileError> {
         BaseType::Double => Type::F64,
     };
     if tn.is_ptr {
-        let default = if is_param { AddressSpace::Global } else { AddressSpace::Private };
+        let default = if is_param {
+            AddressSpace::Global
+        } else {
+            AddressSpace::Private
+        };
         Ok(Type::ptr(tn.space.unwrap_or(default), base))
     } else {
         Ok(base)
@@ -107,12 +123,22 @@ struct Lowerer<'a> {
 impl<'a> Lowerer<'a> {
     fn new(sigs: &'a HashMap<String, Signature>, f: &FuncDecl) -> Result<Self, CompileError> {
         let ret = type_of_name(&f.ret, false)?;
-        let kind = if f.is_kernel { FunctionKind::Kernel } else { FunctionKind::Helper };
+        let kind = if f.is_kernel {
+            FunctionKind::Kernel
+        } else {
+            FunctionKind::Helper
+        };
         if f.is_kernel && ret != Type::Void {
             return Err(CompileError::at(f.pos, "kernels must return void"));
         }
         let b = FunctionBuilder::new(&f.name, kind, ret.clone());
-        Ok(Lowerer { sigs, b, scopes: vec![HashMap::new()], loops: Vec::new(), ret })
+        Ok(Lowerer {
+            sigs,
+            b,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            ret,
+        })
     }
 
     fn lower_function(mut self, f: &FuncDecl) -> Result<kernel_ir::ir::Function, CompileError> {
@@ -124,7 +150,12 @@ impl<'a> Lowerer<'a> {
             if ty == Type::Void {
                 return Err(CompileError::at(p.pos, "parameter of type void"));
             }
-            param_ids.push((self.b.add_param(&p.name, ty.clone()), ty, p.name.clone(), p.pos));
+            param_ids.push((
+                self.b.add_param(&p.name, ty.clone()),
+                ty,
+                p.name.clone(),
+                p.pos,
+            ));
         }
         for (id, ty, name, pos) in param_ids {
             let cell = self.b.alloca(ty.clone(), 1, AddressSpace::Private);
@@ -172,7 +203,10 @@ impl<'a> Lowerer<'a> {
             Type::F32 => self.b.const_f32(0.0),
             Type::F64 => self.b.const_f64(0.0),
             other => {
-                return Err(CompileError::at(pos, format!("cannot produce a default `{other}`")))
+                return Err(CompileError::at(
+                    pos,
+                    format!("cannot produce a default `{other}`"),
+                ))
             }
         })
     }
@@ -197,9 +231,20 @@ impl<'a> Lowerer<'a> {
 
     fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
         match s {
-            Stmt::Decl { pos, ty, name, array, init, .. } => self.lower_decl(*pos, ty, name, *array, init.as_ref()),
+            Stmt::Decl {
+                pos,
+                ty,
+                name,
+                array,
+                init,
+                ..
+            } => self.lower_decl(*pos, ty, name, *array, init.as_ref()),
             Stmt::Assign { target, op, value } => self.lower_assign(target, *op, value),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (c, _) = self.lower_expr_as_bool(cond)?;
                 let then_bb = self.b.new_block();
                 let else_bb = self.b.new_block();
@@ -227,7 +272,10 @@ impl<'a> Lowerer<'a> {
                 let (c, _) = self.lower_expr_as_bool(cond)?;
                 self.b.cond_br(c, body_bb, exit);
                 self.b.switch_to(body_bb);
-                self.loops.push(LoopCtx { continue_to: head, break_to: exit });
+                self.loops.push(LoopCtx {
+                    continue_to: head,
+                    break_to: exit,
+                });
                 self.lower_stmts(body)?;
                 self.loops.pop();
                 if !self.b.is_terminated() {
@@ -242,7 +290,10 @@ impl<'a> Lowerer<'a> {
                 let exit = self.b.new_block();
                 self.b.br(body_bb);
                 self.b.switch_to(body_bb);
-                self.loops.push(LoopCtx { continue_to: head, break_to: exit });
+                self.loops.push(LoopCtx {
+                    continue_to: head,
+                    break_to: exit,
+                });
                 self.lower_stmts(body)?;
                 self.loops.pop();
                 if !self.b.is_terminated() {
@@ -254,7 +305,12 @@ impl<'a> Lowerer<'a> {
                 self.b.switch_to(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.lower_stmt(i)?;
@@ -273,7 +329,10 @@ impl<'a> Lowerer<'a> {
                     None => self.b.br(body_bb),
                 }
                 self.b.switch_to(body_bb);
-                self.loops.push(LoopCtx { continue_to: step_bb, break_to: exit });
+                self.loops.push(LoopCtx {
+                    continue_to: step_bb,
+                    break_to: exit,
+                });
                 self.lower_stmts(body)?;
                 self.loops.pop();
                 if !self.b.is_terminated() {
@@ -288,24 +347,23 @@ impl<'a> Lowerer<'a> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::Return(value, pos) => {
-                match (value, self.ret.clone()) {
-                    (None, Type::Void) => {
-                        self.b.ret(None);
-                        Ok(())
-                    }
-                    (Some(_), Type::Void) => {
-                        Err(CompileError::at(*pos, "returning a value from a void function"))
-                    }
-                    (None, _) => Err(CompileError::at(*pos, "missing return value")),
-                    (Some(e), ret_ty) => {
-                        let (v, ty) = self.lower_expr(e)?;
-                        let v = self.coerce(v, &ty, &ret_ty, *pos)?;
-                        self.b.ret(Some(v));
-                        Ok(())
-                    }
+            Stmt::Return(value, pos) => match (value, self.ret.clone()) {
+                (None, Type::Void) => {
+                    self.b.ret(None);
+                    Ok(())
                 }
-            }
+                (Some(_), Type::Void) => Err(CompileError::at(
+                    *pos,
+                    "returning a value from a void function",
+                )),
+                (None, _) => Err(CompileError::at(*pos, "missing return value")),
+                (Some(e), ret_ty) => {
+                    let (v, ty) = self.lower_expr(e)?;
+                    let v = self.coerce(v, &ty, &ret_ty, *pos)?;
+                    self.b.ret(Some(v));
+                    Ok(())
+                }
+            },
             Stmt::Break(pos) => {
                 let target = self
                     .loops
@@ -359,7 +417,10 @@ impl<'a> Lowerer<'a> {
                 ));
             }
             if init.is_some() {
-                return Err(CompileError::at(pos, "array initialisers are not supported"));
+                return Err(CompileError::at(
+                    pos,
+                    "array initialisers are not supported",
+                ));
             }
             let ptr = self.b.alloca(ty.clone(), n, space);
             let pty = Type::ptr(space, ty);
@@ -379,14 +440,22 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_assign(&mut self, target: &LValue, op: AssignOp, value: &Expr) -> Result<(), CompileError> {
+    fn lower_assign(
+        &mut self,
+        target: &LValue,
+        op: AssignOp,
+        value: &Expr,
+    ) -> Result<(), CompileError> {
         match target {
             LValue::Var(name, _, pos) => {
                 let binding = self.lookup(name, *pos)?;
                 let (cell, ty) = match binding {
                     Binding::Cell(c, t) => (c, t),
                     Binding::Direct(..) => {
-                        return Err(CompileError::at(*pos, format!("cannot assign to array `{name}`")))
+                        return Err(CompileError::at(
+                            *pos,
+                            format!("cannot assign to array `{name}`"),
+                        ))
                     }
                 };
                 let stored = self.assigned_value(op, Some((cell, &ty)), value, *pos)?;
@@ -483,7 +552,7 @@ impl<'a> Lowerer<'a> {
                         (self.b.un(UnOp::Neg, v), ty)
                     }
                     UnKind::Not => {
-                        let b = self.to_bool(v, &ty, pos)?;
+                        let b = self.coerce_bool(v, &ty, pos)?;
                         (self.b.un(UnOp::Not, b), Type::Bool)
                     }
                 }
@@ -496,7 +565,10 @@ impl<'a> Lowerer<'a> {
                 } else if target.is_numeric() && (ty.is_numeric() || ty == Type::Bool) {
                     (self.b.cast(target.clone(), v), target)
                 } else {
-                    return Err(CompileError::at(pos, format!("invalid cast from `{ty}` to `{target}`")));
+                    return Err(CompileError::at(
+                        pos,
+                        format!("invalid cast from `{ty}` to `{target}`"),
+                    ));
                 }
             }
             ExprKind::Index(base, index) => {
@@ -514,7 +586,7 @@ impl<'a> Lowerer<'a> {
                 // Lowered to `select`: both arms are evaluated (see module
                 // docs for the documented deviation from C).
                 let (c, cty) = self.lower_expr(cond)?;
-                let c = self.to_bool(c, &cty, pos)?;
+                let c = self.coerce_bool(c, &cty, pos)?;
                 let (a, aty) = self.lower_expr(then_e)?;
                 let (b_v, bty) = self.lower_expr(else_e)?;
                 let ty = self.unify(&aty, &bty, pos)?;
@@ -526,14 +598,25 @@ impl<'a> Lowerer<'a> {
         Ok(Some(out))
     }
 
-    fn lower_index_ptr(&mut self, base: &Expr, index: &Expr, pos: Pos) -> Result<ValueId, CompileError> {
+    fn lower_index_ptr(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        pos: Pos,
+    ) -> Result<ValueId, CompileError> {
         let (bv, bty) = self.lower_expr(base)?;
         if !bty.is_ptr() {
-            return Err(CompileError::at(pos, format!("cannot index non-pointer `{bty}`")));
+            return Err(CompileError::at(
+                pos,
+                format!("cannot index non-pointer `{bty}`"),
+            ));
         }
         let (iv, ity) = self.lower_expr(index)?;
         if !ity.is_int() {
-            return Err(CompileError::at(pos, format!("array index must be an integer, got `{ity}`")));
+            return Err(CompileError::at(
+                pos,
+                format!("array index must be an integer, got `{ity}`"),
+            ));
         }
         Ok(self.b.gep(bv, iv))
     }
@@ -548,9 +631,9 @@ impl<'a> Lowerer<'a> {
         // Logical operators first: they operate on bools.
         if matches!(kind, BinKind::LogAnd | BinKind::LogOr) {
             let (l, lt) = self.lower_expr(lhs)?;
-            let l = self.to_bool(l, &lt, pos)?;
+            let l = self.coerce_bool(l, &lt, pos)?;
             let (r, rt) = self.lower_expr(rhs)?;
-            let r = self.to_bool(r, &rt, pos)?;
+            let r = self.coerce_bool(r, &rt, pos)?;
             let out = match kind {
                 BinKind::LogAnd => {
                     let f = self.b.const_bool(false);
@@ -573,7 +656,11 @@ impl<'a> Lowerer<'a> {
             if !rt.is_int() {
                 return Err(CompileError::at(pos, "pointer offset must be an integer"));
             }
-            let off = if kind == BinKind::Sub { self.b.un(UnOp::Neg, r) } else { r };
+            let off = if kind == BinKind::Sub {
+                self.b.un(UnOp::Neg, r)
+            } else {
+                r
+            };
             return Ok((self.b.gep(l, off), lt));
         }
 
@@ -608,10 +695,16 @@ impl<'a> Lowerer<'a> {
         };
         let ty = self.unify(&lt, &rt, pos)?;
         if op.int_only() && !ty.is_int() {
-            return Err(CompileError::at(pos, format!("`{}` requires integer operands, got `{ty}`", op.mnemonic())));
+            return Err(CompileError::at(
+                pos,
+                format!("`{}` requires integer operands, got `{ty}`", op.mnemonic()),
+            ));
         }
         if !ty.is_numeric() {
-            return Err(CompileError::at(pos, format!("`{}` requires numeric operands, got `{ty}`", op.mnemonic())));
+            return Err(CompileError::at(
+                pos,
+                format!("`{}` requires numeric operands, got `{ty}`", op.mnemonic()),
+            ));
         }
         let l = self.coerce(l, &lt, &ty, pos)?;
         let r = self.coerce(r, &rt, &ty, pos)?;
@@ -640,7 +733,10 @@ impl<'a> Lowerer<'a> {
                 0
             } else {
                 match args {
-                    [Expr { kind: ExprKind::IntLit(d), .. }] if (0..=2).contains(d) => *d as u8,
+                    [Expr {
+                        kind: ExprKind::IntLit(d),
+                        ..
+                    }] if (0..=2).contains(d) => *d as u8,
                     _ => {
                         return Err(CompileError::at(
                             pos,
@@ -666,47 +762,75 @@ impl<'a> Lowerer<'a> {
         };
         if let Some(op) = un {
             let [a] = args else {
-                return Err(CompileError::at(pos, format!("`{name}` takes exactly one argument")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`{name}` takes exactly one argument"),
+                ));
             };
             let (v, ty) = self.lower_expr(a)?;
             if !ty.is_float() {
-                return Err(CompileError::at(pos, format!("`{name}` requires a float argument, got `{ty}`")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`{name}` requires a float argument, got `{ty}`"),
+                ));
             }
             return Ok(Some((self.b.un(op, v), ty)));
         }
         if name == "abs" {
             let [a] = args else {
-                return Err(CompileError::at(pos, "`abs` takes exactly one argument".to_string()));
+                return Err(CompileError::at(
+                    pos,
+                    "`abs` takes exactly one argument".to_string(),
+                ));
             };
             let (v, ty) = self.lower_expr(a)?;
             if !ty.is_numeric() {
-                return Err(CompileError::at(pos, format!("`abs` requires a numeric argument, got `{ty}`")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`abs` requires a numeric argument, got `{ty}`"),
+                ));
             }
             return Ok(Some((self.b.un(UnOp::Abs, v), ty)));
         }
         if name == "rsqrt" {
             let [a] = args else {
-                return Err(CompileError::at(pos, "`rsqrt` takes exactly one argument".to_string()));
+                return Err(CompileError::at(
+                    pos,
+                    "`rsqrt` takes exactly one argument".to_string(),
+                ));
             };
             let (v, ty) = self.lower_expr(a)?;
             if !ty.is_float() {
-                return Err(CompileError::at(pos, format!("`rsqrt` requires a float argument, got `{ty}`")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`rsqrt` requires a float argument, got `{ty}`"),
+                ));
             }
             let s = self.b.un(UnOp::Sqrt, v);
-            let one = if ty == Type::F32 { self.b.const_f32(1.0) } else { self.b.const_f64(1.0) };
+            let one = if ty == Type::F32 {
+                self.b.const_f32(1.0)
+            } else {
+                self.b.const_f64(1.0)
+            };
             return Ok(Some((self.b.bin(BinOp::Div, one, s), ty)));
         }
         if name == "pow" || name == "powf" {
             // pow(x, y) = exp(y * log(x)); valid for x > 0, which is how the
             // bundled kernels use it.
             let [x, y] = args else {
-                return Err(CompileError::at(pos, "`pow` takes exactly two arguments".to_string()));
+                return Err(CompileError::at(
+                    pos,
+                    "`pow` takes exactly two arguments".to_string(),
+                ));
             };
             let (xv, xt) = self.lower_expr(x)?;
             let (yv, yt) = self.lower_expr(y)?;
             let ty = self.unify(&xt, &yt, pos)?;
             if !ty.is_float() {
-                return Err(CompileError::at(pos, "`pow` requires float arguments".to_string()));
+                return Err(CompileError::at(
+                    pos,
+                    "`pow` requires float arguments".to_string(),
+                ));
             }
             let xv = self.coerce(xv, &xt, &ty, pos)?;
             let yv = self.coerce(yv, &yt, &ty, pos)?;
@@ -718,17 +842,27 @@ impl<'a> Lowerer<'a> {
         // Two-operand min/max (integer or float, like OpenCL's min/fmin).
         if matches!(name, "min" | "max" | "fmin" | "fmax") {
             let [a, b] = args else {
-                return Err(CompileError::at(pos, format!("`{name}` takes exactly two arguments")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`{name}` takes exactly two arguments"),
+                ));
             };
             let (av, at) = self.lower_expr(a)?;
             let (bv, bt) = self.lower_expr(b)?;
             let ty = self.unify(&at, &bt, pos)?;
             if !ty.is_numeric() {
-                return Err(CompileError::at(pos, format!("`{name}` requires numeric arguments")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`{name}` requires numeric arguments"),
+                ));
             }
             let av = self.coerce(av, &at, &ty, pos)?;
             let bv = self.coerce(bv, &bt, &ty, pos)?;
-            let op = if name.ends_with("min") || name == "min" { BinOp::Min } else { BinOp::Max };
+            let op = if name.ends_with("min") || name == "min" {
+                BinOp::Min
+            } else {
+                BinOp::Max
+            };
             return Ok(Some((self.b.bin(op, av, bv), ty)));
         }
 
@@ -743,15 +877,23 @@ impl<'a> Lowerer<'a> {
         };
         if let Some(op) = atomic {
             let [p, v] = args else {
-                return Err(CompileError::at(pos, format!("`{name}` takes a pointer and a value")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`{name}` takes a pointer and a value"),
+                ));
             };
             let (pv, pt) = self.lower_expr(p)?;
             let elem = pt
                 .pointee()
-                .ok_or_else(|| CompileError::at(pos, format!("`{name}` requires a pointer argument")))?
+                .ok_or_else(|| {
+                    CompileError::at(pos, format!("`{name}` requires a pointer argument"))
+                })?
                 .clone();
             if !elem.is_int() {
-                return Err(CompileError::at(pos, format!("`{name}` requires an integer pointee")));
+                return Err(CompileError::at(
+                    pos,
+                    format!("`{name}` requires an integer pointee"),
+                ));
             }
             let (vv, vt) = self.lower_expr(v)?;
             let vv = self.coerce(vv, &vt, &elem, pos)?;
@@ -759,12 +901,17 @@ impl<'a> Lowerer<'a> {
         }
         if name == "atomic_cmpxchg" || name == "atom_cmpxchg" {
             let [p, ex, de] = args else {
-                return Err(CompileError::at(pos, "`atomic_cmpxchg` takes pointer, expected, desired".to_string()));
+                return Err(CompileError::at(
+                    pos,
+                    "`atomic_cmpxchg` takes pointer, expected, desired".to_string(),
+                ));
             };
             let (pv, pt) = self.lower_expr(p)?;
             let elem = pt
                 .pointee()
-                .ok_or_else(|| CompileError::at(pos, "`atomic_cmpxchg` requires a pointer argument"))?
+                .ok_or_else(|| {
+                    CompileError::at(pos, "`atomic_cmpxchg` requires a pointer argument")
+                })?
                 .clone();
             let (ev, et) = self.lower_expr(ex)?;
             let (dv, dt) = self.lower_expr(de)?;
@@ -780,12 +927,19 @@ impl<'a> Lowerer<'a> {
             .ok_or_else(|| CompileError::at(pos, format!("unknown function `{name}`")))?
             .clone();
         if sig.is_kernel {
-            return Err(CompileError::at(pos, format!("cannot call kernel `{name}` from device code")));
+            return Err(CompileError::at(
+                pos,
+                format!("cannot call kernel `{name}` from device code"),
+            ));
         }
         if sig.params.len() != args.len() {
             return Err(CompileError::at(
                 pos,
-                format!("`{name}` takes {} arguments, {} given", sig.params.len(), args.len()),
+                format!(
+                    "`{name}` takes {} arguments, {} given",
+                    sig.params.len(),
+                    args.len()
+                ),
             ));
         }
         let mut lowered = Vec::with_capacity(args.len());
@@ -820,36 +974,51 @@ impl<'a> Lowerer<'a> {
         }
         match (Self::rank(a), Self::rank(b)) {
             (Some(ra), Some(rb)) => Ok(if ra >= rb { a.clone() } else { b.clone() }),
-            _ => Err(CompileError::at(pos, format!("incompatible operand types `{a}` and `{b}`"))),
+            _ => Err(CompileError::at(
+                pos,
+                format!("incompatible operand types `{a}` and `{b}`"),
+            )),
         }
     }
 
     /// Convert `v: from` to `to`, inserting a cast when needed.
-    fn coerce(&mut self, v: ValueId, from: &Type, to: &Type, pos: Pos) -> Result<ValueId, CompileError> {
+    fn coerce(
+        &mut self,
+        v: ValueId,
+        from: &Type,
+        to: &Type,
+        pos: Pos,
+    ) -> Result<ValueId, CompileError> {
         if from == to {
             return Ok(v);
         }
         if Self::rank(from).is_some() && Self::rank(to).is_some() {
             return Ok(self.b.cast(to.clone(), v));
         }
-        Err(CompileError::at(pos, format!("cannot convert `{from}` to `{to}`")))
+        Err(CompileError::at(
+            pos,
+            format!("cannot convert `{from}` to `{to}`"),
+        ))
     }
 
     /// Coerce an arbitrary scalar to `bool` (`x` becomes `x != 0`).
-    fn to_bool(&mut self, v: ValueId, ty: &Type, pos: Pos) -> Result<ValueId, CompileError> {
+    fn coerce_bool(&mut self, v: ValueId, ty: &Type, pos: Pos) -> Result<ValueId, CompileError> {
         match ty {
             Type::Bool => Ok(v),
             t if t.is_numeric() => {
                 let z = self.zero_of(t, pos)?;
                 Ok(self.b.cmp(CmpOp::Ne, v, z))
             }
-            other => Err(CompileError::at(pos, format!("cannot use `{other}` as a condition"))),
+            other => Err(CompileError::at(
+                pos,
+                format!("cannot use `{other}` as a condition"),
+            )),
         }
     }
 
     fn lower_expr_as_bool(&mut self, e: &Expr) -> Result<(ValueId, Type), CompileError> {
         let (v, ty) = self.lower_expr(e)?;
-        let b = self.to_bool(v, &ty, e.pos)?;
+        let b = self.coerce_bool(v, &ty, e.pos)?;
         Ok((b, Type::Bool))
     }
 }
@@ -887,7 +1056,11 @@ mod tests {
                 &mut mem,
                 "vadd",
                 NdRange::new_1d(4, 2),
-                &[ArgValue::Buffer(a), ArgValue::Buffer(b), ArgValue::Buffer(c)],
+                &[
+                    ArgValue::Buffer(a),
+                    ArgValue::Buffer(b),
+                    ArgValue::Buffer(c),
+                ],
             )
             .unwrap();
         assert_eq!(mem.read_f32(c), vec![11.0, 22.0, 33.0, 44.0]);
@@ -937,7 +1110,12 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let out = mem.alloc(4);
         Interpreter::new(&m)
-            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(out)])
+            .run_kernel(
+                &mut mem,
+                "k",
+                NdRange::new_1d(1, 1),
+                &[ArgValue::Buffer(out)],
+            )
             .unwrap();
         assert_eq!(mem.read_i32(out), vec![1 + 3 + 5 + 7 + 9]);
     }
@@ -954,7 +1132,12 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let out = mem.alloc(16);
         Interpreter::new(&m)
-            .run_kernel(&mut mem, "k", NdRange::new_1d(4, 2), &[ArgValue::Buffer(out)])
+            .run_kernel(
+                &mut mem,
+                "k",
+                NdRange::new_1d(4, 2),
+                &[ArgValue::Buffer(out)],
+            )
             .unwrap();
         assert_eq!(mem.read_f32(out), vec![0.0, 1.0, 4.0, 9.0]);
     }
@@ -984,7 +1167,10 @@ mod tests {
                 &[ArgValue::Buffer(inb), ArgValue::Buffer(out)],
             )
             .unwrap();
-        assert_eq!(mem.read_f32(out), vec![4.0, 3.0, 2.0, 1.0, 8.0, 7.0, 6.0, 5.0]);
+        assert_eq!(
+            mem.read_f32(out),
+            vec![4.0, 3.0, 2.0, 1.0, 8.0, 7.0, 6.0, 5.0]
+        );
     }
 
     #[test]
@@ -997,7 +1183,12 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let c = mem.alloc(4);
         Interpreter::new(&m)
-            .run_kernel(&mut mem, "count", NdRange::new_1d(64, 8), &[ArgValue::Buffer(c)])
+            .run_kernel(
+                &mut mem,
+                "count",
+                NdRange::new_1d(64, 8),
+                &[ArgValue::Buffer(c)],
+            )
             .unwrap();
         assert_eq!(mem.read_i32(c), vec![64]);
     }
@@ -1037,7 +1228,12 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let out = mem.alloc(16);
         Interpreter::new(&m)
-            .run_kernel(&mut mem, "k", NdRange::new_1d(1, 1), &[ArgValue::Buffer(out)])
+            .run_kernel(
+                &mut mem,
+                "k",
+                NdRange::new_1d(1, 1),
+                &[ArgValue::Buffer(out)],
+            )
             .unwrap();
         let v = mem.read_f32(out);
         assert_eq!(v[0], 4.0);

@@ -34,12 +34,19 @@ use kernel_ir::types::AddressSpace;
 /// ```
 pub fn parse(src: &str) -> Result<Program, CompileError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    };
     let mut functions = Vec::new();
     while !p.at(&Tok::Eof) {
         functions.push(p.function()?);
     }
-    Ok(Program { functions, node_count: p.next_id })
+    Ok(Program {
+        functions,
+        node_count: p.next_id,
+    })
 }
 
 struct Parser {
@@ -84,7 +91,10 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(CompileError::at(self.here(), format!("expected {t}, found {}", self.peek())))
+            Err(CompileError::at(
+                self.here(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
         }
     }
 
@@ -92,7 +102,10 @@ impl Parser {
         let pos = self.here();
         match self.bump() {
             Tok::Ident(s) => Ok((s, pos)),
-            other => Err(CompileError::at(pos, format!("expected identifier, found {other}"))),
+            other => Err(CompileError::at(
+                pos,
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -156,7 +169,10 @@ impl Parser {
             Tok::Kw(Kw::Float) => BaseType::Float,
             Tok::Kw(Kw::Double) => BaseType::Double,
             other => {
-                return Err(CompileError::at(pos, format!("expected a type, found {other}")))
+                return Err(CompileError::at(
+                    pos,
+                    format!("expected a type, found {other}"),
+                ))
             }
         };
         // trailing `const` (e.g. `float const`)
@@ -175,7 +191,12 @@ impl Parser {
         } else {
             false
         };
-        Ok(TypeName { space, is_const, base, is_ptr })
+        Ok(TypeName {
+            space,
+            is_const,
+            base,
+            is_ptr,
+        })
     }
 
     fn function(&mut self) -> Result<FuncDecl, CompileError> {
@@ -194,7 +215,12 @@ impl Parser {
                 let ty = self.type_name()?;
                 let id = self.id();
                 let (pname, ppos) = self.ident()?;
-                params.push(ParamDecl { id, pos: ppos, ty, name: pname });
+                params.push(ParamDecl {
+                    id,
+                    pos: ppos,
+                    ty,
+                    name: pname,
+                });
                 if self.at(&Tok::Comma) {
                     self.bump();
                 } else {
@@ -204,7 +230,14 @@ impl Parser {
         }
         self.expect(&Tok::RParen)?;
         let body = self.block()?;
-        Ok(FuncDecl { pos, is_kernel, ret, name, params, body })
+        Ok(FuncDecl {
+            pos,
+            is_kernel,
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
@@ -244,7 +277,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
             }
             Tok::Kw(Kw::While) => {
                 self.bump();
@@ -287,11 +324,20 @@ impl Parser {
                 };
                 self.expect(&Tok::RParen)?;
                 let body = self.block_or_stmt()?;
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Tok::Kw(Kw::Return) => {
                 self.bump();
-                let value = if self.at(&Tok::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
                 Ok(Stmt::Return(value, pos))
             }
@@ -325,8 +371,12 @@ impl Parser {
         if matches!(t, Tok::PlusPlus | Tok::MinusMinus) {
             self.bump();
             let e = self.postfix_expr()?;
-            let target = self.to_lvalue(e)?;
-            let op = if t == Tok::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
+            let target = self.lvalue_of(e)?;
+            let op = if t == Tok::PlusPlus {
+                AssignOp::Add
+            } else {
+                AssignOp::Sub
+            };
             return Ok(self.incr_assign(target, op));
         }
         let e = self.expr()?;
@@ -342,14 +392,18 @@ impl Parser {
                     Tok::PercentEq => AssignOp::Rem,
                     _ => unreachable!(),
                 };
-                let target = self.to_lvalue(e)?;
+                let target = self.lvalue_of(e)?;
                 let value = self.expr()?;
                 Ok(Stmt::Assign { target, op, value })
             }
             Tok::PlusPlus | Tok::MinusMinus => {
                 let t = self.bump();
-                let target = self.to_lvalue(e)?;
-                let op = if t == Tok::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
+                let target = self.lvalue_of(e)?;
+                let op = if t == Tok::PlusPlus {
+                    AssignOp::Add
+                } else {
+                    AssignOp::Sub
+                };
                 Ok(self.incr_assign(target, op))
             }
             _ => match &e.kind {
@@ -369,11 +423,15 @@ impl Parser {
         Stmt::Assign {
             target,
             op,
-            value: Expr { id, pos, kind: ExprKind::IntLit(1) },
+            value: Expr {
+                id,
+                pos,
+                kind: ExprKind::IntLit(1),
+            },
         }
     }
 
-    fn to_lvalue(&mut self, e: Expr) -> Result<LValue, CompileError> {
+    fn lvalue_of(&mut self, e: Expr) -> Result<LValue, CompileError> {
         match e.kind {
             ExprKind::Ident(name) => Ok(LValue::Var(name, e.id, e.pos)),
             ExprKind::Index(base, index) => Ok(LValue::Index(base, index, e.id, e.pos)),
@@ -405,13 +463,23 @@ impl Parser {
         let init = if self.at(&Tok::Eq) {
             self.bump();
             if array.is_some() {
-                return Err(CompileError::at(pos, "array initialisers are not supported"));
+                return Err(CompileError::at(
+                    pos,
+                    "array initialisers are not supported",
+                ));
             }
             Some(self.expr()?)
         } else {
             None
         };
-        Ok(Stmt::Decl { id, pos, ty, name, array, init })
+        Ok(Stmt::Decl {
+            id,
+            pos,
+            ty,
+            name,
+            array,
+            init,
+        })
     }
 
     // ---- expressions ----
@@ -474,7 +542,11 @@ impl Parser {
             self.bump();
             let rhs = self.binary(prec + 1)?;
             let id = self.id();
-            lhs = Expr { id, pos, kind: ExprKind::Bin(kind, Box::new(lhs), Box::new(rhs)) };
+            lhs = Expr {
+                id,
+                pos,
+                kind: ExprKind::Bin(kind, Box::new(lhs), Box::new(rhs)),
+            };
         }
         Ok(lhs)
     }
@@ -486,13 +558,21 @@ impl Parser {
                 self.bump();
                 let e = self.unary()?;
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::Un(UnKind::Neg, Box::new(e)) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::Un(UnKind::Neg, Box::new(e)),
+                })
             }
             Tok::Bang => {
                 self.bump();
                 let e = self.unary()?;
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::Un(UnKind::Not, Box::new(e)) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::Un(UnKind::Not, Box::new(e)),
+                })
             }
             Tok::LParen if self.is_type_start(self.peek2()) => {
                 // cast
@@ -501,7 +581,11 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 let e = self.unary()?;
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::Cast(ty, Box::new(e)) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::Cast(ty, Box::new(e)),
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -516,7 +600,11 @@ impl Parser {
                 let idx = self.expr()?;
                 self.expect(&Tok::RBracket)?;
                 let id = self.id();
-                e = Expr { id, pos, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                e = Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                };
             } else {
                 break;
             }
@@ -529,19 +617,35 @@ impl Parser {
         match self.bump() {
             Tok::IntLit(v) => {
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::IntLit(v) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::IntLit(v),
+                })
             }
             Tok::FloatLit(v, single) => {
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::FloatLit(v, single) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::FloatLit(v, single),
+                })
             }
             Tok::Kw(Kw::True) => {
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::BoolLit(true) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::BoolLit(true),
+                })
             }
             Tok::Kw(Kw::False) => {
                 let id = self.id();
-                Ok(Expr { id, pos, kind: ExprKind::BoolLit(false) })
+                Ok(Expr {
+                    id,
+                    pos,
+                    kind: ExprKind::BoolLit(false),
+                })
             }
             Tok::Ident(name) => {
                 if self.at(&Tok::LParen) {
@@ -559,10 +663,18 @@ impl Parser {
                     }
                     self.expect(&Tok::RParen)?;
                     let id = self.id();
-                    Ok(Expr { id, pos, kind: ExprKind::Call(name, args) })
+                    Ok(Expr {
+                        id,
+                        pos,
+                        kind: ExprKind::Call(name, args),
+                    })
                 } else {
                     let id = self.id();
-                    Ok(Expr { id, pos, kind: ExprKind::Ident(name) })
+                    Ok(Expr {
+                        id,
+                        pos,
+                        kind: ExprKind::Ident(name),
+                    })
                 }
             }
             Tok::LParen => {
@@ -570,7 +682,10 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(e)
             }
-            other => Err(CompileError::at(pos, format!("expected expression, found {other}"))),
+            other => Err(CompileError::at(
+                pos,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }
@@ -618,7 +733,12 @@ mod tests {
         let f = &prog.functions[0];
         assert!(!f.is_kernel);
         match &f.body[1] {
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(matches!(step.as_deref(), Some(Stmt::Assign { .. })));
@@ -643,7 +763,14 @@ mod tests {
         let body = &prog.functions[0].body;
         assert!(matches!(
             &body[0],
-            Stmt::Decl { array: Some(64), ty: TypeName { space: Some(AddressSpace::Local), .. }, .. }
+            Stmt::Decl {
+                array: Some(64),
+                ty: TypeName {
+                    space: Some(AddressSpace::Local),
+                    ..
+                },
+                ..
+            }
         ));
         assert!(matches!(&body[1], Stmt::Decl { array: Some(4), .. }));
         assert!(matches!(&body[3], Stmt::Barrier(_)));
@@ -711,7 +838,11 @@ mod tests {
     fn single_statement_bodies() {
         let prog = parse("void f(int n) { if (n > 0) n = 1; else n = 2; }").unwrap();
         match &prog.functions[0].body[0] {
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 assert_eq!(then_branch.len(), 1);
                 assert_eq!(else_branch.len(), 1);
             }

@@ -356,9 +356,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     advance!();
                 }
                 let word = &src[start..i];
@@ -379,7 +377,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     }
                     let v = i64::from_str_radix(&src[hs..i], 16)
                         .map_err(|e| CompileError::at(pos, format!("bad hex literal: {e}")))?;
-                    toks.push(Token { tok: Tok::IntLit(v), pos });
+                    toks.push(Token {
+                        tok: Tok::IntLit(v),
+                        pos,
+                    });
                     continue;
                 }
                 let mut is_float = false;
@@ -424,7 +425,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 toks.push(Token { tok, pos });
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
                 let (tok, len) = match two {
                     "++" => (Tok::PlusPlus, 2),
                     "--" => (Tok::MinusMinus, 2),
@@ -483,7 +488,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    toks.push(Token { tok: Tok::Eof, pos: Pos { line, col } });
+    toks.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
     Ok(toks)
 }
 

@@ -417,7 +417,11 @@ pub fn prepare_launch(
         }
     };
 
-    Ok(PreparedLaunch { kernel, ndrange, outputs })
+    Ok(PreparedLaunch {
+        kernel,
+        ndrange,
+        outputs,
+    })
 }
 
 #[cfg(test)]
@@ -451,7 +455,11 @@ mod tests {
         let mut q = CommandQueue::new();
         q.enqueue_nd_range(&mut ctx, &p.kernel, p.ndrange).unwrap();
         let histo = ctx.read_i32(p.outputs[0]).unwrap();
-        assert_eq!(histo.iter().sum::<i32>(), 2048, "every sample lands in a bin");
+        assert_eq!(
+            histo.iter().sum::<i32>(),
+            2048,
+            "every sample lands in a bin"
+        );
     }
 
     #[test]

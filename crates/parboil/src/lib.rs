@@ -68,31 +68,306 @@ pub struct KernelSpec {
 
 /// The canonical sweep-scale table: all 25 Parboil kernels.
 const SPECS: &[KernelSpec] = &[
-    KernelSpec { benchmark: "bfs", name: "bfs", entry: "bfs_kernel", source: sources::BFS, wg_size: 512, local_shape: [512, 1, 1], default_wgs: 1536, base_cost: 900, imbalance: 0.80, mem_intensity: 0.70 },
-    KernelSpec { benchmark: "cutcp", name: "cutcp", entry: "cutcp", source: sources::CUTCP, wg_size: 128, local_shape: [16, 8, 1], default_wgs: 2048, base_cost: 1600, imbalance: 0.15, mem_intensity: 0.20 },
-    KernelSpec { benchmark: "histo", name: "histo_final", entry: "histo_final", source: sources::HISTO_FINAL, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 6144, base_cost: 250, imbalance: 0.02, mem_intensity: 0.90 },
-    KernelSpec { benchmark: "histo", name: "histo_intermediates", entry: "histo_intermediates", source: sources::HISTO_INTERMEDIATES, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 6144, base_cost: 275, imbalance: 0.05, mem_intensity: 0.90 },
-    KernelSpec { benchmark: "histo", name: "histo_main", entry: "histo_main", source: sources::HISTO_MAIN, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 1536, base_cost: 1400, imbalance: 0.35, mem_intensity: 0.60 },
-    KernelSpec { benchmark: "histo", name: "histo_prescan", entry: "histo_prescan", source: sources::HISTO_PRESCAN, wg_size: 128, local_shape: [128, 1, 1], default_wgs: 3072, base_cost: 500, imbalance: 0.05, mem_intensity: 0.80 },
-    KernelSpec { benchmark: "lbm", name: "lbm", entry: "lbm", source: sources::LBM, wg_size: 128, local_shape: [128, 1, 1], default_wgs: 2048, base_cost: 1600, imbalance: 0.05, mem_intensity: 0.95 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_GPU", entry: "gridding_GPU", source: sources::MRIG_GRIDDING, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 2048, base_cost: 1600, imbalance: 0.70, mem_intensity: 0.50 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_binning", entry: "binning_kernel", source: sources::MRIG_BINNING, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 2048, base_cost: 600, imbalance: 0.10, mem_intensity: 0.80 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_reorder", entry: "reorder_kernel", source: sources::MRIG_REORDER, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 2048, base_cost: 650, imbalance: 0.30, mem_intensity: 0.90 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_scan_L1", entry: "scan_L1_kernel", source: sources::MRIG_SCAN_L1, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 2048, base_cost: 700, imbalance: 0.05, mem_intensity: 0.70 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_scan_inter1", entry: "scan_inter1_kernel", source: sources::MRIG_SCAN_INTER1, wg_size: 64, local_shape: [64, 1, 1], default_wgs: 1024, base_cost: 1500, imbalance: 0.90, mem_intensity: 0.60 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_scan_inter2", entry: "scan_inter2_kernel", source: sources::MRIG_SCAN_INTER2, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 6144, base_cost: 250, imbalance: 0.05, mem_intensity: 0.90 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_splitRearrange", entry: "splitRearrange", source: sources::MRIG_SPLIT_REARRANGE, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 6144, base_cost: 260, imbalance: 0.15, mem_intensity: 0.95 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_splitSort", entry: "splitSort", source: sources::MRIG_SPLIT_SORT, wg_size: 128, local_shape: [128, 1, 1], default_wgs: 1536, base_cost: 1700, imbalance: 0.10, mem_intensity: 0.50 },
-    KernelSpec { benchmark: "mri-gridding", name: "mri-gridding_uniformAdd", entry: "uniformAdd", source: sources::MRIG_UNIFORM_ADD, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 6144, base_cost: 225, imbalance: 0.02, mem_intensity: 0.95 },
-    KernelSpec { benchmark: "mri-q", name: "mri-q_ComputePhiMag", entry: "ComputePhiMag", source: sources::MRIQ_PHIMAG, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 6144, base_cost: 250, imbalance: 0.02, mem_intensity: 0.90 },
-    KernelSpec { benchmark: "mri-q", name: "mri-q_ComputeQ", entry: "ComputeQ", source: sources::MRIQ_COMPUTEQ, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 2048, base_cost: 1600, imbalance: 0.05, mem_intensity: 0.10 },
-    KernelSpec { benchmark: "sad", name: "sad_calc", entry: "mb_sad_calc", source: sources::SAD_CALC, wg_size: 128, local_shape: [32, 4, 1], default_wgs: 2048, base_cost: 1100, imbalance: 0.10, mem_intensity: 0.60 },
-    KernelSpec { benchmark: "sad", name: "sad_calc_16", entry: "larger_sad_calc_16", source: sources::SAD_CALC_16, wg_size: 128, local_shape: [16, 8, 1], default_wgs: 3072, base_cost: 450, imbalance: 0.05, mem_intensity: 0.85 },
-    KernelSpec { benchmark: "sad", name: "sad_calc_8", entry: "larger_sad_calc_8", source: sources::SAD_CALC_8, wg_size: 128, local_shape: [32, 4, 1], default_wgs: 3072, base_cost: 470, imbalance: 0.05, mem_intensity: 0.85 },
-    KernelSpec { benchmark: "sgemm", name: "sgemm", entry: "sgemm", source: sources::SGEMM, wg_size: 128, local_shape: [64, 2, 1], default_wgs: 2048, base_cost: 1600, imbalance: 0.08, mem_intensity: 0.35 },
-    KernelSpec { benchmark: "spmv", name: "spmv", entry: "spmv", source: sources::SPMV, wg_size: 128, local_shape: [128, 1, 1], default_wgs: 2048, base_cost: 800, imbalance: 0.90, mem_intensity: 0.85 },
-    KernelSpec { benchmark: "stencil", name: "stencil", entry: "stencil", source: sources::STENCIL, wg_size: 256, local_shape: [256, 1, 1], default_wgs: 3072, base_cost: 600, imbalance: 0.03, mem_intensity: 0.90 },
-    KernelSpec { benchmark: "tpacf", name: "tpacf", entry: "tpacf", source: sources::TPACF, wg_size: 128, local_shape: [128, 1, 1], default_wgs: 2048, base_cost: 1600, imbalance: 0.20, mem_intensity: 0.30 },
+    KernelSpec {
+        benchmark: "bfs",
+        name: "bfs",
+        entry: "bfs_kernel",
+        source: sources::BFS,
+        wg_size: 512,
+        local_shape: [512, 1, 1],
+        default_wgs: 1536,
+        base_cost: 900,
+        imbalance: 0.80,
+        mem_intensity: 0.70,
+    },
+    KernelSpec {
+        benchmark: "cutcp",
+        name: "cutcp",
+        entry: "cutcp",
+        source: sources::CUTCP,
+        wg_size: 128,
+        local_shape: [16, 8, 1],
+        default_wgs: 2048,
+        base_cost: 1600,
+        imbalance: 0.15,
+        mem_intensity: 0.20,
+    },
+    KernelSpec {
+        benchmark: "histo",
+        name: "histo_final",
+        entry: "histo_final",
+        source: sources::HISTO_FINAL,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 6144,
+        base_cost: 250,
+        imbalance: 0.02,
+        mem_intensity: 0.90,
+    },
+    KernelSpec {
+        benchmark: "histo",
+        name: "histo_intermediates",
+        entry: "histo_intermediates",
+        source: sources::HISTO_INTERMEDIATES,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 6144,
+        base_cost: 275,
+        imbalance: 0.05,
+        mem_intensity: 0.90,
+    },
+    KernelSpec {
+        benchmark: "histo",
+        name: "histo_main",
+        entry: "histo_main",
+        source: sources::HISTO_MAIN,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 1536,
+        base_cost: 1400,
+        imbalance: 0.35,
+        mem_intensity: 0.60,
+    },
+    KernelSpec {
+        benchmark: "histo",
+        name: "histo_prescan",
+        entry: "histo_prescan",
+        source: sources::HISTO_PRESCAN,
+        wg_size: 128,
+        local_shape: [128, 1, 1],
+        default_wgs: 3072,
+        base_cost: 500,
+        imbalance: 0.05,
+        mem_intensity: 0.80,
+    },
+    KernelSpec {
+        benchmark: "lbm",
+        name: "lbm",
+        entry: "lbm",
+        source: sources::LBM,
+        wg_size: 128,
+        local_shape: [128, 1, 1],
+        default_wgs: 2048,
+        base_cost: 1600,
+        imbalance: 0.05,
+        mem_intensity: 0.95,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_GPU",
+        entry: "gridding_GPU",
+        source: sources::MRIG_GRIDDING,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 2048,
+        base_cost: 1600,
+        imbalance: 0.70,
+        mem_intensity: 0.50,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_binning",
+        entry: "binning_kernel",
+        source: sources::MRIG_BINNING,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 2048,
+        base_cost: 600,
+        imbalance: 0.10,
+        mem_intensity: 0.80,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_reorder",
+        entry: "reorder_kernel",
+        source: sources::MRIG_REORDER,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 2048,
+        base_cost: 650,
+        imbalance: 0.30,
+        mem_intensity: 0.90,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_scan_L1",
+        entry: "scan_L1_kernel",
+        source: sources::MRIG_SCAN_L1,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 2048,
+        base_cost: 700,
+        imbalance: 0.05,
+        mem_intensity: 0.70,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_scan_inter1",
+        entry: "scan_inter1_kernel",
+        source: sources::MRIG_SCAN_INTER1,
+        wg_size: 64,
+        local_shape: [64, 1, 1],
+        default_wgs: 1024,
+        base_cost: 1500,
+        imbalance: 0.90,
+        mem_intensity: 0.60,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_scan_inter2",
+        entry: "scan_inter2_kernel",
+        source: sources::MRIG_SCAN_INTER2,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 6144,
+        base_cost: 250,
+        imbalance: 0.05,
+        mem_intensity: 0.90,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_splitRearrange",
+        entry: "splitRearrange",
+        source: sources::MRIG_SPLIT_REARRANGE,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 6144,
+        base_cost: 260,
+        imbalance: 0.15,
+        mem_intensity: 0.95,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_splitSort",
+        entry: "splitSort",
+        source: sources::MRIG_SPLIT_SORT,
+        wg_size: 128,
+        local_shape: [128, 1, 1],
+        default_wgs: 1536,
+        base_cost: 1700,
+        imbalance: 0.10,
+        mem_intensity: 0.50,
+    },
+    KernelSpec {
+        benchmark: "mri-gridding",
+        name: "mri-gridding_uniformAdd",
+        entry: "uniformAdd",
+        source: sources::MRIG_UNIFORM_ADD,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 6144,
+        base_cost: 225,
+        imbalance: 0.02,
+        mem_intensity: 0.95,
+    },
+    KernelSpec {
+        benchmark: "mri-q",
+        name: "mri-q_ComputePhiMag",
+        entry: "ComputePhiMag",
+        source: sources::MRIQ_PHIMAG,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 6144,
+        base_cost: 250,
+        imbalance: 0.02,
+        mem_intensity: 0.90,
+    },
+    KernelSpec {
+        benchmark: "mri-q",
+        name: "mri-q_ComputeQ",
+        entry: "ComputeQ",
+        source: sources::MRIQ_COMPUTEQ,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 2048,
+        base_cost: 1600,
+        imbalance: 0.05,
+        mem_intensity: 0.10,
+    },
+    KernelSpec {
+        benchmark: "sad",
+        name: "sad_calc",
+        entry: "mb_sad_calc",
+        source: sources::SAD_CALC,
+        wg_size: 128,
+        local_shape: [32, 4, 1],
+        default_wgs: 2048,
+        base_cost: 1100,
+        imbalance: 0.10,
+        mem_intensity: 0.60,
+    },
+    KernelSpec {
+        benchmark: "sad",
+        name: "sad_calc_16",
+        entry: "larger_sad_calc_16",
+        source: sources::SAD_CALC_16,
+        wg_size: 128,
+        local_shape: [16, 8, 1],
+        default_wgs: 3072,
+        base_cost: 450,
+        imbalance: 0.05,
+        mem_intensity: 0.85,
+    },
+    KernelSpec {
+        benchmark: "sad",
+        name: "sad_calc_8",
+        entry: "larger_sad_calc_8",
+        source: sources::SAD_CALC_8,
+        wg_size: 128,
+        local_shape: [32, 4, 1],
+        default_wgs: 3072,
+        base_cost: 470,
+        imbalance: 0.05,
+        mem_intensity: 0.85,
+    },
+    KernelSpec {
+        benchmark: "sgemm",
+        name: "sgemm",
+        entry: "sgemm",
+        source: sources::SGEMM,
+        wg_size: 128,
+        local_shape: [64, 2, 1],
+        default_wgs: 2048,
+        base_cost: 1600,
+        imbalance: 0.08,
+        mem_intensity: 0.35,
+    },
+    KernelSpec {
+        benchmark: "spmv",
+        name: "spmv",
+        entry: "spmv",
+        source: sources::SPMV,
+        wg_size: 128,
+        local_shape: [128, 1, 1],
+        default_wgs: 2048,
+        base_cost: 800,
+        imbalance: 0.90,
+        mem_intensity: 0.85,
+    },
+    KernelSpec {
+        benchmark: "stencil",
+        name: "stencil",
+        entry: "stencil",
+        source: sources::STENCIL,
+        wg_size: 256,
+        local_shape: [256, 1, 1],
+        default_wgs: 3072,
+        base_cost: 600,
+        imbalance: 0.03,
+        mem_intensity: 0.90,
+    },
+    KernelSpec {
+        benchmark: "tpacf",
+        name: "tpacf",
+        entry: "tpacf",
+        source: sources::TPACF,
+        wg_size: 128,
+        local_shape: [128, 1, 1],
+        default_wgs: 2048,
+        base_cost: 1600,
+        imbalance: 0.20,
+        mem_intensity: 0.30,
+    },
 ];
 
 impl KernelSpec {
@@ -192,7 +467,10 @@ impl KernelDb {
 
     /// Spec and profile by kernel name.
     pub fn get(&self, name: &str) -> Option<(&'static KernelSpec, &KernelProfile)> {
-        self.entries.iter().find(|(s, _)| s.name == name).map(|(s, p)| (*s, p))
+        self.entries
+            .iter()
+            .find(|(s, _)| s.name == name)
+            .map(|(s, p)| (*s, p))
     }
 
     /// All entries in table (alphabetical) order.
@@ -251,7 +529,10 @@ mod tests {
         for spec in KernelSpec::all() {
             let p: usize = spec.local_shape.iter().product();
             assert_eq!(p, spec.wg_size as usize, "`{}` local shape", spec.name);
-            assert_eq!(spec.default_ndrange().total_groups() as u64, spec.default_wgs);
+            assert_eq!(
+                spec.default_ndrange().total_groups() as u64,
+                spec.default_wgs
+            );
         }
     }
 
@@ -275,7 +556,10 @@ mod tests {
             let v = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64;
             v.sqrt() / m
         };
-        assert!(cv(&a) > 4.0 * cv(&s), "bfs must be far more imbalanced than stencil");
+        assert!(
+            cv(&a) > 4.0 * cv(&s),
+            "bfs must be far more imbalanced than stencil"
+        );
     }
 
     #[test]
@@ -300,8 +584,20 @@ mod tests {
         let (_, ua) = db.get("mri-gridding_uniformAdd").unwrap();
         let (_, pm) = db.get("mri-q_ComputePhiMag").unwrap();
         let (_, gq) = db.get("mri-q_ComputeQ").unwrap();
-        assert!(ua.insn_count < 40, "uniformAdd is a small kernel: {}", ua.insn_count);
-        assert!(pm.insn_count < 40, "ComputePhiMag is a small kernel: {}", pm.insn_count);
-        assert!(gq.insn_count > 40, "ComputeQ is not small: {}", gq.insn_count);
+        assert!(
+            ua.insn_count < 40,
+            "uniformAdd is a small kernel: {}",
+            ua.insn_count
+        );
+        assert!(
+            pm.insn_count < 40,
+            "ComputePhiMag is a small kernel: {}",
+            pm.insn_count
+        );
+        assert!(
+            gq.insn_count > 40,
+            "ComputeQ is not small: {}",
+            gq.insn_count
+        );
     }
 }

@@ -67,7 +67,11 @@ pub fn fairness_improvement(u_baseline: f64, u_x: f64) -> f64 {
 pub fn antt(shared: &[u64], alone: &[u64]) -> f64 {
     assert_eq!(shared.len(), alone.len(), "mismatched lengths");
     assert!(!shared.is_empty(), "need at least one kernel");
-    let sum: f64 = shared.iter().zip(alone).map(|(&s, &a)| individual_slowdown(s, a)).sum();
+    let sum: f64 = shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| individual_slowdown(s, a))
+        .sum();
     sum / shared.len() as f64
 }
 

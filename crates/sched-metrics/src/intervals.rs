@@ -87,7 +87,8 @@ impl IntervalSet {
 
 /// Union of many interval sets.
 pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> IntervalSet {
-    sets.into_iter().fold(IntervalSet::new(), |acc, s| acc.union(s))
+    sets.into_iter()
+        .fold(IntervalSet::new(), |acc, s| acc.union(s))
 }
 
 /// Intersection of many interval sets.

@@ -29,6 +29,8 @@ pub mod fairness;
 pub mod intervals;
 pub mod throughput;
 
-pub use fairness::{antt, fairness_improvement, individual_slowdown, jain_index, stp, unfairness, worst_antt};
+pub use fairness::{
+    antt, fairness_improvement, individual_slowdown, jain_index, stp, unfairness, worst_antt,
+};
 pub use intervals::IntervalSet;
 pub use throughput::{execution_overlap, throughput_speedup};

@@ -35,7 +35,8 @@ fn main() -> Result<(), clrt::ClError> {
     let y = os.context_mut().create_buffer(n * 4);
     let x = os.context_mut().create_buffer(n * 4);
     os.context_mut().write_f32(y, &vec![1.0; n])?;
-    os.context_mut().write_f32(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>())?;
+    os.context_mut()
+        .write_f32(x, &(0..n).map(|i| i as f32).collect::<Vec<_>>())?;
 
     let mut kernel = program.create_kernel("saxpy")?;
     kernel.set_arg(0, Arg::Buffer(y))?;

@@ -14,8 +14,10 @@ use parboil::KernelSpec;
 fn main() {
     let device = DeviceConfig::k20m();
     let names = ["bfs", "cutcp", "stencil", "tpacf"];
-    let specs: Vec<&KernelSpec> =
-        names.iter().map(|n| KernelSpec::by_name(n).expect("kernel exists")).collect();
+    let specs: Vec<&KernelSpec> = names
+        .iter()
+        .map(|n| KernelSpec::by_name(n).expect("kernel exists"))
+        .collect();
     let req = |s: &KernelSpec| WorkGroupReq {
         threads: s.wg_size,
         local_mem: 0,
@@ -32,7 +34,7 @@ fn main() {
             req: req(s),
             mem_intensity: s.mem_intensity,
             plan: LaunchPlan::Hardware {
-                wg_costs: s.vg_costs(s.default_wgs as usize, 1),
+                wg_costs: s.vg_costs(s.default_wgs as usize, 1).into(),
             },
             max_workers: None,
         });
@@ -61,7 +63,7 @@ fn main() {
             mem_intensity: s.mem_intensity,
             plan: LaunchPlan::PersistentDynamic {
                 workers,
-                vg_costs: s.vg_costs(s.default_wgs as usize, 1),
+                vg_costs: s.vg_costs(s.default_wgs as usize, 1).into(),
                 chunk: 1,
                 per_vg_overhead: 2,
             },

@@ -28,7 +28,10 @@ const SRC: &str = "kernel void blur(global const float* in, global float* out) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let original = minicl::compile(SRC)?;
-    println!("=== original kernel ===\n{}", kernel_ir::display::print_module(&original));
+    println!(
+        "=== original kernel ===\n{}",
+        kernel_ir::display::print_module(&original)
+    );
 
     let transformed = transform_module(&original, Mode::Optimized)?;
     let info = transformed.info("blur").expect("kernel exists");

@@ -48,7 +48,7 @@ fn main() {
                     mem_intensity: s.mem_intensity,
                     plan: LaunchPlan::PersistentDynamic {
                         workers: w,
-                        vg_costs: s.vg_costs(s.default_wgs as usize, 7),
+                        vg_costs: s.vg_costs(s.default_wgs as usize, 7).into(),
                         chunk: 1,
                         per_vg_overhead: 2,
                     },
@@ -64,10 +64,16 @@ fn main() {
     let t_weighted = simulate(&weighted.wgs_per_kernel);
     println!("\nturnaround (cycles):");
     println!("  tenant     equal        3:1:1");
-    for (i, name) in ["sgemm (premium)", "stencil (batch)", "stencil (batch)"].iter().enumerate() {
+    for (i, name) in ["sgemm (premium)", "stencil (batch)", "stencil (batch)"]
+        .iter()
+        .enumerate()
+    {
         println!("  {:<16} {:>9} {:>12}", name, t_equal[i], t_weighted[i]);
     }
     let gain = t_equal[0] as f64 / t_weighted[0] as f64;
     println!("\npremium tenant speedup from weighting: {gain:.2}x");
-    assert!(gain > 1.2, "weighting should visibly help the premium tenant");
+    assert!(
+        gain > 1.2,
+        "weighting should visibly help the premium tenant"
+    );
 }

@@ -40,7 +40,9 @@ fn concurrent_tenants_get_correct_results_and_overlap() {
 
     let in_b = os.context_mut().create_buffer(n * 4);
     let out_b = os.context_mut().create_buffer(n * 4);
-    os.context_mut().write_i32(in_b, &(0..n as i32).collect::<Vec<_>>()).unwrap();
+    os.context_mut()
+        .write_i32(in_b, &(0..n as i32).collect::<Vec<_>>())
+        .unwrap();
     let mut k_b = program_b.create_kernel("rotate").unwrap();
     k_b.set_arg(0, Arg::Buffer(in_b)).unwrap();
     k_b.set_arg(1, Arg::Buffer(out_b)).unwrap();
@@ -93,7 +95,9 @@ fn modes_agree_functionally() {
             )
             .unwrap();
         let cells = os.context_mut().create_buffer(16 * 8);
-        os.context_mut().write_i64(cells, &[1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        os.context_mut()
+            .write_i64(cells, &[1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+            .unwrap();
         let mut k = program.create_kernel("fib_step").unwrap();
         k.set_arg(0, Arg::Buffer(cells)).unwrap();
         k.set_arg(1, Arg::Scalar(Value::I32(4))).unwrap();

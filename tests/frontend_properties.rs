@@ -14,7 +14,11 @@ fn arb_expr() -> impl Strategy<Value = String> {
         Just("(int)get_global_id(0)".to_string()),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner)
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+            inner,
+        )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
     })
 }
@@ -24,7 +28,12 @@ fn run_kernel(src: &str, n: usize, wg: usize) -> Vec<i32> {
     let mut mem = DeviceMemory::new();
     let buf = mem.alloc(n * 4);
     Interpreter::new(&module)
-        .run_kernel(&mut mem, "k", NdRange::new_1d(n, wg), &[ArgValue::Buffer(buf)])
+        .run_kernel(
+            &mut mem,
+            "k",
+            NdRange::new_1d(n, wg),
+            &[ArgValue::Buffer(buf)],
+        )
         .expect("runs");
     mem.read_i32(buf)
 }
@@ -175,12 +184,12 @@ proptest! {
             let plan = if dynamic {
                 LaunchPlan::PersistentDynamic {
                     workers: 2,
-                    vg_costs: vec![cost; wgs],
+                    vg_costs: vec![cost; wgs].into(),
                     chunk: 1 + (cost % 4) as u32,
                     per_vg_overhead: 1,
                 }
             } else {
-                LaunchPlan::Hardware { wg_costs: vec![cost; wgs] }
+                LaunchPlan::Hardware { wg_costs: vec![cost; wgs].into() }
             };
             sim.add_launch(KernelLaunch {
                 name: format!("k{i}"),

@@ -154,15 +154,16 @@ fn parboil_kernels_survive_the_jit() {
             } else {
                 Program::build(spec.source).expect("build")
             };
-            let prepared =
-                prepare_launch(spec, &mut ctx, &program, 1, 11).expect("prepare");
+            let prepared = prepare_launch(spec, &mut ctx, &program, 1, 11).expect("prepare");
             let mut kernel = prepared.kernel;
             let launch_nd = if transform {
                 let v = VirtualNdRange::new(prepared.ndrange);
                 let rt = ctx.create_buffer(8 * v.descriptor().len());
                 ctx.write_i64(rt, &v.descriptor()).expect("write rt");
                 let rt_index = kernel.arity() - 1;
-                kernel.set_arg(rt_index, clrt::Arg::Buffer(rt)).expect("bind rt");
+                kernel
+                    .set_arg(rt_index, clrt::Arg::Buffer(rt))
+                    .expect("bind rt");
                 v.hardware_range(3)
             } else {
                 prepared.ndrange
@@ -174,7 +175,13 @@ fn parboil_kernels_survive_the_jit() {
             prepared
                 .outputs
                 .iter()
-                .map(|b| ctx.read_i32(*b).expect("read").iter().flat_map(|v| v.to_le_bytes()).collect())
+                .map(|b| {
+                    ctx.read_i32(*b)
+                        .expect("read")
+                        .iter()
+                        .flat_map(|v| v.to_le_bytes())
+                        .collect()
+                })
                 .collect()
         };
         let base = run_scheme(false);

@@ -1,0 +1,135 @@
+//! Differential tests for the PR-1 parallel pipeline.
+//!
+//! Two independent guarantees are asserted:
+//!
+//! 1. **Interpreter** — `run_kernel_parallel` produces byte-identical
+//!    `DeviceMemory` and identical `DynStats` to the sequential
+//!    interpreter across the bundled Parboil kernel set, auto-falling
+//!    back to sequential execution for kernels that use global-memory
+//!    atomics.
+//! 2. **Sweep** — the rayon-parallel sweep reproduces the sequential
+//!    sweep's metric tables exactly (bit-identical floats), because
+//!    per-repetition seeds derive from `(workload, rep)` rather than
+//!    iteration order and results merge deterministically.
+
+use accel_harness::experiments::{measure_workload, sweep, sweep_seq};
+use accel_harness::runner::Runner;
+use accel_harness::workloads::SweepConfig;
+use gpu_sim::DeviceConfig;
+use kernel_ir::interp::{DeviceMemory, DynStats, Interpreter, NdRange};
+use parboil::datasets::prepare_launch;
+use parboil::KernelSpec;
+
+/// Run one Parboil kernel functionally on a fresh context; returns the
+/// final device memory and the dynamic statistics.
+fn run_functional(spec: &KernelSpec, threads: Option<usize>) -> (DeviceMemory, DynStats) {
+    use clrt::{Context, Platform, Program};
+    let mut ctx = Context::new(&Platform::nvidia());
+    let program = Program::build(spec.source).expect("bundled kernels compile");
+    let prepared = prepare_launch(spec, &mut ctx, &program, 1, 7).expect("prepare");
+    let kernel = prepared.kernel;
+    let args = kernel.resolved_args().expect("args resolved");
+    let interp = Interpreter::new(kernel.module());
+    let nd: NdRange = prepared.ndrange;
+    let stats = match threads {
+        None => interp.run_kernel(ctx.memory_mut(), kernel.name(), nd, &args),
+        Some(t) => interp.run_kernel_parallel_with(ctx.memory_mut(), kernel.name(), nd, &args, t),
+    }
+    .unwrap_or_else(|e| panic!("`{}` failed: {e}", spec.name));
+    (ctx.memory_mut().clone(), stats)
+}
+
+#[test]
+fn parallel_interpreter_matches_sequential_across_parboil() {
+    let mut parallelizable = 0usize;
+    let mut fallback = 0usize;
+    for spec in KernelSpec::all() {
+        let module = spec.compile().expect("compiles");
+        let eligible = Interpreter::new(&module).can_parallelize(spec.entry);
+        if eligible {
+            parallelizable += 1;
+        } else {
+            fallback += 1;
+        }
+        let (mem_seq, stats_seq) = run_functional(spec, None);
+        let (mem_par, stats_par) = run_functional(spec, Some(4));
+        assert_eq!(
+            mem_seq, mem_par,
+            "`{}` device memory diverged between sequential and parallel",
+            spec.name
+        );
+        assert_eq!(
+            stats_seq.total_insns, stats_par.total_insns,
+            "`{}` total_insns diverged",
+            spec.name
+        );
+        assert_eq!(stats_seq, stats_par, "`{}` DynStats diverged", spec.name);
+    }
+    // The kernel set must exercise both paths for this test to mean
+    // anything: regular kernels parallelize, atomic-using kernels (bfs's
+    // frontier queue, histograms) must fall back.
+    assert!(
+        parallelizable >= 5,
+        "only {parallelizable} kernels parallelizable"
+    );
+    assert!(
+        fallback >= 5,
+        "only {fallback} kernels exercised the fallback"
+    );
+}
+
+#[test]
+fn atomic_kernels_are_detected_as_fallback() {
+    for (name, expect_parallel) in [
+        ("sgemm", true),
+        ("stencil", true),
+        ("lbm", true),
+        ("bfs", false),
+        ("histo_main", false),
+    ] {
+        let spec = KernelSpec::by_name(name).expect("kernel exists");
+        let module = spec.compile().expect("compiles");
+        assert_eq!(
+            Interpreter::new(&module).can_parallelize(spec.entry),
+            expect_parallel,
+            "`{name}` parallel-eligibility mismatch"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_reproduces_sequential_exactly() {
+    // Force a real thread pool even on single-core CI hosts so the
+    // parallel code path is exercised rather than short-circuited.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let runner = Runner::new(DeviceConfig::k20m());
+    let cfg = SweepConfig {
+        pairs: 8,
+        n4: 5,
+        n8: 3,
+        reps: 2,
+        seed: 2016,
+    };
+    for rq in [2usize, 4, 8] {
+        let par = sweep(&runner, &cfg, rq);
+        let seq = sweep_seq(&runner, &cfg, rq);
+        assert_eq!(
+            par, seq,
+            "sweep of {rq} requests diverged under parallelism"
+        );
+    }
+}
+
+#[test]
+fn measure_workload_is_seed_deterministic() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    let wl = vec![
+        KernelSpec::by_name("sgemm").unwrap(),
+        KernelSpec::by_name("spmv").unwrap(),
+    ];
+    let a = measure_workload(&runner, &wl, 2, 99);
+    let b = measure_workload(&runner, &wl, 2, 99);
+    assert_eq!(a, b);
+    let c = measure_workload(&runner, &wl, 2, 100);
+    assert_ne!(a, c, "different seeds must draw different costs");
+}

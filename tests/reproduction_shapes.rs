@@ -20,7 +20,13 @@ fn devices() -> [DeviceConfig; 2] {
 /// improving system throughput", on every request size, on both platforms.
 #[test]
 fn headline_fairness_and_throughput() {
-    let cfg = SweepConfig { pairs: 40, n4: 12, n8: 8, reps: 1, seed: 2016 };
+    let cfg = SweepConfig {
+        pairs: 40,
+        n4: 12,
+        n8: 8,
+        reps: 1,
+        seed: 2016,
+    };
     for device in devices() {
         let runner = Runner::new(device.clone());
         let sweeps = device_sweeps(&runner, &cfg);
@@ -51,7 +57,10 @@ fn headline_fairness_and_throughput() {
             .iter()
             .map(|s| s.avg_fairness_improvement(Scheme::AccelOs))
             .collect();
-        assert!(fis[0] < fis[2], "improvement should grow with tenancy: {fis:?}");
+        assert!(
+            fis[0] < fis[2],
+            "improvement should grow with tenancy: {fis:?}"
+        );
     }
 }
 
@@ -59,17 +68,34 @@ fn headline_fairness_and_throughput() {
 /// overlap collapses as requests grow.
 #[test]
 fn overlap_ordering() {
-    let cfg = SweepConfig { pairs: 40, n4: 12, n8: 8, reps: 1, seed: 2016 };
+    let cfg = SweepConfig {
+        pairs: 40,
+        n4: 12,
+        n8: 8,
+        reps: 1,
+        seed: 2016,
+    };
     let runner = Runner::new(DeviceConfig::k20m());
     let sweeps = device_sweeps(&runner, &cfg);
     for sw in &sweeps.sizes {
         let o = sw.avg_overlap();
         let (base, ek, acc) = (o[0], o[1], o[3]);
-        assert!(acc > ek && acc > base, "{} rq: overlap {o:?}", sw.request_size);
-        assert!(acc > 0.3, "{} rq: accelOS overlap {acc:.2}", sw.request_size);
+        assert!(
+            acc > ek && acc > base,
+            "{} rq: overlap {o:?}",
+            sw.request_size
+        );
+        assert!(
+            acc > 0.3,
+            "{} rq: accelOS overlap {acc:.2}",
+            sw.request_size
+        );
     }
     let baseline_8rq = sweeps.sizes[2].avg_overlap()[0];
-    assert!(baseline_8rq < 0.02, "8 requests serialise almost fully: {baseline_8rq:.3}");
+    assert!(
+        baseline_8rq < 0.02,
+        "8 requests serialise almost fully: {baseline_8rq:.3}"
+    );
 }
 
 /// Fig. 2: the motivation workload — later arrivals are punished by the
@@ -109,7 +135,11 @@ fn single_kernel_impact() {
         assert_eq!(rows.len(), 25);
         let g_naive = geomean(&rows.iter().map(|r| r.naive).collect::<Vec<_>>());
         let g_opt = geomean(&rows.iter().map(|r| r.optimized).collect::<Vec<_>>());
-        assert!(g_opt >= g_naive, "{}: opt {g_opt:.3} vs naive {g_naive:.3}", device.name);
+        assert!(
+            g_opt >= g_naive,
+            "{}: opt {g_opt:.3} vs naive {g_naive:.3}",
+            device.name
+        );
         assert!(g_opt > 1.0, "{}: optimized geomean {g_opt:.3}", device.name);
         assert!(g_naive > 0.9, "{}: naive geomean {g_naive:.3}", device.name);
         // Per-kernel range stays within the paper's envelope (~0.9..1.2).
