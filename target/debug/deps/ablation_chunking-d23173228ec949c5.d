@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_chunking-d23173228ec949c5.d: crates/bench/benches/ablation_chunking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_chunking-d23173228ec949c5.rmeta: crates/bench/benches/ablation_chunking.rs Cargo.toml
+
+crates/bench/benches/ablation_chunking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

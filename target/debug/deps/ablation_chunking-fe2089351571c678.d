@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chunking-fe2089351571c678.d: crates/bench/benches/ablation_chunking.rs
+
+/root/repo/target/debug/deps/ablation_chunking-fe2089351571c678: crates/bench/benches/ablation_chunking.rs
+
+crates/bench/benches/ablation_chunking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accel_bench-52e5a5a5da4fae6b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_bench-52e5a5a5da4fae6b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accel_bench-9fd6dc22da829fc1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccel_bench-9fd6dc22da829fc1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaccel_bench-9fd6dc22da829fc1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accel_bench-f7a1f79735c39245.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_bench-f7a1f79735c39245.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

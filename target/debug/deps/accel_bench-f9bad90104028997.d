@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accel_bench-f9bad90104028997.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/accel_bench-f9bad90104028997: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accel_harness-4ad7a6c052de2136.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_harness-4ad7a6c052de2136.rmeta: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

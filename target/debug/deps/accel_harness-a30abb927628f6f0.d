@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accel_harness-a30abb927628f6f0.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+/root/repo/target/debug/deps/libaccel_harness-a30abb927628f6f0.rlib: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+/root/repo/target/debug/deps/libaccel_harness-a30abb927628f6f0.rmeta: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:

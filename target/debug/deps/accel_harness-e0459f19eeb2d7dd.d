@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/accel_harness-e0459f19eeb2d7dd.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+/root/repo/target/debug/deps/accel_harness-e0459f19eeb2d7dd: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accelos-a3c377cf5c6cec71.d: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelos-a3c377cf5c6cec71.rmeta: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chunk.rs:
+crates/core/src/jit.rs:
+crates/core/src/memory.rs:
+crates/core/src/proxycl.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/vrange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accelos-d54ee6b871607b2d.d: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+/root/repo/target/debug/deps/libaccelos-d54ee6b871607b2d.rlib: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+/root/repo/target/debug/deps/libaccelos-d54ee6b871607b2d.rmeta: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chunk.rs:
+crates/core/src/jit.rs:
+crates/core/src/memory.rs:
+crates/core/src/proxycl.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/vrange.rs:

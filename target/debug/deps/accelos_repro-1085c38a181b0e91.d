@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accelos_repro-1085c38a181b0e91.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaccelos_repro-1085c38a181b0e91.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaccelos_repro-1085c38a181b0e91.rmeta: src/lib.rs
+
+src/lib.rs:

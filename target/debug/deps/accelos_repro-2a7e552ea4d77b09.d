@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelos_repro-2a7e552ea4d77b09.d: src/lib.rs
+
+/root/repo/target/debug/deps/accelos_repro-2a7e552ea4d77b09: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelos_repro-93a1c3ef1ca42be0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelos_repro-93a1c3ef1ca42be0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelos_repro-b88d9e7d2dd8b98d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelos_repro-b88d9e7d2dd8b98d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pr1-00e1e9577c45465e.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/debug/deps/bench_pr1-00e1e9577c45465e: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_pr1-48800c1ca6c73603.d: crates/bench/src/bin/bench_pr1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pr1-48800c1ca6c73603.rmeta: crates/bench/src/bin/bench_pr1.rs Cargo.toml
+
+crates/bench/src/bin/bench_pr1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

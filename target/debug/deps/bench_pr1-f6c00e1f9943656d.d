@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pr1-f6c00e1f9943656d.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/debug/deps/bench_pr1-f6c00e1f9943656d: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/clrt-7e4fdf1003e50f3b.d: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+/root/repo/target/debug/deps/clrt-7e4fdf1003e50f3b: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+crates/clrt/src/lib.rs:
+crates/clrt/src/context.rs:
+crates/clrt/src/error.rs:
+crates/clrt/src/platform.rs:
+crates/clrt/src/program.rs:
+crates/clrt/src/queue.rs:

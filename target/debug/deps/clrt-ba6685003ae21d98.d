@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/clrt-ba6685003ae21d98.d: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+/root/repo/target/debug/deps/libclrt-ba6685003ae21d98.rlib: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+/root/repo/target/debug/deps/libclrt-ba6685003ae21d98.rmeta: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+crates/clrt/src/lib.rs:
+crates/clrt/src/context.rs:
+crates/clrt/src/error.rs:
+crates/clrt/src/platform.rs:
+crates/clrt/src/program.rs:
+crates/clrt/src/queue.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/elastic_kernels-46691edd5451839d.d: crates/elastic-kernels/src/lib.rs
+
+/root/repo/target/debug/deps/libelastic_kernels-46691edd5451839d.rlib: crates/elastic-kernels/src/lib.rs
+
+/root/repo/target/debug/deps/libelastic_kernels-46691edd5451839d.rmeta: crates/elastic-kernels/src/lib.rs
+
+crates/elastic-kernels/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/elastic_kernels-a2efc5f0ee8210df.d: crates/elastic-kernels/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelastic_kernels-a2efc5f0ee8210df.rmeta: crates/elastic-kernels/src/lib.rs Cargo.toml
+
+crates/elastic-kernels/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/elastic_kernels-c93775e75075ae43.d: crates/elastic-kernels/src/lib.rs
+
+/root/repo/target/debug/deps/elastic_kernels-c93775e75075ae43: crates/elastic-kernels/src/lib.rs
+
+crates/elastic-kernels/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a984670e819b80ad.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a984670e819b80ad: tests/end_to_end.rs
+
+tests/end_to_end.rs:

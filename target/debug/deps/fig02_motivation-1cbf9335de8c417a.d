@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_motivation-1cbf9335de8c417a.d: crates/bench/benches/fig02_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_motivation-1cbf9335de8c417a.rmeta: crates/bench/benches/fig02_motivation.rs Cargo.toml
+
+crates/bench/benches/fig02_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

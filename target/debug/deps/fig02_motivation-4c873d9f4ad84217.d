@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_motivation-4c873d9f4ad84217.d: crates/bench/benches/fig02_motivation.rs
+
+/root/repo/target/debug/deps/fig02_motivation-4c873d9f4ad84217: crates/bench/benches/fig02_motivation.rs
+
+crates/bench/benches/fig02_motivation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_unfairness-6dea7b559a8628f4.d: crates/bench/benches/fig09_unfairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_unfairness-6dea7b559a8628f4.rmeta: crates/bench/benches/fig09_unfairness.rs Cargo.toml
+
+crates/bench/benches/fig09_unfairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

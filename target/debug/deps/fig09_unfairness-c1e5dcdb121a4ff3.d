@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_unfairness-c1e5dcdb121a4ff3.d: crates/bench/benches/fig09_unfairness.rs
+
+/root/repo/target/debug/deps/fig09_unfairness-c1e5dcdb121a4ff3: crates/bench/benches/fig09_unfairness.rs
+
+crates/bench/benches/fig09_unfairness.rs:

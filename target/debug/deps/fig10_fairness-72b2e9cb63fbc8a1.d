@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_fairness-72b2e9cb63fbc8a1.d: crates/bench/benches/fig10_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_fairness-72b2e9cb63fbc8a1.rmeta: crates/bench/benches/fig10_fairness.rs Cargo.toml
+
+crates/bench/benches/fig10_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_fairness-8765ab67238e960f.d: crates/bench/benches/fig10_fairness.rs
+
+/root/repo/target/debug/deps/fig10_fairness-8765ab67238e960f: crates/bench/benches/fig10_fairness.rs
+
+crates/bench/benches/fig10_fairness.rs:

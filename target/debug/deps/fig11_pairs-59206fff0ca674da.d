@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_pairs-59206fff0ca674da.d: crates/bench/benches/fig11_pairs.rs
+
+/root/repo/target/debug/deps/fig11_pairs-59206fff0ca674da: crates/bench/benches/fig11_pairs.rs
+
+crates/bench/benches/fig11_pairs.rs:

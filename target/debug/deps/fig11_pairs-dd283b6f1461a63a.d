@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_pairs-dd283b6f1461a63a.d: crates/bench/benches/fig11_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_pairs-dd283b6f1461a63a.rmeta: crates/bench/benches/fig11_pairs.rs Cargo.toml
+
+crates/bench/benches/fig11_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_overlap-0d5452b6648ed104.d: crates/bench/benches/fig12_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_overlap-0d5452b6648ed104.rmeta: crates/bench/benches/fig12_overlap.rs Cargo.toml
+
+crates/bench/benches/fig12_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

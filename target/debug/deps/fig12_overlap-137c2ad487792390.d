@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_overlap-137c2ad487792390.d: crates/bench/benches/fig12_overlap.rs
+
+/root/repo/target/debug/deps/fig12_overlap-137c2ad487792390: crates/bench/benches/fig12_overlap.rs
+
+crates/bench/benches/fig12_overlap.rs:

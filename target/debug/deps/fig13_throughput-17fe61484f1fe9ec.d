@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_throughput-17fe61484f1fe9ec.d: crates/bench/benches/fig13_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_throughput-17fe61484f1fe9ec.rmeta: crates/bench/benches/fig13_throughput.rs Cargo.toml
+
+crates/bench/benches/fig13_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

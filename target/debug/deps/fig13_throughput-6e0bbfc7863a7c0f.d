@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_throughput-6e0bbfc7863a7c0f.d: crates/bench/benches/fig13_throughput.rs
+
+/root/repo/target/debug/deps/fig13_throughput-6e0bbfc7863a7c0f: crates/bench/benches/fig13_throughput.rs
+
+crates/bench/benches/fig13_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_throughput_dist-42b9636d78111b6b.d: crates/bench/benches/fig14_throughput_dist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_throughput_dist-42b9636d78111b6b.rmeta: crates/bench/benches/fig14_throughput_dist.rs Cargo.toml
+
+crates/bench/benches/fig14_throughput_dist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_throughput_dist-6642c0814534beb5.d: crates/bench/benches/fig14_throughput_dist.rs
+
+/root/repo/target/debug/deps/fig14_throughput_dist-6642c0814534beb5: crates/bench/benches/fig14_throughput_dist.rs
+
+crates/bench/benches/fig14_throughput_dist.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_single_kernel-1047a51c5fb7599a.d: crates/bench/benches/fig15_single_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_single_kernel-1047a51c5fb7599a.rmeta: crates/bench/benches/fig15_single_kernel.rs Cargo.toml
+
+crates/bench/benches/fig15_single_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

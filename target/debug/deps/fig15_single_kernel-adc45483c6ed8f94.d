@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_single_kernel-adc45483c6ed8f94.d: crates/bench/benches/fig15_single_kernel.rs
+
+/root/repo/target/debug/deps/fig15_single_kernel-adc45483c6ed8f94: crates/bench/benches/fig15_single_kernel.rs
+
+crates/bench/benches/fig15_single_kernel.rs:

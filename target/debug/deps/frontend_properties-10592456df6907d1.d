@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_properties-10592456df6907d1.d: tests/frontend_properties.rs
+
+/root/repo/target/debug/deps/frontend_properties-10592456df6907d1: tests/frontend_properties.rs
+
+tests/frontend_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_properties-af9aae7b0efd60db.d: tests/frontend_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_properties-af9aae7b0efd60db.rmeta: tests/frontend_properties.rs Cargo.toml
+
+tests/frontend_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

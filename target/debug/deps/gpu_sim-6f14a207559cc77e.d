@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpu_sim-6f14a207559cc77e.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+/root/repo/target/debug/deps/gpu_sim-6f14a207559cc77e: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/gantt.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/report.rs:
+crates/gpu-sim/src/sim.rs:

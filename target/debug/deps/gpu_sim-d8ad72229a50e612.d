@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpu_sim-d8ad72229a50e612.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+/root/repo/target/debug/deps/libgpu_sim-d8ad72229a50e612.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+/root/repo/target/debug/deps/libgpu_sim-d8ad72229a50e612.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/gantt.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/report.rs:
+crates/gpu-sim/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jit_differential-31d910ca8f671be6.d: tests/jit_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjit_differential-31d910ca8f671be6.rmeta: tests/jit_differential.rs Cargo.toml
+
+tests/jit_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

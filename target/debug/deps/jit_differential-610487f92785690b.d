@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jit_differential-610487f92785690b.d: tests/jit_differential.rs
+
+/root/repo/target/debug/deps/jit_differential-610487f92785690b: tests/jit_differential.rs
+
+tests/jit_differential.rs:

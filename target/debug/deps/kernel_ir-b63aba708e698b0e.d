@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/kernel_ir-b63aba708e698b0e.d: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+/root/repo/target/debug/deps/libkernel_ir-b63aba708e698b0e.rlib: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+/root/repo/target/debug/deps/libkernel_ir-b63aba708e698b0e.rmeta: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+crates/kernel-ir/src/lib.rs:
+crates/kernel-ir/src/analysis.rs:
+crates/kernel-ir/src/builder.rs:
+crates/kernel-ir/src/display.rs:
+crates/kernel-ir/src/error.rs:
+crates/kernel-ir/src/inline.rs:
+crates/kernel-ir/src/interp.rs:
+crates/kernel-ir/src/ir.rs:
+crates/kernel-ir/src/link.rs:
+crates/kernel-ir/src/profile.rs:
+crates/kernel-ir/src/types.rs:
+crates/kernel-ir/src/verify.rs:

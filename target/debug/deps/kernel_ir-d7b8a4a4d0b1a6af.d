@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/kernel_ir-d7b8a4a4d0b1a6af.d: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+/root/repo/target/debug/deps/kernel_ir-d7b8a4a4d0b1a6af: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+crates/kernel-ir/src/lib.rs:
+crates/kernel-ir/src/analysis.rs:
+crates/kernel-ir/src/builder.rs:
+crates/kernel-ir/src/display.rs:
+crates/kernel-ir/src/error.rs:
+crates/kernel-ir/src/inline.rs:
+crates/kernel-ir/src/interp.rs:
+crates/kernel-ir/src/ir.rs:
+crates/kernel-ir/src/link.rs:
+crates/kernel-ir/src/profile.rs:
+crates/kernel-ir/src/types.rs:
+crates/kernel-ir/src/verify.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/kernel_ir-f6d8187821e7de68.d: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_ir-f6d8187821e7de68.rmeta: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs Cargo.toml
+
+crates/kernel-ir/src/lib.rs:
+crates/kernel-ir/src/analysis.rs:
+crates/kernel-ir/src/builder.rs:
+crates/kernel-ir/src/display.rs:
+crates/kernel-ir/src/error.rs:
+crates/kernel-ir/src/inline.rs:
+crates/kernel-ir/src/interp.rs:
+crates/kernel-ir/src/ir.rs:
+crates/kernel-ir/src/link.rs:
+crates/kernel-ir/src/profile.rs:
+crates/kernel-ir/src/types.rs:
+crates/kernel-ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/minicl-204be1c20a4a82c5.d: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+/root/repo/target/debug/deps/minicl-204be1c20a4a82c5: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+crates/minicl/src/lib.rs:
+crates/minicl/src/ast.rs:
+crates/minicl/src/error.rs:
+crates/minicl/src/lower.rs:
+crates/minicl/src/parser.rs:
+crates/minicl/src/token.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/minicl-352a64a7961042ed.d: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+/root/repo/target/debug/deps/libminicl-352a64a7961042ed.rlib: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+/root/repo/target/debug/deps/libminicl-352a64a7961042ed.rmeta: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+crates/minicl/src/lib.rs:
+crates/minicl/src/ast.rs:
+crates/minicl/src/error.rs:
+crates/minicl/src/lower.rs:
+crates/minicl/src/parser.rs:
+crates/minicl/src/token.rs:

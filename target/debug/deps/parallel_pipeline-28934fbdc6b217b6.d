@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_pipeline-28934fbdc6b217b6.d: tests/parallel_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_pipeline-28934fbdc6b217b6.rmeta: tests/parallel_pipeline.rs Cargo.toml
+
+tests/parallel_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

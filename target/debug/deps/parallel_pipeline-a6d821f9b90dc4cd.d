@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_pipeline-a6d821f9b90dc4cd.d: tests/parallel_pipeline.rs
+
+/root/repo/target/debug/deps/parallel_pipeline-a6d821f9b90dc4cd: tests/parallel_pipeline.rs
+
+tests/parallel_pipeline.rs:

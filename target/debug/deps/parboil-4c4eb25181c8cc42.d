@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parboil-4c4eb25181c8cc42.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+/root/repo/target/debug/deps/parboil-4c4eb25181c8cc42: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:

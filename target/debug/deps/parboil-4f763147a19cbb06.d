@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parboil-4f763147a19cbb06.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+/root/repo/target/debug/deps/libparboil-4f763147a19cbb06.rlib: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+/root/repo/target/debug/deps/libparboil-4f763147a19cbb06.rmeta: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:

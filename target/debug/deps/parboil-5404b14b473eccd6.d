@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parboil-5404b14b473eccd6.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparboil-5404b14b473eccd6.rmeta: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs Cargo.toml
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

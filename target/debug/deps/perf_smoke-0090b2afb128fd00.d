@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_smoke-0090b2afb128fd00.d: crates/bench/benches/perf_smoke.rs
+
+/root/repo/target/debug/deps/perf_smoke-0090b2afb128fd00: crates/bench/benches/perf_smoke.rs
+
+crates/bench/benches/perf_smoke.rs:

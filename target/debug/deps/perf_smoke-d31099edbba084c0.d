@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_smoke-d31099edbba084c0.d: crates/bench/benches/perf_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_smoke-d31099edbba084c0.rmeta: crates/bench/benches/perf_smoke.rs Cargo.toml
+
+crates/bench/benches/perf_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

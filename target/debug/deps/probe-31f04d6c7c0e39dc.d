@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-31f04d6c7c0e39dc.d: crates/harness/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-31f04d6c7c0e39dc: crates/harness/src/bin/probe.rs
+
+crates/harness/src/bin/probe.rs:

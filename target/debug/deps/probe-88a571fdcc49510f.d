@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-88a571fdcc49510f.d: crates/harness/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-88a571fdcc49510f: crates/harness/src/bin/probe.rs
+
+crates/harness/src/bin/probe.rs:

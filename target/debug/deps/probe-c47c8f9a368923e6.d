@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-c47c8f9a368923e6.d: crates/harness/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-c47c8f9a368923e6.rmeta: crates/harness/src/bin/probe.rs Cargo.toml
+
+crates/harness/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-6d872634fbb87161.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6d872634fbb87161.rlib: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-6d872634fbb87161.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-97b3f78e8314b68c.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-97b3f78e8314b68c: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

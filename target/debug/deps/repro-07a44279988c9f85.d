@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-07a44279988c9f85.d: crates/harness/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-07a44279988c9f85.rmeta: crates/harness/src/bin/repro.rs Cargo.toml
+
+crates/harness/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-5bcf3a876509a51f.d: crates/harness/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-5bcf3a876509a51f.rmeta: crates/harness/src/bin/repro.rs Cargo.toml
+
+crates/harness/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

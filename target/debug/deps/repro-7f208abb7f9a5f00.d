@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7f208abb7f9a5f00.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7f208abb7f9a5f00: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

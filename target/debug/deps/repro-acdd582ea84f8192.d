@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-acdd582ea84f8192.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-acdd582ea84f8192: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

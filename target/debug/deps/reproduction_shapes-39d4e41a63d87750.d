@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction_shapes-39d4e41a63d87750.d: tests/reproduction_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction_shapes-39d4e41a63d87750.rmeta: tests/reproduction_shapes.rs Cargo.toml
+
+tests/reproduction_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

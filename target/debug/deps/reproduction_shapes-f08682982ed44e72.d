@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-f08682982ed44e72.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-f08682982ed44e72: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

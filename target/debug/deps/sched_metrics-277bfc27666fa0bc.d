@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sched_metrics-277bfc27666fa0bc.d: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_metrics-277bfc27666fa0bc.rmeta: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs Cargo.toml
+
+crates/sched-metrics/src/lib.rs:
+crates/sched-metrics/src/fairness.rs:
+crates/sched-metrics/src/intervals.rs:
+crates/sched-metrics/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sched_metrics-bfffa99ff126326e.d: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_metrics-bfffa99ff126326e.rmeta: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs Cargo.toml
+
+crates/sched-metrics/src/lib.rs:
+crates/sched-metrics/src/fairness.rs:
+crates/sched-metrics/src/intervals.rs:
+crates/sched-metrics/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

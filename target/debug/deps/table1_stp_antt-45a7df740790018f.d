@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_stp_antt-45a7df740790018f.d: crates/bench/benches/table1_stp_antt.rs
+
+/root/repo/target/debug/deps/table1_stp_antt-45a7df740790018f: crates/bench/benches/table1_stp_antt.rs
+
+crates/bench/benches/table1_stp_antt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_stp_antt-d957b74e88170d2d.d: crates/bench/benches/table1_stp_antt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_stp_antt-d957b74e88170d2d.rmeta: crates/bench/benches/table1_stp_antt.rs Cargo.toml
+
+crates/bench/benches/table1_stp_antt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

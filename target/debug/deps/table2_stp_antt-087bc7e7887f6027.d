@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_stp_antt-087bc7e7887f6027.d: crates/bench/benches/table2_stp_antt.rs
+
+/root/repo/target/debug/deps/table2_stp_antt-087bc7e7887f6027: crates/bench/benches/table2_stp_antt.rs
+
+crates/bench/benches/table2_stp_antt.rs:

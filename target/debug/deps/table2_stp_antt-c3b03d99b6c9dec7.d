@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_stp_antt-c3b03d99b6c9dec7.d: crates/bench/benches/table2_stp_antt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_stp_antt-c3b03d99b6c9dec7.rmeta: crates/bench/benches/table2_stp_antt.rs Cargo.toml
+
+crates/bench/benches/table2_stp_antt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

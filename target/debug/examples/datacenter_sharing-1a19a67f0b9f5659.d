@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter_sharing-1a19a67f0b9f5659.d: examples/datacenter_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter_sharing-1a19a67f0b9f5659.rmeta: examples/datacenter_sharing.rs Cargo.toml
+
+examples/datacenter_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

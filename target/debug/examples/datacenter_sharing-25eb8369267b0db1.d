@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_sharing-25eb8369267b0db1.d: examples/datacenter_sharing.rs
+
+/root/repo/target/debug/examples/datacenter_sharing-25eb8369267b0db1: examples/datacenter_sharing.rs
+
+examples/datacenter_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e01eb0ee07fdbdc6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e01eb0ee07fdbdc6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sharing_timeline-7df8ee8f191216f4.d: examples/sharing_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsharing_timeline-7df8ee8f191216f4.rmeta: examples/sharing_timeline.rs Cargo.toml
+
+examples/sharing_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sharing_timeline-a8fd348c69dd3656.d: examples/sharing_timeline.rs
+
+/root/repo/target/debug/examples/sharing_timeline-a8fd348c69dd3656: examples/sharing_timeline.rs
+
+examples/sharing_timeline.rs:

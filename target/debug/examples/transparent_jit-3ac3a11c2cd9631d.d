@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transparent_jit-3ac3a11c2cd9631d.d: examples/transparent_jit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransparent_jit-3ac3a11c2cd9631d.rmeta: examples/transparent_jit.rs Cargo.toml
+
+examples/transparent_jit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

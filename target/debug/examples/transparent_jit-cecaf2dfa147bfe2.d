@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transparent_jit-cecaf2dfa147bfe2.d: examples/transparent_jit.rs
+
+/root/repo/target/debug/examples/transparent_jit-cecaf2dfa147bfe2: examples/transparent_jit.rs
+
+examples/transparent_jit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weighted_sharing-30d42b090d66ce9b.d: examples/weighted_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweighted_sharing-30d42b090d66ce9b.rmeta: examples/weighted_sharing.rs Cargo.toml
+
+examples/weighted_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

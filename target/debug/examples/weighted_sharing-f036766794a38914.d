@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_sharing-f036766794a38914.d: examples/weighted_sharing.rs
+
+/root/repo/target/debug/examples/weighted_sharing-f036766794a38914: examples/weighted_sharing.rs
+
+examples/weighted_sharing.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librayon.rlib: /root/repo/crates/compat/rayon/src/lib.rs

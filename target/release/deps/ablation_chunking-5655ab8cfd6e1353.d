@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_chunking-5655ab8cfd6e1353.d: crates/bench/benches/ablation_chunking.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_chunking-5655ab8cfd6e1353.rmeta: crates/bench/benches/ablation_chunking.rs Cargo.toml
+
+crates/bench/benches/ablation_chunking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accel_bench-0a598bc927dfa09a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/accel_bench-0a598bc927dfa09a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accel_bench-439954b4f7a808be.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccel_bench-439954b4f7a808be.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

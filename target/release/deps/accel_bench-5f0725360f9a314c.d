@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accel_bench-5f0725360f9a314c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccel_bench-5f0725360f9a314c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaccel_bench-5f0725360f9a314c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accel_bench-dbf6d400f114557d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccel_bench-dbf6d400f114557d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

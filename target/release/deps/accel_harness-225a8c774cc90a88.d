@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/accel_harness-225a8c774cc90a88.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+/root/repo/target/release/deps/libaccel_harness-225a8c774cc90a88.rlib: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+/root/repo/target/release/deps/libaccel_harness-225a8c774cc90a88.rmeta: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:

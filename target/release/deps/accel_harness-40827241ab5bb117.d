@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/accel_harness-40827241ab5bb117.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+/root/repo/target/release/deps/accel_harness-40827241ab5bb117: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accel_harness-53a16a25ce1edebf.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccel_harness-53a16a25ce1edebf.rmeta: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

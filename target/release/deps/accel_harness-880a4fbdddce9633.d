@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accel_harness-880a4fbdddce9633.d: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccel_harness-880a4fbdddce9633.rmeta: crates/harness/src/lib.rs crates/harness/src/experiments.rs crates/harness/src/runner.rs crates/harness/src/workloads.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/experiments.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

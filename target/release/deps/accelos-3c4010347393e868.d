@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/accelos-3c4010347393e868.d: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelos-3c4010347393e868.rmeta: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chunk.rs:
+crates/core/src/jit.rs:
+crates/core/src/memory.rs:
+crates/core/src/proxycl.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/vrange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

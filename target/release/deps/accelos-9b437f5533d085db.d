@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accelos-9b437f5533d085db.d: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+/root/repo/target/release/deps/accelos-9b437f5533d085db: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chunk.rs:
+crates/core/src/jit.rs:
+crates/core/src/memory.rs:
+crates/core/src/proxycl.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/vrange.rs:

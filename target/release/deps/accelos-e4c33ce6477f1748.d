@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accelos-e4c33ce6477f1748.d: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+/root/repo/target/release/deps/libaccelos-e4c33ce6477f1748.rlib: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+/root/repo/target/release/deps/libaccelos-e4c33ce6477f1748.rmeta: crates/core/src/lib.rs crates/core/src/chunk.rs crates/core/src/jit.rs crates/core/src/memory.rs crates/core/src/proxycl.rs crates/core/src/resource.rs crates/core/src/scheduler.rs crates/core/src/vrange.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chunk.rs:
+crates/core/src/jit.rs:
+crates/core/src/memory.rs:
+crates/core/src/proxycl.rs:
+crates/core/src/resource.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/vrange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accelos_repro-362de5cf52bdc32f.d: src/lib.rs
+
+/root/repo/target/release/deps/accelos_repro-362de5cf52bdc32f: src/lib.rs
+
+src/lib.rs:

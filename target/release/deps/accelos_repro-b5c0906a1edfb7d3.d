@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accelos_repro-b5c0906a1edfb7d3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelos_repro-b5c0906a1edfb7d3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

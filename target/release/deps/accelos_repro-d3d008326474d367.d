@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/accelos_repro-d3d008326474d367.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccelos_repro-d3d008326474d367.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/accelos_repro-df77a82c9e5083f3.d: src/lib.rs
+
+/root/repo/target/release/deps/libaccelos_repro-df77a82c9e5083f3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaccelos_repro-df77a82c9e5083f3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_pr1-2b2745837d64d2ac.d: crates/bench/src/bin/bench_pr1.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_pr1-2b2745837d64d2ac.rmeta: crates/bench/src/bin/bench_pr1.rs Cargo.toml
+
+crates/bench/src/bin/bench_pr1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

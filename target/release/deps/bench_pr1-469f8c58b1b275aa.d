@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pr1-469f8c58b1b275aa.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/release/deps/bench_pr1-469f8c58b1b275aa: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pr1-9f4da11e23a639c0.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/release/deps/bench_pr1-9f4da11e23a639c0: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/clrt-6b4eac9f29836a5d.d: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs Cargo.toml
+
+/root/repo/target/release/deps/libclrt-6b4eac9f29836a5d.rmeta: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs Cargo.toml
+
+crates/clrt/src/lib.rs:
+crates/clrt/src/context.rs:
+crates/clrt/src/error.rs:
+crates/clrt/src/platform.rs:
+crates/clrt/src/program.rs:
+crates/clrt/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/clrt-9a25bbfe1a2f5091.d: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+/root/repo/target/release/deps/libclrt-9a25bbfe1a2f5091.rlib: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+/root/repo/target/release/deps/libclrt-9a25bbfe1a2f5091.rmeta: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+crates/clrt/src/lib.rs:
+crates/clrt/src/context.rs:
+crates/clrt/src/error.rs:
+crates/clrt/src/platform.rs:
+crates/clrt/src/program.rs:
+crates/clrt/src/queue.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/clrt-f5339c76fe709676.d: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+/root/repo/target/release/deps/clrt-f5339c76fe709676: crates/clrt/src/lib.rs crates/clrt/src/context.rs crates/clrt/src/error.rs crates/clrt/src/platform.rs crates/clrt/src/program.rs crates/clrt/src/queue.rs
+
+crates/clrt/src/lib.rs:
+crates/clrt/src/context.rs:
+crates/clrt/src/error.rs:
+crates/clrt/src/platform.rs:
+crates/clrt/src/program.rs:
+crates/clrt/src/queue.rs:

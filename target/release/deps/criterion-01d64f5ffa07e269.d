@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-01d64f5ffa07e269.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-01d64f5ffa07e269: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

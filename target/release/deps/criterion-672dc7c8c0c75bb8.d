@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-672dc7c8c0c75bb8.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-672dc7c8c0c75bb8.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

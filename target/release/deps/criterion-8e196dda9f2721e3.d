@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8e196dda9f2721e3.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8e196dda9f2721e3.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8e196dda9f2721e3.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

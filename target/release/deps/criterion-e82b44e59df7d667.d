@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-e82b44e59df7d667.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-e82b44e59df7d667.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

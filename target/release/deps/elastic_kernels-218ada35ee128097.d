@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/elastic_kernels-218ada35ee128097.d: crates/elastic-kernels/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libelastic_kernels-218ada35ee128097.rmeta: crates/elastic-kernels/src/lib.rs Cargo.toml
+
+crates/elastic-kernels/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

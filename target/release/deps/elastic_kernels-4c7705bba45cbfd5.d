@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/elastic_kernels-4c7705bba45cbfd5.d: crates/elastic-kernels/src/lib.rs
+
+/root/repo/target/release/deps/libelastic_kernels-4c7705bba45cbfd5.rlib: crates/elastic-kernels/src/lib.rs
+
+/root/repo/target/release/deps/libelastic_kernels-4c7705bba45cbfd5.rmeta: crates/elastic-kernels/src/lib.rs
+
+crates/elastic-kernels/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/elastic_kernels-b296557f8a553980.d: crates/elastic-kernels/src/lib.rs
+
+/root/repo/target/release/deps/elastic_kernels-b296557f8a553980: crates/elastic-kernels/src/lib.rs
+
+crates/elastic-kernels/src/lib.rs:

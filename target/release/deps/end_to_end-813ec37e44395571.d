@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-813ec37e44395571.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-813ec37e44395571: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02_motivation-b0f33bcbba4713ae.d: crates/bench/benches/fig02_motivation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02_motivation-b0f33bcbba4713ae.rmeta: crates/bench/benches/fig02_motivation.rs Cargo.toml
+
+crates/bench/benches/fig02_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

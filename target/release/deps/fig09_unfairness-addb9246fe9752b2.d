@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_unfairness-addb9246fe9752b2.d: crates/bench/benches/fig09_unfairness.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_unfairness-addb9246fe9752b2.rmeta: crates/bench/benches/fig09_unfairness.rs Cargo.toml
+
+crates/bench/benches/fig09_unfairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

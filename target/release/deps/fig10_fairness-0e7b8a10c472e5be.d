@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_fairness-0e7b8a10c472e5be.d: crates/bench/benches/fig10_fairness.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_fairness-0e7b8a10c472e5be.rmeta: crates/bench/benches/fig10_fairness.rs Cargo.toml
+
+crates/bench/benches/fig10_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_pairs-377f856df67d0142.d: crates/bench/benches/fig11_pairs.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_pairs-377f856df67d0142.rmeta: crates/bench/benches/fig11_pairs.rs Cargo.toml
+
+crates/bench/benches/fig11_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_overlap-459bed6a146a04f1.d: crates/bench/benches/fig12_overlap.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_overlap-459bed6a146a04f1.rmeta: crates/bench/benches/fig12_overlap.rs Cargo.toml
+
+crates/bench/benches/fig12_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13_throughput-aa28f33487c96fc8.d: crates/bench/benches/fig13_throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13_throughput-aa28f33487c96fc8.rmeta: crates/bench/benches/fig13_throughput.rs Cargo.toml
+
+crates/bench/benches/fig13_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14_throughput_dist-6aa76b02cfa2b2a1.d: crates/bench/benches/fig14_throughput_dist.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14_throughput_dist-6aa76b02cfa2b2a1.rmeta: crates/bench/benches/fig14_throughput_dist.rs Cargo.toml
+
+crates/bench/benches/fig14_throughput_dist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15_single_kernel-c3cfedb9d36ef2d1.d: crates/bench/benches/fig15_single_kernel.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15_single_kernel-c3cfedb9d36ef2d1.rmeta: crates/bench/benches/fig15_single_kernel.rs Cargo.toml
+
+crates/bench/benches/fig15_single_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontend_properties-56a0bf41866b7886.d: tests/frontend_properties.rs
+
+/root/repo/target/release/deps/frontend_properties-56a0bf41866b7886: tests/frontend_properties.rs
+
+tests/frontend_properties.rs:

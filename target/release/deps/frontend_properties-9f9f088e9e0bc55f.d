@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/frontend_properties-9f9f088e9e0bc55f.d: tests/frontend_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libfrontend_properties-9f9f088e9e0bc55f.rmeta: tests/frontend_properties.rs Cargo.toml
+
+tests/frontend_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

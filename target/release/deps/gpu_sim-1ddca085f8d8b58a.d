@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gpu_sim-1ddca085f8d8b58a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+/root/repo/target/release/deps/gpu_sim-1ddca085f8d8b58a: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/gantt.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/report.rs:
+crates/gpu-sim/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gpu_sim-8f8d3d15512e1e50.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libgpu_sim-8f8d3d15512e1e50.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/gantt.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/report.rs:
+crates/gpu-sim/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpu_sim-96d7587377fc301a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+/root/repo/target/release/deps/libgpu_sim-96d7587377fc301a.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+/root/repo/target/release/deps/libgpu_sim-96d7587377fc301a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/gantt.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/report.rs crates/gpu-sim/src/sim.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/gantt.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/report.rs:
+crates/gpu-sim/src/sim.rs:

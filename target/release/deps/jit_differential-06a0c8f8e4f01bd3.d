@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/jit_differential-06a0c8f8e4f01bd3.d: tests/jit_differential.rs
+
+/root/repo/target/release/deps/jit_differential-06a0c8f8e4f01bd3: tests/jit_differential.rs
+
+tests/jit_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/jit_differential-94c35cef12fc18ac.d: tests/jit_differential.rs Cargo.toml
+
+/root/repo/target/release/deps/libjit_differential-94c35cef12fc18ac.rmeta: tests/jit_differential.rs Cargo.toml
+
+tests/jit_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

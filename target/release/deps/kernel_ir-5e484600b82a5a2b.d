@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/kernel_ir-5e484600b82a5a2b.d: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs Cargo.toml
+
+/root/repo/target/release/deps/libkernel_ir-5e484600b82a5a2b.rmeta: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs Cargo.toml
+
+crates/kernel-ir/src/lib.rs:
+crates/kernel-ir/src/analysis.rs:
+crates/kernel-ir/src/builder.rs:
+crates/kernel-ir/src/display.rs:
+crates/kernel-ir/src/error.rs:
+crates/kernel-ir/src/inline.rs:
+crates/kernel-ir/src/interp.rs:
+crates/kernel-ir/src/ir.rs:
+crates/kernel-ir/src/link.rs:
+crates/kernel-ir/src/profile.rs:
+crates/kernel-ir/src/types.rs:
+crates/kernel-ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/kernel_ir-b28b0a0fa12e4914.d: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+/root/repo/target/release/deps/kernel_ir-b28b0a0fa12e4914: crates/kernel-ir/src/lib.rs crates/kernel-ir/src/analysis.rs crates/kernel-ir/src/builder.rs crates/kernel-ir/src/display.rs crates/kernel-ir/src/error.rs crates/kernel-ir/src/inline.rs crates/kernel-ir/src/interp.rs crates/kernel-ir/src/ir.rs crates/kernel-ir/src/link.rs crates/kernel-ir/src/profile.rs crates/kernel-ir/src/types.rs crates/kernel-ir/src/verify.rs
+
+crates/kernel-ir/src/lib.rs:
+crates/kernel-ir/src/analysis.rs:
+crates/kernel-ir/src/builder.rs:
+crates/kernel-ir/src/display.rs:
+crates/kernel-ir/src/error.rs:
+crates/kernel-ir/src/inline.rs:
+crates/kernel-ir/src/interp.rs:
+crates/kernel-ir/src/ir.rs:
+crates/kernel-ir/src/link.rs:
+crates/kernel-ir/src/profile.rs:
+crates/kernel-ir/src/types.rs:
+crates/kernel-ir/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/minicl-10fde38f2d47cd73.d: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs Cargo.toml
+
+/root/repo/target/release/deps/libminicl-10fde38f2d47cd73.rmeta: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs Cargo.toml
+
+crates/minicl/src/lib.rs:
+crates/minicl/src/ast.rs:
+crates/minicl/src/error.rs:
+crates/minicl/src/lower.rs:
+crates/minicl/src/parser.rs:
+crates/minicl/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

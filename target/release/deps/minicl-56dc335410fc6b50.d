@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/minicl-56dc335410fc6b50.d: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+/root/repo/target/release/deps/libminicl-56dc335410fc6b50.rlib: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+/root/repo/target/release/deps/libminicl-56dc335410fc6b50.rmeta: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+crates/minicl/src/lib.rs:
+crates/minicl/src/ast.rs:
+crates/minicl/src/error.rs:
+crates/minicl/src/lower.rs:
+crates/minicl/src/parser.rs:
+crates/minicl/src/token.rs:

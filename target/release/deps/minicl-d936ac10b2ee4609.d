@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/minicl-d936ac10b2ee4609.d: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+/root/repo/target/release/deps/minicl-d936ac10b2ee4609: crates/minicl/src/lib.rs crates/minicl/src/ast.rs crates/minicl/src/error.rs crates/minicl/src/lower.rs crates/minicl/src/parser.rs crates/minicl/src/token.rs
+
+crates/minicl/src/lib.rs:
+crates/minicl/src/ast.rs:
+crates/minicl/src/error.rs:
+crates/minicl/src/lower.rs:
+crates/minicl/src/parser.rs:
+crates/minicl/src/token.rs:

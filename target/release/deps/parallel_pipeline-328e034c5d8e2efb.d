@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_pipeline-328e034c5d8e2efb.d: tests/parallel_pipeline.rs
+
+/root/repo/target/release/deps/parallel_pipeline-328e034c5d8e2efb: tests/parallel_pipeline.rs
+
+tests/parallel_pipeline.rs:

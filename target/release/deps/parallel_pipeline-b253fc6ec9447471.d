@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_pipeline-b253fc6ec9447471.d: tests/parallel_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_pipeline-b253fc6ec9447471.rmeta: tests/parallel_pipeline.rs Cargo.toml
+
+tests/parallel_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

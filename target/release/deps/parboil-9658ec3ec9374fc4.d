@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/parboil-9658ec3ec9374fc4.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs Cargo.toml
+
+/root/repo/target/release/deps/libparboil-9658ec3ec9374fc4.rmeta: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs Cargo.toml
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

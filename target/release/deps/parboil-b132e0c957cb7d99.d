@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parboil-b132e0c957cb7d99.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+/root/repo/target/release/deps/parboil-b132e0c957cb7d99: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:

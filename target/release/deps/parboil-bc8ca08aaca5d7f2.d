@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/parboil-bc8ca08aaca5d7f2.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs Cargo.toml
+
+/root/repo/target/release/deps/libparboil-bc8ca08aaca5d7f2.rmeta: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs Cargo.toml
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

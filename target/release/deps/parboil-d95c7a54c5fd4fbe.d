@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parboil-d95c7a54c5fd4fbe.d: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+/root/repo/target/release/deps/libparboil-d95c7a54c5fd4fbe.rlib: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+/root/repo/target/release/deps/libparboil-d95c7a54c5fd4fbe.rmeta: crates/parboil/src/lib.rs crates/parboil/src/datasets.rs crates/parboil/src/sources.rs
+
+crates/parboil/src/lib.rs:
+crates/parboil/src/datasets.rs:
+crates/parboil/src/sources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perf_smoke-53a45d5551521502.d: crates/bench/benches/perf_smoke.rs Cargo.toml
+
+/root/repo/target/release/deps/libperf_smoke-53a45d5551521502.rmeta: crates/bench/benches/perf_smoke.rs Cargo.toml
+
+crates/bench/benches/perf_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_smoke-60f5ec1bf4c293bb.d: crates/bench/benches/perf_smoke.rs
+
+/root/repo/target/release/deps/perf_smoke-60f5ec1bf4c293bb: crates/bench/benches/perf_smoke.rs
+
+crates/bench/benches/perf_smoke.rs:

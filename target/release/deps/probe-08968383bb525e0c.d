@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/probe-08968383bb525e0c.d: crates/harness/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/release/deps/libprobe-08968383bb525e0c.rmeta: crates/harness/src/bin/probe.rs Cargo.toml
+
+crates/harness/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

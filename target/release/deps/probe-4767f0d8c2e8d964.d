@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-4767f0d8c2e8d964.d: crates/harness/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-4767f0d8c2e8d964: crates/harness/src/bin/probe.rs
+
+crates/harness/src/bin/probe.rs:

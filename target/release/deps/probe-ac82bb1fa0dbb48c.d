@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-ac82bb1fa0dbb48c.d: crates/harness/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-ac82bb1fa0dbb48c: crates/harness/src/bin/probe.rs
+
+crates/harness/src/bin/probe.rs:

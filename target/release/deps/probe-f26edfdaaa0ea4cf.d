@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/probe-f26edfdaaa0ea4cf.d: crates/harness/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/release/deps/libprobe-f26edfdaaa0ea4cf.rmeta: crates/harness/src/bin/probe.rs Cargo.toml
+
+crates/harness/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-9fff6f4849cc084f.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-9fff6f4849cc084f.rlib: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-9fff6f4849cc084f.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:

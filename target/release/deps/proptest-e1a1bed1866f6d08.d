@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-e1a1bed1866f6d08.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-e1a1bed1866f6d08.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs Cargo.toml
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-3ee1313ec39a0cb5.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-3ee1313ec39a0cb5.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-de0a3a9bada7b57a.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-de0a3a9bada7b57a: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-2d4f9347f0a18e6d.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-2d4f9347f0a18e6d.rlib: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-2d4f9347f0a18e6d.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-646092a17026eba5.d: crates/compat/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-646092a17026eba5.rmeta: crates/compat/rayon/src/lib.rs Cargo.toml
+
+crates/compat/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

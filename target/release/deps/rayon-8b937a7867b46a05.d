@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-8b937a7867b46a05.d: crates/compat/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-8b937a7867b46a05.rmeta: crates/compat/rayon/src/lib.rs Cargo.toml
+
+crates/compat/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

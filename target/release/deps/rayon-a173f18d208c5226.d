@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-a173f18d208c5226.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-a173f18d208c5226: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-548b8fb2dd4834d7.d: crates/harness/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-548b8fb2dd4834d7.rmeta: crates/harness/src/bin/repro.rs Cargo.toml
+
+crates/harness/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

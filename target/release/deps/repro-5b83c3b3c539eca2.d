@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-5b83c3b3c539eca2.d: crates/harness/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-5b83c3b3c539eca2.rmeta: crates/harness/src/bin/repro.rs Cargo.toml
+
+crates/harness/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5f0278b75016e260.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5f0278b75016e260: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

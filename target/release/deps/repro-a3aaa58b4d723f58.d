@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-a3aaa58b4d723f58.d: crates/harness/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-a3aaa58b4d723f58: crates/harness/src/bin/repro.rs
+
+crates/harness/src/bin/repro.rs:

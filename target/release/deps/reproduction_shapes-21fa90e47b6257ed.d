@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduction_shapes-21fa90e47b6257ed.d: tests/reproduction_shapes.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduction_shapes-21fa90e47b6257ed.rmeta: tests/reproduction_shapes.rs Cargo.toml
+
+tests/reproduction_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

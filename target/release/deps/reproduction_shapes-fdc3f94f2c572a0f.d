@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction_shapes-fdc3f94f2c572a0f.d: tests/reproduction_shapes.rs
+
+/root/repo/target/release/deps/reproduction_shapes-fdc3f94f2c572a0f: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

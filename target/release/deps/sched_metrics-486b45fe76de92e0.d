@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sched_metrics-486b45fe76de92e0.d: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libsched_metrics-486b45fe76de92e0.rmeta: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs Cargo.toml
+
+crates/sched-metrics/src/lib.rs:
+crates/sched-metrics/src/fairness.rs:
+crates/sched-metrics/src/intervals.rs:
+crates/sched-metrics/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sched_metrics-83ef8f7c6e74d52c.d: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs
+
+/root/repo/target/release/deps/libsched_metrics-83ef8f7c6e74d52c.rlib: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs
+
+/root/repo/target/release/deps/libsched_metrics-83ef8f7c6e74d52c.rmeta: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs
+
+crates/sched-metrics/src/lib.rs:
+crates/sched-metrics/src/fairness.rs:
+crates/sched-metrics/src/intervals.rs:
+crates/sched-metrics/src/throughput.rs:

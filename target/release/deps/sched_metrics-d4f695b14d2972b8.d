@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sched_metrics-d4f695b14d2972b8.d: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs
+
+/root/repo/target/release/deps/sched_metrics-d4f695b14d2972b8: crates/sched-metrics/src/lib.rs crates/sched-metrics/src/fairness.rs crates/sched-metrics/src/intervals.rs crates/sched-metrics/src/throughput.rs
+
+crates/sched-metrics/src/lib.rs:
+crates/sched-metrics/src/fairness.rs:
+crates/sched-metrics/src/intervals.rs:
+crates/sched-metrics/src/throughput.rs:

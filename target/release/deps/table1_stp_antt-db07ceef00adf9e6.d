@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_stp_antt-db07ceef00adf9e6.d: crates/bench/benches/table1_stp_antt.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_stp_antt-db07ceef00adf9e6.rmeta: crates/bench/benches/table1_stp_antt.rs Cargo.toml
+
+crates/bench/benches/table1_stp_antt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

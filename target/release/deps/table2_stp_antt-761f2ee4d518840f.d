@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2_stp_antt-761f2ee4d518840f.d: crates/bench/benches/table2_stp_antt.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2_stp_antt-761f2ee4d518840f.rmeta: crates/bench/benches/table2_stp_antt.rs Cargo.toml
+
+crates/bench/benches/table2_stp_antt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/datacenter_sharing-782fdca15f4a4f16.d: examples/datacenter_sharing.rs Cargo.toml
+
+/root/repo/target/release/examples/libdatacenter_sharing-782fdca15f4a4f16.rmeta: examples/datacenter_sharing.rs Cargo.toml
+
+examples/datacenter_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

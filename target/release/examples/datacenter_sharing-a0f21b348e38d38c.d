@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/datacenter_sharing-a0f21b348e38d38c.d: examples/datacenter_sharing.rs
+
+/root/repo/target/release/examples/datacenter_sharing-a0f21b348e38d38c: examples/datacenter_sharing.rs
+
+examples/datacenter_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0d9aba54be5231f0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0d9aba54be5231f0: examples/quickstart.rs
+
+examples/quickstart.rs:

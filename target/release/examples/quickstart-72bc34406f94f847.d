@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-72bc34406f94f847.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-72bc34406f94f847.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

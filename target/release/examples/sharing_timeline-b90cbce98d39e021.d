@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sharing_timeline-b90cbce98d39e021.d: examples/sharing_timeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libsharing_timeline-b90cbce98d39e021.rmeta: examples/sharing_timeline.rs Cargo.toml
+
+examples/sharing_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sharing_timeline-eafa0eff6608520d.d: examples/sharing_timeline.rs
+
+/root/repo/target/release/examples/sharing_timeline-eafa0eff6608520d: examples/sharing_timeline.rs
+
+examples/sharing_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transparent_jit-c0f0755008a47789.d: examples/transparent_jit.rs
+
+/root/repo/target/release/examples/transparent_jit-c0f0755008a47789: examples/transparent_jit.rs
+
+examples/transparent_jit.rs:

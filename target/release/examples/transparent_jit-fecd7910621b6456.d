@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/transparent_jit-fecd7910621b6456.d: examples/transparent_jit.rs Cargo.toml
+
+/root/repo/target/release/examples/libtransparent_jit-fecd7910621b6456.rmeta: examples/transparent_jit.rs Cargo.toml
+
+examples/transparent_jit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weighted_sharing-672e273b753b2c34.d: examples/weighted_sharing.rs
+
+/root/repo/target/release/examples/weighted_sharing-672e273b753b2c34: examples/weighted_sharing.rs
+
+examples/weighted_sharing.rs:

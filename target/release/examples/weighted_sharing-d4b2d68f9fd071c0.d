@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/weighted_sharing-d4b2d68f9fd071c0.d: examples/weighted_sharing.rs Cargo.toml
+
+/root/repo/target/release/examples/libweighted_sharing-d4b2d68f9fd071c0.rmeta: examples/weighted_sharing.rs Cargo.toml
+
+examples/weighted_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

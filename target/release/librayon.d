@@ -1,0 +1,1 @@
+/root/repo/target/release/librayon.rlib: /root/repo/crates/compat/rayon/src/lib.rs
