@@ -11,9 +11,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let runner = k20m_runner();
     let cfg = perf_smoke_config();
+    let set = accelos::policy::PolicySet::paper();
     print_once("perf_smoke", || {
-        let par = sweep(runner, &cfg, 4);
-        let seq = sweep_seq(runner, &cfg, 4);
+        let par = sweep(runner, &set, &cfg, 4);
+        let seq = sweep_seq(runner, &set, &cfg, 4);
         assert_eq!(
             par, seq,
             "parallel sweep must be bit-identical to sequential"
@@ -29,10 +30,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("perf_smoke");
     g.sample_size(10);
     g.bench_function("sweep_seq_4rq", |b| {
-        b.iter(|| std::hint::black_box(sweep_seq(runner, &cfg, 4)))
+        b.iter(|| std::hint::black_box(sweep_seq(runner, &set, &cfg, 4)))
     });
     g.bench_function("sweep_par_4rq", |b| {
-        b.iter(|| std::hint::black_box(sweep(runner, &cfg, 4)))
+        b.iter(|| std::hint::black_box(sweep(runner, &set, &cfg, 4)))
     });
     g.finish();
 }

@@ -1,13 +1,13 @@
-//! `bench_pr1` — record the PR-1 perf-trajectory point.
+//! `bench_pr2` — record the PR-2 perf-trajectory point.
 //!
-//! Runs the frozen fig. 10-style sweep (see
-//! [`accel_bench::perf_smoke_config`]) through the sequential reference
-//! path and the parallel pipeline on each request size {2, 4, 8}, verifies
-//! the outputs are bit-identical, and writes the wall-clock record to
-//! `BENCH_pr1.json` (CWD). Future PRs emit `BENCH_pr<N>.json` next to it,
-//! giving the repo a perf trajectory that is trivial to diff.
+//! Same frozen fig. 10-style sweep as `BENCH_pr1.json` (see
+//! [`accel_bench::perf_smoke_config`]), now running through the
+//! `SchedulingPolicy` objects and the shared per-repetition `RepContext`
+//! sessions this PR introduced. As before, the sequential reference and
+//! the parallel pipeline are cross-checked bit-identical before timing;
+//! the record lands in `BENCH_pr2.json` (CWD).
 //!
-//! Usage: `cargo run --release -p accel-bench --bin bench_pr1`
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr2`
 
 use accel_bench::{k20m_runner, perf_smoke_config};
 use accel_harness::experiments::{sweep, sweep_seq, Sweep};
@@ -50,8 +50,10 @@ fn main() {
     let total_par: f64 = rows.iter().map(|r| r.2).sum();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"pr\": 1,\n");
-    json.push_str("  \"bench\": \"perf_smoke fig10-style sweep (K20m preset)\",\n");
+    json.push_str("  \"pr\": 2,\n");
+    json.push_str(
+        "  \"bench\": \"perf_smoke fig10-style sweep (K20m preset, policy objects + RepContext sessions)\",\n",
+    );
     let _ = writeln!(
         json,
         "  \"config\": {{ \"pairs\": {}, \"n4\": {}, \"n8\": {}, \"reps\": {}, \"seed\": {} }},",
@@ -75,6 +77,6 @@ fn main() {
     );
     json.push_str("}\n");
 
-    std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
-    println!("wrote BENCH_pr1.json");
+    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    println!("wrote BENCH_pr2.json");
 }

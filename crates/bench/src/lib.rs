@@ -87,12 +87,13 @@ pub fn sweep_view_bench(
 ) {
     use accel_harness::experiments::{sweep, DeviceSweeps};
     let cfg = bench_config();
+    let set = accelos::policy::PolicySet::paper();
     print_once(key, || {
         let ds = DeviceSweeps {
             sizes: vec![
-                sweep(runner, &cfg, 2),
-                sweep(runner, &cfg, 4),
-                sweep(runner, &cfg, 8),
+                sweep(runner, &set, &cfg, 2),
+                sweep(runner, &set, &cfg, 4),
+                sweep(runner, &set, &cfg, 8),
             ],
         };
         view(&ds)
@@ -100,7 +101,7 @@ pub fn sweep_view_bench(
     let mut g = c.benchmark_group(key);
     g.sample_size(10);
     g.bench_function(format!("sweep_{bench_rq}rq"), |b| {
-        b.iter(|| std::hint::black_box(sweep(runner, &cfg, bench_rq)))
+        b.iter(|| std::hint::black_box(sweep(runner, &set, &cfg, bench_rq)))
     });
     g.finish();
 }

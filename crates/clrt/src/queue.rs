@@ -118,9 +118,12 @@ impl CommandQueue {
             )));
         }
 
-        // Functional plane.
+        // Functional plane: work groups shard across host threads when the
+        // kernel provably performs no global atomics (`run_kernel_parallel`
+        // auto-falls back to the sequential interpreter otherwise, with
+        // bit-identical memory contents and statistics either way).
         let stats = Interpreter::new(kernel.module())
-            .run_kernel(ctx.memory_mut(), kernel.name(), ndrange, &args)
+            .run_kernel_parallel(ctx.memory_mut(), kernel.name(), ndrange, &args)
             .map_err(|e| ClError::ExecutionFailure(e.to_string()))?;
 
         // Timing plane: one-launch machine simulation with per-WG costs from

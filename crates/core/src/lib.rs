@@ -13,6 +13,7 @@
 //! | §6.2 six-step JIT kernel transformation | [`jit`] |
 //! | §6.4 adaptive scheduling (chunked dequeues) | [`chunk`] |
 //! | §2.4 Virtual NDRanges | [`vrange`] |
+//! | sharing *policies* as first-class objects (baseline / EK / accelOS / extensions) | [`policy`] |
 //!
 //! # Examples
 //!
@@ -59,6 +60,7 @@
 pub mod chunk;
 pub mod jit;
 pub mod memory;
+pub mod policy;
 pub mod proxycl;
 pub mod resource;
 pub mod scheduler;
@@ -66,7 +68,11 @@ pub mod vrange;
 
 pub use chunk::{chunk_for, Mode};
 pub use jit::{transform_module, TransformInfo, TransformedProgram};
+pub use policy::{
+    AccelOsPolicy, BaselinePolicy, ElasticKernelsPolicy, GuidedPolicy, PlanCtx, PolicySet,
+    SchedulingPolicy, WeightedPolicy,
+};
 pub use proxycl::{PendingExec, ProxyCl, ProxyProgram};
 pub use resource::{compute_shares, compute_weighted_shares, ResourceDemand, ShareAllocation};
-pub use scheduler::{plan_launches, ExecRequest, LaunchDecision};
+pub use scheduler::{plan_launches, DecisionKind, ExecRequest, LaunchDecision};
 pub use vrange::VirtualNdRange;

@@ -1,0 +1,782 @@
+//! Pluggable scheduling policies: *who gets how much of the accelerator*
+//! as first-class objects.
+//!
+//! The paper's central claim is that fair sharing can be a *policy*
+//! layered transparently over an unmodified runtime. This module makes the
+//! policy layer explicit: a [`SchedulingPolicy`] turns a batch of
+//! concurrent [`ExecRequest`]s into [`LaunchDecision`]s, and a
+//! [`PolicySet`] is an ordered, named collection of policies that the
+//! evaluation harness sweeps. The four schemes of the paper's figures —
+//! vendor baseline, Elastic Kernels, accelOS-naive, accelOS — are provided
+//! as policy objects ([`PolicySet::paper`]), alongside two extensions:
+//! guided dequeues ([`GuidedPolicy`]) and weighted shares
+//! ([`WeightedPolicy`]).
+//!
+//! Both execution planes consume the same decisions: the functional plane
+//! ([`crate::proxycl`]) runs each transformed kernel over the decision's
+//! reduced hardware range, and the timing plane converts each decision
+//! into a [`gpu_sim::LaunchPlan`] via [`LaunchDecision::to_sim_plan`].
+//!
+//! # Write your own policy
+//!
+//! A policy only has to map requests to decisions. A "half for the first
+//! tenant, the rest split evenly" policy:
+//!
+//! ```
+//! use accelos::policy::{PlanCtx, PolicySet, SchedulingPolicy, WeightedPolicy};
+//! use accelos::scheduler::ExecRequest;
+//! use gpu_sim::DeviceConfig;
+//! use kernel_ir::interp::NdRange;
+//! use std::sync::Arc;
+//!
+//! // WeightedPolicy already covers ratio policies; custom logic would
+//! // implement SchedulingPolicy directly (see its docs).
+//! let premium = WeightedPolicy::new(&[3.0, 1.0]);
+//! let dev = DeviceConfig::k20m();
+//! let reqs = vec![
+//!     ExecRequest::new("a", NdRange::new_1d(65536, 256), 0, 16, 1),
+//!     ExecRequest::new("b", NdRange::new_1d(65536, 256), 0, 16, 1),
+//! ];
+//! let plans = premium.plan(&PlanCtx::new(&dev), &reqs);
+//! assert!(plans[0].workers > 2 * plans[1].workers);
+//!
+//! // And it slots into the evaluation harness next to the paper's four:
+//! let mut set = PolicySet::paper();
+//! set.push(Arc::new(premium)).unwrap();
+//! assert_eq!(set.len(), 5);
+//! ```
+
+use crate::chunk::Mode;
+use crate::resource::{compute_shares, compute_weighted_shares, ResourceDemand, ShareAllocation};
+use crate::scheduler::{chunked_decision, DecisionKind, ExecRequest, LaunchDecision};
+use crate::vrange::VirtualNdRange;
+use gpu_sim::DeviceConfig;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Everything a policy may consult while planning one batch.
+///
+/// Created per planning call by the runtime ([`PlanCtx::new`]) or per
+/// `(workload, repetition)` session by the harness, in which case it
+/// carries the session's share caches so that policies running against the
+/// same batch (accelOS-naive and accelOS of one repetition, say) compute
+/// the §3 allocation once instead of once per policy.
+#[derive(Debug)]
+pub struct PlanCtx<'a> {
+    device: &'a DeviceConfig,
+    equal_shares: Option<&'a OnceLock<(Vec<ResourceDemand>, ShareAllocation)>>,
+    solo_shares: Option<&'a [OnceLock<(ResourceDemand, u32)>]>,
+}
+
+impl<'a> PlanCtx<'a> {
+    /// A cache-free context: every query recomputes (what the transparent
+    /// runtime uses for one-shot batches).
+    pub fn new(device: &'a DeviceConfig) -> Self {
+        PlanCtx {
+            device,
+            equal_shares: None,
+            solo_shares: None,
+        }
+    }
+
+    /// A context backed by a session's share caches: `equal_shares` caches
+    /// the batch-wide equal allocation, `solo_shares[i]` caches request
+    /// `i`'s single-kernel allocation. The caches are only valid while the
+    /// batch (device + demands) is fixed — exactly the lifetime of one
+    /// `(workload, repetition)` session.
+    pub fn with_caches(
+        device: &'a DeviceConfig,
+        equal_shares: &'a OnceLock<(Vec<ResourceDemand>, ShareAllocation)>,
+        solo_shares: &'a [OnceLock<(ResourceDemand, u32)>],
+    ) -> Self {
+        PlanCtx {
+            device,
+            equal_shares: Some(equal_shares),
+            solo_shares: Some(solo_shares),
+        }
+    }
+
+    /// The device being shared.
+    pub fn device(&self) -> &DeviceConfig {
+        self.device
+    }
+
+    /// The §3 equal-share allocation for `demands` (cached per session;
+    /// a debug assertion catches a policy asking the same session about
+    /// *different* demands, which the cache cannot serve).
+    pub fn equal_shares(&self, demands: &[ResourceDemand]) -> ShareAllocation {
+        match self.equal_shares {
+            Some(cell) => {
+                let (cached_for, alloc) =
+                    cell.get_or_init(|| (demands.to_vec(), compute_shares(self.device, demands)));
+                debug_assert_eq!(
+                    cached_for, demands,
+                    "session share cache queried with different demands"
+                );
+                alloc.clone()
+            }
+            None => compute_shares(self.device, demands),
+        }
+    }
+
+    /// The share a *single-kernel* §3 allocation would grant request
+    /// `index` — the ceiling an adaptive launch may grow to when other
+    /// kernels retire (cached per session, with the same debug guard as
+    /// [`PlanCtx::equal_shares`]).
+    pub fn solo_share(&self, index: usize, demand: &ResourceDemand) -> u32 {
+        let compute = || compute_shares(self.device, &[*demand]).wgs_per_kernel[0];
+        match self.solo_shares.and_then(|cells| cells.get(index)) {
+            Some(cell) => {
+                let (cached_for, share) = cell.get_or_init(|| (*demand, compute()));
+                debug_assert_eq!(
+                    cached_for, demand,
+                    "session solo-share cache queried with a different demand"
+                );
+                *share
+            }
+            None => compute(),
+        }
+    }
+}
+
+/// A scheduling policy: turns concurrent kernel execution requests into
+/// resource-controlled launch decisions.
+///
+/// Implementations must be deterministic — the harness's parallel sweep
+/// and the differential tests rely on identical inputs producing identical
+/// decisions.
+pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
+    /// Stable identifier used on the command line (`repro --policies`) and
+    /// as the cache key in the harness (e.g. `"accelos-naive"`).
+    ///
+    /// The name must identify the policy's *behaviour*, not just its
+    /// type: the harness caches per-policy results (isolated times) under
+    /// this string, so two instances that plan differently must report
+    /// different names (encode the configuration, as
+    /// `accelos-weighted:3:1` and `accelos-guided:<n>` do).
+    fn name(&self) -> &str;
+
+    /// Display label used in rendered figure tables (e.g. `"accelOS"`).
+    fn label(&self) -> &str {
+        self.name()
+    }
+
+    /// Which §6.4 dequeue-chunking mode the JIT should compile requests
+    /// with before they reach [`plan`](Self::plan). Policies that never
+    /// dequeue (the baseline, static slicing) report [`Mode::Naive`].
+    fn chunk_mode(&self) -> Mode {
+        Mode::Naive
+    }
+
+    /// Decide launches for a batch of concurrent requests.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `requests` is empty (the §3 algorithm requires at
+    /// least one request).
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision>;
+
+    /// The worker-count ceiling request `index` may *grow* to when other
+    /// kernels retire and free capacity (see
+    /// [`gpu_sim::KernelLaunch::max_workers`]). `None` — the default —
+    /// means the launch is static.
+    fn solo_workers(&self, _ctx: &PlanCtx, _index: usize, _request: &ExecRequest) -> Option<u32> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// The paper's four schemes as policy objects
+// ---------------------------------------------------------------------
+
+/// Standard vendor OpenCL: every original work group is a hardware work
+/// group; serialisation emerges from the FIFO dispatcher (§2.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselinePolicy;
+
+impl SchedulingPolicy for BaselinePolicy {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn label(&self) -> &str {
+        "OpenCL"
+    }
+
+    fn plan(&self, _ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        assert!(!requests.is_empty(), "need at least one request");
+        requests
+            .iter()
+            .map(|req| {
+                let v = VirtualNdRange::new(req.ndrange);
+                LaunchDecision {
+                    kernel: req.kernel.clone(),
+                    workers: v.total_groups() as u32,
+                    hardware_range: req.ndrange,
+                    descriptor: v.descriptor(),
+                    chunk: 1,
+                    kind: DecisionKind::Hardware,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Elastic Kernels (Pai et al.): static occupancy-only sizing with fixed
+/// block-cyclic work assignment (see the `elastic-kernels` crate for the
+/// contrast discussion).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElasticKernelsPolicy;
+
+impl SchedulingPolicy for ElasticKernelsPolicy {
+    fn name(&self) -> &str {
+        "ek"
+    }
+
+    fn label(&self) -> &str {
+        "EK"
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        assert!(!requests.is_empty(), "need at least one request");
+        let eks: Vec<elastic_kernels::EkKernel> = requests
+            .iter()
+            .map(|r| elastic_kernels::EkKernel {
+                wg_threads: r.demand.wg_threads,
+                original_wgs: r.demand.original_wgs,
+            })
+            .collect();
+        elastic_kernels::plan(ctx.device(), &eks)
+            .iter()
+            .zip(requests)
+            .map(|(d, req)| {
+                let v = VirtualNdRange::new(req.ndrange);
+                LaunchDecision {
+                    kernel: req.kernel.clone(),
+                    workers: d.workers,
+                    hardware_range: v.hardware_range(d.workers),
+                    descriptor: v.descriptor(),
+                    chunk: 1,
+                    kind: DecisionKind::StaticSlices,
+                }
+            })
+            .collect()
+    }
+}
+
+/// accelOS: the paper's runtime. Equal §3 shares, persistent workers with
+/// atomic chunked dequeues; [`Mode::Naive`] disables the §6.4 chunk
+/// adaptation (the "accelOS-naive" ablation of §8.5).
+#[derive(Debug, Clone, Copy)]
+pub struct AccelOsPolicy {
+    mode: Mode,
+}
+
+impl AccelOsPolicy {
+    /// The paper's default configuration (§6.4 adaptive chunking on).
+    pub fn optimized() -> Self {
+        AccelOsPolicy {
+            mode: Mode::Optimized,
+        }
+    }
+
+    /// The §8.5 "naive" ablation: every dequeue fetches one group.
+    pub fn naive() -> Self {
+        AccelOsPolicy { mode: Mode::Naive }
+    }
+}
+
+impl SchedulingPolicy for AccelOsPolicy {
+    fn name(&self) -> &str {
+        match self.mode {
+            Mode::Naive => "accelos-naive",
+            Mode::Optimized => "accelos",
+        }
+    }
+
+    fn label(&self) -> &str {
+        match self.mode {
+            Mode::Naive => "accelOS-naive",
+            Mode::Optimized => "accelOS",
+        }
+    }
+
+    fn chunk_mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
+        let alloc = ctx.equal_shares(&demands);
+        requests
+            .iter()
+            .zip(&alloc.wgs_per_kernel)
+            .map(|(req, &workers)| chunked_decision(req, workers))
+            .collect()
+    }
+
+    fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
+        Some(ctx.solo_share(index, &request.demand))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extensions: guided dequeues, weighted shares
+// ---------------------------------------------------------------------
+
+/// accelOS with a *guided* dequeue (the future-work schedule evaluated in
+/// the §6.4 ablation): each atomic claim takes
+/// `clamp(remaining / (2·workers), 1, max_chunk)` virtual groups, so
+/// chunks amortise the atomic while the queue is long and taper to single
+/// groups near the tail.
+#[derive(Debug, Clone)]
+pub struct GuidedPolicy {
+    name: String,
+    max_chunk: u32,
+}
+
+impl GuidedPolicy {
+    /// Guided dequeues bounded at `max_chunk` groups per claim. The
+    /// default bound keeps the registry name `accelos-guided`; other
+    /// bounds get `accelos-guided:<max_chunk>` so differently-configured
+    /// instances never collide in name-keyed caches (see
+    /// [`SchedulingPolicy::name`]).
+    pub fn new(max_chunk: u32) -> Self {
+        let max_chunk = max_chunk.max(1);
+        GuidedPolicy {
+            name: if max_chunk == 8 {
+                "accelos-guided".to_string()
+            } else {
+                format!("accelos-guided:{max_chunk}")
+            },
+            max_chunk,
+        }
+    }
+}
+
+impl Default for GuidedPolicy {
+    /// The §6.4 ablation's bound of 8 groups per claim.
+    fn default() -> Self {
+        GuidedPolicy::new(8)
+    }
+}
+
+impl SchedulingPolicy for GuidedPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self) -> &str {
+        if self.max_chunk == 8 {
+            "accelOS-guided"
+        } else {
+            &self.name
+        }
+    }
+
+    fn chunk_mode(&self) -> Mode {
+        Mode::Optimized
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
+        let alloc = ctx.equal_shares(&demands);
+        requests
+            .iter()
+            .zip(&alloc.wgs_per_kernel)
+            .map(|(req, &workers)| {
+                let v = VirtualNdRange::new(req.ndrange);
+                LaunchDecision {
+                    kernel: req.kernel.clone(),
+                    workers,
+                    hardware_range: v.hardware_range(workers),
+                    descriptor: v.descriptor(),
+                    chunk: self.max_chunk,
+                    kind: DecisionKind::Guided,
+                }
+            })
+            .collect()
+    }
+
+    fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
+        Some(ctx.solo_share(index, &request.demand))
+    }
+}
+
+/// accelOS with a non-uniform sharing ratio (§2.2: "this can easily be
+/// achieved by changing the sharing ratio"): request `i` targets a
+/// `weights[i] / Σ weights` fraction of each resource. Requests beyond the
+/// weight list repeat its final entry, so `[3.0, 1.0]` reads "first tenant
+/// 3×, everyone else 1×".
+#[derive(Debug, Clone)]
+pub struct WeightedPolicy {
+    name: String,
+    weights: Vec<f64>,
+}
+
+impl WeightedPolicy {
+    /// A weighted policy named after its weights
+    /// (`accelos-weighted:w1:w2:...`), so differently-weighted instances
+    /// never collide in name-keyed caches (see [`SchedulingPolicy::name`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a non-positive weight.
+    pub fn new(weights: &[f64]) -> Self {
+        let name = format!(
+            "accelos-weighted:{}",
+            weights
+                .iter()
+                .map(f64::to_string)
+                .collect::<Vec<_>>()
+                .join(":")
+        );
+        WeightedPolicy::with_name(name, weights)
+    }
+
+    /// A weighted policy with an explicit name. The name is a cache key
+    /// in the harness, so it must change whenever the weights do — prefer
+    /// [`WeightedPolicy::new`], which encodes them automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a non-positive weight.
+    pub fn with_name(name: impl Into<String>, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        WeightedPolicy {
+            name: name.into(),
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// The weight of request `index`.
+    pub fn weight(&self, index: usize) -> f64 {
+        self.weights[index.min(self.weights.len() - 1)]
+    }
+}
+
+impl SchedulingPolicy for WeightedPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn chunk_mode(&self) -> Mode {
+        Mode::Optimized
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
+        let weights: Vec<f64> = (0..requests.len()).map(|i| self.weight(i)).collect();
+        let alloc = compute_weighted_shares(ctx.device(), &demands, &weights);
+        requests
+            .iter()
+            .zip(&alloc.wgs_per_kernel)
+            .map(|(req, &workers)| chunked_decision(req, workers))
+            .collect()
+    }
+
+    fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
+        Some(ctx.solo_share(index, &request.demand))
+    }
+}
+
+// ---------------------------------------------------------------------
+// PolicySet: the ordered, named registry the harness sweeps
+// ---------------------------------------------------------------------
+
+/// An ordered set of scheduling policies with unique names.
+///
+/// The evaluation harness runs every workload under every policy of a set
+/// and reports metrics *in set order*; ratio metrics (fairness
+/// improvement, throughput speedup) are relative to the set's **first**
+/// policy, so put the reference scheme first.
+#[derive(Debug, Clone)]
+pub struct PolicySet {
+    policies: Vec<Arc<dyn SchedulingPolicy>>,
+}
+
+impl PolicySet {
+    /// A set from explicit policies.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty sets and duplicate policy names.
+    pub fn new(policies: Vec<Arc<dyn SchedulingPolicy>>) -> Result<Self, String> {
+        if policies.is_empty() {
+            return Err("a policy set needs at least one policy".into());
+        }
+        for (i, p) in policies.iter().enumerate() {
+            if policies[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(format!("duplicate policy name `{}`", p.name()));
+            }
+        }
+        Ok(PolicySet { policies })
+    }
+
+    /// The paper's four schemes, in figure order: OpenCL baseline, Elastic
+    /// Kernels, accelOS-naive, accelOS.
+    pub fn paper() -> Self {
+        PolicySet::new(vec![
+            Arc::new(BaselinePolicy),
+            Arc::new(ElasticKernelsPolicy),
+            Arc::new(AccelOsPolicy::naive()),
+            Arc::new(AccelOsPolicy::optimized()),
+        ])
+        .expect("paper names are unique")
+    }
+
+    /// Look up a built-in policy by name:
+    ///
+    /// * `baseline` — vendor OpenCL;
+    /// * `ek` / `elastic-kernels` — Elastic Kernels;
+    /// * `accelos-naive` — accelOS without §6.4 chunking;
+    /// * `accelos` — the paper's default;
+    /// * `accelos-guided` — guided dequeues (≤8 groups per claim);
+    /// * `accelos-weighted` — 3× weight for the first tenant, or
+    ///   `accelos-weighted:w1:w2:...` for explicit ratios (later tenants
+    ///   repeat the final weight).
+    pub fn builtin(name: &str) -> Result<Arc<dyn SchedulingPolicy>, String> {
+        match name {
+            "baseline" | "opencl" => Ok(Arc::new(BaselinePolicy)),
+            "ek" | "elastic-kernels" => Ok(Arc::new(ElasticKernelsPolicy)),
+            "accelos-naive" => Ok(Arc::new(AccelOsPolicy::naive())),
+            "accelos" => Ok(Arc::new(AccelOsPolicy::optimized())),
+            "accelos-guided" => Ok(Arc::new(GuidedPolicy::default())),
+            "accelos-weighted" => Ok(Arc::new(WeightedPolicy::new(&[3.0, 1.0]))),
+            other => {
+                if let Some(spec) = other.strip_prefix("accelos-weighted:") {
+                    let weights: Result<Vec<f64>, _> =
+                        spec.split(':').map(|w| w.trim().parse::<f64>()).collect();
+                    let weights = weights.map_err(|e| format!("bad weight in `{other}`: {e}"))?;
+                    if weights.is_empty() || weights.iter().any(|&w| w <= 0.0) {
+                        return Err(format!("weights in `{other}` must be positive"));
+                    }
+                    Ok(Arc::new(WeightedPolicy::new(&weights)))
+                } else {
+                    Err(format!(
+                        "unknown policy `{other}` (try: baseline, ek, accelos-naive, accelos, \
+                         accelos-guided, accelos-weighted[:w1:w2:...])"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Parse a comma-separated policy list (`repro --policies ...`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown names and duplicate-name errors.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let policies: Result<Vec<_>, _> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Self::builtin)
+            .collect();
+        PolicySet::new(policies?)
+    }
+
+    /// Append a policy to the set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a name already present.
+    pub fn push(&mut self, policy: Arc<dyn SchedulingPolicy>) -> Result<(), String> {
+        if self.index_of(policy.name()).is_some() {
+            return Err(format!("duplicate policy name `{}`", policy.name()));
+        }
+        self.policies.push(policy);
+        Ok(())
+    }
+
+    /// Number of policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Iterate the policies in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn SchedulingPolicy>> {
+        self.policies.iter()
+    }
+
+    /// The policy at `index`.
+    pub fn get(&self, index: usize) -> &Arc<dyn SchedulingPolicy> {
+        &self.policies[index]
+    }
+
+    /// Position of the policy named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.policies.iter().position(|p| p.name() == name)
+    }
+
+    /// Look up a policy by name.
+    pub fn by_name(&self, name: &str) -> Option<&Arc<dyn SchedulingPolicy>> {
+        self.index_of(name).map(|i| &self.policies[i])
+    }
+
+    /// All names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.policies.iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// All figure labels, in order.
+    pub fn labels(&self) -> Vec<String> {
+        self.policies
+            .iter()
+            .map(|p| p.label().to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::plan_launches;
+    use kernel_ir::interp::NdRange;
+
+    fn reqs() -> Vec<ExecRequest> {
+        vec![
+            ExecRequest::new("a", NdRange::new_2d([1024, 512], [16, 16]), 0, 8, 2),
+            ExecRequest::new("b", NdRange::new_1d(131072, 128), 2048, 8, 1),
+        ]
+    }
+
+    #[test]
+    fn accelos_policy_matches_plan_launches() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let via_policy = AccelOsPolicy::optimized().plan(&ctx, &reqs());
+        let via_fn = plan_launches(&dev, &reqs());
+        assert_eq!(via_policy, via_fn);
+    }
+
+    #[test]
+    fn baseline_policy_preserves_the_original_launch() {
+        let dev = DeviceConfig::k20m();
+        let reqs = reqs();
+        let plans = BaselinePolicy.plan(&PlanCtx::new(&dev), &reqs);
+        assert_eq!(plans[0].hardware_range, reqs[0].ndrange);
+        assert_eq!(plans[0].workers as usize, reqs[0].ndrange.total_groups());
+        assert_eq!(plans[0].kind, DecisionKind::Hardware);
+        // The sim plan is a plain hardware launch with the raw costs.
+        let n = reqs[1].ndrange.total_groups();
+        match plans[1].to_sim_plan(vec![7; n], 2) {
+            gpu_sim::LaunchPlan::Hardware { wg_costs } => {
+                assert_eq!(wg_costs.as_ref(), vec![7u64; n].as_slice());
+            }
+            other => panic!("expected a hardware plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ek_policy_matches_the_ek_crate() {
+        let dev = DeviceConfig::k20m();
+        let reqs = reqs();
+        let plans = ElasticKernelsPolicy.plan(&PlanCtx::new(&dev), &reqs);
+        let eks: Vec<elastic_kernels::EkKernel> = reqs
+            .iter()
+            .map(|r| elastic_kernels::EkKernel {
+                wg_threads: r.demand.wg_threads,
+                original_wgs: r.demand.original_wgs,
+            })
+            .collect();
+        let reference = elastic_kernels::plan(&dev, &eks);
+        for ((decision, ek), req) in plans.iter().zip(&reference).zip(&reqs) {
+            assert_eq!(decision.workers, ek.workers);
+            let n = req.ndrange.total_groups();
+            let costs: Vec<u64> = (0..n as u64).collect();
+            let ours = decision.to_sim_plan(costs.clone(), 2);
+            let theirs = ek.to_sim_plan(&costs, 2);
+            assert_eq!(ours, theirs, "block-cyclic slices must agree");
+        }
+    }
+
+    #[test]
+    fn guided_policy_emits_guided_plans_with_growth() {
+        let dev = DeviceConfig::k20m();
+        let reqs = reqs();
+        let policy = GuidedPolicy::default();
+        let ctx = PlanCtx::new(&dev);
+        let plans = policy.plan(&ctx, &reqs);
+        assert!(plans.iter().all(|p| p.kind == DecisionKind::Guided));
+        assert_eq!(plans[0].chunk, 8);
+        match plans[0].to_sim_plan(vec![3; plans[0].descriptor[1] as usize], 2) {
+            gpu_sim::LaunchPlan::PersistentGuided { max_chunk, .. } => assert_eq!(max_chunk, 8),
+            other => panic!("expected a guided plan, got {other:?}"),
+        }
+        // Guided launches may grow like accelOS launches.
+        let solo = policy.solo_workers(&ctx, 0, &reqs[0]).unwrap();
+        assert!(solo >= plans[0].workers);
+    }
+
+    #[test]
+    fn weighted_policy_skews_and_pads_weights() {
+        let dev = DeviceConfig::k20m();
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let reqs = vec![req.clone(), req.clone(), req];
+        let policy = WeightedPolicy::new(&[3.0, 1.0]);
+        assert_eq!(policy.name(), "accelos-weighted:3:1");
+        assert_eq!(policy.weight(0), 3.0);
+        assert_eq!(policy.weight(2), 1.0, "later tenants repeat the tail");
+        let plans = policy.plan(&PlanCtx::new(&dev), &reqs);
+        assert!(
+            plans[0].workers > 2 * plans[1].workers,
+            "3:1 weighting should skew workers: {:?}",
+            plans.iter().map(|p| p.workers).collect::<Vec<_>>()
+        );
+        // Greedy saturation hands leftovers round-robin, so the two equal
+        // tenants may differ by the final increment.
+        assert!(plans[1].workers.abs_diff(plans[2].workers) <= 1);
+    }
+
+    #[test]
+    fn plan_ctx_caches_equal_and_solo_shares() {
+        let dev = DeviceConfig::k20m();
+        let reqs = reqs();
+        let demands: Vec<ResourceDemand> = reqs.iter().map(|r| r.demand).collect();
+        let equal = OnceLock::new();
+        let solo: Vec<OnceLock<(ResourceDemand, u32)>> =
+            (0..reqs.len()).map(|_| OnceLock::new()).collect();
+        let ctx = PlanCtx::with_caches(&dev, &equal, &solo);
+        let a = ctx.equal_shares(&demands);
+        let b = ctx.equal_shares(&demands);
+        assert_eq!(a, b);
+        assert!(equal.get().is_some(), "allocation should be cached");
+        let s = ctx.solo_share(1, &reqs[1].demand);
+        assert_eq!(solo[1].get().map(|(_, v)| *v), Some(s));
+        // Cached and cache-free contexts agree.
+        assert_eq!(PlanCtx::new(&dev).equal_shares(&demands), a);
+        assert_eq!(PlanCtx::new(&dev).solo_share(1, &reqs[1].demand), s);
+    }
+
+    #[test]
+    fn policy_set_registry_and_parse() {
+        let paper = PolicySet::paper();
+        assert_eq!(
+            paper.names(),
+            vec!["baseline", "ek", "accelos-naive", "accelos"]
+        );
+        assert_eq!(
+            paper.labels(),
+            vec!["OpenCL", "EK", "accelOS-naive", "accelOS"]
+        );
+        assert_eq!(paper.index_of("accelos"), Some(3));
+
+        let set = PolicySet::parse("accelos, accelos-guided, accelos-weighted:2:1").unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.get(1).name(), "accelos-guided");
+        assert!(set.by_name("accelos-weighted:2:1").is_some());
+
+        assert!(PolicySet::parse("nope").is_err());
+        assert!(PolicySet::parse("accelos,accelos").is_err());
+        assert!(PolicySet::parse("").is_err());
+        assert!(PolicySet::builtin("accelos-weighted:0").is_err());
+    }
+}

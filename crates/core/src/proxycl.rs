@@ -15,10 +15,12 @@
 
 use crate::chunk::Mode;
 use crate::jit::{transform_module, TransformInfo};
-use crate::scheduler::{plan_launches, ExecRequest, LaunchDecision};
+use crate::policy::{AccelOsPolicy, PlanCtx, SchedulingPolicy};
+use crate::scheduler::{ExecRequest, LaunchDecision};
 use clrt::{Arg, Buffer, ClError, Context, Event, Kernel, Platform, Program};
 use gpu_sim::{KernelLaunch, Simulator};
 use kernel_ir::interp::{ArgValue, DynStats, Interpreter, NdRange};
+use std::sync::Arc;
 
 /// The request classes the Application Monitor distinguishes (fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,16 +136,29 @@ pub struct PendingExec {
 #[derive(Debug)]
 pub struct ProxyCl {
     ctx: Context,
-    mode: Mode,
+    policy: Arc<dyn SchedulingPolicy>,
     cursor: u64,
 }
 
 impl ProxyCl {
-    /// Attach the accelOS runtime to a platform.
+    /// Attach the accelOS runtime to a platform, scheduling with the
+    /// paper's equal-share policy in the given §6.4 chunking mode.
     pub fn new(platform: &Platform, mode: Mode) -> Self {
+        let policy: Arc<dyn SchedulingPolicy> = match mode {
+            Mode::Naive => Arc::new(AccelOsPolicy::naive()),
+            Mode::Optimized => Arc::new(AccelOsPolicy::optimized()),
+        };
+        ProxyCl::with_policy(platform, policy)
+    }
+
+    /// Attach the runtime with an explicit [`SchedulingPolicy`] — the
+    /// functional and timing planes both follow the policy's decisions, so
+    /// any policy (weighted shares, guided dequeues, a custom object)
+    /// drives transparent sharing end to end.
+    pub fn with_policy(platform: &Platform, policy: Arc<dyn SchedulingPolicy>) -> Self {
         ProxyCl {
             ctx: Context::new(platform),
-            mode,
+            policy,
             cursor: 0,
         }
     }
@@ -154,9 +169,14 @@ impl ProxyCl {
         &mut self.ctx
     }
 
-    /// Which accelOS variant is active.
+    /// Which accelOS variant is active (the active policy's chunking mode).
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.policy.chunk_mode()
+    }
+
+    /// The scheduling policy deciding launches.
+    pub fn policy(&self) -> &Arc<dyn SchedulingPolicy> {
+        &self.policy
     }
 
     /// Intercepted program build (fig. 6 case (a)): compile, JIT-transform,
@@ -167,7 +187,7 @@ impl ProxyCl {
     /// Returns [`ClError::BuildFailure`] on front-end or JIT errors.
     pub fn build_program(&mut self, source: &str) -> Result<ProxyProgram, ClError> {
         let module = minicl::compile(source).map_err(|e| ClError::BuildFailure(e.to_string()))?;
-        let transformed = transform_module(&module, self.mode)
+        let transformed = transform_module(&module, self.mode())
             .map_err(|e| ClError::BuildFailure(e.to_string()))?;
         let program = Program::from_module(transformed.module, source)?;
         Ok(ProxyProgram {
@@ -214,7 +234,9 @@ impl ProxyCl {
             return Err(ClError::InvalidArgs("empty execution batch".into()));
         }
 
-        // Kernel Scheduler: one §3 allocation across the whole batch.
+        // Kernel Scheduler: one policy plan across the whole batch (the
+        // paper's default policy is equal §3 shares; see
+        // [`ProxyCl::with_policy`] for running other policies).
         let requests: Vec<ExecRequest> = batch
             .iter()
             .map(|p| {
@@ -228,7 +250,9 @@ impl ProxyCl {
                 )
             })
             .collect();
-        let decisions = plan_launches(self.ctx.device(), &requests);
+        let decisions = self
+            .policy
+            .plan(&PlanCtx::new(self.ctx.device()), &requests);
 
         // Functional plane: run each transformed kernel over its reduced
         // hardware range with the Virtual NDRange descriptor appended.
@@ -297,8 +321,12 @@ impl ProxyCl {
         kernel.set_arg(rt_index, Arg::Buffer(rt_buf))?;
         let args: Vec<ArgValue> = kernel.resolved_args()?;
 
+        // Shard independent work groups across host threads; the analysis
+        // in `run_kernel_parallel` falls back to the sequential interpreter
+        // for kernels with global atomics (bit-identical results either
+        // way).
         Interpreter::new(kernel.module())
-            .run_kernel(
+            .run_kernel_parallel(
                 self.ctx.memory_mut(),
                 kernel.name(),
                 decision.hardware_range,

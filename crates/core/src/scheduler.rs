@@ -60,6 +60,27 @@ impl ExecRequest {
     }
 }
 
+/// How a decision's machine work groups consume the virtual NDRange —
+/// the part of a [`LaunchDecision`] that differs between scheduling
+/// policies (see [`crate::policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecisionKind {
+    /// Every virtual group is a hardware work group (the vendor baseline):
+    /// no persistent workers, no dequeue.
+    Hardware,
+    /// Persistent workers each execute a fixed block-cyclic slice of the
+    /// virtual groups (Elastic Kernels): no atomics, no rebalancing.
+    StaticSlices,
+    /// Persistent workers atomically dequeue `chunk` virtual groups at a
+    /// time until the queue drains (accelOS, §2.4/§6.4).
+    #[default]
+    Chunked,
+    /// Persistent workers claim `clamp(remaining / (2·workers), 1, chunk)`
+    /// groups per dequeue — coarse while the queue is long, tapering to
+    /// single groups near the tail (the guided-schedule extension).
+    Guided,
+}
+
 /// The scheduler's decision for one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaunchDecision {
@@ -72,8 +93,11 @@ pub struct LaunchDecision {
     pub hardware_range: NdRange,
     /// Virtual NDRange descriptor words to copy to accelerator memory.
     pub descriptor: [i64; DESCRIPTOR_LEN],
-    /// Virtual groups per dequeue.
+    /// Virtual groups per dequeue (for [`DecisionKind::Guided`], the upper
+    /// bound on groups per claim; 1 for the non-dequeuing kinds).
     pub chunk: u32,
+    /// How the workers consume the virtual NDRange.
+    pub kind: DecisionKind,
 }
 
 impl LaunchDecision {
@@ -81,9 +105,10 @@ impl LaunchDecision {
     ///
     /// `vg_costs` gives each virtual group's execution cost. It is a shared
     /// [`Costs`] table, so callers holding one cost draw for several plans
-    /// (the harness runs four schemes against the same draw) hand out
+    /// (the harness runs every policy against the same draw) hand out
     /// `Arc` clones instead of copying the array. `per_vg_overhead` is the
-    /// software runtime's per-group cost.
+    /// software runtime's per-group cost (ignored by
+    /// [`DecisionKind::Hardware`], which has no software scheduler).
     ///
     /// # Panics
     ///
@@ -95,12 +120,61 @@ impl LaunchDecision {
             self.descriptor[1],
             "one cost per virtual group"
         );
-        LaunchPlan::PersistentDynamic {
-            workers: self.workers,
-            vg_costs,
-            chunk: self.chunk,
-            per_vg_overhead,
+        match self.kind {
+            DecisionKind::Hardware => LaunchPlan::Hardware { wg_costs: vg_costs },
+            DecisionKind::StaticSlices => {
+                // Workers beyond the virtual-group count would own empty
+                // slices; clamp so a custom policy over-allocating workers
+                // degrades gracefully instead of slicing out of bounds.
+                let workers = (self.workers.max(1) as usize).min(vg_costs.len().max(1));
+                let assignments = (0..workers)
+                    .map(|w| {
+                        vg_costs[w..]
+                            .iter()
+                            .step_by(workers)
+                            .copied()
+                            .collect::<Vec<u64>>()
+                    })
+                    .collect();
+                LaunchPlan::PersistentStatic {
+                    assignments,
+                    per_vg_overhead,
+                }
+            }
+            DecisionKind::Chunked => LaunchPlan::PersistentDynamic {
+                workers: self.workers,
+                vg_costs,
+                chunk: self.chunk,
+                per_vg_overhead,
+            },
+            DecisionKind::Guided => LaunchPlan::PersistentGuided {
+                workers: self.workers,
+                vg_costs,
+                max_chunk: self.chunk,
+                per_vg_overhead,
+            },
         }
+    }
+}
+
+/// Build one [`DecisionKind::Chunked`] decision from an allocated worker
+/// count, applying the §6.4 queue-length chunk cap (shared by
+/// [`plan_launches`] and the policy objects in [`crate::policy`]).
+pub(crate) fn chunked_decision(req: &ExecRequest, workers: u32) -> LaunchDecision {
+    let v = VirtualNdRange::new(req.ndrange);
+    // Chunked dequeues trade scheduling overhead for balance; when
+    // the queue is short relative to the worker count, large
+    // chunks would idle workers, so the chunk is capped to keep at
+    // least two dequeue rounds per worker.
+    let per_worker = (v.total_groups() as u32 / workers.max(1)).max(1);
+    let chunk = req.chunk.min((per_worker / 2).max(1));
+    LaunchDecision {
+        kernel: req.kernel.clone(),
+        workers,
+        hardware_range: v.hardware_range(workers),
+        descriptor: v.descriptor(),
+        chunk,
+        kind: DecisionKind::Chunked,
     }
 }
 
@@ -135,22 +209,7 @@ pub fn plan_launches(device: &DeviceConfig, requests: &[ExecRequest]) -> Vec<Lau
     requests
         .iter()
         .zip(&alloc.wgs_per_kernel)
-        .map(|(req, &workers)| {
-            let v = VirtualNdRange::new(req.ndrange);
-            // Chunked dequeues trade scheduling overhead for balance; when
-            // the queue is short relative to the worker count, large
-            // chunks would idle workers, so the chunk is capped to keep at
-            // least two dequeue rounds per worker.
-            let per_worker = (v.total_groups() as u32 / workers.max(1)).max(1);
-            let chunk = req.chunk.min((per_worker / 2).max(1));
-            LaunchDecision {
-                kernel: req.kernel.clone(),
-                workers,
-                hardware_range: v.hardware_range(workers),
-                descriptor: v.descriptor(),
-                chunk,
-            }
-        })
+        .map(|(req, &workers)| chunked_decision(req, workers))
         .collect()
 }
 

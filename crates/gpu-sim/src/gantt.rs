@@ -1,6 +1,6 @@
 //! ASCII Gantt rendering of simulation traces.
 //!
-//! Turns a traced [`SimReport`](crate::SimReport) into the kind of timeline
+//! Turns a traced [`SimReport`] into the kind of timeline
 //! the paper draws in figs. 1 and 3: one row per kernel, device time on the
 //! x axis, `█`/`▒` marking when the kernel has resident work groups. The
 //! baseline's serial staircase and accelOS's side-by-side bands are

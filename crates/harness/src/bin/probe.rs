@@ -1,5 +1,6 @@
 //! Calibration probe (internal).
-use accel_harness::runner::{Runner, Scheme};
+use accel_harness::runner::Runner;
+use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
 use parboil::KernelSpec;
 
@@ -14,7 +15,7 @@ fn probe_sweep() {
         seed: 2016,
     };
     let r = Runner::new(DeviceConfig::k20m());
-    let ds: DeviceSweeps = device_sweeps(&r, &cfg);
+    let ds: DeviceSweeps = device_sweeps(&r, &PolicySet::paper(), &cfg);
     println!("{}", ds.fig9());
     println!("{}", ds.fig10());
     println!("{}", ds.fig12());
@@ -29,14 +30,17 @@ fn main() {
         return;
     }
     let r = Runner::new(DeviceConfig::k20m());
+    let baseline = PolicySet::builtin("baseline").unwrap();
+    let naive = PolicySet::builtin("accelos-naive").unwrap();
+    let opt = PolicySet::builtin("accelos").unwrap();
     println!(
         "{:<30} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "kernel", "base", "naive", "opt", "n/b", "o/b"
     );
     for spec in KernelSpec::all() {
-        let b = r.isolated_time(Scheme::Baseline, spec, 5) as f64;
-        let n = r.isolated_time(Scheme::AccelOsNaive, spec, 5) as f64;
-        let o = r.isolated_time(Scheme::AccelOs, spec, 5) as f64;
+        let b = r.isolated_time(baseline.as_ref(), spec, 5) as f64;
+        let n = r.isolated_time(naive.as_ref(), spec, 5) as f64;
+        let o = r.isolated_time(opt.as_ref(), spec, 5) as f64;
         println!(
             "{:<30} {:>10.0} {:>10.0} {:>10.0} {:>8.3} {:>8.3}",
             spec.name,
@@ -57,11 +61,11 @@ fn main() {
         .iter()
         .map(|n| KernelSpec::by_name(n).unwrap())
         .collect();
-    for s in [Scheme::Baseline, Scheme::ElasticKernels, Scheme::AccelOs] {
-        let run = r.run_workload(s, &wl, 1);
+    for policy in PolicySet::parse("baseline,ek,accelos").unwrap().iter() {
+        let run = r.run_workload(policy.as_ref(), &wl, 1);
         println!(
-            "{:?}: total={} U={:.2} overlap={:.2} slow={:?}",
-            s,
+            "{}: total={} U={:.2} overlap={:.2} slow={:?}",
+            policy.name(),
             run.total_time,
             run.unfairness(),
             run.overlap(),
@@ -72,4 +76,3 @@ fn main() {
         );
     }
 }
-// (insn counts appended by probe2 in main above)

@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! repro <experiment>... [--device k20m|r9|both] [--full]
+//!       [--policies name,name,...]
 //!       [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]
 //!       [--jobs N] [--sequential]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
-//!              fig15 small ablation all
+//!              fig15 small ablation dynamic all
 //! ```
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
 //! paper-sized sweep (625 pairs, 16384 4-kernel and 32768 8-kernel
 //! workloads, 20 repetitions — hours of CPU time, so consider `--jobs`).
+//!
+//! `--policies` sweeps any comma-separated [`PolicySet`] (built-ins:
+//! `baseline`, `ek`, `accelos-naive`, `accelos`, `accelos-guided`,
+//! `accelos-weighted[:w1:w2:...]`) through the sweep figures and the
+//! dynamic-tenancy experiment; ratio figures treat the *first* listed
+//! policy as the reference. Defaults to the paper's four schemes.
 //!
 //! Sweeps shard their `(workload × repetition)` grid across a thread pool
 //! sized to the host (override with `--jobs N`; `--sequential` is
@@ -26,11 +33,14 @@ use accel_harness::experiments::{
 };
 use accel_harness::runner::Runner;
 use accel_harness::workloads::SweepConfig;
+use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
 
 struct Options {
     experiments: Vec<String>,
     devices: Vec<DeviceConfig>,
+    policies: PolicySet,
+    policies_given: bool,
     cfg: SweepConfig,
 }
 
@@ -38,6 +48,8 @@ fn parse_args() -> Result<Options, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments = Vec::new();
     let mut device = "k20m".to_string();
+    let mut policies = PolicySet::paper();
+    let mut policies_given = false;
     let mut cfg = SweepConfig::default_scale();
     let mut i = 0;
     while i < args.len() {
@@ -52,6 +64,12 @@ fn parse_args() -> Result<Options, String> {
             "--device" => {
                 i += 1;
                 device = args.get(i).ok_or("missing value after --device")?.clone();
+            }
+            "--policies" => {
+                i += 1;
+                let spec = args.get(i).ok_or("missing value after --policies")?;
+                policies = PolicySet::parse(spec)?;
+                policies_given = true;
             }
             "--full" => cfg = SweepConfig::full(),
             "--pairs" => cfg.pairs = take(&mut i)?,
@@ -81,6 +99,8 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         experiments,
         devices,
+        policies,
+        policies_given,
         cfg,
     })
 }
@@ -104,13 +124,31 @@ fn main() {
             eprintln!("repro: {e}");
             eprintln!(
                 "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|all>... \
-                 [--device k20m|r9|both] [--full] [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
+                 [--device k20m|r9|both] [--policies name,name,...] [--full] \
+                 [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
                  [--jobs N] [--sequential]"
             );
             std::process::exit(2);
         }
     };
     let exps = &opts.experiments;
+
+    // The sweep figures and `dynamic` honour --policies; the remaining
+    // experiments reproduce fixed paper comparisons. Say so rather than
+    // silently rendering baseline/EK/accelOS columns under a custom set.
+    if opts.policies_given {
+        let fixed: Vec<&str> = ["fig2", "fig11", "fig15", "small", "ablation"]
+            .into_iter()
+            .filter(|e| wants(exps, e))
+            .collect();
+        if !fixed.is_empty() {
+            eprintln!(
+                "repro: note: {} use the paper's fixed policies and ignore --policies \
+                 (it applies to fig9/fig10/fig12/fig13/fig14/table1/table2/dynamic)",
+                fixed.join(", ")
+            );
+        }
+    }
 
     for device in &opts.devices {
         let runner = Runner::new(device.clone());
@@ -122,10 +160,14 @@ fn main() {
 
         let sweeps: Option<DeviceSweeps> = if needs_sweep(exps) {
             eprintln!(
-                "[sweeping {} pairs, {} x4, {} x8, {} reps…]",
-                opts.cfg.pairs, opts.cfg.n4, opts.cfg.n8, opts.cfg.reps
+                "[sweeping {} pairs, {} x4, {} x8, {} reps, policies {}…]",
+                opts.cfg.pairs,
+                opts.cfg.n4,
+                opts.cfg.n8,
+                opts.cfg.reps,
+                opts.policies.names().join(",")
             );
-            Some(device_sweeps(&runner, &opts.cfg))
+            Some(device_sweeps(&runner, &opts.policies, &opts.cfg))
         } else {
             None
         };
@@ -177,7 +219,10 @@ fn main() {
         if wants(exps, "dynamic") {
             println!(
                 "{}",
-                render_dynamic_tenancy(&dynamic_tenancy(&runner, opts.cfg.seed), &device.name)
+                render_dynamic_tenancy(
+                    &dynamic_tenancy(&runner, &opts.policies, opts.cfg.seed),
+                    &device.name
+                )
             );
         }
     }

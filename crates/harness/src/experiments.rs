@@ -2,12 +2,19 @@
 //! evaluation (§8), each returning a renderable result.
 //!
 //! The heavy lifting is one [`sweep`] per (device, request-size): every
-//! workload runs under all four schemes and its metrics are recorded; the
-//! figures are different projections of the same sweep, exactly as in the
-//! paper.
+//! workload runs under every policy of a [`PolicySet`] and its metrics are
+//! recorded; the figures are different projections of the same sweep,
+//! exactly as in the paper. The paper's figures use
+//! [`PolicySet::paper`]; any other set (weighted shares, guided dequeues,
+//! custom policies) sweeps through the same code — `repro --policies`
+//! exposes that from the command line.
+//!
+//! Ratio metrics (fairness improvement, throughput speedup) are relative
+//! to the **first** policy of the set, so put the reference scheme first.
 
-use crate::runner::{Runner, Scheme, WorkloadRun};
+use crate::runner::{Runner, WorkloadRun};
 use crate::workloads::{alphabetic_pairs, SweepConfig, Workload};
+use accelos::policy::PolicySet;
 use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator};
 use parboil::KernelSpec;
 use rayon::prelude::*;
@@ -19,130 +26,106 @@ fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-fn mean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty());
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
-
-/// Metrics of one workload under every scheme (averaged over repetitions).
+/// Metrics of one workload under every policy of the swept set (averaged
+/// over repetitions). Each vector is indexed by the policy's position in
+/// the [`PolicySet`].
 ///
 /// `PartialEq` is exact (bit-level) — the parallel sweep is required to
 /// reproduce the sequential sweep's numbers identically, and the
 /// determinism tests assert it through this impl.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadMetrics {
-    /// Unfairness per scheme, ordered as [`Scheme::all`].
-    pub unfairness: [f64; 4],
-    /// Execution overlap per scheme.
-    pub overlap: [f64; 4],
-    /// Total workload time per scheme.
-    pub total_time: [f64; 4],
-    /// STP per scheme.
-    pub stp: [f64; 4],
-    /// ANTT per scheme.
-    pub antt: [f64; 4],
-    /// Worst-case ANTT per scheme.
-    pub worst_antt: [f64; 4],
+    /// Unfairness per policy, in set order.
+    pub unfairness: Vec<f64>,
+    /// Execution overlap per policy.
+    pub overlap: Vec<f64>,
+    /// Total workload time per policy.
+    pub total_time: Vec<f64>,
+    /// STP per policy.
+    pub stp: Vec<f64>,
+    /// ANTT per policy.
+    pub antt: Vec<f64>,
+    /// Worst-case ANTT per policy.
+    pub worst_antt: Vec<f64>,
 }
 
 impl WorkloadMetrics {
-    /// Fairness improvement of `scheme` over the baseline.
-    pub fn fairness_improvement(&self, scheme: Scheme) -> f64 {
-        let i = scheme_index(scheme);
-        sched_metrics::fairness_improvement(self.unfairness[0], self.unfairness[i])
+    /// Fairness improvement of policy `index` over the set's reference
+    /// (index 0).
+    pub fn fairness_improvement(&self, index: usize) -> f64 {
+        sched_metrics::fairness_improvement(self.unfairness[0], self.unfairness[index])
     }
 
-    /// Throughput speedup of `scheme` over the baseline.
-    pub fn throughput_speedup(&self, scheme: Scheme) -> f64 {
-        let i = scheme_index(scheme);
-        self.total_time[0] / self.total_time[i]
+    /// Throughput speedup of policy `index` over the set's reference.
+    pub fn throughput_speedup(&self, index: usize) -> f64 {
+        self.total_time[0] / self.total_time[index]
     }
 }
 
-fn scheme_index(s: Scheme) -> usize {
-    Scheme::all()
-        .iter()
-        .position(|&x| x == s)
-        .expect("scheme in table")
-}
-
-/// One full sweep: per-workload metrics for one device and request size.
+/// One full sweep: per-workload metrics for one device, request size and
+/// policy set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     /// Request size (2, 4 or 8).
     pub request_size: usize,
     /// Device name.
     pub device: String,
+    /// Names of the swept policies, in set order.
+    pub policy_names: Vec<String>,
+    /// Figure labels of the swept policies, in set order.
+    pub policy_labels: Vec<String>,
     /// Per-workload metrics.
     pub workloads: Vec<WorkloadMetrics>,
 }
 
 impl Sweep {
-    /// Average unfairness per scheme.
-    pub fn avg_unfairness(&self) -> [f64; 4] {
-        let mut out = [0.0; 4];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = mean(
-                &self
-                    .workloads
-                    .iter()
-                    .map(|w| w.unfairness[i])
-                    .collect::<Vec<_>>(),
-            );
-        }
-        out
+    /// Number of swept policies.
+    pub fn policy_count(&self) -> usize {
+        self.policy_names.len()
     }
 
-    /// Average overlap per scheme.
-    pub fn avg_overlap(&self) -> [f64; 4] {
-        let mut out = [0.0; 4];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = mean(
-                &self
-                    .workloads
-                    .iter()
-                    .map(|w| w.overlap[i])
-                    .collect::<Vec<_>>(),
-            );
-        }
-        out
+    /// Position of the policy named `name` in this sweep.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.policy_names.iter().position(|n| n == name)
     }
 
-    /// Average fairness improvement of `scheme` over baseline.
-    pub fn avg_fairness_improvement(&self, scheme: Scheme) -> f64 {
-        mean(
-            &self
-                .workloads
-                .iter()
-                .map(|w| w.fairness_improvement(scheme))
-                .collect::<Vec<_>>(),
-        )
+    /// Mean of `f` across all workloads (the scalar behind every `avg_*`
+    /// view).
+    pub fn avg_of(&self, f: impl Fn(&WorkloadMetrics) -> f64) -> f64 {
+        assert!(!self.workloads.is_empty());
+        self.workloads.iter().map(f).sum::<f64>() / self.workloads.len() as f64
     }
 
-    /// Average throughput speedup of `scheme` over baseline.
-    pub fn avg_throughput_speedup(&self, scheme: Scheme) -> f64 {
-        mean(
-            &self
-                .workloads
-                .iter()
-                .map(|w| w.throughput_speedup(scheme))
-                .collect::<Vec<_>>(),
-        )
+    /// Average unfairness per policy, in set order.
+    pub fn avg_unfairness(&self) -> Vec<f64> {
+        (0..self.policy_count())
+            .map(|i| self.avg_of(|w| w.unfairness[i]))
+            .collect()
     }
 
-    /// Average STP / ANTT / worst-ANTT of `scheme`.
-    pub fn avg_stp_antt(&self, scheme: Scheme) -> (f64, f64, f64) {
-        let i = scheme_index(scheme);
+    /// Average overlap per policy, in set order.
+    pub fn avg_overlap(&self) -> Vec<f64> {
+        (0..self.policy_count())
+            .map(|i| self.avg_of(|w| w.overlap[i]))
+            .collect()
+    }
+
+    /// Average fairness improvement of policy `index` over the reference.
+    pub fn avg_fairness_improvement(&self, index: usize) -> f64 {
+        self.avg_of(|w| w.fairness_improvement(index))
+    }
+
+    /// Average throughput speedup of policy `index` over the reference.
+    pub fn avg_throughput_speedup(&self, index: usize) -> f64 {
+        self.avg_of(|w| w.throughput_speedup(index))
+    }
+
+    /// Average STP / ANTT / worst-ANTT of policy `index`.
+    pub fn avg_stp_antt(&self, index: usize) -> (f64, f64, f64) {
         (
-            mean(&self.workloads.iter().map(|w| w.stp[i]).collect::<Vec<_>>()),
-            mean(&self.workloads.iter().map(|w| w.antt[i]).collect::<Vec<_>>()),
-            mean(
-                &self
-                    .workloads
-                    .iter()
-                    .map(|w| w.worst_antt[i])
-                    .collect::<Vec<_>>(),
-            ),
+            self.avg_of(|w| w.stp[index]),
+            self.avg_of(|w| w.antt[index]),
+            self.avg_of(|w| w.worst_antt[index]),
         )
     }
 
@@ -157,10 +140,10 @@ impl Sweep {
     }
 }
 
-/// The six metrics of one `(workload, scheme, repetition)` run — the unit
+/// The six metrics of one `(workload, policy, repetition)` run — the unit
 /// of work the parallel sweep distributes.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct SchemeRun {
+struct PolicyRun {
     unfairness: f64,
     overlap: f64,
     total_time: f64,
@@ -172,38 +155,50 @@ struct SchemeRun {
 /// Seed of repetition `rep` for a workload whose base seed is `seed`.
 ///
 /// Derived from `(seed, rep)` alone — never from iteration order — which is
-/// what lets the sweep shard `(workload × rep × scheme)` cells across
+/// what lets the sweep shard `(workload × rep × policy)` cells across
 /// threads and still reproduce the sequential numbers bit-for-bit.
 fn rep_seed(seed: u64, rep: u32) -> u64 {
     seed.wrapping_add(rep as u64).wrapping_mul(0x9e37_79b9)
 }
 
-/// Run one repetition of one workload under all four schemes.
-fn measure_rep(runner: &Runner, workload: &Workload, seed: u64, rep: u32) -> [SchemeRun; 4] {
-    let rep_seed = rep_seed(seed, rep);
-    Scheme::all().map(|scheme| {
-        let run: WorkloadRun = runner.run_workload(scheme, workload, rep_seed);
-        SchemeRun {
-            unfairness: run.unfairness(),
-            overlap: run.overlap(),
-            total_time: run.total_time as f64,
-            stp: run.stp(),
-            antt: run.antt(),
-            worst_antt: run.worst_antt(),
-        }
-    })
+/// Run one repetition of one workload under every policy of the set,
+/// through one shared [`crate::runner::RepContext`] session (one cost
+/// draw, one share cache, N policies).
+fn measure_rep(
+    runner: &Runner,
+    set: &PolicySet,
+    workload: &Workload,
+    seed: u64,
+    rep: u32,
+) -> Vec<PolicyRun> {
+    let ctx = runner.rep_context(workload, rep_seed(seed, rep));
+    let arrivals = vec![0; workload.len()];
+    set.iter()
+        .map(|policy| {
+            let run: WorkloadRun = runner.run_in(&ctx, policy.as_ref(), &arrivals);
+            PolicyRun {
+                unfairness: run.unfairness(),
+                overlap: run.overlap(),
+                total_time: run.total_time as f64,
+                stp: run.stp(),
+                antt: run.antt(),
+                worst_antt: run.worst_antt(),
+            }
+        })
+        .collect()
 }
 
-/// Average per-rep scheme runs, accumulating in repetition order (the same
+/// Average per-rep policy runs, accumulating in repetition order (the same
 /// float-addition order as the historical sequential loop).
-fn average_reps(per_rep: &[[SchemeRun; 4]]) -> WorkloadMetrics {
+fn average_reps(per_rep: &[Vec<PolicyRun>]) -> WorkloadMetrics {
+    let n_policies = per_rep.first().map_or(0, Vec::len);
     let mut acc = WorkloadMetrics {
-        unfairness: [0.0; 4],
-        overlap: [0.0; 4],
-        total_time: [0.0; 4],
-        stp: [0.0; 4],
-        antt: [0.0; 4],
-        worst_antt: [0.0; 4],
+        unfairness: vec![0.0; n_policies],
+        overlap: vec![0.0; n_policies],
+        total_time: vec![0.0; n_policies],
+        stp: vec![0.0; n_policies],
+        antt: vec![0.0; n_policies],
+        worst_antt: vec![0.0; n_policies],
     };
     for rep in per_rep {
         for (i, run) in rep.iter().enumerate() {
@@ -216,7 +211,7 @@ fn average_reps(per_rep: &[[SchemeRun; 4]]) -> WorkloadMetrics {
         }
     }
     let n = per_rep.len() as f64;
-    for i in 0..4 {
+    for i in 0..n_policies {
         acc.unfairness[i] /= n;
         acc.overlap[i] /= n;
         acc.total_time[i] /= n;
@@ -227,41 +222,54 @@ fn average_reps(per_rep: &[[SchemeRun; 4]]) -> WorkloadMetrics {
     acc
 }
 
-/// Run one workload under all four schemes, `reps` times, and average.
+/// Run one workload under every policy of the set, `reps` times, and
+/// average.
 ///
 /// `reps` is clamped to at least 1 (matching [`sweep`] / [`sweep_seq`], so
 /// `reps == 0` configurations cannot make the two sweep paths diverge or
 /// produce NaN averages).
 pub fn measure_workload(
     runner: &Runner,
+    set: &PolicySet,
     workload: &Workload,
     reps: u32,
     seed: u64,
 ) -> WorkloadMetrics {
-    let per_rep: Vec<[SchemeRun; 4]> = (0..reps.max(1))
-        .map(|rep| measure_rep(runner, workload, seed, rep))
+    let per_rep: Vec<Vec<PolicyRun>> = (0..reps.max(1))
+        .map(|rep| measure_rep(runner, set, workload, seed, rep))
         .collect();
     average_reps(&per_rep)
 }
 
 /// Sweep one request size on one device, fanning the `(workload × rep)`
-/// grid out across the rayon pool (each unit runs its four schemes
-/// inline). Results are merged in `(workload, rep)` order, so the output
-/// is bit-identical to [`sweep_seq`] regardless of thread count.
-pub fn sweep(runner: &Runner, cfg: &SweepConfig, request_size: usize) -> Sweep {
+/// grid out across the rayon pool (each unit runs every policy inline
+/// against one shared session). Results are merged in `(workload, rep)`
+/// order, so the output is bit-identical to [`sweep_seq`] regardless of
+/// thread count.
+pub fn sweep(runner: &Runner, set: &PolicySet, cfg: &SweepConfig, request_size: usize) -> Sweep {
     let workloads = cfg.workloads(request_size);
     let reps = cfg.reps.max(1);
     let units: Vec<(usize, u32)> = (0..workloads.len())
         .flat_map(|i| (0..reps).map(move |r| (i, r)))
         .collect();
-    let runs: Vec<[SchemeRun; 4]> = units
+    let runs: Vec<Vec<PolicyRun>> = units
         .par_iter()
-        .map(|&(i, rep)| measure_rep(runner, &workloads[i], cfg.seed.wrapping_add(i as u64), rep))
+        .map(|&(i, rep)| {
+            measure_rep(
+                runner,
+                set,
+                &workloads[i],
+                cfg.seed.wrapping_add(i as u64),
+                rep,
+            )
+        })
         .collect();
     let metrics = runs.chunks(reps as usize).map(average_reps).collect();
     Sweep {
         request_size,
         device: runner.device().name.clone(),
+        policy_names: set.names(),
+        policy_labels: set.labels(),
         workloads: metrics,
     }
 }
@@ -269,16 +277,23 @@ pub fn sweep(runner: &Runner, cfg: &SweepConfig, request_size: usize) -> Sweep {
 /// The historical single-threaded sweep. Kept as the reference the
 /// parallel [`sweep`] is differentially tested against (and for hosts
 /// where spawning threads is undesirable).
-pub fn sweep_seq(runner: &Runner, cfg: &SweepConfig, request_size: usize) -> Sweep {
+pub fn sweep_seq(
+    runner: &Runner,
+    set: &PolicySet,
+    cfg: &SweepConfig,
+    request_size: usize,
+) -> Sweep {
     let workloads = cfg.workloads(request_size);
     let metrics = workloads
         .iter()
         .enumerate()
-        .map(|(i, w)| measure_workload(runner, w, cfg.reps, cfg.seed.wrapping_add(i as u64)))
+        .map(|(i, w)| measure_workload(runner, set, w, cfg.reps, cfg.seed.wrapping_add(i as u64)))
         .collect();
     Sweep {
         request_size,
         device: runner.device().name.clone(),
+        policy_names: set.names(),
+        policy_labels: set.labels(),
         workloads: metrics,
     }
 }
@@ -309,9 +324,14 @@ pub fn fig2(runner: &Runner, seed: u64) -> Fig2 {
         .iter()
         .map(|n| KernelSpec::by_name(n).expect("kernel exists"))
         .collect();
-    let base = runner.run_workload(Scheme::Baseline, &wl, seed);
-    let ek = runner.run_workload(Scheme::ElasticKernels, &wl, seed);
-    let acc = runner.run_workload(Scheme::AccelOs, &wl, seed);
+    let ctx = runner.rep_context(&wl, seed);
+    let arrivals = vec![0; wl.len()];
+    let baseline = PolicySet::builtin("baseline").expect("builtin");
+    let ek = PolicySet::builtin("ek").expect("builtin");
+    let accelos = PolicySet::builtin("accelos").expect("builtin");
+    let base = runner.run_in(&ctx, baseline.as_ref(), &arrivals);
+    let ek = runner.run_in(&ctx, ek.as_ref(), &arrivals);
+    let acc = runner.run_in(&ctx, accelos.as_ref(), &arrivals);
     Fig2 {
         names: names.to_vec(),
         baseline_slowdowns: base.slowdowns(),
@@ -366,57 +386,70 @@ pub struct DeviceSweeps {
     pub sizes: Vec<Sweep>,
 }
 
-/// Run the paper's three sweeps (2, 4, 8 requests) on one device.
-pub fn device_sweeps(runner: &Runner, cfg: &SweepConfig) -> DeviceSweeps {
+/// Run the paper's three sweeps (2, 4, 8 requests) on one device with one
+/// policy set.
+pub fn device_sweeps(runner: &Runner, set: &PolicySet, cfg: &SweepConfig) -> DeviceSweeps {
     DeviceSweeps {
-        sizes: [2, 4, 8].iter().map(|&k| sweep(runner, cfg, k)).collect(),
+        sizes: [2, 4, 8]
+            .iter()
+            .map(|&k| sweep(runner, set, cfg, k))
+            .collect(),
     }
 }
 
 impl DeviceSweeps {
-    /// Render the fig. 9 view: average unfairness per scheme.
+    fn labels(&self) -> &[String] {
+        &self.sizes[0].policy_labels
+    }
+
+    /// Render the fig. 9 view: average unfairness per policy.
     pub fn fig9(&self) -> String {
         let mut s = format!(
             "Figure 9 — average system unfairness (lower is better), {}\n",
             self.sizes[0].device
         );
-        s += &format!(
-            "  {:<10} {:>10} {:>10} {:>10}\n",
-            "requests", "OpenCL", "EK", "accelOS"
-        );
+        s += &format!("  {:<10}", "requests");
+        for label in self.labels() {
+            s += &format!(" {label:>14}");
+        }
+        s += "\n";
         for sw in &self.sizes {
             let u = sw.avg_unfairness();
-            s += &format!(
-                "  {:<10} {:>10.2} {:>10.2} {:>10.2}\n",
-                sw.request_size,
-                u[scheme_index(Scheme::Baseline)],
-                u[scheme_index(Scheme::ElasticKernels)],
-                u[scheme_index(Scheme::AccelOs)]
-            );
+            s += &format!("  {:<10}", sw.request_size);
+            for v in &u {
+                s += &format!(" {v:>14.2}");
+            }
+            s += "\n";
         }
         s
     }
 
-    /// Render the fig. 10 view: fairness-improvement distributions.
+    /// Render the fig. 10 view: fairness-improvement distributions over
+    /// the reference policy (one row per non-reference policy).
     pub fn fig10(&self) -> String {
+        let reference = &self.labels()[0];
         let mut s = format!(
-            "Figure 10 — fairness improvement over OpenCL (higher is better), {}\n",
+            "Figure 10 — fairness improvement over {reference} (higher is better), {}\n",
             self.sizes[0].device
         );
         s += &format!(
-            "  {:<10} {:>28} {:>28}\n",
-            "requests", "accelOS avg [min..max] %<1", "EK avg [min..max] %<1"
+            "  {:<10} {:<16} {:>7} {:>16} {:>5}\n",
+            "requests", "policy", "avg", "[min..max]", "%<1"
         );
         for sw in &self.sizes {
-            let a = sw.avg_fairness_improvement(Scheme::AccelOs);
-            let (amin, amax, abad) = sw.distribution(|w| w.fairness_improvement(Scheme::AccelOs));
-            let e = sw.avg_fairness_improvement(Scheme::ElasticKernels);
-            let (emin, emax, ebad) =
-                sw.distribution(|w| w.fairness_improvement(Scheme::ElasticKernels));
-            s += &format!(
-                "  {:<10} {:>7.2}x [{:>5.2}..{:>6.2}] {:>4.0}% {:>7.2}x [{:>5.2}..{:>6.2}] {:>4.0}%\n",
-                sw.request_size, a, amin, amax, abad * 100.0, e, emin, emax, ebad * 100.0
-            );
+            for i in 1..sw.policy_count() {
+                let avg = sw.avg_fairness_improvement(i);
+                let (min, max, bad) = sw.distribution(|w| w.fairness_improvement(i));
+                s += &format!(
+                    "  {:<10} {:<16} {:>6.2}x [{:>5.2}..{:>6.2}] {:>4.0}%\n",
+                    sw.request_size,
+                    sw.policy_labels[i],
+                    avg,
+                    min,
+                    max,
+                    bad * 100.0
+                );
+            }
         }
         s
     }
@@ -427,86 +460,92 @@ impl DeviceSweeps {
             "Figure 12 — average kernel execution overlap (higher is better), {}\n",
             self.sizes[0].device
         );
-        s += &format!(
-            "  {:<10} {:>10} {:>10} {:>10}\n",
-            "requests", "OpenCL", "EK", "accelOS"
-        );
+        s += &format!("  {:<10}", "requests");
+        for label in self.labels() {
+            s += &format!(" {label:>14}");
+        }
+        s += "\n";
         for sw in &self.sizes {
             let o = sw.avg_overlap();
-            s += &format!(
-                "  {:<10} {:>9.0}% {:>9.0}% {:>9.0}%\n",
-                sw.request_size,
-                o[scheme_index(Scheme::Baseline)] * 100.0,
-                o[scheme_index(Scheme::ElasticKernels)] * 100.0,
-                o[scheme_index(Scheme::AccelOs)] * 100.0
-            );
+            s += &format!("  {:<10}", sw.request_size);
+            for v in &o {
+                s += &format!(" {:>13.0}%", v * 100.0);
+            }
+            s += "\n";
         }
         s
     }
 
-    /// Render the fig. 13 view: average throughput speedups.
+    /// Render the fig. 13 view: average throughput speedups over the
+    /// reference policy.
     pub fn fig13(&self) -> String {
+        let reference = &self.labels()[0];
         let mut s = format!(
-            "Figure 13 — average system throughput speedup over OpenCL, {}\n",
+            "Figure 13 — average system throughput speedup over {reference}, {}\n",
             self.sizes[0].device
         );
-        s += &format!("  {:<10} {:>10} {:>10}\n", "requests", "EK", "accelOS");
+        s += &format!("  {:<10}", "requests");
+        for label in &self.labels()[1..] {
+            s += &format!(" {label:>14}");
+        }
+        s += "\n";
         for sw in &self.sizes {
-            s += &format!(
-                "  {:<10} {:>9.2}x {:>9.2}x\n",
-                sw.request_size,
-                sw.avg_throughput_speedup(Scheme::ElasticKernels),
-                sw.avg_throughput_speedup(Scheme::AccelOs)
-            );
+            s += &format!("  {:<10}", sw.request_size);
+            for i in 1..sw.policy_count() {
+                s += &format!(" {:>13.2}x", sw.avg_throughput_speedup(i));
+            }
+            s += "\n";
         }
         s
     }
 
-    /// Render the fig. 14 view: throughput-speedup distributions.
+    /// Render the fig. 14 view: throughput-speedup distributions over the
+    /// reference policy.
     pub fn fig14(&self) -> String {
+        let reference = &self.labels()[0];
         let mut s = format!(
-            "Figure 14 — throughput speedup distribution over OpenCL, {}\n",
+            "Figure 14 — throughput speedup distribution over {reference}, {}\n",
             self.sizes[0].device
         );
         s += &format!(
-            "  {:<10} {:>28} {:>28}\n",
-            "requests", "accelOS [min..max] %slow", "EK [min..max] %slow"
+            "  {:<10} {:<16} {:>16} {:>6}\n",
+            "requests", "policy", "[min..max]", "%slow"
         );
         for sw in &self.sizes {
-            let (amin, amax, abad) = sw.distribution(|w| w.throughput_speedup(Scheme::AccelOs));
-            let (emin, emax, ebad) =
-                sw.distribution(|w| w.throughput_speedup(Scheme::ElasticKernels));
-            s += &format!(
-                "  {:<10} [{:>5.2}..{:>5.2}] {:>9.0}% [{:>5.2}..{:>5.2}] {:>9.0}%\n",
-                sw.request_size,
-                amin,
-                amax,
-                abad * 100.0,
-                emin,
-                emax,
-                ebad * 100.0
-            );
+            for i in 1..sw.policy_count() {
+                let (min, max, bad) = sw.distribution(|w| w.throughput_speedup(i));
+                s += &format!(
+                    "  {:<10} {:<16} [{:>5.2}..{:>6.2}] {:>5.0}%\n",
+                    sw.request_size,
+                    sw.policy_labels[i],
+                    min,
+                    max,
+                    bad * 100.0
+                );
+            }
         }
         s
     }
 
-    /// Render the table 1/2 view: STP, ANTT and worst-case ANTT.
+    /// Render the table 1/2 view: STP, ANTT and worst-case ANTT per
+    /// policy.
     pub fn table_stp_antt(&self) -> String {
         let mut s = format!(
             "Tables 1/2 — STP (higher better), ANTT / W.ANTT (lower better), {}\n",
             self.sizes[0].device
         );
         s += &format!(
-            "  {:<6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}\n",
-            "RQSTs", "EK STP", "EK ANTT", "EK W.A", "aOS STP", "aOS ANTT", "aOS W.A"
+            "  {:<6} {:<16} {:>8} {:>8} {:>8}\n",
+            "RQSTs", "policy", "STP", "ANTT", "W.ANTT"
         );
         for sw in &self.sizes {
-            let (estp, eantt, ewa) = sw.avg_stp_antt(Scheme::ElasticKernels);
-            let (astp, aantt, awa) = sw.avg_stp_antt(Scheme::AccelOs);
-            s += &format!(
-                "  {:<6} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}\n",
-                sw.request_size, estp, eantt, ewa, astp, aantt, awa
-            );
+            for i in 0..sw.policy_count() {
+                let (stp, antt, wa) = sw.avg_stp_antt(i);
+                s += &format!(
+                    "  {:<6} {:<16} {:>8.2} {:>8.2} {:>8.2}\n",
+                    sw.request_size, sw.policy_labels[i], stp, antt, wa
+                );
+            }
         }
         s
     }
@@ -528,12 +567,17 @@ pub struct PairRow {
 /// Reproduce fig. 11: unfairness for the alphabetic-neighbour pairs
 /// (pairs are independent, so they fan out across the rayon pool).
 pub fn fig11(runner: &Runner, seed: u64) -> Vec<PairRow> {
+    let baseline = PolicySet::builtin("baseline").expect("builtin");
+    let ek = PolicySet::builtin("ek").expect("builtin");
+    let accelos = PolicySet::builtin("accelos").expect("builtin");
     alphabetic_pairs()
         .par_iter()
         .map(|wl| {
-            let base = runner.run_workload(Scheme::Baseline, wl, seed);
-            let ek = runner.run_workload(Scheme::ElasticKernels, wl, seed);
-            let acc = runner.run_workload(Scheme::AccelOs, wl, seed);
+            let ctx = runner.rep_context(wl, seed);
+            let arrivals = vec![0; wl.len()];
+            let base = runner.run_in(&ctx, baseline.as_ref(), &arrivals);
+            let ek = runner.run_in(&ctx, ek.as_ref(), &arrivals);
+            let acc = runner.run_in(&ctx, accelos.as_ref(), &arrivals);
             PairRow {
                 pair: (wl[0].name.to_string(), wl[1].name.to_string()),
                 unfairness: (base.unfairness(), ek.unfairness(), acc.unfairness()),
@@ -579,15 +623,18 @@ pub struct SingleKernelRow {
 /// Reproduce fig. 15: per-kernel isolated accelOS speedups (kernels are
 /// independent, so they fan out across the rayon pool).
 pub fn fig15(runner: &Runner, seed: u64) -> Vec<SingleKernelRow> {
+    let baseline = PolicySet::builtin("baseline").expect("builtin");
+    let naive = PolicySet::builtin("accelos-naive").expect("builtin");
+    let optimized = PolicySet::builtin("accelos").expect("builtin");
     KernelSpec::all()
         .par_iter()
         .map(|spec| {
-            let base = runner.isolated_time(Scheme::Baseline, spec, seed) as f64;
-            let naive = runner.isolated_time(Scheme::AccelOsNaive, spec, seed) as f64;
-            let opt = runner.isolated_time(Scheme::AccelOs, spec, seed) as f64;
+            let base = runner.isolated_time(baseline.as_ref(), spec, seed) as f64;
+            let n = runner.isolated_time(naive.as_ref(), spec, seed) as f64;
+            let opt = runner.isolated_time(optimized.as_ref(), spec, seed) as f64;
             SingleKernelRow {
                 name: spec.name,
-                naive: base / naive,
+                naive: base / n,
                 optimized: base / opt,
             }
         })
@@ -811,11 +858,11 @@ pub fn render_ablation(rows: &[AblationRow], device: &str) -> String {
 // applications may join or leave a system dynamically")
 // ---------------------------------------------------------------------
 
-/// One scheme's outcome under dynamic tenancy.
+/// One policy's outcome under dynamic tenancy.
 #[derive(Debug, Clone)]
 pub struct DynamicTenancyRow {
-    /// Scheme label.
-    pub scheme: &'static str,
+    /// Policy label.
+    pub policy: String,
     /// Unfairness across the tenants.
     pub unfairness: f64,
     /// Time for the whole episode.
@@ -826,24 +873,26 @@ pub struct DynamicTenancyRow {
 /// immediately, then one every ~quarter of the first kernel's isolated
 /// runtime) and leave as they finish. accelOS plans fair shares and grows
 /// into freed capacity; the baseline serialises arrivals; EK's static
-/// sizing never adapts.
-pub fn dynamic_tenancy(runner: &Runner, seed: u64) -> Vec<DynamicTenancyRow> {
+/// sizing never adapts. Runs every policy of `set` (render treats the
+/// first as the reference).
+pub fn dynamic_tenancy(runner: &Runner, set: &PolicySet, seed: u64) -> Vec<DynamicTenancyRow> {
     let names = ["tpacf", "lbm", "histo_main", "spmv", "sgemm", "stencil"];
     let workload: Workload = names
         .iter()
         .map(|n| KernelSpec::by_name(n).expect("kernel exists"))
         .collect();
-    // Stagger joins relative to the first tenant's isolated runtime.
-    let t0 = runner.isolated_time(Scheme::Baseline, workload[0], seed);
+    // Stagger joins relative to the first tenant's isolated runtime under
+    // the reference policy.
+    let t0 = runner.isolated_time(set.get(0).as_ref(), workload[0], seed);
     let arrivals: Vec<u64> = (0..workload.len() as u64)
         .map(|i| i.saturating_sub(1) * t0 / 4)
         .collect();
-    Scheme::all()
-        .into_iter()
-        .map(|scheme| {
-            let run = runner.run_workload_with_arrivals(scheme, &workload, &arrivals, seed);
+    let ctx = runner.rep_context(&workload, seed);
+    set.iter()
+        .map(|policy| {
+            let run = runner.run_in(&ctx, policy.as_ref(), &arrivals);
             DynamicTenancyRow {
-                scheme: scheme.label(),
+                policy: policy.label().to_string(),
                 unfairness: run.unfairness(),
                 total_time: run.total_time,
             }
@@ -851,18 +900,21 @@ pub fn dynamic_tenancy(runner: &Runner, seed: u64) -> Vec<DynamicTenancyRow> {
         .collect()
 }
 
-/// Render the dynamic-tenancy rows.
+/// Render the dynamic-tenancy rows (times relative to the first row).
 pub fn render_dynamic_tenancy(rows: &[DynamicTenancyRow], device: &str) -> String {
     let base_time = rows[0].total_time as f64;
+    let reference = &rows[0].policy;
     let mut s = format!("Extension — dynamic tenancy (staggered joins/leaves), {device}\n");
     s += &format!(
         "  {:<16} {:>12} {:>16}\n",
-        "scheme", "unfairness", "vs OpenCL time"
+        "policy",
+        "unfairness",
+        format!("vs {reference} time")
     );
     for r in rows {
         s += &format!(
             "  {:<16} {:>12.2} {:>15.2}x\n",
-            r.scheme,
+            r.policy,
             r.unfairness,
             base_time / r.total_time as f64
         );
@@ -901,16 +953,16 @@ mod tests {
     fn tiny_sweep_reproduces_orderings() {
         let runner = Runner::new(DeviceConfig::k20m());
         let cfg = SweepConfig::test_scale();
-        let sw = sweep(&runner, &cfg, 4);
+        let set = PolicySet::paper();
+        let sw = sweep(&runner, &set, &cfg, 4);
+        let baseline = sw.index_of("baseline").expect("paper set has baseline");
+        let accelos = sw.index_of("accelos").expect("paper set has accelos");
         let u = sw.avg_unfairness();
         // accelOS is fairer than baseline on average.
-        assert!(
-            u[scheme_index(Scheme::AccelOs)] < u[scheme_index(Scheme::Baseline)],
-            "unfairness {u:?}"
-        );
+        assert!(u[accelos] < u[baseline], "unfairness {u:?}");
         // accelOS overlaps more than baseline.
         let o = sw.avg_overlap();
-        assert!(o[scheme_index(Scheme::AccelOs)] > o[scheme_index(Scheme::Baseline)]);
+        assert!(o[accelos] > o[baseline]);
         // Renderers do not panic.
         let ds = DeviceSweeps { sizes: vec![sw] };
         let _ = ds.fig9();
@@ -919,6 +971,35 @@ mod tests {
         let _ = ds.fig13();
         let _ = ds.fig14();
         let _ = ds.table_stp_antt();
+    }
+
+    #[test]
+    fn extended_policy_set_sweeps_through_the_same_api() {
+        // The acceptance scenario: a sweep over a set with *no* paper
+        // scheme but the two extensions, entirely through the trait API.
+        let runner = Runner::new(DeviceConfig::k20m());
+        let cfg = SweepConfig {
+            pairs: 6,
+            n4: 3,
+            n8: 2,
+            reps: 1,
+            seed: 2016,
+        };
+        let set = PolicySet::parse("accelos,accelos-guided,accelos-weighted:3:1").unwrap();
+        let sw = sweep(&runner, &set, &cfg, 2);
+        assert_eq!(sw.policy_count(), 3);
+        assert_eq!(sw.workloads.len(), 6);
+        // Ratios are relative to the first policy of the set (accelos).
+        for w in &sw.workloads {
+            assert!((w.fairness_improvement(0) - 1.0).abs() < 1e-12);
+            assert!((w.throughput_speedup(0) - 1.0).abs() < 1e-12);
+        }
+        let ds = DeviceSweeps {
+            sizes: vec![sw.clone(), sw.clone(), sw],
+        };
+        let rendered = ds.fig9() + &ds.fig10() + &ds.fig13() + &ds.table_stp_antt();
+        assert!(rendered.contains("accelOS-guided"));
+        assert!(rendered.contains("accelos-weighted:3:1"));
     }
 
     #[test]
@@ -968,9 +1049,9 @@ mod tests {
     #[test]
     fn dynamic_tenancy_favors_accelos() {
         let runner = Runner::new(DeviceConfig::k20m());
-        let rows = dynamic_tenancy(&runner, 5);
+        let rows = dynamic_tenancy(&runner, &PolicySet::paper(), 5);
         assert_eq!(rows.len(), 4);
-        let by = |label: &str| rows.iter().find(|r| r.scheme == label).expect("row");
+        let by = |label: &str| rows.iter().find(|r| r.policy == label).expect("row");
         let base = by("OpenCL");
         let acc = by("accelOS");
         assert!(

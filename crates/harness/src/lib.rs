@@ -1,15 +1,19 @@
 //! # accel-harness — workloads and experiment drivers
 //!
 //! Reproduces the accelOS (CGO 2016) evaluation: workload generation
-//! (§7.2), the co-execution [`runner`] for the four schemes
-//! {standard OpenCL, Elastic Kernels, accelOS-naive, accelOS} on the two
-//! device presets, and one [`experiments`] driver per table and figure.
+//! (§7.2), the co-execution [`runner`] for any set of
+//! [`SchedulingPolicy`] objects (the paper's four schemes are
+//! [`PolicySet::paper`]) on the two device presets, and one
+//! [`experiments`] driver per table and figure.
 //!
-//! The `repro` binary renders any experiment from the command line:
+//! The `repro` binary renders any experiment from the command line, for
+//! any policy set:
 //!
 //! ```text
 //! cargo run --release -p accel-harness --bin repro -- fig9 --device k20m
 //! cargo run --release -p accel-harness --bin repro -- all --full
+//! cargo run --release -p accel-harness --bin repro -- fig9 \
+//!     --policies accelos,accelos-guided,accelos-weighted:3:1
 //! ```
 //!
 //! # Examples
@@ -22,7 +26,8 @@
 //!
 //! let runner = Runner::new(DeviceConfig::k20m());
 //! println!("{}", fig2(&runner, 1));
-//! let sweeps = device_sweeps(&runner, &SweepConfig::test_scale());
+//! let set = accelos::policy::PolicySet::paper();
+//! let sweeps = device_sweeps(&runner, &set, &SweepConfig::test_scale());
 //! println!("{}", sweeps.fig9());
 //! ```
 
@@ -32,5 +37,6 @@ pub mod experiments;
 pub mod runner;
 pub mod workloads;
 
-pub use runner::{Runner, Scheme, WorkloadRun};
+pub use accelos::policy::{PolicySet, SchedulingPolicy};
+pub use runner::{RepContext, Runner, Scheme, WorkloadRun};
 pub use workloads::{all_pairs, alphabetic_pairs, random_combinations, SweepConfig, Workload};

@@ -1,13 +1,22 @@
-//! The co-execution runner: one workload × one scheme × one device →
-//! per-kernel times, busy intervals and metrics.
+//! The co-execution runner: one workload × one scheduling policy × one
+//! device → per-kernel times, busy intervals and metrics.
 //!
-//! Schemes:
+//! Policies are [`SchedulingPolicy`] objects (see `accelos::policy`); the
+//! paper's four schemes come from
+//! [`PolicySet::paper`](accelos::policy::PolicySet::paper):
 //!
-//! * [`Scheme::Baseline`] — standard OpenCL: every original work group is a
-//!   hardware work group (serialisation emerges from the FIFO dispatcher);
-//! * [`Scheme::ElasticKernels`] — the static-allocation baseline;
-//! * [`Scheme::AccelOsNaive`] / [`Scheme::AccelOs`] — the paper's runtime,
-//!   without and with §6.4 adaptive scheduling.
+//! * `baseline` — standard OpenCL: every original work group is a hardware
+//!   work group (serialisation emerges from the FIFO dispatcher);
+//! * `ek` — the Elastic Kernels static-allocation baseline;
+//! * `accelos-naive` / `accelos` — the paper's runtime, without and with
+//!   §6.4 adaptive scheduling.
+//!
+//! Each `(workload, repetition)` measurement opens one [`RepContext`]
+//! session holding everything that is *policy-independent*: the calibrated
+//! per-work-group cost draw, the compiled resource demands, and lazily the
+//! §3 share allocations. Every policy of the repetition plans against the
+//! same session, so nothing is recomputed per policy (the ROADMAP's
+//! "cost-draw sharing across schemes at the API level").
 //!
 //! Per-work-group resources come from *compiling* each kernel (registers,
 //! local memory, §6.4 instruction counts); per-work-group costs come from
@@ -15,27 +24,27 @@
 //! paper's 20-repetition averaging has variance to average over.
 
 use accelos::chunk::{chunk_for, Mode};
-use accelos::resource::ResourceDemand;
-use accelos::scheduler::{plan_launches, ExecRequest};
-use elastic_kernels::EkKernel;
-use gpu_sim::{Costs, DeviceConfig, KernelLaunch, LaunchPlan, SimReport, Simulator, WorkGroupReq};
+use accelos::policy::{PlanCtx, SchedulingPolicy};
+use accelos::resource::{ResourceDemand, ShareAllocation};
+use accelos::scheduler::ExecRequest;
+use gpu_sim::{Costs, DeviceConfig, KernelLaunch, SimReport, Simulator, WorkGroupReq};
 use parboil::{KernelDb, KernelSpec};
 use sched_metrics::IntervalSet;
 use std::collections::HashMap;
-use std::sync::Mutex;
-
-/// Entries kept in the per-runner cost-draw cache before it is cleared.
-/// Draws are only reused within one repetition (the four schemes and the
-/// isolated runs of the same `(workload, seed)`), so a small bound keeps
-/// the hot set resident without letting a paper-sized sweep accumulate
-/// gigabytes of stale tables.
-const COST_CACHE_CAP: usize = 512;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Software cost added per virtual group by the persistent-worker runtime
 /// (index arithmetic of the replaced work-item functions).
 const PER_VG_OVERHEAD: u64 = 2;
 
-/// The sharing schemes under evaluation.
+/// Inner level of the isolated-time cache: `(kernel, seed)` → time.
+type IsolatedTimes = HashMap<(&'static str, u64), u64>;
+
+/// The paper's four sharing schemes, kept as a thin adapter over the
+/// policy objects: `scheme.policy()` yields the [`SchedulingPolicy`] that
+/// replaced the old enum dispatch, and the [`legacy`] module preserves the
+/// seed's enum-dispatch planning verbatim so the differential tests can
+/// prove the policy objects bit-identical to it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Standard vendor OpenCL stack.
@@ -68,16 +77,35 @@ impl Scheme {
             Scheme::AccelOs => "accelOS",
         }
     }
+
+    /// The policy object implementing this scheme.
+    pub fn policy(&self) -> Arc<dyn SchedulingPolicy> {
+        accelos::policy::PolicySet::builtin(self.name()).expect("schemes are builtin policies")
+    }
+
+    /// The policy-registry name of this scheme.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::ElasticKernels => "ek",
+            Scheme::AccelOsNaive => "accelos-naive",
+            Scheme::AccelOs => "accelos",
+        }
+    }
 }
 
-/// Result of one workload execution under one scheme.
-#[derive(Debug, Clone)]
+/// Result of one workload execution under one policy.
+///
+/// `PartialEq` is exact (bit-level): the policy objects are required to
+/// reproduce the seed's enum-dispatch numbers identically, and the
+/// differential tests assert it through this impl.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadRun {
     /// Kernel names, in arrival order.
     pub names: Vec<&'static str>,
     /// Per-kernel turnaround times in the shared run.
     pub shared: Vec<u64>,
-    /// Per-kernel isolated times under the same scheme.
+    /// Per-kernel isolated times under the same policy.
     pub alone: Vec<u64>,
     /// Per-kernel busy intervals in the shared run.
     pub busy: Vec<IntervalSet>,
@@ -121,18 +149,145 @@ impl WorkloadRun {
     }
 }
 
+/// The policy-independent facts of one kernel inside a [`RepContext`].
+#[derive(Debug)]
+struct RepKernel {
+    spec: &'static KernelSpec,
+    req: WorkGroupReq,
+    demand: ResourceDemand,
+    insn_count: usize,
+    costs: Costs,
+}
+
+/// One `(workload, repetition)` measurement session.
+///
+/// Owns everything every policy of the repetition shares: the calibrated
+/// cost draw (one [`Costs`] table per kernel, deduplicated when a kernel
+/// appears several times in the workload), the compiled resource demands,
+/// and — lazily, filled by the first policy that needs them — the §3
+/// equal-share and single-kernel allocations. Handing the same context to
+/// each policy is what eliminates the redundant `compute_shares` re-plans
+/// and cost re-draws the seed performed per scheme.
+#[derive(Debug)]
+pub struct RepContext<'r> {
+    runner: &'r Runner,
+    seed: u64,
+    kernels: Vec<RepKernel>,
+    equal_shares: OnceLock<(Vec<ResourceDemand>, ShareAllocation)>,
+    solo_shares: Vec<OnceLock<(ResourceDemand, u32)>>,
+}
+
+impl<'r> RepContext<'r> {
+    fn new(runner: &'r Runner, workload: &[&'static KernelSpec], seed: u64) -> Self {
+        assert!(!workload.is_empty(), "workloads need at least one kernel");
+        // The draw is a deterministic function of (kernel, n, seed), so a
+        // kernel appearing twice in a workload shares one table.
+        let mut draws: HashMap<&'static str, Costs> = HashMap::new();
+        let kernels = workload
+            .iter()
+            .map(|spec| {
+                let (_, profile) = runner.db.get(spec.name).expect("spec from the same table");
+                let req = WorkGroupReq {
+                    threads: spec.wg_size,
+                    local_mem: profile.static_local_bytes as u32,
+                    regs_per_thread: profile.regs_per_item.max(1) as u32,
+                };
+                let costs = draws
+                    .entry(spec.name)
+                    .or_insert_with(|| spec.vg_costs(spec.default_wgs as usize, seed).into())
+                    .clone();
+                RepKernel {
+                    spec,
+                    req,
+                    demand: ResourceDemand {
+                        wg_threads: req.threads,
+                        wg_local_mem: req.local_mem,
+                        wg_regs: req.regs_total(),
+                        original_wgs: spec.default_wgs,
+                    },
+                    insn_count: profile.insn_count,
+                    costs,
+                }
+            })
+            .collect::<Vec<_>>();
+        let solo_shares = kernels.iter().map(|_| OnceLock::new()).collect();
+        RepContext {
+            runner,
+            seed,
+            kernels,
+            equal_shares: OnceLock::new(),
+            solo_shares,
+        }
+    }
+
+    /// The session's repetition seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The workload, in arrival order.
+    pub fn workload(&self) -> Vec<&'static KernelSpec> {
+        self.kernels.iter().map(|k| k.spec).collect()
+    }
+
+    /// The calibrated cost draw of kernel `index`.
+    pub fn costs(&self, index: usize) -> &Costs {
+        &self.kernels[index].costs
+    }
+
+    /// The planning context policies receive: the device plus this
+    /// session's share caches.
+    pub fn plan_ctx(&self) -> PlanCtx<'_> {
+        PlanCtx::with_caches(&self.runner.device, &self.equal_shares, &self.solo_shares)
+    }
+
+    /// A single-kernel session for kernel `index`, sharing this session's
+    /// cost draw (an `Arc` clone, not a re-draw) — what isolated-time
+    /// simulations plan against. Share caches start empty because a solo
+    /// batch allocates differently from the full one.
+    fn solo(&self, index: usize) -> RepContext<'r> {
+        let k = &self.kernels[index];
+        RepContext {
+            runner: self.runner,
+            seed: self.seed,
+            kernels: vec![RepKernel {
+                spec: k.spec,
+                req: k.req,
+                demand: k.demand,
+                insn_count: k.insn_count,
+                costs: k.costs.clone(),
+            }],
+            equal_shares: OnceLock::new(),
+            solo_shares: vec![OnceLock::new()],
+        }
+    }
+
+    /// The batch as [`ExecRequest`]s, with dequeue chunks compiled for
+    /// `mode` (policies report their mode via
+    /// [`SchedulingPolicy::chunk_mode`]).
+    pub fn exec_requests(&self, mode: Mode) -> Vec<ExecRequest> {
+        self.kernels
+            .iter()
+            .map(|k| ExecRequest {
+                kernel: k.spec.name.into(),
+                ndrange: k.spec.default_ndrange(),
+                demand: k.demand,
+                chunk: chunk_for(k.insn_count, mode),
+            })
+            .collect()
+    }
+}
+
 /// Runs workloads on one device with cached kernel compilation and cached
 /// isolated-execution times.
 #[derive(Debug)]
 pub struct Runner {
     device: DeviceConfig,
     db: KernelDb,
-    isolated: Mutex<HashMap<(Scheme, &'static str, u64), u64>>,
-    /// Cached per-work-group cost draws keyed `(kernel, n, seed)` — every
-    /// scheme of a repetition consumes the *same* draw, so without this
-    /// cache a 4-scheme measurement regenerates (and re-allocates) each
-    /// kernel's cost table four times.
-    costs: Mutex<HashMap<(&'static str, usize, u64), Costs>>,
+    /// Isolated times, keyed policy-name → `(kernel, seed)`. Two levels so
+    /// the sweep's hot path (overwhelmingly cache hits) looks up with the
+    /// borrowed `policy.name()` and never allocates a key string.
+    isolated: Mutex<HashMap<String, IsolatedTimes>>,
 }
 
 impl Runner {
@@ -148,27 +303,7 @@ impl Runner {
             device,
             db,
             isolated: Mutex::new(HashMap::new()),
-            costs: Mutex::new(HashMap::new()),
         }
-    }
-
-    /// The deterministic cost draw for `(spec, n, seed)` as a shared table
-    /// (cached; see [`Runner::costs`]).
-    fn vg_costs_cached(&self, spec: &'static KernelSpec, n: usize, seed: u64) -> Costs {
-        let key = (spec.name, n, seed);
-        {
-            let cache = self.costs.lock().unwrap();
-            if let Some(c) = cache.get(&key) {
-                return c.clone();
-            }
-        }
-        let draw: Costs = spec.vg_costs(n, seed).into();
-        let mut cache = self.costs.lock().unwrap();
-        if cache.len() >= COST_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, draw.clone());
-        draw
     }
 
     /// The device this runner simulates.
@@ -181,8 +316,205 @@ impl Runner {
         &self.db
     }
 
-    fn wg_req(&self, spec: &KernelSpec) -> WorkGroupReq {
-        let (_, profile) = self.db.get(spec.name).expect("spec from the same table");
+    /// Open a `(workload, repetition)` session: draw the repetition's
+    /// costs and compile the demands once, for every policy to share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is empty.
+    pub fn rep_context<'r>(
+        &'r self,
+        workload: &[&'static KernelSpec],
+        seed: u64,
+    ) -> RepContext<'r> {
+        RepContext::new(self, workload, seed)
+    }
+
+    /// Build the machine launches for the session's workload under
+    /// `policy`, arriving at the given times (one per kernel). Exposed so
+    /// the differential tests can simulate the raw launch vectors; most
+    /// callers want [`Runner::run_in`].
+    pub fn launches_in(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+    ) -> Vec<KernelLaunch> {
+        assert_eq!(ctx.kernels.len(), arrivals.len(), "one arrival per kernel");
+        let requests = ctx.exec_requests(policy.chunk_mode());
+        let plan_ctx = ctx.plan_ctx();
+        let decisions = policy.plan(&plan_ctx, &requests);
+        decisions
+            .iter()
+            .enumerate()
+            .map(|(i, decision)| {
+                let k = &ctx.kernels[i];
+                KernelLaunch {
+                    name: k.spec.name.to_string(),
+                    arrival: arrivals[i],
+                    req: k.req,
+                    mem_intensity: k.spec.mem_intensity,
+                    plan: decision.to_sim_plan(k.costs.clone(), PER_VG_OVERHEAD),
+                    // Adaptive policies may grow into capacity freed when
+                    // other kernels retire (the adaptivity of iterative
+                    // applications, see `KernelLaunch::max_workers`), up to
+                    // the share a §3 single-kernel allocation would grant.
+                    max_workers: policy.solo_workers(&plan_ctx, i, &requests[i]),
+                }
+            })
+            .collect()
+    }
+
+    fn simulate(&self, launches: Vec<KernelLaunch>) -> SimReport {
+        let mut sim = Simulator::new(self.device.clone());
+        for l in launches {
+            sim.add_launch(l);
+        }
+        sim.run()
+    }
+
+    /// Isolated execution time of one kernel under `policy` (cached by
+    /// policy name — see [`SchedulingPolicy::name`] for why the name must
+    /// identify the policy's behaviour).
+    pub fn isolated_time(
+        &self,
+        policy: &dyn SchedulingPolicy,
+        spec: &'static KernelSpec,
+        seed: u64,
+    ) -> u64 {
+        if let Some(&t) = self
+            .isolated
+            .lock()
+            .unwrap()
+            .get(policy.name())
+            .and_then(|m| m.get(&(spec.name, seed)))
+        {
+            return t;
+        }
+        let ctx = self.rep_context(&[spec], seed);
+        self.isolated_time_in(&ctx, policy, 0)
+    }
+
+    /// Isolated time of the session's kernel `index` under `policy`,
+    /// reusing the session's cost draw on cache misses instead of
+    /// re-drawing it.
+    fn isolated_time_in(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        index: usize,
+    ) -> u64 {
+        let spec = ctx.kernels[index].spec;
+        if let Some(&t) = self
+            .isolated
+            .lock()
+            .unwrap()
+            .get(policy.name())
+            .and_then(|m| m.get(&(spec.name, ctx.seed)))
+        {
+            return t;
+        }
+        let report = self.simulate(self.launches_in(&ctx.solo(index), policy, &[0]));
+        let t = report.total_time().max(1);
+        self.isolated
+            .lock()
+            .unwrap()
+            .entry(policy.name().to_string())
+            .or_default()
+            .insert((spec.name, ctx.seed), t);
+        t
+    }
+
+    /// Run one workload under one policy, all requests arriving at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is empty.
+    pub fn run_workload(
+        &self,
+        policy: &dyn SchedulingPolicy,
+        workload: &[&'static KernelSpec],
+        seed: u64,
+    ) -> WorkloadRun {
+        let ctx = self.rep_context(workload, seed);
+        self.run_in(&ctx, policy, &vec![0; workload.len()])
+    }
+
+    /// Run one workload with *staggered* arrivals — tenants joining (and
+    /// leaving, as they finish) a shared node dynamically, the scenario §9
+    /// says static code-merging approaches cannot handle.
+    ///
+    /// Shares are planned against the whole tenancy (the steady state an
+    /// iterative application converges to); the simulator's elastic growth
+    /// covers the join/leave transients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is empty or the lengths differ.
+    pub fn run_workload_with_arrivals(
+        &self,
+        policy: &dyn SchedulingPolicy,
+        workload: &[&'static KernelSpec],
+        arrivals: &[u64],
+        seed: u64,
+    ) -> WorkloadRun {
+        let ctx = self.rep_context(workload, seed);
+        self.run_in(&ctx, policy, arrivals)
+    }
+
+    /// Run one policy against an open [`RepContext`] session. The sweep
+    /// calls this once per policy of a repetition, sharing the session's
+    /// cost draw and share caches across all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` does not match the session's workload length.
+    pub fn run_in(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+    ) -> WorkloadRun {
+        let report = self.simulate(self.launches_in(ctx, policy, arrivals));
+        let names: Vec<&'static str> = ctx.kernels.iter().map(|k| k.spec.name).collect();
+        let shared: Vec<u64> = report
+            .kernels
+            .iter()
+            .map(|k| k.turnaround().max(1))
+            .collect();
+        let alone: Vec<u64> = (0..ctx.kernels.len())
+            .map(|i| self.isolated_time_in(ctx, policy, i))
+            .collect();
+        let busy: Vec<IntervalSet> = report
+            .kernels
+            .iter()
+            .map(|k| IntervalSet::from_raw(k.busy_intervals.clone()))
+            .collect();
+        WorkloadRun {
+            names,
+            shared,
+            alone,
+            busy,
+            total_time: report.total_time().max(1),
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod legacy {
+    //! The seed's enum-dispatch planning path, preserved **verbatim** (cost
+    //! draws inlined in place of the retired per-runner cache) so the
+    //! policy objects can be differentially tested against it. This module
+    //! is a test fixture, not API: it disappears once the parity tests
+    //! have served their purpose.
+
+    use super::*;
+    use accelos::scheduler::plan_launches;
+    use elastic_kernels::EkKernel;
+    use gpu_sim::LaunchPlan;
+
+    fn wg_req(runner: &Runner, spec: &KernelSpec) -> WorkGroupReq {
+        let (_, profile) = runner.db.get(spec.name).expect("spec from the same table");
         WorkGroupReq {
             threads: spec.wg_size,
             local_mem: profile.static_local_bytes as u32,
@@ -190,15 +522,14 @@ impl Runner {
         }
     }
 
-    fn chunk(&self, spec: &KernelSpec, mode: Mode) -> u32 {
-        let (_, profile) = self.db.get(spec.name).expect("spec from the same table");
+    fn chunk(runner: &Runner, spec: &KernelSpec, mode: Mode) -> u32 {
+        let (_, profile) = runner.db.get(spec.name).expect("spec from the same table");
         chunk_for(profile.insn_count, mode)
     }
 
-    /// Build the machine launches for `workload` under `scheme`, arriving
-    /// at the given times (one per kernel).
-    fn launches_at(
-        &self,
+    /// The seed's `Runner::launches_at`.
+    pub fn launches_at(
+        runner: &Runner,
         scheme: Scheme,
         workload: &[&'static KernelSpec],
         arrivals: &[u64],
@@ -206,7 +537,7 @@ impl Runner {
     ) -> Vec<KernelLaunch> {
         let costs: Vec<Costs> = workload
             .iter()
-            .map(|s| self.vg_costs_cached(s, s.default_wgs as usize, seed))
+            .map(|s| s.vg_costs(s.default_wgs as usize, seed).into())
             .collect();
         let plans: Vec<LaunchPlan> = match scheme {
             Scheme::Baseline => costs
@@ -223,7 +554,7 @@ impl Runner {
                         original_wgs: s.default_wgs,
                     })
                     .collect();
-                elastic_kernels::plan(&self.device, &eks)
+                elastic_kernels::plan(&runner.device, &eks)
                     .iter()
                     .zip(&costs)
                     .map(|(d, c)| d.to_sim_plan(c.as_ref(), PER_VG_OVERHEAD))
@@ -238,7 +569,7 @@ impl Runner {
                 let requests: Vec<ExecRequest> = workload
                     .iter()
                     .map(|s| {
-                        let req = self.wg_req(s);
+                        let req = wg_req(runner, s);
                         ExecRequest {
                             kernel: s.name.into(),
                             ndrange: s.default_ndrange(),
@@ -248,11 +579,11 @@ impl Runner {
                                 wg_regs: req.regs_total(),
                                 original_wgs: s.default_wgs,
                             },
-                            chunk: self.chunk(s, mode),
+                            chunk: chunk(runner, s, mode),
                         }
                     })
                     .collect();
-                plan_launches(&self.device, &requests)
+                plan_launches(&runner.device, &requests)
                     .iter()
                     .zip(&costs)
                     .map(|(d, c)| d.to_sim_plan(c.clone(), PER_VG_OVERHEAD))
@@ -263,16 +594,11 @@ impl Runner {
             .iter()
             .zip(plans)
             .map(|(spec, plan)| {
-                // accelOS launches may grow into capacity freed when other
-                // kernels retire (the adaptivity of iterative applications,
-                // see `KernelLaunch::max_workers`), up to the share a §3
-                // single-kernel allocation would grant. Baseline and EK
-                // launches are static.
                 let max_workers = match scheme {
                     Scheme::AccelOs | Scheme::AccelOsNaive => {
-                        let req = self.wg_req(spec);
+                        let req = wg_req(runner, spec);
                         let alloc = accelos::resource::compute_shares(
-                            &self.device,
+                            &runner.device,
                             &[ResourceDemand {
                                 wg_threads: req.threads,
                                 wg_local_mem: req.local_mem,
@@ -287,7 +613,7 @@ impl Runner {
                 KernelLaunch {
                     name: spec.name.to_string(),
                     arrival: 0,
-                    req: self.wg_req(spec),
+                    req: wg_req(runner, spec),
                     mem_intensity: spec.mem_intensity,
                     plan,
                     max_workers,
@@ -301,79 +627,17 @@ impl Runner {
             .collect()
     }
 
-    /// Build the machine launches for a concurrent batch (all at time 0).
-    fn launches(
-        &self,
-        scheme: Scheme,
-        workload: &[&'static KernelSpec],
-        seed: u64,
-    ) -> Vec<KernelLaunch> {
-        self.launches_at(scheme, workload, &vec![0; workload.len()], seed)
-    }
-
-    fn simulate(&self, launches: Vec<KernelLaunch>) -> SimReport {
-        let mut sim = Simulator::new(self.device.clone());
-        for l in launches {
-            sim.add_launch(l);
-        }
-        sim.run()
-    }
-
-    /// Isolated execution time of one kernel under `scheme` (cached).
-    pub fn isolated_time(&self, scheme: Scheme, spec: &'static KernelSpec, seed: u64) -> u64 {
-        if let Some(&t) = self
-            .isolated
-            .lock()
-            .unwrap()
-            .get(&(scheme, spec.name, seed))
-        {
-            return t;
-        }
-        let report = self.simulate(self.launches(scheme, &[spec], seed));
-        let t = report.total_time().max(1);
-        self.isolated
-            .lock()
-            .unwrap()
-            .insert((scheme, spec.name, seed), t);
-        t
-    }
-
-    /// Run one workload under one scheme, all requests arriving at once.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workload` is empty.
+    /// The seed's `Runner::run_workload` (isolated times computed through
+    /// the legacy path too, uncached — parity workloads are small).
     pub fn run_workload(
-        &self,
+        runner: &Runner,
         scheme: Scheme,
         workload: &[&'static KernelSpec],
-        seed: u64,
-    ) -> WorkloadRun {
-        let arrivals = vec![0; workload.len()];
-        self.run_workload_with_arrivals(scheme, workload, &arrivals, seed)
-    }
-
-    /// Run one workload with *staggered* arrivals — tenants joining (and
-    /// leaving, as they finish) a shared node dynamically, the scenario §9
-    /// says static code-merging approaches cannot handle.
-    ///
-    /// Shares are planned against the whole tenancy (the steady state an
-    /// iterative application converges to); the simulator's elastic growth
-    /// covers the join/leave transients.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workload` is empty or the lengths differ.
-    pub fn run_workload_with_arrivals(
-        &self,
-        scheme: Scheme,
-        workload: &[&'static KernelSpec],
-        arrivals: &[u64],
         seed: u64,
     ) -> WorkloadRun {
         assert!(!workload.is_empty(), "workloads need at least one kernel");
-        assert_eq!(workload.len(), arrivals.len(), "one arrival per kernel");
-        let report = self.simulate(self.launches_at(scheme, workload, arrivals, seed));
+        let arrivals = vec![0; workload.len()];
+        let report = runner.simulate(launches_at(runner, scheme, workload, &arrivals, seed));
         let names: Vec<&'static str> = workload.iter().map(|s| s.name).collect();
         let shared: Vec<u64> = report
             .kernels
@@ -382,7 +646,12 @@ impl Runner {
             .collect();
         let alone: Vec<u64> = workload
             .iter()
-            .map(|s| self.isolated_time(scheme, s, seed))
+            .map(|s| {
+                runner
+                    .simulate(launches_at(runner, scheme, &[s], &[0], seed))
+                    .total_time()
+                    .max(1)
+            })
             .collect();
         let busy: Vec<IntervalSet> = report
             .kernels
@@ -402,6 +671,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use accelos::policy::{AccelOsPolicy, BaselinePolicy, PolicySet};
 
     fn k(name: &str) -> &'static KernelSpec {
         KernelSpec::by_name(name).expect("kernel exists")
@@ -412,11 +682,7 @@ mod tests {
         // A long kernel first, a short one behind it: the short one's
         // slowdown is dominated by the wait (paper §2.3).
         let r = Runner::new(DeviceConfig::k20m());
-        let run = r.run_workload(
-            Scheme::Baseline,
-            &[k("mri-q_ComputeQ"), k("histo_final")],
-            1,
-        );
+        let run = r.run_workload(&BaselinePolicy, &[k("mri-q_ComputeQ"), k("histo_final")], 1);
         assert!(run.unfairness() > 1.5, "baseline U = {}", run.unfairness());
         assert!(run.overlap() < 0.3, "baseline overlap = {}", run.overlap());
     }
@@ -424,7 +690,7 @@ mod tests {
     #[test]
     fn accelos_pair_is_fair_and_overlaps() {
         let r = Runner::new(DeviceConfig::k20m());
-        let run = r.run_workload(Scheme::AccelOs, &[k("sgemm"), k("stencil")], 1);
+        let run = r.run_workload(&AccelOsPolicy::optimized(), &[k("sgemm"), k("stencil")], 1);
         assert!(run.unfairness() < 2.0, "accelOS U = {}", run.unfairness());
         assert!(run.overlap() > 0.5, "accelOS overlap = {}", run.overlap());
     }
@@ -440,8 +706,8 @@ mod tests {
             ["mri-q_ComputeQ", "bfs"],
         ] {
             let wl = [k(pair[0]), k(pair[1])];
-            let base = r.run_workload(Scheme::Baseline, &wl, 3);
-            let acc = r.run_workload(Scheme::AccelOs, &wl, 3);
+            let base = r.run_workload(&BaselinePolicy, &wl, 3);
+            let acc = r.run_workload(&AccelOsPolicy::optimized(), &wl, 3);
             assert!(
                 acc.unfairness() < base.unfairness(),
                 "{pair:?}: accelOS {} vs baseline {}",
@@ -454,19 +720,19 @@ mod tests {
     #[test]
     fn isolated_times_are_cached_and_deterministic() {
         let r = Runner::new(DeviceConfig::k20m());
-        let a = r.isolated_time(Scheme::Baseline, k("bfs"), 5);
-        let b = r.isolated_time(Scheme::Baseline, k("bfs"), 5);
+        let a = r.isolated_time(&BaselinePolicy, k("bfs"), 5);
+        let b = r.isolated_time(&BaselinePolicy, k("bfs"), 5);
         assert_eq!(a, b);
-        let c = r.isolated_time(Scheme::Baseline, k("bfs"), 6);
+        let c = r.isolated_time(&BaselinePolicy, k("bfs"), 6);
         assert_ne!(a, c, "different cost draws give different times");
     }
 
     #[test]
-    fn metrics_are_computable_for_all_schemes() {
+    fn metrics_are_computable_for_all_policies() {
         let r = Runner::new(DeviceConfig::k20m());
         let wl = [k("histo_final"), k("mri-q_ComputePhiMag")];
-        for scheme in Scheme::all() {
-            let run = r.run_workload(scheme, &wl, 9);
+        for policy in PolicySet::paper().iter() {
+            let run = r.run_workload(policy.as_ref(), &wl, 9);
             assert!(run.unfairness() >= 1.0);
             assert!((0.0..=1.0).contains(&run.overlap()));
             assert!(run.stp() > 0.0);
@@ -474,5 +740,41 @@ mod tests {
             assert!(run.worst_antt() >= run.antt() - 1e-9);
             assert_eq!(run.names.len(), 2);
         }
+    }
+
+    #[test]
+    fn one_session_serves_every_policy_of_a_rep() {
+        let r = Runner::new(DeviceConfig::k20m());
+        let wl = [k("sgemm"), k("spmv")];
+        let ctx = r.rep_context(&wl, 11);
+        let arrivals = [0, 0];
+        for policy in PolicySet::paper().iter() {
+            let via_session = r.run_in(&ctx, policy.as_ref(), &arrivals);
+            let via_fresh = r.run_workload(policy.as_ref(), &wl, 11);
+            assert_eq!(via_session, via_fresh, "{}", policy.name());
+        }
+        // The shared caches were actually filled by the accelOS policies.
+        assert!(ctx.equal_shares.get().is_some());
+        assert!(ctx.solo_shares.iter().all(|s| s.get().is_some()));
+    }
+
+    #[test]
+    fn scheme_adapter_maps_to_policies() {
+        for scheme in Scheme::all() {
+            let p = scheme.policy();
+            assert_eq!(p.name(), scheme.name());
+            assert_eq!(p.label(), scheme.label());
+        }
+    }
+
+    #[test]
+    fn repeated_kernels_share_one_draw() {
+        let r = Runner::new(DeviceConfig::k20m());
+        let wl = [k("bfs"), k("bfs")];
+        let ctx = r.rep_context(&wl, 3);
+        assert!(
+            Arc::ptr_eq(ctx.costs(0), ctx.costs(1)),
+            "same kernel in one session should share its cost table"
+        );
     }
 }

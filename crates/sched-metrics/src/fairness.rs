@@ -108,7 +108,7 @@ pub fn stp(shared: &[u64], alone: &[u64]) -> f64 {
         .sum()
 }
 
-/// Jain's fairness index (Jain et al., the paper's reference [17]):
+/// Jain's fairness index (Jain et al., the paper's reference \[17\]):
 /// `J = (Σ x_i)² / (n · Σ x_i²)` over per-kernel *throughputs*
 /// `x_i = T(alone)_i / T(shared)_i`. Ranges over `(0, 1]`; 1 is perfectly
 /// fair, `1/n` is maximally unfair.

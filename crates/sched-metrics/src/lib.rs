@@ -9,7 +9,7 @@
 //! * [`throughput_speedup`] — `T_baseline / T_X`;
 //! * [`stp`], [`antt`], [`worst_antt`] — Eyerman & Eeckhout's multiprogram
 //!   metrics used by the paper's tables 1 and 2;
-//! * [`jain_index`] — Jain's fairness index (the paper's reference [17]),
+//! * [`jain_index`] — Jain's fairness index (the paper's reference \[17\]),
 //!   for cross-checking the max/min metric.
 //!
 //! # Examples

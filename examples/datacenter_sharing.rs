@@ -10,7 +10,8 @@
 //! Defaults to the paper's motivation workload (bfs, cutcp, stencil,
 //! tpacf); pass any of the 25 Parboil kernel names to try other mixes.
 
-use accel_harness::runner::{Runner, Scheme};
+use accel_harness::runner::Runner;
+use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
 use parboil::KernelSpec;
 
@@ -38,12 +39,12 @@ fn main() {
     let runner = Runner::new(DeviceConfig::k20m());
 
     let mut baseline_total = 0.0;
-    for scheme in [Scheme::Baseline, Scheme::ElasticKernels, Scheme::AccelOs] {
-        let run = runner.run_workload(scheme, &workload, 2016);
-        if scheme == Scheme::Baseline {
+    for policy in PolicySet::parse("baseline,ek,accelos").unwrap().iter() {
+        let run = runner.run_workload(policy.as_ref(), &workload, 2016);
+        if policy.name() == "baseline" {
             baseline_total = run.total_time as f64;
         }
-        println!("{}:", scheme.label());
+        println!("{}:", policy.label());
         for (name, slow) in run.names.iter().zip(run.slowdowns()) {
             println!("  {name:<28} slowdown {slow:>5.2}x");
         }

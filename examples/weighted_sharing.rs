@@ -1,79 +1,72 @@
 //! Weighted sharing (paper §2.2): the default gives every tenant an equal
 //! share, but "this can easily be achieved by changing the sharing ratio".
-//! Here a latency-critical tenant gets a 3x weight over two batch tenants.
+//! Here a latency-critical tenant gets a 3x weight over two batch tenants,
+//! as a [`WeightedPolicy`] driven end-to-end through the same
+//! `SchedulingPolicy` API the paper's four schemes use — the policy plans
+//! the shares, the runner simulates the co-execution, and the figures
+//! could sweep it with `repro --policies accelos,accelos-weighted:3:1`.
 //!
 //! ```text
 //! cargo run --release --example weighted_sharing
 //! ```
 
-use accelos::resource::{compute_shares, compute_weighted_shares, ResourceDemand};
-use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator, WorkGroupReq};
+use accel_harness::runner::Runner;
+use accelos::policy::{AccelOsPolicy, PlanCtx, SchedulingPolicy, WeightedPolicy};
+use gpu_sim::DeviceConfig;
 use parboil::KernelSpec;
 
 fn main() {
     let device = DeviceConfig::k20m();
     let premium = KernelSpec::by_name("sgemm").expect("kernel exists");
     let batch = KernelSpec::by_name("stencil").expect("kernel exists");
+    let workload = [premium, batch, batch];
 
-    let demand = |s: &KernelSpec| ResourceDemand {
-        wg_threads: s.wg_size,
-        wg_local_mem: 0,
-        wg_regs: s.wg_size * 16,
-        original_wgs: s.default_wgs,
-    };
-    let demands = [demand(premium), demand(batch), demand(batch)];
+    let equal = AccelOsPolicy::optimized();
+    // First tenant weight 3, everyone after repeats the final weight (1).
+    let weighted = WeightedPolicy::new(&[3.0, 1.0]);
 
-    let equal = compute_shares(&device, &demands);
-    let weighted = compute_weighted_shares(&device, &demands, &[3.0, 1.0, 1.0]);
-    println!("work-group allocations on {}:", device.name);
-    println!("  equal shares:    {:?}", equal.wgs_per_kernel);
-    println!("  3:1:1 weighting: {:?}", weighted.wgs_per_kernel);
-
-    // Simulate both allocations and report the premium tenant's turnaround.
-    let simulate = |workers: &[u32]| -> Vec<u64> {
-        let mut sim = Simulator::new(device.clone());
-        let specs = [premium, batch, batch];
-        let ids: Vec<_> = specs
+    // Show the §3 allocations the two policies plan for the same batch.
+    let runner = Runner::new(device.clone());
+    let ctx = runner.rep_context(&workload, 7);
+    let requests = ctx.exec_requests(weighted.chunk_mode());
+    let plan_ctx = PlanCtx::new(&device);
+    let show = |policy: &dyn SchedulingPolicy| -> Vec<u32> {
+        policy
+            .plan(&plan_ctx, &requests)
             .iter()
-            .zip(workers)
-            .map(|(s, &w)| {
-                sim.add_launch(KernelLaunch {
-                    name: s.name.into(),
-                    arrival: 0,
-                    req: WorkGroupReq {
-                        threads: s.wg_size,
-                        local_mem: 0,
-                        regs_per_thread: 16,
-                    },
-                    mem_intensity: s.mem_intensity,
-                    plan: LaunchPlan::PersistentDynamic {
-                        workers: w,
-                        vg_costs: s.vg_costs(s.default_wgs as usize, 7).into(),
-                        chunk: 1,
-                        per_vg_overhead: 2,
-                    },
-                    max_workers: None,
-                })
-            })
-            .collect();
-        let r = sim.run();
-        ids.iter().map(|&id| r.kernel(id).turnaround()).collect()
+            .map(|d| d.workers)
+            .collect()
     };
+    println!("work-group allocations on {}:", device.name);
+    println!("  equal shares:    {:?}", show(&equal));
+    println!("  3:1:1 weighting: {:?}", show(&weighted));
 
-    let t_equal = simulate(&equal.wgs_per_kernel);
-    let t_weighted = simulate(&weighted.wgs_per_kernel);
+    // Run the co-execution under both policies (same session, same cost
+    // draw) and report each tenant's turnaround.
+    let arrivals = [0, 0, 0];
+    let t_equal = runner.run_in(&ctx, &equal, &arrivals);
+    let t_weighted = runner.run_in(&ctx, &weighted, &arrivals);
     println!("\nturnaround (cycles):");
-    println!("  tenant     equal        3:1:1");
+    println!("  tenant           {:>12} {:>12}", "equal", "3:1:1");
     for (i, name) in ["sgemm (premium)", "stencil (batch)", "stencil (batch)"]
         .iter()
         .enumerate()
     {
-        println!("  {:<16} {:>9} {:>12}", name, t_equal[i], t_weighted[i]);
+        println!(
+            "  {:<16} {:>12} {:>12}",
+            name, t_equal.shared[i], t_weighted.shared[i]
+        );
     }
-    let gain = t_equal[0] as f64 / t_weighted[0] as f64;
+    let gain = t_equal.shared[0] as f64 / t_weighted.shared[0] as f64;
     println!("\npremium tenant speedup from weighting: {gain:.2}x");
+    println!(
+        "unfairness (vs equal-share isolated runs): equal {:.2}, weighted {:.2} — \
+         weighting trades global fairness for the premium tenant's latency",
+        t_equal.unfairness(),
+        t_weighted.unfairness()
+    );
     assert!(
         gain > 1.2,
-        "weighting should visibly help the premium tenant"
+        "weighting should visibly help the premium tenant (got {gain:.2}x)"
     );
 }

@@ -3,13 +3,14 @@
 //! Re-exports every workspace crate so integration tests and examples can
 //! use a single dependency:
 //!
-//! * [`accelos`] — the paper's contribution (JIT, scheduler, runtime);
+//! * [`accelos`] — the paper's contribution (JIT, scheduler, runtime, and
+//!   the pluggable [`accelos::policy`] scheduling-policy API);
 //! * [`clrt`] — the OpenCL-style host API applications write against;
-//! * [`minicl`](minicl) / [`kernel_ir`](kernel_ir) — the compiler stack;
-//! * [`gpu_sim`](gpu_sim) — the discrete-event accelerator;
-//! * [`parboil`](parboil) — the 25 benchmark kernels;
+//! * [`minicl`] / [`kernel_ir`] — the compiler stack;
+//! * [`gpu_sim`] — the discrete-event accelerator;
+//! * [`parboil`] — the 25 benchmark kernels;
 //! * [`elastic_kernels`] — the comparison baseline;
-//! * [`sched_metrics`](sched_metrics) — the §7.4 metrics;
+//! * [`sched_metrics`] — the §7.4 metrics;
 //! * [`harness`] — workloads and experiment drivers.
 //!
 //! See `DESIGN.md` for the system inventory and substitution arguments and

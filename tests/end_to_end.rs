@@ -126,7 +126,8 @@ fn memory_manager_paces_applications() {
 /// identical metrics (the property every sweep figure relies on).
 #[test]
 fn harness_runs_are_reproducible() {
-    use accel_harness::runner::{Runner, Scheme};
+    use accel_harness::runner::Runner;
+    use accelos::policy::PolicySet;
     use gpu_sim::DeviceConfig;
     use parboil::KernelSpec;
 
@@ -137,10 +138,10 @@ fn harness_runs_are_reproducible() {
     ];
     let r1 = Runner::new(DeviceConfig::r9_295x2());
     let r2 = Runner::new(DeviceConfig::r9_295x2());
-    for scheme in Scheme::all() {
-        let a = r1.run_workload(scheme, &wl, 99);
-        let b = r2.run_workload(scheme, &wl, 99);
-        assert_eq!(a.shared, b.shared, "{scheme:?}");
-        assert_eq!(a.total_time, b.total_time, "{scheme:?}");
+    for policy in PolicySet::paper().iter() {
+        let a = r1.run_workload(policy.as_ref(), &wl, 99);
+        let b = r2.run_workload(policy.as_ref(), &wl, 99);
+        assert_eq!(a.shared, b.shared, "{}", policy.name());
+        assert_eq!(a.total_time, b.total_time, "{}", policy.name());
     }
 }

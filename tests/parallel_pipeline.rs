@@ -15,6 +15,7 @@
 use accel_harness::experiments::{measure_workload, sweep, sweep_seq};
 use accel_harness::runner::Runner;
 use accel_harness::workloads::SweepConfig;
+use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
 use kernel_ir::interp::{DeviceMemory, DynStats, Interpreter, NdRange};
 use parboil::datasets::prepare_launch;
@@ -110,9 +111,10 @@ fn parallel_sweep_reproduces_sequential_exactly() {
         reps: 2,
         seed: 2016,
     };
+    let set = PolicySet::paper();
     for rq in [2usize, 4, 8] {
-        let par = sweep(&runner, &cfg, rq);
-        let seq = sweep_seq(&runner, &cfg, rq);
+        let par = sweep(&runner, &set, &cfg, rq);
+        let seq = sweep_seq(&runner, &set, &cfg, rq);
         assert_eq!(
             par, seq,
             "sweep of {rq} requests diverged under parallelism"
@@ -127,9 +129,10 @@ fn measure_workload_is_seed_deterministic() {
         KernelSpec::by_name("sgemm").unwrap(),
         KernelSpec::by_name("spmv").unwrap(),
     ];
-    let a = measure_workload(&runner, &wl, 2, 99);
-    let b = measure_workload(&runner, &wl, 2, 99);
+    let set = PolicySet::paper();
+    let a = measure_workload(&runner, &set, &wl, 2, 99);
+    let b = measure_workload(&runner, &set, &wl, 2, 99);
     assert_eq!(a, b);
-    let c = measure_workload(&runner, &wl, 2, 100);
+    let c = measure_workload(&runner, &set, &wl, 2, 100);
     assert_ne!(a, c, "different seeds must draw different costs");
 }

@@ -1,0 +1,136 @@
+//! Differential tests for the policy-object API: each of the four seed
+//! schemes (the retired `Scheme` enum dispatch, preserved verbatim in
+//! `accel_harness::runner::legacy`) and its `SchedulingPolicy` replacement
+//! must produce **bit-identical** results — raw simulator reports,
+//! workload runs, and averaged figure rows — across workloads and seeds.
+
+use accel_harness::experiments::measure_workload;
+use accel_harness::runner::{legacy, Runner, Scheme};
+use accelos::policy::PolicySet;
+use gpu_sim::{DeviceConfig, KernelLaunch, SimReport, Simulator};
+use parboil::KernelSpec;
+
+fn k(name: &str) -> &'static KernelSpec {
+    KernelSpec::by_name(name).expect("kernel exists")
+}
+
+/// ≥3 workloads spanning the sizes the paper sweeps (2, 4, 8 kernels),
+/// with a duplicate kernel in the 4-wide one to exercise draw dedup.
+fn workloads() -> Vec<Vec<&'static KernelSpec>> {
+    vec![
+        vec![k("mri-q_ComputeQ"), k("histo_final")],
+        vec![k("bfs"), k("cutcp"), k("stencil"), k("stencil")],
+        vec![
+            k("tpacf"),
+            k("lbm"),
+            k("histo_main"),
+            k("spmv"),
+            k("sgemm"),
+            k("stencil"),
+            k("mri-q_ComputePhiMag"),
+            k("cutcp"),
+        ],
+    ]
+}
+
+const SEEDS: [u64; 3] = [1, 2016, 0xdead_beef];
+
+fn simulate(device: &DeviceConfig, launches: Vec<KernelLaunch>) -> SimReport {
+    let mut sim = Simulator::new(device.clone());
+    for l in launches {
+        sim.add_launch(l);
+    }
+    sim.run()
+}
+
+/// The raw machine launches — and therefore the full simulator reports —
+/// of every scheme match its policy object exactly.
+#[test]
+fn sim_reports_are_bit_identical() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    for wl in workloads() {
+        for seed in SEEDS {
+            for scheme in Scheme::all() {
+                let arrivals: Vec<u64> = (0..wl.len() as u64).map(|i| i * 1000).collect();
+                let old = legacy::launches_at(&runner, scheme, &wl, &arrivals, seed);
+                let ctx = runner.rep_context(&wl, seed);
+                let new = runner.launches_in(&ctx, scheme.policy().as_ref(), &arrivals);
+                assert_eq!(
+                    old,
+                    new,
+                    "{scheme:?} launches diverged (wl {:?}, seed {seed})",
+                    wl.iter().map(|s| s.name).collect::<Vec<_>>()
+                );
+                let old_report = simulate(runner.device(), old);
+                let new_report = simulate(runner.device(), new);
+                assert_eq!(
+                    old_report, new_report,
+                    "{scheme:?} SimReport diverged (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end workload runs (shared + isolated times, busy intervals,
+/// metrics inputs) match between the legacy enum path and the policy path.
+#[test]
+fn workload_runs_are_bit_identical() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    for wl in workloads() {
+        for seed in SEEDS {
+            for scheme in Scheme::all() {
+                let old = legacy::run_workload(&runner, scheme, &wl, seed);
+                let new = runner.run_workload(scheme.policy().as_ref(), &wl, seed);
+                assert_eq!(
+                    old,
+                    new,
+                    "{scheme:?} WorkloadRun diverged (wl {:?}, seed {seed})",
+                    wl.iter().map(|s| s.name).collect::<Vec<_>>()
+                );
+                // The derived §7.4 metrics follow bit-for-bit.
+                assert_eq!(old.unfairness().to_bits(), new.unfairness().to_bits());
+                assert_eq!(old.overlap().to_bits(), new.overlap().to_bits());
+                assert_eq!(old.stp().to_bits(), new.stp().to_bits());
+                assert_eq!(old.antt().to_bits(), new.antt().to_bits());
+            }
+        }
+    }
+}
+
+/// Figure rows: the averaged per-workload metrics the sweep figures render
+/// match a legacy-path reconstruction exactly, for every scheme column.
+#[test]
+fn figure_rows_are_bit_identical() {
+    let runner = Runner::new(DeviceConfig::r9_295x2());
+    let set = PolicySet::paper();
+    let reps = 2u32;
+    // Same derivation as the sweep's rep seeds (`(seed, rep)`-keyed, never
+    // iteration-order-keyed).
+    let rep_seed = |seed: u64, rep: u32| seed.wrapping_add(rep as u64).wrapping_mul(0x9e37_79b9);
+    for wl in workloads() {
+        for seed in SEEDS {
+            let metrics = measure_workload(&runner, &set, &wl, reps, seed);
+            for (i, scheme) in Scheme::all().into_iter().enumerate() {
+                let (mut u, mut o, mut t, mut stp, mut antt, mut wa) =
+                    (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for rep in 0..reps {
+                    let run = legacy::run_workload(&runner, scheme, &wl, rep_seed(seed, rep));
+                    u += run.unfairness();
+                    o += run.overlap();
+                    t += run.total_time as f64;
+                    stp += run.stp();
+                    antt += run.antt();
+                    wa += run.worst_antt();
+                }
+                let n = reps as f64;
+                assert_eq!(metrics.unfairness[i].to_bits(), (u / n).to_bits());
+                assert_eq!(metrics.overlap[i].to_bits(), (o / n).to_bits());
+                assert_eq!(metrics.total_time[i].to_bits(), (t / n).to_bits());
+                assert_eq!(metrics.stp[i].to_bits(), (stp / n).to_bits());
+                assert_eq!(metrics.antt[i].to_bits(), (antt / n).to_bits());
+                assert_eq!(metrics.worst_antt[i].to_bits(), (wa / n).to_bits());
+            }
+        }
+    }
+}

@@ -4,8 +4,9 @@
 //! of the authors' testbed.
 
 use accel_harness::experiments::{device_sweeps, fig15, fig2, small_kernels};
-use accel_harness::runner::{Runner, Scheme};
+use accel_harness::runner::Runner;
 use accel_harness::workloads::SweepConfig;
+use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
 
 fn geomean(xs: &[f64]) -> f64 {
@@ -27,18 +28,21 @@ fn headline_fairness_and_throughput() {
         reps: 1,
         seed: 2016,
     };
+    let set = PolicySet::paper();
     for device in devices() {
         let runner = Runner::new(device.clone());
-        let sweeps = device_sweeps(&runner, &cfg);
+        let sweeps = device_sweeps(&runner, &set, &cfg);
+        let accelos = sweeps.sizes[0].index_of("accelos").expect("in paper set");
+        let ek = sweeps.sizes[0].index_of("ek").expect("in paper set");
         for sw in &sweeps.sizes {
-            let fi = sw.avg_fairness_improvement(Scheme::AccelOs);
+            let fi = sw.avg_fairness_improvement(accelos);
             assert!(
                 fi > 1.5,
                 "{}, {} requests: accelOS fairness improvement {fi:.2}",
                 device.name,
                 sw.request_size
             );
-            let ts = sw.avg_throughput_speedup(Scheme::AccelOs);
+            let ts = sw.avg_throughput_speedup(accelos);
             assert!(
                 ts > 1.05,
                 "{}, {} requests: accelOS throughput {ts:.2}",
@@ -46,8 +50,8 @@ fn headline_fairness_and_throughput() {
                 sw.request_size
             );
             // accelOS beats Elastic Kernels on both axes (fig. 9/13).
-            let fi_ek = sw.avg_fairness_improvement(Scheme::ElasticKernels);
-            let ts_ek = sw.avg_throughput_speedup(Scheme::ElasticKernels);
+            let fi_ek = sw.avg_fairness_improvement(ek);
+            let ts_ek = sw.avg_throughput_speedup(ek);
             assert!(fi > fi_ek, "accelOS {fi:.2} vs EK {fi_ek:.2} fairness");
             assert!(ts > ts_ek, "accelOS {ts:.2} vs EK {ts_ek:.2} throughput");
         }
@@ -55,7 +59,7 @@ fn headline_fairness_and_throughput() {
         let fis: Vec<f64> = sweeps
             .sizes
             .iter()
-            .map(|s| s.avg_fairness_improvement(Scheme::AccelOs))
+            .map(|s| s.avg_fairness_improvement(accelos))
             .collect();
         assert!(
             fis[0] < fis[2],
@@ -76,7 +80,7 @@ fn overlap_ordering() {
         seed: 2016,
     };
     let runner = Runner::new(DeviceConfig::k20m());
-    let sweeps = device_sweeps(&runner, &cfg);
+    let sweeps = device_sweeps(&runner, &PolicySet::paper(), &cfg);
     for sw in &sweeps.sizes {
         let o = sw.avg_overlap();
         let (base, ek, acc) = (o[0], o[1], o[3]);
