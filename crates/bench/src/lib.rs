@@ -95,6 +95,7 @@ pub fn sweep_view_bench(
                 sweep(runner, &set, &cfg, 4),
                 sweep(runner, &set, &cfg, 8),
             ],
+            reference: 0,
         };
         view(&ds)
     });

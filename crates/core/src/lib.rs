@@ -69,8 +69,9 @@ pub mod vrange;
 pub use chunk::{chunk_for, Mode};
 pub use jit::{transform_module, TransformInfo, TransformedProgram};
 pub use policy::{
-    AccelOsPolicy, BaselinePolicy, ElasticKernelsPolicy, GuidedPolicy, PlanCtx, PolicySet,
-    SchedulingPolicy, WeightedPolicy,
+    plan_with_arrivals, AccelOsPolicy, ArrivalPlan, ArrivalSchedule, BaselinePolicy,
+    ElasticKernelsPolicy, GuidedPolicy, PlanCtx, PolicySet, PriorityPolicy, SchedulingPolicy,
+    TimedReclaim, WeightedPolicy, WorkerReclaim,
 };
 pub use proxycl::{PendingExec, ProxyCl, ProxyProgram};
 pub use resource::{compute_shares, compute_weighted_shares, ResourceDemand, ShareAllocation};

@@ -8,9 +8,16 @@
 //! [`PolicySet`] is an ordered, named collection of policies that the
 //! evaluation harness sweeps. The four schemes of the paper's figures —
 //! vendor baseline, Elastic Kernels, accelOS-naive, accelOS — are provided
-//! as policy objects ([`PolicySet::paper`]), alongside two extensions:
-//! guided dequeues ([`GuidedPolicy`]) and weighted shares
-//! ([`WeightedPolicy`]).
+//! as policy objects ([`PolicySet::paper`]), alongside three extensions:
+//! guided dequeues ([`GuidedPolicy`]), weighted shares
+//! ([`WeightedPolicy`]) and preemptive priority ([`PriorityPolicy`]).
+//!
+//! Policies also own the batch's *transients*: when requests join a
+//! running batch mid-flight, [`SchedulingPolicy::on_arrival`] decides how
+//! they are admitted and whether running launches give workers back
+//! ([`WorkerReclaim`], executed by the simulator as
+//! [`gpu_sim::ReclaimCmd`]s at chunk boundaries).
+//! [`plan_with_arrivals`] drives those hooks over a staggered batch.
 //!
 //! Both execution planes consume the same decisions: the functional plane
 //! ([`crate::proxycl`]) runs each transformed kernel over the decision's
@@ -44,6 +51,37 @@
 //! let mut set = PolicySet::paper();
 //! set.push(Arc::new(premium)).unwrap();
 //! assert_eq!(set.len(), 5);
+//! ```
+//!
+//! # Parse a set, plan a batch
+//!
+//! Every registry name (the strings `repro --policies` accepts) resolves
+//! to a policy object, and any of them plans a request batch through the
+//! same two calls:
+//!
+//! ```
+//! use accelos::policy::{PlanCtx, PolicySet};
+//! use accelos::scheduler::ExecRequest;
+//! use gpu_sim::DeviceConfig;
+//! use kernel_ir::interp::NdRange;
+//!
+//! let set = PolicySet::parse("baseline,ek,accelos,accelos-priority").unwrap();
+//! let dev = DeviceConfig::k20m();
+//! let reqs = vec![
+//!     ExecRequest::new("premium", NdRange::new_1d(65536, 256), 0, 16, 1),
+//!     ExecRequest::new("batch", NdRange::new_1d(131072, 128), 2048, 8, 1),
+//! ];
+//! for policy in set.iter() {
+//!     let decisions = policy.plan(&PlanCtx::new(&dev), &reqs);
+//!     assert_eq!(decisions.len(), reqs.len());
+//!     assert!(decisions.iter().all(|d| d.workers >= 1));
+//! }
+//! // accelos-priority plans steady states exactly like accelos; it only
+//! // differs in how mid-run arrivals are handled (see `on_arrival`).
+//! let ctx = PlanCtx::new(&dev);
+//! let accelos = set.by_name("accelos").unwrap().plan(&ctx, &reqs);
+//! let priority = set.by_name("accelos-priority").unwrap().plan(&ctx, &reqs);
+//! assert_eq!(accelos, priority);
 //! ```
 
 use crate::chunk::Mode;
@@ -139,6 +177,63 @@ impl<'a> PlanCtx<'a> {
     }
 }
 
+/// A directive to shrink one *running* launch at its next chunk boundary
+/// (the timing plane executes it as a [`gpu_sim::ReclaimCmd`]).
+///
+/// Returned by [`SchedulingPolicy::on_arrival`] when a policy takes
+/// workers back from a running tenant instead of letting a new arrival
+/// queue behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReclaim {
+    /// Batch index (into the planning `requests`) of the launch to shrink.
+    pub index: usize,
+    /// Worker count the launch keeps (the simulator floors this at 1 so
+    /// the launch's shared queue always keeps draining).
+    pub workers: u32,
+}
+
+/// A policy's reaction to requests joining a running batch mid-flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalPlan {
+    /// One launch decision per arriving request, in `arriving` order.
+    pub decisions: Vec<LaunchDecision>,
+    /// Running launches to shrink at their next chunk boundary.
+    pub reclaims: Vec<WorkerReclaim>,
+}
+
+/// The default reaction to a mid-run arrival: re-plan the now-active
+/// subset (cache-free — the session caches describe the *full* batch) and
+/// admit the arrivals at their share of it, reclaiming nothing. Running
+/// launches keep their width; arrivals queue behind resident workers
+/// until retirements free capacity. (`?Sized` so the trait's default
+/// method can pass `self` without an object-unsafe `Self: Sized` bound.)
+fn admit_at_share<P: SchedulingPolicy + ?Sized>(
+    policy: &P,
+    ctx: &PlanCtx,
+    requests: &[ExecRequest],
+    arriving: &[usize],
+    running: &[usize],
+) -> ArrivalPlan {
+    let mut active: Vec<usize> = running.iter().chain(arriving).copied().collect();
+    active.sort_unstable();
+    let subset: Vec<ExecRequest> = active.iter().map(|&i| requests[i].clone()).collect();
+    let decisions = policy.plan(&PlanCtx::new(ctx.device()), &subset);
+    let picked = arriving
+        .iter()
+        .map(|i| {
+            let pos = active
+                .iter()
+                .position(|a| a == i)
+                .expect("arriving requests are active");
+            decisions[pos].clone()
+        })
+        .collect();
+    ArrivalPlan {
+        decisions: picked,
+        reclaims: Vec::new(),
+    }
+}
+
 /// A scheduling policy: turns concurrent kernel execution requests into
 /// resource-controlled launch decisions.
 ///
@@ -182,6 +277,51 @@ pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
     /// means the launch is static.
     fn solo_workers(&self, _ctx: &PlanCtx, _index: usize, _request: &ExecRequest) -> Option<u32> {
         None
+    }
+
+    /// React to requests joining the batch **mid-run**: `arriving`
+    /// (indices into `requests`) are being launched now; `running` are
+    /// the requests admitted earlier. Returns one decision per arriving
+    /// request plus any [`WorkerReclaim`] directives shrinking running
+    /// launches at their next chunk boundary.
+    ///
+    /// Planning is ahead-of-time, so `running` is an *approximation* of
+    /// the live set: completion times are only known to the simulator,
+    /// and a launch that already drained is still listed. That errs
+    /// conservative — a late arrival may be planned a smaller share than
+    /// the live tenancy would justify (elastic growth makes up the
+    /// difference), and a reclaim against a finished launch is inert in
+    /// the simulator (no live workers to cap).
+    ///
+    /// The default re-plans the active subset cache-free and admits the
+    /// arrivals at their share of it, reclaiming nothing — so late
+    /// arrivals queue behind resident persistent workers until capacity
+    /// frees up (plain accelOS transient behaviour). Preemptive policies
+    /// ([`PriorityPolicy`]) override this to take workers back
+    /// immediately.
+    ///
+    /// `ctx` is the *session* context of the whole batch: implementations
+    /// must not query its share caches with subset demands — build a
+    /// cache-free `PlanCtx::new(ctx.device())` for subset allocations, as
+    /// the default does.
+    fn on_arrival(
+        &self,
+        ctx: &PlanCtx,
+        requests: &[ExecRequest],
+        arriving: &[usize],
+        running: &[usize],
+    ) -> ArrivalPlan {
+        admit_at_share(self, ctx, requests, arriving, running)
+    }
+
+    /// The worker count running request `index` keeps when this policy
+    /// reclaims its workers (consulted by preemptive
+    /// [`SchedulingPolicy::on_arrival`] implementations). The default is
+    /// the minimum width — one persistent worker — so a reclaimed tenant
+    /// still drains its queue ("pause-like" shrink); override to keep a
+    /// larger floor.
+    fn reclaim(&self, _ctx: &PlanCtx, _requests: &[ExecRequest], _index: usize) -> u32 {
+        1
     }
 }
 
@@ -481,6 +621,290 @@ impl SchedulingPolicy for WeightedPolicy {
     }
 }
 
+/// Preemptive priority with mid-flight worker reclamation: the first
+/// `premium` requests of a batch are high-priority tenants; everyone else
+/// is batch work.
+///
+/// Steady states are planned exactly like [`AccelOsPolicy::optimized`]
+/// (equal §3 shares) — with no premium arrival mid-run the two policies
+/// are bit-identical, which `tests/preemption_invariants.rs` asserts. The
+/// difference is the transient: when a premium request arrives while
+/// batch tenants run, the policy does not let it queue behind their
+/// resident persistent workers (which hold their CU slots until their
+/// queues drain). Instead its [`SchedulingPolicy::on_arrival`]:
+///
+/// * plans the premium tenants' shares **among themselves**, as if the
+///   batch tenants were absent (a lone premium arrival gets its solo
+///   share — effectively the whole machine);
+/// * shrinks every running batch tenant to its
+///   [`SchedulingPolicy::reclaim`] width (default 1 worker, the
+///   "pause-like" floor that keeps its queue draining) at the next chunk
+///   boundary, via [`WorkerReclaim`] directives the simulator executes as
+///   [`gpu_sim::ReclaimCmd`]s.
+///
+/// When the premium work retires, the simulator's elastic growth
+/// ([`gpu_sim::KernelLaunch::max_workers`], fed by
+/// [`SchedulingPolicy::solo_workers`]) restores the batch tenants — the
+/// same take-back-then-give-back cycle THEMIS and Gavel assume their
+/// runtimes can perform (PAPERS.md).
+#[derive(Debug, Clone)]
+pub struct PriorityPolicy {
+    name: String,
+    premium: usize,
+}
+
+impl PriorityPolicy {
+    /// The first `premium` requests of a batch are high-priority. The
+    /// default count of 1 keeps the registry name `accelos-priority`;
+    /// other counts get `accelos-priority:<n>` so differently-configured
+    /// instances never collide in name-keyed caches (see
+    /// [`SchedulingPolicy::name`]). `premium == 0` — nobody is premium —
+    /// is allowed and behaves exactly like `accelos`.
+    pub fn new(premium: usize) -> Self {
+        PriorityPolicy {
+            name: if premium == 1 {
+                "accelos-priority".to_string()
+            } else {
+                format!("accelos-priority:{premium}")
+            },
+            premium,
+        }
+    }
+
+    /// Whether batch position `index` is a premium tenant.
+    pub fn is_premium(&self, index: usize) -> bool {
+        index < self.premium
+    }
+
+    /// Equal §3 shares over `subset` (cache-free; used for the
+    /// premium-only re-plan on arrival).
+    fn equal_plan(device: &DeviceConfig, subset: &[ExecRequest]) -> Vec<LaunchDecision> {
+        let demands: Vec<ResourceDemand> = subset.iter().map(|r| r.demand).collect();
+        let alloc = compute_shares(device, &demands);
+        subset
+            .iter()
+            .zip(&alloc.wgs_per_kernel)
+            .map(|(req, &workers)| chunked_decision(req, workers))
+            .collect()
+    }
+}
+
+impl Default for PriorityPolicy {
+    /// One premium tenant: the batch's first request.
+    fn default() -> Self {
+        PriorityPolicy::new(1)
+    }
+}
+
+impl SchedulingPolicy for PriorityPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self) -> &str {
+        if self.premium == 1 {
+            "accelOS-priority"
+        } else {
+            &self.name
+        }
+    }
+
+    fn chunk_mode(&self) -> Mode {
+        Mode::Optimized
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        // Steady state: exactly accelOS's equal shares. Priority only
+        // changes how mid-run transients are handled (`on_arrival`),
+        // which is what keeps the zero-arrival bit-identity with
+        // `accelos`.
+        let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
+        let alloc = ctx.equal_shares(&demands);
+        requests
+            .iter()
+            .zip(&alloc.wgs_per_kernel)
+            .map(|(req, &workers)| chunked_decision(req, workers))
+            .collect()
+    }
+
+    fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
+        Some(ctx.solo_share(index, &request.demand))
+    }
+
+    fn on_arrival(
+        &self,
+        ctx: &PlanCtx,
+        requests: &[ExecRequest],
+        arriving: &[usize],
+        running: &[usize],
+    ) -> ArrivalPlan {
+        if !arriving.iter().any(|&i| self.is_premium(i)) {
+            // Nothing high-priority is joining: behave exactly like
+            // accelOS (admit at share, reclaim nothing).
+            return admit_at_share(self, ctx, requests, arriving, running);
+        }
+        // Premium tenants split the machine among themselves, as if the
+        // batch tenants were absent.
+        let mut premium: Vec<usize> = running
+            .iter()
+            .chain(arriving)
+            .copied()
+            .filter(|&i| self.is_premium(i))
+            .collect();
+        premium.sort_unstable();
+        let subset: Vec<ExecRequest> = premium.iter().map(|&i| requests[i].clone()).collect();
+        let premium_plans = PriorityPolicy::equal_plan(ctx.device(), &subset);
+        let width_of = |i: usize| {
+            let pos = premium
+                .iter()
+                .position(|&p| p == i)
+                .expect("premium index is active");
+            premium_plans[pos].clone()
+        };
+        let decisions = arriving
+            .iter()
+            .map(|&i| {
+                if self.is_premium(i) {
+                    width_of(i)
+                } else {
+                    // Batch work admitted under premium pressure starts
+                    // at the reclaim floor and regrows elastically once
+                    // the premium tenants retire.
+                    chunked_decision(&requests[i], self.reclaim(ctx, requests, i))
+                }
+            })
+            .collect();
+        let reclaims = running
+            .iter()
+            .map(|&i| WorkerReclaim {
+                index: i,
+                workers: if self.is_premium(i) {
+                    // A running premium tenant shrinks to its new
+                    // premium-subset share (more premium tenants now
+                    // share the machine).
+                    width_of(i).workers
+                } else {
+                    self.reclaim(ctx, requests, i)
+                },
+            })
+            .collect();
+        ArrivalPlan {
+            decisions,
+            reclaims,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Staggered batches: cohort planning through the arrival hooks
+// ---------------------------------------------------------------------
+
+/// One timed reclamation of an [`ArrivalSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedReclaim {
+    /// Device time at which the shrink takes effect.
+    pub at: u64,
+    /// Batch index of the launch to shrink.
+    pub index: usize,
+    /// Worker count the launch keeps.
+    pub workers: u32,
+}
+
+/// A staggered batch fully planned: one decision per request, plus the
+/// reclamation commands the policy issued along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSchedule {
+    /// One decision per request, in batch order.
+    pub decisions: Vec<LaunchDecision>,
+    /// Reclamations, in arrival-time order.
+    pub reclaims: Vec<TimedReclaim>,
+}
+
+/// Plan a staggered batch through a policy's arrival hooks.
+///
+/// Requests are grouped into *cohorts* by arrival time. The first cohort
+/// is planned directly (it is the only tenancy the runtime can see at
+/// that point — unlike the steady-state [`SchedulingPolicy::plan`] over
+/// the whole batch, this is not clairvoyant about future arrivals); every
+/// later cohort goes through [`SchedulingPolicy::on_arrival`] with every
+/// earlier-admitted request as its `running` set, collecting reclamation
+/// directives with the cohort's arrival time attached. Planning is
+/// ahead-of-time: completion times are unknown here, so an
+/// earlier-admitted launch that has already drained by this arrival is
+/// still in `running` (see [`SchedulingPolicy::on_arrival`] for why that
+/// is safe, if conservative).
+///
+/// With a single cohort (all requests simultaneous) this is **exactly**
+/// `policy.plan(ctx, requests)` — same session caches, same decisions, no
+/// reclaims — which is what makes preemptive runs bit-identical to plain
+/// ones when nothing arrives mid-run.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty, the lengths differ, or the policy
+/// returns the wrong number of arrival decisions / reclaims targeting
+/// non-running launches.
+pub fn plan_with_arrivals(
+    policy: &dyn SchedulingPolicy,
+    ctx: &PlanCtx,
+    requests: &[ExecRequest],
+    arrivals: &[u64],
+) -> ArrivalSchedule {
+    assert_eq!(requests.len(), arrivals.len(), "one arrival per request");
+    assert!(!requests.is_empty(), "need at least one request");
+    let mut times: Vec<u64> = arrivals.to_vec();
+    times.sort_unstable();
+    times.dedup();
+    if times.len() == 1 {
+        return ArrivalSchedule {
+            decisions: policy.plan(ctx, requests),
+            reclaims: Vec::new(),
+        };
+    }
+    let mut decisions: Vec<Option<LaunchDecision>> = vec![None; requests.len()];
+    let mut running: Vec<usize> = Vec::new();
+    let mut reclaims = Vec::new();
+    for (cohort, &t) in times.iter().enumerate() {
+        let arriving: Vec<usize> = (0..requests.len()).filter(|&i| arrivals[i] == t).collect();
+        if cohort == 0 {
+            let subset: Vec<ExecRequest> = arriving.iter().map(|&i| requests[i].clone()).collect();
+            let planned = policy.plan(&PlanCtx::new(ctx.device()), &subset);
+            for (&i, d) in arriving.iter().zip(planned) {
+                decisions[i] = Some(d);
+            }
+        } else {
+            let plan = policy.on_arrival(ctx, requests, &arriving, &running);
+            assert_eq!(
+                plan.decisions.len(),
+                arriving.len(),
+                "one decision per arriving request"
+            );
+            for (&i, d) in arriving.iter().zip(plan.decisions) {
+                decisions[i] = Some(d);
+            }
+            for r in plan.reclaims {
+                assert!(
+                    running.contains(&r.index),
+                    "reclaim must target a running launch"
+                );
+                reclaims.push(TimedReclaim {
+                    at: t,
+                    index: r.index,
+                    workers: r.workers,
+                });
+            }
+        }
+        running.extend(arriving);
+    }
+    ArrivalSchedule {
+        decisions: decisions
+            .into_iter()
+            .map(|d| d.expect("every request planned"))
+            .collect(),
+        reclaims,
+    }
+}
+
 // ---------------------------------------------------------------------
 // PolicySet: the ordered, named registry the harness sweeps
 // ---------------------------------------------------------------------
@@ -535,7 +959,10 @@ impl PolicySet {
     /// * `accelos-guided` — guided dequeues (≤8 groups per claim);
     /// * `accelos-weighted` — 3× weight for the first tenant, or
     ///   `accelos-weighted:w1:w2:...` for explicit ratios (later tenants
-    ///   repeat the final weight).
+    ///   repeat the final weight);
+    /// * `accelos-priority` — preemptive priority for the first tenant, or
+    ///   `accelos-priority:n` for the first `n` tenants (mid-run premium
+    ///   arrivals reclaim workers from batch tenants at chunk boundaries).
     pub fn builtin(name: &str) -> Result<Arc<dyn SchedulingPolicy>, String> {
         match name {
             "baseline" | "opencl" => Ok(Arc::new(BaselinePolicy)),
@@ -544,6 +971,7 @@ impl PolicySet {
             "accelos" => Ok(Arc::new(AccelOsPolicy::optimized())),
             "accelos-guided" => Ok(Arc::new(GuidedPolicy::default())),
             "accelos-weighted" => Ok(Arc::new(WeightedPolicy::new(&[3.0, 1.0]))),
+            "accelos-priority" => Ok(Arc::new(PriorityPolicy::default())),
             other => {
                 if let Some(spec) = other.strip_prefix("accelos-weighted:") {
                     let weights: Result<Vec<f64>, _> =
@@ -553,10 +981,16 @@ impl PolicySet {
                         return Err(format!("weights in `{other}` must be positive"));
                     }
                     Ok(Arc::new(WeightedPolicy::new(&weights)))
+                } else if let Some(spec) = other.strip_prefix("accelos-priority:") {
+                    let premium: usize = spec
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad premium count in `{other}`: {e}"))?;
+                    Ok(Arc::new(PriorityPolicy::new(premium)))
                 } else {
                     Err(format!(
                         "unknown policy `{other}` (try: baseline, ek, accelos-naive, accelos, \
-                         accelos-guided, accelos-weighted[:w1:w2:...])"
+                         accelos-guided, accelos-weighted[:w1:w2:...], accelos-priority[:n])"
                     ))
                 }
             }
@@ -757,6 +1191,120 @@ mod tests {
     }
 
     #[test]
+    fn priority_policy_steady_state_matches_accelos() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let reqs = reqs();
+        let accelos = AccelOsPolicy::optimized().plan(&ctx, &reqs);
+        let priority = PriorityPolicy::default().plan(&ctx, &reqs);
+        assert_eq!(accelos, priority, "plans differ only in transients");
+        assert_eq!(
+            PriorityPolicy::default().solo_workers(&ctx, 0, &reqs[0]),
+            AccelOsPolicy::optimized().solo_workers(&ctx, 0, &reqs[0])
+        );
+        assert_eq!(PriorityPolicy::new(1).name(), "accelos-priority");
+        assert_eq!(PriorityPolicy::new(2).name(), "accelos-priority:2");
+        assert_eq!(PriorityPolicy::new(1).label(), "accelOS-priority");
+    }
+
+    #[test]
+    fn priority_on_arrival_reclaims_batch_tenants() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = PriorityPolicy::default();
+        // Batch tenants 1 and 2 run; premium tenant 0 arrives.
+        let plan = policy.on_arrival(&ctx, &requests, &[0], &[1, 2]);
+        assert_eq!(plan.decisions.len(), 1);
+        // A lone premium arrival gets its solo share — far more than the
+        // 1/3 equal share the steady-state plan would give it.
+        let equal = policy.plan(&ctx, &requests);
+        assert!(
+            plan.decisions[0].workers > equal[0].workers,
+            "premium {} vs equal {}",
+            plan.decisions[0].workers,
+            equal[0].workers
+        );
+        // Both batch tenants are shrunk to the reclaim floor.
+        assert_eq!(
+            plan.reclaims,
+            vec![
+                WorkerReclaim {
+                    index: 1,
+                    workers: 1
+                },
+                WorkerReclaim {
+                    index: 2,
+                    workers: 1
+                },
+            ]
+        );
+        // A batch arrival while nothing premium joins reclaims nothing.
+        let calm = policy.on_arrival(&ctx, &requests, &[2], &[1]);
+        assert!(calm.reclaims.is_empty());
+    }
+
+    #[test]
+    fn default_on_arrival_admits_at_share_without_reclaims() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req];
+        let policy = AccelOsPolicy::optimized();
+        let plan = policy.on_arrival(&ctx, &requests, &[2], &[0, 1]);
+        assert!(plan.reclaims.is_empty());
+        // The arrival is admitted at its share of the 3-tenant active set.
+        let steady = policy.plan(&ctx, &requests);
+        assert_eq!(plan.decisions, vec![steady[2].clone()]);
+    }
+
+    #[test]
+    fn plan_with_arrivals_cohorts_and_reclaims() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req];
+        let policy = PriorityPolicy::default();
+
+        // Single cohort: exactly the steady-state plan, no reclaims.
+        let same = plan_with_arrivals(&policy, &ctx, &requests, &[0, 0, 0]);
+        assert_eq!(same.decisions, policy.plan(&ctx, &requests));
+        assert!(same.reclaims.is_empty());
+
+        // Premium (index 0) arrives at t=5000 into running batch tenants:
+        // the batch cohort was planned as a pair (half the machine each),
+        // and the arrival reclaims both down to the floor.
+        let staggered = plan_with_arrivals(&policy, &ctx, &requests, &[5_000, 0, 0]);
+        let pair = policy.plan(&PlanCtx::new(&dev), &requests[1..]);
+        assert_eq!(staggered.decisions[1], pair[0]);
+        assert_eq!(staggered.decisions[2], pair[1]);
+        assert!(staggered.decisions[0].workers > pair[0].workers);
+        assert_eq!(
+            staggered.reclaims,
+            vec![
+                TimedReclaim {
+                    at: 5_000,
+                    index: 1,
+                    workers: 1
+                },
+                TimedReclaim {
+                    at: 5_000,
+                    index: 2,
+                    workers: 1
+                },
+            ]
+        );
+
+        // accelos over the same staggered batch: same cohorts, zero
+        // reclaims (arrivals queue instead of preempting).
+        let accelos = AccelOsPolicy::optimized();
+        let calm = plan_with_arrivals(&accelos, &ctx, &requests, &[5_000, 0, 0]);
+        assert!(calm.reclaims.is_empty());
+        assert_eq!(calm.decisions[1], pair[0]);
+    }
+
+    #[test]
     fn policy_set_registry_and_parse() {
         let paper = PolicySet::paper();
         assert_eq!(
@@ -774,9 +1322,15 @@ mod tests {
         assert_eq!(set.get(1).name(), "accelos-guided");
         assert!(set.by_name("accelos-weighted:2:1").is_some());
 
+        let pri = PolicySet::parse("accelos,accelos-priority,accelos-priority:2").unwrap();
+        assert_eq!(pri.get(1).name(), "accelos-priority");
+        assert_eq!(pri.get(1).label(), "accelOS-priority");
+        assert_eq!(pri.get(2).name(), "accelos-priority:2");
+
         assert!(PolicySet::parse("nope").is_err());
         assert!(PolicySet::parse("accelos,accelos").is_err());
         assert!(PolicySet::parse("").is_err());
         assert!(PolicySet::builtin("accelos-weighted:0").is_err());
+        assert!(PolicySet::builtin("accelos-priority:x").is_err());
     }
 }

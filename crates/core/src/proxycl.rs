@@ -15,10 +15,10 @@
 
 use crate::chunk::Mode;
 use crate::jit::{transform_module, TransformInfo};
-use crate::policy::{AccelOsPolicy, PlanCtx, SchedulingPolicy};
+use crate::policy::{plan_with_arrivals, AccelOsPolicy, PlanCtx, SchedulingPolicy};
 use crate::scheduler::{ExecRequest, LaunchDecision};
 use clrt::{Arg, Buffer, ClError, Context, Event, Kernel, Platform, Program};
-use gpu_sim::{KernelLaunch, Simulator};
+use gpu_sim::{KernelLaunch, ReclaimCmd, Simulator};
 use kernel_ir::interp::{ArgValue, DynStats, Interpreter, NdRange};
 use std::sync::Arc;
 
@@ -230,13 +230,41 @@ impl ProxyCl {
     /// Returns [`ClError::InvalidArgs`] for unbound arguments or an empty
     /// batch, and [`ClError::ExecutionFailure`] if any kernel faults.
     pub fn enqueue_concurrent(&mut self, batch: Vec<PendingExec>) -> Result<Vec<Event>, ClError> {
+        let arrivals = vec![0; batch.len()];
+        self.enqueue_concurrent_at(batch, &arrivals)
+    }
+
+    /// Schedule a **staggered** batch: request `i` joins the device
+    /// timeline at offset `arrivals[i]` (cycles relative to the batch's
+    /// start). Cohorts are planned through the policy's
+    /// [`SchedulingPolicy::on_arrival`] hook, so a preemptive policy
+    /// (e.g. `accelos-priority`) reclaims workers from running tenants at
+    /// chunk boundaries ([`gpu_sim::ReclaimCmd`]) instead of queueing the
+    /// arrival behind them. With all-zero arrivals this is exactly
+    /// [`ProxyCl::enqueue_concurrent`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ProxyCl::enqueue_concurrent`], plus [`ClError::InvalidArgs`]
+    /// when the arrival count does not match the batch.
+    pub fn enqueue_concurrent_at(
+        &mut self,
+        batch: Vec<PendingExec>,
+        arrivals: &[u64],
+    ) -> Result<Vec<Event>, ClError> {
         if batch.is_empty() {
             return Err(ClError::InvalidArgs("empty execution batch".into()));
+        }
+        if batch.len() != arrivals.len() {
+            return Err(ClError::InvalidArgs(
+                "one arrival offset per batched request".into(),
+            ));
         }
 
         // Kernel Scheduler: one policy plan across the whole batch (the
         // paper's default policy is equal §3 shares; see
-        // [`ProxyCl::with_policy`] for running other policies).
+        // [`ProxyCl::with_policy`] for running other policies). Staggered
+        // batches plan cohort by cohort through the arrival hooks.
         let requests: Vec<ExecRequest> = batch
             .iter()
             .map(|p| {
@@ -250,9 +278,13 @@ impl ProxyCl {
                 )
             })
             .collect();
-        let decisions = self
-            .policy
-            .plan(&PlanCtx::new(self.ctx.device()), &requests);
+        let schedule = plan_with_arrivals(
+            self.policy.as_ref(),
+            &PlanCtx::new(self.ctx.device()),
+            &requests,
+            arrivals,
+        );
+        let decisions = schedule.decisions;
 
         // Functional plane: run each transformed kernel over its reduced
         // hardware range with the Virtual NDRange descriptor appended.
@@ -262,8 +294,15 @@ impl ProxyCl {
             all_stats.push(stats);
         }
 
-        // Timing plane: all launches co-execute in one simulation.
+        // Timing plane: all launches co-execute in one simulation. In a
+        // staggered batch, tenants join and leave mid-run, so each launch
+        // gets the policy's solo-share growth ceiling — without it a
+        // reclaimed tenant could never regrow once the premium work
+        // retires (the give-back half of the preemption cycle). The
+        // all-simultaneous path keeps the historical static launches.
         let device = self.ctx.device().clone();
+        let staggered = arrivals.iter().any(|&a| a != arrivals[0]);
+        let plan_ctx = PlanCtx::new(self.ctx.device());
         let mut sim = Simulator::new(device);
         let mut ids = Vec::with_capacity(batch.len());
         for ((pending, decision), stats) in batch.iter().zip(&decisions).zip(&all_stats) {
@@ -280,14 +319,26 @@ impl ProxyCl {
                 (stats.mem_ops as f64 / stats.total_insns as f64).min(1.0)
             };
             let req = clrt::launch_requirements(&pending.kernel, pending.ndrange);
+            let i = ids.len();
             ids.push(sim.add_launch(KernelLaunch {
                 name: pending.kernel.name().to_string(),
-                arrival: 0,
+                arrival: arrivals[i],
                 req,
                 mem_intensity,
                 plan: decision.to_sim_plan(vg_costs, 1),
-                max_workers: None,
+                max_workers: if staggered {
+                    self.policy.solo_workers(&plan_ctx, i, &requests[i])
+                } else {
+                    None
+                },
             }));
+        }
+        for r in &schedule.reclaims {
+            sim.add_reclaim(ReclaimCmd {
+                at: r.at,
+                launch: ids[r.index],
+                workers: r.workers,
+            });
         }
         let report = sim.run();
 
@@ -419,6 +470,61 @@ mod tests {
         let program = os.build_program(SRC).unwrap();
         assert!(program.create_kernel("nope").is_err());
         assert!(program.info("nope").is_none());
+    }
+
+    #[test]
+    fn staggered_batch_runs_under_a_preemptive_policy() {
+        use crate::policy::PriorityPolicy;
+        use std::sync::Arc;
+        let mut os =
+            ProxyCl::with_policy(&Platform::test_tiny(), Arc::new(PriorityPolicy::default()));
+        let program = os.build_program(SRC).unwrap();
+        let chunk = program.info("scale").unwrap().chunk;
+        let mut make = |val: f32| {
+            let mut k = program.create_kernel("scale").unwrap();
+            let buf = os.context_mut().create_buffer(64 * 4);
+            os.context_mut().write_f32(buf, &[1.0; 64]).unwrap();
+            k.set_arg(0, Arg::Buffer(buf)).unwrap();
+            k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val)))
+                .unwrap();
+            (k, buf)
+        };
+        let (k1, b1) = make(2.0);
+        let (k2, b2) = make(5.0);
+        let batch = vec![
+            PendingExec {
+                kernel: k1,
+                chunk,
+                ndrange: NdRange::new_1d(64, 8),
+            },
+            PendingExec {
+                kernel: k2,
+                chunk,
+                ndrange: NdRange::new_1d(64, 8),
+            },
+        ];
+        // The premium request (index 0) joins 30 cycles into the batch
+        // tenant's run; functional results are untouched by preemption.
+        let events = os.enqueue_concurrent_at(batch, &[30, 0]).unwrap();
+        assert_eq!(os.context_mut().read_f32(b1).unwrap(), vec![2.0; 64]);
+        assert_eq!(os.context_mut().read_f32(b2).unwrap(), vec![5.0; 64]);
+        assert!(events[0].start >= events[0].queued + 30);
+    }
+
+    #[test]
+    fn mismatched_arrivals_rejected() {
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let program = os.build_program(SRC).unwrap();
+        let kernel = program.create_kernel("scale").unwrap();
+        let pending = PendingExec {
+            kernel,
+            chunk: 1,
+            ndrange: NdRange::new_1d(8, 4),
+        };
+        assert!(matches!(
+            os.enqueue_concurrent_at(vec![pending], &[0, 0]),
+            Err(ClError::InvalidArgs(_))
+        ));
     }
 
     #[test]

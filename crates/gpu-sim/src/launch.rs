@@ -12,6 +12,32 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LaunchId(pub u32);
 
+/// A scheduled mid-flight worker reclamation: at time `at`, cap the live
+/// workers of `launch` at `workers`.
+///
+/// Reclamation is the shrink half of elastic tenancy (the grow half is
+/// [`KernelLaunch::max_workers`]): a software scheduler can take resources
+/// back from a running persistent-worker launch without hardware preemption
+/// support, because persistent workers only ever pick up new work at chunk
+/// boundaries. Workers above the cap retire at their next boundary — the
+/// in-flight chunk drains, the freed CU slot goes to the queue heads — and
+/// the launch's remaining virtual groups continue at the reduced width.
+///
+/// Only dequeue-based plans ([`LaunchPlan::PersistentDynamic`] /
+/// [`LaunchPlan::PersistentGuided`]) have chunk boundaries to drain at;
+/// commands against other plans are ignored. `workers` is floored at 1 so
+/// the launch's shared queue always keeps draining (a full pause would
+/// strand its remaining work). See [`crate::Simulator::add_reclaim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimCmd {
+    /// Simulation time the cap takes effect.
+    pub at: u64,
+    /// The launch whose workers are reclaimed.
+    pub launch: LaunchId,
+    /// Live workers the launch keeps (floored at 1).
+    pub workers: u32,
+}
+
 /// Shared per-(virtual-)work-group cost table.
 ///
 /// Plans hold costs behind an `Arc` so the planning layers (`accelos`,
@@ -81,6 +107,21 @@ impl LaunchPlan {
             LaunchPlan::PersistentDynamic { workers, .. }
             | LaunchPlan::PersistentGuided { workers, .. } => *workers as usize,
             LaunchPlan::PersistentStatic { assignments, .. } => assignments.len(),
+        }
+    }
+
+    /// Total work groups the plan will execute: hardware work groups for
+    /// [`LaunchPlan::Hardware`], virtual groups otherwise. The
+    /// conservation invariant of mid-flight reclamation is
+    /// `KernelReport::groups_executed == plan.total_groups()`.
+    pub fn total_groups(&self) -> u64 {
+        match self {
+            LaunchPlan::Hardware { wg_costs } => wg_costs.len() as u64,
+            LaunchPlan::PersistentDynamic { vg_costs, .. }
+            | LaunchPlan::PersistentGuided { vg_costs, .. } => vg_costs.len() as u64,
+            LaunchPlan::PersistentStatic { assignments, .. } => {
+                assignments.iter().map(|a| a.len() as u64).sum()
+            }
         }
     }
 

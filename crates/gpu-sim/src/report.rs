@@ -19,8 +19,20 @@ pub struct KernelReport {
     /// group, merged and in increasing order. These drive the paper's
     /// "kernel execution overlap" metric (§7.4).
     pub busy_intervals: Vec<(u64, u64)>,
-    /// Number of machine work groups executed.
+    /// Number of machine work groups created (initial launch plus elastic
+    /// growth; early-reclaimed workers still count — they ran).
     pub machine_wgs: usize,
+    /// Work groups executed: hardware work groups for
+    /// [`crate::LaunchPlan::Hardware`], virtual groups otherwise. Under
+    /// mid-flight reclamation this is the conservation witness — it must
+    /// equal the launch's total group count no matter how often the worker
+    /// allotment shrank or regrew.
+    pub groups_executed: usize,
+    /// Reclaim commands ([`crate::ReclaimCmd`]) applied to this launch.
+    pub preemptions: usize,
+    /// Persistent workers retired early at a chunk boundary because a
+    /// reclamation capped the launch below its live worker count.
+    pub reclaimed_workers: usize,
 }
 
 impl KernelReport {
@@ -44,6 +56,10 @@ pub enum TraceKind {
     WgEnd,
     /// A persistent worker performed an atomic dequeue.
     Dequeue,
+    /// A persistent worker retired early at a chunk boundary because its
+    /// launch's worker allotment was reclaimed (the matching
+    /// [`TraceKind::WgEnd`] follows at the same timestamp).
+    Reclaim,
 }
 
 /// One trace record.
@@ -103,6 +119,9 @@ mod tests {
             end: 50,
             busy_intervals: vec![(15, 30), (40, 50)],
             machine_wgs: 4,
+            groups_executed: 4,
+            preemptions: 0,
+            reclaimed_workers: 0,
         };
         assert_eq!(k.turnaround(), 40);
         assert_eq!(k.busy_time(), 25);
@@ -118,6 +137,9 @@ mod tests {
             end,
             busy_intervals: vec![],
             machine_wgs: 0,
+            groups_executed: 0,
+            preemptions: 0,
+            reclaimed_workers: 0,
         };
         let r = SimReport {
             kernels: vec![mk(5, 60), mk(10, 80)],

@@ -27,9 +27,18 @@
 //!   queue. Dequeues have atomic semantics: the queue is a serial resource
 //!   (`queue_free_at`), so short kernels with chunk size 1 feel the
 //!   contention the paper's §6.4 adaptive scheduling exists to avoid.
+//! * Elastic tenancy is symmetric: launches with
+//!   [`KernelLaunch::max_workers`] **grow** into capacity freed by
+//!   retirements, and scheduled [`ReclaimCmd`]s **shrink** a running
+//!   launch's worker allotment mid-flight. Shrinking needs no hardware
+//!   preemption because persistent workers only pick up work at chunk
+//!   boundaries: capped workers drain their in-flight chunk, retire, and
+//!   their freed slots go to whatever waits at the CU queue heads (a
+//!   premium tenant's workers, say). The launch's remaining virtual groups
+//!   continue at the reduced width, so no work is ever lost.
 
 use crate::config::DeviceConfig;
-use crate::launch::{KernelLaunch, LaunchId, LaunchPlan};
+use crate::launch::{KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd};
 use crate::report::{KernelReport, SimReport, TraceEvent, TraceKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -59,6 +68,7 @@ use std::collections::{BinaryHeap, VecDeque};
 pub struct Simulator {
     config: DeviceConfig,
     launches: Vec<KernelLaunch>,
+    reclaims: Vec<ReclaimCmd>,
     collect_trace: bool,
 }
 
@@ -108,12 +118,26 @@ struct KernelRt {
     queue_free_at: u64,
     /// Machine work groups created so far (initial + elastic growth).
     spawned: usize,
+    /// Reclamation cap on live workers: a worker observing
+    /// `tasks_left > worker_cap` at a chunk boundary retires early.
+    /// `usize::MAX` until a [`ReclaimCmd`] applies; elastic growth into
+    /// genuinely free capacity lifts it back (see `rebalance`).
+    worker_cap: usize,
+    /// Reclaim commands applied to this launch.
+    preemptions: usize,
+    /// Workers retired early by reclamation.
+    reclaimed: usize,
+    /// Work groups executed (hardware WGs or claimed virtual groups).
+    executed: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     Arrival(usize),
     PhaseDone(usize),
+    /// Apply the reclaim command at this index (workers drain lazily at
+    /// their next chunk boundary; the event only moves the cap).
+    Reclaim(usize),
 }
 
 impl Simulator {
@@ -122,6 +146,7 @@ impl Simulator {
         Simulator {
             config,
             launches: Vec::new(),
+            reclaims: Vec::new(),
             collect_trace: false,
         }
     }
@@ -153,15 +178,43 @@ impl Simulator {
         id
     }
 
+    /// Schedule a mid-flight worker reclamation (see [`ReclaimCmd`]): at
+    /// `cmd.at` the launch's live workers are capped at `cmd.workers`
+    /// (floored at 1 so the shared queue keeps draining). Workers above
+    /// the cap retire at their next chunk boundary; their in-flight chunks
+    /// complete first, so reclamation never aborts work. Commands against
+    /// launches without chunk boundaries ([`LaunchPlan::Hardware`] /
+    /// [`LaunchPlan::PersistentStatic`]) are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmd.launch` was not returned by
+    /// [`Simulator::add_launch`] on this simulator.
+    pub fn add_reclaim(&mut self, cmd: ReclaimCmd) {
+        assert!(
+            (cmd.launch.0 as usize) < self.launches.len(),
+            "reclaim targets unknown launch {:?}",
+            cmd.launch
+        );
+        self.reclaims.push(cmd);
+    }
+
     /// Run the simulation to completion.
     pub fn run(self) -> SimReport {
-        Engine::new(self.config, self.launches, self.collect_trace).run()
+        Engine::new(
+            self.config,
+            self.launches,
+            self.reclaims,
+            self.collect_trace,
+        )
+        .run()
     }
 }
 
 struct Engine {
     config: DeviceConfig,
     launches: Vec<KernelLaunch>,
+    reclaims: Vec<ReclaimCmd>,
     collect_trace: bool,
     now: u64,
     seq: u64,
@@ -184,7 +237,12 @@ struct Engine {
 }
 
 impl Engine {
-    fn new(config: DeviceConfig, launches: Vec<KernelLaunch>, collect_trace: bool) -> Self {
+    fn new(
+        config: DeviceConfig,
+        launches: Vec<KernelLaunch>,
+        reclaims: Vec<ReclaimCmd>,
+        collect_trace: bool,
+    ) -> Self {
         let cus = (0..config.num_cus)
             .map(|_| Cu {
                 free_threads: config.threads_per_cu as i64,
@@ -207,6 +265,10 @@ impl Engine {
                 next_vg: 0,
                 queue_free_at: 0,
                 spawned: l.plan.machine_wgs(),
+                worker_cap: usize::MAX,
+                preemptions: 0,
+                reclaimed: 0,
+                executed: 0,
             })
             .collect();
         let growable = launches
@@ -224,6 +286,7 @@ impl Engine {
         Engine {
             config,
             launches,
+            reclaims,
             collect_trace,
             now: 0,
             seq: 0,
@@ -248,11 +311,15 @@ impl Engine {
         for i in 0..self.launches.len() {
             self.schedule(self.launches[i].arrival, Event::Arrival(i));
         }
+        for i in 0..self.reclaims.len() {
+            self.schedule(self.reclaims[i].at, Event::Reclaim(i));
+        }
         while let Some(Reverse((time, _, ev))) = self.heap.pop() {
             self.now = time;
             match ev {
                 Event::Arrival(l) => self.on_arrival(l),
                 Event::PhaseDone(t) => self.on_phase_done(t),
+                Event::Reclaim(i) => self.on_reclaim(i),
             }
         }
         let makespan = self.kernels.iter().map(|k| k.end).max().unwrap_or(0);
@@ -268,6 +335,9 @@ impl Engine {
                 end: k.end,
                 busy_intervals: k.busy_intervals,
                 machine_wgs: k.machine_wgs,
+                groups_executed: k.executed,
+                preemptions: k.preemptions,
+                reclaimed_workers: k.reclaimed,
             })
             .collect();
         SimReport {
@@ -316,6 +386,25 @@ impl Engine {
                 self.try_start(cu);
             }
         }
+    }
+
+    /// Apply reclaim command `i`: move the launch's worker cap. Workers
+    /// drain lazily — each one re-checks the cap at its next chunk
+    /// boundary (`on_phase_done` / `schedule_dequeue`), so in-flight
+    /// chunks always complete. Launches without chunk boundaries ignore
+    /// the command.
+    fn on_reclaim(&mut self, i: usize) {
+        let cmd = self.reclaims[i];
+        let l = cmd.launch.0 as usize;
+        if !matches!(
+            self.launches[l].plan,
+            LaunchPlan::PersistentDynamic { .. } | LaunchPlan::PersistentGuided { .. }
+        ) {
+            return;
+        }
+        let k = &mut self.kernels[l];
+        k.worker_cap = cmd.workers.max(1) as usize;
+        k.preemptions += 1;
     }
 
     fn fits(&self, cu: usize, tid: usize) -> bool {
@@ -383,6 +472,7 @@ impl Engine {
         let dispatch = self.config.wg_dispatch_overhead;
         match self.tasks[tid].kind {
             TaskKind::HardwareWg { cost } => {
+                self.kernels[l].executed += 1;
                 let d = dispatch + self.scaled(cost, l);
                 self.schedule(self.now + d, Event::PhaseDone(tid));
             }
@@ -415,6 +505,7 @@ impl Engine {
             None => self.schedule(ready_at, Event::PhaseDone(tid)),
             Some(&cost) => {
                 let work = cost + *per_vg_overhead;
+                self.kernels[l].executed += 1;
                 let d = self.scaled(work, l);
                 self.tasks[tid].kind = TaskKind::StaticWorker { next: next + 1 };
                 self.schedule(ready_at + d, Event::PhaseDone(tid));
@@ -449,14 +540,18 @@ impl Engine {
             _ => unreachable!("DynWorker only exists for dynamic plans"),
         };
         let k = &mut self.kernels[l];
-        if k.next_vg >= vg_costs.len() {
-            // Queue drained: one final (free) check, worker retires now.
+        if k.next_vg >= vg_costs.len() || k.tasks_left > k.worker_cap {
+            // Queue drained, or the launch's allotment was reclaimed below
+            // its live worker count: one final (free) check, worker
+            // retires now without claiming (`on_phase_done` distinguishes
+            // the two and books the reclaim).
             self.schedule(ready_at, Event::PhaseDone(tid));
             return;
         }
         let start = k.next_vg;
         let end = (start + chunk.max(1)).min(vg_costs.len());
         k.next_vg = end;
+        k.executed += end - start;
         // Atomic dequeue: the queue is a serial resource.
         let deq_start = ready_at.max(k.queue_free_at);
         let deq_end = deq_start + self.config.atomic_op_cost;
@@ -486,8 +581,25 @@ impl Engine {
                     _ => unreachable!(),
                 };
                 if !drained {
-                    self.schedule_dequeue(tid, self.now);
-                    return;
+                    // Chunk boundary: a worker above the reclaimed cap
+                    // retires here instead of dequeuing again — its slot
+                    // goes to the CU queue heads via `complete_task`, the
+                    // launch's remaining groups continue at the reduced
+                    // width. (`tasks_left > cap ≥ 1` means at least one
+                    // worker always survives to drain the queue.)
+                    if self.kernels[l].tasks_left <= self.kernels[l].worker_cap {
+                        self.schedule_dequeue(tid, self.now);
+                        return;
+                    }
+                    self.kernels[l].reclaimed += 1;
+                    if self.collect_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.now,
+                            launch: LaunchId(l as u32),
+                            cu: self.tasks[tid].cu,
+                            kind: TraceKind::Reclaim,
+                        });
+                    }
                 }
             }
             TaskKind::StaticWorker { next } => {
@@ -562,7 +674,12 @@ impl Engine {
                 else {
                     unreachable!("growable implies a dynamic plan");
                 };
-                if self.kernels[l].spawned >= max as usize
+                // Growth is bounded by *live* workers, not cumulative
+                // spawns: a launch shrunk by reclamation may regrow once
+                // the pressure eases (identical to the old `spawned`
+                // bound when nothing is ever reclaimed, because workers
+                // only retire once the queue is drained).
+                if self.kernels[l].tasks_left >= max as usize
                     || self.kernels[l].next_vg >= vg_costs.len()
                 {
                     continue;
@@ -589,6 +706,14 @@ impl Engine {
                 self.kernels[l].spawned += 1;
                 self.kernels[l].tasks_left += 1;
                 self.kernels[l].machine_wgs += 1;
+                // Growing into genuinely free capacity lifts a reclamation
+                // cap: the retirement that freed this room ended the
+                // pressure that forced the shrink (otherwise the new
+                // worker would re-retire at its first chunk boundary).
+                let live = self.kernels[l].tasks_left;
+                if self.kernels[l].worker_cap < live {
+                    self.kernels[l].worker_cap = live;
+                }
                 self.start_task(cu, tid);
                 grew = true;
             }
@@ -1005,6 +1130,202 @@ mod tests {
             },
             max_workers: None,
         });
+    }
+
+    fn dyn_launch(name: &str, workers: u32, vgs: usize, cost: u64) -> KernelLaunch {
+        KernelLaunch {
+            name: name.into(),
+            arrival: 0,
+            req: req64(),
+            mem_intensity: 0.0,
+            plan: LaunchPlan::PersistentDynamic {
+                workers,
+                vg_costs: vec![cost; vgs].into(),
+                chunk: 1,
+                per_vg_overhead: 1,
+            },
+            max_workers: None,
+        }
+    }
+
+    #[test]
+    fn reclamation_drains_workers_at_chunk_boundaries() {
+        // 4 workers fill the tiny device; at t=1000 the launch is capped
+        // at 1. Three workers retire at their next chunk boundary, the
+        // queue still drains completely at the reduced width.
+        let run = |reclaim: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            let id = sim.add_launch(dyn_launch("batch", 4, 200, 100));
+            if reclaim {
+                sim.add_reclaim(ReclaimCmd {
+                    at: 1_000,
+                    launch: id,
+                    workers: 1,
+                });
+            }
+            (sim.run(), id)
+        };
+        let (free, id) = run(false);
+        let (shrunk, _) = run(true);
+        let k = shrunk.kernel(id);
+        assert_eq!(k.preemptions, 1);
+        assert_eq!(k.reclaimed_workers, 3);
+        assert_eq!(k.groups_executed, 200, "no virtual group is ever lost");
+        assert_eq!(free.kernel(id).reclaimed_workers, 0);
+        assert!(
+            shrunk.makespan > free.makespan * 2,
+            "width 1 should be far slower: {} vs {}",
+            shrunk.makespan,
+            free.makespan
+        );
+    }
+
+    #[test]
+    fn reclaimed_slots_go_to_queued_arrivals() {
+        // A persistent batch launch owns every slot; a later arrival
+        // queues behind it. Without reclamation it waits for the batch to
+        // drain; with it, the freed slots start it within a few chunks.
+        let run = |reclaim: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            let batch = sim.add_launch(dyn_launch("batch", 4, 400, 100));
+            let mut premium = hw_launch("premium", 4, 100);
+            premium.arrival = 1_000;
+            let premium = sim.add_launch(premium);
+            if reclaim {
+                sim.add_reclaim(ReclaimCmd {
+                    at: 1_000,
+                    launch: batch,
+                    workers: 1,
+                });
+            }
+            let r = sim.run();
+            (
+                r.kernel(premium).first_start.unwrap(),
+                r.kernel(premium).end,
+                r.kernel(batch).groups_executed,
+            )
+        };
+        let (wait_start, wait_end, _) = run(false);
+        let (fast_start, fast_end, executed) = run(true);
+        assert_eq!(executed, 400, "reclaimed batch still finishes its work");
+        assert!(
+            fast_start < wait_start / 2,
+            "reclamation should start the arrival early: {fast_start} vs {wait_start}"
+        );
+        assert!(fast_end < wait_end / 2, "{fast_end} vs {wait_end}");
+    }
+
+    #[test]
+    fn reclaim_is_ignored_without_chunk_boundaries() {
+        // Hardware work groups cannot be revoked (no safe boundary): the
+        // command is a no-op and the run is unchanged.
+        let run = |reclaim: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            let id = sim.add_launch(hw_launch("hw", 8, 100));
+            if reclaim {
+                sim.add_reclaim(ReclaimCmd {
+                    at: 50,
+                    launch: id,
+                    workers: 1,
+                });
+            }
+            sim.run()
+        };
+        let plain = run(false);
+        let capped = run(true);
+        assert_eq!(plain, capped);
+        assert_eq!(capped.kernels[0].preemptions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown launch")]
+    fn reclaim_of_unknown_launch_rejected() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        sim.add_reclaim(ReclaimCmd {
+            at: 0,
+            launch: LaunchId(3),
+            workers: 1,
+        });
+    }
+
+    #[test]
+    fn reclaimed_launch_regrows_after_the_pressure_retires() {
+        // Batch shrinks to width 1 for a short premium launch, then the
+        // premium's retirement triggers elastic regrowth (max_workers).
+        let mut batch = dyn_launch("batch", 4, 400, 100);
+        batch.max_workers = Some(4);
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let batch = sim.add_launch(batch);
+        let mut premium = hw_launch("premium", 4, 200);
+        premium.arrival = 1_000;
+        sim.add_launch(premium);
+        sim.add_reclaim(ReclaimCmd {
+            at: 1_000,
+            launch: batch,
+            workers: 1,
+        });
+        let r = sim.run();
+        let k = r.kernel(batch);
+        assert_eq!(k.reclaimed_workers, 3);
+        assert!(
+            k.machine_wgs > 4,
+            "regrowth should spawn fresh workers: {}",
+            k.machine_wgs
+        );
+        assert_eq!(k.groups_executed, 400);
+    }
+
+    #[test]
+    fn reclamation_is_deterministic_and_traced() {
+        let build = || {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            let a = sim.add_launch(dyn_launch("a", 2, 120, 60));
+            let b = sim.add_launch(dyn_launch("b", 2, 120, 60));
+            sim.add_reclaim(ReclaimCmd {
+                at: 700,
+                launch: a,
+                workers: 1,
+            });
+            sim.add_reclaim(ReclaimCmd {
+                at: 900,
+                launch: b,
+                workers: 1,
+            });
+            sim.run()
+        };
+        let r = build();
+        assert_eq!(r, build());
+        let reclaim_events = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Reclaim)
+            .count();
+        assert_eq!(
+            reclaim_events,
+            r.kernels.iter().map(|k| k.reclaimed_workers).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn groups_executed_counts_every_plan_kind() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let hw = sim.add_launch(hw_launch("hw", 6, 50));
+        let dy = sim.add_launch(dyn_launch("dyn", 2, 30, 20));
+        let st = sim.add_launch(KernelLaunch {
+            name: "static".into(),
+            arrival: 0,
+            req: req64(),
+            mem_intensity: 0.0,
+            plan: LaunchPlan::PersistentStatic {
+                assignments: vec![vec![10, 10, 10], vec![10, 10]],
+                per_vg_overhead: 1,
+            },
+            max_workers: None,
+        });
+        let r = sim.run();
+        assert_eq!(r.kernel(hw).groups_executed, 6);
+        assert_eq!(r.kernel(dy).groups_executed, 30);
+        assert_eq!(r.kernel(st).groups_executed, 5);
     }
 
     #[test]

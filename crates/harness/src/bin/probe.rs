@@ -15,7 +15,7 @@ fn probe_sweep() {
         seed: 2016,
     };
     let r = Runner::new(DeviceConfig::k20m());
-    let ds: DeviceSweeps = device_sweeps(&r, &PolicySet::paper(), &cfg);
+    let ds: DeviceSweeps = device_sweeps(&r, &PolicySet::paper(), &cfg, 0);
     println!("{}", ds.fig9());
     println!("{}", ds.fig10());
     println!("{}", ds.fig12());

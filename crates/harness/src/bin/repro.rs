@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! repro <experiment>... [--device k20m|r9|both] [--full]
-//!       [--policies name,name,...]
+//!       [--policies name,name,...] [--reference name]
 //!       [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]
 //!       [--jobs N] [--sequential]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
-//!              fig15 small ablation dynamic all
+//!              fig15 small ablation dynamic priority all
 //! ```
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
@@ -16,9 +16,18 @@
 //!
 //! `--policies` sweeps any comma-separated [`PolicySet`] (built-ins:
 //! `baseline`, `ek`, `accelos-naive`, `accelos`, `accelos-guided`,
-//! `accelos-weighted[:w1:w2:...]`) through the sweep figures and the
-//! dynamic-tenancy experiment; ratio figures treat the *first* listed
-//! policy as the reference. Defaults to the paper's four schemes.
+//! `accelos-weighted[:w1:w2:...]`, `accelos-priority[:n]`) through the
+//! sweep figures and the dynamic-tenancy / priority experiments. Ratio
+//! figures (fig10/fig13/fig14, dynamic, priority) divide by the *first*
+//! listed policy unless `--reference <name>` names another member of the
+//! set; the reference row/column always renders explicitly (marked `*`).
+//! Defaults to the paper's four schemes.
+//!
+//! `priority` replays the mixed-priority arrival scenario (two batch
+//! tenants at t=0, a premium tenant joining mid-run) through the
+//! cohort-planned preemptive path; without `--policies` it compares
+//! `accelos` (the premium request queues) against `accelos-priority`
+//! (batch workers are reclaimed at chunk boundaries).
 //!
 //! Sweeps shard their `(workload × repetition)` grid across a thread pool
 //! sized to the host (override with `--jobs N`; `--sequential` is
@@ -27,9 +36,9 @@
 //! order, and results merge in deterministic order.
 
 use accel_harness::experiments::{
-    chunk_ablation, device_sweeps, dynamic_tenancy, fig11, fig15, fig2, render_ablation,
-    render_dynamic_tenancy, render_fig11, render_fig15, render_small_kernels, small_kernels,
-    DeviceSweeps,
+    chunk_ablation, device_sweeps, dynamic_tenancy, fig11, fig15, fig2, priority_preemption,
+    render_ablation, render_dynamic_tenancy, render_fig11, render_fig15,
+    render_priority_preemption, render_small_kernels, small_kernels, DeviceSweeps,
 };
 use accel_harness::runner::Runner;
 use accel_harness::workloads::SweepConfig;
@@ -41,7 +50,27 @@ struct Options {
     devices: Vec<DeviceConfig>,
     policies: PolicySet,
     policies_given: bool,
+    /// Name of the ratio-figure reference policy, if given. Resolved
+    /// against the set each experiment actually sweeps (`priority`
+    /// defaults to `accelos,accelos-priority` when `--policies` is
+    /// absent, so a global index would validate against the wrong set).
+    reference: Option<String>,
     cfg: SweepConfig,
+}
+
+/// Position of `--reference` in the set `experiment` sweeps (0 when the
+/// flag was not given); exits with a usage error for names outside it.
+fn reference_index(set: &PolicySet, reference: Option<&str>) -> usize {
+    match reference {
+        None => 0,
+        Some(name) => set.index_of(name).unwrap_or_else(|| {
+            eprintln!(
+                "repro: --reference `{name}` is not in the swept set ({})",
+                set.names().join(",")
+            );
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +79,7 @@ fn parse_args() -> Result<Options, String> {
     let mut device = "k20m".to_string();
     let mut policies = PolicySet::paper();
     let mut policies_given = false;
+    let mut reference: Option<String> = None;
     let mut cfg = SweepConfig::default_scale();
     let mut i = 0;
     while i < args.len() {
@@ -70,6 +100,14 @@ fn parse_args() -> Result<Options, String> {
                 let spec = args.get(i).ok_or("missing value after --policies")?;
                 policies = PolicySet::parse(spec)?;
                 policies_given = true;
+            }
+            "--reference" => {
+                i += 1;
+                reference = Some(
+                    args.get(i)
+                        .ok_or("missing value after --reference")?
+                        .clone(),
+                );
             }
             "--full" => cfg = SweepConfig::full(),
             "--pairs" => cfg.pairs = take(&mut i)?,
@@ -101,12 +139,39 @@ fn parse_args() -> Result<Options, String> {
         devices,
         policies,
         policies_given,
+        reference,
         cfg,
     })
 }
 
 fn wants(experiments: &[String], name: &str) -> bool {
     experiments.iter().any(|e| e == name || e == "all")
+}
+
+/// The set the `priority` experiment sweeps: `--policies` when given,
+/// otherwise the natural queueing-vs-preemption comparison.
+fn priority_set(opts: &Options) -> PolicySet {
+    if opts.policies_given {
+        opts.policies.clone()
+    } else {
+        PolicySet::parse("accelos,accelos-priority").expect("builtin names")
+    }
+}
+
+/// Fail fast on a bad `--reference` before any sweeping starts: validate
+/// the name against the set of **every** requested ratio experiment, so a
+/// later experiment cannot abort the run after minutes of compute.
+fn validate_reference(opts: &Options) {
+    let Some(name) = opts.reference.as_deref() else {
+        return;
+    };
+    let exps = &opts.experiments;
+    if needs_sweep(exps) || wants(exps, "dynamic") {
+        reference_index(&opts.policies, Some(name));
+    }
+    if wants(exps, "priority") {
+        reference_index(&priority_set(opts), Some(name));
+    }
 }
 
 fn needs_sweep(experiments: &[String]) -> bool {
@@ -123,15 +188,21 @@ fn main() {
         Err(e) => {
             eprintln!("repro: {e}");
             eprintln!(
-                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|all>... \
-                 [--device k20m|r9|both] [--policies name,name,...] [--full] \
+                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|all>... \
+                 [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
                  [--jobs N] [--sequential]"
+            );
+            eprintln!(
+                "  --reference <name>  divide ratio figures (fig10/fig13/fig14, dynamic, priority) \
+                 by this policy of the set instead of the first; the reference row renders \
+                 explicitly, marked `*`"
             );
             std::process::exit(2);
         }
     };
     let exps = &opts.experiments;
+    validate_reference(&opts);
 
     // The sweep figures and `dynamic` honour --policies; the remaining
     // experiments reproduce fixed paper comparisons. Say so rather than
@@ -167,7 +238,12 @@ fn main() {
                 opts.cfg.reps,
                 opts.policies.names().join(",")
             );
-            Some(device_sweeps(&runner, &opts.policies, &opts.cfg))
+            Some(device_sweeps(
+                &runner,
+                &opts.policies,
+                &opts.cfg,
+                reference_index(&opts.policies, opts.reference.as_deref()),
+            ))
         } else {
             None
         };
@@ -221,6 +297,22 @@ fn main() {
                 "{}",
                 render_dynamic_tenancy(
                     &dynamic_tenancy(&runner, &opts.policies, opts.cfg.seed),
+                    reference_index(&opts.policies, opts.reference.as_deref()),
+                    &device.name
+                )
+            );
+        }
+        if wants(exps, "priority") {
+            // Without --policies, the natural comparison is queueing
+            // accelOS against the preemptive policy (the paper set has no
+            // preemption to show). --reference resolves against whichever
+            // set the experiment actually sweeps.
+            let set = priority_set(&opts);
+            println!(
+                "{}",
+                render_priority_preemption(
+                    &priority_preemption(&runner, &set, opts.cfg.seed),
+                    reference_index(&set, opts.reference.as_deref()),
                     &device.name
                 )
             );

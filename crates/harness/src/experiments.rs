@@ -10,7 +10,9 @@
 //! exposes that from the command line.
 //!
 //! Ratio metrics (fairness improvement, throughput speedup) are relative
-//! to the **first** policy of the set, so put the reference scheme first.
+//! to a **reference** policy — by default the first of the set
+//! (`repro --reference <name>` picks another; the reference row renders
+//! explicitly as 1.00x so mixed sweeps stay readable).
 
 use crate::runner::{Runner, WorkloadRun};
 use crate::workloads::{alphabetic_pairs, SweepConfig, Workload};
@@ -50,15 +52,26 @@ pub struct WorkloadMetrics {
 }
 
 impl WorkloadMetrics {
-    /// Fairness improvement of policy `index` over the set's reference
-    /// (index 0).
+    /// Fairness improvement of policy `index` over the set's default
+    /// reference (index 0).
     pub fn fairness_improvement(&self, index: usize) -> f64 {
-        sched_metrics::fairness_improvement(self.unfairness[0], self.unfairness[index])
+        self.fairness_improvement_over(0, index)
     }
 
-    /// Throughput speedup of policy `index` over the set's reference.
+    /// Fairness improvement of policy `index` over policy `reference`.
+    pub fn fairness_improvement_over(&self, reference: usize, index: usize) -> f64 {
+        sched_metrics::fairness_improvement(self.unfairness[reference], self.unfairness[index])
+    }
+
+    /// Throughput speedup of policy `index` over the set's default
+    /// reference (index 0).
     pub fn throughput_speedup(&self, index: usize) -> f64 {
-        self.total_time[0] / self.total_time[index]
+        self.throughput_speedup_over(0, index)
+    }
+
+    /// Throughput speedup of policy `index` over policy `reference`.
+    pub fn throughput_speedup_over(&self, reference: usize, index: usize) -> f64 {
+        self.total_time[reference] / self.total_time[index]
     }
 }
 
@@ -110,14 +123,26 @@ impl Sweep {
             .collect()
     }
 
-    /// Average fairness improvement of policy `index` over the reference.
+    /// Average fairness improvement of policy `index` over the default
+    /// reference (index 0).
     pub fn avg_fairness_improvement(&self, index: usize) -> f64 {
-        self.avg_of(|w| w.fairness_improvement(index))
+        self.avg_fairness_improvement_over(0, index)
     }
 
-    /// Average throughput speedup of policy `index` over the reference.
+    /// Average fairness improvement of policy `index` over `reference`.
+    pub fn avg_fairness_improvement_over(&self, reference: usize, index: usize) -> f64 {
+        self.avg_of(|w| w.fairness_improvement_over(reference, index))
+    }
+
+    /// Average throughput speedup of policy `index` over the default
+    /// reference (index 0).
     pub fn avg_throughput_speedup(&self, index: usize) -> f64 {
-        self.avg_of(|w| w.throughput_speedup(index))
+        self.avg_throughput_speedup_over(0, index)
+    }
+
+    /// Average throughput speedup of policy `index` over `reference`.
+    pub fn avg_throughput_speedup_over(&self, reference: usize, index: usize) -> f64 {
+        self.avg_of(|w| w.throughput_speedup_over(reference, index))
     }
 
     /// Average STP / ANTT / worst-ANTT of policy `index`.
@@ -384,22 +409,43 @@ impl fmt::Display for Fig2 {
 pub struct DeviceSweeps {
     /// 2-, 4- and 8-request sweeps.
     pub sizes: Vec<Sweep>,
+    /// Position (in set order) of the reference policy ratio figures
+    /// divide by. Defaults to 0; `repro --reference <name>` picks another
+    /// without reordering the set.
+    pub reference: usize,
 }
 
 /// Run the paper's three sweeps (2, 4, 8 requests) on one device with one
-/// policy set.
-pub fn device_sweeps(runner: &Runner, set: &PolicySet, cfg: &SweepConfig) -> DeviceSweeps {
+/// policy set. Ratio figures divide by the policy at `reference` (pass 0
+/// for the historical first-of-set behaviour).
+///
+/// # Panics
+///
+/// Panics if `reference` is out of range for the set.
+pub fn device_sweeps(
+    runner: &Runner,
+    set: &PolicySet,
+    cfg: &SweepConfig,
+    reference: usize,
+) -> DeviceSweeps {
+    assert!(reference < set.len(), "reference index within the set");
     DeviceSweeps {
         sizes: [2, 4, 8]
             .iter()
             .map(|&k| sweep(runner, set, cfg, k))
             .collect(),
+        reference,
     }
 }
 
 impl DeviceSweeps {
     fn labels(&self) -> &[String] {
         &self.sizes[0].policy_labels
+    }
+
+    /// The reference policy's figure label.
+    fn reference_label(&self) -> &str {
+        &self.labels()[self.reference]
     }
 
     /// Render the fig. 9 view: average unfairness per policy.
@@ -425,25 +471,28 @@ impl DeviceSweeps {
     }
 
     /// Render the fig. 10 view: fairness-improvement distributions over
-    /// the reference policy (one row per non-reference policy).
+    /// the reference policy. The reference row renders explicitly (marked
+    /// `*`, 1.00x by definition) so mixed sweeps stay readable.
     pub fn fig10(&self) -> String {
-        let reference = &self.labels()[0];
+        let reference = self.reference_label().to_string();
         let mut s = format!(
             "Figure 10 — fairness improvement over {reference} (higher is better), {}\n",
             self.sizes[0].device
         );
         s += &format!(
-            "  {:<10} {:<16} {:>7} {:>16} {:>5}\n",
+            "  {:<10} {:<17} {:>7} {:>16} {:>5}\n",
             "requests", "policy", "avg", "[min..max]", "%<1"
         );
         for sw in &self.sizes {
-            for i in 1..sw.policy_count() {
-                let avg = sw.avg_fairness_improvement(i);
-                let (min, max, bad) = sw.distribution(|w| w.fairness_improvement(i));
+            for i in 0..sw.policy_count() {
+                let avg = sw.avg_fairness_improvement_over(self.reference, i);
+                let (min, max, bad) =
+                    sw.distribution(|w| w.fairness_improvement_over(self.reference, i));
+                let marker = if i == self.reference { "*" } else { "" };
                 s += &format!(
-                    "  {:<10} {:<16} {:>6.2}x [{:>5.2}..{:>6.2}] {:>4.0}%\n",
+                    "  {:<10} {:<17} {:>6.2}x [{:>5.2}..{:>6.2}] {:>4.0}%\n",
                     sw.request_size,
-                    sw.policy_labels[i],
+                    format!("{}{marker}", sw.policy_labels[i]),
                     avg,
                     min,
                     max,
@@ -451,6 +500,7 @@ impl DeviceSweeps {
                 );
             }
         }
+        s += "  (* reference)\n";
         s
     }
 
@@ -477,53 +527,62 @@ impl DeviceSweeps {
     }
 
     /// Render the fig. 13 view: average throughput speedups over the
-    /// reference policy.
+    /// reference policy (rendered explicitly as a `*`-marked 1.00x
+    /// column).
     pub fn fig13(&self) -> String {
-        let reference = &self.labels()[0];
+        let reference = self.reference_label().to_string();
         let mut s = format!(
             "Figure 13 — average system throughput speedup over {reference}, {}\n",
             self.sizes[0].device
         );
         s += &format!("  {:<10}", "requests");
-        for label in &self.labels()[1..] {
-            s += &format!(" {label:>14}");
+        for (i, label) in self.labels().iter().enumerate() {
+            let marker = if i == self.reference { "*" } else { "" };
+            s += &format!(" {:>14}", format!("{label}{marker}"));
         }
         s += "\n";
         for sw in &self.sizes {
             s += &format!("  {:<10}", sw.request_size);
-            for i in 1..sw.policy_count() {
-                s += &format!(" {:>13.2}x", sw.avg_throughput_speedup(i));
+            for i in 0..sw.policy_count() {
+                s += &format!(
+                    " {:>13.2}x",
+                    sw.avg_throughput_speedup_over(self.reference, i)
+                );
             }
             s += "\n";
         }
+        s += "  (* reference)\n";
         s
     }
 
     /// Render the fig. 14 view: throughput-speedup distributions over the
-    /// reference policy.
+    /// reference policy (reference row rendered explicitly, marked `*`).
     pub fn fig14(&self) -> String {
-        let reference = &self.labels()[0];
+        let reference = self.reference_label().to_string();
         let mut s = format!(
             "Figure 14 — throughput speedup distribution over {reference}, {}\n",
             self.sizes[0].device
         );
         s += &format!(
-            "  {:<10} {:<16} {:>16} {:>6}\n",
+            "  {:<10} {:<17} {:>16} {:>6}\n",
             "requests", "policy", "[min..max]", "%slow"
         );
         for sw in &self.sizes {
-            for i in 1..sw.policy_count() {
-                let (min, max, bad) = sw.distribution(|w| w.throughput_speedup(i));
+            for i in 0..sw.policy_count() {
+                let (min, max, bad) =
+                    sw.distribution(|w| w.throughput_speedup_over(self.reference, i));
+                let marker = if i == self.reference { "*" } else { "" };
                 s += &format!(
-                    "  {:<10} {:<16} [{:>5.2}..{:>6.2}] {:>5.0}%\n",
+                    "  {:<10} {:<17} [{:>5.2}..{:>6.2}] {:>5.0}%\n",
                     sw.request_size,
-                    sw.policy_labels[i],
+                    format!("{}{marker}", sw.policy_labels[i]),
                     min,
                     max,
                     bad * 100.0
                 );
             }
         }
+        s += "  (* reference)\n";
         s
     }
 
@@ -900,10 +959,14 @@ pub fn dynamic_tenancy(runner: &Runner, set: &PolicySet, seed: u64) -> Vec<Dynam
         .collect()
 }
 
-/// Render the dynamic-tenancy rows (times relative to the first row).
-pub fn render_dynamic_tenancy(rows: &[DynamicTenancyRow], device: &str) -> String {
-    let base_time = rows[0].total_time as f64;
-    let reference = &rows[0].policy;
+/// Render the dynamic-tenancy rows (times relative to row `reference`).
+pub fn render_dynamic_tenancy(
+    rows: &[DynamicTenancyRow],
+    reference: usize,
+    device: &str,
+) -> String {
+    let base_time = rows[reference].total_time as f64;
+    let reference = &rows[reference].policy;
     let mut s = format!("Extension — dynamic tenancy (staggered joins/leaves), {device}\n");
     s += &format!(
         "  {:<16} {:>12} {:>16}\n",
@@ -919,6 +982,101 @@ pub fn render_dynamic_tenancy(rows: &[DynamicTenancyRow], device: &str) -> Strin
             base_time / r.total_time as f64
         );
     }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Extension — preemptive priority (mid-flight worker reclamation)
+// ---------------------------------------------------------------------
+
+/// One policy's outcome in the mixed-priority arrival scenario.
+#[derive(Debug, Clone)]
+pub struct PreemptionRow {
+    /// Policy label.
+    pub policy: String,
+    /// Turnaround of the premium tenant (arrival → completion).
+    pub premium_turnaround: u64,
+    /// Mean turnaround of the batch tenants.
+    pub batch_mean_turnaround: f64,
+    /// Time for the whole episode.
+    pub total_time: u64,
+    /// Reclaim commands applied across all launches.
+    pub preemptions: usize,
+    /// Workers retired early at chunk boundaries.
+    pub reclaimed_workers: usize,
+}
+
+/// The kernels of the mixed-priority scenario: the premium tenant first
+/// (so `accelos-priority`'s default premium count covers it), then the
+/// two long-running batch tenants.
+pub fn priority_workload() -> Workload {
+    ["sgemm", "lbm", "tpacf"]
+        .iter()
+        .map(|n| KernelSpec::by_name(n).expect("kernel exists"))
+        .collect()
+}
+
+/// Extension experiment (ROADMAP "priority/preemption"): two batch
+/// tenants plan the machine between themselves at t=0; a premium tenant
+/// arrives a quarter into their run. Every policy of `set` runs the same
+/// staggered episode through the cohort-planned preemptive path
+/// ([`Runner::run_preemptive`]): non-preemptive policies admit the
+/// premium request at its share but leave it queueing behind the batch
+/// tenants' resident persistent workers, while `accelos-priority`
+/// reclaims those workers at chunk boundaries, so the premium tenant
+/// starts within one chunk of arriving. Render treats the first row as
+/// the reference.
+pub fn priority_preemption(runner: &Runner, set: &PolicySet, seed: u64) -> Vec<PreemptionRow> {
+    let workload = priority_workload();
+    // The premium request joins a quarter into the first batch tenant's
+    // isolated runtime under the reference policy.
+    let t_batch = runner.isolated_time(set.get(0).as_ref(), workload[1], seed);
+    let arrivals: Vec<u64> = vec![t_batch / 4, 0, 0];
+    let ctx = runner.rep_context(&workload, seed);
+    set.iter()
+        .map(|policy| {
+            let report = runner.preemptive_report(&ctx, policy.as_ref(), &arrivals);
+            let batch: Vec<u64> = report.kernels[1..].iter().map(|k| k.turnaround()).collect();
+            PreemptionRow {
+                policy: policy.label().to_string(),
+                premium_turnaround: report.kernels[0].turnaround(),
+                batch_mean_turnaround: batch.iter().sum::<u64>() as f64 / batch.len() as f64,
+                total_time: report.total_time(),
+                preemptions: report.kernels.iter().map(|k| k.preemptions).sum(),
+                reclaimed_workers: report.kernels.iter().map(|k| k.reclaimed_workers).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Render the preemption rows (premium speedup relative to row
+/// `reference`).
+pub fn render_priority_preemption(
+    rows: &[PreemptionRow],
+    reference: usize,
+    device: &str,
+) -> String {
+    let base = rows[reference].premium_turnaround as f64;
+    let ref_label = &rows[reference].policy;
+    let mut s =
+        format!("Extension — preemptive priority (premium tenant arrives mid-run), {device}\n");
+    s += &format!(
+        "  {:<17} {:>14} {:>9} {:>14} {:>9} {:>10}\n",
+        "policy", "premium TT", "speedup", "batch mean TT", "preempt.", "reclaimed"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let marker = if i == reference { "*" } else { "" };
+        s += &format!(
+            "  {:<17} {:>14} {:>8.2}x {:>14.0} {:>9} {:>10}\n",
+            format!("{}{marker}", r.policy),
+            r.premium_turnaround,
+            base / r.premium_turnaround as f64,
+            r.batch_mean_turnaround,
+            r.preemptions,
+            r.reclaimed_workers
+        );
+    }
+    s += &format!("  (* reference: {ref_label}; TT = turnaround, cycles)\n");
     s
 }
 
@@ -964,7 +1122,10 @@ mod tests {
         let o = sw.avg_overlap();
         assert!(o[accelos] > o[baseline]);
         // Renderers do not panic.
-        let ds = DeviceSweeps { sizes: vec![sw] };
+        let ds = DeviceSweeps {
+            sizes: vec![sw],
+            reference: 0,
+        };
         let _ = ds.fig9();
         let _ = ds.fig10();
         let _ = ds.fig12();
@@ -995,11 +1156,26 @@ mod tests {
             assert!((w.throughput_speedup(0) - 1.0).abs() < 1e-12);
         }
         let ds = DeviceSweeps {
-            sizes: vec![sw.clone(), sw.clone(), sw],
+            sizes: vec![sw.clone(), sw.clone(), sw.clone()],
+            reference: 0,
         };
         let rendered = ds.fig9() + &ds.fig10() + &ds.fig13() + &ds.table_stp_antt();
         assert!(rendered.contains("accelOS-guided"));
         assert!(rendered.contains("accelos-weighted:3:1"));
+        // The reference row renders explicitly, marked and at 1.00x.
+        assert!(rendered.contains("accelOS*"));
+        assert!(ds.fig13().contains("1.00x"));
+        // --reference switches the denominator without reordering the set.
+        let re = DeviceSweeps {
+            sizes: vec![sw],
+            reference: 1,
+        };
+        let r10 = re.fig10();
+        assert!(r10.contains("over accelOS-guided"));
+        assert!(r10.contains("accelOS-guided*"));
+        let w = &re.sizes[0].workloads[0];
+        assert!((w.fairness_improvement_over(1, 1) - 1.0).abs() < 1e-12);
+        assert!((w.throughput_speedup_over(1, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -1064,7 +1240,28 @@ mod tests {
             acc.total_time < base.total_time,
             "accelOS should also finish the episode sooner"
         );
-        let _ = render_dynamic_tenancy(&rows, "K20m");
+        let _ = render_dynamic_tenancy(&rows, 0, "K20m");
+    }
+
+    #[test]
+    fn priority_preemption_scenario_rewards_the_premium_tenant() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let set = PolicySet::parse("accelos,accelos-priority").unwrap();
+        let rows = priority_preemption(&runner, &set, 2016);
+        assert_eq!(rows.len(), 2);
+        let queueing = &rows[0];
+        let preempting = &rows[1];
+        // The acceptance bar: ≥1.5x premium turnaround improvement over
+        // no-preemption accelOS on the same staggered episode.
+        let gain = queueing.premium_turnaround as f64 / preempting.premium_turnaround as f64;
+        assert!(gain >= 1.5, "premium gain {gain:.2}x");
+        // Preemption really happened — and only under the priority policy.
+        assert_eq!(queueing.preemptions, 0);
+        assert_eq!(preempting.preemptions, 2, "one reclaim per batch tenant");
+        assert!(preempting.reclaimed_workers > 0);
+        let rendered = render_priority_preemption(&rows, 0, "K20m");
+        assert!(rendered.contains("accelOS-priority"));
+        assert!(rendered.contains("accelOS*"));
     }
 
     #[test]

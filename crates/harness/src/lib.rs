@@ -27,7 +27,9 @@
 //! let runner = Runner::new(DeviceConfig::k20m());
 //! println!("{}", fig2(&runner, 1));
 //! let set = accelos::policy::PolicySet::paper();
-//! let sweeps = device_sweeps(&runner, &set, &SweepConfig::test_scale());
+//! // Ratio figures divide by the policy at the given set position
+//! // (`repro --reference <name>` from the command line).
+//! let sweeps = device_sweeps(&runner, &set, &SweepConfig::test_scale(), 0);
 //! println!("{}", sweeps.fig9());
 //! ```
 

@@ -24,10 +24,12 @@
 //! paper's 20-repetition averaging has variance to average over.
 
 use accelos::chunk::{chunk_for, Mode};
-use accelos::policy::{PlanCtx, SchedulingPolicy};
+use accelos::policy::{plan_with_arrivals, PlanCtx, SchedulingPolicy};
 use accelos::resource::{ResourceDemand, ShareAllocation};
-use accelos::scheduler::ExecRequest;
-use gpu_sim::{Costs, DeviceConfig, KernelLaunch, SimReport, Simulator, WorkGroupReq};
+use accelos::scheduler::{ExecRequest, LaunchDecision};
+use gpu_sim::{
+    Costs, DeviceConfig, KernelLaunch, LaunchId, ReclaimCmd, SimReport, Simulator, WorkGroupReq,
+};
 use parboil::{KernelDb, KernelSpec};
 use sched_metrics::IntervalSet;
 use std::collections::HashMap;
@@ -344,6 +346,57 @@ impl Runner {
         let requests = ctx.exec_requests(policy.chunk_mode());
         let plan_ctx = ctx.plan_ctx();
         let decisions = policy.plan(&plan_ctx, &requests);
+        self.build_launches(ctx, policy, &plan_ctx, &requests, &decisions, arrivals)
+    }
+
+    /// Machine launches **plus timed reclamation commands** for a
+    /// staggered session, planned cohort by cohort through the policy's
+    /// arrival hooks ([`accelos::policy::plan_with_arrivals`]): the first
+    /// cohort is planned against only itself (no clairvoyance about
+    /// future arrivals), each later cohort goes through
+    /// `SchedulingPolicy::on_arrival` and may shrink running launches at
+    /// their next chunk boundary. With all-equal arrivals this degenerates
+    /// to exactly [`Runner::launches_in`] with no reclaims.
+    pub fn launches_preemptive(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+    ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>) {
+        assert_eq!(ctx.kernels.len(), arrivals.len(), "one arrival per kernel");
+        let requests = ctx.exec_requests(policy.chunk_mode());
+        let plan_ctx = ctx.plan_ctx();
+        let schedule = plan_with_arrivals(policy, &plan_ctx, &requests, arrivals);
+        let launches = self.build_launches(
+            ctx,
+            policy,
+            &plan_ctx,
+            &requests,
+            &schedule.decisions,
+            arrivals,
+        );
+        let reclaims = schedule
+            .reclaims
+            .iter()
+            .map(|r| ReclaimCmd {
+                at: r.at,
+                launch: LaunchId(r.index as u32),
+                workers: r.workers,
+            })
+            .collect();
+        (launches, reclaims)
+    }
+
+    /// One [`KernelLaunch`] per decision, sharing the session's cost draw.
+    fn build_launches(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        plan_ctx: &PlanCtx<'_>,
+        requests: &[ExecRequest],
+        decisions: &[LaunchDecision],
+        arrivals: &[u64],
+    ) -> Vec<KernelLaunch> {
         decisions
             .iter()
             .enumerate()
@@ -359,16 +412,23 @@ impl Runner {
                     // other kernels retire (the adaptivity of iterative
                     // applications, see `KernelLaunch::max_workers`), up to
                     // the share a §3 single-kernel allocation would grant.
-                    max_workers: policy.solo_workers(&plan_ctx, i, &requests[i]),
+                    max_workers: policy.solo_workers(plan_ctx, i, &requests[i]),
                 }
             })
             .collect()
     }
 
     fn simulate(&self, launches: Vec<KernelLaunch>) -> SimReport {
+        self.simulate_with(launches, Vec::new())
+    }
+
+    fn simulate_with(&self, launches: Vec<KernelLaunch>, reclaims: Vec<ReclaimCmd>) -> SimReport {
         let mut sim = Simulator::new(self.device.clone());
         for l in launches {
             sim.add_launch(l);
+        }
+        for r in reclaims {
+            sim.add_reclaim(r);
         }
         sim.run()
     }
@@ -476,6 +536,54 @@ impl Runner {
         arrivals: &[u64],
     ) -> WorkloadRun {
         let report = self.simulate(self.launches_in(ctx, policy, arrivals));
+        self.finish_run(ctx, policy, &report)
+    }
+
+    /// Raw simulator report of a **preemptive** (cohort-planned) run:
+    /// launches from [`Runner::launches_preemptive`] co-executing with its
+    /// reclaim commands applied. Use this when the preemption bookkeeping
+    /// matters (`KernelReport::preemptions` / `reclaimed_workers` /
+    /// `groups_executed`); [`Runner::run_preemptive`] wraps it into the
+    /// usual metrics.
+    pub fn preemptive_report(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+    ) -> SimReport {
+        let (launches, reclaims) = self.launches_preemptive(ctx, policy, arrivals);
+        self.simulate_with(launches, reclaims)
+    }
+
+    /// Run one staggered workload through the policy's arrival hooks
+    /// (cohort planning + mid-flight reclamation). With all-equal
+    /// arrivals this is bit-identical to [`Runner::run_in`]; with
+    /// staggered arrivals it is the *realistic* transient — unlike
+    /// [`Runner::run_workload_with_arrivals`], the first cohort is planned
+    /// without clairvoyance about who joins later, and preemptive
+    /// policies take workers back when premium tenants arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` does not match the session's workload length.
+    pub fn run_preemptive(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+    ) -> WorkloadRun {
+        let report = self.preemptive_report(ctx, policy, arrivals);
+        self.finish_run(ctx, policy, &report)
+    }
+
+    /// Convert a shared-run report into a [`WorkloadRun`] (isolated times
+    /// from the per-policy cache).
+    fn finish_run(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        report: &SimReport,
+    ) -> WorkloadRun {
         let names: Vec<&'static str> = ctx.kernels.iter().map(|k| k.spec.name).collect();
         let shared: Vec<u64> = report
             .kernels
@@ -764,6 +872,57 @@ mod tests {
             let p = scheme.policy();
             assert_eq!(p.name(), scheme.name());
             assert_eq!(p.label(), scheme.label());
+        }
+    }
+
+    #[test]
+    fn preemptive_path_matches_plain_path_without_arrivals() {
+        let r = Runner::new(DeviceConfig::k20m());
+        let wl = [k("sgemm"), k("spmv"), k("stencil")];
+        let mut set = PolicySet::paper();
+        set.push(std::sync::Arc::new(
+            accelos::policy::PriorityPolicy::default(),
+        ))
+        .unwrap();
+        let arrivals = [0, 0, 0];
+        for policy in set.iter() {
+            let ctx = r.rep_context(&wl, 17);
+            let preemptive = r.run_preemptive(&ctx, policy.as_ref(), &arrivals);
+            let plain = r.run_in(&ctx, policy.as_ref(), &arrivals);
+            assert_eq!(preemptive, plain, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn priority_preemption_cuts_premium_turnaround() {
+        use accelos::policy::{AccelOsPolicy, PriorityPolicy};
+        let r = Runner::new(DeviceConfig::k20m());
+        // Premium tenant first in the workload (accelos-priority treats
+        // index 0 as premium), arriving a quarter into the batch tenants'
+        // run.
+        let wl = [k("sgemm"), k("lbm"), k("tpacf")];
+        let accelos = AccelOsPolicy::optimized();
+        let t_batch = r.isolated_time(&accelos, wl[1], 21);
+        let arrivals = [t_batch / 4, 0, 0];
+        let ctx = r.rep_context(&wl, 21);
+        let queueing = r.preemptive_report(&ctx, &accelos, &arrivals);
+        let preempting = r.preemptive_report(&ctx, &PriorityPolicy::default(), &arrivals);
+        let t_queue = queueing.kernels[0].turnaround();
+        let t_preempt = preempting.kernels[0].turnaround();
+        assert!(
+            (t_preempt as f64) * 1.5 <= t_queue as f64,
+            "preemption should cut premium turnaround ≥1.5x: {t_preempt} vs {t_queue}"
+        );
+        // The batch tenants really were reclaimed, and no work was lost.
+        assert!(preempting.kernels[1..]
+            .iter()
+            .all(|k| k.preemptions == 1 && k.reclaimed_workers > 0));
+        assert_eq!(queueing.kernels[0].preemptions, 0);
+        for (k, launch) in preempting.kernels.iter().zip(
+            r.launches_preemptive(&ctx, &PriorityPolicy::default(), &arrivals)
+                .0,
+        ) {
+            assert_eq!(k.groups_executed as u64, launch.plan.total_groups());
         }
     }
 

@@ -1,0 +1,76 @@
+//! Intra-repo link checker for the markdown docs.
+//!
+//! `docs/ARCHITECTURE.md` deep-links into the crate tree (and README links
+//! into `docs/`); a rename would silently rot them. This test parses every
+//! relative markdown link in the checked files and asserts its target
+//! exists, so CI (`cargo test`) catches the rot without a network or an
+//! external link-checker.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files whose links are load-bearing.
+const CHECKED: &[&str] = &["README.md", "docs/ARCHITECTURE.md", "ROADMAP.md"];
+
+/// Extract `[text](target)` link targets outside fenced code blocks.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            targets.push(tail[..close].to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    for file in CHECKED {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("checked doc {file} must exist: {e}"));
+        let base = path.parent().unwrap_or(Path::new("")).to_path_buf();
+        for target in link_targets(&text) {
+            // External links and pure anchors are out of scope (offline CI).
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            let rel = target.split('#').next().unwrap_or("");
+            if rel.is_empty() {
+                continue;
+            }
+            let resolved = base.join(rel);
+            if !resolved.exists() {
+                broken.push(format!("{file}: `{target}` -> {}", resolved.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extraction_handles_fences_and_anchors() {
+    let md = "see [a](x.md) and [b](y.md#sec)\n```\n[no](code.md)\n```\n[c](https://e.com)";
+    assert_eq!(link_targets(md), vec!["x.md", "y.md#sec", "https://e.com"]);
+}

@@ -1,0 +1,252 @@
+//! Invariants of mid-flight worker reclamation (this PR's tentpole).
+//!
+//! Reclamation inverts the simulator's old grow-only elasticity, so these
+//! tests pin down what must survive the inversion:
+//!
+//! * **(a) conservation** — every virtual group executes exactly once, no
+//!   matter when or how often a launch's worker allotment is revoked
+//!   (`KernelReport::groups_executed == plan.total_groups()`);
+//! * **(b) no double-booking** — replaying the trace, no compute unit
+//!   ever holds more resident threads/slots than it owns across the
+//!   shrink/regrow transitions;
+//! * **(c) zero-arrival bit-identity** — with no premium arrival mid-run,
+//!   `accelos-priority` is bit-identical to `accelos` through the whole
+//!   preemptive pipeline (cohort planning included);
+//! * a golden snapshot of the mixed-priority scenario's `SimReport`
+//!   (regenerate with `BLESS=1 cargo test --test preemption_invariants`).
+
+use accel_harness::experiments::priority_workload;
+use accel_harness::runner::Runner;
+use accelos::policy::{AccelOsPolicy, PriorityPolicy};
+use gpu_sim::{
+    DeviceConfig, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, Simulator, TraceKind,
+    WorkGroupReq,
+};
+use parboil::KernelSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random multi-tenant episode on the tiny device: persistent launches
+/// with random shapes and arrivals, plus random reclaim commands (any
+/// time, any target, any width — including widths of 0, which the
+/// simulator floors, and widths above the launch's worker count, which
+/// are no-ops).
+fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(1..5usize);
+    let launches: Vec<KernelLaunch> = (0..n)
+        .map(|i| {
+            let workers = rng.random_range(1..6u32);
+            let vgs = rng.random_range(10..150usize);
+            let costs: Vec<u64> = (0..vgs).map(|_| rng.random_range(5..80u64)).collect();
+            let guided = rng.random_range(0..3u32) == 0;
+            let plan = if guided {
+                LaunchPlan::PersistentGuided {
+                    workers,
+                    vg_costs: costs.into(),
+                    max_chunk: rng.random_range(1..5u32),
+                    per_vg_overhead: 1,
+                }
+            } else {
+                LaunchPlan::PersistentDynamic {
+                    workers,
+                    vg_costs: costs.into(),
+                    chunk: rng.random_range(1..5u32),
+                    per_vg_overhead: 1,
+                }
+            };
+            KernelLaunch {
+                name: format!("k{i}"),
+                arrival: rng.random_range(0..2_000u64),
+                req: WorkGroupReq {
+                    threads: [32, 64, 128][rng.random_range(0..3usize)],
+                    local_mem: 0,
+                    regs_per_thread: 1,
+                },
+                mem_intensity: 0.0,
+                plan,
+                max_workers: if rng.random_range(0..2u32) == 0 {
+                    Some(rng.random_range(1..8u32))
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+    let reclaims: Vec<ReclaimCmd> = (0..rng.random_range(0..5usize))
+        .map(|_| ReclaimCmd {
+            at: rng.random_range(0..15_000u64),
+            launch: LaunchId(rng.random_range(0..n) as u32),
+            workers: rng.random_range(0..8u32),
+        })
+        .collect();
+    (launches, reclaims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Total executed work groups are conserved under random premium
+    /// arrivals / reclamations: revoking workers never loses or
+    /// duplicates a virtual group, and every kernel still ends.
+    #[test]
+    fn work_groups_are_conserved_under_random_reclamation(seed in 0u64..10_000) {
+        let (launches, reclaims) = random_episode(seed);
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let ids: Vec<LaunchId> = launches.iter().cloned().map(|l| sim.add_launch(l)).collect();
+        for r in &reclaims {
+            sim.add_reclaim(*r);
+        }
+        let report = sim.run();
+        for (id, launch) in ids.iter().zip(&launches) {
+            let k = report.kernel(*id);
+            prop_assert_eq!(
+                k.groups_executed as u64,
+                launch.plan.total_groups(),
+                "kernel {} lost or duplicated work (reclaims: {:?})",
+                k.name,
+                reclaims
+            );
+            prop_assert!(k.end >= launch.arrival, "kernel never ended");
+            prop_assert!(
+                k.reclaimed_workers < launch.plan.machine_wgs().max(1)
+                    || k.reclaimed_workers == 0
+                    || launch.max_workers.is_some(),
+                "a launch can never reclaim its last worker"
+            );
+        }
+    }
+
+    /// (b) No CU slot or thread is double-booked across a reclamation:
+    /// replaying the trace, per-CU occupancy stays within the device's
+    /// budget and never goes negative (a freed slot is freed exactly
+    /// once).
+    #[test]
+    fn no_cu_is_double_booked_across_reclamations(seed in 0u64..10_000) {
+        let (launches, reclaims) = random_episode(seed);
+        let cfg = DeviceConfig::test_tiny();
+        let mut sim = Simulator::new(cfg.clone()).with_trace();
+        for l in launches.iter().cloned() {
+            sim.add_launch(l);
+        }
+        for r in &reclaims {
+            sim.add_reclaim(*r);
+        }
+        let report = sim.run();
+        let mut threads = vec![0i64; cfg.num_cus];
+        let mut slots = vec![0i64; cfg.num_cus];
+        for ev in &report.trace {
+            let wg_threads = launches[ev.launch.0 as usize].req.threads as i64;
+            match ev.kind {
+                TraceKind::WgStart => {
+                    threads[ev.cu] += wg_threads;
+                    slots[ev.cu] += 1;
+                    prop_assert!(
+                        threads[ev.cu] <= cfg.threads_per_cu as i64,
+                        "cu {} overbooked threads at t={}",
+                        ev.cu,
+                        ev.time
+                    );
+                    prop_assert!(
+                        slots[ev.cu] <= cfg.wg_slots_per_cu as i64,
+                        "cu {} overbooked slots at t={}",
+                        ev.cu,
+                        ev.time
+                    );
+                }
+                TraceKind::WgEnd => {
+                    threads[ev.cu] -= wg_threads;
+                    slots[ev.cu] -= 1;
+                    prop_assert!(threads[ev.cu] >= 0 && slots[ev.cu] >= 0,
+                        "cu {} double-freed at t={}", ev.cu, ev.time);
+                }
+                TraceKind::Dequeue | TraceKind::Reclaim => {}
+            }
+        }
+        // Every reclaim-retired worker is visible in the trace.
+        let reclaim_events = report
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Reclaim)
+            .count();
+        let reclaimed: usize = report.kernels.iter().map(|k| k.reclaimed_workers).sum();
+        prop_assert_eq!(reclaim_events, reclaimed);
+    }
+}
+
+fn k(name: &str) -> &'static KernelSpec {
+    KernelSpec::by_name(name).expect("kernel exists")
+}
+
+/// (c) With zero premium arrivals, `accelos-priority` is bit-identical to
+/// `accelos` — through single-cohort planning (everyone at t=0) *and*
+/// through staggered cohorts that contain no premium tenant.
+#[test]
+fn zero_premium_arrivals_are_bit_identical_to_accelos() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    let accelos = AccelOsPolicy::optimized();
+    let workloads = [
+        vec![k("sgemm"), k("stencil")],
+        vec![k("bfs"), k("cutcp"), k("lbm"), k("spmv")],
+        vec![k("tpacf"), k("histo_final"), k("mri-q_ComputeQ")],
+    ];
+    for (wi, wl) in workloads.iter().enumerate() {
+        for seed in [1u64, 2016, 0xdead_beef] {
+            let ctx = runner.rep_context(wl, seed);
+            // Everyone arrives together: one cohort, no transient at all.
+            let zeros = vec![0u64; wl.len()];
+            let priority = runner.run_preemptive(&ctx, &PriorityPolicy::default(), &zeros);
+            let plain = runner.run_preemptive(&ctx, &accelos, &zeros);
+            assert_eq!(priority, plain, "workload {wi}, seed {seed}");
+            assert_eq!(
+                priority,
+                runner.run_in(&ctx, &accelos, &zeros),
+                "preemptive path must equal the plain path with no arrivals"
+            );
+
+            // Staggered cohorts, but nobody is premium: the priority
+            // policy (premium count 0) must stay bit-identical through
+            // the arrival hooks, reclaim commands included (none).
+            let arrivals: Vec<u64> = (0..wl.len() as u64).map(|i| i * 2_500).collect();
+            let nobody = PriorityPolicy::new(0);
+            let a = runner.preemptive_report(&ctx, &nobody, &arrivals);
+            let b = runner.preemptive_report(&ctx, &accelos, &arrivals);
+            assert_eq!(a, b, "workload {wi}, seed {seed} (staggered)");
+            assert!(a.kernels.iter().all(|k| k.preemptions == 0));
+        }
+    }
+}
+
+/// Golden snapshot of the mixed-priority scenario's `SimReport` under
+/// `accelos-priority` (same episode as `repro priority` and
+/// `examples/priority_preemption.rs`, seed 2016). Catches any silent
+/// drift in the reclamation machinery; regenerate deliberately with
+/// `BLESS=1 cargo test --test preemption_invariants`.
+#[test]
+fn mixed_priority_scenario_matches_golden_report() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    let workload = priority_workload();
+    let accelos = AccelOsPolicy::optimized();
+    let t_batch = runner.isolated_time(&accelos, workload[1], 2016);
+    let arrivals = vec![t_batch / 4, 0, 0];
+    let ctx = runner.rep_context(&workload, 2016);
+    let report = runner.preemptive_report(&ctx, &PriorityPolicy::default(), &arrivals);
+    let actual = format!("{report:#?}\n");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/priority_preemption_report.txt"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file missing — run `BLESS=1 cargo test --test preemption_invariants` once");
+    assert!(
+        actual == expected,
+        "SimReport drifted from the golden snapshot; if the change is \
+         intentional, regenerate with BLESS=1.\n--- actual ---\n{actual}"
+    );
+}

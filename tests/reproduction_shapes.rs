@@ -31,7 +31,7 @@ fn headline_fairness_and_throughput() {
     let set = PolicySet::paper();
     for device in devices() {
         let runner = Runner::new(device.clone());
-        let sweeps = device_sweeps(&runner, &set, &cfg);
+        let sweeps = device_sweeps(&runner, &set, &cfg, 0);
         let accelos = sweeps.sizes[0].index_of("accelos").expect("in paper set");
         let ek = sweeps.sizes[0].index_of("ek").expect("in paper set");
         for sw in &sweeps.sizes {
@@ -80,7 +80,7 @@ fn overlap_ordering() {
         seed: 2016,
     };
     let runner = Runner::new(DeviceConfig::k20m());
-    let sweeps = device_sweeps(&runner, &PolicySet::paper(), &cfg);
+    let sweeps = device_sweeps(&runner, &PolicySet::paper(), &cfg, 0);
     for sw in &sweeps.sizes {
         let o = sw.avg_overlap();
         let (base, ek, acc) = (o[0], o[1], o[3]);
