@@ -1,0 +1,117 @@
+//! `bench_pr4` — record the PR-4 perf-trajectory point.
+//!
+//! Same frozen fig. 10-style sweep as the earlier `BENCH_pr*.json`
+//! points (see [`accel_bench::perf_smoke_config`]) — sequential
+//! reference and parallel pipeline cross-checked bit-identical before
+//! timing — plus a new leg timing the **cohort-planned preemptive
+//! path** (deadline scenario under the queueing / priority / deadline /
+//! SLA policy family, estimates plumbing and pause/resume included), so
+//! the dynamic-tenancy subsystem's cost shows up in the trajectory too.
+//! The record lands in `BENCH_pr4.json` (CWD) and notes the host's
+//! thread count, so single-core containers (where parallel ties
+//! sequential) stay interpretable.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr4`
+
+use accel_bench::{k20m_runner, perf_smoke_config};
+use accel_harness::experiments::{deadline_scenario, sweep, sweep_seq, Sweep};
+use accelos::policy::PolicySet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+fn main() {
+    let runner = k20m_runner();
+    let cfg = perf_smoke_config();
+    let set = PolicySet::paper();
+    let threads = rayon::current_num_threads();
+
+    let mut rows = Vec::new();
+    for rq in [2usize, 4, 8] {
+        // Warm caches (kernel compilation, isolated times) out of the
+        // measured region, then measure each path.
+        let _ = sweep_seq(runner, &set, &cfg, rq);
+        let (seq, seq_ms): (Sweep, f64) = time(|| sweep_seq(runner, &set, &cfg, rq));
+        let (par, par_ms): (Sweep, f64) = time(|| sweep(runner, &set, &cfg, rq));
+        assert_eq!(
+            seq, par,
+            "parallel sweep diverged from sequential at {rq} requests"
+        );
+        println!(
+            "request size {rq}: sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms \
+             ({:.2}x, {} threads), outputs bit-identical",
+            seq_ms / par_ms,
+            threads
+        );
+        rows.push((rq, seq_ms, par_ms));
+    }
+
+    // The preemptive leg: 32 deadline episodes across the full policy
+    // family (cohort planning, estimate plumbing, reclaim + pause/resume
+    // simulation). Warmed once so kernel compilation and the isolated
+    // caches of seed 0 are out of the measured region; the remaining
+    // seeds still exercise the estimate computation they need.
+    let family =
+        PolicySet::parse("accelos,accelos-priority,accelos-deadline,accelos-sla:4:0:0").unwrap();
+    let _ = deadline_scenario(runner, &family, 0);
+    let (held, preempt_ms) = time(|| {
+        let mut held = 0usize;
+        for seed in 0..32u64 {
+            held += deadline_scenario(runner, &family, seed)
+                .rows
+                .iter()
+                .filter(|r| r.met)
+                .count();
+        }
+        held
+    });
+    println!(
+        "preemptive leg: 32 deadline episodes x {} policies in {preempt_ms:.1} ms \
+         ({held} deadlines held)",
+        family.len()
+    );
+
+    let total_seq: f64 = rows.iter().map(|r| r.1).sum();
+    let total_par: f64 = rows.iter().map(|r| r.2).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 4,\n");
+    json.push_str(
+        "  \"bench\": \"perf_smoke fig10-style sweep (K20m preset) + cohort-planned preemptive leg (deadline scenario, 4-policy family)\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"pairs\": {}, \"n4\": {}, \"n8\": {}, \"reps\": {}, \"seed\": {} }},",
+        cfg.pairs, cfg.n4, cfg.n8, cfg.reps, cfg.seed
+    );
+    let _ = writeln!(json, "  \"host_threads\": {threads},");
+    json.push_str("  \"request_sizes\": [\n");
+    for (i, (rq, seq_ms, par_ms)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"requests\": {rq}, \"sequential_ms\": {seq_ms:.2}, \"parallel_ms\": {par_ms:.2}, \"speedup\": {:.3}, \"bit_identical\": true }}",
+            seq_ms / par_ms
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"preemptive\": {{ \"episodes\": 32, \"policies\": {}, \"total_ms\": {preempt_ms:.2}, \"deadlines_held\": {held} }},",
+        family.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"total\": {{ \"sequential_ms\": {total_seq:.2}, \"parallel_ms\": {total_par:.2}, \"speedup\": {:.3} }}",
+        total_seq / total_par
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    println!("wrote BENCH_pr4.json");
+}

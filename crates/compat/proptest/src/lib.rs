@@ -9,9 +9,14 @@
 //!
 //! Semantics versus real proptest: cases are generated from a seed derived
 //! from the test name (stable across runs — failures are reproducible),
-//! and there is **no shrinking**; a failing case reports the case number
-//! and message and panics immediately. That trades debuggability for zero
-//! dependencies, which is the right trade for an offline CI.
+//! and failures **shrink**: integer ranges binary-search toward their
+//! start, vectors halve toward their length floor then shrink
+//! element-wise, and tuples shrink one component at a time
+//! ([`strategy::minimize`] greedily adopts the first candidate that
+//! still fails, bounded by a probe budget). The panic reports the case
+//! number, the shrink-step count and the minimal counterexample's
+//! failure message. `prop_map`ped and `prop_oneof!` values do not shrink
+//! (no inverse); argument values must be `Clone`.
 
 #![warn(missing_docs)]
 
@@ -62,7 +67,10 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = if self.len.start >= self.len.end {
@@ -71,6 +79,34 @@ pub mod collection {
                 rng.rng.random_range(self.len.start..self.len.end)
             };
             (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+
+        /// Shrink structurally first (halve toward the minimum length,
+        /// then drop each element individually), then element-wise
+        /// through the element strategy's shrinker — never below the
+        /// configured length floor.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out = Vec::new();
+            if value.len() > min {
+                let half = min.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -120,23 +156,27 @@ macro_rules! proptest {
 }
 
 /// Internal driver behind [`proptest!`]; not part of the public API.
+///
+/// Values are generated through one tuple strategy (same RNG stream as
+/// the historical per-argument generation), and a failing case is
+/// greedily shrunk through [`strategy::minimize`] before reporting: the
+/// panic message carries the *minimal* counterexample's failure plus the
+/// number of shrink steps that led to it. Argument values must be
+/// `Clone` (each probe re-runs the body on a candidate).
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_run {
     ($config:expr, $name:ident, ( $( $arg:ident in $strategy:expr ),+ ) $body:block) => {{
-        let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-        for case in 0..$config.cases {
-            $(
-                let $arg = $crate::strategy::Strategy::gen_value(&$strategy, &mut rng);
-            )+
-            let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+        let __strategy = ( $( $strategy, )+ );
+        $crate::strategy::run_cases(
+            &$config,
+            stringify!($name),
+            &__strategy,
+            |( $( $arg, )+ )| {
                 $body
-                Ok(())
-            })();
-            if let ::std::result::Result::Err(e) = outcome {
-                panic!("proptest `{}` failed at case {}/{}: {}", stringify!($name), case + 1, $config.cases, e);
-            }
-        }
+                ::std::result::Result::Ok(())
+            },
+        );
     }};
 }
 

@@ -13,6 +13,17 @@ pub trait Strategy {
     /// Generate one value.
     fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first — the [`minimize`] driver greedily adopts the first
+    /// candidate that still fails and asks again, binary-search-style.
+    /// The default (no candidates) is correct for strategies that cannot
+    /// shrink structurally (`prop_map` has no inverse, a `Union` does not
+    /// know which arm produced the value); integer ranges, vectors and
+    /// tuples override it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Transform generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -74,11 +85,15 @@ pub trait Strategy {
 /// [`BoxedStrategy`]).
 trait DynStrategy<V> {
     fn gen_dyn(&self, rng: &mut TestRng) -> V;
+    fn shrink_dyn(&self, value: &V) -> Vec<V>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.gen_value(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -101,6 +116,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn gen_value(&self, rng: &mut TestRng) -> V {
         self.0.gen_dyn(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -172,36 +190,153 @@ impl<V> Strategy for Union<V> {
     }
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
             fn gen_value(&self, rng: &mut TestRng) -> $t {
                 rng.rng.random_range(self.start..self.end)
             }
+            /// Binary-search toward the range's start: jump all the way,
+            /// then half-way, then one step — the greedy [`minimize`]
+            /// loop re-asks after every adoption, so the failing value
+            /// converges to the smallest one in O(log range) probes.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v > self.start {
+                    out.push(self.start);
+                    let half = self.start + (v - self.start) / 2;
+                    if half != self.start && half != v {
+                        out.push(half);
+                    }
+                    if v - 1 != self.start && (half == self.start || v - 1 != half) {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
-impl_range_strategy!(i32, i64, u32, u64, usize, f64);
+impl_int_range_strategy!(i32, i64, u32, u64, usize);
+
+// Floats do not shrink (no obviously-minimal lattice worth the probes);
+// they still generate.
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.random_range(self.start..self.end)
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($( self.$idx.gen_value(rng), )+)
+            }
+            /// Shrink one component at a time, holding the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
     (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Drive one property: generate `config.cases` values from `strategy`,
+/// run `body` on each, and on the first failure greedily [`minimize`]
+/// the case before panicking with the minimal counterexample's message
+/// and the shrink-step count. The macro-facing entry point of the shim
+/// (`proptest!` expands to a call per property).
+///
+/// # Panics
+///
+/// Panics when a case fails (after shrinking) — that is the test
+/// failure.
+pub fn run_cases<S: Strategy>(
+    config: &crate::test_runner::ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut body: impl FnMut(S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let mut rng = TestRng::for_test(name);
+    for case in 0..config.cases {
+        let value = strategy.gen_value(&mut rng);
+        if let Err(error) = body(value.clone()) {
+            let mut probe = |v: &S::Value| body(v.clone());
+            let (minimal, steps, min_error) = minimize(strategy, value, error, &mut probe);
+            panic!(
+                "proptest `{name}` failed at case {}/{} (shrunk {steps} steps to minimal case {minimal:?}): {min_error}",
+                case + 1,
+                config.cases,
+            );
+        }
+    }
+}
+
+/// Greedily minimise a failing case: try the strategy's shrink
+/// candidates in order, adopt the first that still fails (keeping its
+/// error), and repeat until no candidate fails or the probe budget is
+/// spent. Returns the minimal failing value, the number of successful
+/// shrink steps, and the failure it produced.
+///
+/// Driven by the [`crate::proptest!`] macro after the first failing
+/// case; exposed so the shrinking machinery itself is testable.
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut error: crate::test_runner::TestCaseError,
+    run: &mut dyn FnMut(&S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+) -> (S::Value, usize, crate::test_runner::TestCaseError) {
+    let mut steps = 0usize;
+    // Probes are bounded so a pathological shrink lattice cannot hang a
+    // test run; 512 is far beyond what the log-depth integer and vec
+    // shrinkers need.
+    let mut budget = 512usize;
+    loop {
+        let mut improved = false;
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                return (value, steps, error);
+            }
+            budget -= 1;
+            if let Err(e) = run(&cand) {
+                value = cand;
+                error = e;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (value, steps, error);
+        }
+    }
 }
 
 /// String-pattern strategy: a `&str` literal is interpreted as a (tiny)
@@ -317,6 +452,105 @@ mod tests {
         }
         // Unparseable patterns fall back to the literal.
         assert_eq!("plain".gen_value(&mut rng), "plain");
+    }
+
+    #[test]
+    fn int_shrink_candidates_move_toward_start() {
+        let s = 3i32..1000;
+        assert_eq!(s.shrink(&3), Vec::<i32>::new(), "start cannot shrink");
+        let c = s.shrink(&800);
+        assert_eq!(c, vec![3, 401, 799]);
+        assert_eq!(s.shrink(&4), vec![3], "adjacent collapses to the start");
+    }
+
+    #[test]
+    fn minimize_finds_the_smallest_failing_integer() {
+        use crate::test_runner::TestCaseError;
+        // "fails iff v >= 137" over 0..10_000: the minimal counterexample
+        // is exactly 137, found in O(log) probes.
+        let strategy = 0u64..10_000;
+        let mut probes = 0usize;
+        let mut run = |v: &u64| {
+            probes += 1;
+            if *v >= 137 {
+                Err(TestCaseError::fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, steps, err) = minimize(
+            &strategy,
+            9_000,
+            TestCaseError::fail("9000 too big"),
+            &mut run,
+        );
+        assert_eq!(min, 137);
+        assert!(steps > 0);
+        assert!(probes < 100, "binary-search convergence, got {probes}");
+        assert_eq!(err.to_string(), "137 too big");
+    }
+
+    #[test]
+    fn minimize_shrinks_vecs_to_a_minimal_witness() {
+        use crate::test_runner::TestCaseError;
+        // "fails iff the vec contains an element >= 10": the minimal
+        // counterexample is the single-element vec [10].
+        let strategy = crate::collection::vec(0u32..1_000, 0..12);
+        let start = vec![3, 416, 7, 22, 940, 1];
+        let mut run = |v: &Vec<u32>| {
+            if v.iter().any(|&x| x >= 10) {
+                Err(TestCaseError::fail(format!("bad vec {v:?}")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, steps, _) = minimize(
+            &strategy,
+            start.clone(),
+            TestCaseError::fail("seed failure"),
+            &mut run,
+        );
+        assert_eq!(min, vec![10]);
+        assert!(
+            steps >= 3,
+            "structural + element-wise shrinking, got {steps}"
+        );
+    }
+
+    #[test]
+    fn minimize_respects_the_vec_length_floor() {
+        use crate::test_runner::TestCaseError;
+        let strategy = crate::collection::vec(0u32..100, 3..8);
+        let mut run = |_: &Vec<u32>| -> Result<(), TestCaseError> {
+            Err(TestCaseError::fail("always fails"))
+        };
+        let (min, _, _) = minimize(
+            &strategy,
+            vec![9, 9, 9, 9, 9, 9, 9],
+            TestCaseError::fail("seed"),
+            &mut run,
+        );
+        assert_eq!(min, vec![0, 0, 0], "floor of 3, every element minimal");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (1i32..100, 0u64..50);
+        let c = s.shrink(&(80, 40));
+        assert!(c.contains(&(1, 40)), "first component toward its start");
+        assert!(c.contains(&(80, 0)), "second component toward its start");
+        assert!(
+            c.iter().all(|&(a, b)| a == 80 || b == 40),
+            "never both at once: {c:?}"
+        );
+    }
+
+    #[test]
+    fn unshrinkable_strategies_return_no_candidates() {
+        let mapped = (1i32..10).prop_map(|n| n.to_string());
+        assert!(mapped.shrink(&"7".to_string()).is_empty());
+        assert!(Just(3i32).shrink(&3).is_empty());
+        assert!((0.5f64..2.0).shrink(&1.5).is_empty());
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! End-to-end check that a failing property shrinks to a minimal
+//! counterexample before reporting (the panic carries the shrunk case's
+//! message, not the originally generated one).
+
+use proptest::prelude::*;
+
+#[test]
+fn failing_property_reports_the_shrunk_case() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn must_stay_small(v in 0u64..100_000) {
+                prop_assert!(v < 1_234, "saw {}", v);
+            }
+        }
+        must_stay_small();
+    });
+    let msg = *result
+        .expect_err("property must fail")
+        .downcast::<String>()
+        .unwrap();
+    assert!(
+        msg.contains("saw 1234"),
+        "panic should carry the minimal counterexample: {msg}"
+    );
+    assert!(
+        msg.contains("shrunk"),
+        "panic should report shrinking: {msg}"
+    );
+}

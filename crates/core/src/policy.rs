@@ -8,16 +8,21 @@
 //! [`PolicySet`] is an ordered, named collection of policies that the
 //! evaluation harness sweeps. The four schemes of the paper's figures —
 //! vendor baseline, Elastic Kernels, accelOS-naive, accelOS — are provided
-//! as policy objects ([`PolicySet::paper`]), alongside three extensions:
-//! guided dequeues ([`GuidedPolicy`]), weighted shares
-//! ([`WeightedPolicy`]) and preemptive priority ([`PriorityPolicy`]).
+//! as policy objects ([`PolicySet::paper`]), alongside a family of
+//! extensions: guided dequeues ([`GuidedPolicy`]), weighted shares
+//! ([`WeightedPolicy`]), preemptive priority ([`PriorityPolicy`]),
+//! deadline-aware preemption ([`DeadlinePolicy`]) and SLA-tiered floors
+//! ([`SlaPolicy`]).
 //!
 //! Policies also own the batch's *transients*: when requests join a
 //! running batch mid-flight, [`SchedulingPolicy::on_arrival`] decides how
-//! they are admitted and whether running launches give workers back
+//! they are admitted, whether running launches give workers back
 //! ([`WorkerReclaim`], executed by the simulator as
-//! [`gpu_sim::ReclaimCmd`]s at chunk boundaries).
-//! [`plan_with_arrivals`] drives those hooks over a staggered batch.
+//! [`gpu_sim::ReclaimCmd`]s at chunk boundaries — down to a resumable
+//! full pause at 0 workers), and when paused victims wake again
+//! ([`WorkerResume`] → [`gpu_sim::ResumeCmd`], fired at the pressuring
+//! tenant's retirement). [`plan_with_arrivals`] drives those hooks over a
+//! staggered batch.
 //!
 //! Both execution planes consume the same decisions: the functional plane
 //! ([`crate::proxycl`]) runs each transformed kernel over the decision's
@@ -104,6 +109,7 @@ pub struct PlanCtx<'a> {
     device: &'a DeviceConfig,
     equal_shares: Option<&'a OnceLock<(Vec<ResourceDemand>, ShareAllocation)>>,
     solo_shares: Option<&'a [OnceLock<(ResourceDemand, u32)>]>,
+    estimates: Option<&'a [Option<u64>]>,
 }
 
 impl<'a> PlanCtx<'a> {
@@ -114,6 +120,7 @@ impl<'a> PlanCtx<'a> {
             device,
             equal_shares: None,
             solo_shares: None,
+            estimates: None,
         }
     }
 
@@ -131,7 +138,29 @@ impl<'a> PlanCtx<'a> {
             device,
             equal_shares: Some(equal_shares),
             solo_shares: Some(solo_shares),
+            estimates: None,
         }
+    }
+
+    /// Attach per-request isolated-time estimates (`estimates[i]`, when
+    /// present, is the device time request `i` would take running alone
+    /// at its solo share, in cycles). The harness feeds its cached
+    /// isolated times in here on the preemptive path — only for the
+    /// indices the policy declared via
+    /// [`SchedulingPolicy::estimate_indices`], since each one costs a
+    /// solo simulation on a cache miss; deadline-aware policies
+    /// ([`DeadlinePolicy`]) consult them to size reclamations, and every
+    /// other policy ignores them — attaching estimates never changes a
+    /// non-deadline plan.
+    pub fn with_estimates(mut self, estimates: &'a [Option<u64>]) -> Self {
+        self.estimates = Some(estimates);
+        self
+    }
+
+    /// The isolated-time estimate of request `index`, when the caller
+    /// supplied one ([`PlanCtx::with_estimates`]).
+    pub fn estimate(&self, index: usize) -> Option<u64> {
+        self.estimates.and_then(|e| e.get(index).copied().flatten())
     }
 
     /// The device being shared.
@@ -187,8 +216,31 @@ impl<'a> PlanCtx<'a> {
 pub struct WorkerReclaim {
     /// Batch index (into the planning `requests`) of the launch to shrink.
     pub index: usize,
-    /// Worker count the launch keeps (the simulator floors this at 1 so
-    /// the launch's shared queue always keeps draining).
+    /// Worker count the launch keeps. `0` is a resumable **full pause**
+    /// (every worker retires, the victim's queue strands): a policy
+    /// issuing one must pair it with a [`WorkerResume`] so the victim is
+    /// guaranteed to wake when the pressuring tenant retires.
+    pub workers: u32,
+}
+
+/// A directive to **resume** a paused (or shrunk) launch when the
+/// pressuring tenant retires (the timing plane executes it as a
+/// [`gpu_sim::ResumeCmd`]).
+///
+/// This is the give-back half of a full pause: the planner cannot know
+/// *when* the pressuring tenant will retire (planning is ahead-of-time),
+/// so the resume is anchored on that tenant's identity and the simulator
+/// fires it at the retirement instant — guaranteed wake-up, unlike
+/// elastic regrowth, which needs an idle slot a saturated device may
+/// never offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerResume {
+    /// Batch index of the paused launch to wake.
+    pub index: usize,
+    /// Batch index of the pressuring tenant whose retirement triggers the
+    /// resume.
+    pub after: usize,
+    /// Worker count to restore the launch to.
     pub workers: u32,
 }
 
@@ -199,6 +251,9 @@ pub struct ArrivalPlan {
     pub decisions: Vec<LaunchDecision>,
     /// Running launches to shrink at their next chunk boundary.
     pub reclaims: Vec<WorkerReclaim>,
+    /// Paused launches to wake when their pressuring tenant retires (one
+    /// per full-pause reclaim; empty for floor ≥ 1 policies).
+    pub resumes: Vec<WorkerResume>,
 }
 
 /// The default reaction to a mid-run arrival: re-plan the now-active
@@ -231,7 +286,118 @@ fn admit_at_share<P: SchedulingPolicy + ?Sized>(
     ArrivalPlan {
         decisions: picked,
         reclaims: Vec::new(),
+        resumes: Vec::new(),
     }
+}
+
+/// The shared premium-preemption reaction ([`PriorityPolicy`] and
+/// [`SlaPolicy`]): premium tenants re-plan the machine among themselves;
+/// every running batch tenant is shrunk to its
+/// [`SchedulingPolicy::reclaim`] width. A floor of 0 is a full pause and
+/// pairs the [`WorkerReclaim`] with a [`WorkerResume`] anchored on the
+/// (first) arriving premium tenant, restoring the victim's pre-pause
+/// width when that tenant retires.
+fn premium_preempt<P: SchedulingPolicy + ?Sized>(
+    policy: &P,
+    ctx: &PlanCtx,
+    requests: &[ExecRequest],
+    arriving: &[usize],
+    running: &[usize],
+    running_widths: &[u32],
+    is_premium: &dyn Fn(usize) -> bool,
+) -> ArrivalPlan {
+    let mut premium: Vec<usize> = running
+        .iter()
+        .chain(arriving)
+        .copied()
+        .filter(|&i| is_premium(i))
+        .collect();
+    premium.sort_unstable();
+    let subset: Vec<ExecRequest> = premium.iter().map(|&i| requests[i].clone()).collect();
+    let premium_plans = equal_plan(ctx.device(), &subset);
+    let width_of = |i: usize| {
+        let pos = premium
+            .iter()
+            .position(|&p| p == i)
+            .expect("premium index is active");
+        premium_plans[pos].clone()
+    };
+    // The pressuring tenant resumes anchor on: the first arriving premium
+    // request (deterministic, and the one whose arrival forced the
+    // pause).
+    let anchor = arriving
+        .iter()
+        .copied()
+        .filter(|&i| is_premium(i))
+        .min()
+        .expect("premium_preempt requires a premium arrival");
+    let decisions = arriving
+        .iter()
+        .map(|&i| {
+            if is_premium(i) {
+                width_of(i)
+            } else {
+                // Batch work admitted under premium pressure starts at
+                // the reclaim floor (at least one worker — a launch
+                // cannot be *born* paused) and regrows elastically once
+                // the premium tenants retire.
+                chunked_decision(&requests[i], policy.reclaim(ctx, requests, i).max(1))
+            }
+        })
+        .collect();
+    let mut reclaims = Vec::with_capacity(running.len());
+    let mut resumes = Vec::new();
+    for (pos, &i) in running.iter().enumerate() {
+        let workers = if is_premium(i) {
+            // A running premium tenant shrinks to its new premium-subset
+            // share (more premium tenants now share the machine).
+            width_of(i).workers
+        } else {
+            let floor = policy.reclaim(ctx, requests, i);
+            if floor == 0 {
+                resumes.push(WorkerResume {
+                    index: i,
+                    after: anchor,
+                    workers: running_widths[pos],
+                });
+            }
+            floor
+        };
+        reclaims.push(WorkerReclaim { index: i, workers });
+    }
+    ArrivalPlan {
+        decisions,
+        reclaims,
+        resumes,
+    }
+}
+
+/// Equal §3 shares over `subset` (cache-free; used for premium-only
+/// re-plans on arrival).
+fn equal_plan(device: &DeviceConfig, subset: &[ExecRequest]) -> Vec<LaunchDecision> {
+    let demands: Vec<ResourceDemand> = subset.iter().map(|r| r.demand).collect();
+    let alloc = compute_shares(device, &demands);
+    subset
+        .iter()
+        .zip(&alloc.wgs_per_kernel)
+        .map(|(req, &workers)| chunked_decision(req, workers))
+        .collect()
+}
+
+/// The accelOS steady state: equal §3 shares through the session's share
+/// cache, chunked dequeues. One body shared by every policy of the
+/// preemptive family ([`AccelOsPolicy`], [`PriorityPolicy`],
+/// [`DeadlinePolicy`], [`SlaPolicy`]) — which is precisely what makes
+/// their zero-arrival runs bit-identical to `accelos`: they differ only
+/// in transients.
+fn equal_share_plan(ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+    let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
+    let alloc = ctx.equal_shares(&demands);
+    requests
+        .iter()
+        .zip(&alloc.wgs_per_kernel)
+        .map(|(req, &workers)| chunked_decision(req, workers))
+        .collect()
 }
 
 /// A scheduling policy: turns concurrent kernel execution requests into
@@ -280,10 +446,14 @@ pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
     }
 
     /// React to requests joining the batch **mid-run**: `arriving`
-    /// (indices into `requests`) are being launched now; `running` are
-    /// the requests admitted earlier. Returns one decision per arriving
-    /// request plus any [`WorkerReclaim`] directives shrinking running
-    /// launches at their next chunk boundary.
+    /// (indices into `requests`) are being launched now, at device time
+    /// `now`; `running` are the requests admitted earlier and
+    /// `running_widths[j]` is the worker width `running[j]` currently
+    /// holds (its planned width minus any earlier reclamations). Returns
+    /// one decision per arriving request plus any [`WorkerReclaim`]
+    /// directives shrinking running launches at their next chunk
+    /// boundary, and any [`WorkerResume`] directives waking full-paused
+    /// victims when their pressuring tenant retires.
     ///
     /// Planning is ahead-of-time, so `running` is an *approximation* of
     /// the live set: completion times are only known to the simulator,
@@ -310,6 +480,8 @@ pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
         requests: &[ExecRequest],
         arriving: &[usize],
         running: &[usize],
+        _now: u64,
+        _running_widths: &[u32],
     ) -> ArrivalPlan {
         admit_at_share(self, ctx, requests, arriving, running)
     }
@@ -317,11 +489,24 @@ pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
     /// The worker count running request `index` keeps when this policy
     /// reclaims its workers (consulted by preemptive
     /// [`SchedulingPolicy::on_arrival`] implementations). The default is
-    /// the minimum width — one persistent worker — so a reclaimed tenant
-    /// still drains its queue ("pause-like" shrink); override to keep a
-    /// larger floor.
+    /// one persistent worker, so a reclaimed tenant still drains its
+    /// queue; override to keep a larger floor ([`SlaPolicy`]) — or return
+    /// 0 for a resumable full pause, in which case the `on_arrival`
+    /// implementation must pair the reclaim with a [`WorkerResume`]
+    /// (as [`SlaPolicy`]'s floor-0 tier does) or the victim strands its
+    /// work.
     fn reclaim(&self, _ctx: &PlanCtx, _requests: &[ExecRequest], _index: usize) -> u32 {
         1
+    }
+
+    /// Which request indices this policy will query the planning
+    /// context's isolated-time estimates for ([`PlanCtx::estimate`]).
+    /// Each estimate costs one solo simulation on a cache miss, so the
+    /// harness computes and attaches exactly these (empty — the default
+    /// — skips the machinery entirely; [`DeadlinePolicy`] asks for its
+    /// deadlined request only).
+    fn estimate_indices(&self, _requests: &[ExecRequest]) -> Vec<usize> {
+        Vec::new()
     }
 }
 
@@ -446,13 +631,7 @@ impl SchedulingPolicy for AccelOsPolicy {
     }
 
     fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
-        let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
-        let alloc = ctx.equal_shares(&demands);
-        requests
-            .iter()
-            .zip(&alloc.wgs_per_kernel)
-            .map(|(req, &workers)| chunked_decision(req, workers))
-            .collect()
+        equal_share_plan(ctx, requests)
     }
 
     fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
@@ -675,18 +854,6 @@ impl PriorityPolicy {
     pub fn is_premium(&self, index: usize) -> bool {
         index < self.premium
     }
-
-    /// Equal §3 shares over `subset` (cache-free; used for the
-    /// premium-only re-plan on arrival).
-    fn equal_plan(device: &DeviceConfig, subset: &[ExecRequest]) -> Vec<LaunchDecision> {
-        let demands: Vec<ResourceDemand> = subset.iter().map(|r| r.demand).collect();
-        let alloc = compute_shares(device, &demands);
-        subset
-            .iter()
-            .zip(&alloc.wgs_per_kernel)
-            .map(|(req, &workers)| chunked_decision(req, workers))
-            .collect()
-    }
 }
 
 impl Default for PriorityPolicy {
@@ -715,16 +882,8 @@ impl SchedulingPolicy for PriorityPolicy {
 
     fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
         // Steady state: exactly accelOS's equal shares. Priority only
-        // changes how mid-run transients are handled (`on_arrival`),
-        // which is what keeps the zero-arrival bit-identity with
-        // `accelos`.
-        let demands: Vec<ResourceDemand> = requests.iter().map(|r| r.demand).collect();
-        let alloc = ctx.equal_shares(&demands);
-        requests
-            .iter()
-            .zip(&alloc.wgs_per_kernel)
-            .map(|(req, &workers)| chunked_decision(req, workers))
-            .collect()
+        // changes how mid-run transients are handled (`on_arrival`).
+        equal_share_plan(ctx, requests)
     }
 
     fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
@@ -737,6 +896,8 @@ impl SchedulingPolicy for PriorityPolicy {
         requests: &[ExecRequest],
         arriving: &[usize],
         running: &[usize],
+        _now: u64,
+        running_widths: &[u32],
     ) -> ArrivalPlan {
         if !arriving.iter().any(|&i| self.is_premium(i)) {
             // Nothing high-priority is joining: behave exactly like
@@ -744,54 +905,346 @@ impl SchedulingPolicy for PriorityPolicy {
             return admit_at_share(self, ctx, requests, arriving, running);
         }
         // Premium tenants split the machine among themselves, as if the
-        // batch tenants were absent.
-        let mut premium: Vec<usize> = running
-            .iter()
-            .chain(arriving)
-            .copied()
-            .filter(|&i| self.is_premium(i))
-            .collect();
-        premium.sort_unstable();
-        let subset: Vec<ExecRequest> = premium.iter().map(|&i| requests[i].clone()).collect();
-        let premium_plans = PriorityPolicy::equal_plan(ctx.device(), &subset);
-        let width_of = |i: usize| {
-            let pos = premium
-                .iter()
-                .position(|&p| p == i)
-                .expect("premium index is active");
-            premium_plans[pos].clone()
+        // batch tenants were absent; every batch tenant shrinks to the
+        // reclaim floor (1 worker — never a full pause for this policy).
+        premium_preempt(
+            self,
+            ctx,
+            requests,
+            arriving,
+            running,
+            running_widths,
+            &|i| self.is_premium(i),
+        )
+    }
+}
+
+/// Deadline-aware preemption: reclaim **just enough** width from batch
+/// tenants for an arriving deadlined tenant to finish on time, instead of
+/// flooring every victim the way [`PriorityPolicy`] does.
+///
+/// The batch's first request is the deadlined tenant; its deadline is
+/// `slack ×` its isolated-time estimate, measured from the **episode
+/// start** (the tenant's SLA clock starts when the job was submitted to
+/// the shared node, not when the device finally admits it — so the later
+/// it arrives, the less time remains and the more width it needs). On its
+/// arrival at device time `now`, the policy:
+///
+/// * reads the tenant's isolated-time estimate `T` from the planning
+///   context ([`PlanCtx::estimate`] — the harness feeds its cached
+///   isolated times in on the preemptive path) and its solo-share width
+///   `W`;
+/// * computes the width the deadline needs,
+///   `need = ceil(W · T / (slack·T − now))` (isolated time scales
+///   inversely with width at a fixed share shape), clamped to `[1, W]`;
+/// * admits the tenant at `need` workers and shaves batch tenants —
+///   in batch order, each down to its [`SchedulingPolicy::reclaim`]
+///   floor at worst — only until the freed thread capacity covers
+///   `need`. Victims that are not needed keep their full width, which is
+///   what makes this policy reclaim strictly fewer workers than the
+///   all-or-floor [`PriorityPolicy`] whenever the deadline has slack.
+///
+/// Without an estimate in the context the deadline is unknowable and the
+/// policy degrades to [`PriorityPolicy`] behaviour (floor every victim):
+/// aggressive, but never deadline-missing by under-reclaiming. Steady
+/// states are planned exactly like [`AccelOsPolicy::optimized`], so
+/// zero-arrival runs are bit-identical to `accelos`.
+///
+/// Related work frames exactly this object: THEMIS's finish-time fairness
+/// and Gavel's heterogeneity-aware policies both assume the runtime can
+/// take back *just enough* accelerator share for a deadline to hold
+/// (PAPERS.md).
+#[derive(Debug, Clone)]
+pub struct DeadlinePolicy {
+    name: String,
+    slack: f64,
+}
+
+impl DeadlinePolicy {
+    /// A deadline policy whose deadlined tenant must finish within
+    /// `slack ×` its isolated-time estimate, measured from the episode
+    /// start. The default slack of 2 keeps the registry name
+    /// `accelos-deadline`; other slacks get `accelos-deadline:<slack>`
+    /// (see [`SchedulingPolicy::name`] for why the configuration must be
+    /// in the name).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slack > 1` (a slack of 1 means "isolated time with
+    /// zero queueing", unreachable once anything shares the device).
+    pub fn new(slack: f64) -> Self {
+        assert!(slack > 1.0, "deadline slack must exceed 1 (got {slack})");
+        DeadlinePolicy {
+            name: if slack == 2.0 {
+                "accelos-deadline".to_string()
+            } else {
+                format!("accelos-deadline:{slack}")
+            },
+            slack,
+        }
+    }
+
+    /// Fraction of the remaining time the width computation budgets for
+    /// pure execution; the rest absorbs reclaim latency (victims drain
+    /// their in-flight chunk before a slot frees) and the contention the
+    /// surviving co-residents add — costs the isolated estimate cannot
+    /// see. The scenario tests pin that this margin suffices.
+    pub const SAFETY: f64 = 0.9;
+
+    /// The slack factor (deadline = slack × isolated estimate).
+    pub fn slack(&self) -> f64 {
+        self.slack
+    }
+
+    /// The absolute deadline of the deadlined tenant, given its isolated
+    /// estimate.
+    pub fn deadline(&self, estimate: u64) -> u64 {
+        (self.slack * estimate as f64).round() as u64
+    }
+
+    /// The worker width the deadlined tenant needs at `now` for its
+    /// deadline to hold: time-to-go is `deadline − now`, and isolated
+    /// time scales inversely with width (`T` at `solo` workers →
+    /// `T·solo/w` at `w`). The width is sized against
+    /// [`DeadlinePolicy::SAFETY`] of the remaining time, because the
+    /// inverse-width model is optimistic about what the estimate cannot
+    /// see: reclaim latency (victims drain their in-flight chunk before a
+    /// slot frees) and the contention the surviving co-residents add.
+    /// `None` when no estimate is available.
+    fn width_needed(
+        &self,
+        ctx: &PlanCtx,
+        index: usize,
+        req: &ExecRequest,
+        now: u64,
+    ) -> Option<u32> {
+        let estimate = ctx.estimate(index)?;
+        let solo = ctx.solo_share(index, &req.demand).max(1);
+        let remaining = self.deadline(estimate).saturating_sub(now);
+        let budget = remaining as f64 * DeadlinePolicy::SAFETY;
+        if budget < 1.0 {
+            // Already (effectively) past the deadline: the best the
+            // policy can do is the full solo width.
+            return Some(solo);
+        }
+        let need = (solo as f64 * estimate as f64 / budget).ceil() as u32;
+        Some(need.clamp(1, solo))
+    }
+}
+
+impl Default for DeadlinePolicy {
+    /// Slack factor 2: the deadlined tenant may take twice its isolated
+    /// time, end to end.
+    fn default() -> Self {
+        DeadlinePolicy::new(2.0)
+    }
+}
+
+impl SchedulingPolicy for DeadlinePolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate_indices(&self, _requests: &[ExecRequest]) -> Vec<usize> {
+        vec![0]
+    }
+
+    fn label(&self) -> &str {
+        if self.slack == 2.0 {
+            "accelOS-deadline"
+        } else {
+            &self.name
+        }
+    }
+
+    fn chunk_mode(&self) -> Mode {
+        Mode::Optimized
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        // Deadlines only shape transients.
+        equal_share_plan(ctx, requests)
+    }
+
+    fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
+        Some(ctx.solo_share(index, &request.demand))
+    }
+
+    fn on_arrival(
+        &self,
+        ctx: &PlanCtx,
+        requests: &[ExecRequest],
+        arriving: &[usize],
+        running: &[usize],
+        now: u64,
+        running_widths: &[u32],
+    ) -> ArrivalPlan {
+        let deadlined = 0usize;
+        if !arriving.contains(&deadlined) {
+            // Only batch work is joining: behave exactly like accelOS.
+            return admit_at_share(self, ctx, requests, arriving, running);
+        }
+        let Some(need) = self.width_needed(ctx, deadlined, &requests[deadlined], now) else {
+            // No estimate to size the reclamation with: degrade to the
+            // all-or-floor premium behaviour rather than risk the
+            // deadline.
+            return premium_preempt(
+                self,
+                ctx,
+                requests,
+                arriving,
+                running,
+                running_widths,
+                &|i| i == deadlined,
+            );
         };
+        // Shave batch tenants, in batch order, until the freed thread
+        // capacity covers the deadlined tenant's needed width. Thread
+        // capacity is the §3 allocation's binding resource for every
+        // workload in the suite; mixed-resource shaving would follow the
+        // same greedy shape per resource.
+        let mut needed = need as u64 * requests[deadlined].demand.wg_threads as u64;
+        let mut reclaims = Vec::new();
+        for (pos, &i) in running.iter().enumerate() {
+            if i == deadlined || needed == 0 {
+                continue;
+            }
+            let width = running_widths[pos];
+            let floor = self.reclaim(ctx, requests, i);
+            if width <= floor {
+                continue;
+            }
+            let victim_threads = requests[i].demand.wg_threads.max(1) as u64;
+            let spare = (width - floor) as u64;
+            let take = spare.min(needed.div_ceil(victim_threads));
+            needed = needed.saturating_sub(take * victim_threads);
+            reclaims.push(WorkerReclaim {
+                index: i,
+                workers: width - take as u32,
+            });
+        }
         let decisions = arriving
             .iter()
             .map(|&i| {
-                if self.is_premium(i) {
-                    width_of(i)
+                if i == deadlined {
+                    chunked_decision(&requests[i], need)
                 } else {
-                    // Batch work admitted under premium pressure starts
-                    // at the reclaim floor and regrows elastically once
-                    // the premium tenants retire.
-                    chunked_decision(&requests[i], self.reclaim(ctx, requests, i))
+                    // Batch work arriving alongside the deadlined tenant
+                    // starts at the floor and regrows elastically.
+                    chunked_decision(&requests[i], self.reclaim(ctx, requests, i).max(1))
                 }
-            })
-            .collect();
-        let reclaims = running
-            .iter()
-            .map(|&i| WorkerReclaim {
-                index: i,
-                workers: if self.is_premium(i) {
-                    // A running premium tenant shrinks to its new
-                    // premium-subset share (more premium tenants now
-                    // share the machine).
-                    width_of(i).workers
-                } else {
-                    self.reclaim(ctx, requests, i)
-                },
             })
             .collect();
         ArrivalPlan {
             decisions,
             reclaims,
+            resumes: Vec::new(),
         }
+    }
+}
+
+/// SLA tiers: premium preemption with **per-tenant reclaim floors** — a
+/// gold tenant keeps (say) 4 workers through any preemption storm, a
+/// silver tenant 2, and a floor of **0** marks a best-effort tier that is
+/// fully paused under pressure and resumed (via [`WorkerResume`] /
+/// [`gpu_sim::ResumeCmd`]) when the pressuring premium tenant retires.
+///
+/// `floors[i]` is request `i`'s floor; requests beyond the list repeat
+/// its final entry (like [`WeightedPolicy`] weights). The batch's first
+/// request is the premium tenant; arrivals and steady states otherwise
+/// behave exactly like [`PriorityPolicy`] — and with no premium arrival
+/// mid-run the policy is bit-identical to `accelos`.
+#[derive(Debug, Clone)]
+pub struct SlaPolicy {
+    name: String,
+    floors: Vec<u32>,
+}
+
+impl SlaPolicy {
+    /// An SLA policy named after its floors (`accelos-sla:f1:f2:...`),
+    /// so differently-configured instances never collide in name-keyed
+    /// caches; the default single floor of 2 keeps the registry name
+    /// `accelos-sla`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floors` is empty.
+    pub fn new(floors: &[u32]) -> Self {
+        assert!(!floors.is_empty(), "need at least one SLA floor");
+        SlaPolicy {
+            name: if floors == [2] {
+                "accelos-sla".to_string()
+            } else {
+                format!(
+                    "accelos-sla:{}",
+                    floors
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(":")
+                )
+            },
+            floors: floors.to_vec(),
+        }
+    }
+
+    /// The reclaim floor of request `index` (tail entry repeats).
+    pub fn floor(&self, index: usize) -> u32 {
+        self.floors[index.min(self.floors.len() - 1)]
+    }
+}
+
+impl SchedulingPolicy for SlaPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn label(&self) -> &str {
+        if self.floors == [2] {
+            "accelOS-sla"
+        } else {
+            &self.name
+        }
+    }
+
+    fn chunk_mode(&self) -> Mode {
+        Mode::Optimized
+    }
+
+    fn plan(&self, ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecision> {
+        // SLA floors only bind during premium transients.
+        equal_share_plan(ctx, requests)
+    }
+
+    fn solo_workers(&self, ctx: &PlanCtx, index: usize, request: &ExecRequest) -> Option<u32> {
+        Some(ctx.solo_share(index, &request.demand))
+    }
+
+    fn reclaim(&self, _ctx: &PlanCtx, _requests: &[ExecRequest], index: usize) -> u32 {
+        self.floor(index)
+    }
+
+    fn on_arrival(
+        &self,
+        ctx: &PlanCtx,
+        requests: &[ExecRequest],
+        arriving: &[usize],
+        running: &[usize],
+        _now: u64,
+        running_widths: &[u32],
+    ) -> ArrivalPlan {
+        if !arriving.contains(&0) {
+            return admit_at_share(self, ctx, requests, arriving, running);
+        }
+        premium_preempt(
+            self,
+            ctx,
+            requests,
+            arriving,
+            running,
+            running_widths,
+            &|i| i == 0,
+        )
     }
 }
 
@@ -806,18 +1259,36 @@ pub struct TimedReclaim {
     pub at: u64,
     /// Batch index of the launch to shrink.
     pub index: usize,
-    /// Worker count the launch keeps.
+    /// Worker count the launch keeps (0 = resumable full pause).
+    pub workers: u32,
+}
+
+/// One planned resumption of an [`ArrivalSchedule`]: unlike a
+/// [`TimedReclaim`] it carries no time — it fires when the anchor tenant
+/// retires, which only the simulator knows (the timing plane executes it
+/// as a [`gpu_sim::ResumeCmd`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedResume {
+    /// Batch index of the pressuring tenant whose retirement triggers
+    /// the resume.
+    pub after: usize,
+    /// Batch index of the paused launch to wake.
+    pub index: usize,
+    /// Worker count to restore the launch to.
     pub workers: u32,
 }
 
 /// A staggered batch fully planned: one decision per request, plus the
-/// reclamation commands the policy issued along the way.
+/// reclamation and resumption commands the policy issued along the way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalSchedule {
     /// One decision per request, in batch order.
     pub decisions: Vec<LaunchDecision>,
     /// Reclamations, in arrival-time order.
     pub reclaims: Vec<TimedReclaim>,
+    /// Resumptions of full-paused victims, in arrival-time order of the
+    /// pauses that created them.
+    pub resumes: Vec<PlannedResume>,
 }
 
 /// Plan a staggered batch through a policy's arrival hooks.
@@ -859,27 +1330,38 @@ pub fn plan_with_arrivals(
         return ArrivalSchedule {
             decisions: policy.plan(ctx, requests),
             reclaims: Vec::new(),
+            resumes: Vec::new(),
         };
     }
     let mut decisions: Vec<Option<LaunchDecision>> = vec![None; requests.len()];
+    // Current worker width per request: planned width minus any later
+    // reclamations — what `on_arrival` receives as `running_widths` so a
+    // policy can size partial reclamations (pending resumes are ignored:
+    // the planner cannot know whether an anchor has retired yet, and
+    // under-stating a victim's width only errs conservative).
+    let mut widths: Vec<u32> = vec![0; requests.len()];
     let mut running: Vec<usize> = Vec::new();
     let mut reclaims = Vec::new();
+    let mut resumes = Vec::new();
     for (cohort, &t) in times.iter().enumerate() {
         let arriving: Vec<usize> = (0..requests.len()).filter(|&i| arrivals[i] == t).collect();
         if cohort == 0 {
             let subset: Vec<ExecRequest> = arriving.iter().map(|&i| requests[i].clone()).collect();
             let planned = policy.plan(&PlanCtx::new(ctx.device()), &subset);
             for (&i, d) in arriving.iter().zip(planned) {
+                widths[i] = d.workers;
                 decisions[i] = Some(d);
             }
         } else {
-            let plan = policy.on_arrival(ctx, requests, &arriving, &running);
+            let running_widths: Vec<u32> = running.iter().map(|&i| widths[i]).collect();
+            let plan = policy.on_arrival(ctx, requests, &arriving, &running, t, &running_widths);
             assert_eq!(
                 plan.decisions.len(),
                 arriving.len(),
                 "one decision per arriving request"
             );
             for (&i, d) in arriving.iter().zip(plan.decisions) {
+                widths[i] = d.workers;
                 decisions[i] = Some(d);
             }
             for r in plan.reclaims {
@@ -887,8 +1369,24 @@ pub fn plan_with_arrivals(
                     running.contains(&r.index),
                     "reclaim must target a running launch"
                 );
+                widths[r.index] = widths[r.index].min(r.workers);
                 reclaims.push(TimedReclaim {
                     at: t,
+                    index: r.index,
+                    workers: r.workers,
+                });
+            }
+            for r in plan.resumes {
+                assert!(
+                    running.contains(&r.index),
+                    "resume must target a running launch"
+                );
+                assert!(
+                    arriving.contains(&r.after) || running.contains(&r.after),
+                    "resume must anchor on an active request"
+                );
+                resumes.push(PlannedResume {
+                    after: r.after,
                     index: r.index,
                     workers: r.workers,
                 });
@@ -902,6 +1400,7 @@ pub fn plan_with_arrivals(
             .map(|d| d.expect("every request planned"))
             .collect(),
         reclaims,
+        resumes,
     }
 }
 
@@ -962,7 +1461,14 @@ impl PolicySet {
     ///   repeat the final weight);
     /// * `accelos-priority` — preemptive priority for the first tenant, or
     ///   `accelos-priority:n` for the first `n` tenants (mid-run premium
-    ///   arrivals reclaim workers from batch tenants at chunk boundaries).
+    ///   arrivals reclaim workers from batch tenants at chunk boundaries);
+    /// * `accelos-deadline` — deadline-aware preemption for the first
+    ///   tenant (reclaim *just enough* width for `slack ×` its isolated
+    ///   estimate to hold; default slack 2, or `accelos-deadline:slack`);
+    /// * `accelos-sla` — premium preemption with per-tenant reclaim
+    ///   floors (`accelos-sla:f1:f2:...`, tail repeats; floor 0 = full
+    ///   pause resumed when the premium tenant retires; bare name =
+    ///   floor 2 for everyone).
     pub fn builtin(name: &str) -> Result<Arc<dyn SchedulingPolicy>, String> {
         match name {
             "baseline" | "opencl" => Ok(Arc::new(BaselinePolicy)),
@@ -972,6 +1478,8 @@ impl PolicySet {
             "accelos-guided" => Ok(Arc::new(GuidedPolicy::default())),
             "accelos-weighted" => Ok(Arc::new(WeightedPolicy::new(&[3.0, 1.0]))),
             "accelos-priority" => Ok(Arc::new(PriorityPolicy::default())),
+            "accelos-deadline" => Ok(Arc::new(DeadlinePolicy::default())),
+            "accelos-sla" => Ok(Arc::new(SlaPolicy::new(&[2]))),
             other => {
                 if let Some(spec) = other.strip_prefix("accelos-weighted:") {
                     let weights: Result<Vec<f64>, _> =
@@ -987,10 +1495,28 @@ impl PolicySet {
                         .parse()
                         .map_err(|e| format!("bad premium count in `{other}`: {e}"))?;
                     Ok(Arc::new(PriorityPolicy::new(premium)))
+                } else if let Some(spec) = other.strip_prefix("accelos-deadline:") {
+                    let slack: f64 = spec
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad slack in `{other}`: {e}"))?;
+                    if slack <= 1.0 {
+                        return Err(format!("slack in `{other}` must exceed 1"));
+                    }
+                    Ok(Arc::new(DeadlinePolicy::new(slack)))
+                } else if let Some(spec) = other.strip_prefix("accelos-sla:") {
+                    let floors: Result<Vec<u32>, _> =
+                        spec.split(':').map(|f| f.trim().parse::<u32>()).collect();
+                    let floors = floors.map_err(|e| format!("bad floor in `{other}`: {e}"))?;
+                    if floors.is_empty() {
+                        return Err(format!("`{other}` needs at least one floor"));
+                    }
+                    Ok(Arc::new(SlaPolicy::new(&floors)))
                 } else {
                     Err(format!(
                         "unknown policy `{other}` (try: baseline, ek, accelos-naive, accelos, \
-                         accelos-guided, accelos-weighted[:w1:w2:...], accelos-priority[:n])"
+                         accelos-guided, accelos-weighted[:w1:w2:...], accelos-priority[:n], \
+                         accelos-deadline[:slack], accelos-sla[:f1:f2:...])"
                     ))
                 }
             }
@@ -1215,7 +1741,7 @@ mod tests {
         let requests = vec![req.clone(), req.clone(), req.clone()];
         let policy = PriorityPolicy::default();
         // Batch tenants 1 and 2 run; premium tenant 0 arrives.
-        let plan = policy.on_arrival(&ctx, &requests, &[0], &[1, 2]);
+        let plan = policy.on_arrival(&ctx, &requests, &[0], &[1, 2], 5_000, &[8, 8]);
         assert_eq!(plan.decisions.len(), 1);
         // A lone premium arrival gets its solo share — far more than the
         // 1/3 equal share the steady-state plan would give it.
@@ -1241,8 +1767,9 @@ mod tests {
             ]
         );
         // A batch arrival while nothing premium joins reclaims nothing.
-        let calm = policy.on_arrival(&ctx, &requests, &[2], &[1]);
+        let calm = policy.on_arrival(&ctx, &requests, &[2], &[1], 5_000, &[8]);
         assert!(calm.reclaims.is_empty());
+        assert!(calm.resumes.is_empty());
     }
 
     #[test]
@@ -1252,8 +1779,9 @@ mod tests {
         let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
         let requests = vec![req.clone(), req.clone(), req];
         let policy = AccelOsPolicy::optimized();
-        let plan = policy.on_arrival(&ctx, &requests, &[2], &[0, 1]);
+        let plan = policy.on_arrival(&ctx, &requests, &[2], &[0, 1], 1_000, &[8, 8]);
         assert!(plan.reclaims.is_empty());
+        assert!(plan.resumes.is_empty());
         // The arrival is admitted at its share of the 3-tenant active set.
         let steady = policy.plan(&ctx, &requests);
         assert_eq!(plan.decisions, vec![steady[2].clone()]);
@@ -1327,10 +1855,187 @@ mod tests {
         assert_eq!(pri.get(1).label(), "accelOS-priority");
         assert_eq!(pri.get(2).name(), "accelos-priority:2");
 
+        let dl =
+            PolicySet::parse("accelos-deadline,accelos-deadline:1.5,accelos-sla:4:2:0").unwrap();
+        assert_eq!(dl.get(0).name(), "accelos-deadline");
+        assert_eq!(dl.get(0).label(), "accelOS-deadline");
+        assert_eq!(dl.get(1).name(), "accelos-deadline:1.5");
+        assert_eq!(dl.get(2).name(), "accelos-sla:4:2:0");
+        assert_eq!(
+            PolicySet::builtin("accelos-sla").unwrap().name(),
+            "accelos-sla"
+        );
+
         assert!(PolicySet::parse("nope").is_err());
         assert!(PolicySet::parse("accelos,accelos").is_err());
         assert!(PolicySet::parse("").is_err());
         assert!(PolicySet::builtin("accelos-weighted:0").is_err());
         assert!(PolicySet::builtin("accelos-priority:x").is_err());
+        assert!(PolicySet::builtin("accelos-deadline:1").is_err());
+        assert!(PolicySet::builtin("accelos-deadline:x").is_err());
+        assert!(PolicySet::builtin("accelos-sla:").is_err());
+        assert!(PolicySet::builtin("accelos-sla:-1").is_err());
+    }
+
+    #[test]
+    fn deadline_and_sla_steady_states_match_accelos() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let reqs = reqs();
+        let accelos = AccelOsPolicy::optimized().plan(&ctx, &reqs);
+        assert_eq!(accelos, DeadlinePolicy::default().plan(&ctx, &reqs));
+        assert_eq!(accelos, SlaPolicy::new(&[4, 2]).plan(&ctx, &reqs));
+        for (i, req) in reqs.iter().enumerate() {
+            assert_eq!(
+                DeadlinePolicy::default().solo_workers(&ctx, i, req),
+                AccelOsPolicy::optimized().solo_workers(&ctx, i, req)
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_policy_reclaims_just_enough() {
+        let dev = DeviceConfig::k20m();
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = DeadlinePolicy::new(4.0);
+        let solo = PlanCtx::new(&dev).solo_share(0, &requests[0].demand);
+
+        // Generous slack, early arrival: the deadline needs only a
+        // fraction of the solo width, so only *one* victim is shaved, and
+        // not all the way to the floor.
+        let estimates = [Some(1_000_000u64), Some(2_000_000), Some(2_000_000)];
+        let ctx = PlanCtx::new(&dev).with_estimates(&estimates);
+        let widths = [solo / 2, solo / 2];
+        let gentle = policy.on_arrival(&ctx, &requests, &[0], &[1, 2], 100_000, &widths);
+        let est = estimates[0].unwrap();
+        let need = (solo as f64 * est as f64
+            / ((policy.deadline(est) - 100_000) as f64 * DeadlinePolicy::SAFETY))
+            .ceil() as u32;
+        assert_eq!(gentle.decisions[0].workers, need);
+        assert!(need < solo, "generous slack needs less than solo width");
+        let reclaimed: u32 = gentle
+            .reclaims
+            .iter()
+            .map(|r| {
+                let pos = [1usize, 2].iter().position(|&i| i == r.index).unwrap();
+                widths[pos] - r.workers
+            })
+            .sum();
+        assert_eq!(
+            reclaimed, need,
+            "same-shape tenants free 1:1 thread capacity"
+        );
+        assert!(
+            gentle.reclaims.len() < 2 || gentle.reclaims.iter().any(|r| r.workers > 1),
+            "just-enough must not floor every victim: {:?}",
+            gentle.reclaims
+        );
+
+        // Arriving at the deadline itself: everything is reclaimed (the
+        // priority-style worst case).
+        let late = policy.on_arrival(
+            &ctx,
+            &requests,
+            &[0],
+            &[1, 2],
+            policy.deadline(est),
+            &widths,
+        );
+        assert_eq!(late.decisions[0].workers, solo);
+
+        // No estimates: degrade to the all-or-floor premium behaviour.
+        let blind_ctx = PlanCtx::new(&dev);
+        let blind = policy.on_arrival(&blind_ctx, &requests, &[0], &[1, 2], 100_000, &widths);
+        assert_eq!(
+            blind.reclaims,
+            vec![
+                WorkerReclaim {
+                    index: 1,
+                    workers: 1
+                },
+                WorkerReclaim {
+                    index: 2,
+                    workers: 1
+                },
+            ]
+        );
+
+        // A batch arrival reclaims nothing.
+        let calm = policy.on_arrival(&ctx, &requests, &[2], &[1], 100_000, &[solo]);
+        assert!(calm.reclaims.is_empty());
+    }
+
+    #[test]
+    fn sla_policy_floors_and_pauses_with_resumes() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        // Tenant 1 holds an SLA floor of 4; tenant 2 is best-effort
+        // (floor 0 → full pause + resume on the premium retirement).
+        let policy = SlaPolicy::new(&[0, 4, 0]);
+        assert_eq!(policy.floor(1), 4);
+        assert_eq!(policy.floor(2), 0);
+        assert_eq!(policy.floor(9), 0, "tail repeats");
+        let plan = policy.on_arrival(&ctx, &requests, &[0], &[1, 2], 5_000, &[16, 16]);
+        assert_eq!(
+            plan.reclaims,
+            vec![
+                WorkerReclaim {
+                    index: 1,
+                    workers: 4
+                },
+                WorkerReclaim {
+                    index: 2,
+                    workers: 0
+                },
+            ]
+        );
+        assert_eq!(
+            plan.resumes,
+            vec![WorkerResume {
+                index: 2,
+                after: 0,
+                workers: 16
+            }],
+            "the full pause is paired with a resume restoring the pre-pause width"
+        );
+    }
+
+    #[test]
+    fn plan_with_arrivals_collects_resumes_and_tracks_widths() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = SlaPolicy::new(&[0, 2, 0]);
+        let schedule = plan_with_arrivals(&policy, &ctx, &requests, &[5_000, 0, 0]);
+        let pair = policy.plan(&PlanCtx::new(&dev), &requests[1..]);
+        assert_eq!(
+            schedule.reclaims,
+            vec![
+                TimedReclaim {
+                    at: 5_000,
+                    index: 1,
+                    workers: 2
+                },
+                TimedReclaim {
+                    at: 5_000,
+                    index: 2,
+                    workers: 0
+                },
+            ]
+        );
+        // The resume restores the batch tenant's cohort-planned width and
+        // anchors on the premium arrival.
+        assert_eq!(
+            schedule.resumes,
+            vec![PlannedResume {
+                after: 0,
+                index: 2,
+                workers: pair[1].workers
+            }]
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::jit::{transform_module, TransformInfo};
 use crate::policy::{plan_with_arrivals, AccelOsPolicy, PlanCtx, SchedulingPolicy};
 use crate::scheduler::{ExecRequest, LaunchDecision};
 use clrt::{Arg, Buffer, ClError, Context, Event, Kernel, Platform, Program};
-use gpu_sim::{KernelLaunch, ReclaimCmd, Simulator};
+use gpu_sim::{KernelLaunch, ReclaimCmd, ResumeCmd, Simulator};
 use kernel_ir::interp::{ArgValue, DynStats, Interpreter, NdRange};
 use std::sync::Arc;
 
@@ -240,8 +240,20 @@ impl ProxyCl {
     /// [`SchedulingPolicy::on_arrival`] hook, so a preemptive policy
     /// (e.g. `accelos-priority`) reclaims workers from running tenants at
     /// chunk boundaries ([`gpu_sim::ReclaimCmd`]) instead of queueing the
-    /// arrival behind them. With all-zero arrivals this is exactly
+    /// arrival behind them — full pauses included, whose paired
+    /// [`gpu_sim::ResumeCmd`]s wake the victims when the pressuring
+    /// tenant retires. With all-zero arrivals this is exactly
     /// [`ProxyCl::enqueue_concurrent`].
+    ///
+    /// One capability the transparent plane does **not** have: isolated
+    /// -time estimates. The harness calibrates per-kernel cost profiles
+    /// ahead of time and feeds cached isolated times into the planning
+    /// context, which is what lets `accelos-deadline` size a just-enough
+    /// reclamation; here a kernel's cost is only known *after* it runs,
+    /// so estimate-driven policies take their documented no-estimate
+    /// fallback (all-or-floor, like `accelos-priority`). Deadlines still
+    /// hold — more aggressively than necessary. Estimating from prior
+    /// executions of the same kernel is a ROADMAP item.
     ///
     /// # Errors
     ///
@@ -336,6 +348,13 @@ impl ProxyCl {
         for r in &schedule.reclaims {
             sim.add_reclaim(ReclaimCmd {
                 at: r.at,
+                launch: ids[r.index],
+                workers: r.workers,
+            });
+        }
+        for r in &schedule.resumes {
+            sim.add_resume(ResumeCmd {
+                after: ids[r.after],
                 launch: ids[r.index],
                 workers: r.workers,
             });

@@ -25,16 +25,59 @@ pub struct LaunchId(pub u32);
 ///
 /// Only dequeue-based plans ([`LaunchPlan::PersistentDynamic`] /
 /// [`LaunchPlan::PersistentGuided`]) have chunk boundaries to drain at;
-/// commands against other plans are ignored. `workers` is floored at 1 so
-/// the launch's shared queue always keeps draining (a full pause would
-/// strand its remaining work). See [`crate::Simulator::add_reclaim`].
+/// commands against other plans are ignored.
+///
+/// `workers == 0` is a **full pause**: every worker retires at its next
+/// chunk boundary and the launch parks with its remaining virtual groups
+/// stranded until something wakes it — a [`ResumeCmd`] anchored on another
+/// launch's retirement, or elastic regrowth via
+/// [`KernelLaunch::max_workers`]. A paused launch is *not* complete: its
+/// report keeps `end` at the last executed group and `groups_executed`
+/// stays below the plan's total until it resumes and drains. Schedulers
+/// issuing a pause are responsible for pairing it with a resume path (the
+/// policy layer's `WorkerReclaim`/`WorkerResume` pairs do exactly that).
+/// See [`crate::Simulator::add_reclaim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReclaimCmd {
     /// Simulation time the cap takes effect.
     pub at: u64,
     /// The launch whose workers are reclaimed.
     pub launch: LaunchId,
-    /// Live workers the launch keeps (floored at 1).
+    /// Live workers the launch keeps (0 = resumable full pause).
+    pub workers: u32,
+}
+
+/// A scheduled resumption: when launch `after` retires, re-enqueue workers
+/// for `launch` up to `workers` live workers.
+///
+/// This is the give-back half of a resumable full pause
+/// ([`ReclaimCmd`] with `workers == 0`): the reclaim needs no wall-clock
+/// resume time because the pressure that forced the pause is another
+/// tenant, and the simulator — not the ahead-of-time planner — is the only
+/// party that knows when that tenant retires. Firing on retirement (an
+/// [`crate::report::TraceKind::Resume`] per respawned worker) instead of
+/// riding on `rebalance` makes the resume *guaranteed*: rebalance only
+/// grows into a CU with a free slot and an empty queue, which a saturated
+/// device may never offer.
+///
+/// The resume also installs a floor under later reclaims, and the floor
+/// is a **standing guarantee**, not a one-shot: from `after`'s retirement
+/// onward, *no* [`ReclaimCmd`] can cap `launch` below `workers` — a
+/// command scheduled for the retired tenant's pressure but landing late
+/// is thereby void (work can never be stranded by command reordering),
+/// and equally, a *new* tenant cannot re-pause this victim below the
+/// guaranteed width. A policy that wants to pause the same victim for
+/// several successive premium tenants should therefore keep floors ≥ 1
+/// for the later ones (scoping resume floors per pressuring tenant is a
+/// ROADMAP item). Resumes against completed or non-dequeue launches are
+/// inert. See [`crate::Simulator::add_resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeCmd {
+    /// The pressuring launch whose retirement triggers the resume.
+    pub after: LaunchId,
+    /// The paused (or shrunk) launch to re-enqueue workers for.
+    pub launch: LaunchId,
+    /// Live workers to restore `launch` to (floored at 1).
     pub workers: u32,
 }
 

@@ -45,6 +45,6 @@ pub mod report;
 pub mod sim;
 
 pub use config::{DeviceConfig, WorkGroupReq};
-pub use launch::{Costs, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd};
+pub use launch::{Costs, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 pub use report::{KernelReport, SimReport, TraceEvent, TraceKind};
 pub use sim::Simulator;

@@ -33,6 +33,17 @@ pub struct KernelReport {
     /// Persistent workers retired early at a chunk boundary because a
     /// reclamation capped the launch below its live worker count.
     pub reclaimed_workers: usize,
+    /// Full pauses: reclaim commands that capped this launch at 0 live
+    /// workers (a subset of `preemptions`). A paused launch strands its
+    /// remaining virtual groups until a [`crate::ResumeCmd`] or elastic
+    /// regrowth wakes it.
+    pub pauses: usize,
+    /// Resume commands ([`crate::ResumeCmd`]) applied to this launch when
+    /// their anchor tenant retired.
+    pub resumes: usize,
+    /// Persistent workers respawned by resume commands (each one is a
+    /// [`TraceKind::Resume`] event when tracing is on).
+    pub resumed_workers: usize,
 }
 
 impl KernelReport {
@@ -60,6 +71,10 @@ pub enum TraceKind {
     /// launch's worker allotment was reclaimed (the matching
     /// [`TraceKind::WgEnd`] follows at the same timestamp).
     Reclaim,
+    /// A persistent worker was respawned by a [`crate::ResumeCmd`] firing
+    /// at its anchor tenant's retirement (the matching
+    /// [`TraceKind::WgStart`] follows when the worker becomes resident).
+    Resume,
 }
 
 /// One trace record.
@@ -122,6 +137,9 @@ mod tests {
             groups_executed: 4,
             preemptions: 0,
             reclaimed_workers: 0,
+            pauses: 0,
+            resumes: 0,
+            resumed_workers: 0,
         };
         assert_eq!(k.turnaround(), 40);
         assert_eq!(k.busy_time(), 25);
@@ -140,6 +158,9 @@ mod tests {
             groups_executed: 0,
             preemptions: 0,
             reclaimed_workers: 0,
+            pauses: 0,
+            resumes: 0,
+            resumed_workers: 0,
         };
         let r = SimReport {
             kernels: vec![mk(5, 60), mk(10, 80)],

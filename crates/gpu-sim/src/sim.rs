@@ -36,9 +36,15 @@
 //!   their freed slots go to whatever waits at the CU queue heads (a
 //!   premium tenant's workers, say). The launch's remaining virtual groups
 //!   continue at the reduced width, so no work is ever lost.
+//! * A cap of **0** is a resumable full pause: every worker retires, the
+//!   launch parks with its remaining virtual groups stranded, and a
+//!   [`ResumeCmd`] anchored on another launch's retirement respawns
+//!   workers for it (a resume event) — guaranteed wake-up where
+//!   `rebalance`-driven regrowth needs a free slot on a CU with an empty
+//!   queue, which a saturated device may never offer.
 
 use crate::config::DeviceConfig;
-use crate::launch::{KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd};
+use crate::launch::{KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 use crate::report::{KernelReport, SimReport, TraceEvent, TraceKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -69,6 +75,7 @@ pub struct Simulator {
     config: DeviceConfig,
     launches: Vec<KernelLaunch>,
     reclaims: Vec<ReclaimCmd>,
+    resumes: Vec<ResumeCmd>,
     collect_trace: bool,
 }
 
@@ -120,13 +127,24 @@ struct KernelRt {
     spawned: usize,
     /// Reclamation cap on live workers: a worker observing
     /// `tasks_left > worker_cap` at a chunk boundary retires early.
-    /// `usize::MAX` until a [`ReclaimCmd`] applies; elastic growth into
-    /// genuinely free capacity lifts it back (see `rebalance`).
+    /// `usize::MAX` until a [`ReclaimCmd`] applies (0 = full pause);
+    /// elastic growth into genuinely free capacity lifts it back (see
+    /// `rebalance`), as does a [`ResumeCmd`] firing.
     worker_cap: usize,
+    /// Floor installed under `worker_cap` by fired [`ResumeCmd`]s: once
+    /// the pressuring tenant has retired, a stale reclaim can no longer
+    /// cap (or pause) this launch below its resumed width.
+    resume_floor: usize,
     /// Reclaim commands applied to this launch.
     preemptions: usize,
     /// Workers retired early by reclamation.
     reclaimed: usize,
+    /// Reclaim commands that capped the launch at 0 (full pauses).
+    pauses: usize,
+    /// Resume commands fired for this launch.
+    resumes: usize,
+    /// Workers respawned by fired resume commands.
+    resumed: usize,
     /// Work groups executed (hardware WGs or claimed virtual groups).
     executed: usize,
 }
@@ -138,6 +156,10 @@ enum Event {
     /// Apply the reclaim command at this index (workers drain lazily at
     /// their next chunk boundary; the event only moves the cap).
     Reclaim(usize),
+    /// Apply the resume command at this index (scheduled when its anchor
+    /// launch retires): lift the target's cap, install the resume floor,
+    /// and respawn workers up to the resumed width.
+    Resume(usize),
 }
 
 impl Simulator {
@@ -147,6 +169,7 @@ impl Simulator {
             config,
             launches: Vec::new(),
             reclaims: Vec::new(),
+            resumes: Vec::new(),
             collect_trace: false,
         }
     }
@@ -179,12 +202,15 @@ impl Simulator {
     }
 
     /// Schedule a mid-flight worker reclamation (see [`ReclaimCmd`]): at
-    /// `cmd.at` the launch's live workers are capped at `cmd.workers`
-    /// (floored at 1 so the shared queue keeps draining). Workers above
-    /// the cap retire at their next chunk boundary; their in-flight chunks
-    /// complete first, so reclamation never aborts work. Commands against
-    /// launches without chunk boundaries ([`LaunchPlan::Hardware`] /
-    /// [`LaunchPlan::PersistentStatic`]) are ignored.
+    /// `cmd.at` the launch's live workers are capped at `cmd.workers`.
+    /// Workers above the cap retire at their next chunk boundary; their
+    /// in-flight chunks complete first, so reclamation never aborts work.
+    /// A cap of 0 is a resumable **full pause**: every worker retires and
+    /// the launch parks un-finished until a [`ResumeCmd`] (or elastic
+    /// regrowth via [`KernelLaunch::max_workers`]) wakes it. Commands
+    /// against launches without chunk boundaries
+    /// ([`LaunchPlan::Hardware`] / [`LaunchPlan::PersistentStatic`]) are
+    /// ignored.
     ///
     /// # Panics
     ///
@@ -199,12 +225,37 @@ impl Simulator {
         self.reclaims.push(cmd);
     }
 
+    /// Schedule a resumption (see [`ResumeCmd`]): when `cmd.after`
+    /// retires, `cmd.launch` is restored to at least `cmd.workers` live
+    /// workers — respawning workers if it was paused or shrunk below that
+    /// width — and no later reclaim may cap it below `cmd.workers` again.
+    /// Resumes against drained or non-dequeue launches are inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either launch id was not returned by
+    /// [`Simulator::add_launch`] on this simulator.
+    pub fn add_resume(&mut self, cmd: ResumeCmd) {
+        assert!(
+            (cmd.launch.0 as usize) < self.launches.len(),
+            "resume targets unknown launch {:?}",
+            cmd.launch
+        );
+        assert!(
+            (cmd.after.0 as usize) < self.launches.len(),
+            "resume anchored on unknown launch {:?}",
+            cmd.after
+        );
+        self.resumes.push(cmd);
+    }
+
     /// Run the simulation to completion.
     pub fn run(self) -> SimReport {
         Engine::new(
             self.config,
             self.launches,
             self.reclaims,
+            self.resumes,
             self.collect_trace,
         )
         .run()
@@ -215,6 +266,10 @@ struct Engine {
     config: DeviceConfig,
     launches: Vec<KernelLaunch>,
     reclaims: Vec<ReclaimCmd>,
+    resumes: Vec<ResumeCmd>,
+    /// Resume-command indices keyed by anchor launch, so a retirement
+    /// fires its resumes without scanning the whole command list.
+    resumes_by_anchor: Vec<Vec<usize>>,
     collect_trace: bool,
     now: u64,
     seq: u64,
@@ -241,6 +296,7 @@ impl Engine {
         config: DeviceConfig,
         launches: Vec<KernelLaunch>,
         reclaims: Vec<ReclaimCmd>,
+        resumes: Vec<ResumeCmd>,
         collect_trace: bool,
     ) -> Self {
         let cus = (0..config.num_cus)
@@ -266,8 +322,12 @@ impl Engine {
                 queue_free_at: 0,
                 spawned: l.plan.machine_wgs(),
                 worker_cap: usize::MAX,
+                resume_floor: 0,
                 preemptions: 0,
                 reclaimed: 0,
+                pauses: 0,
+                resumes: 0,
+                resumed: 0,
                 executed: 0,
             })
             .collect();
@@ -283,10 +343,16 @@ impl Engine {
             })
             .map(|(i, _)| i)
             .collect();
+        let mut resumes_by_anchor = vec![Vec::new(); launches.len()];
+        for (i, r) in resumes.iter().enumerate() {
+            resumes_by_anchor[r.after.0 as usize].push(i);
+        }
         Engine {
             config,
             launches,
             reclaims,
+            resumes,
+            resumes_by_anchor,
             collect_trace,
             now: 0,
             seq: 0,
@@ -320,6 +386,7 @@ impl Engine {
                 Event::Arrival(l) => self.on_arrival(l),
                 Event::PhaseDone(t) => self.on_phase_done(t),
                 Event::Reclaim(i) => self.on_reclaim(i),
+                Event::Resume(i) => self.on_resume(i),
             }
         }
         let makespan = self.kernels.iter().map(|k| k.end).max().unwrap_or(0);
@@ -338,6 +405,9 @@ impl Engine {
                 groups_executed: k.executed,
                 preemptions: k.preemptions,
                 reclaimed_workers: k.reclaimed,
+                pauses: k.pauses,
+                resumes: k.resumes,
+                resumed_workers: k.resumed,
             })
             .collect();
         SimReport {
@@ -369,17 +439,24 @@ impl Engine {
             });
             self.cus[cu].queue.push_back(tid);
         }
-        // A launch with zero machine work groups completes immediately.
+        // A launch with zero machine work groups completes immediately
+        // (and still anchors any resumes waiting on its retirement).
         if n == 0 {
             self.kernels[l].end = self.now;
+            self.fire_resumes(l);
         }
-        // The round-robin dispatch touched exactly min(n, num_cus) distinct
-        // queues starting at `first_cu` — no need to record them per task.
-        // Visit them in ascending CU order (the historical order of the
-        // sorted `touched` list): `try_start` order is observable, because
-        // each started task snapshots the contention loads of its
-        // predecessors.
-        let touched = n.min(self.config.num_cus);
+        self.try_start_touched(first_cu, n);
+    }
+
+    /// Visit, in ascending CU order, the `count.min(num_cus)` distinct
+    /// queues a round-robin enqueue starting at `first_cu` touched, and
+    /// `try_start` each. The ascending order (the historical order of
+    /// the sorted `touched` list) is observable and determinism-critical:
+    /// each started task snapshots the contention loads of its
+    /// predecessors. Shared by arrivals and resumes, which enqueue the
+    /// same way.
+    fn try_start_touched(&mut self, first_cu: usize, count: usize) {
+        let touched = count.min(self.config.num_cus);
         for cu in 0..self.config.num_cus {
             let offset = (cu + self.config.num_cus - first_cu) % self.config.num_cus;
             if offset < touched {
@@ -391,8 +468,11 @@ impl Engine {
     /// Apply reclaim command `i`: move the launch's worker cap. Workers
     /// drain lazily — each one re-checks the cap at its next chunk
     /// boundary (`on_phase_done` / `schedule_dequeue`), so in-flight
-    /// chunks always complete. Launches without chunk boundaries ignore
-    /// the command.
+    /// chunks always complete. A cap of 0 is a full pause (every worker
+    /// retires; the launch parks until resumed), except that a fired
+    /// [`ResumeCmd`] floors later caps at the resumed width — once the
+    /// pressuring tenant is gone, a stale command cannot re-pause its
+    /// victim. Launches without chunk boundaries ignore the command.
     fn on_reclaim(&mut self, i: usize) {
         let cmd = self.reclaims[i];
         let l = cmd.launch.0 as usize;
@@ -403,8 +483,83 @@ impl Engine {
             return;
         }
         let k = &mut self.kernels[l];
-        k.worker_cap = cmd.workers.max(1) as usize;
+        k.worker_cap = (cmd.workers as usize).max(k.resume_floor);
         k.preemptions += 1;
+        if k.worker_cap == 0 {
+            k.pauses += 1;
+        }
+    }
+
+    /// Schedule every resume anchored on launch `l`, which just retired.
+    /// Resumes go through the event heap (at the retirement instant) so
+    /// their ordering against simultaneous events is the deterministic
+    /// insertion order, like every other state change.
+    fn fire_resumes(&mut self, l: usize) {
+        for j in 0..self.resumes_by_anchor[l].len() {
+            let i = self.resumes_by_anchor[l][j];
+            self.schedule(self.now, Event::Resume(i));
+        }
+    }
+
+    /// Apply resume command `i` (its anchor tenant has retired): install
+    /// the resume floor, lift the cap to at least the resumed width, and
+    /// respawn workers — round-robin across CU queues, exactly like an
+    /// arrival — until the launch has that many live again. Inert for
+    /// drained launches and plans without chunk boundaries.
+    fn on_resume(&mut self, i: usize) {
+        let cmd = self.resumes[i];
+        let l = cmd.launch.0 as usize;
+        let drained = match &self.launches[l].plan {
+            LaunchPlan::PersistentDynamic { vg_costs, .. }
+            | LaunchPlan::PersistentGuided { vg_costs, .. } => {
+                self.kernels[l].next_vg >= vg_costs.len()
+            }
+            _ => return,
+        };
+        let target = cmd.workers.max(1) as usize;
+        {
+            let k = &mut self.kernels[l];
+            k.resumes += 1;
+            k.resume_floor = k.resume_floor.max(target);
+            if k.worker_cap < target {
+                k.worker_cap = target;
+            }
+        }
+        if drained {
+            return;
+        }
+        let missing = target.saturating_sub(self.kernels[l].tasks_left);
+        if missing == 0 {
+            return;
+        }
+        let first_cu = self.rr_cursor % self.config.num_cus;
+        for _ in 0..missing {
+            let cu = self.rr_cursor % self.config.num_cus;
+            self.rr_cursor += 1;
+            let tid = self.tasks.len();
+            let wi = self.kernels[l].spawned;
+            self.tasks.push(Task {
+                launch: l,
+                kind: TaskKind::DynWorker,
+                cu,
+                wi,
+            });
+            let k = &mut self.kernels[l];
+            k.spawned += 1;
+            k.tasks_left += 1;
+            k.machine_wgs += 1;
+            k.resumed += 1;
+            self.cus[cu].queue.push_back(tid);
+            if self.collect_trace {
+                self.trace.push(TraceEvent {
+                    time: self.now,
+                    launch: LaunchId(l as u32),
+                    cu,
+                    kind: TraceKind::Resume,
+                });
+            }
+        }
+        self.try_start_touched(first_cu, missing);
     }
 
     fn fits(&self, cu: usize, tid: usize) -> bool {
@@ -585,8 +740,9 @@ impl Engine {
                     // retires here instead of dequeuing again — its slot
                     // goes to the CU queue heads via `complete_task`, the
                     // launch's remaining groups continue at the reduced
-                    // width. (`tasks_left > cap ≥ 1` means at least one
-                    // worker always survives to drain the queue.)
+                    // width. With a cap of 0 (full pause) every worker
+                    // takes this exit and the launch parks until a
+                    // `ResumeCmd` respawns workers for it.
                     if self.kernels[l].tasks_left <= self.kernels[l].worker_cap {
                         self.schedule_dequeue(tid, self.now);
                         return;
@@ -632,6 +788,16 @@ impl Engine {
         let mi = self.launches[l].mem_intensity;
         self.resident_mem_load -= req.threads as f64 * mi;
         self.resident_compute_load -= req.threads as f64 * (1.0 - mi);
+        // A dynamic launch whose last worker retires with virtual groups
+        // still queued is *paused*, not finished: `end` stays put and the
+        // launch waits for a resume (or elastic regrowth) to drain it.
+        let stranded = match &self.launches[l].plan {
+            LaunchPlan::PersistentDynamic { vg_costs, .. }
+            | LaunchPlan::PersistentGuided { vg_costs, .. } => {
+                self.kernels[l].next_vg < vg_costs.len()
+            }
+            _ => false,
+        };
         let k = &mut self.kernels[l];
         k.resident -= 1;
         if k.resident == 0 {
@@ -639,7 +805,7 @@ impl Engine {
             k.busy_intervals.push((open, self.now));
         }
         k.tasks_left -= 1;
-        let retired = k.tasks_left == 0;
+        let retired = k.tasks_left == 0 && !stranded;
         if retired {
             k.end = self.now;
         }
@@ -653,6 +819,7 @@ impl Engine {
         }
         self.try_start(cu);
         if retired {
+            self.fire_resumes(l);
             self.rebalance();
         }
     }
@@ -1326,6 +1493,161 @@ mod tests {
         assert_eq!(r.kernel(hw).groups_executed, 6);
         assert_eq!(r.kernel(dy).groups_executed, 30);
         assert_eq!(r.kernel(st).groups_executed, 5);
+    }
+
+    #[test]
+    fn full_pause_strands_work_until_resumed() {
+        // The batch launch is paused (cap 0) while a premium launch runs;
+        // a resume anchored on the premium retirement re-enqueues its
+        // workers and the queue still drains completely.
+        let run = |resume: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            let batch = sim.add_launch(dyn_launch("batch", 4, 200, 100));
+            let mut premium = hw_launch("premium", 8, 300);
+            premium.arrival = 1_000;
+            let premium = sim.add_launch(premium);
+            sim.add_reclaim(ReclaimCmd {
+                at: 1_000,
+                launch: batch,
+                workers: 0,
+            });
+            if resume {
+                sim.add_resume(ResumeCmd {
+                    after: premium,
+                    launch: batch,
+                    workers: 4,
+                });
+            }
+            (sim.run(), batch, premium)
+        };
+        let (resumed, batch, premium) = run(true);
+        let k = resumed.kernel(batch);
+        assert_eq!(k.pauses, 1);
+        assert_eq!(k.preemptions, 1);
+        assert_eq!(k.reclaimed_workers, 4, "every worker retired at the pause");
+        assert_eq!(k.resumes, 1);
+        assert_eq!(k.resumed_workers, 4);
+        assert_eq!(k.groups_executed, 200, "resume drains the stranded queue");
+        assert!(
+            k.end > resumed.kernel(premium).end,
+            "batch finishes only after the premium tenant retires"
+        );
+        // Without the resume the launch parks forever: work is stranded
+        // (the report shows the deficit) and nothing crashes.
+        let (parked, batch, _) = run(false);
+        let k = parked.kernel(batch);
+        assert_eq!(k.pauses, 1);
+        assert_eq!(k.resumes, 0);
+        assert!(
+            k.groups_executed < 200,
+            "a never-resumed pause strands work: {}",
+            k.groups_executed
+        );
+    }
+
+    #[test]
+    fn resume_floor_blocks_stale_pauses() {
+        // The premium tenant retires *before* a stale second pause lands:
+        // the fired resume floors later caps, so the victim keeps running.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let batch = sim.add_launch(dyn_launch("batch", 4, 300, 100));
+        let mut premium = hw_launch("premium", 4, 100);
+        premium.arrival = 1_000;
+        let premium = sim.add_launch(premium);
+        sim.add_reclaim(ReclaimCmd {
+            at: 1_000,
+            launch: batch,
+            workers: 0,
+        });
+        sim.add_resume(ResumeCmd {
+            after: premium,
+            launch: batch,
+            workers: 4,
+        });
+        // Stale: fires long after the premium tenant is gone.
+        sim.add_reclaim(ReclaimCmd {
+            at: 8_000,
+            launch: batch,
+            workers: 0,
+        });
+        let r = sim.run();
+        let k = r.kernel(batch);
+        assert_eq!(k.preemptions, 2);
+        assert_eq!(k.pauses, 1, "the stale command must not pause again");
+        assert_eq!(k.groups_executed, 300);
+    }
+
+    #[test]
+    fn resume_is_inert_for_drained_and_static_launches() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let quick = sim.add_launch(dyn_launch("quick", 2, 8, 10));
+        let mut anchor = hw_launch("anchor", 1, 50_000);
+        anchor.arrival = 0;
+        let anchor = sim.add_launch(anchor);
+        let hw = sim.add_launch(hw_launch("hw", 2, 60_000));
+        // `quick` drains long before the anchor retires; `hw` has no chunk
+        // boundaries. Both resumes are no-ops.
+        sim.add_resume(ResumeCmd {
+            after: anchor,
+            launch: quick,
+            workers: 4,
+        });
+        sim.add_resume(ResumeCmd {
+            after: anchor,
+            launch: hw,
+            workers: 4,
+        });
+        let r = sim.run();
+        assert_eq!(r.kernel(quick).resumed_workers, 0);
+        assert_eq!(r.kernel(quick).resumes, 1, "fired, nothing to respawn");
+        assert_eq!(r.kernel(hw).resumes, 0, "no chunk boundaries, ignored");
+        assert_eq!(r.kernel(quick).groups_executed, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown launch")]
+    fn resume_of_unknown_launch_rejected() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let id = sim.add_launch(dyn_launch("a", 1, 4, 10));
+        sim.add_resume(ResumeCmd {
+            after: id,
+            launch: LaunchId(7),
+            workers: 1,
+        });
+    }
+
+    #[test]
+    fn pause_resume_is_deterministic_and_traced() {
+        let build = || {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            let a = sim.add_launch(dyn_launch("a", 3, 150, 60));
+            let mut b = hw_launch("b", 6, 400);
+            b.arrival = 500;
+            let b = sim.add_launch(b);
+            sim.add_reclaim(ReclaimCmd {
+                at: 500,
+                launch: a,
+                workers: 0,
+            });
+            sim.add_resume(ResumeCmd {
+                after: b,
+                launch: a,
+                workers: 3,
+            });
+            sim.run()
+        };
+        let r = build();
+        assert_eq!(r, build());
+        let resume_events = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Resume)
+            .count();
+        assert_eq!(
+            resume_events,
+            r.kernels.iter().map(|k| k.resumed_workers).sum::<usize>()
+        );
+        assert_eq!(r.kernels[0].groups_executed, 150);
     }
 
     #[test]

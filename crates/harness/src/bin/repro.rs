@@ -7,7 +7,7 @@
 //!       [--jobs N] [--sequential]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
-//!              fig15 small ablation dynamic priority all
+//!              fig15 small ablation dynamic priority deadline all
 //! ```
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
@@ -29,6 +29,12 @@
 //! `accelos` (the premium request queues) against `accelos-priority`
 //! (batch workers are reclaimed at chunk boundaries).
 //!
+//! `deadline` scores the same episode against a deadline of 2x the
+//! premium tenant's isolated time and reports each policy's hold rate
+//! over several cost-draw seeds; without `--policies` it compares
+//! `accelos` (misses), `accelos-priority` (holds by flooring every
+//! victim) and `accelos-deadline` (holds while reclaiming just enough).
+//!
 //! Sweeps shard their `(workload × repetition)` grid across a thread pool
 //! sized to the host (override with `--jobs N`; `--sequential` is
 //! shorthand for `--jobs 1`). Thread count never changes the numbers:
@@ -36,9 +42,10 @@
 //! order, and results merge in deterministic order.
 
 use accel_harness::experiments::{
-    chunk_ablation, device_sweeps, dynamic_tenancy, fig11, fig15, fig2, priority_preemption,
-    render_ablation, render_dynamic_tenancy, render_fig11, render_fig15,
-    render_priority_preemption, render_small_kernels, small_kernels, DeviceSweeps,
+    chunk_ablation, deadline_hold_rates, deadline_scenario, device_sweeps, dynamic_tenancy, fig11,
+    fig15, fig2, priority_preemption, render_ablation, render_deadline, render_dynamic_tenancy,
+    render_fig11, render_fig15, render_priority_preemption, render_small_kernels, small_kernels,
+    DeviceSweeps,
 };
 use accel_harness::runner::Runner;
 use accel_harness::workloads::SweepConfig;
@@ -155,6 +162,17 @@ fn priority_set(opts: &Options) -> PolicySet {
         opts.policies.clone()
     } else {
         PolicySet::parse("accelos,accelos-priority").expect("builtin names")
+    }
+}
+
+/// The set the `deadline` experiment sweeps: `--policies` when given,
+/// otherwise queueing vs all-or-floor preemption vs just-enough
+/// reclamation.
+fn deadline_set(opts: &Options) -> PolicySet {
+    if opts.policies_given {
+        opts.policies.clone()
+    } else {
+        PolicySet::parse("accelos,accelos-priority,accelos-deadline").expect("builtin names")
     }
 }
 
@@ -301,6 +319,23 @@ fn main() {
                     &device.name
                 )
             );
+        }
+        if wants(exps, "deadline") {
+            let set = deadline_set(&opts);
+            // Hold rates over 8 cost-draw seeds starting at the
+            // configured one; the rendered episode doubles as the first
+            // sample so the base seed is simulated only once.
+            let scenario = deadline_scenario(&runner, &set, opts.cfg.seed);
+            let extra: Vec<u64> = (1..8).map(|i| opts.cfg.seed.wrapping_add(i)).collect();
+            let rates: Vec<(String, f64)> = deadline_hold_rates(&runner, &set, &extra)
+                .into_iter()
+                .zip(&scenario.rows)
+                .map(|((label, rate), row)| {
+                    let held = rate * extra.len() as f64 + if row.met { 1.0 } else { 0.0 };
+                    (label, held / (extra.len() + 1) as f64)
+                })
+                .collect();
+            println!("{}", render_deadline(&scenario, &rates, &device.name));
         }
         if wants(exps, "priority") {
             // Without --policies, the natural comparison is queueing

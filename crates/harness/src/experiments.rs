@@ -1080,6 +1080,165 @@ pub fn render_priority_preemption(
     s
 }
 
+// ---------------------------------------------------------------------
+// Extension — deadline- and SLA-aware preemption
+// ---------------------------------------------------------------------
+
+/// The slack factor the deadline scenario grants its premium tenant:
+/// the deadline is `slack ×` the tenant's isolated time, measured from
+/// the episode start. Matches the default `accelos-deadline` policy
+/// (`DeadlinePolicy::default()`), so the policy plans against exactly the
+/// deadline the scenario scores.
+pub const DEADLINE_SLACK: f64 = 2.0;
+
+/// One policy's outcome in the deadline arrival scenario.
+#[derive(Debug, Clone)]
+pub struct DeadlineRow {
+    /// Policy label.
+    pub policy: String,
+    /// Completion time of the deadlined tenant (absolute, episode
+    /// cycles — compared against the deadline).
+    pub premium_end: u64,
+    /// Turnaround of the deadlined tenant (arrival → completion).
+    pub premium_turnaround: u64,
+    /// Whether the tenant finished by the deadline.
+    pub met: bool,
+    /// Reclaim commands applied across all launches.
+    pub preemptions: usize,
+    /// Workers retired early at chunk boundaries.
+    pub reclaimed_workers: usize,
+    /// Full pauses (0-worker reclaims) across all launches.
+    pub pauses: usize,
+    /// Resume commands fired across all launches.
+    pub resumes: usize,
+}
+
+/// One full deadline episode: the deadline, the tenant's arrival time,
+/// and one row per swept policy.
+#[derive(Debug, Clone)]
+pub struct DeadlineScenario {
+    /// Absolute deadline of the premium tenant (episode cycles).
+    pub deadline: u64,
+    /// Device time the premium tenant arrived.
+    pub arrival: u64,
+    /// Per-policy outcomes, in set order.
+    pub rows: Vec<DeadlineRow>,
+}
+
+/// Extension experiment (ROADMAP "deadline-aware shares"): the same
+/// mixed-priority episode as [`priority_preemption`] — two batch tenants
+/// at t=0, the premium tenant joining a quarter into the first batch
+/// tenant's run — but scored against a **deadline** of
+/// [`DEADLINE_SLACK`] `×` the premium tenant's isolated time (measured
+/// from the episode start, the tenant's submission instant). Queueing
+/// `accelos` misses it; `accelos-priority` meets it by flooring every
+/// victim; `accelos-deadline` meets it too while reclaiming strictly
+/// fewer workers, because the deadline needs only part of the machine.
+pub fn deadline_scenario(runner: &Runner, set: &PolicySet, seed: u64) -> DeadlineScenario {
+    let workload = priority_workload();
+    // The episode (arrival time, deadline) is fixed by accelOS isolated
+    // times — independent of the swept set, and numerically identical to
+    // the estimate `accelos-deadline` plans against (single-kernel plans
+    // are the same equal-share allocation), so the scored deadline and
+    // the planned deadline never diverge under a custom `--policies`
+    // list.
+    let accelos = accelos::policy::AccelOsPolicy::optimized();
+    let t_batch = runner.isolated_time(&accelos, workload[1], seed);
+    let t_premium = runner.isolated_time(&accelos, workload[0], seed);
+    let deadline = (DEADLINE_SLACK * t_premium as f64).round() as u64;
+    let arrival = t_batch / 4;
+    let arrivals: Vec<u64> = vec![arrival, 0, 0];
+    let ctx = runner.rep_context(&workload, seed);
+    let rows = set
+        .iter()
+        .map(|policy| {
+            let report = runner.preemptive_report(&ctx, policy.as_ref(), &arrivals);
+            DeadlineRow {
+                policy: policy.label().to_string(),
+                premium_end: report.kernels[0].end,
+                premium_turnaround: report.kernels[0].turnaround(),
+                met: report.kernels[0].end <= deadline,
+                preemptions: report.kernels.iter().map(|k| k.preemptions).sum(),
+                reclaimed_workers: report.kernels.iter().map(|k| k.reclaimed_workers).sum(),
+                pauses: report.kernels.iter().map(|k| k.pauses).sum(),
+                resumes: report.kernels.iter().map(|k| k.resumes).sum(),
+            }
+        })
+        .collect();
+    DeadlineScenario {
+        deadline,
+        arrival,
+        rows,
+    }
+}
+
+/// The **hold rate** of each policy: the fraction of `seeds` (different
+/// calibrated cost draws of the same episode) whose deadline held. The
+/// per-seed scenario is [`deadline_scenario`]; episodes fan out across
+/// the rayon pool.
+pub fn deadline_hold_rates(runner: &Runner, set: &PolicySet, seeds: &[u64]) -> Vec<(String, f64)> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let met: Vec<Vec<bool>> = seeds
+        .par_iter()
+        .map(|&s| {
+            deadline_scenario(runner, set, s)
+                .rows
+                .iter()
+                .map(|r| r.met)
+                .collect()
+        })
+        .collect();
+    set.labels()
+        .into_iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let held = met.iter().filter(|m| m[i]).count();
+            (label, held as f64 / seeds.len() as f64)
+        })
+        .collect()
+}
+
+/// Render a deadline scenario plus hold rates (from
+/// [`deadline_hold_rates`], typically over more seeds than the rendered
+/// episode).
+pub fn render_deadline(
+    scenario: &DeadlineScenario,
+    hold_rates: &[(String, f64)],
+    device: &str,
+) -> String {
+    let mut s = format!(
+        "Extension — deadline-aware preemption (premium arrives at t={}, deadline {}), {device}\n",
+        scenario.arrival, scenario.deadline
+    );
+    s += &format!(
+        "  {:<17} {:>12} {:>9} {:>9} {:>10} {:>7} {:>8} {:>9}\n",
+        "policy",
+        "premium end",
+        "deadline",
+        "preempt.",
+        "reclaimed",
+        "pauses",
+        "resumes",
+        "hold rate"
+    );
+    for (row, (label, rate)) in scenario.rows.iter().zip(hold_rates) {
+        debug_assert_eq!(&row.policy, label);
+        s += &format!(
+            "  {:<17} {:>12} {:>9} {:>9} {:>10} {:>7} {:>8} {:>8.0}%\n",
+            row.policy,
+            row.premium_end,
+            if row.met { "met" } else { "MISSED" },
+            row.preemptions,
+            row.reclaimed_workers,
+            row.pauses,
+            row.resumes,
+            rate * 100.0
+        );
+    }
+    s += "  (deadline = 2x the premium tenant's isolated time, from episode start;\n   hold rate = fraction of cost-draw seeds whose deadline held)\n";
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1262,6 +1421,43 @@ mod tests {
         let rendered = render_priority_preemption(&rows, 0, "K20m");
         assert!(rendered.contains("accelOS-priority"));
         assert!(rendered.contains("accelOS*"));
+    }
+
+    #[test]
+    fn deadline_scenario_rewards_partial_reclamation() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let set = PolicySet::parse("accelos,accelos-priority,accelos-deadline").unwrap();
+        let sc = deadline_scenario(&runner, &set, 2016);
+        let queueing = &sc.rows[0];
+        let priority = &sc.rows[1];
+        let deadline = &sc.rows[2];
+        assert!(!queueing.met, "queueing accelOS must miss the deadline");
+        assert!(priority.met && deadline.met, "both preemptors must hold it");
+        assert!(
+            deadline.reclaimed_workers < priority.reclaimed_workers,
+            "just-enough reclamation must take strictly fewer workers: {} vs {}",
+            deadline.reclaimed_workers,
+            priority.reclaimed_workers
+        );
+        let rates = deadline_hold_rates(&runner, &set, &[2016, 7, 99]);
+        assert_eq!(rates.len(), 3);
+        assert!(rates.iter().all(|(_, r)| (0.0..=1.0).contains(r)));
+        let rendered = render_deadline(&sc, &rates, "K20m");
+        assert!(rendered.contains("MISSED"));
+        assert!(rendered.contains("accelOS-deadline"));
+    }
+
+    #[test]
+    fn sla_pause_resumes_in_the_deadline_scenario() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        // Floor 0 for the batch tenants: both are fully paused on the
+        // premium arrival and resumed at its retirement.
+        let set = PolicySet::parse("accelos,accelos-sla:4:0:0").unwrap();
+        let sc = deadline_scenario(&runner, &set, 2016);
+        let sla = &sc.rows[1];
+        assert_eq!(sla.pauses, 2, "both batch tenants fully pause");
+        assert_eq!(sla.resumes, 2, "and both resume on the premium retirement");
+        assert!(sla.reclaimed_workers > 0);
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod runner;
 pub mod workloads;
 
 pub use accelos::policy::{PolicySet, SchedulingPolicy};
-pub use runner::{RepContext, Runner, Scheme, WorkloadRun};
+pub use runner::{RepContext, Runner, WorkloadRun};
 pub use workloads::{all_pairs, alphabetic_pairs, random_combinations, SweepConfig, Workload};

@@ -28,12 +28,13 @@ use accelos::policy::{plan_with_arrivals, PlanCtx, SchedulingPolicy};
 use accelos::resource::{ResourceDemand, ShareAllocation};
 use accelos::scheduler::{ExecRequest, LaunchDecision};
 use gpu_sim::{
-    Costs, DeviceConfig, KernelLaunch, LaunchId, ReclaimCmd, SimReport, Simulator, WorkGroupReq,
+    Costs, DeviceConfig, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, SimReport, Simulator,
+    WorkGroupReq,
 };
 use parboil::{KernelDb, KernelSpec};
 use sched_metrics::IntervalSet;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock};
 
 /// Software cost added per virtual group by the persistent-worker runtime
 /// (index arithmetic of the replaced work-item functions).
@@ -42,65 +43,12 @@ const PER_VG_OVERHEAD: u64 = 2;
 /// Inner level of the isolated-time cache: `(kernel, seed)` → time.
 type IsolatedTimes = HashMap<(&'static str, u64), u64>;
 
-/// The paper's four sharing schemes, kept as a thin adapter over the
-/// policy objects: `scheme.policy()` yields the [`SchedulingPolicy`] that
-/// replaced the old enum dispatch, and the [`legacy`] module preserves the
-/// seed's enum-dispatch planning verbatim so the differential tests can
-/// prove the policy objects bit-identical to it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scheme {
-    /// Standard vendor OpenCL stack.
-    Baseline,
-    /// Elastic Kernels (Pai et al.), as re-implemented by the paper.
-    ElasticKernels,
-    /// accelOS without adaptive scheduling (§8.5 "naive").
-    AccelOsNaive,
-    /// accelOS with adaptive scheduling (the paper's default).
-    AccelOs,
-}
-
-impl Scheme {
-    /// All schemes, in the order the paper's figures list them.
-    pub fn all() -> [Scheme; 4] {
-        [
-            Scheme::Baseline,
-            Scheme::ElasticKernels,
-            Scheme::AccelOsNaive,
-            Scheme::AccelOs,
-        ]
-    }
-
-    /// Display label used in rendered tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Scheme::Baseline => "OpenCL",
-            Scheme::ElasticKernels => "EK",
-            Scheme::AccelOsNaive => "accelOS-naive",
-            Scheme::AccelOs => "accelOS",
-        }
-    }
-
-    /// The policy object implementing this scheme.
-    pub fn policy(&self) -> Arc<dyn SchedulingPolicy> {
-        accelos::policy::PolicySet::builtin(self.name()).expect("schemes are builtin policies")
-    }
-
-    /// The policy-registry name of this scheme.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Scheme::Baseline => "baseline",
-            Scheme::ElasticKernels => "ek",
-            Scheme::AccelOsNaive => "accelos-naive",
-            Scheme::AccelOs => "accelos",
-        }
-    }
-}
-
 /// Result of one workload execution under one policy.
 ///
-/// `PartialEq` is exact (bit-level): the policy objects are required to
-/// reproduce the seed's enum-dispatch numbers identically, and the
-/// differential tests assert it through this impl.
+/// `PartialEq` is exact (bit-level): the policy path's numbers are pinned
+/// by the golden snapshots in `tests/golden/` (which retired the seed's
+/// enum-dispatch parity fixture), and the determinism tests assert
+/// equality through this impl.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadRun {
     /// Kernel names, in arrival order.
@@ -349,23 +297,51 @@ impl Runner {
         self.build_launches(ctx, policy, &plan_ctx, &requests, &decisions, arrivals)
     }
 
-    /// Machine launches **plus timed reclamation commands** for a
-    /// staggered session, planned cohort by cohort through the policy's
-    /// arrival hooks ([`accelos::policy::plan_with_arrivals`]): the first
-    /// cohort is planned against only itself (no clairvoyance about
-    /// future arrivals), each later cohort goes through
+    /// Machine launches **plus timed reclamation and resumption
+    /// commands** for a staggered session, planned cohort by cohort
+    /// through the policy's arrival hooks
+    /// ([`accelos::policy::plan_with_arrivals`]): the first cohort is
+    /// planned against only itself (no clairvoyance about future
+    /// arrivals), each later cohort goes through
     /// `SchedulingPolicy::on_arrival` and may shrink running launches at
-    /// their next chunk boundary. With all-equal arrivals this degenerates
-    /// to exactly [`Runner::launches_in`] with no reclaims.
+    /// their next chunk boundary — down to a resumable full pause, whose
+    /// paired [`ResumeCmd`] the simulator fires when the pressuring
+    /// tenant retires. With all-equal arrivals this degenerates to
+    /// exactly [`Runner::launches_in`] with no reclaims.
+    ///
+    /// For indices a policy declares via
+    /// [`SchedulingPolicy::estimate_indices`] (the deadline family's
+    /// deadlined tenant), the planning context carries the session's
+    /// **cached isolated-time estimates** (computed through the same
+    /// per-policy cache as the metrics' `alone` times), which the policy
+    /// consults to reclaim just enough width for an arriving deadline to
+    /// hold. Undeclared indices — and policies that declare none — skip
+    /// the estimate simulations entirely: they would ignore the values
+    /// anyway.
     pub fn launches_preemptive(
         &self,
         ctx: &RepContext<'_>,
         policy: &dyn SchedulingPolicy,
         arrivals: &[u64],
-    ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>) {
+    ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeCmd>) {
         assert_eq!(ctx.kernels.len(), arrivals.len(), "one arrival per kernel");
         let requests = ctx.exec_requests(policy.chunk_mode());
-        let plan_ctx = ctx.plan_ctx();
+        let indices = policy.estimate_indices(&requests);
+        let estimates: Vec<Option<u64>> = if indices.is_empty() {
+            Vec::new()
+        } else {
+            (0..ctx.kernels.len())
+                .map(|i| {
+                    indices
+                        .contains(&i)
+                        .then(|| self.isolated_time_in(ctx, policy, i))
+                })
+                .collect()
+        };
+        let mut plan_ctx = ctx.plan_ctx();
+        if !estimates.is_empty() {
+            plan_ctx = plan_ctx.with_estimates(&estimates);
+        }
         let schedule = plan_with_arrivals(policy, &plan_ctx, &requests, arrivals);
         let launches = self.build_launches(
             ctx,
@@ -384,7 +360,16 @@ impl Runner {
                 workers: r.workers,
             })
             .collect();
-        (launches, reclaims)
+        let resumes = schedule
+            .resumes
+            .iter()
+            .map(|r| ResumeCmd {
+                after: LaunchId(r.after as u32),
+                launch: LaunchId(r.index as u32),
+                workers: r.workers,
+            })
+            .collect();
+        (launches, reclaims, resumes)
     }
 
     /// One [`KernelLaunch`] per decision, sharing the session's cost draw.
@@ -419,16 +404,24 @@ impl Runner {
     }
 
     fn simulate(&self, launches: Vec<KernelLaunch>) -> SimReport {
-        self.simulate_with(launches, Vec::new())
+        self.simulate_with(launches, Vec::new(), Vec::new())
     }
 
-    fn simulate_with(&self, launches: Vec<KernelLaunch>, reclaims: Vec<ReclaimCmd>) -> SimReport {
+    fn simulate_with(
+        &self,
+        launches: Vec<KernelLaunch>,
+        reclaims: Vec<ReclaimCmd>,
+        resumes: Vec<ResumeCmd>,
+    ) -> SimReport {
         let mut sim = Simulator::new(self.device.clone());
         for l in launches {
             sim.add_launch(l);
         }
         for r in reclaims {
             sim.add_reclaim(r);
+        }
+        for r in resumes {
+            sim.add_resume(r);
         }
         sim.run()
     }
@@ -551,8 +544,8 @@ impl Runner {
         policy: &dyn SchedulingPolicy,
         arrivals: &[u64],
     ) -> SimReport {
-        let (launches, reclaims) = self.launches_preemptive(ctx, policy, arrivals);
-        self.simulate_with(launches, reclaims)
+        let (launches, reclaims, resumes) = self.launches_preemptive(ctx, policy, arrivals);
+        self.simulate_with(launches, reclaims, resumes)
     }
 
     /// Run one staggered workload through the policy's arrival hooks
@@ -608,178 +601,11 @@ impl Runner {
     }
 }
 
-#[doc(hidden)]
-pub mod legacy {
-    //! The seed's enum-dispatch planning path, preserved **verbatim** (cost
-    //! draws inlined in place of the retired per-runner cache) so the
-    //! policy objects can be differentially tested against it. This module
-    //! is a test fixture, not API: it disappears once the parity tests
-    //! have served their purpose.
-
-    use super::*;
-    use accelos::scheduler::plan_launches;
-    use elastic_kernels::EkKernel;
-    use gpu_sim::LaunchPlan;
-
-    fn wg_req(runner: &Runner, spec: &KernelSpec) -> WorkGroupReq {
-        let (_, profile) = runner.db.get(spec.name).expect("spec from the same table");
-        WorkGroupReq {
-            threads: spec.wg_size,
-            local_mem: profile.static_local_bytes as u32,
-            regs_per_thread: profile.regs_per_item.max(1) as u32,
-        }
-    }
-
-    fn chunk(runner: &Runner, spec: &KernelSpec, mode: Mode) -> u32 {
-        let (_, profile) = runner.db.get(spec.name).expect("spec from the same table");
-        chunk_for(profile.insn_count, mode)
-    }
-
-    /// The seed's `Runner::launches_at`.
-    pub fn launches_at(
-        runner: &Runner,
-        scheme: Scheme,
-        workload: &[&'static KernelSpec],
-        arrivals: &[u64],
-        seed: u64,
-    ) -> Vec<KernelLaunch> {
-        let costs: Vec<Costs> = workload
-            .iter()
-            .map(|s| s.vg_costs(s.default_wgs as usize, seed).into())
-            .collect();
-        let plans: Vec<LaunchPlan> = match scheme {
-            Scheme::Baseline => costs
-                .iter()
-                .map(|c| LaunchPlan::Hardware {
-                    wg_costs: c.clone(),
-                })
-                .collect(),
-            Scheme::ElasticKernels => {
-                let eks: Vec<EkKernel> = workload
-                    .iter()
-                    .map(|s| EkKernel {
-                        wg_threads: s.wg_size,
-                        original_wgs: s.default_wgs,
-                    })
-                    .collect();
-                elastic_kernels::plan(&runner.device, &eks)
-                    .iter()
-                    .zip(&costs)
-                    .map(|(d, c)| d.to_sim_plan(c.as_ref(), PER_VG_OVERHEAD))
-                    .collect()
-            }
-            Scheme::AccelOsNaive | Scheme::AccelOs => {
-                let mode = if scheme == Scheme::AccelOs {
-                    Mode::Optimized
-                } else {
-                    Mode::Naive
-                };
-                let requests: Vec<ExecRequest> = workload
-                    .iter()
-                    .map(|s| {
-                        let req = wg_req(runner, s);
-                        ExecRequest {
-                            kernel: s.name.into(),
-                            ndrange: s.default_ndrange(),
-                            demand: ResourceDemand {
-                                wg_threads: req.threads,
-                                wg_local_mem: req.local_mem,
-                                wg_regs: req.regs_total(),
-                                original_wgs: s.default_wgs,
-                            },
-                            chunk: chunk(runner, s, mode),
-                        }
-                    })
-                    .collect();
-                plan_launches(&runner.device, &requests)
-                    .iter()
-                    .zip(&costs)
-                    .map(|(d, c)| d.to_sim_plan(c.clone(), PER_VG_OVERHEAD))
-                    .collect()
-            }
-        };
-        workload
-            .iter()
-            .zip(plans)
-            .map(|(spec, plan)| {
-                let max_workers = match scheme {
-                    Scheme::AccelOs | Scheme::AccelOsNaive => {
-                        let req = wg_req(runner, spec);
-                        let alloc = accelos::resource::compute_shares(
-                            &runner.device,
-                            &[ResourceDemand {
-                                wg_threads: req.threads,
-                                wg_local_mem: req.local_mem,
-                                wg_regs: req.regs_total(),
-                                original_wgs: spec.default_wgs,
-                            }],
-                        );
-                        Some(alloc.wgs_per_kernel[0])
-                    }
-                    _ => None,
-                };
-                KernelLaunch {
-                    name: spec.name.to_string(),
-                    arrival: 0,
-                    req: wg_req(runner, spec),
-                    mem_intensity: spec.mem_intensity,
-                    plan,
-                    max_workers,
-                }
-            })
-            .zip(arrivals)
-            .map(|(mut l, &t)| {
-                l.arrival = t;
-                l
-            })
-            .collect()
-    }
-
-    /// The seed's `Runner::run_workload` (isolated times computed through
-    /// the legacy path too, uncached — parity workloads are small).
-    pub fn run_workload(
-        runner: &Runner,
-        scheme: Scheme,
-        workload: &[&'static KernelSpec],
-        seed: u64,
-    ) -> WorkloadRun {
-        assert!(!workload.is_empty(), "workloads need at least one kernel");
-        let arrivals = vec![0; workload.len()];
-        let report = runner.simulate(launches_at(runner, scheme, workload, &arrivals, seed));
-        let names: Vec<&'static str> = workload.iter().map(|s| s.name).collect();
-        let shared: Vec<u64> = report
-            .kernels
-            .iter()
-            .map(|k| k.turnaround().max(1))
-            .collect();
-        let alone: Vec<u64> = workload
-            .iter()
-            .map(|s| {
-                runner
-                    .simulate(launches_at(runner, scheme, &[s], &[0], seed))
-                    .total_time()
-                    .max(1)
-            })
-            .collect();
-        let busy: Vec<IntervalSet> = report
-            .kernels
-            .iter()
-            .map(|k| IntervalSet::from_raw(k.busy_intervals.clone()))
-            .collect();
-        WorkloadRun {
-            names,
-            shared,
-            alone,
-            busy,
-            total_time: report.total_time().max(1),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use accelos::policy::{AccelOsPolicy, BaselinePolicy, PolicySet};
+    use std::sync::Arc;
 
     fn k(name: &str) -> &'static KernelSpec {
         KernelSpec::by_name(name).expect("kernel exists")
@@ -867,15 +693,6 @@ mod tests {
     }
 
     #[test]
-    fn scheme_adapter_maps_to_policies() {
-        for scheme in Scheme::all() {
-            let p = scheme.policy();
-            assert_eq!(p.name(), scheme.name());
-            assert_eq!(p.label(), scheme.label());
-        }
-    }
-
-    #[test]
     fn preemptive_path_matches_plain_path_without_arrivals() {
         let r = Runner::new(DeviceConfig::k20m());
         let wl = [k("sgemm"), k("spmv"), k("stencil")];
@@ -883,6 +700,14 @@ mod tests {
         set.push(std::sync::Arc::new(
             accelos::policy::PriorityPolicy::default(),
         ))
+        .unwrap();
+        set.push(std::sync::Arc::new(
+            accelos::policy::DeadlinePolicy::default(),
+        ))
+        .unwrap();
+        set.push(std::sync::Arc::new(accelos::policy::SlaPolicy::new(&[
+            4, 2, 0,
+        ])))
         .unwrap();
         let arrivals = [0, 0, 0];
         for policy in set.iter() {

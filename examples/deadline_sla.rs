@@ -1,0 +1,140 @@
+//! Deadline- and SLA-aware preemption with resumable full pause.
+//!
+//! The same mixed-priority episode as `examples/priority_preemption.rs`
+//! — two batch tenants (`lbm`, `tpacf`) at t=0, a premium tenant
+//! (`sgemm`) arriving a quarter into their run — but scored against a
+//! **deadline**: the premium tenant must finish within 2x its isolated
+//! time, measured from the episode start. Three reactions compared:
+//!
+//! * plain `accelos` admits the arrival at its share and lets it queue —
+//!   the deadline is missed;
+//! * `accelos-priority` floors every batch tenant at 1 worker — the
+//!   deadline holds, but the batch tenants give up almost everything;
+//! * `accelos-deadline` uses the harness's cached isolated-time estimate
+//!   to reclaim **just enough** width for the deadline to hold — it
+//!   holds while reclaiming strictly fewer workers, so the batch tenants
+//!   keep more of the machine.
+//!
+//! The SLA leg runs `accelos-sla:4:4:0` (floors are per-request; the
+//! first entry covers the premium tenant itself and never binds): the
+//! first batch tenant keeps a contractual floor of 4 workers while the
+//! best-effort tenant is **fully paused** (0 workers) and resumed — via
+//! `gpu_sim::ResumeCmd`, fired at the premium tenant's retirement —
+//! with no virtual group lost.
+//!
+//! ```text
+//! cargo run --release --example deadline_sla
+//! ```
+
+use accel_harness::experiments::{deadline_scenario, priority_workload, DEADLINE_SLACK};
+use accel_harness::runner::Runner;
+use accelos::policy::{PolicySet, SchedulingPolicy, SlaPolicy};
+use gpu_sim::DeviceConfig;
+
+/// Same episode (workload, arrival rule, seed) as `repro deadline` and
+/// the golden snapshot in `tests/preemption_invariants.rs`.
+const SEED: u64 = 2016;
+
+fn main() {
+    let device = DeviceConfig::k20m();
+    let runner = Runner::new(device.clone());
+    let set = PolicySet::parse("accelos,accelos-priority,accelos-deadline").unwrap();
+    let sc = deadline_scenario(&runner, &set, SEED);
+    println!(
+        "deadline episode on {}: batch tenants at t=0, premium at t={}, deadline {} \
+         ({}x its isolated time)\n",
+        device.name, sc.arrival, sc.deadline, DEADLINE_SLACK
+    );
+    println!(
+        "  {:<18} {:>12} {:>9} {:>10}",
+        "policy", "premium end", "deadline", "reclaimed"
+    );
+    for row in &sc.rows {
+        println!(
+            "  {:<18} {:>12} {:>9} {:>10}",
+            row.policy,
+            row.premium_end,
+            if row.met { "met" } else { "MISSED" },
+            row.reclaimed_workers
+        );
+    }
+
+    // The acceptance bar: accelos-deadline meets a deadline that
+    // queueing accelos misses, while reclaiming strictly fewer total
+    // workers than the all-or-floor accelos-priority.
+    let queueing = &sc.rows[0];
+    let priority = &sc.rows[1];
+    let deadline = &sc.rows[2];
+    assert!(
+        !queueing.met,
+        "queueing accelOS should miss the deadline (end {} vs {})",
+        queueing.premium_end, sc.deadline
+    );
+    assert!(
+        priority.met && deadline.met,
+        "both preemptive policies should hold the deadline"
+    );
+    assert!(
+        deadline.reclaimed_workers < priority.reclaimed_workers,
+        "just-enough reclamation should take strictly fewer workers: {} vs {}",
+        deadline.reclaimed_workers,
+        priority.reclaimed_workers
+    );
+    println!(
+        "\naccelOS-deadline holds the deadline reclaiming {} workers where \
+         accelOS-priority takes {} — the batch tenants keep the difference.",
+        deadline.reclaimed_workers, priority.reclaimed_workers
+    );
+
+    // SLA leg: a contractual floor of 4 for the first batch tenant, full
+    // pause + guaranteed resume for the best-effort one.
+    let workload = priority_workload();
+    let arrivals = vec![sc.arrival, 0, 0];
+    let ctx = runner.rep_context(&workload, SEED);
+    let sla = SlaPolicy::new(&[4, 4, 0]);
+    let report = runner.preemptive_report(&ctx, &sla, &arrivals);
+    let (launches, _, resumes) = runner.launches_preemptive(&ctx, &sla, &arrivals);
+    println!(
+        "\nSLA tiers under {} (floors: lbm 4, tpacf 0 = best-effort full pause):",
+        sla.name()
+    );
+    for (kr, launch) in report.kernels.iter().zip(&launches) {
+        println!(
+            "  {:<8} end {:>7}  executed {}/{} groups, {} pauses, {} resumes \
+             ({} workers respawned)",
+            kr.name,
+            kr.end,
+            kr.groups_executed,
+            launch.plan.total_groups(),
+            kr.pauses,
+            kr.resumes,
+            kr.resumed_workers
+        );
+        assert_eq!(
+            kr.groups_executed as u64,
+            launch.plan.total_groups(),
+            "a paused tenant must lose no work"
+        );
+    }
+    let paused = &report.kernels[2];
+    assert_eq!(paused.pauses, 1, "tpacf is fully paused");
+    assert_eq!(
+        paused.resumes, 1,
+        "and resumed when the premium tenant retires"
+    );
+    assert!(paused.resumed_workers > 0);
+    assert_eq!(
+        resumes.len(),
+        1,
+        "the planner paired the pause with a resume"
+    );
+    assert!(
+        paused.end > report.kernels[0].end,
+        "the paused tenant finishes after the premium tenant that paused it"
+    );
+    println!(
+        "\nthe best-effort tenant was paused to 0 workers and resumed at the premium \
+         retirement (t={}); every virtual group still executed exactly once.",
+        report.kernels[0].end
+    );
+}

@@ -74,7 +74,7 @@ fn main() {
          {reclaimed} workers retired at chunk boundaries"
     );
     // Conservation: executed groups vs the launch plan's total.
-    let (launches, _) = runner.launches_preemptive(&ctx, &preempting, &arrivals);
+    let (launches, _, _) = runner.launches_preemptive(&ctx, &preempting, &arrivals);
     for (i, (k, launch)) in preempt_report.kernels.iter().zip(&launches).enumerate() {
         assert_eq!(
             k.groups_executed as u64,

@@ -1,14 +1,30 @@
-//! Differential tests for the policy-object API: each of the four seed
-//! schemes (the retired `Scheme` enum dispatch, preserved verbatim in
-//! `accel_harness::runner::legacy`) and its `SchedulingPolicy` replacement
-//! must produce **bit-identical** results — raw simulator reports,
-//! workload runs, and averaged figure rows — across workloads and seeds.
+//! Golden-file snapshots of the policy path.
+//!
+//! These replaced the seed-era differential tests: PR 2 proved the
+//! `SchedulingPolicy` objects bit-identical to the seed's `Scheme` enum
+//! dispatch, and once that release baked, the legacy module was deleted
+//! (ROADMAP "retire the legacy enum path") and the *policy path itself*
+//! became the reference. The snapshots pin, for every paper policy across
+//! workloads and seeds:
+//!
+//! * the machine launches (worker widths, plan shapes, growth ceilings)
+//!   of a staggered batch, and the per-kernel completions of simulating
+//!   them;
+//! * end-to-end `WorkloadRun`s (shared + isolated turnarounds) with the
+//!   §7.4 metrics captured as exact `f64` bit patterns;
+//! * averaged figure rows from the sweep's `measure_workload`, bit-exact.
+//!
+//! Regenerate deliberately with `BLESS=1 cargo test --test policy_parity`
+//! (same convention as `tests/golden/priority_preemption_report.txt`) and
+//! review the diff: any unreviewed change here is a silent behaviour
+//! change in the planner, the simulator or the metrics.
 
 use accel_harness::experiments::measure_workload;
-use accel_harness::runner::{legacy, Runner, Scheme};
+use accel_harness::runner::Runner;
 use accelos::policy::PolicySet;
-use gpu_sim::{DeviceConfig, KernelLaunch, SimReport, Simulator};
+use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, SimReport, Simulator};
 use parboil::KernelSpec;
+use std::fmt::Write as _;
 
 fn k(name: &str) -> &'static KernelSpec {
     KernelSpec::by_name(name).expect("kernel exists")
@@ -43,94 +59,166 @@ fn simulate(device: &DeviceConfig, launches: Vec<KernelLaunch>) -> SimReport {
     sim.run()
 }
 
-/// The raw machine launches — and therefore the full simulator reports —
-/// of every scheme match its policy object exactly.
-#[test]
-fn sim_reports_are_bit_identical() {
-    let runner = Runner::new(DeviceConfig::k20m());
-    for wl in workloads() {
-        for seed in SEEDS {
-            for scheme in Scheme::all() {
-                let arrivals: Vec<u64> = (0..wl.len() as u64).map(|i| i * 1000).collect();
-                let old = legacy::launches_at(&runner, scheme, &wl, &arrivals, seed);
-                let ctx = runner.rep_context(&wl, seed);
-                let new = runner.launches_in(&ctx, scheme.policy().as_ref(), &arrivals);
-                assert_eq!(
-                    old,
-                    new,
-                    "{scheme:?} launches diverged (wl {:?}, seed {seed})",
-                    wl.iter().map(|s| s.name).collect::<Vec<_>>()
-                );
-                let old_report = simulate(runner.device(), old);
-                let new_report = simulate(runner.device(), new);
-                assert_eq!(
-                    old_report, new_report,
-                    "{scheme:?} SimReport diverged (seed {seed})"
-                );
-            }
+/// A compact, human-reviewable digest of one launch plan.
+fn plan_digest(plan: &LaunchPlan) -> String {
+    match plan {
+        LaunchPlan::Hardware { wg_costs } => {
+            format!("hw wgs={} work={}", wg_costs.len(), plan.total_work())
         }
+        LaunchPlan::PersistentDynamic {
+            workers,
+            vg_costs,
+            chunk,
+            per_vg_overhead,
+        } => format!(
+            "dyn workers={workers} vgs={} chunk={chunk} ovh={per_vg_overhead} work={}",
+            vg_costs.len(),
+            plan.total_work()
+        ),
+        LaunchPlan::PersistentGuided {
+            workers,
+            vg_costs,
+            max_chunk,
+            per_vg_overhead,
+        } => format!(
+            "guided workers={workers} vgs={} max_chunk={max_chunk} ovh={per_vg_overhead} work={}",
+            vg_costs.len(),
+            plan.total_work()
+        ),
+        LaunchPlan::PersistentStatic {
+            assignments,
+            per_vg_overhead,
+        } => format!(
+            "static workers={} vgs={} ovh={per_vg_overhead} work={}",
+            assignments.len(),
+            plan.total_groups(),
+            plan.total_work()
+        ),
     }
 }
 
-/// End-to-end workload runs (shared + isolated times, busy intervals,
-/// metrics inputs) match between the legacy enum path and the policy path.
-#[test]
-fn workload_runs_are_bit_identical() {
-    let runner = Runner::new(DeviceConfig::k20m());
-    for wl in workloads() {
-        for seed in SEEDS {
-            for scheme in Scheme::all() {
-                let old = legacy::run_workload(&runner, scheme, &wl, seed);
-                let new = runner.run_workload(scheme.policy().as_ref(), &wl, seed);
-                assert_eq!(
-                    old,
-                    new,
-                    "{scheme:?} WorkloadRun diverged (wl {:?}, seed {seed})",
-                    wl.iter().map(|s| s.name).collect::<Vec<_>>()
-                );
-                // The derived §7.4 metrics follow bit-for-bit.
-                assert_eq!(old.unfairness().to_bits(), new.unfairness().to_bits());
-                assert_eq!(old.overlap().to_bits(), new.overlap().to_bits());
-                assert_eq!(old.stp().to_bits(), new.stp().to_bits());
-                assert_eq!(old.antt().to_bits(), new.antt().to_bits());
-            }
-        }
-    }
+/// Exact bit pattern of an `f64` (metrics must not drift by even an ulp).
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
 }
 
-/// Figure rows: the averaged per-workload metrics the sweep figures render
-/// match a legacy-path reconstruction exactly, for every scheme column.
-#[test]
-fn figure_rows_are_bit_identical() {
-    let runner = Runner::new(DeviceConfig::r9_295x2());
+/// Render the full snapshot text the golden file pins.
+fn snapshot() -> String {
+    let runner = Runner::new(DeviceConfig::k20m());
+    let figure_runner = Runner::new(DeviceConfig::r9_295x2());
     let set = PolicySet::paper();
-    let reps = 2u32;
-    // Same derivation as the sweep's rep seeds (`(seed, rep)`-keyed, never
-    // iteration-order-keyed).
-    let rep_seed = |seed: u64, rep: u32| seed.wrapping_add(rep as u64).wrapping_mul(0x9e37_79b9);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "policy-path golden snapshot (devices: K20m launches/runs, R9 figure rows)"
+    );
     for wl in workloads() {
+        let names: Vec<&str> = wl.iter().map(|spec| spec.name).collect();
         for seed in SEEDS {
-            let metrics = measure_workload(&runner, &set, &wl, reps, seed);
-            for (i, scheme) in Scheme::all().into_iter().enumerate() {
-                let (mut u, mut o, mut t, mut stp, mut antt, mut wa) =
-                    (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                for rep in 0..reps {
-                    let run = legacy::run_workload(&runner, scheme, &wl, rep_seed(seed, rep));
-                    u += run.unfairness();
-                    o += run.overlap();
-                    t += run.total_time as f64;
-                    stp += run.stp();
-                    antt += run.antt();
-                    wa += run.worst_antt();
+            for policy in set.iter() {
+                let _ = writeln!(
+                    s,
+                    "\n== workload {} seed {} policy {} ==",
+                    names.join("+"),
+                    seed,
+                    policy.name()
+                );
+                // Staggered machine launches + their simulation.
+                let arrivals: Vec<u64> = (0..wl.len() as u64).map(|i| i * 1000).collect();
+                let ctx = runner.rep_context(&wl, seed);
+                let launches = runner.launches_in(&ctx, policy.as_ref(), &arrivals);
+                for l in &launches {
+                    let _ = writeln!(
+                        s,
+                        "launch {} arrival={} max_workers={} {}",
+                        l.name,
+                        l.arrival,
+                        l.max_workers.map_or("-".into(), |m| m.to_string()),
+                        plan_digest(&l.plan)
+                    );
                 }
-                let n = reps as f64;
-                assert_eq!(metrics.unfairness[i].to_bits(), (u / n).to_bits());
-                assert_eq!(metrics.overlap[i].to_bits(), (o / n).to_bits());
-                assert_eq!(metrics.total_time[i].to_bits(), (t / n).to_bits());
-                assert_eq!(metrics.stp[i].to_bits(), (stp / n).to_bits());
-                assert_eq!(metrics.antt[i].to_bits(), (antt / n).to_bits());
-                assert_eq!(metrics.worst_antt[i].to_bits(), (wa / n).to_bits());
+                let report = simulate(runner.device(), launches);
+                let ends: Vec<String> =
+                    report.kernels.iter().map(|kr| kr.end.to_string()).collect();
+                let exec: Vec<String> = report
+                    .kernels
+                    .iter()
+                    .map(|kr| kr.groups_executed.to_string())
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "sim makespan={} end=[{}] exec=[{}]",
+                    report.makespan,
+                    ends.join(","),
+                    exec.join(",")
+                );
+                // End-to-end workload run (shared + isolated turnarounds).
+                let run = runner.run_workload(policy.as_ref(), &wl, seed);
+                let _ = writeln!(
+                    s,
+                    "run shared={:?} alone={:?} total={}",
+                    run.shared, run.alone, run.total_time
+                );
+                let _ = writeln!(
+                    s,
+                    "metrics U={} O={} STP={} ANTT={} WANTT={}",
+                    bits(run.unfairness()),
+                    bits(run.overlap()),
+                    bits(run.stp()),
+                    bits(run.antt()),
+                    bits(run.worst_antt())
+                );
+            }
+            // Averaged figure rows (the sweep's unit), R9 device, 2 reps.
+            let metrics = measure_workload(&figure_runner, &set, &wl, 2, seed);
+            for (i, name) in set.names().iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "figure-row workload {} seed {} policy {} U={} O={} T={} STP={} ANTT={} WANTT={}",
+                    names.join("+"),
+                    seed,
+                    name,
+                    bits(metrics.unfairness[i]),
+                    bits(metrics.overlap[i]),
+                    bits(metrics.total_time[i]),
+                    bits(metrics.stp[i]),
+                    bits(metrics.antt[i]),
+                    bits(metrics.worst_antt[i])
+                );
             }
         }
+    }
+    s
+}
+
+/// The policy path (planning, simulation, metrics, figure rows) matches
+/// the blessed golden snapshot byte for byte.
+#[test]
+fn policy_path_matches_golden_snapshot() {
+    let actual = snapshot();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/policy_path.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file missing — run `BLESS=1 cargo test --test policy_parity` once");
+    if actual != expected {
+        // Point at the first diverging line rather than dumping ~500
+        // lines of snapshot.
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                a,
+                e,
+                "policy path drifted from the golden snapshot at line {} — if the \
+                 change is intentional, regenerate with BLESS=1 and review the diff",
+                i + 1
+            );
+        }
+        panic!(
+            "policy path snapshot changed length: {} vs {} lines",
+            actual.lines().count(),
+            expected.lines().count()
+        );
     }
 }

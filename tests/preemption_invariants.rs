@@ -1,25 +1,33 @@
-//! Invariants of mid-flight worker reclamation (this PR's tentpole).
+//! Invariants of mid-flight worker reclamation and resumable full pause.
 //!
-//! Reclamation inverts the simulator's old grow-only elasticity, so these
-//! tests pin down what must survive the inversion:
+//! Reclamation inverted the simulator's old grow-only elasticity; full
+//! pause (reclaiming a victim to **0** workers, waking it with a
+//! [`ResumeCmd`] when the pressuring tenant retires) strands work unless
+//! the resume machinery is airtight. These tests pin what must survive:
 //!
 //! * **(a) conservation** — every virtual group executes exactly once, no
-//!   matter when or how often a launch's worker allotment is revoked
-//!   (`KernelReport::groups_executed == plan.total_groups()`);
+//!   matter when or how often a launch's worker allotment is revoked —
+//!   including revocations to 0, provided each pause is paired with a
+//!   resume (`KernelReport::groups_executed == plan.total_groups()`);
 //! * **(b) no double-booking** — replaying the trace, no compute unit
 //!   ever holds more resident threads/slots than it owns across the
-//!   shrink/regrow transitions;
-//! * **(c) zero-arrival bit-identity** — with no premium arrival mid-run,
-//!   `accelos-priority` is bit-identical to `accelos` through the whole
-//!   preemptive pipeline (cohort planning included);
-//! * a golden snapshot of the mixed-priority scenario's `SimReport`
-//!   (regenerate with `BLESS=1 cargo test --test preemption_invariants`).
+//!   shrink/pause/resume transitions;
+//! * **(c) every pause resumed** — a paused launch whose anchor tenant
+//!   retires always wakes (`pauses > 0 ⇒ resumes > 0`), and a stale pause
+//!   landing after the anchor retired is blocked by the resume floor;
+//! * **(d) zero-arrival bit-identity** — with no premium arrival mid-run,
+//!   `accelos-priority`, `accelos-deadline` and `accelos-sla` are all
+//!   bit-identical to `accelos` through the whole preemptive pipeline
+//!   (cohort planning, estimates plumbing included);
+//! * golden snapshots of the mixed-priority and deadline scenarios'
+//!   `SimReport`s (regenerate with
+//!   `BLESS=1 cargo test --test preemption_invariants`).
 
 use accel_harness::experiments::priority_workload;
 use accel_harness::runner::Runner;
-use accelos::policy::{AccelOsPolicy, PriorityPolicy};
+use accelos::policy::{AccelOsPolicy, DeadlinePolicy, PriorityPolicy, SchedulingPolicy, SlaPolicy};
 use gpu_sim::{
-    DeviceConfig, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, Simulator, TraceKind,
+    DeviceConfig, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd, Simulator, TraceKind,
     WorkGroupReq,
 };
 use parboil::KernelSpec;
@@ -28,11 +36,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A random multi-tenant episode on the tiny device: persistent launches
-/// with random shapes and arrivals, plus random reclaim commands (any
-/// time, any target, any width — including widths of 0, which the
-/// simulator floors, and widths above the launch's worker count, which
-/// are no-ops).
-fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>) {
+/// with random shapes and arrivals, plus random reclaim commands — any
+/// time, any target, any width, **including full pauses** (width 0).
+/// Launch 0 is the episode's anchor: it is never paused (its reclaims are
+/// floored at 1, so it always drains), and every pause of another launch
+/// is paired with a [`ResumeCmd`] anchored on launch 0's retirement —
+/// the pairing discipline the policy layer's `WorkerReclaim`/
+/// `WorkerResume` contract prescribes. Conservation must then hold no
+/// matter how pauses, resumes and the anchor's retirement interleave
+/// (a pause landing *after* the anchor retired is blocked by the resume
+/// floor rather than stranding work).
+fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeCmd>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rng.random_range(1..5usize);
     let launches: Vec<KernelLaunch> = (0..n)
@@ -74,29 +88,50 @@ fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>) {
             }
         })
         .collect();
-    let reclaims: Vec<ReclaimCmd> = (0..rng.random_range(0..5usize))
-        .map(|_| ReclaimCmd {
+    let mut reclaims = Vec::new();
+    let mut resumes = Vec::new();
+    for _ in 0..rng.random_range(0..5usize) {
+        let target = rng.random_range(0..n);
+        let workers = if target == 0 {
+            // The anchor is never paused: floor its reclaims at 1.
+            rng.random_range(1..8u32)
+        } else {
+            rng.random_range(0..8u32)
+        };
+        reclaims.push(ReclaimCmd {
             at: rng.random_range(0..15_000u64),
-            launch: LaunchId(rng.random_range(0..n) as u32),
-            workers: rng.random_range(0..8u32),
-        })
-        .collect();
-    (launches, reclaims)
+            launch: LaunchId(target as u32),
+            workers,
+        });
+        if workers == 0 {
+            resumes.push(ResumeCmd {
+                after: LaunchId(0),
+                launch: LaunchId(target as u32),
+                workers: rng.random_range(1..6u32),
+            });
+        }
+    }
+    (launches, reclaims, resumes)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// (a) Total executed work groups are conserved under random premium
-    /// arrivals / reclamations: revoking workers never loses or
-    /// duplicates a virtual group, and every kernel still ends.
+    /// (a) + (c): total executed work groups are conserved under random
+    /// reclamations *and full pauses*: revoking workers — even all of
+    /// them — never loses or duplicates a virtual group, every kernel
+    /// still ends, and every applied pause is eventually resumed (its
+    /// anchor always retires).
     #[test]
     fn work_groups_are_conserved_under_random_reclamation(seed in 0u64..10_000) {
-        let (launches, reclaims) = random_episode(seed);
+        let (launches, reclaims, resumes) = random_episode(seed);
         let mut sim = Simulator::new(DeviceConfig::test_tiny());
         let ids: Vec<LaunchId> = launches.iter().cloned().map(|l| sim.add_launch(l)).collect();
         for r in &reclaims {
             sim.add_reclaim(*r);
+        }
+        for r in &resumes {
+            sim.add_resume(*r);
         }
         let report = sim.run();
         for (id, launch) in ids.iter().zip(&launches) {
@@ -104,27 +139,32 @@ proptest! {
             prop_assert_eq!(
                 k.groups_executed as u64,
                 launch.plan.total_groups(),
-                "kernel {} lost or duplicated work (reclaims: {:?})",
+                "kernel {} lost or duplicated work (reclaims: {:?}, resumes: {:?})",
                 k.name,
-                reclaims
+                reclaims,
+                resumes
             );
             prop_assert!(k.end >= launch.arrival, "kernel never ended");
             prop_assert!(
-                k.reclaimed_workers < launch.plan.machine_wgs().max(1)
-                    || k.reclaimed_workers == 0
-                    || launch.max_workers.is_some(),
-                "a launch can never reclaim its last worker"
+                k.pauses == 0 || k.resumes > 0,
+                "kernel {} was paused {} times but never resumed",
+                k.name,
+                k.pauses
+            );
+            prop_assert!(
+                k.pauses == 0 || id.0 != 0,
+                "the anchor launch must never pause"
             );
         }
     }
 
-    /// (b) No CU slot or thread is double-booked across a reclamation:
-    /// replaying the trace, per-CU occupancy stays within the device's
-    /// budget and never goes negative (a freed slot is freed exactly
-    /// once).
+    /// (b) No CU slot or thread is double-booked across a reclamation or
+    /// a pause/resume cycle: replaying the trace, per-CU occupancy stays
+    /// within the device's budget and never goes negative (a freed slot
+    /// is freed exactly once; a resumed worker is a fresh allocation).
     #[test]
     fn no_cu_is_double_booked_across_reclamations(seed in 0u64..10_000) {
-        let (launches, reclaims) = random_episode(seed);
+        let (launches, reclaims, resumes) = random_episode(seed);
         let cfg = DeviceConfig::test_tiny();
         let mut sim = Simulator::new(cfg.clone()).with_trace();
         for l in launches.iter().cloned() {
@@ -132,6 +172,9 @@ proptest! {
         }
         for r in &reclaims {
             sim.add_reclaim(*r);
+        }
+        for r in &resumes {
+            sim.add_resume(*r);
         }
         let report = sim.run();
         let mut threads = vec![0i64; cfg.num_cus];
@@ -161,10 +204,11 @@ proptest! {
                     prop_assert!(threads[ev.cu] >= 0 && slots[ev.cu] >= 0,
                         "cu {} double-freed at t={}", ev.cu, ev.time);
                 }
-                TraceKind::Dequeue | TraceKind::Reclaim => {}
+                TraceKind::Dequeue | TraceKind::Reclaim | TraceKind::Resume => {}
             }
         }
-        // Every reclaim-retired worker is visible in the trace.
+        // Every reclaim-retired and resume-spawned worker is visible in
+        // the trace.
         let reclaim_events = report
             .trace
             .iter()
@@ -172,6 +216,13 @@ proptest! {
             .count();
         let reclaimed: usize = report.kernels.iter().map(|k| k.reclaimed_workers).sum();
         prop_assert_eq!(reclaim_events, reclaimed);
+        let resume_events = report
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Resume)
+            .count();
+        let resumed: usize = report.kernels.iter().map(|k| k.resumed_workers).sum();
+        prop_assert_eq!(resume_events, resumed);
     }
 }
 
@@ -179,9 +230,22 @@ fn k(name: &str) -> &'static KernelSpec {
     KernelSpec::by_name(name).expect("kernel exists")
 }
 
-/// (c) With zero premium arrivals, `accelos-priority` is bit-identical to
-/// `accelos` — through single-cohort planning (everyone at t=0) *and*
-/// through staggered cohorts that contain no premium tenant.
+/// The preemptive policy family that must be invisible without premium
+/// arrivals: each is planned exactly like `accelos` in steady state.
+fn preemptive_family() -> Vec<Box<dyn SchedulingPolicy>> {
+    vec![
+        Box::new(PriorityPolicy::default()),
+        Box::new(DeadlinePolicy::default()),
+        Box::new(SlaPolicy::new(&[4, 2, 0])),
+    ]
+}
+
+/// (d) With zero premium arrivals, every policy of the preemptive family
+/// (`accelos-priority`, `accelos-deadline`, `accelos-sla`) is
+/// bit-identical to `accelos` — through single-cohort planning (everyone
+/// at t=0) *and* through staggered cohorts whose arrivals contain no
+/// premium tenant (the premium/deadlined request is index 0, admitted in
+/// the first cohort).
 #[test]
 fn zero_premium_arrivals_are_bit_identical_to_accelos() {
     let runner = Runner::new(DeviceConfig::k20m());
@@ -194,35 +258,62 @@ fn zero_premium_arrivals_are_bit_identical_to_accelos() {
     for (wi, wl) in workloads.iter().enumerate() {
         for seed in [1u64, 2016, 0xdead_beef] {
             let ctx = runner.rep_context(wl, seed);
-            // Everyone arrives together: one cohort, no transient at all.
             let zeros = vec![0u64; wl.len()];
-            let priority = runner.run_preemptive(&ctx, &PriorityPolicy::default(), &zeros);
             let plain = runner.run_preemptive(&ctx, &accelos, &zeros);
-            assert_eq!(priority, plain, "workload {wi}, seed {seed}");
             assert_eq!(
-                priority,
+                plain,
                 runner.run_in(&ctx, &accelos, &zeros),
                 "preemptive path must equal the plain path with no arrivals"
             );
-
-            // Staggered cohorts, but nobody is premium: the priority
-            // policy (premium count 0) must stay bit-identical through
-            // the arrival hooks, reclaim commands included (none).
+            // Staggered cohorts, but index 0 (the premium/deadlined
+            // tenant) arrives first: the later cohorts are batch-only,
+            // so the preemptive hooks must stay inert, reclaim commands
+            // included (none).
             let arrivals: Vec<u64> = (0..wl.len() as u64).map(|i| i * 2_500).collect();
+            let stag_ref = runner.preemptive_report(&ctx, &accelos, &arrivals);
+            for policy in preemptive_family() {
+                let one = runner.run_preemptive(&ctx, policy.as_ref(), &zeros);
+                assert_eq!(one, plain, "workload {wi}, seed {seed}, {}", policy.name());
+                let stag = runner.preemptive_report(&ctx, policy.as_ref(), &arrivals);
+                assert_eq!(
+                    stag,
+                    stag_ref,
+                    "workload {wi}, seed {seed}, {} (staggered)",
+                    policy.name()
+                );
+                assert!(stag.kernels.iter().all(|k| k.preemptions == 0));
+            }
+
+            // And a premium-count of zero stays inert even when later
+            // cohorts *would* contain index 0 under a different count.
             let nobody = PriorityPolicy::new(0);
             let a = runner.preemptive_report(&ctx, &nobody, &arrivals);
-            let b = runner.preemptive_report(&ctx, &accelos, &arrivals);
-            assert_eq!(a, b, "workload {wi}, seed {seed} (staggered)");
-            assert!(a.kernels.iter().all(|k| k.preemptions == 0));
+            assert_eq!(a, stag_ref, "workload {wi}, seed {seed} (premium count 0)");
         }
     }
+}
+
+/// Golden snapshot helper shared by the two scenario locks below
+/// (regenerate deliberately with
+/// `BLESS=1 cargo test --test preemption_invariants`).
+fn assert_matches_golden(actual: &str, path: &str) {
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file missing — run `BLESS=1 cargo test --test preemption_invariants` once");
+    assert!(
+        actual == expected,
+        "SimReport drifted from the golden snapshot {path}; if the change is \
+         intentional, regenerate with BLESS=1.\n--- actual ---\n{actual}"
+    );
 }
 
 /// Golden snapshot of the mixed-priority scenario's `SimReport` under
 /// `accelos-priority` (same episode as `repro priority` and
 /// `examples/priority_preemption.rs`, seed 2016). Catches any silent
-/// drift in the reclamation machinery; regenerate deliberately with
-/// `BLESS=1 cargo test --test preemption_invariants`.
+/// drift in the reclamation machinery.
 #[test]
 fn mixed_priority_scenario_matches_golden_report() {
     let runner = Runner::new(DeviceConfig::k20m());
@@ -232,21 +323,36 @@ fn mixed_priority_scenario_matches_golden_report() {
     let arrivals = vec![t_batch / 4, 0, 0];
     let ctx = runner.rep_context(&workload, 2016);
     let report = runner.preemptive_report(&ctx, &PriorityPolicy::default(), &arrivals);
-    let actual = format!("{report:#?}\n");
-
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/golden/priority_preemption_report.txt"
+    assert_matches_golden(
+        &format!("{report:#?}\n"),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/priority_preemption_report.txt"
+        ),
     );
-    if std::env::var_os("BLESS").is_some() {
-        std::fs::write(path, &actual).expect("write golden");
-        return;
-    }
-    let expected = std::fs::read_to_string(path)
-        .expect("golden file missing — run `BLESS=1 cargo test --test preemption_invariants` once");
-    assert!(
-        actual == expected,
-        "SimReport drifted from the golden snapshot; if the change is \
-         intentional, regenerate with BLESS=1.\n--- actual ---\n{actual}"
+}
+
+/// Golden snapshot of the deadline scenario's `SimReport`s under
+/// `accelos-deadline` (estimate-sized partial reclamation) and
+/// `accelos-sla:4:0:0` (SLA floor + full pause + resume) — same episode
+/// as `repro deadline` and `examples/deadline_sla.rs`, seed 2016.
+/// Catches any silent drift in the estimate plumbing, the just-enough
+/// width computation, and the pause/resume machinery.
+#[test]
+fn deadline_and_sla_scenarios_match_golden_report() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    let workload = priority_workload();
+    let accelos = AccelOsPolicy::optimized();
+    let t_batch = runner.isolated_time(&accelos, workload[1], 2016);
+    let arrivals = vec![t_batch / 4, 0, 0];
+    let ctx = runner.rep_context(&workload, 2016);
+    let deadline = runner.preemptive_report(&ctx, &DeadlinePolicy::default(), &arrivals);
+    let sla = runner.preemptive_report(&ctx, &SlaPolicy::new(&[4, 0, 0]), &arrivals);
+    assert_matches_golden(
+        &format!("deadline:\n{deadline:#?}\nsla:\n{sla:#?}\n"),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/deadline_sla_report.txt"
+        ),
     );
 }
