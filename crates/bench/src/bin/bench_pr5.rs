@@ -1,0 +1,388 @@
+//! `bench_pr5` — record the PR-5 perf-trajectory point: the three host-side
+//! hot paths this PR rebuilt.
+//!
+//! * **Interpreter leg** — an imbalanced-kernel comparison of the three
+//!   work-group schedules (sequential / static partitions / atomic-cursor
+//!   stealing): Parboil's spmv (skewed rows; bfs itself is ineligible for
+//!   cross-group parallelism — its frontier queue uses global atomics, so
+//!   the parallel entry point auto-falls back) plus a synthetic
+//!   bfs-frontier-shaped kernel whose per-group cost grows linearly with
+//!   the group id. Outputs are asserted bit-identical before timing.
+//! * **Simulator leg** — a retirement-heavy elastic episode (a stream of
+//!   short kernels retiring while growable persistent launches soak up
+//!   freed capacity) with and without the ready-set index, reports
+//!   asserted identical; the recorded `cu_visits / attempts` ratios show
+//!   the index replacing the per-retirement full-CU scan.
+//! * **Sweep leg** — the streaming fold's buffering high-water mark (the
+//!   peak-RSS proxy: the retired buffered fold held every `(workload ×
+//!   rep)` unit at once) plus a 2-way shard + merge timed and asserted
+//!   bit-identical to the unsharded sweep.
+//!
+//! The record lands in `BENCH_pr5.json` (CWD) with the host's thread
+//! count; on 1-thread containers the schedule comparisons record ties —
+//! re-record on a multicore host for the real trajectory point.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr5 [--smoke]`
+//! (`--smoke` runs reduced scales for CI and skips the JSON file).
+
+use accel_bench::{k20m_runner, perf_smoke_config};
+use accel_harness::experiments::{sweep_seq, sweep_with_stats, Sweep};
+use accel_harness::shard::{
+    compute_shard, merge_shards, parse_shard_file, render_shard_file, ShardSpec,
+};
+use accel_harness::workloads::SweepConfig;
+use accelos::policy::PolicySet;
+use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator, WorkGroupReq};
+use kernel_ir::builder::FunctionBuilder;
+use kernel_ir::interp::{
+    default_interp_threads, ArgValue, DeviceMemory, DynStats, Interpreter, NdRange, ParSchedule,
+};
+use kernel_ir::ir::{BinOp, CmpOp, FunctionKind, Module, WiBuiltin};
+use kernel_ir::types::{AddressSpace, Type};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// A bfs-frontier-shaped kernel: group `g` loops `g` times before writing
+/// its result, so per-group cost grows linearly across the flat range and
+/// contiguous static partitions strand every thread but the last.
+fn frontier_kernel() -> Module {
+    let mut b = FunctionBuilder::new("frontier", FunctionKind::Kernel, Type::Void);
+    let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I64));
+    let gid = b.work_item(WiBuiltin::GlobalId, 0);
+    let group = b.work_item(WiBuiltin::GroupId, 0);
+    let cell = b.alloca(Type::I64, 1, AddressSpace::Private);
+    let zero = b.const_i64(0);
+    b.store(cell, zero);
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.load(cell);
+    let c = b.cmp(CmpOp::Lt, i, group);
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let one = b.const_i64(1);
+    let three = b.const_i64(3);
+    let spun = b.bin(BinOp::Mul, i, three);
+    let next = b.bin(BinOp::Add, i, one);
+    let _ = b.bin(BinOp::Xor, spun, next);
+    b.store(cell, next);
+    b.br(header);
+    b.switch_to(exit);
+    let total = b.load(cell);
+    let p = b.gep(out, gid);
+    b.store(p, total);
+    b.ret(None);
+    let mut m = Module::new();
+    m.insert_function(b.finish());
+    m
+}
+
+struct InterpRow {
+    name: String,
+    groups: usize,
+    imbalance: f64,
+    seq_ms: f64,
+    static_ms: f64,
+    stealing_ms: f64,
+}
+
+/// Time the synthetic frontier kernel under all three schedules.
+fn frontier_leg(threads: usize, groups: usize) -> InterpRow {
+    let m = frontier_kernel();
+    let interp = Interpreter::new(&m);
+    let nd = NdRange::new_1d(groups * 8, 8);
+    let run = |sched: Option<ParSchedule>| -> (Vec<i64>, DynStats, f64) {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(8 * nd.total_items());
+        let args = [ArgValue::Buffer(buf)];
+        let (stats, ms) = time(|| match sched {
+            None => interp.run_kernel(&mut mem, "frontier", nd, &args).unwrap(),
+            Some(s) => interp
+                .run_kernel_parallel_sched(&mut mem, "frontier", nd, &args, threads, s)
+                .unwrap(),
+        });
+        (mem.read_i64(buf), stats, ms)
+    };
+    let (out_seq, stats_seq, seq_ms) = run(None);
+    let (out_st, stats_st, static_ms) = run(Some(ParSchedule::Static));
+    let (out_wk, stats_wk, stealing_ms) = run(Some(ParSchedule::Stealing));
+    assert_eq!(out_seq, out_st, "static output diverged");
+    assert_eq!(out_seq, out_wk, "stealing output diverged");
+    assert_eq!(stats_seq, stats_st, "static stats diverged");
+    assert_eq!(stats_seq, stats_wk, "stealing stats diverged");
+    InterpRow {
+        name: "frontier (synthetic, bfs-shaped)".into(),
+        groups,
+        imbalance: stats_seq.wg_imbalance(),
+        seq_ms,
+        static_ms,
+        stealing_ms,
+    }
+}
+
+/// Time Parboil's spmv under all three schedules (the real imbalanced
+/// kernel that is eligible for cross-group execution).
+fn spmv_leg(threads: usize, scale: usize) -> InterpRow {
+    use clrt::{Context, Platform, Program};
+    use parboil::datasets::prepare_launch;
+    let spec = parboil::KernelSpec::by_name("spmv").expect("kernel exists");
+    let run = |sched: Option<ParSchedule>| -> (DeviceMemory, DynStats, f64) {
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).expect("bundled kernels compile");
+        let prepared = prepare_launch(spec, &mut ctx, &program, scale, 7).expect("prepare");
+        let kernel = prepared.kernel;
+        let args = kernel.resolved_args().expect("args resolved");
+        let interp = Interpreter::new(kernel.module());
+        let nd = prepared.ndrange;
+        let (stats, ms) = time(|| {
+            match sched {
+                None => interp.run_kernel(ctx.memory_mut(), kernel.name(), nd, &args),
+                Some(s) => interp.run_kernel_parallel_sched(
+                    ctx.memory_mut(),
+                    kernel.name(),
+                    nd,
+                    &args,
+                    threads,
+                    s,
+                ),
+            }
+            .unwrap()
+        });
+        (ctx.memory_mut().clone(), stats, ms)
+    };
+    let (mem_seq, stats_seq, seq_ms) = run(None);
+    let (mem_st, stats_st, static_ms) = run(Some(ParSchedule::Static));
+    let (mem_wk, stats_wk, stealing_ms) = run(Some(ParSchedule::Stealing));
+    assert_eq!(mem_seq, mem_st, "spmv static memory diverged");
+    assert_eq!(mem_seq, mem_wk, "spmv stealing memory diverged");
+    assert_eq!(stats_seq, stats_st, "spmv static stats diverged");
+    assert_eq!(stats_seq, stats_wk, "spmv stealing stats diverged");
+    InterpRow {
+        name: "spmv (Parboil)".into(),
+        groups: stats_seq.insns_per_wg.len(),
+        imbalance: stats_seq.wg_imbalance(),
+        seq_ms,
+        static_ms,
+        stealing_ms,
+    }
+}
+
+/// The retirement-heavy elastic episode of the simulator leg: growable
+/// persistent launches plus a stream of short kernels whose retirements
+/// each trigger a rebalance while the device is saturated.
+fn retirement_heavy(linear: bool, short_kernels: usize) -> Simulator {
+    let cfg = DeviceConfig::k20m();
+    let mut sim = Simulator::new(cfg);
+    if linear {
+        sim = sim.with_linear_placement();
+    }
+    let req = WorkGroupReq {
+        threads: 256,
+        local_mem: 0,
+        regs_per_thread: 1,
+    };
+    for i in 0..4 {
+        sim.add_launch(KernelLaunch {
+            name: format!("elastic{i}"),
+            arrival: 0,
+            req,
+            mem_intensity: 0.25,
+            plan: LaunchPlan::PersistentDynamic {
+                workers: 4,
+                vg_costs: (0..2_000u64).map(|v| 20 + v % 37).collect(),
+                chunk: 2,
+                per_vg_overhead: 1,
+            },
+            max_workers: Some(26),
+        });
+    }
+    for i in 0..short_kernels {
+        sim.add_launch(KernelLaunch {
+            name: format!("hw{i}"),
+            arrival: 0,
+            req,
+            mem_intensity: 0.5,
+            plan: LaunchPlan::Hardware {
+                wg_costs: vec![150; 64].into(),
+            },
+            max_workers: None,
+        });
+    }
+    sim
+}
+
+fn sweep_leg_cfg(smoke: bool) -> SweepConfig {
+    if smoke {
+        SweepConfig {
+            pairs: 12,
+            n4: 6,
+            n8: 4,
+            reps: 2,
+            seed: 2016,
+        }
+    } else {
+        perf_smoke_config()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // At least two workers so 1-thread containers still exercise the
+    // parallel schedules (they record ties there instead of wins).
+    let threads = default_interp_threads().max(2);
+
+    // ---- Leg 1: interpreter schedules on imbalanced kernels ----------
+    let interp_rows = vec![
+        frontier_leg(threads, if smoke { 96 } else { 768 }),
+        spmv_leg(threads, if smoke { 1 } else { 16 }),
+    ];
+    for r in &interp_rows {
+        println!(
+            "interp {:34} {} groups, imbalance {:.2}: seq {:.1} ms, static {:.1} ms, \
+             stealing {:.1} ms ({:.2}x vs static, {} threads), outputs bit-identical",
+            r.name,
+            r.groups,
+            r.imbalance,
+            r.seq_ms,
+            r.static_ms,
+            r.stealing_ms,
+            r.static_ms / r.stealing_ms,
+            threads
+        );
+    }
+
+    // ---- Leg 2: simulator ready-set index vs linear scan -------------
+    let short_kernels = if smoke { 12 } else { 64 };
+    let (indexed, indexed_ms) = time(|| retirement_heavy(false, short_kernels).run_with_stats());
+    let (linear, linear_ms) = time(|| retirement_heavy(true, short_kernels).run_with_stats());
+    assert_eq!(indexed.0, linear.0, "placement paths diverged");
+    let (ist, lst) = (indexed.1, linear.1);
+    println!(
+        "sim ready-set: {:.1} ms ({:.2} CU visits/attempt) vs linear {:.1} ms \
+         ({:.2} visits/attempt) over {} attempts, reports identical",
+        indexed_ms,
+        ist.cu_visits as f64 / ist.attempts.max(1) as f64,
+        linear_ms,
+        lst.cu_visits as f64 / lst.attempts.max(1) as f64,
+        ist.attempts
+    );
+    assert_eq!(ist.attempts, lst.attempts);
+
+    // ---- Leg 3: streaming fold + shard/merge -------------------------
+    let runner = k20m_runner();
+    let cfg = sweep_leg_cfg(smoke);
+    let set = PolicySet::paper();
+    let mut fold_rows = Vec::new();
+    let mut unsharded: Vec<Sweep> = Vec::new();
+    for rq in [2usize, 4, 8] {
+        let _ = sweep_seq(runner, &set, &cfg, rq); // warm caches
+        let ((sw, fold), ms) = time(|| sweep_with_stats(runner, &set, &cfg, rq));
+        let reference = sweep_seq(runner, &set, &cfg, rq);
+        assert_eq!(sw, reference, "streaming fold diverged from sweep_seq");
+        println!(
+            "sweep {rq}rq: {ms:.1} ms streaming ({} units, reorder high-water {} — \
+             the buffered fold held all {}), bit-identical to sweep_seq",
+            fold.units, fold.peak_buffered, fold.units
+        );
+        fold_rows.push((rq, ms, fold));
+        unsharded.push(sw);
+    }
+    let (merged, shard_ms) = time(|| {
+        let files: Vec<_> = (0..2)
+            .map(|index| {
+                let spec = ShardSpec { index, count: 2 };
+                let devices = vec![compute_shard(runner, &set, &cfg, spec)];
+                parse_shard_file(&render_shard_file(spec, &cfg, &devices)).expect("round-trips")
+            })
+            .collect();
+        merge_shards(&files).expect("complete cover")
+    });
+    for (sw, reference) in merged[0].1.iter().zip(&unsharded) {
+        assert_eq!(
+            sw, reference,
+            "shard+merge diverged from the unsharded sweep"
+        );
+    }
+    println!(
+        "shard+merge: 2 shards computed, serialized and merged in {shard_ms:.1} ms, \
+         all three request sizes bit-identical to the unsharded sweeps"
+    );
+
+    if smoke {
+        println!("smoke mode: all legs ran and verified; BENCH_pr5.json not written");
+        return;
+    }
+
+    // ---- Record ------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 5,\n");
+    json.push_str(
+        "  \"bench\": \"work-stealing interpreter schedules + simulator ready-set index + streaming/sharded sweeps\",\n",
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"interp_threads\": {threads},");
+    json.push_str("  \"interpreter\": [\n");
+    for (i, r) in interp_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"groups\": {}, \"wg_imbalance\": {:.3}, \
+             \"sequential_ms\": {:.2}, \"static_ms\": {:.2}, \"stealing_ms\": {:.2}, \
+             \"stealing_vs_static\": {:.3}, \"bit_identical\": true }}",
+            r.name,
+            r.groups,
+            r.imbalance,
+            r.seq_ms,
+            r.static_ms,
+            r.stealing_ms,
+            r.static_ms / r.stealing_ms
+        );
+        json.push_str(if i + 1 < interp_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"simulator\": {{ \"indexed_ms\": {indexed_ms:.2}, \"linear_ms\": {linear_ms:.2}, \
+         \"attempts\": {}, \"indexed_cu_visits\": {}, \"linear_cu_visits\": {}, \
+         \"reports_identical\": true }},",
+        ist.attempts, ist.cu_visits, lst.cu_visits
+    );
+    let _ = writeln!(
+        json,
+        "  \"sweep_config\": {{ \"pairs\": {}, \"n4\": {}, \"n8\": {}, \"reps\": {}, \"seed\": {} }},",
+        cfg.pairs, cfg.n4, cfg.n8, cfg.reps, cfg.seed
+    );
+    json.push_str("  \"sweep_fold\": [\n");
+    for (i, (rq, ms, fold)) in fold_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"requests\": {rq}, \"streaming_ms\": {ms:.2}, \"units\": {}, \
+             \"reorder_peak_buffered\": {}, \"buffered_fold_held\": {}, \"bit_identical\": true }}",
+            fold.units, fold.peak_buffered, fold.units
+        );
+        json.push_str(if i + 1 < fold_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"shard_merge\": {{ \"shards\": 2, \"total_ms\": {shard_ms:.2}, \"bit_identical\": true }}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+    println!("wrote BENCH_pr5.json");
+}

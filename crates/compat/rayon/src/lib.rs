@@ -9,8 +9,9 @@
 //! results **in input order**, so pipelines that were deterministic
 //! sequentially stay deterministic in parallel.
 //!
-//! Thread count: `RAYON_NUM_THREADS` if set, else
-//! `std::thread::available_parallelism()`.
+//! Thread count: `RAYON_NUM_THREADS` if set, else the host-wide
+//! `ACCELOS_THREADS` override (shared with the interpreter's worker
+//! pool), else `std::thread::available_parallelism()`.
 
 #![warn(missing_docs)]
 
@@ -21,14 +22,23 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Number of worker threads parallel iterators will use.
+/// Number of worker threads parallel iterators will use:
+/// `RAYON_NUM_THREADS` if set, else `ACCELOS_THREADS` (the single knob
+/// that also sizes the interpreter's worker pool), else the host's
+/// available parallelism.
 pub fn current_num_threads() -> usize {
-    match std::env::var("RAYON_NUM_THREADS") {
-        Ok(v) => v.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    ["RAYON_NUM_THREADS", "ACCELOS_THREADS"]
+        .iter()
+        .find_map(|var| {
+            std::env::var(var)
+                .ok()
+                .map(|v| v.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or(1))
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// An indexed source of items that can be produced concurrently.

@@ -47,4 +47,4 @@ pub mod sim;
 pub use config::{DeviceConfig, WorkGroupReq};
 pub use launch::{Costs, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 pub use report::{KernelReport, SimReport, TraceEvent, TraceKind};
-pub use sim::Simulator;
+pub use sim::{PlacementStats, Simulator};

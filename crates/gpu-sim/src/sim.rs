@@ -43,11 +43,11 @@
 //!   `rebalance`-driven regrowth needs a free slot on a CU with an empty
 //!   queue, which a saturated device may never offer.
 
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, WorkGroupReq};
 use crate::launch::{KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 use crate::report::{KernelReport, SimReport, TraceEvent, TraceKind};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// Discrete-event simulator for one device executing a set of kernel
 /// launches.
@@ -77,6 +77,24 @@ pub struct Simulator {
     reclaims: Vec<ReclaimCmd>,
     resumes: Vec<ResumeCmd>,
     collect_trace: bool,
+    linear_placement: bool,
+}
+
+/// Counters of elastic-growth placement probes (see
+/// [`Simulator::run_with_stats`]).
+///
+/// `rebalance` historically scanned every CU per growable launch per
+/// retirement; the incremental ready-set index visits only CUs that
+/// currently have a free work-group slot and an empty queue. These
+/// counters make the difference observable: `cu_visits / attempts` is the
+/// average number of CUs examined per placement attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Placement attempts: growable launches visited by `rebalance` with
+    /// capacity left to grow into.
+    pub attempts: u64,
+    /// Candidate CUs examined across all attempts.
+    pub cu_visits: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,12 +189,22 @@ impl Simulator {
             reclaims: Vec::new(),
             resumes: Vec::new(),
             collect_trace: false,
+            linear_placement: false,
         }
     }
 
     /// Enable timeline collection (off by default; traces can be large).
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Force the historical linear CU scan for elastic-growth placement
+    /// instead of the incremental ready-set index. Results are identical
+    /// (debug builds assert it on every placement); this knob exists so
+    /// benchmarks and differential tests can compare the two.
+    pub fn with_linear_placement(mut self) -> Self {
+        self.linear_placement = true;
         self
     }
 
@@ -251,12 +279,20 @@ impl Simulator {
 
     /// Run the simulation to completion.
     pub fn run(self) -> SimReport {
+        self.run_with_stats().0
+    }
+
+    /// Run the simulation and also return the elastic-growth placement
+    /// counters (see [`PlacementStats`]); [`Simulator::run`] discards
+    /// them. The report is identical either way.
+    pub fn run_with_stats(self) -> (SimReport, PlacementStats) {
         Engine::new(
             self.config,
             self.launches,
             self.reclaims,
             self.resumes,
             self.collect_trace,
+            self.linear_placement,
         )
         .run()
     }
@@ -283,6 +319,19 @@ struct Engine {
     /// Launches eligible for elastic growth (precomputed so `rebalance`
     /// does not rescan every launch on every kernel retirement).
     growable: Vec<usize>,
+    /// Incremental ready-set index: the CUs with at least one free
+    /// work-group slot *and* an empty queue — the only CUs elastic-growth
+    /// placement can use. Maintained by `refresh_ready` at every
+    /// start/finish/arrival/resume transition, so `rebalance` visits
+    /// candidates instead of scanning every CU per growable launch.
+    /// `BTreeSet` iteration is ascending, which keeps the placement order
+    /// identical to the historical linear scan.
+    ready: BTreeSet<usize>,
+    /// Elastic-growth placement probe counters (reported by
+    /// [`Simulator::run_with_stats`]).
+    placement: PlacementStats,
+    /// Use the historical linear scan instead of the ready-set index.
+    linear_placement: bool,
     rr_cursor: usize,
     /// Sum over resident work groups of `threads * mem_intensity`.
     resident_mem_load: f64,
@@ -298,8 +347,9 @@ impl Engine {
         reclaims: Vec<ReclaimCmd>,
         resumes: Vec<ResumeCmd>,
         collect_trace: bool,
+        linear_placement: bool,
     ) -> Self {
-        let cus = (0..config.num_cus)
+        let cus: Vec<Cu> = (0..config.num_cus)
             .map(|_| Cu {
                 free_threads: config.threads_per_cu as i64,
                 free_local: config.local_mem_per_cu as i64,
@@ -347,6 +397,11 @@ impl Engine {
         for (i, r) in resumes.iter().enumerate() {
             resumes_by_anchor[r.after.0 as usize].push(i);
         }
+        // Every CU starts empty with all its slots free (unless the device
+        // has none), so the ready set starts full.
+        let ready = (0..config.num_cus)
+            .filter(|&c| cus[c].free_slots >= 1)
+            .collect();
         Engine {
             config,
             launches,
@@ -361,6 +416,9 @@ impl Engine {
             tasks: Vec::new(),
             kernels,
             growable,
+            ready,
+            placement: PlacementStats::default(),
+            linear_placement,
             rr_cursor: 0,
             resident_mem_load: 0.0,
             resident_compute_load: 0.0,
@@ -373,7 +431,7 @@ impl Engine {
         self.heap.push(Reverse((time, self.seq, ev)));
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> (SimReport, PlacementStats) {
         for i in 0..self.launches.len() {
             self.schedule(self.launches[i].arrival, Event::Arrival(i));
         }
@@ -410,11 +468,70 @@ impl Engine {
                 resumed_workers: k.resumed,
             })
             .collect();
-        SimReport {
-            kernels,
-            makespan,
-            trace: self.trace,
+        (
+            SimReport {
+                kernels,
+                makespan,
+                trace: self.trace,
+            },
+            self.placement,
+        )
+    }
+
+    /// Re-derive CU `cu`'s membership in the ready-set index after any
+    /// transition that touched its queue or slots (task start/finish,
+    /// arrival/resume enqueue). O(log CUs), called O(1) times per
+    /// transition — this is what keeps `rebalance` from rescanning the
+    /// whole device.
+    fn refresh_ready(&mut self, cu: usize) {
+        let c = &self.cus[cu];
+        if c.free_slots >= 1 && c.queue.is_empty() {
+            self.ready.insert(cu);
+        } else {
+            self.ready.remove(&cu);
         }
+    }
+
+    /// Whether `cu` can host one more worker of `req` right now — the
+    /// historical linear-scan placement predicate, shared by both
+    /// placement paths so they cannot drift apart.
+    fn cu_has_room(cu: &Cu, req: WorkGroupReq) -> bool {
+        cu.queue.is_empty()
+            && (req.threads as i64) <= cu.free_threads
+            && (req.local_mem as i64) <= cu.free_local
+            && (req.regs_total() as i64) <= cu.free_regs
+            && cu.free_slots >= 1
+    }
+
+    /// Lowest-indexed CU with room for one more worker of `req`: the
+    /// ready-set index visits only CUs with a free slot and an empty
+    /// queue (ascending, so the choice is identical to the linear scan —
+    /// debug builds assert it), while `linear_placement` forces the
+    /// historical full scan for benchmarks.
+    fn find_placement(&mut self, req: WorkGroupReq) -> Option<usize> {
+        let mut visits = 0u64;
+        let found = if self.linear_placement {
+            (0..self.cus.len()).find(|&c| {
+                visits += 1;
+                Self::cu_has_room(&self.cus[c], req)
+            })
+        } else {
+            self.ready.iter().copied().find(|&c| {
+                visits += 1;
+                Self::cu_has_room(&self.cus[c], req)
+            })
+        };
+        self.placement.attempts += 1;
+        self.placement.cu_visits += visits;
+        #[cfg(debug_assertions)]
+        if !self.linear_placement {
+            let linear = (0..self.cus.len()).find(|&c| Self::cu_has_room(&self.cus[c], req));
+            debug_assert_eq!(
+                found, linear,
+                "ready-set placement diverged from the linear scan"
+            );
+        }
+        found
     }
 
     fn on_arrival(&mut self, l: usize) {
@@ -438,6 +555,7 @@ impl Engine {
                 wi: w,
             });
             self.cus[cu].queue.push_back(tid);
+            self.refresh_ready(cu);
         }
         // A launch with zero machine work groups completes immediately
         // (and still anchors any resumes waiting on its retirement).
@@ -550,6 +668,7 @@ impl Engine {
             k.machine_wgs += 1;
             k.resumed += 1;
             self.cus[cu].queue.push_back(tid);
+            self.refresh_ready(cu);
             if self.collect_trace {
                 self.trace.push(TraceEvent {
                     time: self.now,
@@ -594,6 +713,7 @@ impl Engine {
             self.cus[cu].queue.pop_front();
             self.start_task(cu, tid);
         }
+        self.refresh_ready(cu);
     }
 
     fn start_task(&mut self, cu: usize, tid: usize) {
@@ -624,6 +744,7 @@ impl Engine {
             });
         }
 
+        self.refresh_ready(cu);
         let dispatch = self.config.wg_dispatch_overhead;
         match self.tasks[tid].kind {
             TaskKind::HardwareWg { cost } => {
@@ -826,8 +947,9 @@ impl Engine {
 
     /// A kernel retired: let elastic dynamic launches grow into the freed
     /// capacity (round-robin across launches so nobody monopolises it).
-    /// Only the precomputed `growable` launches are visited, and each pass
-    /// walks the CUs once per placement attempt.
+    /// Only the precomputed `growable` launches are visited, and each
+    /// placement attempt probes only the ready-set index (CUs with a free
+    /// slot and an empty queue) rather than walking every CU.
     fn rebalance(&mut self) {
         loop {
             let mut grew = false;
@@ -851,17 +973,13 @@ impl Engine {
                 {
                     continue;
                 }
-                // Find a CU with room for one more worker right now.
+                // Find a CU with room for one more worker right now —
+                // through the incremental ready-set index, not a scan of
+                // every CU.
                 let req = self.launches[l].req;
-                let cu = (0..self.cus.len()).find(|&c| {
-                    let cu = &self.cus[c];
-                    cu.queue.is_empty()
-                        && (req.threads as i64) <= cu.free_threads
-                        && (req.local_mem as i64) <= cu.free_local
-                        && (req.regs_total() as i64) <= cu.free_regs
-                        && cu.free_slots >= 1
-                });
-                let Some(cu) = cu else { continue };
+                let Some(cu) = self.find_placement(req) else {
+                    continue;
+                };
                 let tid = self.tasks.len();
                 let wi = self.kernels[l].spawned;
                 self.tasks.push(Task {
@@ -1648,6 +1766,72 @@ mod tests {
             r.kernels.iter().map(|k| k.resumed_workers).sum::<usize>()
         );
         assert_eq!(r.kernels[0].groups_executed, 150);
+    }
+
+    /// A retirement-heavy elastic episode on a wide device: many short
+    /// hardware launches retiring one after another, with growable
+    /// persistent launches ready to soak up the freed capacity — the
+    /// scenario whose `rebalance` cost the ready-set index exists to
+    /// bound.
+    fn retirement_heavy(num_cus: usize, linear: bool) -> Simulator {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.num_cus = num_cus;
+        let mut sim = Simulator::new(cfg);
+        if linear {
+            sim = sim.with_linear_placement();
+        }
+        for i in 0..3 {
+            let mut l = dyn_launch(&format!("elastic{i}"), 2, 600, 40);
+            l.max_workers = Some(8);
+            sim.add_launch(l);
+        }
+        // 40 kernels' worth of work groups stuffed into every CU queue:
+        // each retirement triggers a rebalance pass while the device is
+        // still saturated, which is where the linear scan pays CU-count
+        // visits to find nothing.
+        for i in 0..40 {
+            sim.add_launch(hw_launch(&format!("hw{i}"), 48, 100));
+        }
+        sim
+    }
+
+    #[test]
+    fn indexed_placement_matches_linear_scan() {
+        // Same retirement-heavy episode through both placement paths:
+        // reports (including growth decisions) must be identical, while
+        // the index examines far fewer CUs. On a saturated device the
+        // ready set is mostly empty, so indexed placement probes ~0
+        // candidates where the linear scan walks all CUs every time.
+        let (indexed, with_index) = retirement_heavy(32, false).run_with_stats();
+        let (linear, with_scan) = retirement_heavy(32, true).run_with_stats();
+        assert_eq!(indexed, linear, "placement path must not change results");
+        assert_eq!(
+            with_index.attempts, with_scan.attempts,
+            "both paths attempt the same placements"
+        );
+        assert!(with_scan.attempts > 0, "episode must exercise rebalance");
+        assert!(
+            with_index.cu_visits * 4 < with_scan.cu_visits,
+            "index must probe far fewer CUs: {} vs {} over {} attempts",
+            with_index.cu_visits,
+            with_scan.cu_visits,
+            with_scan.attempts
+        );
+    }
+
+    #[test]
+    fn placement_no_longer_scans_every_cu() {
+        // The acceptance bound: visits per attempt must be well below the
+        // CU count (the linear scan's per-attempt cost) — on this mostly
+        // saturated 32-CU device, the ready set averages under 4 entries.
+        let (_, stats) = retirement_heavy(32, false).run_with_stats();
+        assert!(stats.attempts > 0);
+        assert!(
+            stats.cu_visits < stats.attempts * 4,
+            "{} visits over {} attempts should average < 4 per attempt",
+            stats.cu_visits,
+            stats.attempts
+        );
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!       [--policies name,name,...] [--reference name]
 //!       [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]
 //!       [--jobs N] [--sequential]
+//!       [--shard i/n [--out FILE]]
+//! repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
 //!              fig15 small ablation dynamic priority deadline all
@@ -39,7 +41,15 @@
 //! sized to the host (override with `--jobs N`; `--sequential` is
 //! shorthand for `--jobs 1`). Thread count never changes the numbers:
 //! per-repetition seeds derive from `(workload, rep)`, not from iteration
-//! order, and results merge in deterministic order.
+//! order, and results stream into per-workload accumulators in
+//! deterministic repetition order.
+//!
+//! For paper-scale runs, `--shard i/n` partitions the workload grids
+//! across **independent processes**: each shard computes every `n`th
+//! workload and writes its metrics (bit-exact float encoding) to a shard
+//! file; `repro merge --inputs f0,f1,…` reassembles them and renders the
+//! sweep figures byte-identically to an unsharded run with the same
+//! flags. See `accel_harness::shard` for the dataflow.
 
 use accel_harness::experiments::{
     chunk_ablation, deadline_hold_rates, deadline_scenario, device_sweeps, dynamic_tenancy, fig11,
@@ -48,6 +58,7 @@ use accel_harness::experiments::{
     DeviceSweeps,
 };
 use accel_harness::runner::Runner;
+use accel_harness::shard::{self, ShardSpec};
 use accel_harness::workloads::SweepConfig;
 use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
@@ -63,6 +74,14 @@ struct Options {
     /// absent, so a global index would validate against the wrong set).
     reference: Option<String>,
     cfg: SweepConfig,
+    /// `--shard i/n`: compute only this stripe of the sweep grids and
+    /// write it to `out` instead of rendering figures.
+    shard: Option<ShardSpec>,
+    /// `--out <path>` for the shard file (defaults to
+    /// `shard-<i>-of-<n>.accelshard`).
+    out: Option<String>,
+    /// `merge --inputs a,b,...`: shard files to reassemble.
+    inputs: Vec<String>,
 }
 
 /// Position of `--reference` in the set `experiment` sweeps (0 when the
@@ -88,6 +107,9 @@ fn parse_args() -> Result<Options, String> {
     let mut policies_given = false;
     let mut reference: Option<String> = None;
     let mut cfg = SweepConfig::default_scale();
+    let mut shard: Option<ShardSpec> = None;
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<usize, String> {
@@ -116,6 +138,20 @@ fn parse_args() -> Result<Options, String> {
                         .clone(),
                 );
             }
+            "--shard" => {
+                i += 1;
+                let spec = args.get(i).ok_or("missing value after --shard")?;
+                shard = Some(ShardSpec::parse(spec)?);
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).ok_or("missing value after --out")?.clone());
+            }
+            "--inputs" => {
+                i += 1;
+                let list = args.get(i).ok_or("missing value after --inputs")?;
+                inputs.extend(list.split(',').map(str::to_string));
+            }
             "--full" => cfg = SweepConfig::full(),
             "--pairs" => cfg.pairs = take(&mut i)?,
             "--n4" => cfg.n4 = take(&mut i)?,
@@ -141,6 +177,12 @@ fn parse_args() -> Result<Options, String> {
         "both" => vec![DeviceConfig::k20m(), DeviceConfig::r9_295x2()],
         other => return Err(format!("unknown device `{other}` (k20m | r9 | both)")),
     };
+    if shard.is_some() && experiments.iter().any(|e| e == "merge") {
+        return Err("--shard and merge are different phases; run them separately".into());
+    }
+    if out.is_some() && shard.is_none() {
+        return Err("--out names the shard file and needs --shard i/n".into());
+    }
     Ok(Options {
         experiments,
         devices,
@@ -148,6 +190,9 @@ fn parse_args() -> Result<Options, String> {
         policies_given,
         reference,
         cfg,
+        shard,
+        out,
+        inputs,
     })
 }
 
@@ -192,12 +237,173 @@ fn validate_reference(opts: &Options) {
     }
 }
 
+/// The sweep-projection experiment names. One shared list — the
+/// unsharded path, `--shard` and `merge` all derive from it, so the
+/// byte-identity contract between `merge` and an unsharded run cannot
+/// be broken by updating one copy and not another.
+const SWEEP_FIGS: [&str; 7] = [
+    "fig9", "fig10", "fig12", "fig13", "fig14", "table1", "table2",
+];
+
 fn needs_sweep(experiments: &[String]) -> bool {
-    [
-        "fig9", "fig10", "fig12", "fig13", "fig14", "table1", "table2",
-    ]
-    .iter()
-    .any(|e| wants(experiments, e))
+    SWEEP_FIGS.iter().any(|e| wants(experiments, e))
+}
+
+/// Render the requested sweep views of one device — the single code
+/// path behind both the unsharded figures and `merge`'s reassembled
+/// ones (CI diffs the two stdouts byte-for-byte).
+fn render_sweep_views(ds: &DeviceSweeps, exps: &[String]) {
+    if wants(exps, "fig9") {
+        println!("{}", ds.fig9());
+    }
+    if wants(exps, "fig10") {
+        println!("{}", ds.fig10());
+    }
+    if wants(exps, "fig12") {
+        println!("{}", ds.fig12());
+    }
+    if wants(exps, "fig13") {
+        println!("{}", ds.fig13());
+    }
+    if wants(exps, "fig14") {
+        println!("{}", ds.fig14());
+    }
+    if wants(exps, "table1") || wants(exps, "table2") {
+        println!("{}", ds.table_stp_antt());
+    }
+}
+
+/// Position of `--reference` among the policy `names` recorded in shard
+/// files (merge has no [`PolicySet`] to resolve against).
+fn reference_index_names(names: &[String], reference: Option<&str>) -> usize {
+    match reference {
+        None => 0,
+        Some(name) => names.iter().position(|n| n == name).unwrap_or_else(|| {
+            eprintln!(
+                "repro: --reference `{name}` is not in the sharded set ({})",
+                names.join(",")
+            );
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// `--shard i/n`: compute this process's stripe of the three sweep grids
+/// for every requested device and write the shard file. No figures are
+/// rendered — reassembling and rendering is `merge`'s job, so stdout
+/// stays empty and the run composes with shell parallelism.
+fn run_shard(opts: &Options, spec: ShardSpec) {
+    // A shard always computes the three sweep grids and nothing else;
+    // say so when the command line names experiments the shard file
+    // cannot carry, instead of silently dropping them.
+    let ignored: Vec<&str> = opts
+        .experiments
+        .iter()
+        .map(String::as_str)
+        .filter(|e| *e != "all" && !SWEEP_FIGS.contains(e))
+        .collect();
+    if !ignored.is_empty() {
+        eprintln!(
+            "repro: note: --shard computes only the sweep grids; ignoring {}",
+            ignored.join(", ")
+        );
+    }
+    let devices: Vec<shard::DeviceShard> = opts
+        .devices
+        .iter()
+        .map(|device| {
+            let runner = Runner::new(device.clone());
+            eprintln!(
+                "[shard {}/{}: sweeping every {}th workload of {} pairs, {} x4, {} x8, \
+                 {} reps, policies {} on {}…]",
+                spec.index,
+                spec.count,
+                spec.count,
+                opts.cfg.pairs,
+                opts.cfg.n4,
+                opts.cfg.n8,
+                opts.cfg.reps,
+                opts.policies.names().join(","),
+                device.name
+            );
+            shard::compute_shard(&runner, &opts.policies, &opts.cfg, spec)
+        })
+        .collect();
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("shard-{}-of-{}.accelshard", spec.index, spec.count));
+    let text = shard::render_shard_file(spec, &opts.cfg, &devices);
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("repro: cannot write shard file `{path}`: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[shard {}/{} written to {path}; reassemble with `repro merge --inputs …`]",
+        spec.index, spec.count
+    );
+}
+
+/// `merge --inputs f0,f1,…`: reassemble shard files into full sweeps and
+/// render the requested sweep figures byte-identically to an unsharded
+/// run with the same flags.
+fn run_merge(opts: &Options) {
+    if opts.inputs.is_empty() {
+        eprintln!("repro: merge needs `--inputs shard0,shard1,…`");
+        std::process::exit(2);
+    }
+    let files: Vec<shard::ShardFile> = opts
+        .inputs
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("repro: cannot read shard file `{path}`: {e}");
+                std::process::exit(1);
+            });
+            shard::parse_shard_file(&text).unwrap_or_else(|e| {
+                eprintln!("repro: `{path}` is not a valid shard file: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let merged = shard::merge_shards(&files).unwrap_or_else(|e| {
+        eprintln!("repro: cannot merge shards: {e}");
+        std::process::exit(1);
+    });
+    // Figure selection: the requested experiments, or every sweep view
+    // when the command line is a plain `repro merge --inputs …`. A list
+    // that names only non-sweep experiments stays as given — it renders
+    // nothing beyond the device headers (with a note), never the full
+    // figure dump the caller did not ask for.
+    let only_merge = opts.experiments.iter().all(|e| e == "merge");
+    let exps: Vec<String> = if only_merge {
+        vec!["all".to_string()]
+    } else {
+        opts.experiments.clone()
+    };
+    let ignored: Vec<&str> = opts
+        .experiments
+        .iter()
+        .map(String::as_str)
+        .filter(|e| *e != "merge" && *e != "all" && !SWEEP_FIGS.contains(e))
+        .collect();
+    if !ignored.is_empty() {
+        eprintln!(
+            "repro: note: merge renders only the sweep views; ignoring {}",
+            ignored.join(", ")
+        );
+    }
+    // Fail a bad --reference before any stdout, like the unsharded
+    // path's up-front validate_reference.
+    for (_, sizes) in &merged {
+        let _ = reference_index_names(&sizes[0].policy_names, opts.reference.as_deref());
+    }
+    for (device, sizes) in merged {
+        println!("=== {device} ===\n");
+        let reference = reference_index_names(&sizes[0].policy_names, opts.reference.as_deref());
+        let ds = DeviceSweeps { sizes, reference };
+        render_sweep_views(&ds, &exps);
+    }
 }
 
 fn main() {
@@ -209,16 +415,30 @@ fn main() {
                 "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|all>... \
                  [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
-                 [--jobs N] [--sequential]"
+                 [--jobs N] [--sequential] [--shard i/n [--out FILE]]\n\
+                 usage: repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]"
             );
             eprintln!(
                 "  --reference <name>  divide ratio figures (fig10/fig13/fig14, dynamic, priority) \
                  by this policy of the set instead of the first; the reference row renders \
                  explicitly, marked `*`"
             );
+            eprintln!(
+                "  --shard i/n         compute only every nth workload of the sweep grids and \
+                 write a shard file (--out, default shard-i-of-n.accelshard) instead of figures; \
+                 `merge` reassembles shard files bit-identically to an unsharded run"
+            );
             std::process::exit(2);
         }
     };
+    if opts.experiments.iter().any(|e| e == "merge") {
+        run_merge(&opts);
+        return;
+    }
+    if let Some(spec) = opts.shard {
+        run_shard(&opts, spec);
+        return;
+    }
     let exps = &opts.experiments;
     validate_reference(&opts);
 
@@ -266,24 +486,7 @@ fn main() {
             None
         };
         if let Some(ds) = &sweeps {
-            if wants(exps, "fig9") {
-                println!("{}", ds.fig9());
-            }
-            if wants(exps, "fig10") {
-                println!("{}", ds.fig10());
-            }
-            if wants(exps, "fig12") {
-                println!("{}", ds.fig12());
-            }
-            if wants(exps, "fig13") {
-                println!("{}", ds.fig13());
-            }
-            if wants(exps, "fig14") {
-                println!("{}", ds.fig14());
-            }
-            if wants(exps, "table1") || wants(exps, "table2") {
-                println!("{}", ds.table_stp_antt());
-            }
+            render_sweep_views(ds, exps);
         }
 
         if wants(exps, "fig11") {

@@ -213,30 +213,38 @@ fn measure_rep(
         .collect()
 }
 
-/// Average per-rep policy runs, accumulating in repetition order (the same
-/// float-addition order as the historical sequential loop).
-fn average_reps(per_rep: &[Vec<PolicyRun>]) -> WorkloadMetrics {
-    let n_policies = per_rep.first().map_or(0, Vec::len);
-    let mut acc = WorkloadMetrics {
+/// All-zero sums over `n_policies` policies (the fold's initial state).
+fn zero_metrics(n_policies: usize) -> WorkloadMetrics {
+    WorkloadMetrics {
         unfairness: vec![0.0; n_policies],
         overlap: vec![0.0; n_policies],
         total_time: vec![0.0; n_policies],
         stp: vec![0.0; n_policies],
         antt: vec![0.0; n_policies],
         worst_antt: vec![0.0; n_policies],
-    };
-    for rep in per_rep {
-        for (i, run) in rep.iter().enumerate() {
-            acc.unfairness[i] += run.unfairness;
-            acc.overlap[i] += run.overlap;
-            acc.total_time[i] += run.total_time;
-            acc.stp[i] += run.stp;
-            acc.antt[i] += run.antt;
-            acc.worst_antt[i] += run.worst_antt;
-        }
     }
-    let n = per_rep.len() as f64;
-    for i in 0..n_policies {
+}
+
+/// Fold one repetition's policy runs into the running sums. Repetitions
+/// must be folded in repetition order — float addition is the one
+/// non-commutative step of the pipeline, and this order is what keeps the
+/// streaming fold bit-identical to the historical buffered loop.
+fn fold_rep(acc: &mut WorkloadMetrics, rep: &[PolicyRun]) {
+    for (i, run) in rep.iter().enumerate() {
+        acc.unfairness[i] += run.unfairness;
+        acc.overlap[i] += run.overlap;
+        acc.total_time[i] += run.total_time;
+        acc.stp[i] += run.stp;
+        acc.antt[i] += run.antt;
+        acc.worst_antt[i] += run.worst_antt;
+    }
+}
+
+/// Divide the folded sums by the repetition count (the terminal step of
+/// the average, shared by the streaming and buffered folds).
+fn finish_average(acc: &mut WorkloadMetrics, reps: usize) {
+    let n = reps as f64;
+    for i in 0..acc.unfairness.len() {
         acc.unfairness[i] /= n;
         acc.overlap[i] /= n;
         acc.total_time[i] /= n;
@@ -244,6 +252,17 @@ fn average_reps(per_rep: &[Vec<PolicyRun>]) -> WorkloadMetrics {
         acc.antt[i] /= n;
         acc.worst_antt[i] /= n;
     }
+}
+
+/// Average per-rep policy runs, accumulating in repetition order (the same
+/// float-addition order as the historical sequential loop).
+fn average_reps(per_rep: &[Vec<PolicyRun>]) -> WorkloadMetrics {
+    let n_policies = per_rep.first().map_or(0, Vec::len);
+    let mut acc = zero_metrics(n_policies);
+    for rep in per_rep {
+        fold_rep(&mut acc, rep);
+    }
+    finish_average(&mut acc, per_rep.len());
     acc
 }
 
@@ -266,37 +285,160 @@ pub fn measure_workload(
     average_reps(&per_rep)
 }
 
-/// Sweep one request size on one device, fanning the `(workload × rep)`
-/// grid out across the rayon pool (each unit runs every policy inline
-/// against one shared session). Results are merged in `(workload, rep)`
-/// order, so the output is bit-identical to [`sweep_seq`] regardless of
-/// thread count.
-pub fn sweep(runner: &Runner, set: &PolicySet, cfg: &SweepConfig, request_size: usize) -> Sweep {
-    let workloads = cfg.workloads(request_size);
+/// Counters of one streaming sweep fold (see [`sweep_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// `(workload × rep)` units processed.
+    pub units: usize,
+    /// High-water mark of units parked in reorder windows. The historical
+    /// buffered fold held every one of `units` results at once before
+    /// folding — a buffer that grows with the full combination space at
+    /// `--full` scale — while the streaming fold parks at most the
+    /// scheduling skew between threads (0 on one thread).
+    pub peak_buffered: usize,
+}
+
+/// Per-workload state of the streaming fold: running rep-order sums plus
+/// a reorder window for repetitions that finished out of order.
+struct FoldSlot {
+    /// Next repetition to fold (reps fold strictly in order).
+    next_rep: u32,
+    /// Finished repetitions waiting for an earlier one.
+    pending: std::collections::BTreeMap<u32, Vec<PolicyRun>>,
+    /// Rep-order partial sums (same float-addition order as
+    /// [`average_reps`]).
+    sums: WorkloadMetrics,
+}
+
+/// The streaming fold behind [`sweep`] and the sharded sweeps: fan the
+/// `(workload × rep)` grid across the rayon pool and merge each finished
+/// unit into its workload's running accumulator in repetition order
+/// (buffering only units that arrive before an earlier rep of the same
+/// workload). Per-repetition seeds derive from the **global** workload
+/// index in `cfg`'s grid, so a shard computes exactly the numbers the
+/// unsharded sweep computes for the same workloads.
+fn sweep_stream(
+    runner: &Runner,
+    set: &PolicySet,
+    cfg: &SweepConfig,
+    workloads: &[Workload],
+    global_indices: &[usize],
+) -> (Vec<WorkloadMetrics>, FoldStats) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    assert_eq!(workloads.len(), global_indices.len());
     let reps = cfg.reps.max(1);
     let units: Vec<(usize, u32)> = (0..workloads.len())
         .flat_map(|i| (0..reps).map(move |r| (i, r)))
         .collect();
-    let runs: Vec<Vec<PolicyRun>> = units
-        .par_iter()
-        .map(|&(i, rep)| {
-            measure_rep(
-                runner,
-                set,
-                &workloads[i],
-                cfg.seed.wrapping_add(i as u64),
-                rep,
-            )
+    let slots: Vec<Mutex<FoldSlot>> = (0..workloads.len())
+        .map(|_| {
+            Mutex::new(FoldSlot {
+                next_rep: 0,
+                pending: std::collections::BTreeMap::new(),
+                sums: zero_metrics(set.len()),
+            })
         })
         .collect();
-    let metrics = runs.chunks(reps as usize).map(average_reps).collect();
-    Sweep {
-        request_size,
-        device: runner.device().name.clone(),
-        policy_names: set.names(),
-        policy_labels: set.labels(),
-        workloads: metrics,
-    }
+    let buffered = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    units.par_iter().for_each(|&(i, rep)| {
+        let runs = measure_rep(
+            runner,
+            set,
+            &workloads[i],
+            cfg.seed.wrapping_add(global_indices[i] as u64),
+            rep,
+        );
+        let mut slot = slots[i].lock().unwrap();
+        let slot = &mut *slot;
+        if rep == slot.next_rep {
+            fold_rep(&mut slot.sums, &runs);
+            slot.next_rep += 1;
+            while let Some(next) = slot.pending.remove(&slot.next_rep) {
+                fold_rep(&mut slot.sums, &next);
+                slot.next_rep += 1;
+                buffered.fetch_sub(1, Ordering::Relaxed);
+            }
+        } else {
+            slot.pending.insert(rep, runs);
+            let now = buffered.fetch_add(1, Ordering::Relaxed) + 1;
+            peak.fetch_max(now, Ordering::Relaxed);
+        }
+    });
+    let metrics = slots
+        .into_iter()
+        .map(|slot| {
+            let mut slot = slot.into_inner().unwrap();
+            debug_assert_eq!(slot.next_rep, reps, "every repetition folded");
+            debug_assert!(slot.pending.is_empty());
+            finish_average(&mut slot.sums, reps as usize);
+            slot.sums
+        })
+        .collect();
+    let stats = FoldStats {
+        units: units.len(),
+        peak_buffered: peak.load(Ordering::Relaxed),
+    };
+    (metrics, stats)
+}
+
+/// Sweep one request size on one device, fanning the `(workload × rep)`
+/// grid out across the rayon pool (each unit runs every policy inline
+/// against one shared session). Units **stream** into per-workload
+/// accumulators in deterministic repetition order — nothing buffers the
+/// whole grid — so the output is bit-identical to [`sweep_seq`]
+/// regardless of thread count while peak memory stays flat as the
+/// combination space grows.
+pub fn sweep(runner: &Runner, set: &PolicySet, cfg: &SweepConfig, request_size: usize) -> Sweep {
+    sweep_with_stats(runner, set, cfg, request_size).0
+}
+
+/// [`sweep`] plus the streaming fold's buffering counters (used by the
+/// perf-trajectory benches as a peak-memory proxy).
+pub fn sweep_with_stats(
+    runner: &Runner,
+    set: &PolicySet,
+    cfg: &SweepConfig,
+    request_size: usize,
+) -> (Sweep, FoldStats) {
+    let workloads = cfg.workloads(request_size);
+    let indices: Vec<usize> = (0..workloads.len()).collect();
+    let (metrics, stats) = sweep_stream(runner, set, cfg, &workloads, &indices);
+    (
+        Sweep {
+            request_size,
+            device: runner.device().name.clone(),
+            policy_names: set.names(),
+            policy_labels: set.labels(),
+            workloads: metrics,
+        },
+        stats,
+    )
+}
+
+/// The shard worker's sweep: metrics for just the workloads at
+/// `indices` of the request size's grid, tagged with their global
+/// indices. Because per-repetition seeds derive from `(global index,
+/// rep)` alone, each returned cell is bit-identical to the corresponding
+/// cell of the unsharded [`sweep`] — which is what lets `repro --shard
+/// i/n` partition the grid across independent processes and `repro
+/// merge` reassemble the exact unsharded output.
+///
+/// # Panics
+///
+/// Panics if any index is out of range for the request size's grid.
+pub fn sweep_indexed(
+    runner: &Runner,
+    set: &PolicySet,
+    cfg: &SweepConfig,
+    request_size: usize,
+    indices: &[usize],
+) -> Vec<(usize, WorkloadMetrics)> {
+    let grid = cfg.workloads(request_size);
+    let selected: Vec<Workload> = indices.iter().map(|&i| grid[i].clone()).collect();
+    let (metrics, _) = sweep_stream(runner, set, cfg, &selected, indices);
+    indices.iter().copied().zip(metrics).collect()
 }
 
 /// The historical single-threaded sweep. Kept as the reference the

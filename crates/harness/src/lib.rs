@@ -37,6 +37,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod shard;
 pub mod workloads;
 
 pub use accelos::policy::{PolicySet, SchedulingPolicy};

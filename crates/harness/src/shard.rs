@@ -1,0 +1,550 @@
+//! Sharded paper-scale sweeps: `repro --shard i/n` + `repro merge`.
+//!
+//! The `--full` sweep (625 pairs, 16384 4-kernel and 32768 8-kernel
+//! combinations, 20 repetitions) is hours of CPU — too much for one
+//! process, trivially partitionable because every `(workload, rep)` cell
+//! derives its seed from the workload's **global grid index** alone
+//! (see [`crate::experiments::sweep_indexed`]). The dataflow is:
+//!
+//! 1. **Shard** — `repro <figs> --shard i/n --out f_i` computes the
+//!    grid's stripe `{ w : w mod n = i }` for each request size and
+//!    device, and serializes the per-workload metrics with bit-exact
+//!    float encoding ([`f64::to_bits`] hex, so no precision is lost in
+//!    transit).
+//! 2. **Merge** — `repro merge --inputs f_0,...,f_{n-1} <figs>` checks
+//!    the shards agree (same sweep configuration, devices, policies, and
+//!    a complete disjoint cover of the grid), reassembles each sweep in
+//!    global index order, and renders the figures **byte-identically**
+//!    to an unsharded run with the same flags.
+//!
+//! Striping (rather than contiguous blocks) balances the pair grid,
+//! whose early rows repeat the cheap kernels.
+
+use crate::experiments::{sweep_indexed, Sweep, WorkloadMetrics};
+use crate::runner::Runner;
+use crate::workloads::SweepConfig;
+use accelos::policy::PolicySet;
+use std::fmt::Write as _;
+
+/// The grid slice one shard process computes: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position (0-based).
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parse the command-line form `"i/n"` (e.g. `0/4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for malformed specs, `n == 0` or
+    /// `i >= n`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard spec `{s}` (expected i/n, e.g. 0/4)"))?;
+        let index = i
+            .parse::<usize>()
+            .map_err(|e| format!("bad shard index in `{s}`: {e}"))?;
+        let count = n
+            .parse::<usize>()
+            .map_err(|e| format!("bad shard count in `{s}`: {e}"))?;
+        if count == 0 {
+            return Err("shard count must be positive".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Global grid indices of this shard: the stripe
+    /// `index, index + count, index + 2·count, …` below `total`.
+    pub fn indices(&self, total: usize) -> Vec<usize> {
+        (self.index..total).step_by(self.count).collect()
+    }
+}
+
+/// One request size's partial grid as computed by one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSweep {
+    /// Request size (2, 4 or 8).
+    pub request_size: usize,
+    /// Size of the *full* grid (all shards together).
+    pub total: usize,
+    /// `(global index, metrics)` cells of this shard's stripe.
+    pub cells: Vec<(usize, WorkloadMetrics)>,
+}
+
+/// One device's partial sweeps as computed by one shard process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceShard {
+    /// Device name.
+    pub device: String,
+    /// Swept policy names, in set order.
+    pub policy_names: Vec<String>,
+    /// Swept policy figure labels, in set order.
+    pub policy_labels: Vec<String>,
+    /// The three request sizes' partial grids.
+    pub sweeps: Vec<PartialSweep>,
+}
+
+/// A parsed shard file: the shard's identity, the sweep configuration it
+/// ran, and one [`DeviceShard`] per device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFile {
+    /// Which slice this file holds.
+    pub spec: ShardSpec,
+    /// The sweep configuration (must agree across merged shards).
+    pub config: SweepConfig,
+    /// Per-device partial sweeps.
+    pub devices: Vec<DeviceShard>,
+}
+
+/// The request sizes every sweep covers (paper §7.2).
+pub const REQUEST_SIZES: [usize; 3] = [2, 4, 8];
+
+/// Compute one device's stripe of all three request-size grids.
+pub fn compute_shard(
+    runner: &Runner,
+    set: &PolicySet,
+    cfg: &SweepConfig,
+    spec: ShardSpec,
+) -> DeviceShard {
+    let sweeps = REQUEST_SIZES
+        .iter()
+        .map(|&rq| {
+            let total = cfg.workloads(rq).len();
+            PartialSweep {
+                request_size: rq,
+                total,
+                cells: sweep_indexed(runner, set, cfg, rq, &spec.indices(total)),
+            }
+        })
+        .collect();
+    DeviceShard {
+        device: runner.device().name.clone(),
+        policy_names: set.names(),
+        policy_labels: set.labels(),
+        sweeps,
+    }
+}
+
+fn push_f64s(line: &mut String, xs: &[f64]) {
+    for x in xs {
+        let _ = write!(line, " {:016x}", x.to_bits());
+    }
+}
+
+/// Serialize a shard file (see the module docs for the dataflow). Floats
+/// are written as [`f64::to_bits`] hex so the merged numbers are
+/// bit-identical to the shard's.
+pub fn render_shard_file(spec: ShardSpec, cfg: &SweepConfig, devices: &[DeviceShard]) -> String {
+    let mut s = String::new();
+    s.push_str("accelos-shard v1\n");
+    let _ = writeln!(s, "shard {}/{}", spec.index, spec.count);
+    let _ = writeln!(
+        s,
+        "config pairs={} n4={} n8={} reps={} seed={}",
+        cfg.pairs, cfg.n4, cfg.n8, cfg.reps, cfg.seed
+    );
+    for dev in devices {
+        let _ = writeln!(s, "device {}", dev.device);
+        let _ = writeln!(s, "policies {}", dev.policy_names.join(","));
+        let _ = writeln!(s, "labels {}", dev.policy_labels.join("\t"));
+        for sw in &dev.sweeps {
+            let _ = writeln!(
+                s,
+                "sweep {} total={} cells={}",
+                sw.request_size,
+                sw.total,
+                sw.cells.len()
+            );
+            for (gi, m) in &sw.cells {
+                let mut line = format!("cell {gi}");
+                push_f64s(&mut line, &m.unfairness);
+                push_f64s(&mut line, &m.overlap);
+                push_f64s(&mut line, &m.total_time);
+                push_f64s(&mut line, &m.stp);
+                push_f64s(&mut line, &m.antt);
+                push_f64s(&mut line, &m.worst_antt);
+                s.push_str(&line);
+                s.push('\n');
+            }
+        }
+    }
+    s.push_str("end\n");
+    s
+}
+
+fn parse_kv(token: &str, key: &str) -> Result<usize, String> {
+    token
+        .strip_prefix(key)
+        .and_then(|v| v.strip_prefix('='))
+        .ok_or_else(|| format!("expected `{key}=<n>`, got `{token}`"))?
+        .parse::<usize>()
+        .map_err(|e| format!("bad `{key}` value in `{token}`: {e}"))
+}
+
+/// Parse a shard file produced by [`render_shard_file`].
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed line.
+pub fn parse_shard_file(text: &str) -> Result<ShardFile, String> {
+    let mut lines = text.lines().enumerate();
+    let mut line = |what: &str| -> Result<(usize, &str), String> {
+        lines
+            .next()
+            .ok_or_else(|| format!("unexpected end of shard file (wanted {what})"))
+    };
+    let (_, header) = line("header")?;
+    if header != "accelos-shard v1" {
+        return Err(format!("not a v1 shard file (header `{header}`)"));
+    }
+    let (_, shard_line) = line("shard line")?;
+    let spec = ShardSpec::parse(
+        shard_line
+            .strip_prefix("shard ")
+            .ok_or_else(|| format!("expected `shard i/n`, got `{shard_line}`"))?,
+    )?;
+    let (_, cfg_line) = line("config line")?;
+    let toks: Vec<&str> = cfg_line.split_whitespace().collect();
+    if toks.len() != 6 || toks[0] != "config" {
+        return Err(format!("bad config line `{cfg_line}`"));
+    }
+    let config = SweepConfig {
+        pairs: parse_kv(toks[1], "pairs")?,
+        n4: parse_kv(toks[2], "n4")?,
+        n8: parse_kv(toks[3], "n8")?,
+        reps: parse_kv(toks[4], "reps")? as u32,
+        seed: parse_kv(toks[5], "seed")? as u64,
+    };
+
+    let mut devices: Vec<DeviceShard> = Vec::new();
+    let mut saw_end = false;
+    for (no, raw) in lines {
+        let err = |msg: String| format!("line {}: {msg}", no + 1);
+        if raw == "end" {
+            saw_end = true;
+            continue;
+        }
+        if saw_end {
+            return Err(err(format!("content after `end`: `{raw}`")));
+        }
+        if let Some(name) = raw.strip_prefix("device ") {
+            devices.push(DeviceShard {
+                device: name.to_string(),
+                policy_names: Vec::new(),
+                policy_labels: Vec::new(),
+                sweeps: Vec::new(),
+            });
+        } else if let Some(names) = raw.strip_prefix("policies ") {
+            let dev = devices
+                .last_mut()
+                .ok_or_else(|| err("policies before any device".into()))?;
+            dev.policy_names = names.split(',').map(str::to_string).collect();
+        } else if let Some(labels) = raw.strip_prefix("labels ") {
+            let dev = devices
+                .last_mut()
+                .ok_or_else(|| err("labels before any device".into()))?;
+            dev.policy_labels = labels.split('\t').map(str::to_string).collect();
+        } else if let Some(rest) = raw.strip_prefix("sweep ") {
+            let dev = devices
+                .last_mut()
+                .ok_or_else(|| err("sweep before any device".into()))?;
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 3 {
+                return Err(err(format!("bad sweep line `{raw}`")));
+            }
+            let request_size = toks[0]
+                .parse::<usize>()
+                .map_err(|e| err(format!("bad request size: {e}")))?;
+            dev.sweeps.push(PartialSweep {
+                request_size,
+                total: parse_kv(toks[1], "total").map_err(err)?,
+                cells: Vec::with_capacity(parse_kv(toks[2], "cells").map_err(err)?),
+            });
+        } else if let Some(rest) = raw.strip_prefix("cell ") {
+            let dev = devices
+                .last_mut()
+                .ok_or_else(|| err("cell before any device".into()))?;
+            let n_policies = dev.policy_names.len();
+            let sw = dev
+                .sweeps
+                .last_mut()
+                .ok_or_else(|| err("cell before any sweep".into()))?;
+            let mut toks = rest.split_whitespace();
+            let gi = toks
+                .next()
+                .ok_or_else(|| err("empty cell".into()))?
+                .parse::<usize>()
+                .map_err(|e| err(format!("bad cell index: {e}")))?;
+            let words: Vec<f64> = toks
+                .map(|t| {
+                    u64::from_str_radix(t, 16)
+                        .map(f64::from_bits)
+                        .map_err(|e| err(format!("bad f64 hex `{t}`: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if words.len() != 6 * n_policies {
+                return Err(err(format!(
+                    "cell {gi} has {} values, expected {}",
+                    words.len(),
+                    6 * n_policies
+                )));
+            }
+            let col = |k: usize| words[k * n_policies..(k + 1) * n_policies].to_vec();
+            sw.cells.push((
+                gi,
+                WorkloadMetrics {
+                    unfairness: col(0),
+                    overlap: col(1),
+                    total_time: col(2),
+                    stp: col(3),
+                    antt: col(4),
+                    worst_antt: col(5),
+                },
+            ));
+        } else if !raw.trim().is_empty() {
+            return Err(err(format!("unrecognised line `{raw}`")));
+        }
+    }
+    if !saw_end {
+        return Err("shard file truncated (missing `end`)".into());
+    }
+    if devices.is_empty() {
+        return Err("shard file holds no device sections".into());
+    }
+    Ok(ShardFile {
+        spec,
+        config,
+        devices,
+    })
+}
+
+/// Merge shard files into full per-device sweeps, in the devices' shard
+/// order. Validates that the shards ran the same configuration, devices
+/// and policies, and that together they cover every grid index exactly
+/// once.
+///
+/// # Errors
+///
+/// Returns a message naming the first inconsistency (mismatched configs,
+/// duplicate shard, missing stripe, missing or duplicated grid index).
+pub fn merge_shards(files: &[ShardFile]) -> Result<Vec<(String, Vec<Sweep>)>, String> {
+    let first = files.first().ok_or("no shard files to merge")?;
+    let count = first.spec.count;
+    if files.len() != count {
+        return Err(format!(
+            "have {} shard files but the run was split {count} ways",
+            files.len()
+        ));
+    }
+    let mut seen = vec![false; count];
+    for f in files {
+        if f.config != first.config {
+            return Err("shard files ran different sweep configurations".into());
+        }
+        if f.spec.count != count {
+            return Err(format!(
+                "shard {}/{} does not belong to a {count}-way split",
+                f.spec.index, f.spec.count
+            ));
+        }
+        if std::mem::replace(&mut seen[f.spec.index], true) {
+            return Err(format!("shard {}/{} appears twice", f.spec.index, count));
+        }
+    }
+
+    for f in files {
+        if f.devices.len() != first.devices.len() {
+            return Err(format!(
+                "shard {}/{} swept {} devices, shard {}/{} swept {}",
+                f.spec.index,
+                count,
+                f.devices.len(),
+                first.spec.index,
+                count,
+                first.devices.len()
+            ));
+        }
+    }
+    let mut out = Vec::new();
+    for (di, dev) in first.devices.iter().enumerate() {
+        if dev.sweeps.is_empty() {
+            return Err(format!("device {} holds no sweep sections", dev.device));
+        }
+        let mut sweeps = Vec::new();
+        for (si, sw) in dev.sweeps.iter().enumerate() {
+            let mut cells: Vec<Option<WorkloadMetrics>> = vec![None; sw.total];
+            for f in files {
+                let fdev = f.devices.get(di).ok_or_else(|| {
+                    format!(
+                        "shard {}/{} is missing device {}",
+                        f.spec.index, count, dev.device
+                    )
+                })?;
+                if fdev.device != dev.device
+                    || fdev.policy_names != dev.policy_names
+                    || fdev.policy_labels != dev.policy_labels
+                {
+                    return Err(format!(
+                        "shard {}/{} swept different devices or policies",
+                        f.spec.index, count
+                    ));
+                }
+                let fsw = fdev.sweeps.get(si).ok_or_else(|| {
+                    format!(
+                        "shard {}/{} is missing the {}-request sweep",
+                        f.spec.index, count, sw.request_size
+                    )
+                })?;
+                if fsw.request_size != sw.request_size || fsw.total != sw.total {
+                    return Err(format!(
+                        "shard {}/{} disagrees on the {}-request grid",
+                        f.spec.index, count, sw.request_size
+                    ));
+                }
+                for (gi, m) in &fsw.cells {
+                    let slot = cells.get_mut(*gi).ok_or_else(|| {
+                        format!("grid index {gi} out of range ({} workloads)", sw.total)
+                    })?;
+                    if slot.replace(m.clone()).is_some() {
+                        return Err(format!("grid index {gi} appears in two shards"));
+                    }
+                }
+            }
+            let workloads: Vec<WorkloadMetrics> = cells
+                .into_iter()
+                .enumerate()
+                .map(|(gi, c)| c.ok_or_else(|| format!("grid index {gi} missing from all shards")))
+                .collect::<Result<_, _>>()?;
+            sweeps.push(Sweep {
+                request_size: sw.request_size,
+                device: dev.device.clone(),
+                policy_names: dev.policy_names.clone(),
+                policy_labels: dev.policy_labels.clone(),
+                workloads,
+            });
+        }
+        out.push((dev.device.clone(), sweeps));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_stripes() {
+        let s = ShardSpec::parse("1/3").unwrap();
+        assert_eq!((s.index, s.count), (1, 3));
+        assert_eq!(s.indices(8), vec![1, 4, 7]);
+        assert_eq!(ShardSpec::parse("0/1").unwrap().indices(3), vec![0, 1, 2]);
+        assert!(ShardSpec::parse("3/3").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn stripes_cover_the_grid_disjointly() {
+        let total = 23;
+        let mut seen = vec![0u32; total];
+        for i in 0..4 {
+            for g in (ShardSpec { index: i, count: 4 }).indices(total) {
+                seen[g] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn shard_file_roundtrips_bit_exactly() {
+        // Values chosen to stress the encoding: subnormal-ish, negative
+        // zero, exact integers, and long irrational expansions.
+        let metrics = |salt: f64| WorkloadMetrics {
+            unfairness: vec![1.0 + salt, 2.5],
+            overlap: vec![0.1f64.sqrt() * salt, -0.0],
+            total_time: vec![1e18 + salt, 3.0],
+            stp: vec![salt / 3.0, 0.333333333333333],
+            antt: vec![1.0, f64::MIN_POSITIVE * salt],
+            worst_antt: vec![2.0, salt],
+        };
+        let shard = ShardFile {
+            spec: ShardSpec { index: 1, count: 2 },
+            config: SweepConfig::test_scale(),
+            devices: vec![DeviceShard {
+                device: "K20m".into(),
+                policy_names: vec!["baseline".into(), "accelos".into()],
+                policy_labels: vec!["OpenCL".into(), "accelOS".into()],
+                sweeps: vec![PartialSweep {
+                    request_size: 2,
+                    total: 4,
+                    cells: vec![(1, metrics(0.7)), (3, metrics(1.9))],
+                }],
+            }],
+        };
+        let text = render_shard_file(shard.spec, &shard.config, &shard.devices);
+        let parsed = parse_shard_file(&text).unwrap();
+        assert_eq!(parsed, shard);
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_shards() {
+        let mk = |index: usize, count: usize, cells: Vec<usize>| ShardFile {
+            spec: ShardSpec { index, count },
+            config: SweepConfig::test_scale(),
+            devices: vec![DeviceShard {
+                device: "K20m".into(),
+                policy_names: vec!["accelos".into()],
+                policy_labels: vec!["accelOS".into()],
+                sweeps: vec![PartialSweep {
+                    request_size: 2,
+                    total: 4,
+                    cells: cells
+                        .into_iter()
+                        .map(|gi| {
+                            (
+                                gi,
+                                WorkloadMetrics {
+                                    unfairness: vec![1.0],
+                                    overlap: vec![0.5],
+                                    total_time: vec![10.0],
+                                    stp: vec![1.0],
+                                    antt: vec![1.0],
+                                    worst_antt: vec![1.0],
+                                },
+                            )
+                        })
+                        .collect(),
+                }],
+            }],
+        };
+        // Complete two-way split merges.
+        let ok = merge_shards(&[mk(0, 2, vec![0, 2]), mk(1, 2, vec![1, 3])]).unwrap();
+        assert_eq!(ok[0].1[0].workloads.len(), 4);
+        // Missing shard.
+        assert!(merge_shards(&[mk(0, 2, vec![0, 2])]).is_err());
+        // Duplicate shard index.
+        assert!(merge_shards(&[mk(0, 2, vec![0, 2]), mk(0, 2, vec![0, 2])]).is_err());
+        // Overlapping cells.
+        assert!(merge_shards(&[mk(0, 2, vec![0, 2]), mk(1, 2, vec![2, 3])]).is_err());
+        // Incomplete cover.
+        assert!(merge_shards(&[mk(0, 2, vec![0]), mk(1, 2, vec![1, 3])]).is_err());
+        // Device-count mismatch (one shard swept an extra device).
+        let mut extra = mk(1, 2, vec![1, 3]);
+        extra.devices.push(extra.devices[0].clone());
+        assert!(merge_shards(&[mk(0, 2, vec![0, 2]), extra]).is_err());
+        // A device section with no sweeps must error, not panic later.
+        let mut empty = mk(0, 1, vec![]);
+        empty.devices[0].sweeps.clear();
+        assert!(merge_shards(&[empty]).is_err());
+    }
+}

@@ -338,6 +338,31 @@ impl DynStats {
     }
 }
 
+/// Work-distribution schedule of the parallel interpreter
+/// ([`Interpreter::run_kernel_parallel_sched`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParSchedule {
+    /// Contiguous static partitions, one per thread. Threads finishing a
+    /// cheap partition idle while a thread stuck on an expensive one
+    /// (bfs's frontier groups, spmv's long rows) runs alone — kept as the
+    /// reference schedule for differential tests and benchmarks.
+    Static,
+    /// Atomic-cursor dynamic schedule: threads repeatedly claim the next
+    /// [`STEAL_RANGE`] flat work groups until the range space is drained,
+    /// so imbalanced kernels stop stranding threads. Each claimed range
+    /// writes into its own pre-sized slice of the flat per-group stats
+    /// buffer, which preserves the flat-order merge — and thus
+    /// bit-identity with the sequential interpreter.
+    #[default]
+    Stealing,
+}
+
+/// Flat work groups claimed per atomic-cursor fetch by
+/// [`ParSchedule::Stealing`]: small enough that one expensive range
+/// cannot strand a thread for long, large enough that the cursor is not
+/// contended on every group.
+pub const STEAL_RANGE: usize = 8;
+
 /// Interpreter tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterpConfig {
@@ -557,6 +582,9 @@ impl<'m> Interpreter<'m> {
     /// static analysis proves the kernel (and every reachable helper)
     /// performs no global-memory atomics; falls back to the sequential
     /// interpreter otherwise (and for single-group or single-thread runs).
+    /// Uses the default [`ParSchedule::Stealing`] work distribution; see
+    /// [`run_kernel_parallel_sched`](Self::run_kernel_parallel_sched) to
+    /// pick a schedule explicitly.
     ///
     /// Successful runs are bit-identical to the sequential interpreter:
     /// `DeviceMemory` contents, `insns_per_wg` and every `DynStats` counter
@@ -583,18 +611,45 @@ impl<'m> Interpreter<'m> {
         args: &[ArgValue],
         threads: usize,
     ) -> Result<DynStats, InterpError> {
+        self.run_kernel_parallel_sched(mem, kernel, ndrange, args, threads, ParSchedule::default())
+    }
+
+    /// [`run_kernel_parallel_with`](Self::run_kernel_parallel_with) with an
+    /// explicit work-distribution schedule. [`ParSchedule::Stealing`] (the
+    /// default) keeps threads busy on imbalanced kernels (bfs, spmv);
+    /// [`ParSchedule::Static`] is the historical contiguous partitioning,
+    /// kept as the differential-test reference and for benchmarking the
+    /// schedules against each other. Both are bit-identical to the
+    /// sequential interpreter (and therefore to each other).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_kernel`](Self::run_kernel).
+    pub fn run_kernel_parallel_sched(
+        &self,
+        mem: &mut DeviceMemory,
+        kernel: &str,
+        ndrange: NdRange,
+        args: &[ArgValue],
+        threads: usize,
+        schedule: ParSchedule,
+    ) -> Result<DynStats, InterpError> {
         let setup = self.plan(mem, kernel, ndrange, args)?;
         let total = ndrange.total_groups();
         let threads = threads.min(total).max(1);
         if threads <= 1 || crate::analysis::uses_global_atomics(setup.func, self.module) {
             return self.run_groups_seq(mem, &setup, ndrange);
         }
-        self.run_groups_par(mem, &setup, ndrange, threads)
+        match schedule {
+            ParSchedule::Static => self.run_groups_par(mem, &setup, ndrange, threads),
+            ParSchedule::Stealing => self.run_groups_stealing(mem, &setup, ndrange, threads),
+        }
     }
 
     /// [`run_kernel_parallel_with`](Self::run_kernel_parallel_with) using
     /// the host's available parallelism (overridable via the
-    /// `ACCELOS_INTERP_THREADS` environment variable).
+    /// `ACCELOS_INTERP_THREADS` environment variable, or the process-wide
+    /// `ACCELOS_THREADS` shared with the harness's sweep pool).
     ///
     /// # Errors
     ///
@@ -777,6 +832,27 @@ impl<'m> Interpreter<'m> {
         Ok(stats)
     }
 
+    /// Decode a flat group id into 3-D group coordinates. Shared by both
+    /// parallel schedules so the flat ordering cannot drift between them
+    /// (it is what their bit-identity with the sequential `gz/gy/gx`
+    /// loop rests on).
+    fn flat_gid(groups: [usize; 3], flat: usize) -> [usize; 3] {
+        [
+            flat % groups[0],
+            (flat / groups[0]) % groups[1],
+            flat / (groups[0] * groups[1]),
+        ]
+    }
+
+    /// Keep the error of the lowest-numbered failing group — the one the
+    /// sequential interpreter would have stopped at. Shared by both
+    /// parallel schedules.
+    fn keep_lowest_err(first: &mut Option<(usize, InterpError)>, flat: usize, e: InterpError) {
+        if first.as_ref().map(|(f, _)| flat < *f).unwrap_or(true) {
+            *first = Some((flat, e));
+        }
+    }
+
     /// Shard work groups across `threads` OS threads (contiguous flat
     /// ranges, merged in order). Only called once the analysis has proved
     /// the kernel free of global-memory atomics.
@@ -806,11 +882,7 @@ impl<'m> Interpreter<'m> {
                         let mut part = DynStats::default();
                         let mut insns = Vec::with_capacity(hi - lo);
                         for flat in lo..hi {
-                            let gid = [
-                                flat % groups[0],
-                                (flat / groups[0]) % groups[1],
-                                flat / (groups[0] * groups[1]),
-                            ];
+                            let gid = Self::flat_gid(groups, flat);
                             match self.run_work_group(
                                 gmem,
                                 setup,
@@ -835,11 +907,7 @@ impl<'m> Interpreter<'m> {
                         merged.atomic_ops += part.atomic_ops;
                         merged.barriers += part.barriers;
                     }
-                    Err((flat, e)) => {
-                        if first_err.as_ref().map(|(f, _)| flat < *f).unwrap_or(true) {
-                            first_err = Some((flat, e));
-                        }
-                    }
+                    Err((flat, e)) => Self::keep_lowest_err(&mut first_err, flat, e),
                 }
             }
         });
@@ -847,6 +915,91 @@ impl<'m> Interpreter<'m> {
             return Err(e);
         }
         merged.total_insns = merged.insns_per_wg.iter().sum();
+        Ok(merged)
+    }
+
+    /// Shard work groups across `threads` OS threads with an atomic-cursor
+    /// dynamic schedule: each thread repeatedly claims the next
+    /// [`STEAL_RANGE`] flat groups, so a thread that drew cheap groups
+    /// keeps working while another grinds through expensive ones. Only
+    /// called once the analysis has proved the kernel free of
+    /// global-memory atomics.
+    ///
+    /// Bit-identity with [`run_groups_seq`](Self::run_groups_seq): every
+    /// claimed range `[lo, hi)` is owned by exactly one thread, which
+    /// writes `insns_per_wg[lo..hi]` directly into the pre-sized flat
+    /// buffer (the merge is the identity), and the scalar counters are
+    /// order-independent integer sums. `total_insns` is recomputed from
+    /// the flat buffer exactly like the sequential loop does.
+    fn run_groups_stealing(
+        &self,
+        mem: &mut DeviceMemory,
+        setup: &LaunchSetup<'_>,
+        ndrange: NdRange,
+        threads: usize,
+    ) -> Result<DynStats, InterpError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let groups = ndrange.num_groups();
+        let total = ndrange.total_groups();
+        let gmem = GlobalMem::new(mem);
+        let mut insns_per_wg = vec![0u64; total];
+        // One writer per flat index (ranges are claimed exactly once), so
+        // disjoint raw-pointer writes into the pre-sized buffer are safe.
+        let insns = SyncPtr(insns_per_wg.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        let mut merged = DynStats::default();
+        let mut first_err: Option<(usize, InterpError)> = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let gmem = &gmem;
+                    let cursor = &cursor;
+                    let insns = &insns;
+                    scope.spawn(move || {
+                        let mut scratch = WgScratch::default();
+                        let mut part = DynStats::default();
+                        loop {
+                            let lo = cursor.fetch_add(STEAL_RANGE, Ordering::Relaxed);
+                            if lo >= total {
+                                return Ok(part);
+                            }
+                            for flat in lo..(lo + STEAL_RANGE).min(total) {
+                                let gid = Self::flat_gid(groups, flat);
+                                match self.run_work_group(
+                                    gmem,
+                                    setup,
+                                    ndrange,
+                                    gid,
+                                    &mut scratch,
+                                    &mut part,
+                                ) {
+                                    // SAFETY: `flat` lies in a range this
+                                    // thread claimed exclusively; the
+                                    // buffer outlives the scope.
+                                    Ok(n) => unsafe { *insns.0.add(flat) = n },
+                                    Err(e) => return Err((flat, e)),
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join().expect("interpreter worker panicked") {
+                    Ok(part) => {
+                        merged.mem_ops += part.mem_ops;
+                        merged.atomic_ops += part.atomic_ops;
+                        merged.barriers += part.barriers;
+                    }
+                    Err((flat, e)) => Self::keep_lowest_err(&mut first_err, flat, e),
+                }
+            }
+        });
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        merged.total_insns = insns_per_wg.iter().sum();
+        merged.insns_per_wg = insns_per_wg;
         Ok(merged)
     }
 
@@ -1345,15 +1498,30 @@ impl<'a> GlobalMem<'a> {
     }
 }
 
+/// Shared mutable base pointer of the stealing schedule's pre-sized
+/// per-group stats buffer. Writes are disjoint by construction (each flat
+/// index belongs to exactly one claimed range), which is what makes the
+/// `Sync` claim sound.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
 /// Worker threads for [`Interpreter::run_kernel_parallel`]:
-/// `ACCELOS_INTERP_THREADS` if set, else the host's available parallelism.
+/// `ACCELOS_INTERP_THREADS` if set, else the host-wide `ACCELOS_THREADS`
+/// override (shared with the harness's sweep pool), else the host's
+/// available parallelism.
 pub fn default_interp_threads() -> usize {
-    match std::env::var("ACCELOS_INTERP_THREADS") {
-        Ok(v) => v.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    ["ACCELOS_INTERP_THREADS", "ACCELOS_THREADS"]
+        .iter()
+        .find_map(|var| {
+            std::env::var(var)
+                .ok()
+                .map(|v| v.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or(1))
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 fn bounds(storage_len: usize, off: i64, size: usize, what: &str) -> Result<(), InterpError> {
@@ -1931,6 +2099,93 @@ mod tests {
         assert_eq!(mem_seq, mem_par, "device memory must be byte-identical");
         assert_eq!(stats_seq, stats_par, "all DynStats counters must match");
         assert!(Interpreter::new(&m).can_parallelize("scale"));
+    }
+
+    #[test]
+    fn stealing_matches_static_and_sequential() {
+        // 64 groups of wildly different cost (gid-dependent loop trip
+        // counts) so static partitions are imbalanced and stealing really
+        // redistributes ranges — outputs must still be bit-identical.
+        let mut b = FunctionBuilder::new("tri", FunctionKind::Kernel, Type::Void);
+        let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I64));
+        let gid = b.work_item(WiBuiltin::GlobalId, 0);
+        let cell = b.alloca(Type::I64, 1, AddressSpace::Private);
+        let zero = b.const_i64(0);
+        b.store(cell, zero);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.load(cell);
+        let c = b.cmp(CmpOp::Lt, i, gid);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let one = b.const_i64(1);
+        let next = b.bin(BinOp::Add, i, one);
+        b.store(cell, next);
+        b.br(header);
+        b.switch_to(exit);
+        let total = b.load(cell);
+        let p = b.gep(out, gid);
+        b.store(p, total);
+        b.ret(None);
+        let m = module_of(vec![b.finish()]);
+        let run = |sched: Option<ParSchedule>, threads: usize| {
+            let mut mem = DeviceMemory::new();
+            let buf = mem.alloc(8 * 64);
+            let interp = Interpreter::new(&m);
+            let nd = NdRange::new_1d(64, 1);
+            let args = [ArgValue::Buffer(buf)];
+            let stats = match sched {
+                None => interp.run_kernel(&mut mem, "tri", nd, &args).unwrap(),
+                Some(s) => interp
+                    .run_kernel_parallel_sched(&mut mem, "tri", nd, &args, threads, s)
+                    .unwrap(),
+            };
+            (mem, stats)
+        };
+        let seq = run(None, 1);
+        for threads in [2, 3, 4, 8] {
+            let stat = run(Some(ParSchedule::Static), threads);
+            let steal = run(Some(ParSchedule::Stealing), threads);
+            assert_eq!(seq, stat, "static diverged at {threads} threads");
+            assert_eq!(seq, steal, "stealing diverged at {threads} threads");
+        }
+        // The workload really is imbalanced (what stealing exists for).
+        assert!(seq.1.wg_imbalance() > 0.5, "{}", seq.1.wg_imbalance());
+    }
+
+    #[test]
+    fn stealing_reports_the_lowest_failing_group() {
+        // Group `gid` indexes out of bounds once gid >= 24: the parallel
+        // schedules must report the same error the sequential interpreter
+        // stops at (flat group 24, offset 96), not whichever thread
+        // failed first — a later group's out-of-bounds carries a larger
+        // offset, so rendered-message equality pins the selection.
+        let m = scale_kernel();
+        let run = |sched: Option<ParSchedule>| -> InterpError {
+            let mut mem = DeviceMemory::new();
+            let buf = mem.alloc(4 * 24);
+            let interp = Interpreter::new(&m);
+            let nd = NdRange::new_1d(64, 1);
+            let args = [ArgValue::Buffer(buf), ArgValue::Scalar(Value::F32(1.0))];
+            match sched {
+                None => interp.run_kernel(&mut mem, "scale", nd, &args),
+                Some(s) => interp.run_kernel_parallel_sched(&mut mem, "scale", nd, &args, 4, s),
+            }
+            .unwrap_err()
+        };
+        let seq = run(None);
+        assert!(matches!(seq, InterpError::OutOfBounds { .. }), "{seq}");
+        for sched in [ParSchedule::Static, ParSchedule::Stealing] {
+            let err = run(Some(sched));
+            assert_eq!(
+                format!("{err}"),
+                format!("{seq}"),
+                "{sched:?} must report the sequential interpreter's error"
+            );
+        }
     }
 
     #[test]

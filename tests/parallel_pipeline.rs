@@ -17,13 +17,17 @@ use accel_harness::runner::Runner;
 use accel_harness::workloads::SweepConfig;
 use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
-use kernel_ir::interp::{DeviceMemory, DynStats, Interpreter, NdRange};
+use kernel_ir::interp::{DeviceMemory, DynStats, Interpreter, NdRange, ParSchedule};
 use parboil::datasets::prepare_launch;
 use parboil::KernelSpec;
 
 /// Run one Parboil kernel functionally on a fresh context; returns the
-/// final device memory and the dynamic statistics.
-fn run_functional(spec: &KernelSpec, threads: Option<usize>) -> (DeviceMemory, DynStats) {
+/// final device memory and the dynamic statistics. `None` runs the
+/// sequential interpreter; `Some((threads, schedule))` the parallel one.
+fn run_functional(
+    spec: &KernelSpec,
+    exec: Option<(usize, ParSchedule)>,
+) -> (DeviceMemory, DynStats) {
     use clrt::{Context, Platform, Program};
     let mut ctx = Context::new(&Platform::nvidia());
     let program = Program::build(spec.source).expect("bundled kernels compile");
@@ -32,9 +36,11 @@ fn run_functional(spec: &KernelSpec, threads: Option<usize>) -> (DeviceMemory, D
     let args = kernel.resolved_args().expect("args resolved");
     let interp = Interpreter::new(kernel.module());
     let nd: NdRange = prepared.ndrange;
-    let stats = match threads {
+    let stats = match exec {
         None => interp.run_kernel(ctx.memory_mut(), kernel.name(), nd, &args),
-        Some(t) => interp.run_kernel_parallel_with(ctx.memory_mut(), kernel.name(), nd, &args, t),
+        Some((t, sched)) => {
+            interp.run_kernel_parallel_sched(ctx.memory_mut(), kernel.name(), nd, &args, t, sched)
+        }
     }
     .unwrap_or_else(|e| panic!("`{}` failed: {e}", spec.name));
     (ctx.memory_mut().clone(), stats)
@@ -53,18 +59,24 @@ fn parallel_interpreter_matches_sequential_across_parboil() {
             fallback += 1;
         }
         let (mem_seq, stats_seq) = run_functional(spec, None);
-        let (mem_par, stats_par) = run_functional(spec, Some(4));
-        assert_eq!(
-            mem_seq, mem_par,
-            "`{}` device memory diverged between sequential and parallel",
-            spec.name
-        );
-        assert_eq!(
-            stats_seq.total_insns, stats_par.total_insns,
-            "`{}` total_insns diverged",
-            spec.name
-        );
-        assert_eq!(stats_seq, stats_par, "`{}` DynStats diverged", spec.name);
+        for sched in [ParSchedule::Static, ParSchedule::Stealing] {
+            let (mem_par, stats_par) = run_functional(spec, Some((4, sched)));
+            assert_eq!(
+                mem_seq, mem_par,
+                "`{}` device memory diverged between sequential and {sched:?}",
+                spec.name
+            );
+            assert_eq!(
+                stats_seq.total_insns, stats_par.total_insns,
+                "`{}` total_insns diverged under {sched:?}",
+                spec.name
+            );
+            assert_eq!(
+                stats_seq, stats_par,
+                "`{}` DynStats diverged under {sched:?}",
+                spec.name
+            );
+        }
     }
     // The kernel set must exercise both paths for this test to mean
     // anything: regular kernels parallelize, atomic-using kernels (bfs's
@@ -77,6 +89,34 @@ fn parallel_interpreter_matches_sequential_across_parboil() {
         fallback >= 5,
         "only {fallback} kernels exercised the fallback"
     );
+}
+
+#[test]
+fn stealing_matches_sequential_across_thread_counts() {
+    // The kernels whose imbalance motivates the stealing schedule (bfs —
+    // which falls back to sequential execution for its global atomics,
+    // exercising the guard at every thread count — and spmv's skewed
+    // rows) plus a regular dense kernel. 1–8 threads cover the
+    // degenerate single-thread short-circuit, odd partitions and
+    // oversubscription; both schedules must stay bit-identical to the
+    // sequential interpreter throughout.
+    for name in ["bfs", "spmv", "sgemm"] {
+        let spec = KernelSpec::by_name(name).expect("kernel exists");
+        let (mem_seq, stats_seq) = run_functional(spec, None);
+        for threads in [1usize, 2, 3, 5, 8] {
+            for sched in [ParSchedule::Static, ParSchedule::Stealing] {
+                let (mem, stats) = run_functional(spec, Some((threads, sched)));
+                assert_eq!(
+                    mem_seq, mem,
+                    "`{name}` memory diverged under {sched:?} at {threads} threads"
+                );
+                assert_eq!(
+                    stats_seq, stats,
+                    "`{name}` stats diverged under {sched:?} at {threads} threads"
+                );
+            }
+        }
+    }
 }
 
 #[test]

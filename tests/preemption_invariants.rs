@@ -158,6 +158,39 @@ proptest! {
         }
     }
 
+    /// The ready-set index must place elastic growth on exactly the CU
+    /// the historical linear scan would pick, no matter how random
+    /// reclaims, pauses and resumes churn the CU queues and slots. The
+    /// traced reports capture every work-group start's CU, so equality
+    /// here pins every placement decision, not just the end state.
+    #[test]
+    fn indexed_placement_matches_linear_scan_under_preemption(seed in 0u64..10_000) {
+        let (launches, reclaims, resumes) = random_episode(seed);
+        let run = |linear: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            if linear {
+                sim = sim.with_linear_placement();
+            }
+            for l in launches.iter().cloned() {
+                sim.add_launch(l);
+            }
+            for r in &reclaims {
+                sim.add_reclaim(*r);
+            }
+            for r in &resumes {
+                sim.add_resume(*r);
+            }
+            sim.run()
+        };
+        prop_assert_eq!(
+            run(false),
+            run(true),
+            "ready-set index diverged from the linear scan (reclaims: {:?}, resumes: {:?})",
+            reclaims,
+            resumes
+        );
+    }
+
     /// (b) No CU slot or thread is double-booked across a reclamation or
     /// a pause/resume cycle: replaying the trace, per-CU occupancy stays
     /// within the device's budget and never goes negative (a freed slot

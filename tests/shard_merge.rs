@@ -1,0 +1,133 @@
+//! Shard correctness: `repro --shard i/n` partitioning + `merge` must
+//! reproduce the unsharded sweep bit-for-bit, and the streaming fold
+//! behind both must stay differentially pinned against `sweep_seq`.
+//!
+//! The in-process tests here run a default-shaped grid small enough for
+//! debug builds; CI additionally drives the release `repro` binary at
+//! the true default scale (2 shards + merge, stdout diffed against the
+//! unsharded run).
+
+use accel_harness::experiments::{sweep, sweep_seq, sweep_with_stats};
+use accel_harness::runner::Runner;
+use accel_harness::shard::{
+    compute_shard, merge_shards, parse_shard_file, render_shard_file, ShardFile, ShardSpec,
+    REQUEST_SIZES,
+};
+use accel_harness::workloads::SweepConfig;
+use accelos::policy::PolicySet;
+use gpu_sim::DeviceConfig;
+
+/// Force a real 4-thread pool exactly once, before any test spawns sweep
+/// workers. Tests of this binary run on parallel threads, so a plain
+/// `set_var` per test would race `getenv` calls from a sibling test's
+/// pool (undefined behavior on glibc); the `Once` confines the single
+/// `set_var` to a window where every other test is still blocked on
+/// `call_once`.
+fn force_pool() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+}
+
+fn mid_scale() -> SweepConfig {
+    // Same shape as the default scale (pairs-heavy, multiple reps),
+    // shrunk so the doubled work (4 shards + the unsharded reference)
+    // stays debug-build friendly.
+    SweepConfig {
+        pairs: 64,
+        n4: 24,
+        n8: 16,
+        reps: 2,
+        seed: 2016,
+    }
+}
+
+#[test]
+fn four_way_shard_merge_is_bit_identical_to_the_unsharded_sweep() {
+    force_pool();
+    let runner = Runner::new(DeviceConfig::k20m());
+    let cfg = mid_scale();
+    let set = PolicySet::paper();
+    // Every shard goes through the *serialized* representation, so the
+    // bit-exact float encoding is part of what is being pinned.
+    let files: Vec<ShardFile> = (0..4)
+        .map(|index| {
+            let spec = ShardSpec { index, count: 4 };
+            let devices = vec![compute_shard(&runner, &set, &cfg, spec)];
+            let text = render_shard_file(spec, &cfg, &devices);
+            parse_shard_file(&text).expect("round-trips")
+        })
+        .collect();
+    let merged = merge_shards(&files).expect("complete disjoint cover");
+    assert_eq!(merged.len(), 1, "one device swept");
+    let (device, sizes) = &merged[0];
+    assert_eq!(sizes.len(), REQUEST_SIZES.len());
+    for sw in sizes {
+        let unsharded = sweep(&runner, &set, &cfg, sw.request_size);
+        assert_eq!(device, &unsharded.device);
+        assert_eq!(
+            *sw, unsharded,
+            "merged {}-request sweep diverged from the unsharded run",
+            sw.request_size
+        );
+    }
+}
+
+#[test]
+fn streaming_fold_is_pinned_against_sweep_seq() {
+    // A real pool, so out-of-order unit completion exercises the fold's
+    // reorder window rather than the single-thread fast path.
+    force_pool();
+    let runner = Runner::new(DeviceConfig::k20m());
+    let cfg = SweepConfig {
+        pairs: 10,
+        n4: 6,
+        n8: 4,
+        reps: 3,
+        seed: 7,
+    };
+    let set = PolicySet::paper();
+    for rq in REQUEST_SIZES {
+        let (streamed, stats) = sweep_with_stats(&runner, &set, &cfg, rq);
+        let reference = sweep_seq(&runner, &set, &cfg, rq);
+        assert_eq!(streamed, reference, "{rq}-request fold diverged");
+        // The fold never holds the whole grid: the historical buffered
+        // fold's footprint was `units`; the reorder window's high-water
+        // mark must stay strictly below it (0 when nothing overtakes).
+        assert_eq!(stats.units, cfg.workloads(rq).len() * cfg.reps as usize);
+        assert!(
+            stats.peak_buffered < stats.units,
+            "reorder window {} should stay below the grid size {}",
+            stats.peak_buffered,
+            stats.units
+        );
+    }
+}
+
+#[test]
+fn shard_seeds_come_from_global_indices() {
+    force_pool();
+    // A 2-way shard of a grid and the unsharded metrics of the same
+    // cells must agree cell-by-cell — this is the property (`rep_seed`
+    // derives from the global index, never from iteration order) that
+    // makes the partition order-free.
+    let runner = Runner::new(DeviceConfig::k20m());
+    let cfg = SweepConfig {
+        pairs: 9,
+        n4: 5,
+        n8: 3,
+        reps: 2,
+        seed: 99,
+    };
+    let set = PolicySet::parse("accelos,accelos-guided").unwrap();
+    let full = sweep(&runner, &set, &cfg, 2);
+    for index in 0..2 {
+        let spec = ShardSpec { index, count: 2 };
+        let shard = compute_shard(&runner, &set, &cfg, spec);
+        for (gi, metrics) in &shard.sweeps[0].cells {
+            assert_eq!(
+                metrics, &full.workloads[*gi],
+                "cell {gi} of shard {index}/2 diverged from the unsharded sweep"
+            );
+        }
+    }
+}
