@@ -1,0 +1,204 @@
+//! `bench_pr6` — record the PR-6 perf-trajectory point: what the fault
+//! plane costs when nothing fails, and what recovery costs when things do.
+//!
+//! * **Overhead leg** — the mixed-priority preemptive episode run through
+//!   the pre-fault-plane path (`preemptive_report`) and through the fault
+//!   plane with an **empty** `FaultPlan` (`faulty_report`). The reports
+//!   are asserted bit-identical (the zero-fault identity the golden
+//!   snapshots rely on) before both paths are timed; the recorded
+//!   overhead is the price every healthy run pays for the plumbing.
+//! * **Recovery leg** — the same episode under seeded fault plans of
+//!   growing size (1/2/4 CU failures plus stragglers, the `repro faults`
+//!   shape). Every run asserts the conservation witness (no aborts, every
+//!   launch completes its full plan, `groups_retried == chunks_lost`)
+//!   and records makespan degradation and recovery latency
+//!   (`sched-metrics`) next to the wall-clock cost of simulating the
+//!   faulty machine.
+//!
+//! The record lands in `BENCH_pr6.json` (CWD) with the host's thread
+//! count, like every `BENCH_pr*.json` trajectory point.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr6 [--smoke]`
+//! (`--smoke` runs fewer repetitions for CI and skips the JSON file).
+
+use accel_bench::k20m_runner;
+use accel_harness::experiments::priority_workload;
+use accelos::policy::PriorityPolicy;
+use gpu_sim::{FaultPlan, FaultSpec, SimReport};
+use sched_metrics::{fault_degradation, recovery_latency};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Same episode (workload, arrival rule, seed) as `repro priority`,
+/// `repro faults` and `examples/fault_recovery.rs`.
+const SEED: u64 = 2016;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+struct RecoveryRow {
+    cu_failures: usize,
+    faults_injected: u64,
+    ms: f64,
+    makespan: u64,
+    degradation: f64,
+    recovery_latency: u64,
+    chunks_lost: u64,
+    groups_retried: u64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let reps = if smoke { 3 } else { 20 };
+
+    let runner = k20m_runner();
+    let num_cus = runner.device().num_cus;
+    let policy = PriorityPolicy::default();
+    let workload = priority_workload();
+    let t_batch = runner.isolated_time(&policy, workload[1], SEED);
+    let arrivals = vec![t_batch / 4, 0, 0];
+    let ctx = runner.rep_context(&workload, SEED);
+    let (launches, _, _) = runner.launches_preemptive(&ctx, &policy, &arrivals);
+
+    // ---- Leg 1: fault-free overhead ----------------------------------
+    // The zero-fault identity first: the empty plan must not perturb a
+    // single byte of the report, or every golden snapshot would drift.
+    let clean = runner.preemptive_report(&ctx, &policy, &arrivals);
+    let empty = FaultPlan::default();
+    let via_fault_plane = runner.faulty_report(&ctx, &policy, &arrivals, &empty);
+    assert_eq!(
+        clean, via_fault_plane,
+        "empty FaultPlan must be the identity"
+    );
+    assert_eq!(
+        format!("{clean:?}"),
+        format!("{via_fault_plane:?}"),
+        "zero-fault debug rendering must match (golden snapshot format)"
+    );
+    let (_, base_ms) = time(|| {
+        for _ in 0..reps {
+            std::hint::black_box(runner.preemptive_report(&ctx, &policy, &arrivals));
+        }
+    });
+    let (_, plumbed_ms) = time(|| {
+        for _ in 0..reps {
+            std::hint::black_box(runner.faulty_report(&ctx, &policy, &arrivals, &empty));
+        }
+    });
+    let overhead_pct = (plumbed_ms / base_ms - 1.0) * 100.0;
+    println!(
+        "fault-free: {reps} reps, preemptive_report {base_ms:.1} ms, \
+         faulty_report(empty) {plumbed_ms:.1} ms ({overhead_pct:+.1}% overhead), \
+         reports bit-identical"
+    );
+
+    // ---- Leg 2: recovery under growing fault plans -------------------
+    let horizon = clean.total_time();
+    let clean_makespan = clean.total_time();
+    let mut rows = Vec::new();
+    for &n in &[1usize, 2, 4] {
+        let spec = FaultSpec {
+            horizon,
+            cu_failures: n,
+            repair_delay: Some(horizon / 4),
+            stragglers: n / 2,
+            slowdown: 3.0,
+            straggler_window: horizon / 8,
+            aborts: 0,
+        };
+        let plan =
+            FaultPlan::from_spec(&spec, num_cus, workload.len(), SEED.wrapping_add(n as u64));
+        let first_fault = plan.events.first().map(|e| e.at).unwrap_or(0);
+        let (faulty, ms): (SimReport, f64) =
+            time(|| runner.faulty_report(&ctx, &policy, &arrivals, &plan));
+        let (mut lost, mut retried) = (0u64, 0u64);
+        for (k, launch) in faulty.kernels.iter().zip(&launches) {
+            assert!(
+                !k.aborted,
+                "{}: no aborts are scheduled in this leg",
+                k.name
+            );
+            assert_eq!(
+                k.groups_executed as u64,
+                launch.plan.total_groups(),
+                "{}: a faulty run must still complete its full plan",
+                k.name
+            );
+            lost += k.chunks_lost as u64;
+            retried += k.groups_retried as u64;
+        }
+        assert_eq!(retried, lost, "every lost group re-executes exactly once");
+        let row = RecoveryRow {
+            cu_failures: n,
+            faults_injected: faulty.faults_injected as u64,
+            ms,
+            makespan: faulty.total_time(),
+            degradation: fault_degradation(clean_makespan, faulty.total_time()),
+            recovery_latency: recovery_latency(first_fault, faulty.total_time()),
+            chunks_lost: lost,
+            groups_retried: retried,
+        };
+        println!(
+            "recovery: {} CU failures ({} faults injected): {:.1} ms, makespan {} \
+             ({:.2}x clean), recovery latency {}, {} lost == {} retried",
+            row.cu_failures,
+            row.faults_injected,
+            row.ms,
+            row.makespan,
+            row.degradation,
+            row.recovery_latency,
+            row.chunks_lost,
+            row.groups_retried
+        );
+        rows.push(row);
+    }
+
+    if smoke {
+        println!("smoke mode: both legs ran and verified; BENCH_pr6.json not written");
+        return;
+    }
+
+    // ---- Record ------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 6,\n");
+    json.push_str(
+        "  \"bench\": \"fault plane: zero-fault overhead + seeded CU-failure recovery\",\n",
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"fault_free\": {{ \"reps\": {reps}, \"preemptive_ms\": {base_ms:.2}, \
+         \"empty_fault_plan_ms\": {plumbed_ms:.2}, \"overhead_pct\": {overhead_pct:.2}, \
+         \"bit_identical\": true }},"
+    );
+    let _ = writeln!(json, "  \"clean_makespan\": {clean_makespan},");
+    json.push_str("  \"recovery\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"cu_failures\": {}, \"faults_injected\": {}, \"sim_ms\": {:.2}, \
+             \"makespan\": {}, \"degradation\": {:.4}, \"recovery_latency\": {}, \
+             \"chunks_lost\": {}, \"groups_retried\": {}, \"conserved\": true }}",
+            r.cu_failures,
+            r.faults_injected,
+            r.ms,
+            r.makespan,
+            r.degradation,
+            r.recovery_latency,
+            r.chunks_lost,
+            r.groups_retried
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    println!("wrote BENCH_pr6.json");
+}

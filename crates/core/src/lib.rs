@@ -69,11 +69,12 @@ pub mod vrange;
 pub use chunk::{chunk_for, Mode};
 pub use jit::{transform_module, TransformInfo, TransformedProgram};
 pub use policy::{
-    plan_with_arrivals, AccelOsPolicy, ArrivalPlan, ArrivalSchedule, BaselinePolicy,
-    ElasticKernelsPolicy, GuidedPolicy, PlanCtx, PolicySet, PriorityPolicy, SchedulingPolicy,
-    TimedReclaim, WeightedPolicy, WorkerReclaim,
+    plan_with_arrivals, plan_with_arrivals_and_faults, AccelOsPolicy, ArrivalPlan, ArrivalSchedule,
+    BaselinePolicy, ElasticKernelsPolicy, FaultSchedule, GuidedPolicy, PlanCtx, PolicyFault,
+    PolicyFaultKind, PolicySet, PriorityPolicy, SchedulingPolicy, TimedReclaim, WeightedPolicy,
+    WorkerReclaim,
 };
-pub use proxycl::{PendingExec, ProxyCl, ProxyProgram};
+pub use proxycl::{PendingExec, ProxyCl, ProxyProgram, RetryPolicy};
 pub use resource::{compute_shares, compute_weighted_shares, ResourceDemand, ShareAllocation};
 pub use scheduler::{plan_launches, DecisionKind, ExecRequest, LaunchDecision};
 pub use vrange::VirtualNdRange;

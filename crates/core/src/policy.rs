@@ -221,6 +221,13 @@ pub struct WorkerReclaim {
     /// issuing one must pair it with a [`WorkerResume`] so the victim is
     /// guaranteed to wake when the pressuring tenant retires.
     pub workers: u32,
+    /// Batch index of the tenant this reclamation makes room for, if any.
+    /// The timing plane tags the resulting [`gpu_sim::ReclaimCmd`] with
+    /// it, scoping the command to the pressuring tenant: should it land
+    /// after that tenant retired (or aborted), the simulator voids it
+    /// outright. Preemptive policies set it to their anchor tenant;
+    /// fault-reaction reclaims (no single beneficiary) leave it `None`.
+    pub pressure: Option<usize>,
 }
 
 /// A directive to **resume** a paused (or shrunk) launch when the
@@ -363,7 +370,11 @@ fn premium_preempt<P: SchedulingPolicy + ?Sized>(
             }
             floor
         };
-        reclaims.push(WorkerReclaim { index: i, workers });
+        reclaims.push(WorkerReclaim {
+            index: i,
+            workers,
+            pressure: Some(anchor),
+        });
     }
     ArrivalPlan {
         decisions,
@@ -397,6 +408,123 @@ fn equal_share_plan(ctx: &PlanCtx, requests: &[ExecRequest]) -> Vec<LaunchDecisi
         .iter()
         .zip(&alloc.wgs_per_kernel)
         .map(|(req, &workers)| chunked_decision(req, workers))
+        .collect()
+}
+
+/// How an injected fault looks from the policy plane. The timing-plane
+/// detail (which CU, which repair time) stays below in
+/// [`gpu_sim::FaultKind`]; a policy only cares about what changed for
+/// *planning*: the device shrank, or a tenant died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyFaultKind {
+    /// The device permanently lost `cus_lost` compute units (CU failures
+    /// without a repair time). Survivor shares should be re-planned
+    /// against the degraded capacity.
+    CapacityLoss {
+        /// Number of compute units gone for good.
+        cus_lost: usize,
+    },
+    /// Request `index`'s launch was killed mid-flight. The dead tenant
+    /// leaves the running set; survivors may spread into its share
+    /// (elastic growth does this without any reclaim directives).
+    Abort {
+        /// Batch index of the killed request.
+        index: usize,
+    },
+}
+
+/// One policy-visible fault at a known device time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyFault {
+    /// Device time the fault strikes.
+    pub at: u64,
+    /// What changed.
+    pub kind: PolicyFaultKind,
+}
+
+/// The faults a planning pass should rehearse, in any order (the planner
+/// sorts by time). Built by hand in tests, or projected from a
+/// [`gpu_sim::FaultPlan`] via [`FaultSchedule::from_fault_plan`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// The policy-visible faults.
+    pub faults: Vec<PolicyFault>,
+}
+
+impl FaultSchedule {
+    /// Whether the schedule carries no faults (the planner's fast path:
+    /// an empty schedule leaves [`plan_with_arrivals_and_faults`]
+    /// bit-identical to [`plan_with_arrivals`]).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Project a simulator fault plan onto the policy plane: permanent CU
+    /// failures become [`PolicyFaultKind::CapacityLoss`] (one unit per
+    /// distinct CU), kernel aborts become [`PolicyFaultKind::Abort`].
+    /// Transients — stragglers and repairable failures — are dropped:
+    /// planning reacts to lasting capacity changes, the simulator handles
+    /// the wobble.
+    pub fn from_fault_plan(plan: &gpu_sim::FaultPlan) -> Self {
+        let mut faults = Vec::new();
+        let mut seen_cus = Vec::new();
+        for e in &plan.events {
+            match e.kind {
+                gpu_sim::FaultKind::CuFailure {
+                    cu,
+                    repair_at: None,
+                } if !seen_cus.contains(&cu) => {
+                    seen_cus.push(cu);
+                    faults.push(PolicyFault {
+                        at: e.at,
+                        kind: PolicyFaultKind::CapacityLoss { cus_lost: 1 },
+                    });
+                }
+                gpu_sim::FaultKind::KernelAbort { launch } => {
+                    faults.push(PolicyFault {
+                        at: e.at,
+                        kind: PolicyFaultKind::Abort {
+                            index: launch.0 as usize,
+                        },
+                    });
+                }
+                _ => {}
+            }
+        }
+        FaultSchedule { faults }
+    }
+}
+
+/// The default fault reaction: scale every survivor's width by the
+/// surviving capacity fraction, so each tenant keeps its *current*
+/// share of a smaller machine — whatever allocation the policy granted
+/// it (priority boosts included) shrinks proportionally rather than
+/// being re-derived from scratch. Only *shrinks* are emitted — a
+/// survivor whose share grew regrows elastically through `max_workers`,
+/// no directive needed — so a fault that frees capacity (an abort)
+/// reclaims nothing.
+fn scale_survivors_to_capacity(
+    ctx: &PlanCtx,
+    survivors: &[usize],
+    fault: &PolicyFault,
+    survivor_widths: &[u32],
+) -> Vec<WorkerReclaim> {
+    let PolicyFaultKind::CapacityLoss { cus_lost } = fault.kind else {
+        return Vec::new();
+    };
+    let total = ctx.device().num_cus.max(1);
+    let surviving = total.saturating_sub(cus_lost).max(1);
+    survivors
+        .iter()
+        .zip(survivor_widths)
+        .filter_map(|(&i, &w)| {
+            let scaled = ((w as u64 * surviving as u64 / total as u64) as u32).max(1);
+            (scaled < w).then_some(WorkerReclaim {
+                index: i,
+                workers: scaled,
+                pressure: None,
+            })
+        })
         .collect()
 }
 
@@ -497,6 +625,30 @@ pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
     /// work.
     fn reclaim(&self, _ctx: &PlanCtx, _requests: &[ExecRequest], _index: usize) -> u32 {
         1
+    }
+
+    /// React to an injected fault striking the running tenancy at plan
+    /// time: `survivors` (indices into `requests`) are the launches still
+    /// alive after the fault, holding `survivor_widths` workers each.
+    /// Returns reclaim directives re-shaping the survivors — the
+    /// fault-plane mirror of [`SchedulingPolicy::on_arrival`], driven by
+    /// [`plan_with_arrivals_and_faults`].
+    ///
+    /// The default scales every survivor's current width by the
+    /// surviving capacity fraction — the policy's own allocation shape
+    /// (priority boosts, weights, floors) is preserved, just on a
+    /// smaller machine — and emits only the shrinks; growth is left to
+    /// elastic regrowth. Like `on_arrival`, implementations must not
+    /// query the session caches with subset demands.
+    fn on_fault(
+        &self,
+        ctx: &PlanCtx,
+        _requests: &[ExecRequest],
+        survivors: &[usize],
+        fault: &PolicyFault,
+        survivor_widths: &[u32],
+    ) -> Vec<WorkerReclaim> {
+        scale_survivors_to_capacity(ctx, survivors, fault, survivor_widths)
     }
 
     /// Which request indices this policy will query the planning
@@ -917,6 +1069,23 @@ impl SchedulingPolicy for PriorityPolicy {
             &|i| self.is_premium(i),
         )
     }
+
+    /// Capacity loss is absorbed by the batch tenants: premium survivors
+    /// keep their width (the whole point of paying for priority), only
+    /// batch survivors scale down with the shrunken machine.
+    fn on_fault(
+        &self,
+        ctx: &PlanCtx,
+        _requests: &[ExecRequest],
+        survivors: &[usize],
+        fault: &PolicyFault,
+        survivor_widths: &[u32],
+    ) -> Vec<WorkerReclaim> {
+        scale_survivors_to_capacity(ctx, survivors, fault, survivor_widths)
+            .into_iter()
+            .filter(|r| !self.is_premium(r.index))
+            .collect()
+    }
 }
 
 /// Deadline-aware preemption: reclaim **just enough** width from batch
@@ -1121,6 +1290,7 @@ impl SchedulingPolicy for DeadlinePolicy {
             reclaims.push(WorkerReclaim {
                 index: i,
                 workers: width - take as u32,
+                pressure: Some(deadlined),
             });
         }
         let decisions = arriving
@@ -1261,6 +1431,11 @@ pub struct TimedReclaim {
     pub index: usize,
     /// Worker count the launch keeps (0 = resumable full pause).
     pub workers: u32,
+    /// Batch index of the pressuring tenant, carried through from
+    /// [`WorkerReclaim::pressure`]: the timing plane tags the
+    /// [`gpu_sim::ReclaimCmd`] with it so a command landing after its
+    /// tenant retired is void.
+    pub pressure: Option<usize>,
 }
 
 /// One planned resumption of an [`ArrivalSchedule`]: unlike a
@@ -1321,18 +1496,86 @@ pub fn plan_with_arrivals(
     requests: &[ExecRequest],
     arrivals: &[u64],
 ) -> ArrivalSchedule {
+    plan_with_arrivals_and_faults(policy, ctx, requests, arrivals, &FaultSchedule::default())
+}
+
+/// Apply one policy-visible fault inside
+/// [`plan_with_arrivals_and_faults`]: mark an aborted tenant dead, hand
+/// the survivors to [`SchedulingPolicy::on_fault`], and collect its
+/// reclaim directives with the fault time attached.
+#[allow(clippy::too_many_arguments)]
+fn apply_planned_fault(
+    policy: &dyn SchedulingPolicy,
+    ctx: &PlanCtx,
+    requests: &[ExecRequest],
+    fault: &PolicyFault,
+    running: &[usize],
+    widths: &mut [u32],
+    dead: &mut [bool],
+    reclaims: &mut Vec<TimedReclaim>,
+) {
+    if let PolicyFaultKind::Abort { index } = fault.kind {
+        assert!(
+            index < requests.len(),
+            "fault aborts unknown request {index}"
+        );
+        dead[index] = true;
+    }
+    let survivors: Vec<usize> = running.iter().copied().filter(|&i| !dead[i]).collect();
+    if survivors.is_empty() {
+        return;
+    }
+    let survivor_widths: Vec<u32> = survivors.iter().map(|&i| widths[i]).collect();
+    for r in policy.on_fault(ctx, requests, &survivors, fault, &survivor_widths) {
+        assert!(
+            survivors.contains(&r.index),
+            "fault reclaim must target a surviving launch"
+        );
+        widths[r.index] = widths[r.index].min(r.workers);
+        reclaims.push(TimedReclaim {
+            at: fault.at,
+            index: r.index,
+            workers: r.workers,
+            pressure: r.pressure,
+        });
+    }
+}
+
+/// [`plan_with_arrivals`] with a [`FaultSchedule`] rehearsed into the
+/// plan: faults are interleaved with arrival cohorts in time order (a
+/// fault tied with a cohort fires after it — the arrivals were already in
+/// flight), each one driving [`SchedulingPolicy::on_fault`] over the
+/// tenants admitted and still alive at that instant. An **empty**
+/// schedule takes the exact arrival-only path, so fault-free plans are
+/// bit-identical to [`plan_with_arrivals`].
+///
+/// # Panics
+///
+/// Panics as [`plan_with_arrivals`] does, or if a fault aborts an unknown
+/// request / a policy's fault reclaims target non-surviving launches.
+pub fn plan_with_arrivals_and_faults(
+    policy: &dyn SchedulingPolicy,
+    ctx: &PlanCtx,
+    requests: &[ExecRequest],
+    arrivals: &[u64],
+    faults: &FaultSchedule,
+) -> ArrivalSchedule {
     assert_eq!(requests.len(), arrivals.len(), "one arrival per request");
     assert!(!requests.is_empty(), "need at least one request");
     let mut times: Vec<u64> = arrivals.to_vec();
     times.sort_unstable();
     times.dedup();
-    if times.len() == 1 {
+    if times.len() == 1 && faults.is_empty() {
         return ArrivalSchedule {
             decisions: policy.plan(ctx, requests),
             reclaims: Vec::new(),
             resumes: Vec::new(),
         };
     }
+    let mut fs: Vec<PolicyFault> = faults.faults.clone();
+    fs.sort_by_key(|f| f.at);
+    let mut fi = 0usize;
+    let mut dead: Vec<bool> = vec![false; requests.len()];
     let mut decisions: Vec<Option<LaunchDecision>> = vec![None; requests.len()];
     // Current worker width per request: planned width minus any later
     // reclamations — what `on_arrival` receives as `running_widths` so a
@@ -1344,10 +1587,31 @@ pub fn plan_with_arrivals(
     let mut reclaims = Vec::new();
     let mut resumes = Vec::new();
     for (cohort, &t) in times.iter().enumerate() {
+        while fi < fs.len() && fs[fi].at < t {
+            apply_planned_fault(
+                policy,
+                ctx,
+                requests,
+                &fs[fi],
+                &running,
+                &mut widths,
+                &mut dead,
+                &mut reclaims,
+            );
+            fi += 1;
+        }
         let arriving: Vec<usize> = (0..requests.len()).filter(|&i| arrivals[i] == t).collect();
         if cohort == 0 {
-            let subset: Vec<ExecRequest> = arriving.iter().map(|&i| requests[i].clone()).collect();
-            let planned = policy.plan(&PlanCtx::new(ctx.device()), &subset);
+            // A lone cohort is the whole batch: plan it with the session
+            // context, exactly as the fault-free fast path does, so the
+            // decisions match it bit for bit.
+            let planned = if times.len() == 1 {
+                policy.plan(ctx, requests)
+            } else {
+                let subset: Vec<ExecRequest> =
+                    arriving.iter().map(|&i| requests[i].clone()).collect();
+                policy.plan(&PlanCtx::new(ctx.device()), &subset)
+            };
             for (&i, d) in arriving.iter().zip(planned) {
                 widths[i] = d.workers;
                 decisions[i] = Some(d);
@@ -1374,6 +1638,7 @@ pub fn plan_with_arrivals(
                     at: t,
                     index: r.index,
                     workers: r.workers,
+                    pressure: r.pressure,
                 });
             }
             for r in plan.resumes {
@@ -1393,6 +1658,20 @@ pub fn plan_with_arrivals(
             }
         }
         running.extend(arriving);
+    }
+    // Faults striking after the last arrival.
+    while fi < fs.len() {
+        apply_planned_fault(
+            policy,
+            ctx,
+            requests,
+            &fs[fi],
+            &running,
+            &mut widths,
+            &mut dead,
+            &mut reclaims,
+        );
+        fi += 1;
     }
     ArrivalSchedule {
         decisions: decisions
@@ -1758,11 +2037,13 @@ mod tests {
             vec![
                 WorkerReclaim {
                     index: 1,
-                    workers: 1
+                    workers: 1,
+                    pressure: Some(0)
                 },
                 WorkerReclaim {
                     index: 2,
-                    workers: 1
+                    workers: 1,
+                    pressure: Some(0)
                 },
             ]
         );
@@ -1814,12 +2095,14 @@ mod tests {
                 TimedReclaim {
                     at: 5_000,
                     index: 1,
-                    workers: 1
+                    workers: 1,
+                    pressure: Some(0)
                 },
                 TimedReclaim {
                     at: 5_000,
                     index: 2,
-                    workers: 1
+                    workers: 1,
+                    pressure: Some(0)
                 },
             ]
         );
@@ -1952,11 +2235,13 @@ mod tests {
             vec![
                 WorkerReclaim {
                     index: 1,
-                    workers: 1
+                    workers: 1,
+                    pressure: Some(0)
                 },
                 WorkerReclaim {
                     index: 2,
-                    workers: 1
+                    workers: 1,
+                    pressure: Some(0)
                 },
             ]
         );
@@ -1984,11 +2269,13 @@ mod tests {
             vec![
                 WorkerReclaim {
                     index: 1,
-                    workers: 4
+                    workers: 4,
+                    pressure: Some(0)
                 },
                 WorkerReclaim {
                     index: 2,
-                    workers: 0
+                    workers: 0,
+                    pressure: Some(0)
                 },
             ]
         );
@@ -2018,12 +2305,14 @@ mod tests {
                 TimedReclaim {
                     at: 5_000,
                     index: 1,
-                    workers: 2
+                    workers: 2,
+                    pressure: Some(0)
                 },
                 TimedReclaim {
                     at: 5_000,
                     index: 2,
-                    workers: 0
+                    workers: 0,
+                    pressure: Some(0)
                 },
             ]
         );
@@ -2037,5 +2326,198 @@ mod tests {
                 workers: pair[1].workers
             }]
         );
+    }
+
+    #[test]
+    fn default_on_fault_scales_survivors_to_capacity() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = AccelOsPolicy::optimized();
+        let widths: Vec<u32> = policy
+            .plan(&ctx, &requests)
+            .iter()
+            .map(|d| d.workers)
+            .collect();
+
+        // Half the CUs die: every survivor is shrunk proportionally to
+        // the surviving capacity, untagged (no single tenant benefits).
+        let loss = PolicyFault {
+            at: 3_000,
+            kind: PolicyFaultKind::CapacityLoss {
+                cus_lost: dev.num_cus / 2,
+            },
+        };
+        let reclaims = policy.on_fault(&ctx, &requests, &[0, 1, 2], &loss, &widths);
+        assert_eq!(reclaims.len(), 3);
+        for (r, &w) in reclaims.iter().zip(&widths) {
+            assert!(r.workers < w, "degraded share {} < width {w}", r.workers);
+            assert_eq!(r.pressure, None);
+        }
+
+        // An abort frees capacity: survivor shares only grow, so no
+        // shrink directives are emitted (regrowth is elastic).
+        let abort = PolicyFault {
+            at: 3_000,
+            kind: PolicyFaultKind::Abort { index: 2 },
+        };
+        let survivor_widths = [widths[0], widths[1]];
+        assert!(policy
+            .on_fault(&ctx, &requests, &[0, 1], &abort, &survivor_widths)
+            .is_empty());
+    }
+
+    #[test]
+    fn priority_on_fault_exempts_premium_tenants() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = PriorityPolicy::default();
+        let loss = PolicyFault {
+            at: 3_000,
+            kind: PolicyFaultKind::CapacityLoss {
+                cus_lost: dev.num_cus / 2,
+            },
+        };
+        // Widths large enough that proportional scaling would shrink
+        // every survivor under the default hook.
+        let widths = [64, 64, 64];
+        let reclaims = policy.on_fault(&ctx, &requests, &[0, 1, 2], &loss, &widths);
+        // The premium tenant (index 0) keeps its width; only the batch
+        // tenants absorb the capacity loss.
+        assert_eq!(reclaims.len(), 2);
+        for r in &reclaims {
+            assert!(r.index == 1 || r.index == 2, "premium shrunk: {r:?}");
+            assert!(r.workers < 64);
+            assert_eq!(r.pressure, None);
+        }
+    }
+
+    #[test]
+    fn fault_schedule_projects_sim_plans() {
+        use gpu_sim::{FaultEvent, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 100,
+                kind: FaultKind::CuFailure {
+                    cu: 3,
+                    repair_at: None,
+                },
+            },
+            // Duplicate failure of a dead CU: no further capacity change.
+            FaultEvent {
+                at: 200,
+                kind: FaultKind::CuFailure {
+                    cu: 3,
+                    repair_at: None,
+                },
+            },
+            // Transients are the simulator's business, not the planner's.
+            FaultEvent {
+                at: 300,
+                kind: FaultKind::CuFailure {
+                    cu: 1,
+                    repair_at: Some(900),
+                },
+            },
+            FaultEvent {
+                at: 400,
+                kind: FaultKind::Straggler {
+                    cu: 0,
+                    factor: 2.0,
+                    until: 800,
+                },
+            },
+            FaultEvent {
+                at: 500,
+                kind: FaultKind::KernelAbort {
+                    launch: gpu_sim::LaunchId(1),
+                },
+            },
+        ]);
+        let sched = FaultSchedule::from_fault_plan(&plan);
+        assert_eq!(
+            sched.faults,
+            vec![
+                PolicyFault {
+                    at: 100,
+                    kind: PolicyFaultKind::CapacityLoss { cus_lost: 1 }
+                },
+                PolicyFault {
+                    at: 500,
+                    kind: PolicyFaultKind::Abort { index: 1 }
+                },
+            ]
+        );
+        assert!(FaultSchedule::from_fault_plan(&FaultPlan::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = PriorityPolicy::default();
+        let arrivals = [5_000, 0, 0];
+        let plain = plan_with_arrivals(&policy, &ctx, &requests, &arrivals);
+        let faulty = plan_with_arrivals_and_faults(
+            &policy,
+            &ctx,
+            &requests,
+            &arrivals,
+            &FaultSchedule::default(),
+        );
+        assert_eq!(plain, faulty);
+        // The simultaneous batch takes the fast path in both planners.
+        let both = plan_with_arrivals_and_faults(
+            &policy,
+            &ctx,
+            &requests,
+            &[0; 3],
+            &FaultSchedule::default(),
+        );
+        assert_eq!(both, plan_with_arrivals(&policy, &ctx, &requests, &[0; 3]));
+    }
+
+    #[test]
+    fn planned_faults_emit_timed_reclaims_for_survivors_only() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let policy = AccelOsPolicy::optimized();
+        let sched = FaultSchedule {
+            faults: vec![
+                PolicyFault {
+                    at: 2_000,
+                    kind: PolicyFaultKind::Abort { index: 1 },
+                },
+                PolicyFault {
+                    at: 6_000,
+                    kind: PolicyFaultKind::CapacityLoss {
+                        cus_lost: dev.num_cus / 2,
+                    },
+                },
+            ],
+        };
+        let plan = plan_with_arrivals_and_faults(&policy, &ctx, &requests, &[0; 3], &sched);
+        // Decisions are still the fault-free batch plan: faults change
+        // the running widths later, not the admission.
+        assert_eq!(plan.decisions, policy.plan(&ctx, &requests));
+        // The abort emits nothing (capacity frees up); the capacity loss
+        // shrinks exactly the two survivors at the fault time, untagged.
+        assert_eq!(plan.reclaims.len(), 2);
+        for r in &plan.reclaims {
+            assert_eq!(r.at, 6_000);
+            assert!(
+                r.index == 0 || r.index == 2,
+                "dead tenant 1 must not be reclaimed: {r:?}"
+            );
+            assert_eq!(r.pressure, None);
+        }
+        assert!(plan.resumes.is_empty());
     }
 }

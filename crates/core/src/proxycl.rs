@@ -15,10 +15,14 @@
 
 use crate::chunk::Mode;
 use crate::jit::{transform_module, TransformInfo};
-use crate::policy::{plan_with_arrivals, AccelOsPolicy, PlanCtx, SchedulingPolicy};
+use crate::policy::{
+    plan_with_arrivals_and_faults, AccelOsPolicy, FaultSchedule, PlanCtx, SchedulingPolicy,
+};
 use crate::scheduler::{ExecRequest, LaunchDecision};
 use clrt::{Arg, Buffer, ClError, Context, Event, Kernel, Platform, Program};
-use gpu_sim::{KernelLaunch, ReclaimCmd, ResumeCmd, Simulator};
+use gpu_sim::{
+    FaultEvent, FaultKind, FaultPlan, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, Simulator,
+};
 use kernel_ir::interp::{ArgValue, DynStats, Interpreter, NdRange};
 use std::sync::Arc;
 
@@ -91,6 +95,32 @@ impl ProxyProgram {
     }
 }
 
+/// Bounded retry with exponential backoff for kernel executions killed by
+/// an injected [`gpu_sim::FaultKind::KernelAbort`] (paper §5: recovery is
+/// the runtime's job, not the device's).
+///
+/// Backoff runs in *virtual* device time, so recovery latency is part of
+/// the deterministic timeline: retry `n` of a request re-enters the
+/// device `base_backoff << (n - 1)` cycles after the abort it recovers
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per request after its first abort. `0` fails fast:
+    /// any abort surfaces as [`ClError::ExecutionFailure`].
+    pub max_attempts: u32,
+    /// Virtual-time delay before the first retry; doubles per attempt.
+    pub base_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 1_000,
+        }
+    }
+}
+
 /// One pending kernel execution request inside a batch.
 #[derive(Debug, Clone)]
 pub struct PendingExec {
@@ -138,6 +168,8 @@ pub struct ProxyCl {
     ctx: Context,
     policy: Arc<dyn SchedulingPolicy>,
     cursor: u64,
+    faults: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl ProxyCl {
@@ -160,7 +192,30 @@ impl ProxyCl {
             ctx: Context::new(platform),
             policy,
             cursor: 0,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Rehearse a [`FaultPlan`] on the timing plane: every subsequent
+    /// enqueue injects the plan's device faults into its joint machine
+    /// simulation and the policy pre-shrinks survivors through
+    /// [`SchedulingPolicy::on_fault`]. A plan's
+    /// [`gpu_sim::FaultKind::KernelAbort`] events index requests *within
+    /// one batch* (abort of `LaunchId(i)` kills batch request `i`), and
+    /// aborted requests are retried with backoff per the active
+    /// [`RetryPolicy`]. Functional results are never affected — faults
+    /// model device behaviour, not data corruption. The default (empty)
+    /// plan leaves the timeline bit-identical to a fault-free runtime.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Replace the abort-recovery [`RetryPolicy`].
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The wrapped context (buffers and reads pass through untouched —
@@ -290,11 +345,35 @@ impl ProxyCl {
                 )
             })
             .collect();
-        let schedule = plan_with_arrivals(
+
+        // Split the fault plan: abort event `j` of request `i` applies to
+        // its `j`-th incarnation (0 = the original launch), so each abort
+        // consumes one retry life; device-level faults (CU failures,
+        // stragglers) replay identically in every retry simulation.
+        let mut abort_times: Vec<Vec<u64>> = vec![Vec::new(); batch.len()];
+        let mut device_faults: Vec<FaultEvent> = Vec::new();
+        for ev in &self.faults.events {
+            match ev.kind {
+                FaultKind::KernelAbort { launch } => {
+                    let i = launch.0 as usize;
+                    if i >= batch.len() {
+                        return Err(ClError::InvalidArgs(format!(
+                            "fault plan aborts request {i}, but the batch has {} requests",
+                            batch.len()
+                        )));
+                    }
+                    abort_times[i].push(ev.at);
+                }
+                _ => device_faults.push(*ev),
+            }
+        }
+
+        let schedule = plan_with_arrivals_and_faults(
             self.policy.as_ref(),
             &PlanCtx::new(self.ctx.device()),
             &requests,
             arrivals,
+            &FaultSchedule::from_fault_plan(&self.faults),
         );
         let decisions = schedule.decisions;
 
@@ -315,9 +394,10 @@ impl ProxyCl {
         let device = self.ctx.device().clone();
         let staggered = arrivals.iter().any(|&a| a != arrivals[0]);
         let plan_ctx = PlanCtx::new(self.ctx.device());
-        let mut sim = Simulator::new(device);
-        let mut ids = Vec::with_capacity(batch.len());
-        for ((pending, decision), stats) in batch.iter().zip(&decisions).zip(&all_stats) {
+        let mut launches: Vec<KernelLaunch> = Vec::with_capacity(batch.len());
+        for (i, ((pending, decision), stats)) in
+            batch.iter().zip(&decisions).zip(&all_stats).enumerate()
+        {
             let total_vgs = decision.descriptor[1] as u64;
             let per_vg = if total_vgs == 0 {
                 1
@@ -331,8 +411,7 @@ impl ProxyCl {
                 (stats.mem_ops as f64 / stats.total_insns as f64).min(1.0)
             };
             let req = clrt::launch_requirements(&pending.kernel, pending.ndrange);
-            let i = ids.len();
-            ids.push(sim.add_launch(KernelLaunch {
+            launches.push(KernelLaunch {
                 name: pending.kernel.name().to_string(),
                 arrival: arrivals[i],
                 req,
@@ -343,32 +422,100 @@ impl ProxyCl {
                 } else {
                     None
                 },
-            }));
-        }
-        for r in &schedule.reclaims {
-            sim.add_reclaim(ReclaimCmd {
-                at: r.at,
-                launch: ids[r.index],
-                workers: r.workers,
             });
         }
-        for r in &schedule.resumes {
-            sim.add_resume(ResumeCmd {
-                after: ids[r.after],
-                launch: ids[r.index],
-                workers: r.workers,
-            });
-        }
-        let report = sim.run();
+
+        // Recovery loop: simulate, and if a request's newest incarnation
+        // was aborted, respawn a retry copy `base_backoff << n` cycles
+        // after the abort and re-simulate the whole episode. Identical
+        // launches replay identically, so each iteration extends the
+        // previous timeline deterministically; an empty fault plan takes
+        // exactly one iteration with the historical launch set.
+        let retry = self.retry;
+        let mut copies: Vec<Vec<u64>> = vec![Vec::new(); batch.len()];
+        let (report, lineage) = loop {
+            let mut sim = Simulator::new(device.clone());
+            let mut lineage: Vec<Vec<LaunchId>> = Vec::with_capacity(batch.len());
+            for launch in &launches {
+                lineage.push(vec![sim.add_launch(launch.clone())]);
+            }
+            for (i, arrs) in copies.iter().enumerate() {
+                for &arrival in arrs {
+                    let mut copy = launches[i].clone();
+                    copy.arrival = arrival;
+                    let id = sim.add_launch(copy);
+                    lineage[i].push(id);
+                }
+            }
+            for r in &schedule.reclaims {
+                sim.add_reclaim(ReclaimCmd {
+                    at: r.at,
+                    launch: lineage[r.index][0],
+                    workers: r.workers,
+                    pressure: r.pressure.map(|p| lineage[p][0]),
+                });
+            }
+            for r in &schedule.resumes {
+                sim.add_resume(ResumeCmd {
+                    after: lineage[r.after][0],
+                    launch: lineage[r.index][0],
+                    workers: r.workers,
+                });
+            }
+            for ev in &device_faults {
+                sim.add_fault(*ev);
+            }
+            for (i, times) in abort_times.iter().enumerate() {
+                for (j, &at) in times.iter().enumerate() {
+                    // Abort j targets incarnation j; later aborts wait for
+                    // the retry copy they will kill to exist.
+                    if let Some(&id) = lineage[i].get(j) {
+                        sim.add_fault(FaultEvent {
+                            at,
+                            kind: FaultKind::KernelAbort { launch: id },
+                        });
+                    }
+                }
+            }
+            let report = sim.run();
+
+            let mut respawned = false;
+            for (i, ids) in lineage.iter().enumerate() {
+                let newest = report.kernel(*ids.last().expect("lineage is never empty"));
+                if !newest.aborted {
+                    continue;
+                }
+                let spent = copies[i].len() as u32;
+                if spent >= retry.max_attempts {
+                    return Err(ClError::ExecutionFailure(format!(
+                        "kernel '{}' aborted {} time(s); retry budget ({}) exhausted",
+                        batch[i].kernel.name(),
+                        spent + 1,
+                        retry.max_attempts,
+                    )));
+                }
+                copies[i].push(newest.end + (retry.base_backoff << spent));
+                respawned = true;
+            }
+            if !respawned {
+                break (report, lineage);
+            }
+        };
 
         let queued = self.cursor;
         let mut events = Vec::with_capacity(batch.len());
-        for (id, stats) in ids.into_iter().zip(all_stats) {
-            let k = report.kernel(id);
+        for (ids, stats) in lineage.into_iter().zip(all_stats) {
+            let first_start = ids
+                .iter()
+                .filter_map(|&id| report.kernel(id).first_start)
+                .min();
+            let end = report
+                .kernel(*ids.last().expect("lineage is never empty"))
+                .end;
             events.push(Event {
                 queued,
-                start: queued + k.first_start.unwrap_or(0),
-                end: queued + k.end,
+                start: queued + first_start.unwrap_or(0),
+                end: queued + end,
                 stats,
             });
         }
@@ -553,6 +700,145 @@ mod tests {
             os.enqueue_concurrent(vec![]),
             Err(ClError::InvalidArgs(_))
         ));
+    }
+
+    fn two_scaled(os: &mut ProxyCl) -> (Vec<PendingExec>, Buffer, Buffer) {
+        let program = os.build_program(SRC).unwrap();
+        let chunk = program.info("scale").unwrap().chunk;
+        let mut make = |val: f32| {
+            let mut k = program.create_kernel("scale").unwrap();
+            let buf = os.context_mut().create_buffer(64 * 4);
+            os.context_mut().write_f32(buf, &[1.0; 64]).unwrap();
+            k.set_arg(0, Arg::Buffer(buf)).unwrap();
+            k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val)))
+                .unwrap();
+            (k, buf)
+        };
+        let (k1, b1) = make(2.0);
+        let (k2, b2) = make(5.0);
+        let batch = vec![
+            PendingExec {
+                kernel: k1,
+                chunk,
+                ndrange: NdRange::new_1d(64, 8),
+            },
+            PendingExec {
+                kernel: k2,
+                chunk,
+                ndrange: NdRange::new_1d(64, 8),
+            },
+        ];
+        (batch, b1, b2)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let mut plain = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let (batch, _, _) = two_scaled(&mut plain);
+        let baseline = plain.enqueue_concurrent(batch).unwrap();
+
+        let mut faulty = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized)
+            .with_faults(gpu_sim::FaultPlan::default());
+        let (batch, _, _) = two_scaled(&mut faulty);
+        let events = faulty.enqueue_concurrent(batch).unwrap();
+        for (a, b) in baseline.iter().zip(&events) {
+            assert_eq!((a.queued, a.start, a.end), (b.queued, b.start, b.end));
+        }
+    }
+
+    #[test]
+    fn aborted_kernel_retries_with_backoff_and_stays_correct() {
+        let mut plain = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let (batch, _, _) = two_scaled(&mut plain);
+        let clean_end = plain.enqueue_concurrent(batch).unwrap()[0].end;
+
+        let plan = gpu_sim::FaultPlan::new(vec![FaultEvent {
+            at: 10,
+            kind: FaultKind::KernelAbort {
+                launch: LaunchId(0),
+            },
+        }]);
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized)
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: 500,
+            });
+        let (batch, b1, b2) = two_scaled(&mut os);
+        let events = os.enqueue_concurrent(batch).unwrap();
+        // Functional transparency survives the abort: the retry re-runs
+        // on the timing plane only, results were never corrupted.
+        assert_eq!(os.context_mut().read_f32(b1).unwrap(), vec![2.0; 64]);
+        assert_eq!(os.context_mut().read_f32(b2).unwrap(), vec![5.0; 64]);
+        // The retry re-enters after abort + backoff, so the aborted
+        // request finishes later than a fault-free run.
+        assert!(
+            events[0].end > clean_end + 500,
+            "retried end {} vs clean {clean_end}",
+            events[0].end
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_as_execution_failure() {
+        // Two aborts of request 0, zero retries allowed: fail fast.
+        let plan = gpu_sim::FaultPlan::new(vec![FaultEvent {
+            at: 10,
+            kind: FaultKind::KernelAbort {
+                launch: LaunchId(0),
+            },
+        }]);
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized)
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                max_attempts: 0,
+                base_backoff: 500,
+            });
+        let (batch, _, _) = two_scaled(&mut os);
+        assert!(matches!(
+            os.enqueue_concurrent(batch),
+            Err(ClError::ExecutionFailure(_))
+        ));
+    }
+
+    #[test]
+    fn fault_plan_aborting_unknown_request_rejected() {
+        let plan = gpu_sim::FaultPlan::new(vec![FaultEvent {
+            at: 10,
+            kind: FaultKind::KernelAbort {
+                launch: LaunchId(9),
+            },
+        }]);
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized).with_faults(plan);
+        let (batch, _, _) = two_scaled(&mut os);
+        assert!(matches!(
+            os.enqueue_concurrent(batch),
+            Err(ClError::InvalidArgs(_))
+        ));
+    }
+
+    #[test]
+    fn cu_failure_delays_but_loses_nothing() {
+        let mut plain = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let (batch, _, _) = two_scaled(&mut plain);
+        let clean_end = plain.enqueue_concurrent(batch).unwrap()[1].end;
+
+        let plan = gpu_sim::FaultPlan::new(vec![FaultEvent {
+            at: 5,
+            kind: FaultKind::CuFailure {
+                cu: 0,
+                repair_at: None,
+            },
+        }]);
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized).with_faults(plan);
+        let (batch, b1, b2) = two_scaled(&mut os);
+        let events = os.enqueue_concurrent(batch).unwrap();
+        assert_eq!(os.context_mut().read_f32(b1).unwrap(), vec![2.0; 64]);
+        assert_eq!(os.context_mut().read_f32(b2).unwrap(), vec![5.0; 64]);
+        assert!(
+            events[1].end >= clean_end,
+            "losing a CU cannot speed the run up"
+        );
     }
 
     #[test]

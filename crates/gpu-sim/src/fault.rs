@@ -1,0 +1,267 @@
+//! Seeded, deterministic fault injection for the simulator.
+//!
+//! Production fleets do not run on perfect devices: compute units die,
+//! individual CUs stall, kernels abort mid-flight. The fault plane lets
+//! every layer above the simulator rehearse those failures
+//! deterministically — a [`FaultPlan`] is either written out explicitly
+//! (unit tests) or drawn from a [`FaultSpec`] plus a seed (sweeps), and
+//! the same plan on the same episode yields a byte-identical
+//! [`crate::SimReport`] on every run and thread count.
+//!
+//! Three fault kinds are modelled (see [`FaultKind`]):
+//!
+//! * **CU failure** — the CU drops out of placement (permanently, or
+//!   until a repair time). Resident work is lost: in-flight chunks are
+//!   rolled back and requeued so they re-execute *exactly once*, and the
+//!   workers themselves migrate to the surviving CUs' queue heads.
+//! * **Straggler** — every segment *started* on the CU during a time
+//!   window is stretched by a slowdown factor (a thermal throttle or a
+//!   flaky memory channel, not a death).
+//! * **Kernel abort** — the launch dies mid-flight: its in-flight work
+//!   is rolled back, its completed-group count is reported as-is, its
+//!   resources are freed, and any resume anchored on its retirement
+//!   still fires (recovery is the runtime's job — `ProxyCl` retries
+//!   aborted kernels with exponential backoff).
+//!
+//! Zero faults configured costs nothing: the engine takes the exact same
+//! arithmetic path as before the fault plane existed, so fault-free runs
+//! are bit-identical to historical reports.
+
+use crate::launch::LaunchId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Compute unit `cu` fails: it leaves the ready-set index and rejects
+    /// all placement until `repair_at` (forever when `None`). Resident
+    /// chunks are lost and requeued; resident workers migrate to
+    /// surviving CUs.
+    CuFailure {
+        /// The failing compute unit.
+        cu: usize,
+        /// Absolute repair time, or `None` for a permanent failure.
+        repair_at: Option<u64>,
+    },
+    /// Compute unit `cu` runs slow: segments starting on it before
+    /// `until` cost `factor` times their nominal (contention-scaled)
+    /// duration. No work is lost.
+    Straggler {
+        /// The slowed compute unit.
+        cu: usize,
+        /// Multiplier applied to segment costs (≥ 1 to slow down).
+        factor: f64,
+        /// Absolute end of the slowdown window.
+        until: u64,
+    },
+    /// The launch dies at the fault time: in-flight chunks roll back,
+    /// queued and resident workers are torn down, resources are freed,
+    /// and the report keeps the completed-group count with
+    /// `aborted = true`.
+    KernelAbort {
+        /// The launch to kill.
+        launch: LaunchId,
+    },
+}
+
+/// One scheduled fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulation time the fault fires.
+    pub at: u64,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// Shape of a random fault draw: *counts* of each fault kind over a time
+/// horizon (counts, not rates, so a sweep point is exactly reproducible
+/// and the fault rate is simply `count / horizon`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Fault times are drawn uniformly from `[0, horizon)`.
+    pub horizon: u64,
+    /// Number of CU failures to draw.
+    pub cu_failures: usize,
+    /// Repair delay after each CU failure (`None` = permanent).
+    pub repair_delay: Option<u64>,
+    /// Number of straggler windows to draw.
+    pub stragglers: usize,
+    /// Slowdown factor of each straggler window.
+    pub slowdown: f64,
+    /// Length of each straggler window.
+    pub straggler_window: u64,
+    /// Number of kernel aborts to draw.
+    pub aborts: usize,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (useful as a sweep baseline).
+    pub fn none(horizon: u64) -> Self {
+        FaultSpec {
+            horizon,
+            cu_failures: 0,
+            repair_delay: None,
+            stragglers: 0,
+            slowdown: 1.0,
+            straggler_window: 0,
+            aborts: 0,
+        }
+    }
+}
+
+/// A concrete, ordered schedule of fault injections.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+///
+/// // Drawn plans are deterministic per (spec, topology, seed).
+/// let spec = FaultSpec { horizon: 10_000, cu_failures: 1, repair_delay: None,
+///                        stragglers: 1, slowdown: 3.0, straggler_window: 2_000,
+///                        aborts: 0 };
+/// let a = FaultPlan::from_spec(&spec, 8, 3, 42);
+/// let b = FaultPlan::from_spec(&spec, 8, 3, 42);
+/// assert_eq!(a, b);
+/// assert_eq!(a.events.len(), 2);
+///
+/// // Or written out explicitly.
+/// let plan = FaultPlan::new(vec![FaultEvent {
+///     at: 500,
+///     kind: FaultKind::CuFailure { cu: 0, repair_at: Some(2_000) },
+/// }]);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The injections, in non-decreasing time order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Plan from an explicit event list (sorted by time, stably, so
+    /// same-instant faults keep their authored order).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// Draw a plan from `spec` for a device with `num_cus` compute units
+    /// and an episode of `num_launches` launches, using the workspace's
+    /// seeded generator. The draw never fails *every* CU permanently —
+    /// at least one CU always survives, so work is degraded, not
+    /// stranded.
+    pub fn from_spec(spec: &FaultSpec, num_cus: usize, num_launches: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut dead = Vec::new();
+        for _ in 0..spec.cu_failures {
+            if num_cus == 0 {
+                break;
+            }
+            let cu = rng.random_range(0..num_cus);
+            let at = rng.random_range(0..spec.horizon.max(1));
+            // A permanent failure of the last survivor is skipped: the
+            // fault plane degrades capacity, it must not zero it.
+            let lethal =
+                spec.repair_delay.is_none() && !dead.contains(&cu) && dead.len() + 1 >= num_cus;
+            if lethal {
+                continue;
+            }
+            if !dead.contains(&cu) {
+                dead.push(cu);
+            }
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::CuFailure {
+                    cu,
+                    repair_at: spec.repair_delay.map(|d| at + d),
+                },
+            });
+        }
+        for _ in 0..spec.stragglers {
+            if num_cus == 0 {
+                break;
+            }
+            let cu = rng.random_range(0..num_cus);
+            let at = rng.random_range(0..spec.horizon.max(1));
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::Straggler {
+                    cu,
+                    factor: spec.slowdown,
+                    until: at + spec.straggler_window,
+                },
+            });
+        }
+        for _ in 0..spec.aborts {
+            if num_launches == 0 {
+                break;
+            }
+            let launch = LaunchId(rng.random_range(0..num_launches as u32));
+            let at = rng.random_range(0..spec.horizon.max(1));
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::KernelAbort { launch },
+            });
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_sorted() {
+        let spec = FaultSpec {
+            horizon: 50_000,
+            cu_failures: 3,
+            repair_delay: Some(5_000),
+            stragglers: 2,
+            slowdown: 2.5,
+            straggler_window: 4_000,
+            aborts: 1,
+        };
+        let a = FaultPlan::from_spec(&spec, 13, 4, 7);
+        let b = FaultPlan::from_spec(&spec, 13, 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 6);
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        let c = FaultPlan::from_spec(&spec, 13, 4, 8);
+        assert_ne!(a, c, "a different seed draws a different plan");
+    }
+
+    #[test]
+    fn at_least_one_cu_survives_permanent_failures() {
+        let spec = FaultSpec {
+            horizon: 1_000,
+            cu_failures: 64,
+            repair_delay: None,
+            stragglers: 0,
+            slowdown: 1.0,
+            straggler_window: 0,
+            aborts: 0,
+        };
+        let plan = FaultPlan::from_spec(&spec, 2, 1, 3);
+        let mut dead = std::collections::BTreeSet::new();
+        for e in &plan.events {
+            if let FaultKind::CuFailure { cu, .. } = e.kind {
+                dead.insert(cu);
+            }
+        }
+        assert!(dead.len() < 2, "one of two CUs must survive: {dead:?}");
+    }
+
+    #[test]
+    fn none_spec_is_empty() {
+        assert!(FaultPlan::from_spec(&FaultSpec::none(1_000), 8, 2, 1).is_empty());
+    }
+}

@@ -152,6 +152,7 @@ mod tests {
             kernels: vec![],
             makespan: 0,
             trace: vec![],
+            faults_injected: 0,
         };
         assert_eq!(render(&r, 40), "");
         let r2 = two_kernel_report(|_| LaunchPlan::Hardware {

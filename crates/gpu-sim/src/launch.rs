@@ -36,6 +36,13 @@ pub struct LaunchId(pub u32);
 /// stays below the plan's total until it resumes and drains. Schedulers
 /// issuing a pause are responsible for pairing it with a resume path (the
 /// policy layer's `WorkerReclaim`/`WorkerResume` pairs do exactly that).
+///
+/// A command may be tagged with the `pressure` tenant it shrinks the
+/// victim *for*. A tagged command whose pressuring tenant has already
+/// retired (or aborted) when the command lands is **void** — command
+/// reordering or late delivery can never re-pause a victim on behalf of
+/// a tenant that no longer exists. Untagged commands (`pressure: None`)
+/// keep the historical unconditional semantics.
 /// See [`crate::Simulator::add_reclaim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReclaimCmd {
@@ -45,6 +52,9 @@ pub struct ReclaimCmd {
     pub launch: LaunchId,
     /// Live workers the launch keeps (0 = resumable full pause).
     pub workers: u32,
+    /// The tenant this reclamation makes room for, if any: the command is
+    /// void when that tenant has already retired by the time it fires.
+    pub pressure: Option<LaunchId>,
 }
 
 /// A scheduled resumption: when launch `after` retires, re-enqueue workers
@@ -66,11 +76,11 @@ pub struct ReclaimCmd {
 /// command scheduled for the retired tenant's pressure but landing late
 /// is thereby void (work can never be stranded by command reordering),
 /// and equally, a *new* tenant cannot re-pause this victim below the
-/// guaranteed width. A policy that wants to pause the same victim for
-/// several successive premium tenants should therefore keep floors ≥ 1
-/// for the later ones (scoping resume floors per pressuring tenant is a
-/// ROADMAP item). Resumes against completed or non-dequeue launches are
-/// inert. See [`crate::Simulator::add_resume`].
+/// guaranteed width. Reclaims are additionally scoped to their pressuring
+/// tenant via [`ReclaimCmd::pressure`]: a tagged command fired after its
+/// tenant retired is void outright, so the floor is a second line of
+/// defence rather than the only one. Resumes against completed or
+/// non-dequeue launches are inert. See [`crate::Simulator::add_resume`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResumeCmd {
     /// The pressuring launch whose retirement triggers the resume.

@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod gantt;
 pub mod launch;
 pub mod report;
 pub mod sim;
 
 pub use config::{DeviceConfig, WorkGroupReq};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use launch::{Costs, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 pub use report::{KernelReport, SimReport, TraceEvent, TraceKind};
 pub use sim::{PlacementStats, Simulator};

@@ -1,9 +1,15 @@
 //! Simulation results: per-kernel timing and optional event traces.
 
 use crate::launch::LaunchId;
+use std::fmt;
 
 /// What happened to one kernel launch.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Debug` is hand-written: the fault-bookkeeping fields
+/// (`chunks_lost`, `groups_retried`, `aborted`) are printed only when
+/// non-zero, so fault-free reports render exactly as they did before the
+/// fault plane existed and golden snapshots stay byte-identical.
+#[derive(Clone, PartialEq)]
 pub struct KernelReport {
     /// Launch this report describes.
     pub id: LaunchId,
@@ -44,6 +50,52 @@ pub struct KernelReport {
     /// Persistent workers respawned by resume commands (each one is a
     /// [`TraceKind::Resume`] event when tracing is on).
     pub resumed_workers: usize,
+    /// In-flight virtual groups (or hardware work groups) this launch
+    /// lost to injected faults — one [`TraceKind::Fault`] event per lost
+    /// group when tracing is on, so the counter shares a unit with
+    /// [`groups_retried`](Self::groups_retried). Losses to CU failures
+    /// are requeued and re-executed exactly once; losses to a kernel
+    /// abort are gone with the kernel.
+    pub chunks_lost: usize,
+    /// Virtual groups re-executed after a fault lost their first
+    /// execution. Under CU failures the conservation witness still holds:
+    /// `groups_executed` equals the plan's total group count, with
+    /// `groups_retried` of them having needed a second pass.
+    pub groups_retried: usize,
+    /// Whether an injected [`crate::FaultKind::KernelAbort`] killed this
+    /// launch mid-flight. `groups_executed` then reports the completed
+    /// count at the abort instant (recovery — retry with backoff — is the
+    /// runtime's job, not the simulator's).
+    pub aborted: bool,
+}
+
+impl fmt::Debug for KernelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("KernelReport");
+        d.field("id", &self.id)
+            .field("name", &self.name)
+            .field("arrival", &self.arrival)
+            .field("first_start", &self.first_start)
+            .field("end", &self.end)
+            .field("busy_intervals", &self.busy_intervals)
+            .field("machine_wgs", &self.machine_wgs)
+            .field("groups_executed", &self.groups_executed)
+            .field("preemptions", &self.preemptions)
+            .field("reclaimed_workers", &self.reclaimed_workers)
+            .field("pauses", &self.pauses)
+            .field("resumes", &self.resumes)
+            .field("resumed_workers", &self.resumed_workers);
+        if self.chunks_lost != 0 {
+            d.field("chunks_lost", &self.chunks_lost);
+        }
+        if self.groups_retried != 0 {
+            d.field("groups_retried", &self.groups_retried);
+        }
+        if self.aborted {
+            d.field("aborted", &self.aborted);
+        }
+        d.finish()
+    }
 }
 
 impl KernelReport {
@@ -75,6 +127,12 @@ pub enum TraceKind {
     /// at its anchor tenant's retirement (the matching
     /// [`TraceKind::WgStart`] follows when the worker becomes resident).
     Resume,
+    /// An injected fault cost this launch in-flight work on this CU —
+    /// one event per lost virtual group (or hardware work group), so the
+    /// trace count equals the summed [`KernelReport::chunks_lost`]. A
+    /// [`TraceKind::WgEnd`] at the same instant books the involuntary
+    /// resource release.
+    Fault,
 }
 
 /// One trace record.
@@ -91,7 +149,11 @@ pub struct TraceEvent {
 }
 
 /// Complete result of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Like [`KernelReport`], `Debug` prints the fault counter only when
+/// faults actually fired, keeping fault-free snapshots byte-identical to
+/// the pre-fault-plane format.
+#[derive(Clone, PartialEq)]
 pub struct SimReport {
     /// Per-kernel reports, indexed by launch id.
     pub kernels: Vec<KernelReport>,
@@ -99,6 +161,23 @@ pub struct SimReport {
     pub makespan: u64,
     /// Timeline (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Fault injections that fired (a duplicate failure of an
+    /// already-dead CU still counts — it was injected, it just found
+    /// nothing left to break).
+    pub faults_injected: usize,
+}
+
+impl fmt::Debug for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SimReport");
+        d.field("kernels", &self.kernels)
+            .field("makespan", &self.makespan)
+            .field("trace", &self.trace);
+        if self.faults_injected != 0 {
+            d.field("faults_injected", &self.faults_injected);
+        }
+        d.finish()
+    }
 }
 
 impl SimReport {
@@ -140,9 +219,26 @@ mod tests {
             pauses: 0,
             resumes: 0,
             resumed_workers: 0,
+            chunks_lost: 0,
+            groups_retried: 0,
+            aborted: false,
         };
         assert_eq!(k.turnaround(), 40);
         assert_eq!(k.busy_time(), 25);
+
+        // The golden-snapshot contract: fault fields appear in Debug only
+        // when a fault actually touched the kernel.
+        let clean = format!("{k:#?}");
+        assert!(!clean.contains("chunks_lost"));
+        assert!(!clean.contains("aborted"));
+        let mut faulty = k.clone();
+        faulty.chunks_lost = 2;
+        faulty.groups_retried = 4;
+        faulty.aborted = true;
+        let shown = format!("{faulty:#?}");
+        assert!(shown.contains("chunks_lost: 2"));
+        assert!(shown.contains("groups_retried: 4"));
+        assert!(shown.contains("aborted: true"));
     }
 
     #[test]
@@ -161,12 +257,17 @@ mod tests {
             pauses: 0,
             resumes: 0,
             resumed_workers: 0,
+            chunks_lost: 0,
+            groups_retried: 0,
+            aborted: false,
         };
         let r = SimReport {
             kernels: vec![mk(5, 60), mk(10, 80)],
             makespan: 80,
             trace: vec![],
+            faults_injected: 0,
         };
         assert_eq!(r.total_time(), 75);
+        assert!(!format!("{r:#?}").contains("faults_injected"));
     }
 }

@@ -42,8 +42,16 @@
 //!   workers for it (a resume event) — guaranteed wake-up where
 //!   `rebalance`-driven regrowth needs a free slot on a CU with an empty
 //!   queue, which a saturated device may never offer.
+//! * Injected faults ([`crate::FaultPlan`]) reuse the same machinery: a
+//!   failed CU's resident chunks roll back into a per-launch retry queue
+//!   consumed ahead of fresh claims (every lost chunk re-executes exactly
+//!   once), its workers migrate to surviving queue heads, and an aborted
+//!   kernel tears down through the ordinary completion path so anchored
+//!   resumes still fire. With no faults configured every one of these
+//!   paths is dormant and runs are bit-identical to the pre-fault engine.
 
 use crate::config::{DeviceConfig, WorkGroupReq};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::launch::{KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 use crate::report::{KernelReport, SimReport, TraceEvent, TraceKind};
 use std::cmp::Reverse;
@@ -76,6 +84,7 @@ pub struct Simulator {
     launches: Vec<KernelLaunch>,
     reclaims: Vec<ReclaimCmd>,
     resumes: Vec<ResumeCmd>,
+    faults: Vec<FaultEvent>,
     collect_trace: bool,
     linear_placement: bool,
 }
@@ -118,6 +127,19 @@ struct Task {
     /// creation (avoids the O(tasks) rescans a positional lookup would
     /// need on every static-worker segment).
     wi: usize,
+    /// Heap sequence number of this task's pending [`Event::PhaseDone`]
+    /// (0 = none pending). A fault that tears the task down mid-segment
+    /// resets it, voiding the stale event when it pops — the fault-plane
+    /// equivalent of removing the event from the heap.
+    phase_seq: u64,
+    /// The virtual-group range the task is currently executing (one
+    /// dequeued chunk, one static segment, or the hardware WG itself),
+    /// cleared when the segment completes. This is what a fault rolls
+    /// back and requeues.
+    in_flight: Option<(usize, usize)>,
+    /// A fault rolled back this task's in-flight segment; the next
+    /// (re-)execution of that segment books it as retried work.
+    lost: bool,
 }
 
 #[derive(Debug)]
@@ -127,6 +149,13 @@ struct Cu {
     free_regs: i64,
     free_slots: i64,
     queue: VecDeque<usize>,
+    /// Tasks currently resident here (what a CU failure tears down).
+    resident: Vec<usize>,
+    /// Failed CUs reject placement and enqueues until repaired.
+    failed: bool,
+    /// Straggler window: segments starting before the deadline are
+    /// stretched by the factor.
+    slow: Option<(f64, u64)>,
 }
 
 #[derive(Debug)]
@@ -165,6 +194,11 @@ struct KernelRt {
     resumed: usize,
     /// Work groups executed (hardware WGs or claimed virtual groups).
     executed: usize,
+    /// In-flight virtual groups (or hardware work groups) lost to
+    /// injected faults.
+    chunks_lost: usize,
+    /// Virtual groups re-executed after a fault lost their first run.
+    retried: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -178,6 +212,11 @@ enum Event {
     /// launch retires): lift the target's cap, install the resume floor,
     /// and respawn workers up to the resumed width.
     Resume(usize),
+    /// Inject the fault at this index of the fault plan.
+    Fault(usize),
+    /// A failed CU comes back (scheduled by a
+    /// [`crate::FaultKind::CuFailure`] with a repair time).
+    Repair(usize),
 }
 
 impl Simulator {
@@ -188,6 +227,7 @@ impl Simulator {
             launches: Vec::new(),
             reclaims: Vec::new(),
             resumes: Vec::new(),
+            faults: Vec::new(),
             collect_trace: false,
             linear_placement: false,
         }
@@ -277,6 +317,21 @@ impl Simulator {
         self.resumes.push(cmd);
     }
 
+    /// Schedule one fault injection (see [`crate::FaultKind`] for the
+    /// semantics of each kind). Fault targets are validated when the
+    /// simulation starts, so faults may be added before their target
+    /// launches.
+    pub fn add_fault(&mut self, fault: FaultEvent) {
+        self.faults.push(fault);
+    }
+
+    /// Schedule every injection of `plan`. An empty plan leaves the run
+    /// bit-identical to a simulator that never heard of faults.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults.extend(plan.events);
+        self
+    }
+
     /// Run the simulation to completion.
     pub fn run(self) -> SimReport {
         self.run_with_stats().0
@@ -291,6 +346,7 @@ impl Simulator {
             self.launches,
             self.reclaims,
             self.resumes,
+            self.faults,
             self.collect_trace,
             self.linear_placement,
         )
@@ -303,9 +359,22 @@ struct Engine {
     launches: Vec<KernelLaunch>,
     reclaims: Vec<ReclaimCmd>,
     resumes: Vec<ResumeCmd>,
+    faults: Vec<FaultEvent>,
     /// Resume-command indices keyed by anchor launch, so a retirement
     /// fires its resumes without scanning the whole command list.
     resumes_by_anchor: Vec<Vec<usize>>,
+    /// Per-launch queue of virtual-group ranges lost to CU failures,
+    /// consumed ahead of fresh claims by `schedule_dequeue` so every lost
+    /// chunk re-executes exactly once.
+    retry: Vec<VecDeque<(usize, usize)>>,
+    /// Launches that have retired (reports `end` final). Drives the
+    /// per-tenant scoping of [`ReclaimCmd::pressure`] and makes aborts of
+    /// finished launches no-ops.
+    retired: Vec<bool>,
+    /// Launches killed by an injected [`FaultKind::KernelAbort`].
+    aborted: Vec<bool>,
+    /// Fault injections that fired.
+    faults_injected: usize,
     collect_trace: bool,
     now: u64,
     seq: u64,
@@ -346,9 +415,29 @@ impl Engine {
         launches: Vec<KernelLaunch>,
         reclaims: Vec<ReclaimCmd>,
         resumes: Vec<ResumeCmd>,
+        faults: Vec<FaultEvent>,
         collect_trace: bool,
         linear_placement: bool,
     ) -> Self {
+        for f in &faults {
+            match f.kind {
+                FaultKind::CuFailure { cu, .. } | FaultKind::Straggler { cu, .. } => {
+                    assert!(cu < config.num_cus, "fault targets unknown CU {cu}");
+                }
+                FaultKind::KernelAbort { launch } => assert!(
+                    (launch.0 as usize) < launches.len(),
+                    "fault targets unknown launch {launch:?}"
+                ),
+            }
+        }
+        for r in &reclaims {
+            if let Some(p) = r.pressure {
+                assert!(
+                    (p.0 as usize) < launches.len(),
+                    "reclaim pressured by unknown launch {p:?}"
+                );
+            }
+        }
         let cus: Vec<Cu> = (0..config.num_cus)
             .map(|_| Cu {
                 free_threads: config.threads_per_cu as i64,
@@ -356,6 +445,9 @@ impl Engine {
                 free_regs: config.regs_per_cu as i64,
                 free_slots: config.wg_slots_per_cu as i64,
                 queue: VecDeque::new(),
+                resident: Vec::new(),
+                failed: false,
+                slow: None,
             })
             .collect();
         let kernels = launches
@@ -379,6 +471,8 @@ impl Engine {
                 resumes: 0,
                 resumed: 0,
                 executed: 0,
+                chunks_lost: 0,
+                retried: 0,
             })
             .collect();
         let growable = launches
@@ -402,12 +496,18 @@ impl Engine {
         let ready = (0..config.num_cus)
             .filter(|&c| cus[c].free_slots >= 1)
             .collect();
+        let num_launches = launches.len();
         Engine {
             config,
             launches,
             reclaims,
             resumes,
+            faults,
             resumes_by_anchor,
+            retry: vec![VecDeque::new(); num_launches],
+            retired: vec![false; num_launches],
+            aborted: vec![false; num_launches],
+            faults_injected: 0,
             collect_trace,
             now: 0,
             seq: 0,
@@ -431,6 +531,17 @@ impl Engine {
         self.heap.push(Reverse((time, self.seq, ev)));
     }
 
+    /// Schedule task `tid`'s next [`Event::PhaseDone`] and remember its
+    /// sequence number, so a fault tearing the task down can void the
+    /// event (the run loop drops a `PhaseDone` whose sequence no longer
+    /// matches the task's).
+    fn schedule_phase(&mut self, time: u64, tid: usize) {
+        self.seq += 1;
+        self.tasks[tid].phase_seq = self.seq;
+        self.heap
+            .push(Reverse((time, self.seq, Event::PhaseDone(tid))));
+    }
+
     fn run(mut self) -> (SimReport, PlacementStats) {
         for i in 0..self.launches.len() {
             self.schedule(self.launches[i].arrival, Event::Arrival(i));
@@ -438,13 +549,22 @@ impl Engine {
         for i in 0..self.reclaims.len() {
             self.schedule(self.reclaims[i].at, Event::Reclaim(i));
         }
-        while let Some(Reverse((time, _, ev))) = self.heap.pop() {
+        for i in 0..self.faults.len() {
+            self.schedule(self.faults[i].at, Event::Fault(i));
+        }
+        while let Some(Reverse((time, seq, ev))) = self.heap.pop() {
             self.now = time;
             match ev {
                 Event::Arrival(l) => self.on_arrival(l),
-                Event::PhaseDone(t) => self.on_phase_done(t),
+                // A stale sequence number means a fault already tore the
+                // task down (and rolled its in-flight work back): the
+                // completion never happened.
+                Event::PhaseDone(t) if self.tasks[t].phase_seq == seq => self.on_phase_done(t),
+                Event::PhaseDone(_) => {}
                 Event::Reclaim(i) => self.on_reclaim(i),
                 Event::Resume(i) => self.on_resume(i),
+                Event::Fault(i) => self.on_fault(i),
+                Event::Repair(cu) => self.on_repair(cu),
             }
         }
         let makespan = self.kernels.iter().map(|k| k.end).max().unwrap_or(0);
@@ -466,6 +586,9 @@ impl Engine {
                 pauses: k.pauses,
                 resumes: k.resumes,
                 resumed_workers: k.resumed,
+                chunks_lost: k.chunks_lost,
+                groups_retried: k.retried,
+                aborted: self.aborted[i],
             })
             .collect();
         (
@@ -473,6 +596,7 @@ impl Engine {
                 kernels,
                 makespan,
                 trace: self.trace,
+                faults_injected: self.faults_injected,
             },
             self.placement,
         )
@@ -485,7 +609,7 @@ impl Engine {
     /// whole device.
     fn refresh_ready(&mut self, cu: usize) {
         let c = &self.cus[cu];
-        if c.free_slots >= 1 && c.queue.is_empty() {
+        if !c.failed && c.free_slots >= 1 && c.queue.is_empty() {
             self.ready.insert(cu);
         } else {
             self.ready.remove(&cu);
@@ -494,9 +618,11 @@ impl Engine {
 
     /// Whether `cu` can host one more worker of `req` right now — the
     /// historical linear-scan placement predicate, shared by both
-    /// placement paths so they cannot drift apart.
+    /// placement paths so they cannot drift apart. A failed CU never has
+    /// room.
     fn cu_has_room(cu: &Cu, req: WorkGroupReq) -> bool {
-        cu.queue.is_empty()
+        !cu.failed
+            && cu.queue.is_empty()
             && (req.threads as i64) <= cu.free_threads
             && (req.local_mem as i64) <= cu.free_local
             && (req.regs_total() as i64) <= cu.free_regs
@@ -535,8 +661,16 @@ impl Engine {
     }
 
     fn on_arrival(&mut self, l: usize) {
+        // A launch aborted before it ever arrived never materialises; it
+        // still anchors resumes, like any other retirement.
+        if self.aborted[l] {
+            self.kernels[l].end = self.now;
+            self.retired[l] = true;
+            self.fire_resumes(l);
+            return;
+        }
         let n = self.launches[l].plan.machine_wgs();
-        let first_cu = self.rr_cursor % self.config.num_cus;
+        let mut touched = BTreeSet::new();
         for w in 0..n {
             let kind = match &self.launches[l].plan {
                 LaunchPlan::Hardware { wg_costs } => TaskKind::HardwareWg { cost: wg_costs[w] },
@@ -545,41 +679,57 @@ impl Engine {
                 }
                 LaunchPlan::PersistentStatic { .. } => TaskKind::StaticWorker { next: 0 },
             };
-            let cu = self.rr_cursor % self.config.num_cus;
-            self.rr_cursor += 1;
+            let cu = self.next_rr_cu();
             let tid = self.tasks.len();
             self.tasks.push(Task {
                 launch: l,
                 kind,
                 cu,
                 wi: w,
+                phase_seq: 0,
+                in_flight: None,
+                lost: false,
             });
             self.cus[cu].queue.push_back(tid);
             self.refresh_ready(cu);
+            touched.insert(cu);
         }
         // A launch with zero machine work groups completes immediately
         // (and still anchors any resumes waiting on its retirement).
         if n == 0 {
             self.kernels[l].end = self.now;
+            self.retired[l] = true;
             self.fire_resumes(l);
         }
-        self.try_start_touched(first_cu, n);
+        self.try_start_each(&touched);
     }
 
-    /// Visit, in ascending CU order, the `count.min(num_cus)` distinct
-    /// queues a round-robin enqueue starting at `first_cu` touched, and
-    /// `try_start` each. The ascending order (the historical order of
-    /// the sorted `touched` list) is observable and determinism-critical:
-    /// each started task snapshots the contention loads of its
-    /// predecessors. Shared by arrivals and resumes, which enqueue the
-    /// same way.
-    fn try_start_touched(&mut self, first_cu: usize, count: usize) {
-        let touched = count.min(self.config.num_cus);
-        for cu in 0..self.config.num_cus {
-            let offset = (cu + self.config.num_cus - first_cu) % self.config.num_cus;
-            if offset < touched {
-                self.try_start(cu);
+    /// Next CU of the round-robin enqueue ring, skipping failed CUs (a
+    /// failure just shrinks the ring). If every CU is failed the nominal
+    /// next CU is returned anyway: work parks on a dead queue until the
+    /// first repair adopts it (`on_repair`), or strands forever if no
+    /// repair ever comes — exactly like an unresumed pause — rather than
+    /// crashing.
+    fn next_rr_cu(&mut self) -> usize {
+        for _ in 0..self.config.num_cus {
+            let cu = self.rr_cursor % self.config.num_cus;
+            self.rr_cursor += 1;
+            if !self.cus[cu].failed {
+                return cu;
             }
+        }
+        self.rr_cursor % self.config.num_cus
+    }
+
+    /// `try_start` each touched CU in ascending index order. The
+    /// ascending order (the historical order of the sorted `touched`
+    /// list) is observable and determinism-critical: each started task
+    /// snapshots the contention loads of its predecessors. Shared by
+    /// arrivals, resumes and fault migrations, which all enqueue
+    /// round-robin.
+    fn try_start_each(&mut self, touched: &BTreeSet<usize>) {
+        for &cu in touched {
+            self.try_start(cu);
         }
     }
 
@@ -599,6 +749,14 @@ impl Engine {
             LaunchPlan::PersistentDynamic { .. } | LaunchPlan::PersistentGuided { .. }
         ) {
             return;
+        }
+        // Per-tenant scoping: a command tagged with the tenant it makes
+        // room for is void once that tenant has retired (or aborted) —
+        // late delivery can't re-pause a victim for a ghost.
+        if let Some(p) = cmd.pressure {
+            if self.retired[p.0 as usize] {
+                return;
+            }
         }
         let k = &mut self.kernels[l];
         k.worker_cap = (cmd.workers as usize).max(k.resume_floor);
@@ -627,13 +785,19 @@ impl Engine {
     fn on_resume(&mut self, i: usize) {
         let cmd = self.resumes[i];
         let l = cmd.launch.0 as usize;
-        let drained = match &self.launches[l].plan {
-            LaunchPlan::PersistentDynamic { vg_costs, .. }
-            | LaunchPlan::PersistentGuided { vg_costs, .. } => {
-                self.kernels[l].next_vg >= vg_costs.len()
-            }
-            _ => return,
-        };
+        if !matches!(
+            self.launches[l].plan,
+            LaunchPlan::PersistentDynamic { .. } | LaunchPlan::PersistentGuided { .. }
+        ) {
+            return;
+        }
+        // An aborted launch is dead; the resume fires but respawns
+        // nothing (mirrors the drained case).
+        if self.aborted[l] {
+            self.kernels[l].resumes += 1;
+            return;
+        }
+        let drained = self.dyn_drained(l);
         let target = cmd.workers.max(1) as usize;
         {
             let k = &mut self.kernels[l];
@@ -650,10 +814,9 @@ impl Engine {
         if missing == 0 {
             return;
         }
-        let first_cu = self.rr_cursor % self.config.num_cus;
+        let mut touched = BTreeSet::new();
         for _ in 0..missing {
-            let cu = self.rr_cursor % self.config.num_cus;
-            self.rr_cursor += 1;
+            let cu = self.next_rr_cu();
             let tid = self.tasks.len();
             let wi = self.kernels[l].spawned;
             self.tasks.push(Task {
@@ -661,6 +824,9 @@ impl Engine {
                 kind: TaskKind::DynWorker,
                 cu,
                 wi,
+                phase_seq: 0,
+                in_flight: None,
+                lost: false,
             });
             let k = &mut self.kernels[l];
             k.spawned += 1;
@@ -669,6 +835,7 @@ impl Engine {
             k.resumed += 1;
             self.cus[cu].queue.push_back(tid);
             self.refresh_ready(cu);
+            touched.insert(cu);
             if self.collect_trace {
                 self.trace.push(TraceEvent {
                     time: self.now,
@@ -678,16 +845,232 @@ impl Engine {
                 });
             }
         }
-        self.try_start_touched(first_cu, missing);
+        self.try_start_each(&touched);
+    }
+
+    /// Inject fault `i` of the plan.
+    fn on_fault(&mut self, i: usize) {
+        self.faults_injected += 1;
+        match self.faults[i].kind {
+            FaultKind::CuFailure { cu, repair_at } => self.fail_cu(cu, repair_at),
+            FaultKind::Straggler { cu, factor, until } => {
+                // The newest window wins; expiry is checked lazily at
+                // segment start, so it needs no event of its own.
+                self.cus[cu].slow = Some((factor, until));
+            }
+            FaultKind::KernelAbort { launch } => self.abort_launch(launch.0 as usize),
+        }
+    }
+
+    /// A failed CU comes back empty-handed: it re-enters placement, and
+    /// elastic launches may grow into it immediately. It also adopts any
+    /// work stranded on still-failed queues — a task enqueued while every
+    /// CU was dead parked on a nominal (dead) queue, and the first repair
+    /// is its earliest legal start.
+    fn on_repair(&mut self, cu: usize) {
+        self.cus[cu].failed = false;
+        for other in 0..self.config.num_cus {
+            if other == cu || !self.cus[other].failed {
+                continue;
+            }
+            while let Some(tid) = self.cus[other].queue.pop_front() {
+                self.tasks[tid].cu = cu;
+                self.cus[cu].queue.push_back(tid);
+            }
+        }
+        self.refresh_ready(cu);
+        self.try_start(cu);
+        self.rebalance();
+    }
+
+    /// A CU failed: drop it from placement, tear down its residents
+    /// (their in-flight chunks roll back into the launch retry queues),
+    /// and migrate the displaced tasks to surviving CUs — former
+    /// residents at the queue *heads* (they were already running; they
+    /// and their requeued chunks go first), queued tasks behind them,
+    /// both round-robin across the survivors.
+    fn fail_cu(&mut self, cu: usize, repair_at: Option<u64>) {
+        if self.cus[cu].failed {
+            return; // already dead; the injection found nothing to break
+        }
+        self.cus[cu].failed = true;
+        self.ready.remove(&cu);
+        if let Some(t) = repair_at {
+            self.schedule(t.max(self.now), Event::Repair(cu));
+        }
+        let residents = std::mem::take(&mut self.cus[cu].resident);
+        let queued: Vec<usize> = self.cus[cu].queue.drain(..).collect();
+        for &tid in &residents {
+            self.kill_resident(tid, cu, true);
+        }
+        let mut touched = BTreeSet::new();
+        for &tid in residents.iter().rev() {
+            let dest = self.next_rr_cu();
+            self.tasks[tid].cu = dest;
+            self.cus[dest].queue.push_front(tid);
+            self.refresh_ready(dest);
+            touched.insert(dest);
+        }
+        for tid in queued {
+            let dest = self.next_rr_cu();
+            self.tasks[tid].cu = dest;
+            self.cus[dest].queue.push_back(tid);
+            self.refresh_ready(dest);
+            touched.insert(dest);
+        }
+        self.try_start_each(&touched);
+    }
+
+    /// An injected abort kills launch `l` mid-flight: in-flight work
+    /// rolls back (the report keeps the completed-group count), queued
+    /// and resident workers are torn down, freed resources go to the CU
+    /// queue heads, and resumes anchored on the launch still fire — an
+    /// abort is a retirement, just not a voluntary one. Recovery (retry
+    /// with backoff) belongs to the runtime above the simulator.
+    fn abort_launch(&mut self, l: usize) {
+        if self.aborted[l] || self.retired[l] {
+            return;
+        }
+        self.aborted[l] = true;
+        let mut touched = BTreeSet::new();
+        for cu in 0..self.config.num_cus {
+            let before = self.cus[cu].queue.len();
+            self.cus[cu]
+                .queue
+                .retain(|&tid| self.tasks[tid].launch != l);
+            if self.cus[cu].queue.len() != before {
+                self.refresh_ready(cu);
+                touched.insert(cu);
+            }
+            let mine: Vec<usize> = self.cus[cu]
+                .resident
+                .iter()
+                .copied()
+                .filter(|&t| self.tasks[t].launch == l)
+                .collect();
+            for tid in mine {
+                let pos = self.cus[cu]
+                    .resident
+                    .iter()
+                    .position(|&t| t == tid)
+                    .expect("resident list is consistent");
+                self.cus[cu].resident.swap_remove(pos);
+                self.kill_resident(tid, cu, false);
+                touched.insert(cu);
+            }
+        }
+        self.retry[l].clear();
+        let k = &mut self.kernels[l];
+        k.tasks_left = 0;
+        k.end = self.now;
+        self.retired[l] = true;
+        self.try_start_each(&touched);
+        self.fire_resumes(l);
+        self.rebalance();
+    }
+
+    /// Tear resident task `tid` down on CU `cu` at a fault instant:
+    /// cancel its pending completion event, release its resources, and
+    /// roll back whatever it had in flight. With `requeue` the lost
+    /// range joins the launch's retry queue (CU failure — the work
+    /// re-executes exactly once); without, the loss is final (abort).
+    fn kill_resident(&mut self, tid: usize, cu: usize, requeue: bool) {
+        let l = self.tasks[tid].launch;
+        self.tasks[tid].phase_seq = 0; // void the pending PhaseDone
+        let req = self.launches[l].req;
+        {
+            let c = &mut self.cus[cu];
+            c.free_threads += req.threads as i64;
+            c.free_local += req.local_mem as i64;
+            c.free_regs += req.regs_total() as i64;
+            c.free_slots += 1;
+        }
+        let mi = self.launches[l].mem_intensity;
+        self.resident_mem_load -= req.threads as f64 * mi;
+        self.resident_compute_load -= req.threads as f64 * (1.0 - mi);
+        // Number of virtual groups (or hardware work groups) rolled back,
+        // so the loss counter stays in the same unit the retry path books.
+        let lost = match self.tasks[tid].kind {
+            // A hardware WG *is* its in-flight work.
+            TaskKind::HardwareWg { .. } => {
+                self.kernels[l].executed -= 1;
+                self.tasks[tid].lost = requeue;
+                1
+            }
+            TaskKind::StaticWorker { next } => match self.tasks[tid].in_flight.take() {
+                Some(_) => {
+                    // Mid-segment: step the cursor back so the migrated
+                    // worker re-executes the lost segment.
+                    self.kernels[l].executed -= 1;
+                    self.tasks[tid].kind = TaskKind::StaticWorker { next: next - 1 };
+                    self.tasks[tid].lost = requeue;
+                    1
+                }
+                None => 0, // caught awaiting its retire check
+            },
+            TaskKind::DynWorker => match self.tasks[tid].in_flight.take() {
+                Some((s, e)) => {
+                    self.kernels[l].executed -= e - s;
+                    if requeue {
+                        self.retry[l].push_back((s, e));
+                    }
+                    e - s
+                }
+                None => 0,
+            },
+        };
+        if lost > 0 {
+            self.kernels[l].chunks_lost += lost;
+            if self.collect_trace {
+                // One event per lost virtual group: the trace carries the
+                // same unit as `chunks_lost` and `groups_retried`.
+                for _ in 0..lost {
+                    self.trace.push(TraceEvent {
+                        time: self.now,
+                        launch: LaunchId(l as u32),
+                        cu,
+                        kind: TraceKind::Fault,
+                    });
+                }
+            }
+        }
+        let k = &mut self.kernels[l];
+        k.resident -= 1;
+        if k.resident == 0 {
+            let open = k.open_since.take().expect("interval was open");
+            k.busy_intervals.push((open, self.now));
+        }
+        if self.collect_trace {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                launch: LaunchId(l as u32),
+                cu,
+                kind: TraceKind::WgEnd,
+            });
+        }
     }
 
     fn fits(&self, cu: usize, tid: usize) -> bool {
         let req = self.launches[self.tasks[tid].launch].req;
         let c = &self.cus[cu];
-        (req.threads as i64) <= c.free_threads
+        !c.failed
+            && (req.threads as i64) <= c.free_threads
             && (req.local_mem as i64) <= c.free_local
             && (req.regs_total() as i64) <= c.free_regs
             && c.free_slots >= 1
+    }
+
+    /// Whether dynamic launch `l`'s work is fully claimed: the fresh
+    /// queue is exhausted *and* no fault-lost ranges await re-execution.
+    /// True (vacuously) for plans without a dynamic queue.
+    fn dyn_drained(&self, l: usize) -> bool {
+        match &self.launches[l].plan {
+            LaunchPlan::PersistentDynamic { vg_costs, .. }
+            | LaunchPlan::PersistentGuided { vg_costs, .. } => {
+                self.kernels[l].next_vg >= vg_costs.len() && self.retry[l].is_empty()
+            }
+            _ => true,
+        }
     }
 
     /// Contention factor for a kernel with memory share `m`: the weighted
@@ -703,6 +1086,16 @@ impl Engine {
     fn scaled(&self, cost: u64, launch: usize) -> u64 {
         let m = self.launches[launch].mem_intensity;
         (cost as f64 * self.contention_factor(m)).round() as u64
+    }
+
+    /// Stretch `cost` by CU `cu`'s straggler factor if a slowdown window
+    /// is open at segment start. The no-window path performs no float
+    /// arithmetic at all, keeping fault-free runs bit-identical.
+    fn straggled(&self, cost: u64, cu: usize) -> u64 {
+        match self.cus[cu].slow {
+            Some((factor, until)) if self.now < until => (cost as f64 * factor).round() as u64,
+            _ => cost,
+        }
     }
 
     fn try_start(&mut self, cu: usize) {
@@ -735,6 +1128,7 @@ impl Engine {
             k.open_since = Some(self.now);
         }
         k.resident += 1;
+        self.cus[cu].resident.push(tid);
         if self.collect_trace {
             self.trace.push(TraceEvent {
                 time: self.now,
@@ -749,8 +1143,14 @@ impl Engine {
         match self.tasks[tid].kind {
             TaskKind::HardwareWg { cost } => {
                 self.kernels[l].executed += 1;
-                let d = dispatch + self.scaled(cost, l);
-                self.schedule(self.now + d, Event::PhaseDone(tid));
+                // A hardware WG restarting after a fault rolled it back is
+                // the retry of its own lost work.
+                if self.tasks[tid].lost {
+                    self.tasks[tid].lost = false;
+                    self.kernels[l].retried += 1;
+                }
+                let d = dispatch + self.straggled(self.scaled(cost, l), cu);
+                self.schedule_phase(self.now + d, tid);
             }
             TaskKind::StaticWorker { .. } => {
                 self.schedule_static_segment(tid, self.now + dispatch);
@@ -778,20 +1178,28 @@ impl Engine {
             unreachable!("StaticWorker only exists for PersistentStatic plans");
         };
         match assignments[w].get(next) {
-            None => self.schedule(ready_at, Event::PhaseDone(tid)),
+            None => self.schedule_phase(ready_at, tid),
             Some(&cost) => {
                 let work = cost + *per_vg_overhead;
                 self.kernels[l].executed += 1;
-                let d = self.scaled(work, l);
+                if self.tasks[tid].lost {
+                    self.tasks[tid].lost = false;
+                    self.kernels[l].retried += 1;
+                }
+                let cu = self.tasks[tid].cu;
+                let d = self.straggled(self.scaled(work, l), cu);
                 self.tasks[tid].kind = TaskKind::StaticWorker { next: next + 1 };
-                self.schedule(ready_at + d, Event::PhaseDone(tid));
+                self.tasks[tid].in_flight = Some((next, next + 1));
+                self.schedule_phase(ready_at + d, tid);
             }
         }
     }
 
     /// Persistent worker `tid` is ready to fetch its next chunk at
     /// `ready_at`; either schedules the chunk's completion or, if the queue
-    /// is empty, the worker's retirement.
+    /// is empty, the worker's retirement. Fault-lost ranges are claimed
+    /// ahead of fresh work, so every lost chunk re-executes exactly once
+    /// before the launch can drain.
     fn schedule_dequeue(&mut self, tid: usize, ready_at: u64) {
         let l = self.tasks[tid].launch;
         let (vg_costs, chunk, per_vg) = match &self.launches[l].plan {
@@ -815,47 +1223,58 @@ impl Engine {
             }
             _ => unreachable!("DynWorker only exists for dynamic plans"),
         };
+        let retry_empty = self.retry[l].is_empty();
         let k = &mut self.kernels[l];
-        if k.next_vg >= vg_costs.len() || k.tasks_left > k.worker_cap {
+        if (k.next_vg >= vg_costs.len() && retry_empty) || k.tasks_left > k.worker_cap {
             // Queue drained, or the launch's allotment was reclaimed below
             // its live worker count: one final (free) check, worker
             // retires now without claiming (`on_phase_done` distinguishes
             // the two and books the reclaim).
-            self.schedule(ready_at, Event::PhaseDone(tid));
+            self.schedule_phase(ready_at, tid);
             return;
         }
-        let start = k.next_vg;
-        let end = (start + chunk.max(1)).min(vg_costs.len());
-        k.next_vg = end;
+        let (start, end) = if retry_empty {
+            let start = k.next_vg;
+            let end = (start + chunk.max(1)).min(vg_costs.len());
+            k.next_vg = end;
+            (start, end)
+        } else {
+            // Requeued lost chunk: re-claim it verbatim, at the head of
+            // the queue, and book the re-execution.
+            let range = self.retry[l].pop_front().expect("checked non-empty");
+            let k = &mut self.kernels[l];
+            k.retried += range.1 - range.0;
+            range
+        };
+        let k = &mut self.kernels[l];
         k.executed += end - start;
         // Atomic dequeue: the queue is a serial resource.
         let deq_start = ready_at.max(k.queue_free_at);
         let deq_end = deq_start + self.config.atomic_op_cost;
         k.queue_free_at = deq_end;
         let work: u64 = vg_costs[start..end].iter().sum::<u64>() + per_vg * (end - start) as u64;
-        let exec = self.scaled(work, l);
+        let cu = self.tasks[tid].cu;
+        let exec = self.straggled(self.scaled(work, l), cu);
+        self.tasks[tid].in_flight = Some((start, end));
         if self.collect_trace {
             self.trace.push(TraceEvent {
                 time: deq_start,
                 launch: LaunchId(l as u32),
-                cu: self.tasks[tid].cu,
+                cu,
                 kind: TraceKind::Dequeue,
             });
         }
-        self.schedule(deq_end + exec, Event::PhaseDone(tid));
+        self.schedule_phase(deq_end + exec, tid);
     }
 
     fn on_phase_done(&mut self, tid: usize) {
         let l = self.tasks[tid].launch;
+        // Whatever was in flight completed (stale events never get here).
+        self.tasks[tid].phase_seq = 0;
+        self.tasks[tid].in_flight = None;
         match self.tasks[tid].kind {
             TaskKind::DynWorker => {
-                let drained = match &self.launches[l].plan {
-                    LaunchPlan::PersistentDynamic { vg_costs, .. }
-                    | LaunchPlan::PersistentGuided { vg_costs, .. } => {
-                        self.kernels[l].next_vg >= vg_costs.len()
-                    }
-                    _ => unreachable!(),
-                };
+                let drained = self.dyn_drained(l);
                 if !drained {
                     // Chunk boundary: a worker above the reclaimed cap
                     // retires here instead of dequeuing again — its slot
@@ -905,20 +1324,21 @@ impl Engine {
             c.free_local += req.local_mem as i64;
             c.free_regs += req.regs_total() as i64;
             c.free_slots += 1;
+            let pos = c
+                .resident
+                .iter()
+                .position(|&t| t == tid)
+                .expect("completing task was resident");
+            c.resident.swap_remove(pos);
         }
         let mi = self.launches[l].mem_intensity;
         self.resident_mem_load -= req.threads as f64 * mi;
         self.resident_compute_load -= req.threads as f64 * (1.0 - mi);
         // A dynamic launch whose last worker retires with virtual groups
-        // still queued is *paused*, not finished: `end` stays put and the
-        // launch waits for a resume (or elastic regrowth) to drain it.
-        let stranded = match &self.launches[l].plan {
-            LaunchPlan::PersistentDynamic { vg_costs, .. }
-            | LaunchPlan::PersistentGuided { vg_costs, .. } => {
-                self.kernels[l].next_vg < vg_costs.len()
-            }
-            _ => false,
-        };
+        // still queued (or fault-lost ranges still unclaimed) is *paused*,
+        // not finished: `end` stays put and the launch waits for a resume
+        // (or elastic regrowth) to drain it.
+        let stranded = !self.dyn_drained(l);
         let k = &mut self.kernels[l];
         k.resident -= 1;
         if k.resident == 0 {
@@ -929,6 +1349,7 @@ impl Engine {
         let retired = k.tasks_left == 0 && !stranded;
         if retired {
             k.end = self.now;
+            self.retired[l] = true;
         }
         if self.collect_trace {
             self.trace.push(TraceEvent {
@@ -958,18 +1379,17 @@ impl Engine {
                 let max = self.launches[l]
                     .max_workers
                     .expect("growable implies max_workers");
-                let (LaunchPlan::PersistentDynamic { vg_costs, .. }
-                | LaunchPlan::PersistentGuided { vg_costs, .. }) = &self.launches[l].plan
-                else {
-                    unreachable!("growable implies a dynamic plan");
-                };
                 // Growth is bounded by *live* workers, not cumulative
                 // spawns: a launch shrunk by reclamation may regrow once
                 // the pressure eases (identical to the old `spawned`
                 // bound when nothing is ever reclaimed, because workers
-                // only retire once the queue is drained).
+                // only retire once the queue is drained). Aborted
+                // launches are dead and drained ones have nothing left —
+                // but fault-lost ranges awaiting retry do count as work,
+                // so a launch can grow back just to re-execute them.
                 if self.kernels[l].tasks_left >= max as usize
-                    || self.kernels[l].next_vg >= vg_costs.len()
+                    || self.aborted[l]
+                    || self.dyn_drained(l)
                 {
                     continue;
                 }
@@ -987,6 +1407,9 @@ impl Engine {
                     kind: TaskKind::DynWorker,
                     cu,
                     wi,
+                    phase_seq: 0,
+                    in_flight: None,
+                    lost: false,
                 });
                 self.kernels[l].spawned += 1;
                 self.kernels[l].tasks_left += 1;
@@ -1446,6 +1869,7 @@ mod tests {
                     at: 1_000,
                     launch: id,
                     workers: 1,
+                    pressure: None,
                 });
             }
             (sim.run(), id)
@@ -1481,6 +1905,7 @@ mod tests {
                     at: 1_000,
                     launch: batch,
                     workers: 1,
+                    pressure: None,
                 });
             }
             let r = sim.run();
@@ -1512,6 +1937,7 @@ mod tests {
                     at: 50,
                     launch: id,
                     workers: 1,
+                    pressure: None,
                 });
             }
             sim.run()
@@ -1530,6 +1956,7 @@ mod tests {
             at: 0,
             launch: LaunchId(3),
             workers: 1,
+            pressure: None,
         });
     }
 
@@ -1548,6 +1975,7 @@ mod tests {
             at: 1_000,
             launch: batch,
             workers: 1,
+            pressure: None,
         });
         let r = sim.run();
         let k = r.kernel(batch);
@@ -1570,11 +1998,13 @@ mod tests {
                 at: 700,
                 launch: a,
                 workers: 1,
+                pressure: None,
             });
             sim.add_reclaim(ReclaimCmd {
                 at: 900,
                 launch: b,
                 workers: 1,
+                pressure: None,
             });
             sim.run()
         };
@@ -1628,6 +2058,7 @@ mod tests {
                 at: 1_000,
                 launch: batch,
                 workers: 0,
+                pressure: None,
             });
             if resume {
                 sim.add_resume(ResumeCmd {
@@ -1676,6 +2107,7 @@ mod tests {
             at: 1_000,
             launch: batch,
             workers: 0,
+            pressure: None,
         });
         sim.add_resume(ResumeCmd {
             after: premium,
@@ -1687,6 +2119,7 @@ mod tests {
             at: 8_000,
             launch: batch,
             workers: 0,
+            pressure: None,
         });
         let r = sim.run();
         let k = r.kernel(batch);
@@ -1746,6 +2179,7 @@ mod tests {
                 at: 500,
                 launch: a,
                 workers: 0,
+                pressure: None,
             });
             sim.add_resume(ResumeCmd {
                 after: b,
@@ -1845,5 +2279,278 @@ mod tests {
             assert!(w[0].1 <= w[1].0, "intervals must be ordered and disjoint");
         }
         assert!(iv.iter().all(|(s, e)| s < e));
+    }
+
+    #[test]
+    fn zero_fault_runs_are_bit_identical() {
+        // The whole fault plane must be dormant when nothing is injected:
+        // a simulator fed an empty plan produces the exact same report
+        // (trace included) as one that never heard of faults.
+        let run = |with_plan: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            sim.add_launch(dyn_launch("a", 2, 60, 40));
+            sim.add_launch(hw_launch("b", 4, 120));
+            if with_plan {
+                sim = sim.with_faults(FaultPlan::default());
+            }
+            sim.run()
+        };
+        let plain = run(false);
+        assert_eq!(plain, run(true));
+        assert_eq!(plain.faults_injected, 0);
+    }
+
+    #[test]
+    fn cu_failure_loses_no_work() {
+        // A CU dies mid-flight under a dynamic launch: the in-flight
+        // chunks of its residents are requeued and every virtual group
+        // still executes, with the lost ones booked as retried.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+        let id = sim.add_launch(dyn_launch("batch", 4, 200, 100));
+        sim.add_fault(FaultEvent {
+            at: 2_000,
+            kind: FaultKind::CuFailure {
+                cu: 0,
+                repair_at: None,
+            },
+        });
+        let r = sim.run();
+        let k = r.kernel(id);
+        assert_eq!(k.groups_executed, 200, "conservation survives the failure");
+        assert!(k.chunks_lost > 0, "the fault must catch work in flight");
+        assert_eq!(
+            k.groups_retried, k.chunks_lost,
+            "chunk size 1: each lost chunk is one retried group"
+        );
+        let fault_events = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Fault)
+            .count();
+        assert_eq!(fault_events, k.chunks_lost);
+        assert_eq!(r.faults_injected, 1);
+    }
+
+    #[test]
+    fn hw_groups_lost_to_cu_failure_rerun() {
+        // test_tiny holds 2 work groups per CU: the failure kills CU 0's
+        // two residents, which migrate to CU 1 and re-execute after its
+        // own residents finish.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+        let id = sim.add_launch(hw_launch("hw", 4, 1_000));
+        sim.add_fault(FaultEvent {
+            at: 500,
+            kind: FaultKind::CuFailure {
+                cu: 0,
+                repair_at: None,
+            },
+        });
+        let r = sim.run();
+        let k = r.kernel(id);
+        assert_eq!(k.chunks_lost, 2);
+        assert_eq!(k.groups_retried, 2);
+        assert_eq!(k.groups_executed, 4, "lost hardware groups re-execute");
+        assert!(
+            r.makespan > 2 * 1_000,
+            "the rerun serialises behind the survivors: {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn repair_restores_capacity_for_elastic_launches() {
+        let run = |repair_at: Option<u64>| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            let mut batch = dyn_launch("batch", 4, 200, 100);
+            batch.max_workers = Some(6);
+            let id = sim.add_launch(batch);
+            sim.add_fault(FaultEvent {
+                at: 1_000,
+                kind: FaultKind::CuFailure { cu: 0, repair_at },
+            });
+            let r = sim.run();
+            (r.makespan, r.kernel(id).groups_executed)
+        };
+        let (permanent, done_p) = run(None);
+        let (repaired, done_r) = run(Some(2_000));
+        assert_eq!(done_p, 200, "even a permanent failure loses no work");
+        assert_eq!(done_r, 200);
+        assert!(
+            repaired < permanent,
+            "growing back into the repaired CU must help: {repaired} vs {permanent}"
+        );
+    }
+
+    #[test]
+    fn straggler_slows_without_losing_work() {
+        let run = |slow: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny());
+            let id = sim.add_launch(dyn_launch("k", 4, 100, 50));
+            if slow {
+                sim.add_fault(FaultEvent {
+                    at: 0,
+                    kind: FaultKind::Straggler {
+                        cu: 0,
+                        factor: 4.0,
+                        until: u64::MAX,
+                    },
+                });
+            }
+            let r = sim.run();
+            (
+                r.makespan,
+                r.kernel(id).groups_executed,
+                r.kernel(id).chunks_lost,
+            )
+        };
+        let (nominal, done, _) = run(false);
+        let (slowed, done_s, lost) = run(true);
+        assert_eq!(done, 100);
+        assert_eq!(done_s, 100, "a straggler only stretches, never drops");
+        assert_eq!(lost, 0);
+        assert!(slowed > nominal, "{slowed} vs {nominal}");
+        assert!(
+            slowed < nominal * 4,
+            "dynamic dequeue shifts work off the slow CU: {slowed} vs 4x{nominal}"
+        );
+    }
+
+    #[test]
+    fn kernel_abort_reports_partial_work_and_frees_the_device() {
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let batch = sim.add_launch(dyn_launch("batch", 4, 400, 100));
+        let mut late = hw_launch("late", 4, 100);
+        late.arrival = 3_000;
+        let late = sim.add_launch(late);
+        sim.add_fault(FaultEvent {
+            at: 2_000,
+            kind: FaultKind::KernelAbort { launch: batch },
+        });
+        let r = sim.run();
+        let k = r.kernel(batch);
+        assert!(k.aborted);
+        assert_eq!(k.end, 2_000, "the abort instant is the launch's end");
+        assert!(
+            k.groups_executed > 0 && k.groups_executed < 400,
+            "the completed count survives the abort: {}",
+            k.groups_executed
+        );
+        // The torn-down launch released every slot: the late arrival runs
+        // at full width, exactly as on an idle device.
+        assert_eq!(r.kernel(late).first_start, Some(3_000));
+        assert_eq!(r.kernel(late).end, 3_110);
+    }
+
+    #[test]
+    fn abort_still_fires_anchored_resumes() {
+        // A victim paused for a batch tenant must wake up even when that
+        // tenant aborts instead of retiring cleanly.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let victim = sim.add_launch(dyn_launch("victim", 2, 100, 50));
+        let batch = sim.add_launch(dyn_launch("batch", 2, 400, 100));
+        sim.add_reclaim(ReclaimCmd {
+            at: 500,
+            launch: victim,
+            workers: 0,
+            pressure: Some(batch),
+        });
+        sim.add_resume(ResumeCmd {
+            after: batch,
+            launch: victim,
+            workers: 2,
+        });
+        sim.add_fault(FaultEvent {
+            at: 2_000,
+            kind: FaultKind::KernelAbort { launch: batch },
+        });
+        let r = sim.run();
+        let k = r.kernel(victim);
+        assert_eq!(k.pauses, 1);
+        assert_eq!(k.resumes, 1, "the abort anchors the resume");
+        assert_eq!(k.groups_executed, 100, "the resumed victim drains fully");
+        assert!(r.kernel(batch).aborted);
+    }
+
+    #[test]
+    fn stale_pressured_reclaim_is_void() {
+        // Per-tenant scoping (no resume floor involved): a command tagged
+        // with a pressuring tenant that has already retired is dropped
+        // outright — it books no preemption and pauses nothing.
+        let mut sim = Simulator::new(DeviceConfig::test_tiny());
+        let batch = sim.add_launch(dyn_launch("batch", 4, 300, 100));
+        let mut premium = hw_launch("premium", 4, 100);
+        premium.arrival = 1_000;
+        let premium = sim.add_launch(premium);
+        sim.add_reclaim(ReclaimCmd {
+            at: 1_000,
+            launch: batch,
+            workers: 1,
+            pressure: Some(premium),
+        });
+        // Stale: tagged with the premium tenant, landing long after it
+        // retired.
+        sim.add_reclaim(ReclaimCmd {
+            at: 8_000,
+            launch: batch,
+            workers: 0,
+            pressure: Some(premium),
+        });
+        let r = sim.run();
+        let k = r.kernel(batch);
+        assert_eq!(k.preemptions, 1, "the stale tagged command is void");
+        assert_eq!(k.pauses, 0);
+        assert_eq!(k.groups_executed, 300);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let build = || {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            sim.add_launch(dyn_launch("a", 4, 200, 60));
+            let b = sim.add_launch(hw_launch("b", 8, 150));
+            sim.add_fault(FaultEvent {
+                at: 500,
+                kind: FaultKind::Straggler {
+                    cu: 1,
+                    factor: 2.5,
+                    until: 2_500,
+                },
+            });
+            sim.add_fault(FaultEvent {
+                at: 1_000,
+                kind: FaultKind::CuFailure {
+                    cu: 0,
+                    repair_at: Some(3_000),
+                },
+            });
+            sim.add_fault(FaultEvent {
+                at: 1_200,
+                kind: FaultKind::KernelAbort { launch: b },
+            });
+            sim.run()
+        };
+        let r = build();
+        assert_eq!(r, build());
+        assert_eq!(r.faults_injected, 3);
+        let fault_events = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Fault)
+            .count();
+        assert_eq!(
+            fault_events,
+            r.kernels.iter().map(|k| k.chunks_lost).sum::<usize>()
+        );
+        let starts = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::WgStart)
+            .count();
+        let ends = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::WgEnd)
+            .count();
+        assert_eq!(starts, ends, "fault teardowns book their WgEnd");
     }
 }

@@ -9,7 +9,7 @@
 //! repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
-//!              fig15 small ablation dynamic priority deadline all
+//!              fig15 small ablation dynamic priority deadline faults all
 //! ```
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
@@ -37,6 +37,12 @@
 //! `accelos` (misses), `accelos-priority` (holds by flooring every
 //! victim) and `accelos-deadline` (holds while reclaiming just enough).
 //!
+//! `faults` re-runs the same episode under increasingly faulty machines
+//! (seeded, repairable CU failures plus straggler windows, identical
+//! across policies) and reports each policy's throughput-degradation
+//! curve, recovery latency and the exactly-once retry witness — every
+//! in-flight group a failure rolls back must re-execute exactly once.
+//!
 //! Sweeps shard their `(workload × repetition)` grid across a thread pool
 //! sized to the host (override with `--jobs N`; `--sequential` is
 //! shorthand for `--jobs 1`). Thread count never changes the numbers:
@@ -52,10 +58,10 @@
 //! flags. See `accel_harness::shard` for the dataflow.
 
 use accel_harness::experiments::{
-    chunk_ablation, deadline_hold_rates, deadline_scenario, device_sweeps, dynamic_tenancy, fig11,
-    fig15, fig2, priority_preemption, render_ablation, render_deadline, render_dynamic_tenancy,
-    render_fig11, render_fig15, render_priority_preemption, render_small_kernels, small_kernels,
-    DeviceSweeps,
+    chunk_ablation, deadline_hold_rates, deadline_scenario, device_sweeps, dynamic_tenancy,
+    fault_scenario, fig11, fig15, fig2, priority_preemption, render_ablation, render_deadline,
+    render_dynamic_tenancy, render_fault_scenario, render_fig11, render_fig15,
+    render_priority_preemption, render_small_kernels, small_kernels, DeviceSweeps,
 };
 use accel_harness::runner::Runner;
 use accel_harness::shard::{self, ShardSpec};
@@ -218,6 +224,17 @@ fn deadline_set(opts: &Options) -> PolicySet {
         opts.policies.clone()
     } else {
         PolicySet::parse("accelos,accelos-priority,accelos-deadline").expect("builtin names")
+    }
+}
+
+/// The set the `faults` experiment sweeps: `--policies` when given,
+/// otherwise the queueing-vs-preemption comparison (the interesting
+/// question is whether preemptive replanning survives capacity loss).
+fn faults_set(opts: &Options) -> PolicySet {
+    if opts.policies_given {
+        opts.policies.clone()
+    } else {
+        PolicySet::parse("accelos,accelos-priority").expect("builtin names")
     }
 }
 
@@ -412,7 +429,7 @@ fn main() {
         Err(e) => {
             eprintln!("repro: {e}");
             eprintln!(
-                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|all>... \
+                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|deadline|faults|all>... \
                  [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
                  [--jobs N] [--sequential] [--shard i/n [--out FILE]]\n\
@@ -539,6 +556,13 @@ fn main() {
                 })
                 .collect();
             println!("{}", render_deadline(&scenario, &rates, &device.name));
+        }
+        if wants(exps, "faults") {
+            let set = faults_set(&opts);
+            println!(
+                "{}",
+                render_fault_scenario(&fault_scenario(&runner, &set, opts.cfg.seed), &device.name)
+            );
         }
         if wants(exps, "priority") {
             // Without --policies, the natural comparison is queueing

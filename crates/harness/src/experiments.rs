@@ -17,7 +17,7 @@
 use crate::runner::{Runner, WorkloadRun};
 use crate::workloads::{alphabetic_pairs, SweepConfig, Workload};
 use accelos::policy::PolicySet;
-use gpu_sim::{DeviceConfig, KernelLaunch, LaunchPlan, Simulator};
+use gpu_sim::{DeviceConfig, FaultPlan, FaultSpec, KernelLaunch, LaunchPlan, Simulator};
 use parboil::KernelSpec;
 use rayon::prelude::*;
 use std::fmt;
@@ -1381,6 +1381,188 @@ pub fn render_deadline(
     s
 }
 
+// ---------------------------------------------------------------------
+// Extension — fault injection and recovery
+// ---------------------------------------------------------------------
+
+/// CU-failure counts swept by the `faults` scenario. Each count draws
+/// that many repairable CU failures (plus half as many straggler
+/// windows) over the clean episode's horizon; 0 is the control cell that
+/// must reproduce the fault-free episode bit-for-bit.
+pub const FAULT_COUNTS: [usize; 4] = [0, 1, 2, 4];
+
+/// One `(policy, fault count)` cell of the fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// CU failures requested from the draw.
+    pub cu_failures: usize,
+    /// Faults the simulator actually injected (failures + stragglers).
+    pub faults_injected: usize,
+    /// Episode makespan under the plan.
+    pub makespan: u64,
+    /// `makespan / clean makespan` for the same policy
+    /// ([`sched_metrics::fault_degradation`]).
+    pub degradation: f64,
+    /// Turnaround of the premium tenant under the plan.
+    pub premium_turnaround: u64,
+    /// In-flight virtual groups lost across all launches.
+    pub chunks_lost: usize,
+    /// Virtual groups re-executed after a fault lost their first run.
+    pub groups_retried: usize,
+    /// First fault → episode completion
+    /// ([`sched_metrics::recovery_latency`]; 0 in the control cell).
+    pub recovery_latency: u64,
+    /// The exactly-once retry witness: every lost group re-executed
+    /// (`groups_retried == chunks_lost`) and no launch aborted.
+    pub conserved: bool,
+}
+
+/// One policy's degradation curve across the swept fault counts.
+#[derive(Debug, Clone)]
+pub struct FaultPolicyRow {
+    /// Policy label.
+    pub policy: String,
+    /// One cell per entry of [`FAULT_COUNTS`], in order.
+    pub cells: Vec<FaultCell>,
+}
+
+/// One full fault sweep: the horizon faults were drawn over, and one
+/// curve per swept policy.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Fault times were drawn uniformly from `[0, horizon)` — the
+    /// reference policy's clean episode length.
+    pub horizon: u64,
+    /// Per-policy curves, in set order.
+    pub rows: Vec<FaultPolicyRow>,
+}
+
+/// Extension experiment (ROADMAP "fault-injection plane"): the
+/// mixed-priority episode of [`priority_preemption`] re-run under
+/// increasingly faulty machines. For each count of [`FAULT_COUNTS`] a
+/// [`FaultPlan`] is drawn once — repairable CU failures plus straggler
+/// windows, seeded, identical for every policy — then every policy of
+/// `set` replans around the rehearsed capacity losses
+/// ([`accelos::policy::SchedulingPolicy::on_fault`]) and runs the episode with the
+/// faults injected. Work is conserved by construction (no aborts are
+/// drawn): every cell's `conserved` witness checks that each lost
+/// in-flight group re-executed exactly once, and the zero-fault control
+/// cell is bit-identical to the fault-free episode.
+pub fn fault_scenario(runner: &Runner, set: &PolicySet, seed: u64) -> FaultScenario {
+    let workload = priority_workload();
+    // Episode shape (arrival, horizon) is fixed by the accelOS reference,
+    // like the deadline scenario: independent of the swept set, so two
+    // `--policies` lists see the same machine failing at the same times.
+    let accelos = accelos::policy::AccelOsPolicy::optimized();
+    let t_batch = runner.isolated_time(&accelos, workload[1], seed);
+    let arrivals: Vec<u64> = vec![t_batch / 4, 0, 0];
+    let ctx = runner.rep_context(&workload, seed);
+    let horizon = runner
+        .preemptive_report(&ctx, &accelos, &arrivals)
+        .total_time()
+        .max(1);
+    let num_cus = runner.device().num_cus;
+    let plans: Vec<FaultPlan> = FAULT_COUNTS
+        .iter()
+        .map(|&n| {
+            let spec = FaultSpec {
+                horizon,
+                cu_failures: n,
+                // Repairable at a quarter-episode: capacity degrades, the
+                // machine never shrinks permanently.
+                repair_delay: Some(horizon / 4),
+                stragglers: n / 2,
+                slowdown: 3.0,
+                straggler_window: horizon / 8,
+                aborts: 0,
+            };
+            FaultPlan::from_spec(&spec, num_cus, workload.len(), seed.wrapping_add(n as u64))
+        })
+        .collect();
+    let rows = set
+        .iter()
+        .map(|policy| {
+            let clean = runner
+                .preemptive_report(&ctx, policy.as_ref(), &arrivals)
+                .total_time()
+                .max(1);
+            let cells = FAULT_COUNTS
+                .iter()
+                .zip(&plans)
+                .map(|(&n, plan)| {
+                    let report = runner.faulty_report(&ctx, policy.as_ref(), &arrivals, plan);
+                    let makespan = report.total_time();
+                    let first_fault = plan.events.first().map(|e| e.at);
+                    let lost: usize = report.kernels.iter().map(|k| k.chunks_lost).sum();
+                    let retried: usize = report.kernels.iter().map(|k| k.groups_retried).sum();
+                    FaultCell {
+                        cu_failures: n,
+                        faults_injected: report.faults_injected,
+                        makespan,
+                        degradation: sched_metrics::fault_degradation(clean, makespan),
+                        premium_turnaround: report.kernels[0].turnaround(),
+                        chunks_lost: lost,
+                        groups_retried: retried,
+                        recovery_latency: first_fault
+                            .map(|at| sched_metrics::recovery_latency(at, makespan))
+                            .unwrap_or(0),
+                        conserved: retried == lost && report.kernels.iter().all(|k| !k.aborted),
+                    }
+                })
+                .collect();
+            FaultPolicyRow {
+                policy: policy.label().to_string(),
+                cells,
+            }
+        })
+        .collect();
+    FaultScenario { horizon, rows }
+}
+
+/// Render the fault sweep: one line per `(policy, fault count)` cell.
+pub fn render_fault_scenario(scenario: &FaultScenario, device: &str) -> String {
+    let mut s = format!(
+        "Extension — fault injection and recovery (repairable CU failures + stragglers drawn over {} cycles), {device}\n",
+        scenario.horizon
+    );
+    s += &format!(
+        "  {:<17} {:>6} {:>9} {:>10} {:>8} {:>12} {:>6} {:>8} {:>9} {:>10}\n",
+        "policy",
+        "drawn",
+        "injected",
+        "makespan",
+        "degrad.",
+        "premium TT",
+        "lost",
+        "retried",
+        "recovery",
+        "conserved"
+    );
+    for row in &scenario.rows {
+        for c in &row.cells {
+            s += &format!(
+                "  {:<17} {:>6} {:>9} {:>10} {:>7.2}x {:>12} {:>6} {:>8} {:>9} {:>10}\n",
+                row.policy,
+                c.cu_failures,
+                c.faults_injected,
+                c.makespan,
+                c.degradation,
+                c.premium_turnaround,
+                c.chunks_lost,
+                c.groups_retried,
+                if c.recovery_latency == 0 {
+                    "-".to_string()
+                } else {
+                    c.recovery_latency.to_string()
+                },
+                if c.conserved { "yes" } else { "NO" }
+            );
+        }
+    }
+    s += "  (drawn = requested CU failures; lost/retried = in-flight groups rolled back\n   and re-executed; conserved = every lost group re-ran exactly once)\n";
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1648,5 +1830,45 @@ mod tests {
             sg_guided.speedup_vs_chunk1
         );
         let _ = render_ablation(&rows, "K20m");
+    }
+
+    #[test]
+    fn fault_scenario_conserves_work_across_policies() {
+        let runner = Runner::new(DeviceConfig::k20m());
+        let set = PolicySet::parse("accelos,accelos-priority").unwrap();
+        let sc = fault_scenario(&runner, &set, 2016);
+        assert_eq!(sc.rows.len(), 2);
+        for row in &sc.rows {
+            assert_eq!(row.cells.len(), FAULT_COUNTS.len());
+            let control = &row.cells[0];
+            // The zero-fault control cell reproduces the clean episode.
+            assert_eq!(control.faults_injected, 0, "{}", row.policy);
+            assert!((control.degradation - 1.0).abs() < 1e-12, "{}", row.policy);
+            assert_eq!(control.chunks_lost, 0);
+            assert_eq!(control.recovery_latency, 0);
+            for c in &row.cells {
+                // The acceptance bar: every policy survives every drawn
+                // CU failure with zero lost work-groups.
+                assert!(
+                    c.conserved,
+                    "{} with {} failures: lost {} vs retried {}",
+                    row.policy, c.cu_failures, c.chunks_lost, c.groups_retried
+                );
+            }
+            // The heaviest cell really degrades something observable.
+            let worst = row.cells.last().unwrap();
+            assert!(worst.faults_injected > 0, "{}", row.policy);
+        }
+        // Determinism: the sweep is a pure function of (set, seed).
+        let again = fault_scenario(&runner, &set, 2016);
+        for (a, b) in sc.rows.iter().zip(&again.rows) {
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                assert_eq!(ca.makespan, cb.makespan);
+                assert_eq!(ca.groups_retried, cb.groups_retried);
+            }
+        }
+        let rendered = render_fault_scenario(&sc, "K20m");
+        assert!(rendered.contains("conserved"));
+        assert!(rendered.contains("accelOS-priority"));
     }
 }

@@ -24,12 +24,12 @@
 //! paper's 20-repetition averaging has variance to average over.
 
 use accelos::chunk::{chunk_for, Mode};
-use accelos::policy::{plan_with_arrivals, PlanCtx, SchedulingPolicy};
+use accelos::policy::{plan_with_arrivals_and_faults, FaultSchedule, PlanCtx, SchedulingPolicy};
 use accelos::resource::{ResourceDemand, ShareAllocation};
 use accelos::scheduler::{ExecRequest, LaunchDecision};
 use gpu_sim::{
-    Costs, DeviceConfig, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, SimReport, Simulator,
-    WorkGroupReq,
+    Costs, DeviceConfig, FaultPlan, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, SimReport,
+    Simulator, WorkGroupReq,
 };
 use parboil::{KernelDb, KernelSpec};
 use sched_metrics::IntervalSet;
@@ -324,6 +324,22 @@ impl Runner {
         policy: &dyn SchedulingPolicy,
         arrivals: &[u64],
     ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeCmd>) {
+        self.launches_preemptive_with_faults(ctx, policy, arrivals, &FaultPlan::default())
+    }
+
+    /// [`Runner::launches_preemptive`] with an injected [`FaultPlan`]
+    /// rehearsed into the plan: the policy's
+    /// [`SchedulingPolicy::on_fault`] hook pre-shrinks survivors for the
+    /// plan's permanent capacity losses and kernel aborts (transients are
+    /// the simulator's business). An empty plan is bit-identical to the
+    /// fault-free planner.
+    pub fn launches_preemptive_with_faults(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+        faults: &FaultPlan,
+    ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeCmd>) {
         assert_eq!(ctx.kernels.len(), arrivals.len(), "one arrival per kernel");
         let requests = ctx.exec_requests(policy.chunk_mode());
         let indices = policy.estimate_indices(&requests);
@@ -342,7 +358,13 @@ impl Runner {
         if !estimates.is_empty() {
             plan_ctx = plan_ctx.with_estimates(&estimates);
         }
-        let schedule = plan_with_arrivals(policy, &plan_ctx, &requests, arrivals);
+        let schedule = plan_with_arrivals_and_faults(
+            policy,
+            &plan_ctx,
+            &requests,
+            arrivals,
+            &FaultSchedule::from_fault_plan(faults),
+        );
         let launches = self.build_launches(
             ctx,
             policy,
@@ -358,6 +380,7 @@ impl Runner {
                 at: r.at,
                 launch: LaunchId(r.index as u32),
                 workers: r.workers,
+                pressure: r.pressure.map(|p| LaunchId(p as u32)),
             })
             .collect();
         let resumes = schedule
@@ -404,7 +427,7 @@ impl Runner {
     }
 
     fn simulate(&self, launches: Vec<KernelLaunch>) -> SimReport {
-        self.simulate_with(launches, Vec::new(), Vec::new())
+        self.simulate_with(launches, Vec::new(), Vec::new(), FaultPlan::default())
     }
 
     fn simulate_with(
@@ -412,6 +435,7 @@ impl Runner {
         launches: Vec<KernelLaunch>,
         reclaims: Vec<ReclaimCmd>,
         resumes: Vec<ResumeCmd>,
+        faults: FaultPlan,
     ) -> SimReport {
         let mut sim = Simulator::new(self.device.clone());
         for l in launches {
@@ -423,7 +447,7 @@ impl Runner {
         for r in resumes {
             sim.add_resume(r);
         }
-        sim.run()
+        sim.with_faults(faults).run()
     }
 
     /// Isolated execution time of one kernel under `policy` (cached by
@@ -545,7 +569,24 @@ impl Runner {
         arrivals: &[u64],
     ) -> SimReport {
         let (launches, reclaims, resumes) = self.launches_preemptive(ctx, policy, arrivals);
-        self.simulate_with(launches, reclaims, resumes)
+        self.simulate_with(launches, reclaims, resumes, FaultPlan::default())
+    }
+
+    /// Raw simulator report of a **faulty** cohort-planned run: the
+    /// [`FaultPlan`] is rehearsed into the plan (policy-visible capacity
+    /// losses and aborts drive [`SchedulingPolicy::on_fault`]) *and*
+    /// injected into the machine simulation. With an empty plan this is
+    /// bit-identical to [`Runner::preemptive_report`].
+    pub fn faulty_report(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+        faults: &FaultPlan,
+    ) -> SimReport {
+        let (launches, reclaims, resumes) =
+            self.launches_preemptive_with_faults(ctx, policy, arrivals, faults);
+        self.simulate_with(launches, reclaims, resumes, faults.clone())
     }
 
     /// Run one staggered workload through the policy's arrival hooks

@@ -109,6 +109,13 @@ pub struct ShardFile {
 /// The request sizes every sweep covers (paper §7.2).
 pub const REQUEST_SIZES: [usize; 3] = [2, 4, 8];
 
+/// Upper bound on a sweep's grid size accepted from a shard file. The
+/// real grids top out at tens of thousands of workloads; anything past
+/// this is a corrupt or hostile `total=`/`cells=` field, and rejecting
+/// it here keeps [`merge_shards`]'s `vec![None; total]` allocation (and
+/// the parser's `with_capacity`) bounded.
+pub const MAX_GRID: usize = 1 << 24;
+
 /// Compute one device's stripe of all three request-size grids.
 pub fn compute_shard(
     runner: &Runner,
@@ -193,6 +200,13 @@ fn parse_kv(token: &str, key: &str) -> Result<usize, String> {
 
 /// Parse a shard file produced by [`render_shard_file`].
 ///
+/// Beyond shape, the parser validates what a later [`merge_shards`]
+/// could only blame on the wrong file (or not catch at all): every
+/// `cell` index must fall inside its sweep's declared grid, appear at
+/// most once per sweep, and each sweep must hold exactly the number of
+/// cells its header declared — so a truncated or doctored file fails
+/// here, by line, instead of surfacing as a confusing merge error.
+///
 /// # Errors
 ///
 /// Returns a message describing the first malformed line.
@@ -228,6 +242,12 @@ pub fn parse_shard_file(text: &str) -> Result<ShardFile, String> {
 
     let mut devices: Vec<DeviceShard> = Vec::new();
     let mut saw_end = false;
+    // Declared `cells=` count of every sweep, in file order, checked
+    // against the parsed counts once the whole file is read.
+    let mut declared_cells: Vec<usize> = Vec::new();
+    // Global indices seen in the *current* sweep section, for rejecting
+    // within-file duplicates (merge only catches cross-shard ones).
+    let mut seen_gi: std::collections::HashSet<usize> = std::collections::HashSet::new();
     for (no, raw) in lines {
         let err = |msg: String| format!("line {}: {msg}", no + 1);
         if raw == "end" {
@@ -248,16 +268,36 @@ pub fn parse_shard_file(text: &str) -> Result<ShardFile, String> {
             let dev = devices
                 .last_mut()
                 .ok_or_else(|| err("policies before any device".into()))?;
+            if !dev.policy_names.is_empty() {
+                return Err(err("second `policies` line for this device".into()));
+            }
+            if names.trim().is_empty() || names.split(',').any(|n| n.trim().is_empty()) {
+                return Err(err(format!("empty policy name in `{raw}`")));
+            }
             dev.policy_names = names.split(',').map(str::to_string).collect();
         } else if let Some(labels) = raw.strip_prefix("labels ") {
             let dev = devices
                 .last_mut()
                 .ok_or_else(|| err("labels before any device".into()))?;
-            dev.policy_labels = labels.split('\t').map(str::to_string).collect();
+            if dev.policy_names.is_empty() {
+                return Err(err("labels before the `policies` line".into()));
+            }
+            let labels: Vec<String> = labels.split('\t').map(str::to_string).collect();
+            if labels.len() != dev.policy_names.len() {
+                return Err(err(format!(
+                    "{} labels for {} policies",
+                    labels.len(),
+                    dev.policy_names.len()
+                )));
+            }
+            dev.policy_labels = labels;
         } else if let Some(rest) = raw.strip_prefix("sweep ") {
             let dev = devices
                 .last_mut()
                 .ok_or_else(|| err("sweep before any device".into()))?;
+            if dev.policy_names.is_empty() {
+                return Err(err("sweep before the `policies` line".into()));
+            }
             let toks: Vec<&str> = rest.split_whitespace().collect();
             if toks.len() != 3 {
                 return Err(err(format!("bad sweep line `{raw}`")));
@@ -265,10 +305,30 @@ pub fn parse_shard_file(text: &str) -> Result<ShardFile, String> {
             let request_size = toks[0]
                 .parse::<usize>()
                 .map_err(|e| err(format!("bad request size: {e}")))?;
+            if dev.sweeps.iter().any(|p| p.request_size == request_size) {
+                return Err(err(format!(
+                    "duplicate {request_size}-request sweep for device {}",
+                    dev.device
+                )));
+            }
+            let total = parse_kv(toks[1], "total").map_err(err)?;
+            let cells = parse_kv(toks[2], "cells").map_err(err)?;
+            if total > MAX_GRID {
+                return Err(err(format!(
+                    "grid of {total} workloads is implausibly large"
+                )));
+            }
+            if cells > total {
+                return Err(err(format!(
+                    "sweep declares {cells} cells for a {total}-workload grid"
+                )));
+            }
+            declared_cells.push(cells);
+            seen_gi.clear();
             dev.sweeps.push(PartialSweep {
                 request_size,
-                total: parse_kv(toks[1], "total").map_err(err)?,
-                cells: Vec::with_capacity(parse_kv(toks[2], "cells").map_err(err)?),
+                total,
+                cells: Vec::with_capacity(cells),
             });
         } else if let Some(rest) = raw.strip_prefix("cell ") {
             let dev = devices
@@ -285,6 +345,15 @@ pub fn parse_shard_file(text: &str) -> Result<ShardFile, String> {
                 .ok_or_else(|| err("empty cell".into()))?
                 .parse::<usize>()
                 .map_err(|e| err(format!("bad cell index: {e}")))?;
+            if gi >= sw.total {
+                return Err(err(format!(
+                    "cell index {gi} out of range for a {}-workload grid",
+                    sw.total
+                )));
+            }
+            if !seen_gi.insert(gi) {
+                return Err(err(format!("cell index {gi} appears twice in this sweep")));
+            }
             let words: Vec<f64> = toks
                 .map(|t| {
                     u64::from_str_radix(t, 16)
@@ -320,6 +389,27 @@ pub fn parse_shard_file(text: &str) -> Result<ShardFile, String> {
     }
     if devices.is_empty() {
         return Err("shard file holds no device sections".into());
+    }
+    // Every sweep must hold exactly the cell count its header declared:
+    // fewer means the file was truncated mid-sweep (the `end` sentinel
+    // only guards the tail), more means lines were duplicated in.
+    let mut declared = declared_cells.iter();
+    for dev in &devices {
+        if dev.policy_labels.is_empty() {
+            return Err(format!("device {} has no `labels` line", dev.device));
+        }
+        for sw in &dev.sweeps {
+            let want = *declared.next().expect("one declared count per sweep");
+            if sw.cells.len() != want {
+                return Err(format!(
+                    "{}-request sweep of device {} holds {} cells but declared {want} \
+                     (truncated or doctored shard file)",
+                    sw.request_size,
+                    dev.device,
+                    sw.cells.len()
+                ));
+            }
+        }
     }
     Ok(ShardFile {
         spec,
@@ -494,6 +584,126 @@ mod tests {
         let text = render_shard_file(shard.spec, &shard.config, &shard.devices);
         let parsed = parse_shard_file(&text).unwrap();
         assert_eq!(parsed, shard);
+    }
+
+    /// A small, valid shard file to mutate in the rejection tests.
+    fn good_file() -> String {
+        let metrics = WorkloadMetrics {
+            unfairness: vec![1.0, 2.0],
+            overlap: vec![0.5, 0.6],
+            total_time: vec![10.0, 11.0],
+            stp: vec![1.0, 1.1],
+            antt: vec![1.0, 1.2],
+            worst_antt: vec![1.0, 1.3],
+        };
+        render_shard_file(
+            ShardSpec { index: 0, count: 2 },
+            &SweepConfig::test_scale(),
+            &[DeviceShard {
+                device: "K20m".into(),
+                policy_names: vec!["baseline".into(), "accelos".into()],
+                policy_labels: vec!["OpenCL".into(), "accelOS".into()],
+                sweeps: vec![PartialSweep {
+                    request_size: 2,
+                    total: 4,
+                    cells: vec![(0, metrics.clone()), (2, metrics)],
+                }],
+            }],
+        )
+    }
+
+    /// Every rejection names the problem instead of panicking: truncated
+    /// files, doctored counts, out-of-range or duplicated indices, and
+    /// inconsistent policy metadata.
+    #[test]
+    fn parse_rejects_truncated_and_doctored_files() {
+        let good = good_file();
+        assert!(parse_shard_file(&good).is_ok());
+
+        let expect_err = |text: &str, needle: &str| {
+            let e = parse_shard_file(text).unwrap_err();
+            assert!(e.contains(needle), "error `{e}` should mention `{needle}`");
+        };
+
+        // Truncated: drop the `end` sentinel, or cut a cell line while
+        // keeping `end` (only the declared-count check can catch that).
+        expect_err(good.trim_end_matches("end\n"), "truncated");
+        let cut: String =
+            good.lines()
+                .filter(|l| !l.starts_with("cell 2"))
+                .fold(String::new(), |mut s, l| {
+                    s.push_str(l);
+                    s.push('\n');
+                    s
+                });
+        expect_err(&cut, "declared 2");
+
+        let swap = |from: &str, to: &str| good.replace(from, to);
+        // Doctored sweep headers.
+        expect_err(
+            &swap("total=4 cells=2", "total=4 cells=5"),
+            "declares 5 cells",
+        );
+        expect_err(
+            &swap("total=4 cells=2", "total=99999999999 cells=2"),
+            "implausibly large",
+        );
+        // Cell index outside the declared grid.
+        expect_err(&swap("cell 2", "cell 7"), "out of range");
+        // Same global index twice within one file.
+        expect_err(&swap("cell 2", "cell 0"), "appears twice");
+        // Policy metadata: empty name, arity mismatch, missing labels.
+        expect_err(
+            &swap("policies baseline,accelos", "policies baseline,"),
+            "empty policy name",
+        );
+        expect_err(
+            &swap("labels OpenCL\taccelOS", "labels OpenCL"),
+            "1 labels for 2 policies",
+        );
+        // A cell with the wrong number of values (corrupt column count).
+        let bad_cell = good
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("cell 2 ") {
+                    let keep: Vec<&str> = rest.split_whitespace().take(11).collect();
+                    format!("cell 2 {}", keep.join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        expect_err(&bad_cell, "11 values, expected 12");
+    }
+
+    #[test]
+    fn parse_rejects_sections_out_of_order() {
+        let good = good_file();
+        let drop_line = |prefix: &str| {
+            good.lines()
+                .filter(|l| !l.starts_with(prefix))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let e = parse_shard_file(&drop_line("policies ")).unwrap_err();
+        assert!(e.contains("before the `policies` line"), "{e}");
+        let e = parse_shard_file(&drop_line("labels ")).unwrap_err();
+        assert!(e.contains("no `labels` line"), "{e}");
+        let e = parse_shard_file(&drop_line("device ")).unwrap_err();
+        assert!(e.contains("before any device"), "{e}");
+        // A second `policies` line is ambiguous, not last-wins.
+        let twice = good.replace(
+            "policies baseline,accelos\n",
+            "policies baseline,accelos\npolicies baseline,accelos\n",
+        );
+        let e = parse_shard_file(&twice).unwrap_err();
+        assert!(e.contains("second `policies` line"), "{e}");
+        // Duplicate request-size section within one device.
+        let (head, tail) = good.split_once("sweep 2 total=4 cells=2\n").unwrap();
+        let dup = format!("{head}sweep 2 total=4 cells=0\nsweep 2 total=4 cells=2\n{tail}");
+        let e = parse_shard_file(&dup).unwrap_err();
+        assert!(e.contains("duplicate 2-request sweep"), "{e}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`jain_index`] — Jain's fairness index (the paper's reference \[17\]),
 //!   for cross-checking the max/min metric.
 //!
+//! Plus two extension metrics for the fault-injection plane:
+//! [`fault_degradation`] and [`recovery_latency`].
+//!
 //! # Examples
 //!
 //! ```
@@ -27,10 +30,12 @@
 
 pub mod fairness;
 pub mod intervals;
+pub mod recovery;
 pub mod throughput;
 
 pub use fairness::{
     antt, fairness_improvement, individual_slowdown, jain_index, stp, unfairness, worst_antt,
 };
 pub use intervals::IntervalSet;
+pub use recovery::{fault_degradation, recovery_latency};
 pub use throughput::{execution_overlap, throughput_speedup};

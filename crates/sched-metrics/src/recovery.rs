@@ -1,0 +1,80 @@
+//! Fault-recovery metrics (extension — fault-injection plane).
+//!
+//! The paper's metrics score *fair* sharing on a healthy device; the
+//! fault-injection extension also needs to score *resilient* sharing on a
+//! degraded one. Two small metrics cover it:
+//!
+//! * [`fault_degradation`] — how much longer the faulty episode ran than
+//!   the fault-free one (`1.0` = unharmed);
+//! * [`recovery_latency`] — how long the schedule needed to absorb the
+//!   first failure and drain the episode.
+
+/// Throughput degradation of a faulty episode: `T(faulty) / T(clean)`.
+///
+/// `1.0` means the faults cost nothing; a CU failure removing `1/N` of
+/// the machine should degrade a work-conserving schedule by at most
+/// about `N/(N-1)`.
+///
+/// # Panics
+///
+/// Panics if `t_clean` is zero.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sched_metrics::fault_degradation(1000, 1300), 1.3);
+/// ```
+pub fn fault_degradation(t_clean: u64, t_faulty: u64) -> f64 {
+    assert!(t_clean > 0, "clean execution time must be positive");
+    t_faulty as f64 / t_clean as f64
+}
+
+/// Recovery latency: device time between the first injected fault and
+/// the faulty episode's completion — how long the schedule takes to
+/// re-place displaced work, drain the retry queues, and finish.
+///
+/// Saturates to 0 when the fault lands after the episode already ended
+/// (a fault on an idle machine has nothing to recover from).
+///
+/// # Examples
+///
+/// ```
+/// // Fault at t=2000, episode drains at t=9000: 7000 cycles to recover.
+/// assert_eq!(sched_metrics::recovery_latency(2_000, 9_000), 7_000);
+/// // A fault after the makespan hit nothing.
+/// assert_eq!(sched_metrics::recovery_latency(9_500, 9_000), 0);
+/// ```
+pub fn recovery_latency(first_fault_at: u64, faulty_makespan: u64) -> u64 {
+    faulty_makespan.saturating_sub(first_fault_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_of_an_unharmed_run_is_one() {
+        assert_eq!(fault_degradation(1_000, 1_000), 1.0);
+    }
+
+    #[test]
+    fn degradation_scales_with_the_slowdown() {
+        assert!((fault_degradation(1_000, 1_500) - 1.5).abs() < 1e-12);
+        // A faulty run can even be *shorter* under reordering noise; the
+        // metric just reports the ratio.
+        assert!(fault_degradation(1_000, 900) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clean execution time must be positive")]
+    fn zero_clean_time_is_rejected() {
+        fault_degradation(0, 1);
+    }
+
+    #[test]
+    fn latency_saturates_at_zero() {
+        assert_eq!(recovery_latency(500, 2_000), 1_500);
+        assert_eq!(recovery_latency(2_000, 2_000), 0);
+        assert_eq!(recovery_latency(3_000, 2_000), 0);
+    }
+}

@@ -27,8 +27,8 @@ use accel_harness::experiments::priority_workload;
 use accel_harness::runner::Runner;
 use accelos::policy::{AccelOsPolicy, DeadlinePolicy, PriorityPolicy, SchedulingPolicy, SlaPolicy};
 use gpu_sim::{
-    DeviceConfig, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd, Simulator, TraceKind,
-    WorkGroupReq,
+    DeviceConfig, FaultEvent, FaultKind, FaultPlan, FaultSpec, KernelLaunch, LaunchId, LaunchPlan,
+    ReclaimCmd, ResumeCmd, Simulator, TraceKind, WorkGroupReq,
 };
 use parboil::KernelSpec;
 use proptest::prelude::*;
@@ -102,6 +102,7 @@ fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeC
             at: rng.random_range(0..15_000u64),
             launch: LaunchId(target as u32),
             workers,
+            pressure: None,
         });
         if workers == 0 {
             resumes.push(ResumeCmd {
@@ -112,6 +113,101 @@ fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeC
         }
     }
     (launches, reclaims, resumes)
+}
+
+/// Random fault schedule for the tiny device: CU failures (repairable and
+/// permanent — never permanently killing the last CU, matching the
+/// [`FaultPlan::from_spec`] guarantee), stragglers, and — when `aborts`
+/// is allowed — kernel aborts. Seeded separately from the episode so the
+/// two schedules decorrelate.
+fn random_faults(seed: u64, n_launches: usize, aborts: bool) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17);
+    let num_cus = DeviceConfig::test_tiny().num_cus;
+    let mut events = Vec::new();
+    let mut dead: Vec<usize> = Vec::new();
+    for _ in 0..rng.random_range(0..3usize) {
+        let cu = rng.random_range(0..num_cus);
+        let at = rng.random_range(0..15_000u64);
+        let repairable = rng.random_range(0..2u32) == 0;
+        if !repairable {
+            if !dead.contains(&cu) && dead.len() + 1 >= num_cus {
+                continue; // keep one CU alive
+            }
+            if !dead.contains(&cu) {
+                dead.push(cu);
+            }
+        }
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::CuFailure {
+                cu,
+                repair_at: repairable.then(|| at + rng.random_range(500..4_000u64)),
+            },
+        });
+    }
+    for _ in 0..rng.random_range(0..3usize) {
+        let cu = rng.random_range(0..num_cus);
+        let at = rng.random_range(0..15_000u64);
+        events.push(FaultEvent {
+            at,
+            kind: FaultKind::Straggler {
+                cu,
+                factor: 1.0 + rng.random_range(1..6u32) as f64,
+                until: at + rng.random_range(500..5_000u64),
+            },
+        });
+    }
+    if aborts {
+        for _ in 0..rng.random_range(0..2usize) {
+            events.push(FaultEvent {
+                at: rng.random_range(0..15_000u64),
+                kind: FaultKind::KernelAbort {
+                    launch: LaunchId(rng.random_range(0..n_launches as u32)),
+                },
+            });
+        }
+    }
+    FaultPlan::new(events)
+}
+
+/// Replay a traced report against the device budget: per-CU threads and
+/// slots never exceed capacity and never go negative — shared by the
+/// fault-free and faulty no-double-booking proptests.
+fn replay_occupancy(cfg: &DeviceConfig, launches: &[KernelLaunch], report: &gpu_sim::SimReport) {
+    let mut threads = vec![0i64; cfg.num_cus];
+    let mut slots = vec![0i64; cfg.num_cus];
+    for ev in &report.trace {
+        let wg_threads = launches[ev.launch.0 as usize].req.threads as i64;
+        match ev.kind {
+            TraceKind::WgStart => {
+                threads[ev.cu] += wg_threads;
+                slots[ev.cu] += 1;
+                assert!(
+                    threads[ev.cu] <= cfg.threads_per_cu as i64,
+                    "cu {} overbooked threads at t={}",
+                    ev.cu,
+                    ev.time
+                );
+                assert!(
+                    slots[ev.cu] <= cfg.wg_slots_per_cu as i64,
+                    "cu {} overbooked slots at t={}",
+                    ev.cu,
+                    ev.time
+                );
+            }
+            TraceKind::WgEnd => {
+                threads[ev.cu] -= wg_threads;
+                slots[ev.cu] -= 1;
+                assert!(
+                    threads[ev.cu] >= 0 && slots[ev.cu] >= 0,
+                    "cu {} double-freed at t={}",
+                    ev.cu,
+                    ev.time
+                );
+            }
+            TraceKind::Dequeue | TraceKind::Reclaim | TraceKind::Resume | TraceKind::Fault => {}
+        }
+    }
 }
 
 proptest! {
@@ -237,7 +333,9 @@ proptest! {
                     prop_assert!(threads[ev.cu] >= 0 && slots[ev.cu] >= 0,
                         "cu {} double-freed at t={}", ev.cu, ev.time);
                 }
-                TraceKind::Dequeue | TraceKind::Reclaim | TraceKind::Resume => {}
+                // A fault's involuntary release is booked by the WgEnd
+                // the simulator emits at the same instant.
+                TraceKind::Dequeue | TraceKind::Reclaim | TraceKind::Resume | TraceKind::Fault => {}
             }
         }
         // Every reclaim-retired and resume-spawned worker is visible in
@@ -256,6 +354,119 @@ proptest! {
             .count();
         let resumed: usize = report.kernels.iter().map(|k| k.resumed_workers).sum();
         prop_assert_eq!(resume_events, resumed);
+    }
+
+    /// (a) under fire: work conservation and **exactly-once retry** when
+    /// random CU failures and stragglers (no aborts — those legitimately
+    /// end a kernel early) compose with random reclaim/pause/resume
+    /// commands. Every chunk lost to a failing CU re-executes exactly
+    /// once (`groups_retried == chunks_lost`), the Fault trace matches
+    /// the loss counters, and every resident start still has an end.
+    #[test]
+    fn work_is_conserved_and_retried_exactly_once_under_faults(seed in 0u64..10_000) {
+        let (launches, reclaims, resumes) = random_episode(seed);
+        let faults = random_faults(seed, launches.len(), false);
+        let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+        let ids: Vec<LaunchId> = launches.iter().cloned().map(|l| sim.add_launch(l)).collect();
+        for r in &reclaims {
+            sim.add_reclaim(*r);
+        }
+        for r in &resumes {
+            sim.add_resume(*r);
+        }
+        let report = sim.with_faults(faults.clone()).run();
+        for (id, launch) in ids.iter().zip(&launches) {
+            let k = report.kernel(*id);
+            prop_assert_eq!(
+                k.groups_executed as u64,
+                launch.plan.total_groups(),
+                "kernel {} lost or duplicated work under faults {:?} (reclaims: {:?})",
+                k.name,
+                faults,
+                reclaims
+            );
+            prop_assert_eq!(
+                k.groups_retried,
+                k.chunks_lost,
+                "kernel {}: every lost chunk must re-execute exactly once",
+                k.name
+            );
+        }
+        let fault_events = report.trace.iter().filter(|t| t.kind == TraceKind::Fault).count();
+        let lost: usize = report.kernels.iter().map(|k| k.chunks_lost).sum();
+        prop_assert_eq!(fault_events, lost, "one Fault trace event per lost chunk");
+        let starts = report.trace.iter().filter(|t| t.kind == TraceKind::WgStart).count();
+        let ends = report.trace.iter().filter(|t| t.kind == TraceKind::WgEnd).count();
+        prop_assert_eq!(starts, ends, "every resident start must be released");
+    }
+
+    /// (b) under fire: no CU is double-booked when the full fault
+    /// repertoire — aborts included — composes with random
+    /// reclaim/pause/resume commands, and the two placement engines
+    /// still agree event for event.
+    #[test]
+    fn no_cu_is_double_booked_under_faults(seed in 0u64..10_000) {
+        let (launches, reclaims, resumes) = random_episode(seed);
+        let faults = random_faults(seed, launches.len(), true);
+        let cfg = DeviceConfig::test_tiny();
+        let run = |linear: bool| {
+            let mut sim = Simulator::new(cfg.clone()).with_trace();
+            if linear {
+                sim = sim.with_linear_placement();
+            }
+            for l in launches.iter().cloned() {
+                sim.add_launch(l);
+            }
+            for r in &reclaims {
+                sim.add_reclaim(*r);
+            }
+            for r in &resumes {
+                sim.add_resume(*r);
+            }
+            sim.with_faults(faults.clone()).run()
+        };
+        let report = run(false);
+        replay_occupancy(&cfg, &launches, &report);
+        prop_assert_eq!(
+            report.clone(),
+            run(true),
+            "ready-set index diverged from the linear scan under faults {:?}",
+            faults
+        );
+        // Aborted kernels report at most their plan's total; survivors
+        // conserve exactly.
+        for (i, k) in report.kernels.iter().enumerate() {
+            let total = launches[i].plan.total_groups();
+            if k.aborted {
+                prop_assert!(k.groups_executed as u64 <= total);
+            } else {
+                prop_assert_eq!(k.groups_executed as u64, total, "kernel {} not conserved", k.name);
+            }
+        }
+    }
+
+    /// Same seed, same fault schedule ⇒ **byte-identical** `SimReport`
+    /// (the `Debug` rendering golden snapshots rely on, not just
+    /// `PartialEq`).
+    #[test]
+    fn same_seed_fault_runs_are_byte_identical(seed in 0u64..2_500) {
+        let run = || {
+            let (launches, reclaims, resumes) = random_episode(seed);
+            let faults = random_faults(seed, launches.len(), true);
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            for l in launches {
+                sim.add_launch(l);
+            }
+            for r in &reclaims {
+                sim.add_reclaim(*r);
+            }
+            for r in &resumes {
+                sim.add_resume(*r);
+            }
+            sim.with_faults(faults).run()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(format!("{a:#?}"), format!("{b:#?}"));
     }
 }
 
@@ -388,4 +599,46 @@ fn deadline_and_sla_scenarios_match_golden_report() {
             "/tests/golden/deadline_sla_report.txt"
         ),
     );
+}
+
+/// Fault determinism through the whole harness stack: the same
+/// [`FaultSpec`] and seed draw the same plan, and the same plan on the
+/// same session is byte-identical run to run; a zero-fault plan is
+/// bit-identical to the fault-free preemptive path (the golden snapshots
+/// above therefore never notice the fault plane).
+#[test]
+fn faulty_harness_runs_are_deterministic_and_zero_fault_is_identity() {
+    let runner = Runner::new(DeviceConfig::k20m());
+    let workload = priority_workload();
+    let arrivals = vec![3_000, 0, 0];
+    let spec = FaultSpec {
+        horizon: 60_000,
+        cu_failures: 2,
+        repair_delay: Some(10_000),
+        stragglers: 2,
+        slowdown: 3.0,
+        straggler_window: 8_000,
+        aborts: 1,
+    };
+    let plan = FaultPlan::from_spec(&spec, runner.device().num_cus, workload.len(), 7);
+    assert_eq!(
+        plan,
+        FaultPlan::from_spec(&spec, runner.device().num_cus, workload.len(), 7),
+        "same spec + seed must draw the same plan"
+    );
+    let ctx = runner.rep_context(&workload, 2016);
+    let policy = PriorityPolicy::default();
+    let a = runner.faulty_report(&ctx, &policy, &arrivals, &plan);
+    let b = runner.faulty_report(&ctx, &policy, &arrivals, &plan);
+    assert_eq!(
+        format!("{a:#?}"),
+        format!("{b:#?}"),
+        "byte-identical per seed"
+    );
+    assert!(a.faults_injected > 0);
+
+    let clean = runner.faulty_report(&ctx, &policy, &arrivals, &FaultPlan::default());
+    let plain = runner.preemptive_report(&ctx, &policy, &arrivals);
+    assert_eq!(clean, plain, "zero faults must not perturb the timeline");
+    assert_eq!(clean.faults_injected, 0);
 }
