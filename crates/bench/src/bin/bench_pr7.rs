@@ -1,0 +1,235 @@
+//! `bench_pr7` — record the PR-7 trajectory point: the accelcheck static
+//! race analyzer replacing the `uses_global_atomics` parallel gate.
+//!
+//! * **Analysis leg** — per-kernel `analyze_kernel` latency over the
+//!   bundled Parboil set (the cost a `Program::build` pays once per
+//!   kernel to fill the `ModuleFacts` cache), plus the whole-module
+//!   `ModuleFacts::compute` time.
+//! * **Gate leg** — how the verdict lattice moves the eligibility
+//!   frontier: kernels the old atomics gate admitted, kernels the static
+//!   verdict admits, kernels only the launch-aware re-check rescues, and
+//!   the kernels *newly* widened into the parallel path (global-atomic
+//!   kernels whose contention is provably deterministic).
+//! * **Widened leg** — each newly-eligible kernel runs sequentially and
+//!   parallel at its real launch shape; outputs are asserted
+//!   bit-identical before timing.
+//!
+//! The record lands in `BENCH_pr7.json` (CWD) with the host's thread
+//! count; on 1-thread containers the parallel timings record ties —
+//! re-record on a multicore host for the real trajectory point.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr7 [--smoke]`
+//! (`--smoke` runs reduced repetitions for CI and skips the JSON file.)
+
+use clrt::{Context, Platform, Program};
+use kernel_ir::interp::{DeviceMemory, Interpreter, ParSchedule};
+use kernel_ir::races::analyze_kernel;
+use kernel_ir::ModuleFacts;
+use parboil::datasets::prepare_launch;
+use parboil::KernelSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+struct AnalysisRow {
+    name: &'static str,
+    verdict: String,
+    analyze_ns: f64,
+}
+
+struct WidenedRow {
+    name: &'static str,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps: u32 = if smoke { 5 } else { 200 };
+    let threads = host_threads.clamp(2, 8);
+
+    // ---- analysis leg ---------------------------------------------------
+    let mut analysis_rows: Vec<AnalysisRow> = Vec::new();
+    let mut old_parallel = 0usize;
+    let mut static_parallel = 0usize;
+    let mut launch_rescued: Vec<&'static str> = Vec::new();
+    let mut newly_eligible: Vec<&'static str> = Vec::new();
+
+    for spec in KernelSpec::all() {
+        let module = spec.compile().expect("bundled kernels compile");
+        let facts = ModuleFacts::compute(&module);
+        let report = facts.race_report(spec.entry).expect("kernel analyzed");
+
+        let (_, total_ms) = time(|| {
+            for _ in 0..reps {
+                std::hint::black_box(analyze_kernel(&module, spec.entry));
+            }
+        });
+        analysis_rows.push(AnalysisRow {
+            name: spec.name,
+            verdict: report.verdict.to_string(),
+            analyze_ns: total_ms * 1e6 / f64::from(reps),
+        });
+
+        let uses_atomics = facts.uses_global_atomics(spec.entry);
+        let eligible = report.eligible_static();
+        if !uses_atomics {
+            old_parallel += 1;
+        }
+        if eligible {
+            static_parallel += 1;
+        }
+        if eligible && uses_atomics {
+            newly_eligible.push(spec.name);
+        }
+        if !eligible {
+            // The static verdict rejected it; see whether the concrete
+            // default launch is provably race-free.
+            let mut ctx = Context::new(&Platform::nvidia());
+            let program = Program::build(spec.source).expect("compiles");
+            let prepared = prepare_launch(spec, &mut ctx, &program, 1, 7).expect("prepare");
+            let kernel = prepared.kernel;
+            let args = kernel.resolved_args().expect("args resolved");
+            let interp = Interpreter::with_facts(kernel.module(), kernel.facts());
+            if interp.parallel_eligible(kernel.name(), prepared.ndrange, &args) {
+                launch_rescued.push(spec.name);
+            }
+        }
+    }
+
+    let first = KernelSpec::all().first().expect("kernel set is non-empty");
+    let module = first.compile().expect("compiles");
+    let (_, facts_ms) = time(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ModuleFacts::compute(&module));
+        }
+    });
+    let facts_ns = facts_ms * 1e6 / f64::from(reps);
+
+    println!(
+        "gate: old(atomic-free) {old_parallel} | static verdict {static_parallel} | \
+         launch-rescued {} | newly eligible {:?}",
+        launch_rescued.len(),
+        newly_eligible
+    );
+
+    // ---- widened leg ----------------------------------------------------
+    let mut widened_rows: Vec<WidenedRow> = Vec::new();
+    for &name in &newly_eligible {
+        let spec = KernelSpec::by_name(name).expect("kernel exists");
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).expect("compiles");
+        let prepared = prepare_launch(spec, &mut ctx, &program, 1, 7).expect("prepare");
+        let kernel = prepared.kernel;
+        let nd = prepared.ndrange;
+        let args = kernel.resolved_args().expect("args resolved");
+        let interp = Interpreter::with_facts(kernel.module(), kernel.facts());
+
+        let base: DeviceMemory = ctx.memory_mut().clone();
+        let mut seq_mem = base.clone();
+        let (_, seq_ms) = time(|| {
+            interp
+                .run_kernel(&mut seq_mem, kernel.name(), nd, &args)
+                .expect("sequential run");
+        });
+        let mut par_mem = base.clone();
+        let (_, par_ms) = time(|| {
+            interp
+                .run_kernel_parallel_sched(
+                    &mut par_mem,
+                    kernel.name(),
+                    nd,
+                    &args,
+                    threads,
+                    ParSchedule::Static,
+                )
+                .expect("parallel run");
+        });
+        assert_eq!(
+            seq_mem, par_mem,
+            "`{name}` diverged between sequential and parallel execution"
+        );
+        println!("widened {name}: seq {seq_ms:.2} ms, par({threads}) {par_ms:.2} ms");
+        widened_rows.push(WidenedRow {
+            name,
+            seq_ms,
+            par_ms,
+        });
+    }
+    assert!(
+        !widened_rows.is_empty(),
+        "the accelcheck gate must widen at least one atomic kernel"
+    );
+
+    if smoke {
+        println!("smoke mode: all legs ran and verified; BENCH_pr7.json not written");
+        return;
+    }
+
+    // ---- record ---------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 7,\n");
+    json.push_str(
+        "  \"bench\": \"accelcheck static race analyzer: per-kernel analysis cost + widened parallel gate\",\n",
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"interp_threads\": {threads},");
+    let _ = writeln!(json, "  \"analysis_reps\": {reps},");
+    json.push_str("  \"analysis\": [\n");
+    for (i, r) in analysis_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"verdict\": \"{}\", \"analyze_ns\": {:.0} }}",
+            r.name,
+            r.verdict.replace('"', "'"),
+            r.analyze_ns
+        );
+        json.push_str(if i + 1 < analysis_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"module_facts_ns\": {facts_ns:.0},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{ \"kernels\": {}, \"old_atomic_free\": {old_parallel}, \
+         \"static_verdict\": {static_parallel}, \"launch_rescued\": {}, \
+         \"newly_eligible\": [{}] }},",
+        analysis_rows.len(),
+        launch_rescued.len(),
+        newly_eligible
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    json.push_str("  \"widened\": [\n");
+    for (i, r) in widened_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"sequential_ms\": {:.2}, \"parallel_ms\": {:.2}, \
+             \"bit_identical\": true }}",
+            r.name, r.seq_ms, r.par_ms
+        );
+        json.push_str(if i + 1 < widened_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
+    println!("wrote BENCH_pr7.json");
+}

@@ -10,7 +10,7 @@ use crate::context::Buffer;
 use crate::error::ClError;
 use kernel_ir::interp::ArgValue;
 use kernel_ir::ir::Module;
-use kernel_ir::{KernelProfile, Value};
+use kernel_ir::{KernelProfile, ModuleFacts, Value};
 use std::rc::Rc;
 
 /// A built program: an IR module plus per-kernel resource profiles.
@@ -26,6 +26,7 @@ use std::rc::Rc;
 #[derive(Debug, Clone)]
 pub struct Program {
     module: Rc<Module>,
+    facts: Rc<ModuleFacts>,
     profiles: Vec<KernelProfile>,
     source: String,
 }
@@ -54,8 +55,12 @@ impl Program {
             .map_err(|e| ClError::BuildFailure(e.to_string()))?;
         let profiles =
             KernelProfile::all(&module).map_err(|e| ClError::BuildFailure(e.to_string()))?;
+        // Run the accelcheck analyses once at build time; every launch of
+        // every kernel in this program reuses the cached verdicts.
+        let facts = Rc::new(ModuleFacts::compute(&module));
         Ok(Program {
             module: Rc::new(module),
+            facts,
             profiles,
             source: source.to_string(),
         })
@@ -73,6 +78,12 @@ impl Program {
     /// The compiled module.
     pub fn module(&self) -> &Rc<Module> {
         &self.module
+    }
+
+    /// Cached accelcheck analysis results (race verdicts and per-function
+    /// facts) computed at build time.
+    pub fn facts(&self) -> &Rc<ModuleFacts> {
+        &self.facts
     }
 
     /// Original source text.
@@ -104,6 +115,7 @@ impl Program {
             .len();
         Ok(Kernel {
             module: Rc::clone(&self.module),
+            facts: Rc::clone(&self.facts),
             name: name.to_string(),
             profile,
             args: vec![None; arity],
@@ -148,6 +160,7 @@ pub enum Arg {
 #[derive(Debug, Clone)]
 pub struct Kernel {
     module: Rc<Module>,
+    facts: Rc<ModuleFacts>,
     name: String,
     profile: KernelProfile,
     args: Vec<Option<Arg>>,
@@ -162,6 +175,12 @@ impl Kernel {
     /// The module the kernel lives in.
     pub fn module(&self) -> &Rc<Module> {
         &self.module
+    }
+
+    /// Cached accelcheck analysis results for the module (shared with the
+    /// owning [`Program`]).
+    pub fn facts(&self) -> &Rc<ModuleFacts> {
+        &self.facts
     }
 
     /// The kernel's static resource profile.

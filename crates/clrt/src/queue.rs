@@ -119,10 +119,12 @@ impl CommandQueue {
         }
 
         // Functional plane: work groups shard across host threads when the
-        // kernel provably performs no global atomics (`run_kernel_parallel`
-        // auto-falls back to the sequential interpreter otherwise, with
-        // bit-identical memory contents and statistics either way).
-        let stats = Interpreter::new(kernel.module())
+        // accelcheck race analysis proves the launch free of cross-group
+        // races (`run_kernel_parallel` auto-falls back to the sequential
+        // interpreter otherwise, with bit-identical memory contents and
+        // statistics either way). Verdicts come from the `ModuleFacts`
+        // cache computed once at program build time.
+        let stats = Interpreter::with_facts(kernel.module(), kernel.facts())
             .run_kernel_parallel(ctx.memory_mut(), kernel.name(), ndrange, &args)
             .map_err(|e| ClError::ExecutionFailure(e.to_string()))?;
 

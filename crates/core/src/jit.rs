@@ -315,15 +315,12 @@ impl<'f> Splicer<'f> {
 
     fn emit(&mut self, ty: Type, op: Op) -> ValueId {
         let id = self.fresh(ty);
-        self.out.push(Inst {
-            result: Some(id),
-            op,
-        });
+        self.out.push(Inst::new(Some(id), op));
         id
     }
 
     fn emit_into(&mut self, result: Option<ValueId>, op: Op) {
-        self.out.push(Inst { result, op });
+        self.out.push(Inst::new(result, op));
     }
 
     fn const_i64(&mut self, v: i64) -> ValueId {

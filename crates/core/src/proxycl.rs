@@ -538,11 +538,12 @@ impl ProxyCl {
         kernel.set_arg(rt_index, Arg::Buffer(rt_buf))?;
         let args: Vec<ArgValue> = kernel.resolved_args()?;
 
-        // Shard independent work groups across host threads; the analysis
-        // in `run_kernel_parallel` falls back to the sequential interpreter
-        // for kernels with global atomics (bit-identical results either
-        // way).
-        Interpreter::new(kernel.module())
+        // Shard independent work groups across host threads; the accelcheck
+        // race analysis in `run_kernel_parallel` falls back to the
+        // sequential interpreter for launches it cannot prove race-free
+        // (bit-identical results either way). The verdicts are served from
+        // the program's build-time `ModuleFacts` cache.
+        Interpreter::with_facts(kernel.module(), kernel.facts())
             .run_kernel_parallel(
                 self.ctx.memory_mut(),
                 kernel.name(),

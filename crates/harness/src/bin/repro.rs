@@ -7,10 +7,16 @@
 //!       [--jobs N] [--sequential]
 //!       [--shard i/n [--out FILE]]
 //! repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]
+//! repro lint [--deny-warnings]
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
 //!              fig15 small ablation dynamic priority deadline faults all
 //! ```
+//!
+//! `lint` runs the accelcheck static analyses (race verdicts, barrier
+//! divergence, structural lints) over the bundled Parboil kernels and
+//! prints the report; `--deny-warnings` exits nonzero on any warning or
+//! error, which is how CI gates the kernel set.
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
 //! paper-sized sweep (625 pairs, 16384 4-kernel and 32768 8-kernel
@@ -88,6 +94,8 @@ struct Options {
     out: Option<String>,
     /// `merge --inputs a,b,...`: shard files to reassemble.
     inputs: Vec<String>,
+    /// `lint --deny-warnings`: exit nonzero on any warning or error.
+    deny_warnings: bool,
 }
 
 /// Position of `--reference` in the set `experiment` sweeps (0 when the
@@ -116,6 +124,7 @@ fn parse_args() -> Result<Options, String> {
     let mut shard: Option<ShardSpec> = None;
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
+    let mut deny_warnings = false;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<usize, String> {
@@ -158,6 +167,7 @@ fn parse_args() -> Result<Options, String> {
                 let list = args.get(i).ok_or("missing value after --inputs")?;
                 inputs.extend(list.split(',').map(str::to_string));
             }
+            "--deny-warnings" => deny_warnings = true,
             "--full" => cfg = SweepConfig::full(),
             "--pairs" => cfg.pairs = take(&mut i)?,
             "--n4" => cfg.n4 = take(&mut i)?,
@@ -199,6 +209,7 @@ fn parse_args() -> Result<Options, String> {
         shard,
         out,
         inputs,
+        deny_warnings,
     })
 }
 
@@ -433,7 +444,8 @@ fn main() {
                  [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
                  [--jobs N] [--sequential] [--shard i/n [--out FILE]]\n\
-                 usage: repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]"
+                 usage: repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]\n\
+                 usage: repro lint [--deny-warnings]"
             );
             eprintln!(
                 "  --reference <name>  divide ratio figures (fig10/fig13/fig14, dynamic, priority) \
@@ -448,6 +460,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if opts.experiments.iter().any(|e| e == "lint") {
+        // `lint` is its own phase, like `merge`: sweep the bundled Parboil
+        // kernels through accelcheck and print the report. With
+        // `--deny-warnings`, any warning or error fails the run (the CI
+        // gate).
+        let summary = accel_harness::lintreport::lint_parboil();
+        print!("{}", summary.report);
+        if opts.deny_warnings && summary.deny_warnings_fails() {
+            eprintln!(
+                "repro lint: {} error(s) and {} warning(s) with --deny-warnings",
+                summary.errors, summary.warnings
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if opts.experiments.iter().any(|e| e == "merge") {
         run_merge(&opts);
         return;

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lintreport;
 pub mod runner;
 pub mod shard;
 pub mod workloads;

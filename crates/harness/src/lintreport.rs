@@ -1,0 +1,148 @@
+//! Rendering of the `repro lint` report.
+//!
+//! Sweeps the bundled Parboil kernel set through the accelcheck static
+//! analyses — the per-kernel race verdict from [`kernel_ir::races`] and the
+//! structural lints from [`kernel_ir::lint`] — and renders one deterministic
+//! text report. The same renderer backs the `repro lint` subcommand and the
+//! golden-snapshot test (`tests/golden/lint_report.txt`), so the report
+//! format is pinned byte-for-byte.
+
+use kernel_ir::lint::{lint_module, Severity};
+use kernel_ir::races::analyze_kernel;
+use parboil::KernelSpec;
+use std::fmt::Write as _;
+
+/// The rendered report plus severity tallies for gating.
+#[derive(Debug, Clone)]
+pub struct LintSummary {
+    /// Full human-readable report text.
+    pub report: String,
+    /// Number of `error` diagnostics.
+    pub errors: usize,
+    /// Number of `warning` diagnostics.
+    pub warnings: usize,
+    /// Number of `note` diagnostics.
+    pub notes: usize,
+}
+
+impl LintSummary {
+    /// Whether a `--deny-warnings` run should fail.
+    pub fn deny_warnings_fails(&self) -> bool {
+        self.errors > 0 || self.warnings > 0
+    }
+}
+
+/// Run the accelcheck analyses over every bundled Parboil kernel and render
+/// the lint report.
+///
+/// The report is fully deterministic: kernels appear in `KernelSpec::all()`
+/// order, sites in program order, diagnostics in registry-then-program
+/// order.
+pub fn lint_parboil() -> LintSummary {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+
+    out.push_str("accelcheck lint report — bundled Parboil kernels\n");
+    out.push_str("=================================================\n");
+
+    for spec in KernelSpec::all() {
+        let module = match spec.compile() {
+            Ok(m) => m,
+            Err(e) => {
+                let _ = writeln!(out, "\n{}: COMPILE ERROR: {e}", spec.name);
+                errors += 1;
+                continue;
+            }
+        };
+
+        let _ = writeln!(out, "\n{} (benchmark {})", spec.name, spec.benchmark);
+        match analyze_kernel(&module, spec.entry) {
+            Some(report) => {
+                let _ = writeln!(out, "  verdict: {}", report.verdict);
+                let writes = report.sites.iter().filter(|s| s.kind.is_write()).count();
+                let _ = writeln!(
+                    out,
+                    "  global sites: {} ({} writing)",
+                    report.sites.len(),
+                    writes
+                );
+                for site in report.sites.iter().filter(|s| s.kind.is_write()) {
+                    let loc = match site.span {
+                        Some((l, c)) => format!("{l}:{c}"),
+                        None => format!("bb{}/{}", site.block.0, site.inst),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    {} `{}` at {} ({} bytes)",
+                        site.kind, site.param_name, loc, site.bytes
+                    );
+                }
+                if !report.divergent_barriers.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  divergent barriers: {}",
+                        report.divergent_barriers.len()
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(out, "  verdict: <entry `{}` not found>", spec.entry);
+            }
+        }
+
+        // Lint only the entry function: specs of one benchmark share a
+        // translation unit, so module-wide reporting would duplicate
+        // findings across specs.
+        let diags: Vec<_> = lint_module(&module)
+            .into_iter()
+            .filter(|d| d.function == spec.entry)
+            .collect();
+        if diags.is_empty() {
+            out.push_str("  lints: clean\n");
+        } else {
+            out.push_str("  lints:\n");
+            for d in &diags {
+                match d.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warn => warnings += 1,
+                    Severity::Note => notes += 1,
+                }
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{} error(s), {} warning(s), {} note(s)",
+        errors, warnings, notes
+    );
+    LintSummary {
+        report: out,
+        errors,
+        warnings,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_deterministic_and_covers_every_kernel() {
+        let a = lint_parboil();
+        let b = lint_parboil();
+        assert_eq!(a.report, b.report, "report must be deterministic");
+        for spec in KernelSpec::all() {
+            assert!(
+                a.report.contains(spec.name),
+                "report must mention `{}`",
+                spec.name
+            );
+        }
+        assert!(a.report.contains("verdict:"));
+    }
+}

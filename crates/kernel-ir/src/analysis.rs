@@ -268,6 +268,85 @@ pub fn uses_atomics(func: &Function, module: &Module) -> bool {
         .any(has)
 }
 
+/// Cached per-function structural facts (see [`ModuleFacts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionFacts {
+    /// [`uses_barrier`] for this function.
+    pub uses_barrier: bool,
+    /// [`uses_global_atomics`] for this function.
+    pub uses_global_atomics: bool,
+    /// [`uses_atomics`] for this function.
+    pub uses_atomics: bool,
+}
+
+/// One-shot analysis cache for a whole module.
+///
+/// The interpreter gate, the `clrt` queue, `ProxyCl`, and the `accelcheck`
+/// lint driver all consult the same facts; computing them once per compiled
+/// module (instead of per launch) keeps repeated launches off the analysis
+/// hot path. The cache is immutable and `Send + Sync`, so it can be shared
+/// across the scoped worker threads of the parallel interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleFacts {
+    functions: BTreeMap<String, FunctionFacts>,
+    races: BTreeMap<String, crate::races::KernelRaceReport>,
+}
+
+impl ModuleFacts {
+    /// Analyze every function (structural facts) and every kernel (race &
+    /// divergence report) of `module`.
+    pub fn compute(module: &Module) -> Self {
+        let mut functions = BTreeMap::new();
+        for func in &module.functions {
+            functions.insert(
+                func.name.clone(),
+                FunctionFacts {
+                    uses_barrier: uses_barrier(func, module),
+                    uses_global_atomics: uses_global_atomics(func, module),
+                    uses_atomics: uses_atomics(func, module),
+                },
+            );
+        }
+        let mut races = BTreeMap::new();
+        for report in crate::races::analyze_module(module) {
+            races.insert(report.kernel.clone(), report);
+        }
+        ModuleFacts { functions, races }
+    }
+
+    /// Structural facts for `name`, if the function exists.
+    pub fn function(&self, name: &str) -> Option<&FunctionFacts> {
+        self.functions.get(name)
+    }
+
+    /// Cached [`uses_barrier`]; `false` for unknown functions.
+    pub fn uses_barrier(&self, name: &str) -> bool {
+        self.functions.get(name).is_some_and(|f| f.uses_barrier)
+    }
+
+    /// Cached [`uses_global_atomics`]; `false` for unknown functions.
+    pub fn uses_global_atomics(&self, name: &str) -> bool {
+        self.functions
+            .get(name)
+            .is_some_and(|f| f.uses_global_atomics)
+    }
+
+    /// Cached [`uses_atomics`]; `false` for unknown functions.
+    pub fn uses_atomics(&self, name: &str) -> bool {
+        self.functions.get(name).is_some_and(|f| f.uses_atomics)
+    }
+
+    /// Cached race report for kernel `name`.
+    pub fn race_report(&self, name: &str) -> Option<&crate::races::KernelRaceReport> {
+        self.races.get(name)
+    }
+
+    /// All cached race reports, keyed by kernel name.
+    pub fn race_reports(&self) -> &BTreeMap<String, crate::races::KernelRaceReport> {
+        &self.races
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +473,29 @@ mod tests {
         let kf = m.function("k").unwrap();
         assert!(uses_barrier(kf, &m));
         assert!(!uses_atomics(kf, &m));
+    }
+
+    #[test]
+    fn module_facts_match_uncached_analyses() {
+        let (_, m) = simple_kernel();
+        let facts = ModuleFacts::compute(&m);
+        for func in &m.functions {
+            let ff = facts.function(&func.name).expect("facts for every fn");
+            assert_eq!(ff.uses_barrier, uses_barrier(func, &m));
+            assert_eq!(ff.uses_global_atomics, uses_global_atomics(func, &m));
+            assert_eq!(ff.uses_atomics, uses_atomics(func, &m));
+            assert_eq!(facts.uses_barrier(&func.name), ff.uses_barrier);
+        }
+        for name in m.kernel_names() {
+            let cached = facts.race_report(name).expect("report for every kernel");
+            let fresh = crate::races::analyze_kernel(&m, name).unwrap();
+            assert_eq!(cached.verdict, fresh.verdict);
+            assert_eq!(cached.sites.len(), fresh.sites.len());
+        }
+        assert!(facts.function("missing").is_none());
+        assert!(!facts.uses_global_atomics("missing"));
+        // The cache must be shareable across scoped worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModuleFacts>();
     }
 }

@@ -39,6 +39,7 @@ use crate::types::{AddressSpace, Type};
 pub struct FunctionBuilder {
     func: Function,
     current: BlockId,
+    span: Option<(u32, u32)>,
 }
 
 impl FunctionBuilder {
@@ -54,7 +55,15 @@ impl FunctionBuilder {
                 blocks: vec![Block::new()],
             },
             current: BlockId(0),
+            span: None,
         }
+    }
+
+    /// Set the source span (`(line, col)`, 1-based) stamped on subsequently
+    /// emitted instructions; `None` clears it. Front ends call this per
+    /// statement/expression so diagnostics can point at source text.
+    pub fn set_span(&mut self, span: Option<(u32, u32)>) {
+        self.span = span;
     }
 
     /// Append a parameter; must be called before any instruction is emitted.
@@ -110,27 +119,25 @@ impl FunctionBuilder {
         id
     }
 
-    fn push(&mut self, inst: Inst) {
+    fn push(&mut self, mut inst: Inst) {
         let blk = &mut self.func.blocks[self.current.index()];
         assert!(
             blk.term.is_none(),
             "appending to a terminated block {}",
             self.current
         );
+        inst.span = self.span;
         blk.insts.push(inst);
     }
 
     fn emit(&mut self, ty: Type, op: Op) -> ValueId {
         let id = self.fresh(ty);
-        self.push(Inst {
-            result: Some(id),
-            op,
-        });
+        self.push(Inst::new(Some(id), op));
         id
     }
 
     fn emit_void(&mut self, op: Op) {
-        self.push(Inst { result: None, op });
+        self.push(Inst::new(None, op));
     }
 
     /// Emit a constant.

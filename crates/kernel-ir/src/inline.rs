@@ -221,14 +221,14 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
     // return cell first when one is needed.
     let mut before = before;
     if let Some((cell, _)) = ret_cell {
-        before.push(Inst {
-            result: Some(cell),
-            op: Op::Alloca {
+        before.push(Inst::new(
+            Some(cell),
+            Op::Alloca {
                 elem: callee.ret.clone(),
                 count: 1,
                 space: crate::types::AddressSpace::Private,
             },
-        });
+        ));
     }
     out.blocks[site.block.index()] = Block {
         insts: before,
@@ -242,10 +242,9 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
         for inst in &cblock.insts {
             let mut op = inst.op.clone();
             remap_op(&mut op, &map_val);
-            insts.push(Inst {
-                result: inst.result.map(map_val),
-                op,
-            });
+            let mut mapped = Inst::new(inst.result.map(map_val), op);
+            mapped.span = inst.span;
+            insts.push(mapped);
         }
         let term = match cblock.term.as_ref().expect("callee blocks are terminated") {
             Terminator::Br(b) => Terminator::Br(map_block(*b)),
@@ -261,13 +260,13 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
             Terminator::Ret(v) => {
                 if let (Some((cell, _)), Some(v)) = (ret_cell, v) {
                     let src = map_val(*v);
-                    insts.push(Inst {
-                        result: None,
-                        op: Op::Store {
+                    insts.push(Inst::new(
+                        None,
+                        Op::Store {
                             ptr: cell,
                             value: src,
                         },
-                    });
+                    ));
                 }
                 Terminator::Br(cont_id)
             }
@@ -282,10 +281,7 @@ fn inline_one(func: &Function, site: &CallSite, callee: &Function) -> Result<Fun
     // everything after the call.
     let mut cont_insts = Vec::with_capacity(after.len() + 1);
     if let Some((cell, dst)) = ret_cell {
-        cont_insts.push(Inst {
-            result: Some(dst),
-            op: Op::Load(cell),
-        });
+        cont_insts.push(Inst::new(Some(dst), Op::Load(cell)));
     }
     cont_insts.extend(after);
     out.blocks.push(Block {

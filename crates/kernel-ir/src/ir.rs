@@ -44,7 +44,7 @@ impl fmt::Display for BlockId {
 }
 
 /// Integer/float binary operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BinOp {
     /// Addition.
     Add,
@@ -101,7 +101,7 @@ impl BinOp {
 }
 
 /// Unary operations, including the transcendental math builtins of OpenCL C.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum UnOp {
     /// Arithmetic negation.
     Neg,
@@ -144,7 +144,7 @@ impl UnOp {
 }
 
 /// Comparison predicates. Result type is always [`Type::Bool`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
     /// Equality.
     Eq,
@@ -372,12 +372,37 @@ pub enum Op {
 }
 
 /// A single instruction: an operation plus its (optional) result register.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Inst {
     /// Destination register, if the op produces a value.
     pub result: Option<ValueId>,
     /// The operation.
     pub op: Op,
+    /// Optional source location (`(line, col)`, 1-based) carried from the
+    /// front end for diagnostics. `None` for builder- or JIT-created
+    /// instructions, which report IR locations instead.
+    pub span: Option<(u32, u32)>,
+}
+
+impl Inst {
+    /// An instruction without a source span.
+    pub fn new(result: Option<ValueId>, op: Op) -> Self {
+        Inst {
+            result,
+            op,
+            span: None,
+        }
+    }
+}
+
+/// Equality ignores the diagnostic span: two instructions that compute the
+/// same thing are equal regardless of where their source text sat. This keeps
+/// module-level comparisons (differential tests, JIT round-trips) stable
+/// across front ends.
+impl PartialEq for Inst {
+    fn eq(&self, other: &Self) -> bool {
+        self.result == other.result && self.op == other.op
+    }
 }
 
 /// Block terminators.

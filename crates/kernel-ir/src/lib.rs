@@ -18,6 +18,9 @@
 //!   which §6.5 of the paper relies on);
 //! * [`interp`] — a work-group-accurate interpreter with barriers, local
 //!   memory and atomics;
+//! * [`races`] — the `accelcheck` static race & barrier-divergence analyzer
+//!   gating cross-group parallel interpretation;
+//! * [`lint`] — structural lints over the IR with a pluggable registry;
 //! * [`profile`] — per-kernel resource summaries.
 //!
 //! # Example
@@ -78,13 +81,18 @@ pub mod inline;
 pub mod interp;
 pub mod ir;
 pub mod link;
+pub mod lint;
 pub mod profile;
+pub mod races;
 pub mod types;
 pub mod verify;
 
+pub use analysis::{FunctionFacts, ModuleFacts};
 pub use builder::FunctionBuilder;
 pub use error::{InterpError, IrError};
-pub use interp::{ArgValue, BufferId, DeviceMemory, Interpreter, NdRange, Value};
+pub use interp::{ArgValue, BufferId, DeviceMemory, Interpreter, NdRange, OracleReport, Value};
 pub use ir::{Function, FunctionKind, Module};
+pub use lint::{Diagnostic, Severity};
 pub use profile::KernelProfile;
+pub use races::{KernelRaceReport, LaunchEnv, ParallelSafety};
 pub use types::{AddressSpace, Type};

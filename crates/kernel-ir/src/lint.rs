@@ -1,0 +1,485 @@
+//! Structural lints over kernel IR with a pluggable registry.
+//!
+//! Each [`Lint`] inspects one function at a time and emits structured
+//! [`Diagnostic`]s carrying function/block/instruction locations plus the
+//! source span when the front end recorded one ([`crate::ir::Inst::span`]).
+//! The registry powers the harness's `repro lint` subcommand, which sweeps
+//! the bundled Parboil suite and fails CI on any `Error`/`Warn` finding.
+//!
+//! Shipped lints:
+//!
+//! | name                 | severity | finds                                         |
+//! |----------------------|----------|-----------------------------------------------|
+//! | `unreachable-block`  | warn     | non-empty blocks no path from entry reaches    |
+//! | `dead-store`         | warn     | private cells stored to but never read         |
+//! | `const-oob-index`    | error    | constant indices outside an alloca's bounds    |
+//! | `unused-param`       | note     | kernel parameters never observed by the body   |
+//! | `barrier-divergence` | error    | barriers under non-uniform control flow        |
+
+use crate::ir::{BlockId, ConstVal, Function, FunctionKind, Module, Op, Terminator, ValueId};
+use crate::races;
+use crate::types::AddressSpace;
+use crate::verify::{operands, successors};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; never fails a gated run.
+    Note,
+    /// Suspicious but not definitely wrong; fails `--deny-warnings`.
+    Warn,
+    /// Definitely wrong (undefined behaviour or out-of-bounds).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Name of the lint that produced it.
+    pub lint: &'static str,
+    /// Function the finding is in.
+    pub function: String,
+    /// Block, when the finding is tied to one.
+    pub block: Option<BlockId>,
+    /// Instruction index within the block, when applicable.
+    pub inst: Option<usize>,
+    /// Source span `(line, col)` when the front end recorded one.
+    pub span: Option<(u32, u32)>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Location string: source span when available, IR location otherwise.
+    pub fn location(&self) -> String {
+        match (self.span, self.block) {
+            (Some((l, c)), _) => format!("{}:{l}:{c}", self.function),
+            (None, Some(b)) => match self.inst {
+                Some(i) => format!("{}:bb{}/{i}", self.function, b.0),
+                None => format!("{}:bb{}", self.function, b.0),
+            },
+            (None, None) => self.function.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}] {}",
+            self.severity,
+            self.location(),
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// A single structural check over one function.
+pub trait Lint {
+    /// Stable kebab-case identifier (shown in diagnostics).
+    fn name(&self) -> &'static str;
+    /// One-line description of what the lint finds.
+    fn description(&self) -> &'static str;
+    /// Inspect `func` and append findings to `out`.
+    fn check(&self, func: &Function, module: &Module, out: &mut Vec<Diagnostic>);
+}
+
+/// The shipped lint set, in reporting order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(UnreachableBlock),
+        Box::new(DeadStore),
+        Box::new(ConstOobIndex),
+        Box::new(UnusedParam),
+        Box::new(BarrierDivergence),
+    ]
+}
+
+/// Run every registered lint over every function of the module.
+pub fn lint_module(module: &Module) -> Vec<Diagnostic> {
+    let lints = registry();
+    let mut out = Vec::new();
+    for func in &module.functions {
+        for lint in &lints {
+            lint.check(func, module, &mut out);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Values derived from `root` through pointer-preserving ops (`gep`, `cast`).
+fn derived_values(func: &Function, root: ValueId) -> BTreeSet<ValueId> {
+    let mut set = BTreeSet::new();
+    set.insert(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for block in &func.blocks {
+            for inst in &block.insts {
+                let Some(r) = inst.result else { continue };
+                if set.contains(&r) {
+                    continue;
+                }
+                let derived = match &inst.op {
+                    Op::Gep { ptr, .. } => set.contains(ptr),
+                    Op::Cast(_, v) => set.contains(v),
+                    _ => false,
+                };
+                if derived {
+                    set.insert(r);
+                    changed = true;
+                }
+            }
+        }
+    }
+    set
+}
+
+// ---------------------------------------------------------------------------
+// unreachable-block
+// ---------------------------------------------------------------------------
+
+/// Flags non-empty blocks that no path from the entry reaches. Empty residue
+/// blocks (common after front-end lowering of `if` without `else`) are
+/// ignored.
+struct UnreachableBlock;
+
+impl Lint for UnreachableBlock {
+    fn name(&self) -> &'static str {
+        "unreachable-block"
+    }
+
+    fn description(&self) -> &'static str {
+        "non-empty basic blocks unreachable from the entry"
+    }
+
+    fn check(&self, func: &Function, _module: &Module, out: &mut Vec<Diagnostic>) {
+        let n = func.blocks.len();
+        if n == 0 {
+            return;
+        }
+        let succs = successors(func);
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            for s in &succs[b] {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s.index());
+                }
+            }
+        }
+        for (b, block) in func.blocks.iter().enumerate() {
+            if !seen[b] && !block.insts.is_empty() {
+                out.push(Diagnostic {
+                    severity: Severity::Warn,
+                    lint: self.name(),
+                    function: func.name.clone(),
+                    block: Some(BlockId(b as u32)),
+                    inst: None,
+                    span: block.insts[0].span,
+                    message: format!(
+                        "block bb{b} ({} instructions) is unreachable from the entry",
+                        block.insts.len()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dead-store
+// ---------------------------------------------------------------------------
+
+/// Flags private allocas that are stored to but never loaded (and whose
+/// address does not escape through calls, stored pointers or returns).
+/// Pure parameter spills are left to `unused-param`.
+struct DeadStore;
+
+impl Lint for DeadStore {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn description(&self) -> &'static str {
+        "private memory written but never read"
+    }
+
+    fn check(&self, func: &Function, _module: &Module, out: &mut Vec<Diagnostic>) {
+        for (bid, block) in func.iter_blocks() {
+            for (iid, inst) in block.insts.iter().enumerate() {
+                let Op::Alloca {
+                    space: AddressSpace::Private,
+                    ..
+                } = inst.op
+                else {
+                    continue;
+                };
+                let Some(root) = inst.result else { continue };
+                let derived = derived_values(func, root);
+                let mut loads = 0usize;
+                // (block, inst index, span, stored value) per store.
+                type StoreRec = (BlockId, usize, Option<(u32, u32)>, ValueId);
+                let mut stores: Vec<StoreRec> = Vec::new();
+                let mut escapes = false;
+                for (b2, block2) in func.iter_blocks() {
+                    for (i2, inst2) in block2.insts.iter().enumerate() {
+                        match &inst2.op {
+                            Op::Load(p) if derived.contains(p) => loads += 1,
+                            Op::Store { ptr, value } => {
+                                if derived.contains(ptr) {
+                                    stores.push((b2, i2, inst2.span, *value));
+                                }
+                                if derived.contains(value) {
+                                    escapes = true;
+                                }
+                            }
+                            Op::AtomicRmw { ptr, .. } | Op::AtomicCmpXchg { ptr, .. }
+                                if derived.contains(ptr) =>
+                            {
+                                loads += 1; // RMW reads the cell
+                            }
+                            Op::Call { args, .. } if args.iter().any(|a| derived.contains(a)) => {
+                                escapes = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if let Some(Terminator::Ret(Some(v))) = &block2.term {
+                        if derived.contains(v) {
+                            escapes = true;
+                        }
+                    }
+                }
+                if loads > 0 || escapes || stores.is_empty() {
+                    continue;
+                }
+                // A single store of a raw parameter is the front end's spill
+                // idiom; `unused-param` owns that diagnosis.
+                if stores.len() == 1 && stores[0].3.index() < func.params.len() {
+                    continue;
+                }
+                let (sb, si, span, _) = stores[0];
+                out.push(Diagnostic {
+                    severity: Severity::Warn,
+                    lint: self.name(),
+                    function: func.name.clone(),
+                    block: Some(sb),
+                    inst: Some(si),
+                    span,
+                    message: format!(
+                        "value stored to private alloca (bb{}/{iid}) is never read ({} store{})",
+                        bid.0,
+                        stores.len(),
+                        if stores.len() == 1 { "" } else { "s" }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// const-oob-index
+// ---------------------------------------------------------------------------
+
+/// Flags `gep` instructions indexing an alloca with a constant outside
+/// `0..count`.
+struct ConstOobIndex;
+
+impl Lint for ConstOobIndex {
+    fn name(&self) -> &'static str {
+        "const-oob-index"
+    }
+
+    fn description(&self) -> &'static str {
+        "constant indices outside the bounds of a stack/local allocation"
+    }
+
+    fn check(&self, func: &Function, _module: &Module, out: &mut Vec<Diagnostic>) {
+        // Constant values (including through int casts).
+        let mut consts: Vec<Option<i64>> = vec![None; func.value_types.len()];
+        let mut counts: Vec<Option<u32>> = vec![None; func.value_types.len()];
+        for block in &func.blocks {
+            for inst in &block.insts {
+                let Some(r) = inst.result else { continue };
+                match &inst.op {
+                    Op::Const(ConstVal::I32(v)) => consts[r.index()] = Some(*v as i64),
+                    Op::Const(ConstVal::I64(v)) => consts[r.index()] = Some(*v),
+                    Op::Cast(ty, v) if ty.is_int() => consts[r.index()] = consts[v.index()],
+                    Op::Alloca { count, .. } => counts[r.index()] = Some(*count),
+                    _ => {}
+                }
+            }
+        }
+        for (bid, block) in func.iter_blocks() {
+            for (iid, inst) in block.insts.iter().enumerate() {
+                let Op::Gep { ptr, index } = &inst.op else {
+                    continue;
+                };
+                let (Some(count), Some(idx)) = (counts[ptr.index()], consts[index.index()]) else {
+                    continue;
+                };
+                if idx < 0 || idx >= count as i64 {
+                    out.push(Diagnostic {
+                        severity: Severity::Error,
+                        lint: self.name(),
+                        function: func.name.clone(),
+                        block: Some(bid),
+                        inst: Some(iid),
+                        span: inst.span,
+                        message: format!(
+                            "constant index {idx} is out of bounds for an allocation of {count} elements"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unused-param
+// ---------------------------------------------------------------------------
+
+/// Flags kernel parameters the body never observes. Sees through the front
+/// end's spill idiom: a parameter whose only use is a store into a private
+/// cell that is never loaded is still unused.
+struct UnusedParam;
+
+impl Lint for UnusedParam {
+    fn name(&self) -> &'static str {
+        "unused-param"
+    }
+
+    fn description(&self) -> &'static str {
+        "kernel parameters never observed by the kernel body"
+    }
+
+    fn check(&self, func: &Function, _module: &Module, out: &mut Vec<Diagnostic>) {
+        if func.kind != FunctionKind::Kernel {
+            return;
+        }
+        for (p, param) in func.params.iter().enumerate() {
+            let pv = ValueId(p as u32);
+            let mut observed = false;
+            let mut spill_cells: Vec<ValueId> = Vec::new();
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    match &inst.op {
+                        Op::Store { ptr, value } if *value == pv => {
+                            spill_cells.push(*ptr);
+                        }
+                        other => {
+                            if operands(other).contains(&pv) {
+                                observed = true;
+                            }
+                        }
+                    }
+                }
+                match &block.term {
+                    Some(Terminator::CondBr { cond, .. }) if *cond == pv => observed = true,
+                    Some(Terminator::Ret(Some(v))) if *v == pv => observed = true,
+                    _ => {}
+                }
+            }
+            if observed {
+                continue;
+            }
+            // The parameter only reaches spill cells: it is used iff any of
+            // those cells is ever read.
+            let mut loaded = false;
+            for cell in &spill_cells {
+                let derived = derived_values(func, *cell);
+                for block in &func.blocks {
+                    for inst in &block.insts {
+                        match &inst.op {
+                            Op::Load(p2) if derived.contains(p2) => loaded = true,
+                            Op::AtomicRmw { ptr, .. } | Op::AtomicCmpXchg { ptr, .. }
+                                if derived.contains(ptr) =>
+                            {
+                                loaded = true
+                            }
+                            Op::Call { args, .. } if args.iter().any(|a| derived.contains(a)) => {
+                                loaded = true
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            if loaded {
+                continue;
+            }
+            out.push(Diagnostic {
+                severity: Severity::Note,
+                lint: self.name(),
+                function: func.name.clone(),
+                block: None,
+                inst: None,
+                span: None,
+                message: format!("kernel parameter `{}` is never used", param.name),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// barrier-divergence
+// ---------------------------------------------------------------------------
+
+/// Surfaces the [`crate::races`] barrier-divergence findings as lint errors
+/// (a barrier under non-uniform control flow is undefined behaviour).
+struct BarrierDivergence;
+
+impl Lint for BarrierDivergence {
+    fn name(&self) -> &'static str {
+        "barrier-divergence"
+    }
+
+    fn description(&self) -> &'static str {
+        "barriers reachable under control flow that may diverge within a group"
+    }
+
+    fn check(&self, func: &Function, module: &Module, out: &mut Vec<Diagnostic>) {
+        if func.kind != FunctionKind::Kernel {
+            return;
+        }
+        let Some(report) = races::analyze_kernel(module, &func.name) else {
+            return;
+        };
+        for b in &report.divergent_barriers {
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                lint: self.name(),
+                function: func.name.clone(),
+                block: Some(b.block),
+                inst: Some(b.inst),
+                span: b.span,
+                message: b.cause.clone(),
+            });
+        }
+    }
+}

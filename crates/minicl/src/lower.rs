@@ -229,7 +229,39 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
+    /// Best source position for a statement: its own keyword/name position
+    /// where the AST records one, else the position of its leading
+    /// expression.
+    fn stmt_pos(s: &Stmt) -> Option<Pos> {
+        match s {
+            Stmt::Decl { pos, .. }
+            | Stmt::Return(_, pos)
+            | Stmt::Break(pos)
+            | Stmt::Continue(pos)
+            | Stmt::Barrier(pos) => Some(*pos),
+            Stmt::Assign { target, .. } => match target {
+                LValue::Var(_, _, pos) | LValue::Index(_, _, _, pos) => Some(*pos),
+            },
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => {
+                Some(cond.pos)
+            }
+            Stmt::For {
+                init, cond, body, ..
+            } => init
+                .as_deref()
+                .and_then(Self::stmt_pos)
+                .or(cond.as_ref().map(|c| c.pos))
+                .or_else(|| body.first().and_then(Self::stmt_pos)),
+            Stmt::ExprStmt(e) => Some(e.pos),
+        }
+    }
+
     fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        // Stamp the statement's source location onto every instruction it
+        // emits, so lint diagnostics point back into the MiniCL source.
+        if let Some(pos) = Self::stmt_pos(s) {
+            self.b.set_span(Some((pos.line, pos.col)));
+        }
         match s {
             Stmt::Decl {
                 pos,
@@ -521,6 +553,8 @@ impl<'a> Lowerer<'a> {
 
     fn lower_expr_allow_void(&mut self, e: &Expr) -> Result<Option<(ValueId, Type)>, CompileError> {
         let pos = e.pos;
+        // Refine the span to the sub-expression being lowered.
+        self.b.set_span(Some((pos.line, pos.col)));
         let out = match &e.kind {
             ExprKind::IntLit(v) => {
                 if let Ok(v32) = i32::try_from(*v) {
@@ -1035,6 +1069,36 @@ mod tests {
         let m = lower(&prog).expect("lower");
         verify_module(&m).expect("verify");
         m
+    }
+
+    #[test]
+    fn lowered_instructions_carry_source_spans() {
+        let m = compile(
+            "kernel void k(global float* o) {
+                size_t i = get_global_id(0);
+                o[i] = 2.0f;
+            }",
+        );
+        let f = m.function("k").expect("kernel exists");
+        let spanned: Vec<(u32, u32)> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|inst| inst.span)
+            .collect();
+        assert!(
+            !spanned.is_empty(),
+            "lowering must stamp source spans onto instructions"
+        );
+        // The store of `o[i] = 2.0f` sits on source line 3.
+        assert!(
+            spanned.iter().any(|&(line, _)| line == 3),
+            "expected a span on line 3, got {spanned:?}"
+        );
+        // Param spills at entry precede any statement and stay unspanned
+        // until the first statement stamps; all stamped lines are within
+        // the kernel body.
+        assert!(spanned.iter().all(|&(line, _)| (2..=4).contains(&line)));
     }
 
     #[test]

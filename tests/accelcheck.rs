@@ -1,0 +1,406 @@
+//! Differential validation of the accelcheck static race analyzer.
+//!
+//! Three planes of evidence, strongest first:
+//!
+//! 1. **Property-based differential testing** — hundreds of randomly
+//!    generated kernels (index patterns spanning safe, launch-dependent and
+//!    racy shapes, optional buffer aliasing, random launch geometry) are
+//!    run through the shadow-mode dynamic race oracle. The static gate must
+//!    be *sound*: whenever `parallel_eligible` admits a launch, the oracle
+//!    must observe zero cross-group conflicts AND the parallel interpreter
+//!    must be bit-identical to the sequential one.
+//! 2. **Parboil sweep** — every bundled benchmark kernel at its real launch
+//!    shape: an admitted launch is never oracle-racy, and the kernels the
+//!    analyzer newly widened past the old `uses_global_atomics` gate
+//!    (histograms, tpacf's bin updates) run parallel bit-identically.
+//! 3. **Golden lint report** — the `repro lint` report over the Parboil set
+//!    is pinned byte-for-byte (regenerate deliberately with
+//!    `BLESS=1 cargo test --test accelcheck`).
+
+use clrt::{Context, Platform, Program};
+use kernel_ir::builder::FunctionBuilder;
+use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange, ParSchedule, Value};
+use kernel_ir::ir::{AtomicOp, BinOp, CmpOp, FunctionKind, Module, WiBuiltin};
+use kernel_ir::races::analyze_kernel;
+use kernel_ir::types::{AddressSpace, Type};
+use kernel_ir::ParallelSafety;
+use parboil::datasets::prepare_launch;
+use parboil::KernelSpec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Random kernel shapes
+// ---------------------------------------------------------------------------
+
+/// Index/access patterns the generator draws from. The set deliberately
+/// straddles the verdict lattice: provably safe, safe only via atomics,
+/// launch-dependent and outright racy shapes all appear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pattern {
+    /// `a[gid] = gid` — disjoint per item.
+    Gid,
+    /// `a[gid + c] = gid` — shifted but still disjoint.
+    GidPlusC,
+    /// `a[c*gid] = gid` — strided, disjoint for c >= 1.
+    GidTimesC,
+    /// `a[lid] = gid` — groups collide on the same prefix.
+    Lid,
+    /// `a[grp] = gid` — one cell per group (intra-group overwrites are
+    /// sequential either way).
+    Grp,
+    /// `a[c] = gid` — every item of every group hits one cell.
+    Const,
+    /// `atomic_add(&a[c], 1)` with the result discarded — synchronized
+    /// and order-independent.
+    AtomicUnused,
+    /// `b[gid] = atomic_add(&a[c], 1)` — synchronized but order-dependent.
+    AtomicUsed,
+    /// `if (gid < n) a[gid] = gid` — guarded single writer.
+    Guarded,
+    /// `a[b[gid]] = gid` — data-dependent index (statically unknowable;
+    /// at runtime all zeros, so multi-group launches genuinely race).
+    Indirect,
+    /// `a[gid + 1] = b[gid]` — a read/write chain; races only when `a`
+    /// and `b` alias.
+    Chain,
+}
+
+const PATTERNS: [Pattern; 11] = [
+    Pattern::Gid,
+    Pattern::GidPlusC,
+    Pattern::GidTimesC,
+    Pattern::Lid,
+    Pattern::Grp,
+    Pattern::Const,
+    Pattern::AtomicUnused,
+    Pattern::AtomicUsed,
+    Pattern::Guarded,
+    Pattern::Indirect,
+    Pattern::Chain,
+];
+
+/// Build `kernel void k(global int* a, global int* b, int n)` realizing
+/// one access pattern.
+fn build_kernel(pattern: Pattern, c: i64) -> Module {
+    let int_ptr = Type::ptr(AddressSpace::Global, Type::I32);
+    let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+    let pa = b.add_param("a", int_ptr.clone());
+    let pb = b.add_param("b", int_ptr);
+    let pn = b.add_param("n", Type::I32);
+    let gid = b.work_item(WiBuiltin::GlobalId, 0);
+    let gid32 = b.cast(Type::I32, gid);
+    match pattern {
+        Pattern::Gid => {
+            let p = b.gep(pa, gid);
+            b.store(p, gid32);
+        }
+        Pattern::GidPlusC => {
+            let cc = b.const_i64(c);
+            let i = b.bin(BinOp::Add, gid, cc);
+            let p = b.gep(pa, i);
+            b.store(p, gid32);
+        }
+        Pattern::GidTimesC => {
+            let cc = b.const_i64(c.max(1));
+            let i = b.bin(BinOp::Mul, gid, cc);
+            let p = b.gep(pa, i);
+            b.store(p, gid32);
+        }
+        Pattern::Lid => {
+            let lid = b.work_item(WiBuiltin::LocalId, 0);
+            let p = b.gep(pa, lid);
+            b.store(p, gid32);
+        }
+        Pattern::Grp => {
+            let grp = b.work_item(WiBuiltin::GroupId, 0);
+            let p = b.gep(pa, grp);
+            b.store(p, gid32);
+        }
+        Pattern::Const => {
+            let cc = b.const_i64(c);
+            let p = b.gep(pa, cc);
+            b.store(p, gid32);
+        }
+        Pattern::AtomicUnused => {
+            let cc = b.const_i64(c);
+            let p = b.gep(pa, cc);
+            let one = b.const_i32(1);
+            b.atomic_rmw(AtomicOp::Add, p, one);
+        }
+        Pattern::AtomicUsed => {
+            let cc = b.const_i64(c);
+            let p = b.gep(pa, cc);
+            let one = b.const_i32(1);
+            let old = b.atomic_rmw(AtomicOp::Add, p, one);
+            let q = b.gep(pb, gid);
+            b.store(q, old);
+        }
+        Pattern::Guarded => {
+            let n64 = b.cast(Type::I64, pn);
+            let in_range = b.cmp(CmpOp::Lt, gid, n64);
+            let then_bb = b.new_block();
+            let join = b.new_block();
+            b.cond_br(in_range, then_bb, join);
+            b.switch_to(then_bb);
+            let p = b.gep(pa, gid);
+            b.store(p, gid32);
+            b.br(join);
+            b.switch_to(join);
+        }
+        Pattern::Indirect => {
+            let q = b.gep(pb, gid);
+            let idx = b.load(q);
+            let idx64 = b.cast(Type::I64, idx);
+            let p = b.gep(pa, idx64);
+            b.store(p, gid32);
+        }
+        Pattern::Chain => {
+            let q = b.gep(pb, gid);
+            let v = b.load(q);
+            let one = b.const_i64(1);
+            let i = b.bin(BinOp::Add, gid, one);
+            let p = b.gep(pa, i);
+            b.store(p, v);
+        }
+    }
+    b.ret(None);
+    let mut m = Module::new();
+    m.insert_function(b.finish());
+    kernel_ir::verify::verify_module(&m).expect("generated kernel verifies");
+    m
+}
+
+/// One differential run: static verdict + launch gate vs the dynamic
+/// oracle vs bit-level parallel/sequential comparison.
+fn check_case(pattern: Pattern, c: i64, local: usize, groups: usize, alias: bool, threads: usize) {
+    let module = build_kernel(pattern, c);
+    let interp = Interpreter::new(&module);
+    let items = local * groups;
+
+    // Buffers sized past every reachable index: max is c*max_gid + c + 1
+    // with c <= 4 and items <= 32.
+    let elems = 4 * items + 16;
+    let mut mem = DeviceMemory::new();
+    let a = mem.alloc(4 * elems);
+    let bbuf = if alias { a } else { mem.alloc(4 * elems) };
+    let args = [
+        ArgValue::Buffer(a),
+        ArgValue::Buffer(bbuf),
+        ArgValue::Scalar(Value::I32((items / 2) as i32)),
+    ];
+    let nd = NdRange::new_1d(items, local);
+
+    let eligible = interp.parallel_eligible("k", nd, &args);
+
+    // Shadow oracle over the sequential schedule.
+    let mut oracle_mem = mem.clone();
+    let (_stats, oracle) = interp
+        .run_kernel_oracle(&mut oracle_mem, "k", nd, &args)
+        .expect("oracle run succeeds");
+
+    // SOUNDNESS: an admitted launch is never oracle-racy.
+    assert!(
+        !eligible || oracle.is_clean(),
+        "UNSOUND: {pattern:?} c={c} local={local} groups={groups} alias={alias} admitted \
+         by the static gate but the oracle saw {} conflicting byte(s): {:?}",
+        oracle.total,
+        oracle.conflicts.first(),
+    );
+
+    // Bit-identity: parallel execution (which itself consults the gate and
+    // falls back when ineligible) must match sequential execution exactly.
+    let mut seq_mem = mem.clone();
+    interp
+        .run_kernel(&mut seq_mem, "k", nd, &args)
+        .expect("sequential run succeeds");
+    for sched in [ParSchedule::Static, ParSchedule::Stealing] {
+        let mut par_mem = mem.clone();
+        interp
+            .run_kernel_parallel_sched(&mut par_mem, "k", nd, &args, threads, sched)
+            .expect("parallel run succeeds");
+        assert_eq!(
+            seq_mem, par_mem,
+            "{pattern:?} c={c} local={local} groups={groups} alias={alias} diverged \
+             under {sched:?} (eligible={eligible})"
+        );
+    }
+
+    // The static verdict must agree with the gate's widening direction:
+    // a Safe verdict with distinct buffers is always admitted.
+    if !alias {
+        let report = analyze_kernel(&module, "k").expect("kernel analyzed");
+        if report.verdict == ParallelSafety::Safe {
+            assert!(
+                eligible,
+                "{pattern:?} c={c}: Safe verdict but launch rejected"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// >= 500 random (pattern, constant, launch, aliasing) combinations:
+    /// the static gate never admits a launch the dynamic oracle flags, and
+    /// parallel execution stays bit-identical to sequential throughout.
+    #[test]
+    fn static_gate_is_sound_against_dynamic_oracle(
+        pat_idx in 0usize..PATTERNS.len(),
+        c in 0i64..4,
+        local in 1usize..5,
+        groups in 1usize..9,
+        alias in proptest::bool::ANY,
+        threads in 2usize..5,
+    ) {
+        check_case(PATTERNS[pat_idx], c, local, groups, alias, threads);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directed endpoints of the lattice
+// ---------------------------------------------------------------------------
+
+#[test]
+fn racy_patterns_are_caught_by_both_planes() {
+    // Multi-group `a[lid]` and `a[c]` kernels must be rejected statically
+    // AND flagged dynamically — the two planes agree on the racy end too.
+    for pattern in [Pattern::Lid, Pattern::Const, Pattern::Indirect] {
+        let module = build_kernel(pattern, 0);
+        let interp = Interpreter::new(&module);
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(4 * 64);
+        let b = mem.alloc(4 * 64);
+        let args = [
+            ArgValue::Buffer(a),
+            ArgValue::Buffer(b),
+            ArgValue::Scalar(Value::I32(4)),
+        ];
+        let nd = NdRange::new_1d(16, 4);
+        assert!(
+            !interp.parallel_eligible("k", nd, &args),
+            "{pattern:?} must be rejected for a 4-group launch"
+        );
+        let (_s, oracle) = interp
+            .run_kernel_oracle(&mut mem, "k", nd, &args)
+            .expect("runs");
+        assert!(
+            !oracle.is_clean(),
+            "{pattern:?} must be flagged by the oracle"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parboil: admitted launches are oracle-clean; widened kernels go parallel
+// ---------------------------------------------------------------------------
+
+fn prepare(spec: &KernelSpec) -> (Context, kernel_ir::interp::NdRange, clrt::Kernel) {
+    let mut ctx = Context::new(&Platform::nvidia());
+    let program = Program::build(spec.source).expect("bundled kernels compile");
+    let prepared = prepare_launch(spec, &mut ctx, &program, 1, 7).expect("prepare");
+    (ctx, prepared.ndrange, prepared.kernel)
+}
+
+#[test]
+fn no_admitted_parboil_launch_is_oracle_racy() {
+    for spec in KernelSpec::all() {
+        let (mut ctx, nd, kernel) = prepare(spec);
+        let args = kernel.resolved_args().expect("args resolved");
+        let interp = Interpreter::with_facts(kernel.module(), kernel.facts());
+        if !interp.parallel_eligible(kernel.name(), nd, &args) {
+            continue;
+        }
+        let (_stats, oracle) = interp
+            .run_kernel_oracle(ctx.memory_mut(), kernel.name(), nd, &args)
+            .unwrap_or_else(|e| panic!("`{}` failed: {e}", spec.name));
+        assert!(
+            oracle.is_clean(),
+            "UNSOUND: `{}` admitted by the static gate but the oracle saw {} \
+             conflicting byte(s): {:?}",
+            spec.name,
+            oracle.total,
+            oracle.conflicts.first(),
+        );
+    }
+}
+
+#[test]
+fn widened_atomic_kernels_run_parallel_bit_identically() {
+    // These kernels use global atomics, so the old `uses_global_atomics`
+    // gate forced them sequential. accelcheck proves their contended
+    // accesses deterministic (commutative atomics, results discarded) and
+    // widens them into the parallel path; the results must stay
+    // bit-identical.
+    let mut widened = 0usize;
+    for name in ["histo_main", "histo_prescan", "tpacf"] {
+        let spec = KernelSpec::by_name(name).expect("kernel exists");
+        let module = spec.compile().expect("compiles");
+        let facts = kernel_ir::ModuleFacts::compute(&module);
+        assert!(
+            facts.uses_global_atomics(spec.entry),
+            "`{name}` must use global atomics for this test to mean anything"
+        );
+        assert!(
+            Interpreter::new(&module).can_parallelize(spec.entry),
+            "`{name}` must be statically parallel-eligible"
+        );
+
+        let (mut ctx, nd, kernel) = prepare(spec);
+        let args = kernel.resolved_args().expect("args resolved");
+        let interp = Interpreter::with_facts(kernel.module(), kernel.facts());
+        let mut seq_mem = ctx.memory_mut().clone();
+        interp
+            .run_kernel(&mut seq_mem, kernel.name(), nd, &args)
+            .expect("sequential run");
+        let mut par_mem = ctx.memory_mut().clone();
+        interp
+            .run_kernel_parallel_sched(
+                &mut par_mem,
+                kernel.name(),
+                nd,
+                &args,
+                4,
+                ParSchedule::Static,
+            )
+            .expect("parallel run");
+        assert_eq!(
+            seq_mem, par_mem,
+            "`{name}` diverged under parallel execution"
+        );
+        widened += 1;
+    }
+    assert_eq!(widened, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Golden lint report
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lint_report_matches_golden_snapshot() {
+    let actual = accel_harness::lintreport::lint_parboil().report;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint_report.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file missing — run `BLESS=1 cargo test --test accelcheck` once");
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                a,
+                e,
+                "lint report drifted from the golden snapshot at line {} — if the \
+                 change is intentional, regenerate with BLESS=1 and review the diff",
+                i + 1
+            );
+        }
+        panic!(
+            "lint report changed length: {} vs {} lines",
+            actual.lines().count(),
+            expected.lines().count()
+        );
+    }
+}

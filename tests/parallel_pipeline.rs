@@ -121,12 +121,18 @@ fn stealing_matches_sequential_across_thread_counts() {
 
 #[test]
 fn atomic_kernels_are_detected_as_fallback() {
+    // `can_parallelize` is the launch-independent accelcheck verdict.
+    // stencil/lbm index by global id (Safe); histo_main's histogram
+    // updates are discarded-result atomic adds (SafeViaAtomics,
+    // deterministic); sgemm's disjointness depends on the launch shape
+    // so it is not *statically* eligible; bfs pushes through an
+    // unanalyzable frontier index and stays racy outright.
     for (name, expect_parallel) in [
-        ("sgemm", true),
+        ("sgemm", false),
         ("stencil", true),
         ("lbm", true),
         ("bfs", false),
-        ("histo_main", false),
+        ("histo_main", true),
     ] {
         let spec = KernelSpec::by_name(name).expect("kernel exists");
         let module = spec.compile().expect("compiles");
@@ -136,6 +142,23 @@ fn atomic_kernels_are_detected_as_fallback() {
             "`{name}` parallel-eligibility mismatch"
         );
     }
+
+    // sgemm is rescued at launch time: with a concrete NDRange and
+    // resolved scalar arguments the per-item stores are provably
+    // disjoint, so the launch-aware gate widens beyond the static
+    // verdict.
+    use clrt::{Context, Platform, Program};
+    let spec = KernelSpec::by_name("sgemm").expect("kernel exists");
+    let mut ctx = Context::new(&Platform::nvidia());
+    let program = Program::build(spec.source).expect("bundled kernels compile");
+    let prepared = prepare_launch(spec, &mut ctx, &program, 1, 7).expect("prepare");
+    let kernel = prepared.kernel;
+    let args = kernel.resolved_args().expect("args resolved");
+    let interp = Interpreter::new(kernel.module());
+    assert!(
+        interp.parallel_eligible(kernel.name(), prepared.ndrange, &args),
+        "sgemm's concrete launch must be rescued by the launch-aware gate"
+    );
 }
 
 #[test]
