@@ -1,0 +1,270 @@
+//! `bench_pr8` — record the PR-8 trajectory point: the bytecode execution
+//! tier for the functional plane.
+//!
+//! * **Dispatch leg** — a synthetic single-item loop kernel (~10 dynamic
+//!   instructions per iteration, no memory traffic beyond the loop slot)
+//!   isolates per-instruction dispatch cost: tree-walking interpreter vs
+//!   raw bytecode vs launch-optimized bytecode, reported in ns/insn.
+//! * **Parboil leg** — every bundled kernel at its real launch shape runs
+//!   sequentially on all three tiers; outputs AND dynamic statistics are
+//!   asserted bit-identical before timing (the differential contract the
+//!   PR-8 test plane pins), then per-kernel wall time and the
+//!   tier-aggregate insns/sec are recorded.
+//!
+//! The record lands in `BENCH_pr8.json` (CWD) with the host's thread
+//! count. The tiers are compared sequentially (one interpreter thread) so
+//! the dispatch-cost reduction is visible even on 1-thread containers.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr8 [--smoke]`
+//! (`--smoke` runs reduced repetitions for CI and skips the JSON file.)
+
+use clrt::{Context, Platform, Program};
+use kernel_ir::builder::FunctionBuilder;
+use kernel_ir::bytecode::ExecTier;
+use kernel_ir::interp::{
+    ArgValue, DeviceMemory, DynStats, Interpreter, NdRange, ParSchedule, Value,
+};
+use kernel_ir::ir::{BinOp, CmpOp, FunctionKind, Module, WiBuiltin};
+use kernel_ir::types::{AddressSpace, Type};
+use parboil::KernelSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const TIERS: [ExecTier; 3] = [
+    ExecTier::TreeWalk,
+    ExecTier::Bytecode,
+    ExecTier::BytecodeOpt,
+];
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// `kernel void k(global long* out, int n)`: a counted loop accumulating
+/// `i * 3 + 1` into a private slot, one store at the end. All dynamic
+/// weight is loop body — the per-iteration dispatch cost dominates.
+fn loop_kernel() -> Module {
+    let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+    let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I64));
+    let n = b.add_param("n", Type::I32);
+    let i_slot = b.alloca(Type::I64, 1, AddressSpace::Private);
+    let acc_slot = b.alloca(Type::I64, 1, AddressSpace::Private);
+    let zero = b.const_i64(0);
+    b.store(i_slot, zero);
+    b.store(acc_slot, zero);
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.load(i_slot);
+    let n64 = b.cast(Type::I64, n);
+    let more = b.cmp(CmpOp::Lt, i, n64);
+    b.cond_br(more, body, exit);
+    b.switch_to(body);
+    let three = b.const_i64(3);
+    let one = b.const_i64(1);
+    let scaled = b.bin(BinOp::Mul, i, three);
+    let term = b.bin(BinOp::Add, scaled, one);
+    let acc = b.load(acc_slot);
+    let acc2 = b.bin(BinOp::Add, acc, term);
+    b.store(acc_slot, acc2);
+    let next = b.bin(BinOp::Add, i, one);
+    b.store(i_slot, next);
+    b.br(header);
+    b.switch_to(exit);
+    let gid = b.work_item(WiBuiltin::GlobalId, 0);
+    let final_acc = b.load(acc_slot);
+    let p = b.gep(out, gid);
+    b.store(p, final_acc);
+    b.ret(None);
+    let mut m = Module::new();
+    m.insert_function(b.finish());
+    m
+}
+
+/// Run `kernel` once per tier on clones of `base`, assert bit-identity of
+/// memory and statistics against the tree-walker, and return per-tier
+/// wall-clock averages over `reps` repetitions plus the (tier-invariant)
+/// dynamic instruction count.
+fn run_tiers(
+    interp: &mut Interpreter,
+    base: &DeviceMemory,
+    name: &str,
+    kernel_name: &str,
+    nd: NdRange,
+    args: &[ArgValue],
+    reps: u32,
+) -> ([f64; 3], u64) {
+    // Correctness pass first: every tier, identical memory and stats.
+    let mut reference: Option<(DeviceMemory, DynStats)> = None;
+    for tier in TIERS {
+        let mut mem = base.clone();
+        interp.set_exec_tier(tier);
+        let stats = interp
+            .run_kernel_bytecode(&mut mem, kernel_name, nd, args, 1, ParSchedule::Static)
+            .unwrap_or_else(|e| panic!("`{name}` failed on {tier:?}: {e}"));
+        match &reference {
+            None => reference = Some((mem, stats)),
+            Some((tree_mem, tree_stats)) => {
+                assert_eq!(tree_mem, &mem, "`{name}` memory diverged on {tier:?}");
+                assert_eq!(tree_stats, &stats, "`{name}` stats diverged on {tier:?}");
+            }
+        }
+    }
+    let (_, tree_stats) = reference.expect("tree-walk leg ran");
+    let insns = tree_stats.total_insns;
+
+    // Timing pass: reps runs per tier on fresh memory clones.
+    let mut ms = [0f64; 3];
+    for (slot, tier) in TIERS.into_iter().enumerate() {
+        interp.set_exec_tier(tier);
+        let (_, total_ms) = time(|| {
+            for _ in 0..reps {
+                let mut mem = base.clone();
+                std::hint::black_box(
+                    interp
+                        .run_kernel_bytecode(
+                            &mut mem,
+                            kernel_name,
+                            nd,
+                            args,
+                            1,
+                            ParSchedule::Static,
+                        )
+                        .expect("timed run"),
+                );
+            }
+        });
+        ms[slot] = total_ms / f64::from(reps);
+    }
+    (ms, insns)
+}
+
+struct ParboilRow {
+    name: &'static str,
+    insns: u64,
+    ms: [f64; 3],
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps: u32 = if smoke { 2 } else { 10 };
+
+    // ---- dispatch leg ---------------------------------------------------
+    let module = loop_kernel();
+    let mut interp = Interpreter::new(&module);
+    let mut mem = DeviceMemory::new();
+    let out = mem.alloc(8);
+    let n: i32 = if smoke { 20_000 } else { 200_000 };
+    let args = [ArgValue::Buffer(out), ArgValue::Scalar(Value::I32(n))];
+    let nd = NdRange::new_1d(1, 1);
+    let (loop_ms, loop_insns) = run_tiers(&mut interp, &mem, "loop", "k", nd, &args, reps);
+    let ns_per_insn: Vec<f64> = loop_ms
+        .iter()
+        .map(|ms| ms * 1e6 / loop_insns as f64)
+        .collect();
+    println!(
+        "dispatch ({loop_insns} insns): tree {:.1} ns/insn | bytecode {:.1} ns/insn | \
+         bytecode-opt {:.1} ns/insn",
+        ns_per_insn[0], ns_per_insn[1], ns_per_insn[2]
+    );
+
+    // ---- Parboil leg ----------------------------------------------------
+    let mut rows: Vec<ParboilRow> = Vec::new();
+    let mut total_insns = 0u64;
+    let mut total_ms = [0f64; 3];
+    for spec in KernelSpec::all() {
+        let mut ctx = Context::new(&Platform::nvidia());
+        let program = Program::build(spec.source).expect("bundled kernels compile");
+        let prepared =
+            parboil::datasets::prepare_launch(spec, &mut ctx, &program, 1, 7).expect("prepare");
+        let kernel = prepared.kernel;
+        let args: Vec<ArgValue> = kernel.resolved_args().expect("args resolved");
+        let mut interp = Interpreter::with_facts(kernel.module(), kernel.facts());
+        let base: DeviceMemory = ctx.memory_mut().clone();
+        let (ms, insns) = run_tiers(
+            &mut interp,
+            &base,
+            spec.name,
+            kernel.name(),
+            prepared.ndrange,
+            &args,
+            reps,
+        );
+        total_insns += insns;
+        for (acc, t) in total_ms.iter_mut().zip(ms) {
+            *acc += t;
+        }
+        println!(
+            "{}: {} insns | tree {:.2} ms | bytecode {:.2} ms | bytecode-opt {:.2} ms",
+            spec.name, insns, ms[0], ms[1], ms[2]
+        );
+        rows.push(ParboilRow {
+            name: spec.name,
+            insns,
+            ms,
+        });
+    }
+    let suite_mips: Vec<f64> = total_ms
+        .iter()
+        .map(|ms| total_insns as f64 / (ms * 1e3))
+        .collect();
+    println!(
+        "suite ({total_insns} insns): tree {:.2} Minsns/s | bytecode {:.2} Minsns/s | \
+         bytecode-opt {:.2} Minsns/s",
+        suite_mips[0], suite_mips[1], suite_mips[2]
+    );
+
+    if smoke {
+        println!("smoke mode: all tiers verified bit-identical; BENCH_pr8.json not written");
+        return;
+    }
+
+    // ---- record ---------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 8,\n");
+    json.push_str(
+        "  \"bench\": \"bytecode execution tier: per-insn dispatch cost + Parboil suite, \
+         tree-walk vs bytecode vs optimized bytecode (sequential)\",\n",
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"dispatch\": {{ \"loop_insns\": {loop_insns}, \"ns_per_insn\": \
+         {{ \"tree\": {:.2}, \"bytecode\": {:.2}, \"bytecode_opt\": {:.2} }} }},",
+        ns_per_insn[0], ns_per_insn[1], ns_per_insn[2]
+    );
+    json.push_str("  \"parboil\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"insns\": {}, \"tree_ms\": {:.3}, \
+             \"bytecode_ms\": {:.3}, \"bytecode_opt_ms\": {:.3}, \"bit_identical\": true }}",
+            r.name, r.insns, r.ms[0], r.ms[1], r.ms[2]
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"suite\": {{ \"total_insns\": {total_insns}, \"minsns_per_sec\": \
+         {{ \"tree\": {:.2}, \"bytecode\": {:.2}, \"bytecode_opt\": {:.2} }}, \
+         \"speedup_vs_tree\": {{ \"bytecode\": {:.3}, \"bytecode_opt\": {:.3} }} }}",
+        suite_mips[0],
+        suite_mips[1],
+        suite_mips[2],
+        total_ms[0] / total_ms[1],
+        total_ms[0] / total_ms[2]
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    println!("wrote BENCH_pr8.json");
+}

@@ -118,14 +118,18 @@ impl CommandQueue {
             )));
         }
 
-        // Functional plane: work groups shard across host threads when the
-        // accelcheck race analysis proves the launch free of cross-group
-        // races (`run_kernel_parallel` auto-falls back to the sequential
-        // interpreter otherwise, with bit-identical memory contents and
-        // statistics either way). Verdicts come from the `ModuleFacts`
-        // cache computed once at program build time.
-        let stats = Interpreter::with_facts(kernel.module(), kernel.facts())
-            .run_kernel_parallel(ctx.memory_mut(), kernel.name(), ndrange, &args)
+        // Functional plane: kernels execute on the bytecode tier
+        // (`ACCELOS_EXEC_TIER` selects `tree`/`bytecode`/`bytecode-opt`;
+        // unsupported constructs fall back to the tree-walker), sharding
+        // work groups across host threads when the accelcheck race
+        // analysis proves the launch free of cross-group races — with
+        // bit-identical memory contents and statistics on every path.
+        // Verdicts come from the `ModuleFacts` cache computed once at
+        // program build time.
+        let mut interp = Interpreter::with_facts(kernel.module(), kernel.facts());
+        interp.set_exec_tier(kernel_ir::ExecTier::from_env());
+        let stats = interp
+            .run_kernel_tiered(ctx.memory_mut(), kernel.name(), ndrange, &args)
             .map_err(|e| ClError::ExecutionFailure(e.to_string()))?;
 
         // Timing plane: one-launch machine simulation with per-WG costs from

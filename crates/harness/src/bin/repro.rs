@@ -8,6 +8,7 @@
 //!       [--shard i/n [--out FILE]]
 //! repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]
 //! repro lint [--deny-warnings]
+//! repro disasm <kernel>
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
 //!              fig15 small ablation dynamic priority deadline faults all
@@ -17,6 +18,18 @@
 //! divergence, structural lints) over the bundled Parboil kernels and
 //! prints the report; `--deny-warnings` exits nonzero on any warning or
 //! error, which is how CI gates the kernel set.
+//!
+//! `disasm` lowers one bundled Parboil kernel to the bytecode tier at its
+//! bundled launch shape (scale 1, seed 7) and prints both the raw
+//! lowering and the launch-optimized program — the form that
+//! `tests/golden/bytecode_spmv.txt` pins for spmv.
+//!
+//! `--exec-tier tree|bytecode|bytecode-opt` selects the functional-plane
+//! execution tier for every kernel launch of the run (it sets
+//! `ACCELOS_EXEC_TIER`, which `clrt` consults at launch time; the default
+//! is `bytecode-opt`). Every figure and table is tier-invariant — the
+//! tiers are pinned bit-identical — so the flag exists to cross-check
+//! exactly that and to time the tiers against each other.
 //!
 //! Defaults use [`SweepConfig::default_scale`]; `--full` switches to the
 //! paper-sized sweep (625 pairs, 16384 4-kernel and 32768 8-kernel
@@ -168,6 +181,20 @@ fn parse_args() -> Result<Options, String> {
                 inputs.extend(list.split(',').map(str::to_string));
             }
             "--deny-warnings" => deny_warnings = true,
+            "--exec-tier" => {
+                i += 1;
+                let tier = args.get(i).ok_or("missing value after --exec-tier")?;
+                match tier.as_str() {
+                    "tree" | "bytecode" | "bytecode-opt" => {
+                        std::env::set_var("ACCELOS_EXEC_TIER", tier)
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown exec tier `{other}` (tree | bytecode | bytecode-opt)"
+                        ))
+                    }
+                }
+            }
             "--full" => cfg = SweepConfig::full(),
             "--pairs" => cfg.pairs = take(&mut i)?,
             "--n4" => cfg.n4 = take(&mut i)?,
@@ -443,9 +470,11 @@ fn main() {
                 "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|deadline|faults|all>... \
                  [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
-                 [--jobs N] [--sequential] [--shard i/n [--out FILE]]\n\
+                 [--jobs N] [--sequential] [--shard i/n [--out FILE]] \
+                 [--exec-tier tree|bytecode|bytecode-opt]\n\
                  usage: repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]\n\
-                 usage: repro lint [--deny-warnings]"
+                 usage: repro lint [--deny-warnings]\n\
+                 usage: repro disasm <kernel>"
             );
             eprintln!(
                 "  --reference <name>  divide ratio figures (fig10/fig13/fig14, dynamic, priority) \
@@ -460,6 +489,24 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(pos) = opts.experiments.iter().position(|e| e == "disasm") {
+        // `disasm` is its own phase: the word after it names the kernel.
+        let Some(kernel) = opts.experiments.get(pos + 1) else {
+            eprintln!(
+                "repro disasm: name a bundled kernel (e.g. `repro disasm spmv`); \
+                 see `repro lint` for the kernel list"
+            );
+            std::process::exit(2);
+        };
+        match accel_harness::disasm::disassemble_parboil(kernel) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("repro disasm: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if opts.experiments.iter().any(|e| e == "lint") {
         // `lint` is its own phase, like `merge`: sweep the bundled Parboil
         // kernels through accelcheck and print the report. With

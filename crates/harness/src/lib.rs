@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod disasm;
 pub mod experiments;
 pub mod lintreport;
 pub mod runner;

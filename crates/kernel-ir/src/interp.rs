@@ -200,7 +200,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_bool(self) -> Result<bool, InterpError> {
+    pub(crate) fn as_bool(self) -> Result<bool, InterpError> {
         match self {
             Value::Bool(b) => Ok(b),
             other => Err(InterpError::Invalid(format!(
@@ -209,7 +209,7 @@ impl Value {
         }
     }
 
-    fn as_i64(self) -> Result<i64, InterpError> {
+    pub(crate) fn as_i64(self) -> Result<i64, InterpError> {
         match self {
             Value::I32(v) => Ok(v as i64),
             Value::I64(v) => Ok(v),
@@ -219,7 +219,7 @@ impl Value {
         }
     }
 
-    fn as_ptr(self) -> Result<PtrVal, InterpError> {
+    pub(crate) fn as_ptr(self) -> Result<PtrVal, InterpError> {
         match self {
             Value::Ptr(p) => Ok(p),
             other => Err(InterpError::Invalid(format!(
@@ -645,7 +645,7 @@ pub(crate) fn interp_size(ty: &Type) -> usize {
     }
 }
 
-fn encode_value(v: Value, out: &mut [u8]) {
+pub(crate) fn encode_value(v: Value, out: &mut [u8]) {
     match v {
         Value::Bool(b) => out[0] = b as u8,
         Value::I32(x) => out[..4].copy_from_slice(&x.to_le_bytes()),
@@ -666,7 +666,7 @@ fn encode_value(v: Value, out: &mut [u8]) {
     }
 }
 
-fn decode_value(ty: &Type, bytes: &[u8]) -> Value {
+pub(crate) fn decode_value(ty: &Type, bytes: &[u8]) -> Value {
     match ty {
         Type::Bool => Value::Bool(bytes[0] != 0),
         Type::I32 => Value::I32(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
@@ -693,10 +693,10 @@ fn decode_value(ty: &Type, bytes: &[u8]) -> Value {
 
 /// Per-work-item coordinates.
 #[derive(Debug, Clone, Copy)]
-struct WiCtx {
-    global_id: [usize; 3],
-    local_id: [usize; 3],
-    group_id: [usize; 3],
+pub(crate) struct WiCtx {
+    pub(crate) global_id: [usize; 3],
+    pub(crate) local_id: [usize; 3],
+    pub(crate) group_id: [usize; 3],
 }
 
 #[derive(Debug)]
@@ -710,7 +710,7 @@ struct Frame {
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
-enum WiStatus {
+pub(crate) enum WiStatus {
     Running,
     AtBarrier,
     Done,
@@ -727,17 +727,17 @@ struct WorkItem {
 /// Free list of register files, recycled across frames and work groups so
 /// the hot loop stops allocating one `Vec<Option<Value>>` per call frame.
 #[derive(Debug, Default)]
-struct RegsPool(Vec<Vec<Option<Value>>>);
+pub(crate) struct RegsPool(Vec<Vec<Option<Value>>>);
 
 impl RegsPool {
-    fn take(&mut self, len: usize) -> Vec<Option<Value>> {
+    pub(crate) fn take(&mut self, len: usize) -> Vec<Option<Value>> {
         let mut regs = self.0.pop().unwrap_or_default();
         regs.clear();
         regs.resize(len, None);
         regs
     }
 
-    fn put(&mut self, regs: Vec<Option<Value>>) {
+    pub(crate) fn put(&mut self, regs: Vec<Option<Value>>) {
         self.0.push(regs);
     }
 }
@@ -756,12 +756,12 @@ struct WgScratch {
 
 /// Everything `run_kernel` resolves before the group loop: entry function,
 /// argument plan, static local-memory layout.
-struct LaunchSetup<'m> {
-    func_idx: usize,
-    func: &'m Function,
-    arg_plan: Vec<ArgPlan>,
-    static_local: Vec<(BlockId, usize, usize)>,
-    local_bytes: usize,
+pub(crate) struct LaunchSetup<'m> {
+    pub(crate) func_idx: usize,
+    pub(crate) func: &'m Function,
+    pub(crate) arg_plan: Vec<ArgPlan>,
+    pub(crate) static_local: Vec<(BlockId, usize, usize)>,
+    pub(crate) local_bytes: usize,
 }
 
 /// The kernel interpreter.
@@ -796,9 +796,10 @@ struct LaunchSetup<'m> {
 /// ```
 #[derive(Debug)]
 pub struct Interpreter<'m> {
-    module: &'m Module,
-    config: InterpConfig,
-    facts: Option<&'m crate::analysis::ModuleFacts>,
+    pub(crate) module: &'m Module,
+    pub(crate) config: InterpConfig,
+    pub(crate) facts: Option<&'m crate::analysis::ModuleFacts>,
+    pub(crate) tier: crate::bytecode::ExecTier,
 }
 
 impl<'m> Interpreter<'m> {
@@ -808,6 +809,7 @@ impl<'m> Interpreter<'m> {
             module,
             config: InterpConfig::default(),
             facts: None,
+            tier: crate::bytecode::ExecTier::TreeWalk,
         }
     }
 
@@ -817,6 +819,7 @@ impl<'m> Interpreter<'m> {
             module,
             config,
             facts: None,
+            tier: crate::bytecode::ExecTier::TreeWalk,
         }
     }
 
@@ -829,6 +832,7 @@ impl<'m> Interpreter<'m> {
             module,
             config: InterpConfig::default(),
             facts: Some(facts),
+            tier: crate::bytecode::ExecTier::TreeWalk,
         }
     }
 
@@ -1038,7 +1042,7 @@ impl<'m> Interpreter<'m> {
     }
 
     /// Resolve the entry point, argument plan and local-memory layout.
-    fn plan(
+    pub(crate) fn plan(
         &self,
         mem: &DeviceMemory,
         kernel: &str,
@@ -1166,57 +1170,22 @@ impl<'m> Interpreter<'m> {
         ndrange: NdRange,
         mut oracle: Option<&mut OracleState>,
     ) -> Result<DynStats, InterpError> {
-        let groups = ndrange.num_groups();
-        let mut stats = DynStats {
-            insns_per_wg: Vec::with_capacity(ndrange.total_groups()),
-            ..DynStats::default()
-        };
         let gmem = GlobalMem::new(mem);
-        let mut scratch = WgScratch::default();
-        for gz in 0..groups[2] {
-            for gy in 0..groups[1] {
-                for gx in 0..groups[0] {
-                    let wg_insns = self.run_work_group(
-                        &gmem,
-                        setup,
-                        ndrange,
-                        [gx, gy, gz],
-                        &mut scratch,
-                        &mut stats,
-                        oracle.as_deref_mut(),
-                    )?;
-                    stats.insns_per_wg.push(wg_insns);
-                }
-            }
-        }
-        stats.total_insns = stats.insns_per_wg.iter().sum();
-        Ok(stats)
-    }
-
-    /// Decode a flat group id into 3-D group coordinates. Shared by both
-    /// parallel schedules so the flat ordering cannot drift between them
-    /// (it is what their bit-identity with the sequential `gz/gy/gx`
-    /// loop rests on).
-    fn flat_gid(groups: [usize; 3], flat: usize) -> [usize; 3] {
-        [
-            flat % groups[0],
-            (flat / groups[0]) % groups[1],
-            flat / (groups[0] * groups[1]),
-        ]
-    }
-
-    /// Keep the error of the lowest-numbered failing group — the one the
-    /// sequential interpreter would have stopped at. Shared by both
-    /// parallel schedules.
-    fn keep_lowest_err(first: &mut Option<(usize, InterpError)>, flat: usize, e: InterpError) {
-        if first.as_ref().map(|(f, _)| flat < *f).unwrap_or(true) {
-            *first = Some((flat, e));
-        }
+        run_groups_seq_sched(ndrange, |gid, scratch: &mut WgScratch, stats| {
+            self.run_work_group(
+                &gmem,
+                setup,
+                ndrange,
+                gid,
+                scratch,
+                stats,
+                oracle.as_deref_mut(),
+            )
+        })
     }
 
     /// Shard work groups across `threads` OS threads (contiguous flat
-    /// ranges, merged in order). Only called once the analysis has proved
-    /// the kernel free of global-memory atomics.
+    /// ranges, merged in order); see [`run_groups_static_sched`].
     fn run_groups_par(
         &self,
         mem: &mut DeviceMemory,
@@ -1224,75 +1193,14 @@ impl<'m> Interpreter<'m> {
         ndrange: NdRange,
         threads: usize,
     ) -> Result<DynStats, InterpError> {
-        let groups = ndrange.num_groups();
-        let total = ndrange.total_groups();
         let gmem = GlobalMem::new(mem);
-        let mut merged = DynStats {
-            insns_per_wg: Vec::with_capacity(total),
-            ..DynStats::default()
-        };
-        let mut first_err: Option<(usize, InterpError)> = None;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = total * t / threads;
-                    let hi = total * (t + 1) / threads;
-                    let gmem = &gmem;
-                    scope.spawn(move || {
-                        let mut scratch = WgScratch::default();
-                        let mut part = DynStats::default();
-                        let mut insns = Vec::with_capacity(hi - lo);
-                        for flat in lo..hi {
-                            let gid = Self::flat_gid(groups, flat);
-                            match self.run_work_group(
-                                gmem,
-                                setup,
-                                ndrange,
-                                gid,
-                                &mut scratch,
-                                &mut part,
-                                None,
-                            ) {
-                                Ok(n) => insns.push(n),
-                                Err(e) => return Err((flat, e)),
-                            }
-                        }
-                        Ok((insns, part))
-                    })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join().expect("interpreter worker panicked") {
-                    Ok((insns, part)) => {
-                        merged.insns_per_wg.extend(insns);
-                        merged.mem_ops += part.mem_ops;
-                        merged.atomic_ops += part.atomic_ops;
-                        merged.barriers += part.barriers;
-                    }
-                    Err((flat, e)) => Self::keep_lowest_err(&mut first_err, flat, e),
-                }
-            }
-        });
-        if let Some((_, e)) = first_err {
-            return Err(e);
-        }
-        merged.total_insns = merged.insns_per_wg.iter().sum();
-        Ok(merged)
+        run_groups_static_sched(ndrange, threads, |gid, scratch: &mut WgScratch, part| {
+            self.run_work_group(&gmem, setup, ndrange, gid, scratch, part, None)
+        })
     }
 
-    /// Shard work groups across `threads` OS threads with an atomic-cursor
-    /// dynamic schedule: each thread repeatedly claims the next
-    /// [`STEAL_RANGE`] flat groups, so a thread that drew cheap groups
-    /// keeps working while another grinds through expensive ones. Only
-    /// called once the analysis has proved the kernel free of
-    /// global-memory atomics.
-    ///
-    /// Bit-identity with [`run_groups_seq`](Self::run_groups_seq): every
-    /// claimed range `[lo, hi)` is owned by exactly one thread, which
-    /// writes `insns_per_wg[lo..hi]` directly into the pre-sized flat
-    /// buffer (the merge is the identity), and the scalar counters are
-    /// order-independent integer sums. `total_insns` is recomputed from
-    /// the flat buffer exactly like the sequential loop does.
+    /// Shard work groups across `threads` OS threads with the atomic-cursor
+    /// dynamic schedule; see [`run_groups_stealing_sched`].
     fn run_groups_stealing(
         &self,
         mem: &mut DeviceMemory,
@@ -1300,70 +1208,10 @@ impl<'m> Interpreter<'m> {
         ndrange: NdRange,
         threads: usize,
     ) -> Result<DynStats, InterpError> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let groups = ndrange.num_groups();
-        let total = ndrange.total_groups();
         let gmem = GlobalMem::new(mem);
-        let mut insns_per_wg = vec![0u64; total];
-        // One writer per flat index (ranges are claimed exactly once), so
-        // disjoint raw-pointer writes into the pre-sized buffer are safe.
-        let insns = SyncPtr(insns_per_wg.as_mut_ptr());
-        let cursor = AtomicUsize::new(0);
-        let mut merged = DynStats::default();
-        let mut first_err: Option<(usize, InterpError)> = None;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let gmem = &gmem;
-                    let cursor = &cursor;
-                    let insns = &insns;
-                    scope.spawn(move || {
-                        let mut scratch = WgScratch::default();
-                        let mut part = DynStats::default();
-                        loop {
-                            let lo = cursor.fetch_add(STEAL_RANGE, Ordering::Relaxed);
-                            if lo >= total {
-                                return Ok(part);
-                            }
-                            for flat in lo..(lo + STEAL_RANGE).min(total) {
-                                let gid = Self::flat_gid(groups, flat);
-                                match self.run_work_group(
-                                    gmem,
-                                    setup,
-                                    ndrange,
-                                    gid,
-                                    &mut scratch,
-                                    &mut part,
-                                    None,
-                                ) {
-                                    // SAFETY: `flat` lies in a range this
-                                    // thread claimed exclusively; the
-                                    // buffer outlives the scope.
-                                    Ok(n) => unsafe { *insns.0.add(flat) = n },
-                                    Err(e) => return Err((flat, e)),
-                                }
-                            }
-                        }
-                    })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join().expect("interpreter worker panicked") {
-                    Ok(part) => {
-                        merged.mem_ops += part.mem_ops;
-                        merged.atomic_ops += part.atomic_ops;
-                        merged.barriers += part.barriers;
-                    }
-                    Err((flat, e)) => Self::keep_lowest_err(&mut first_err, flat, e),
-                }
-            }
-        });
-        if let Some((_, e)) = first_err {
-            return Err(e);
-        }
-        merged.total_insns = insns_per_wg.iter().sum();
-        merged.insns_per_wg = insns_per_wg;
-        Ok(merged)
+        run_groups_stealing_sched(ndrange, threads, |gid, scratch: &mut WgScratch, part| {
+            self.run_work_group(&gmem, setup, ndrange, gid, scratch, part, None)
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1893,7 +1741,7 @@ impl<'m> Interpreter<'m> {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum ArgPlan {
+pub(crate) enum ArgPlan {
     Value(Value),
 }
 
@@ -1909,7 +1757,7 @@ enum ArgPlan {
 /// model *and* here (the sequential interpreter remains the arbiter for
 /// such kernels; the parallel entry point is gated on the global-atomics
 /// analysis and documented accordingly).
-struct GlobalMem<'a> {
+pub(crate) struct GlobalMem<'a> {
     spans: Vec<(*mut u8, usize)>,
     _mem: std::marker::PhantomData<&'a mut DeviceMemory>,
 }
@@ -1917,7 +1765,7 @@ struct GlobalMem<'a> {
 unsafe impl Sync for GlobalMem<'_> {}
 
 impl<'a> GlobalMem<'a> {
-    fn new(mem: &'a mut DeviceMemory) -> Self {
+    pub(crate) fn new(mem: &'a mut DeviceMemory) -> Self {
         let spans = mem
             .buffers
             .iter_mut()
@@ -1939,7 +1787,7 @@ impl<'a> GlobalMem<'a> {
             .ok_or_else(|| InterpError::Invalid(format!("dangling buffer {b:?}")))
     }
 
-    fn bytes(&self, b: BufferId, off: i64, size: usize) -> Result<&[u8], InterpError> {
+    pub(crate) fn bytes(&self, b: BufferId, off: i64, size: usize) -> Result<&[u8], InterpError> {
         let (ptr, len) = self.span(b)?;
         bounds(len, off, size, "global buffer")?;
         // SAFETY: in bounds (checked above); the only concurrent writers
@@ -1949,7 +1797,12 @@ impl<'a> GlobalMem<'a> {
     }
 
     #[allow(clippy::mut_from_ref)] // interior-mutability view; see type docs
-    fn bytes_mut(&self, b: BufferId, off: i64, size: usize) -> Result<&mut [u8], InterpError> {
+    pub(crate) fn bytes_mut(
+        &self,
+        b: BufferId,
+        off: i64,
+        size: usize,
+    ) -> Result<&mut [u8], InterpError> {
         let (ptr, len) = self.span(b)?;
         bounds(len, off, size, "global buffer")?;
         // SAFETY: in bounds (checked above); the returned slice is used
@@ -1961,7 +1814,7 @@ impl<'a> GlobalMem<'a> {
     /// Atomic view of a naturally aligned 4-byte word. Misaligned offsets
     /// are a deterministic error (raised identically by the sequential and
     /// parallel paths).
-    fn atomic_u32(
+    pub(crate) fn atomic_u32(
         &self,
         b: BufferId,
         off: i64,
@@ -1981,7 +1834,7 @@ impl<'a> GlobalMem<'a> {
 
     /// Atomic view of a naturally aligned 8-byte word; see
     /// [`Self::atomic_u32`].
-    fn atomic_u64(
+    pub(crate) fn atomic_u64(
         &self,
         b: BufferId,
         off: i64,
@@ -2005,6 +1858,195 @@ impl<'a> GlobalMem<'a> {
 struct SyncPtr<T>(*mut T);
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
+/// Decode a flat group id into 3-D group coordinates. Shared by every
+/// schedule (and both execution tiers) so the flat ordering cannot drift:
+/// it is what bit-identity with the sequential `gz/gy/gx` loop rests on.
+pub(crate) fn flat_gid(groups: [usize; 3], flat: usize) -> [usize; 3] {
+    [
+        flat % groups[0],
+        (flat / groups[0]) % groups[1],
+        flat / (groups[0] * groups[1]),
+    ]
+}
+
+/// Keep the error of the lowest-numbered failing group — the one the
+/// sequential interpreter would have stopped at. Shared by both parallel
+/// schedules.
+fn keep_lowest_err(first: &mut Option<(usize, InterpError)>, flat: usize, e: InterpError) {
+    if first.as_ref().map(|(f, _)| flat < *f).unwrap_or(true) {
+        *first = Some((flat, e));
+    }
+}
+
+/// Run every work group in flat order on the calling thread, reusing one
+/// scratch `S`. Generic over the per-group executor so the tree-walking
+/// interpreter and the bytecode VM share one group loop (and therefore one
+/// flat order and one stats-merge discipline).
+pub(crate) fn run_groups_seq_sched<S, F>(
+    ndrange: NdRange,
+    mut run: F,
+) -> Result<DynStats, InterpError>
+where
+    S: Default,
+    F: FnMut([usize; 3], &mut S, &mut DynStats) -> Result<u64, InterpError>,
+{
+    let groups = ndrange.num_groups();
+    let mut stats = DynStats {
+        insns_per_wg: Vec::with_capacity(ndrange.total_groups()),
+        ..DynStats::default()
+    };
+    let mut scratch = S::default();
+    for gz in 0..groups[2] {
+        for gy in 0..groups[1] {
+            for gx in 0..groups[0] {
+                let wg_insns = run([gx, gy, gz], &mut scratch, &mut stats)?;
+                stats.insns_per_wg.push(wg_insns);
+            }
+        }
+    }
+    stats.total_insns = stats.insns_per_wg.iter().sum();
+    Ok(stats)
+}
+
+/// [`ParSchedule::Static`] work distribution, generic over the per-group
+/// executor: contiguous flat ranges, one per thread, merged in thread
+/// order. Each worker owns one scratch `S` for its whole partition. Only
+/// called once the analysis has admitted the launch for cross-group
+/// parallelism.
+pub(crate) fn run_groups_static_sched<S, F>(
+    ndrange: NdRange,
+    threads: usize,
+    run: F,
+) -> Result<DynStats, InterpError>
+where
+    S: Default,
+    F: Fn([usize; 3], &mut S, &mut DynStats) -> Result<u64, InterpError> + Sync,
+{
+    let groups = ndrange.num_groups();
+    let total = ndrange.total_groups();
+    let mut merged = DynStats {
+        insns_per_wg: Vec::with_capacity(total),
+        ..DynStats::default()
+    };
+    let mut first_err: Option<(usize, InterpError)> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = total * t / threads;
+                let hi = total * (t + 1) / threads;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut scratch = S::default();
+                    let mut part = DynStats::default();
+                    let mut insns = Vec::with_capacity(hi - lo);
+                    for flat in lo..hi {
+                        let gid = flat_gid(groups, flat);
+                        match run(gid, &mut scratch, &mut part) {
+                            Ok(n) => insns.push(n),
+                            Err(e) => return Err((flat, e)),
+                        }
+                    }
+                    Ok((insns, part))
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join().expect("interpreter worker panicked") {
+                Ok((insns, part)) => {
+                    merged.insns_per_wg.extend(insns);
+                    merged.mem_ops += part.mem_ops;
+                    merged.atomic_ops += part.atomic_ops;
+                    merged.barriers += part.barriers;
+                }
+                Err((flat, e)) => keep_lowest_err(&mut first_err, flat, e),
+            }
+        }
+    });
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    merged.total_insns = merged.insns_per_wg.iter().sum();
+    Ok(merged)
+}
+
+/// [`ParSchedule::Stealing`] work distribution, generic over the per-group
+/// executor: each thread repeatedly claims the next [`STEAL_RANGE`] flat
+/// groups from an atomic cursor, so a thread that drew cheap groups keeps
+/// working while another grinds through expensive ones. Only called once
+/// the analysis has admitted the launch for cross-group parallelism.
+///
+/// Bit-identity with [`run_groups_seq_sched`]: every claimed range
+/// `[lo, hi)` is owned by exactly one thread, which writes
+/// `insns_per_wg[lo..hi]` directly into the pre-sized flat buffer (the
+/// merge is the identity), and the scalar counters are order-independent
+/// integer sums. `total_insns` is recomputed from the flat buffer exactly
+/// like the sequential loop does.
+pub(crate) fn run_groups_stealing_sched<S, F>(
+    ndrange: NdRange,
+    threads: usize,
+    run: F,
+) -> Result<DynStats, InterpError>
+where
+    S: Default,
+    F: Fn([usize; 3], &mut S, &mut DynStats) -> Result<u64, InterpError> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let groups = ndrange.num_groups();
+    let total = ndrange.total_groups();
+    let mut insns_per_wg = vec![0u64; total];
+    // One writer per flat index (ranges are claimed exactly once), so
+    // disjoint raw-pointer writes into the pre-sized buffer are safe.
+    let insns = SyncPtr(insns_per_wg.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    let mut merged = DynStats::default();
+    let mut first_err: Option<(usize, InterpError)> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let insns = &insns;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut scratch = S::default();
+                    let mut part = DynStats::default();
+                    loop {
+                        let lo = cursor.fetch_add(STEAL_RANGE, Ordering::Relaxed);
+                        if lo >= total {
+                            return Ok(part);
+                        }
+                        for flat in lo..(lo + STEAL_RANGE).min(total) {
+                            let gid = flat_gid(groups, flat);
+                            match run(gid, &mut scratch, &mut part) {
+                                // SAFETY: `flat` lies in a range this
+                                // thread claimed exclusively; the buffer
+                                // outlives the scope.
+                                Ok(n) => unsafe { *insns.0.add(flat) = n },
+                                Err(e) => return Err((flat, e)),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join().expect("interpreter worker panicked") {
+                Ok(part) => {
+                    merged.mem_ops += part.mem_ops;
+                    merged.atomic_ops += part.atomic_ops;
+                    merged.barriers += part.barriers;
+                }
+                Err((flat, e)) => keep_lowest_err(&mut first_err, flat, e),
+            }
+        }
+    });
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    merged.total_insns = insns_per_wg.iter().sum();
+    merged.insns_per_wg = insns_per_wg;
+    Ok(merged)
+}
+
 /// Worker threads for [`Interpreter::run_kernel_parallel`]:
 /// `ACCELOS_INTERP_THREADS` if set, else the host-wide `ACCELOS_THREADS`
 /// override (shared with the harness's sweep pool), else the host's
@@ -2024,7 +2066,12 @@ pub fn default_interp_threads() -> usize {
         })
 }
 
-fn bounds(storage_len: usize, off: i64, size: usize, what: &str) -> Result<(), InterpError> {
+pub(crate) fn bounds(
+    storage_len: usize,
+    off: i64,
+    size: usize,
+    what: &str,
+) -> Result<(), InterpError> {
     if off < 0 || (off as usize) + size > storage_len {
         return Err(InterpError::OutOfBounds {
             what: what.into(),
@@ -2047,7 +2094,7 @@ fn set_result(item: &mut WorkItem, result: Option<ValueId>, v: Value) {
     }
 }
 
-fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, InterpError> {
+pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, InterpError> {
     use BinOp::*;
     Ok(match (a, b) {
         (Value::I32(x), Value::I32(y)) => Value::I32(match op {
@@ -2134,7 +2181,7 @@ fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, InterpError> {
     })
 }
 
-fn eval_un(op: UnOp, a: Value) -> Result<Value, InterpError> {
+pub(crate) fn eval_un(op: UnOp, a: Value) -> Result<Value, InterpError> {
     Ok(match (op, a) {
         (UnOp::Neg, Value::I32(x)) => Value::I32(x.wrapping_neg()),
         (UnOp::Neg, Value::I64(x)) => Value::I64(x.wrapping_neg()),
@@ -2168,7 +2215,7 @@ fn eval_un(op: UnOp, a: Value) -> Result<Value, InterpError> {
     })
 }
 
-fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Result<bool, InterpError> {
+pub(crate) fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Result<bool, InterpError> {
     use std::cmp::Ordering;
     let ord = match (a, b) {
         (Value::I32(x), Value::I32(y)) => x.cmp(&y),
@@ -2208,7 +2255,7 @@ fn float_cmp(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
     }
 }
 
-fn eval_cast(ty: &Type, v: Value) -> Result<Value, InterpError> {
+pub(crate) fn eval_cast(ty: &Type, v: Value) -> Result<Value, InterpError> {
     Ok(match (ty, v) {
         (Type::I32, Value::I32(x)) => Value::I32(x),
         (Type::I32, Value::I64(x)) => Value::I32(x as i32),
@@ -2235,7 +2282,7 @@ fn eval_cast(ty: &Type, v: Value) -> Result<Value, InterpError> {
     })
 }
 
-fn apply_atomic(op: AtomicOp, old: i64, operand: i64) -> i64 {
+pub(crate) fn apply_atomic(op: AtomicOp, old: i64, operand: i64) -> i64 {
     match op {
         AtomicOp::Add => old.wrapping_add(operand),
         AtomicOp::Sub => old.wrapping_sub(operand),

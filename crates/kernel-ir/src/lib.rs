@@ -18,6 +18,10 @@
 //!   which §6.5 of the paper relies on);
 //! * [`interp`] — a work-group-accurate interpreter with barriers, local
 //!   memory and atomics;
+//! * [`bytecode`] — a compiled execution tier: dense register bytecode with
+//!   a launch-specialising optimizer, bit-identical to the interpreter;
+//! * [`testgen`] — the shared random-kernel generator behind the
+//!   differential-fuzz test planes;
 //! * [`races`] — the `accelcheck` static race & barrier-divergence analyzer
 //!   gating cross-group parallel interpretation;
 //! * [`lint`] — structural lints over the IR with a pluggable registry;
@@ -75,6 +79,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod bytecode;
 pub mod display;
 pub mod error;
 pub mod inline;
@@ -84,11 +89,13 @@ pub mod link;
 pub mod lint;
 pub mod profile;
 pub mod races;
+pub mod testgen;
 pub mod types;
 pub mod verify;
 
 pub use analysis::{FunctionFacts, ModuleFacts};
 pub use builder::FunctionBuilder;
+pub use bytecode::ExecTier;
 pub use error::{InterpError, IrError};
 pub use interp::{ArgValue, BufferId, DeviceMemory, Interpreter, NdRange, OracleReport, Value};
 pub use ir::{Function, FunctionKind, Module};

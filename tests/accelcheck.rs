@@ -18,160 +18,18 @@
 //!    `BLESS=1 cargo test --test accelcheck`).
 
 use clrt::{Context, Platform, Program};
-use kernel_ir::builder::FunctionBuilder;
+use kernel_ir::bytecode::ExecTier;
 use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange, ParSchedule, Value};
-use kernel_ir::ir::{AtomicOp, BinOp, CmpOp, FunctionKind, Module, WiBuiltin};
 use kernel_ir::races::analyze_kernel;
-use kernel_ir::types::{AddressSpace, Type};
+use kernel_ir::testgen::{build_kernel, Pattern, PATTERNS};
 use kernel_ir::ParallelSafety;
 use parboil::datasets::prepare_launch;
 use parboil::KernelSpec;
 use proptest::prelude::*;
 
-// ---------------------------------------------------------------------------
-// Random kernel shapes
-// ---------------------------------------------------------------------------
-
-/// Index/access patterns the generator draws from. The set deliberately
-/// straddles the verdict lattice: provably safe, safe only via atomics,
-/// launch-dependent and outright racy shapes all appear.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Pattern {
-    /// `a[gid] = gid` — disjoint per item.
-    Gid,
-    /// `a[gid + c] = gid` — shifted but still disjoint.
-    GidPlusC,
-    /// `a[c*gid] = gid` — strided, disjoint for c >= 1.
-    GidTimesC,
-    /// `a[lid] = gid` — groups collide on the same prefix.
-    Lid,
-    /// `a[grp] = gid` — one cell per group (intra-group overwrites are
-    /// sequential either way).
-    Grp,
-    /// `a[c] = gid` — every item of every group hits one cell.
-    Const,
-    /// `atomic_add(&a[c], 1)` with the result discarded — synchronized
-    /// and order-independent.
-    AtomicUnused,
-    /// `b[gid] = atomic_add(&a[c], 1)` — synchronized but order-dependent.
-    AtomicUsed,
-    /// `if (gid < n) a[gid] = gid` — guarded single writer.
-    Guarded,
-    /// `a[b[gid]] = gid` — data-dependent index (statically unknowable;
-    /// at runtime all zeros, so multi-group launches genuinely race).
-    Indirect,
-    /// `a[gid + 1] = b[gid]` — a read/write chain; races only when `a`
-    /// and `b` alias.
-    Chain,
-}
-
-const PATTERNS: [Pattern; 11] = [
-    Pattern::Gid,
-    Pattern::GidPlusC,
-    Pattern::GidTimesC,
-    Pattern::Lid,
-    Pattern::Grp,
-    Pattern::Const,
-    Pattern::AtomicUnused,
-    Pattern::AtomicUsed,
-    Pattern::Guarded,
-    Pattern::Indirect,
-    Pattern::Chain,
-];
-
-/// Build `kernel void k(global int* a, global int* b, int n)` realizing
-/// one access pattern.
-fn build_kernel(pattern: Pattern, c: i64) -> Module {
-    let int_ptr = Type::ptr(AddressSpace::Global, Type::I32);
-    let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
-    let pa = b.add_param("a", int_ptr.clone());
-    let pb = b.add_param("b", int_ptr);
-    let pn = b.add_param("n", Type::I32);
-    let gid = b.work_item(WiBuiltin::GlobalId, 0);
-    let gid32 = b.cast(Type::I32, gid);
-    match pattern {
-        Pattern::Gid => {
-            let p = b.gep(pa, gid);
-            b.store(p, gid32);
-        }
-        Pattern::GidPlusC => {
-            let cc = b.const_i64(c);
-            let i = b.bin(BinOp::Add, gid, cc);
-            let p = b.gep(pa, i);
-            b.store(p, gid32);
-        }
-        Pattern::GidTimesC => {
-            let cc = b.const_i64(c.max(1));
-            let i = b.bin(BinOp::Mul, gid, cc);
-            let p = b.gep(pa, i);
-            b.store(p, gid32);
-        }
-        Pattern::Lid => {
-            let lid = b.work_item(WiBuiltin::LocalId, 0);
-            let p = b.gep(pa, lid);
-            b.store(p, gid32);
-        }
-        Pattern::Grp => {
-            let grp = b.work_item(WiBuiltin::GroupId, 0);
-            let p = b.gep(pa, grp);
-            b.store(p, gid32);
-        }
-        Pattern::Const => {
-            let cc = b.const_i64(c);
-            let p = b.gep(pa, cc);
-            b.store(p, gid32);
-        }
-        Pattern::AtomicUnused => {
-            let cc = b.const_i64(c);
-            let p = b.gep(pa, cc);
-            let one = b.const_i32(1);
-            b.atomic_rmw(AtomicOp::Add, p, one);
-        }
-        Pattern::AtomicUsed => {
-            let cc = b.const_i64(c);
-            let p = b.gep(pa, cc);
-            let one = b.const_i32(1);
-            let old = b.atomic_rmw(AtomicOp::Add, p, one);
-            let q = b.gep(pb, gid);
-            b.store(q, old);
-        }
-        Pattern::Guarded => {
-            let n64 = b.cast(Type::I64, pn);
-            let in_range = b.cmp(CmpOp::Lt, gid, n64);
-            let then_bb = b.new_block();
-            let join = b.new_block();
-            b.cond_br(in_range, then_bb, join);
-            b.switch_to(then_bb);
-            let p = b.gep(pa, gid);
-            b.store(p, gid32);
-            b.br(join);
-            b.switch_to(join);
-        }
-        Pattern::Indirect => {
-            let q = b.gep(pb, gid);
-            let idx = b.load(q);
-            let idx64 = b.cast(Type::I64, idx);
-            let p = b.gep(pa, idx64);
-            b.store(p, gid32);
-        }
-        Pattern::Chain => {
-            let q = b.gep(pb, gid);
-            let v = b.load(q);
-            let one = b.const_i64(1);
-            let i = b.bin(BinOp::Add, gid, one);
-            let p = b.gep(pa, i);
-            b.store(p, v);
-        }
-    }
-    b.ret(None);
-    let mut m = Module::new();
-    m.insert_function(b.finish());
-    kernel_ir::verify::verify_module(&m).expect("generated kernel verifies");
-    m
-}
-
 /// One differential run: static verdict + launch gate vs the dynamic
-/// oracle vs bit-level parallel/sequential comparison.
+/// oracle vs bit-level parallel/sequential comparison — with every leg
+/// repeated on the bytecode tier (raw and optimized).
 fn check_case(pattern: Pattern, c: i64, local: usize, groups: usize, alias: bool, threads: usize) {
     let module = build_kernel(pattern, c);
     let interp = Interpreter::new(&module);
@@ -210,7 +68,7 @@ fn check_case(pattern: Pattern, c: i64, local: usize, groups: usize, alias: bool
     // Bit-identity: parallel execution (which itself consults the gate and
     // falls back when ineligible) must match sequential execution exactly.
     let mut seq_mem = mem.clone();
-    interp
+    let seq_stats = interp
         .run_kernel(&mut seq_mem, "k", nd, &args)
         .expect("sequential run succeeds");
     for sched in [ParSchedule::Static, ParSchedule::Stealing] {
@@ -223,6 +81,34 @@ fn check_case(pattern: Pattern, c: i64, local: usize, groups: usize, alias: bool
             "{pattern:?} c={c} local={local} groups={groups} alias={alias} diverged \
              under {sched:?} (eligible={eligible})"
         );
+    }
+
+    // Bytecode tier: raw and optimized, sequential and both parallel
+    // schedules, must all be bit-identical to the tree-walker — memory
+    // bytes AND every DynStats counter (the weight-preservation contract).
+    for tier in [ExecTier::Bytecode, ExecTier::BytecodeOpt] {
+        let mut bc = Interpreter::new(&module);
+        bc.set_exec_tier(tier);
+        for (sched, bc_threads) in [
+            (ParSchedule::Static, 1),
+            (ParSchedule::Static, threads),
+            (ParSchedule::Stealing, threads),
+        ] {
+            let mut bc_mem = mem.clone();
+            let bc_stats = bc
+                .run_kernel_bytecode(&mut bc_mem, "k", nd, &args, bc_threads, sched)
+                .expect("bytecode run succeeds");
+            assert_eq!(
+                seq_mem, bc_mem,
+                "{pattern:?} c={c} local={local} groups={groups} alias={alias} memory \
+                 diverged on {tier:?} ({sched:?} x{bc_threads}, eligible={eligible})"
+            );
+            assert_eq!(
+                seq_stats, bc_stats,
+                "{pattern:?} c={c} local={local} groups={groups} alias={alias} DynStats \
+                 diverged on {tier:?} ({sched:?} x{bc_threads}, eligible={eligible})"
+            );
+        }
     }
 
     // The static verdict must agree with the gate's widening direction:

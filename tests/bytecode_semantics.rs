@@ -1,0 +1,332 @@
+//! Differential semantics of the bytecode execution tier.
+//!
+//! The contract under test (see `kernel_ir::bytecode`): for every kernel,
+//! launch geometry, scalar argument and buffer state,
+//!
+//! ```text
+//! tree-walker  ≡  raw bytecode  ≡  optimized bytecode
+//! ```
+//!
+//! bit-for-bit in memory contents AND in every `DynStats` counter, across
+//! the sequential schedule and both parallel schedules. Two proptest
+//! planes (the shared `testgen` corpus — including the atomics-bearing
+//! kernels accelcheck admits into the parallel path — and minicl-compiled
+//! kernels with loops, barriers, local memory and helpers) plus directed
+//! endpoints for the fallback and trap-parity rules.
+
+use kernel_ir::bytecode::ExecTier;
+use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange, ParSchedule, Value};
+use kernel_ir::testgen::{build_kernel, PATTERNS};
+use proptest::prelude::*;
+
+const TIERS: [ExecTier; 2] = [ExecTier::Bytecode, ExecTier::BytecodeOpt];
+
+/// Run `module`'s kernel `k` on every tier/schedule combination and insist
+/// on bit-identity with the sequential tree-walker (memory and stats).
+fn assert_tiers_agree(
+    module: &kernel_ir::ir::Module,
+    mem: &DeviceMemory,
+    nd: NdRange,
+    args: &[ArgValue],
+    threads: usize,
+    what: &str,
+) {
+    let interp = Interpreter::new(module);
+    let mut seq_mem = mem.clone();
+    let seq_stats = interp
+        .run_kernel(&mut seq_mem, "k", nd, args)
+        .unwrap_or_else(|e| panic!("{what}: tree-walk run failed: {e}"));
+
+    for tier in TIERS {
+        let mut bc = Interpreter::new(module);
+        bc.set_exec_tier(tier);
+        for (sched, bc_threads) in [
+            (ParSchedule::Static, 1),
+            (ParSchedule::Static, threads),
+            (ParSchedule::Stealing, threads),
+        ] {
+            let mut bc_mem = mem.clone();
+            let bc_stats = bc
+                .run_kernel_bytecode(&mut bc_mem, "k", nd, args, bc_threads, sched)
+                .unwrap_or_else(|e| panic!("{what}: {tier:?} run failed: {e}"));
+            assert_eq!(
+                seq_mem, bc_mem,
+                "{what}: memory diverged on {tier:?} ({sched:?} x{bc_threads})"
+            );
+            assert_eq!(
+                seq_stats, bc_stats,
+                "{what}: DynStats diverged on {tier:?} ({sched:?} x{bc_threads})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plane 1: the shared testgen corpus under random launches and buffer state
+// ---------------------------------------------------------------------------
+
+fn check_generated(
+    pat_idx: usize,
+    c: i64,
+    local: usize,
+    groups: usize,
+    threads: usize,
+    n: i32,
+    seed: &[i32],
+) {
+    let pattern = PATTERNS[pat_idx];
+    let module = build_kernel(pattern, c);
+    let items = local * groups;
+    let elems = 4 * items + 16;
+
+    let mut mem = DeviceMemory::new();
+    let a = mem.alloc(4 * elems);
+    let bbuf = mem.alloc(4 * elems);
+    let fill_a: Vec<i32> = (0..elems)
+        .map(|i| seed[i % seed.len()].wrapping_mul(2 * i as i32 + 1))
+        .collect();
+    // `b` doubles as an index source (`Indirect` does `a[b[gid]]`), so its
+    // contents stay in bounds; the values are still launch-random.
+    let fill_b: Vec<i32> = (0..elems)
+        .map(|i| seed[(i + 3) % seed.len()].rem_euclid(elems as i32))
+        .collect();
+    mem.write_i32(a, &fill_a);
+    mem.write_i32(bbuf, &fill_b);
+    let args = [
+        ArgValue::Buffer(a),
+        ArgValue::Buffer(bbuf),
+        ArgValue::Scalar(Value::I32(n)),
+    ];
+    let nd = NdRange::new_1d(items, local);
+
+    // The whole corpus lowers — no silent fallback hiding the comparison.
+    assert!(
+        Interpreter::new(&module).bytecode_supported(&mem, "k", nd, &args),
+        "{pattern:?} c={c} unexpectedly refused by the lowering"
+    );
+    let what = format!("{pattern:?} c={c} local={local} groups={groups} n={n}");
+    assert_tiers_agree(&module, &mem, nd, &args, threads, &what);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    /// Optimized bytecode ≡ raw bytecode ≡ interpreter over the shared
+    /// kernel corpus with random geometry, scalar args and buffer fills.
+    /// `AtomicUnused`/`AtomicUsed` keep the atomics paths honest, and the
+    /// parallel legs exercise the accelcheck gate on both sides.
+    #[test]
+    fn generated_corpus_agrees_across_tiers(
+        pat_idx in 0usize..PATTERNS.len(),
+        c in 0i64..4,
+        local in 1usize..5,
+        groups in 1usize..9,
+        threads in 2usize..5,
+        n in 0i32..64,
+        seed in proptest::collection::vec(-100_000i32..100_000, 4..9),
+    ) {
+        check_generated(pat_idx, c, local, groups, threads, n, &seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plane 2: compiled kernels — loops, barriers, local memory, helpers
+// ---------------------------------------------------------------------------
+
+/// Kernels covering what `testgen` does not: control flow the optimizer
+/// must not fold away, barriers, local tiles and helper calls.
+const CL_KERNELS: &[(&str, &str)] = &[
+    (
+        "loop",
+        "kernel void k(global int* a, global int* b, int n) {
+            size_t i = get_global_id(0);
+            int s = 0;
+            for (int j = 0; j < n; ++j) { s = s + b[j]; }
+            a[i] = s + (int)i;
+        }",
+    ),
+    (
+        "tile",
+        "kernel void k(global int* a, global int* b, int n) {
+            local int tile[64];
+            size_t lid = get_local_id(0);
+            size_t ls = get_local_size(0);
+            tile[lid] = b[get_global_id(0)];
+            barrier(0);
+            a[get_global_id(0)] = tile[ls - 1 - lid] + n;
+        }",
+    ),
+    (
+        "helper",
+        "int scale(int x, int m) { return x * m + 1; }
+        kernel void k(global int* a, global int* b, int n) {
+            size_t i = get_global_id(0);
+            a[i] = scale(b[i], n);
+        }",
+    ),
+    (
+        "hist",
+        "kernel void k(global int* a, global int* b, int n) {
+            size_t i = get_global_id(0);
+            int bin = b[i] & 7;
+            atomic_add(a + bin, 1);
+        }",
+    ),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Same three-way identity over minicl-compiled kernels whose loops and
+    /// barriers stress the frame/branch machinery rather than the indexing.
+    #[test]
+    fn compiled_kernels_agree_across_tiers(
+        kernel_idx in 0..CL_KERNELS.len(),
+        groups in 1usize..8,
+        wg_pow in 0u32..5, // 1..16 work items per group
+        threads in 2usize..5,
+        n_raw in 0usize..64,
+        seed in proptest::collection::vec(-100_000i32..100_000, 4..9),
+    ) {
+        let (name, src) = CL_KERNELS[kernel_idx];
+        let wg = 1usize << wg_pow;
+        let items = groups * wg;
+        let elems = items + 8;
+        let n = (n_raw % (items + 1)) as i32; // `loop` reads b[0..n]
+
+        let module = minicl::compile(src).expect("compile");
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(4 * elems);
+        let bbuf = mem.alloc(4 * elems);
+        let fill: Vec<i32> = (0..elems)
+            .map(|i| seed[i % seed.len()].wrapping_add(i as i32))
+            .collect();
+        mem.write_i32(a, &fill);
+        mem.write_i32(bbuf, &fill);
+        let args = [
+            ArgValue::Buffer(a),
+            ArgValue::Buffer(bbuf),
+            ArgValue::Scalar(Value::I32(n)),
+        ];
+        let nd = NdRange::new_1d(items, wg);
+        let what = format!("{name} nd={nd:?} n={n}");
+        assert_tiers_agree(&module, &mem, nd, &args, threads, &what);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directed endpoints: fallback and trap parity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsupported_kernels_fall_back_to_the_tree_walker() {
+    use kernel_ir::builder::FunctionBuilder;
+    use kernel_ir::ir::{CmpOp, FunctionKind, Module, WiBuiltin};
+    use kernel_ir::types::{AddressSpace, Type};
+
+    // A call to an unknown function is a *runtime* error in the tree-walker
+    // — and only if the call is actually reached. Lowering refuses the
+    // whole kernel so the fallback preserves that only-if-reached shape.
+    let mut b = FunctionBuilder::new("k", FunctionKind::Kernel, Type::Void);
+    let out = b.add_param("out", Type::ptr(AddressSpace::Global, Type::I32));
+    let gid = b.work_item(WiBuiltin::GlobalId, 0);
+    let gid32 = b.cast(Type::I32, gid);
+    let always = b.cmp(CmpOp::Eq, gid, gid);
+    let dead = b.new_block();
+    let live = b.new_block();
+    b.cond_br(always, live, dead);
+    b.switch_to(dead);
+    b.call("missing", vec![], Type::I32);
+    b.br(live);
+    b.switch_to(live);
+    let p = b.gep(out, gid);
+    b.store(p, gid32);
+    b.ret(None);
+    let mut module = Module::new();
+    module.insert_function(b.finish());
+
+    let mut mem = DeviceMemory::new();
+    let buf = mem.alloc(4 * 8);
+    let args = [ArgValue::Buffer(buf)];
+    let nd = NdRange::new_1d(8, 4);
+
+    let interp = Interpreter::new(&module);
+    assert!(
+        !interp.bytecode_supported(&mem, "k", nd, &args),
+        "unknown callee must refuse to lower"
+    );
+    // Every tier still succeeds (via fallback) with identical results.
+    assert_tiers_agree(&module, &mem, nd, &args, 3, "unknown-callee fallback");
+}
+
+// ---------------------------------------------------------------------------
+// Golden disassembly snapshot
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spmv_disassembly_matches_golden_snapshot() {
+    // Pins the lowered AND launch-optimized bytecode of spmv byte-for-byte
+    // — the same text `repro disasm spmv` prints. Any change to the
+    // lowering, the optimizer or the disassembler shows up as a reviewable
+    // diff; regenerate deliberately with
+    // `BLESS=1 cargo test --test bytecode_semantics`.
+    let actual = accel_harness::disasm::disassemble_parboil("spmv").expect("spmv lowers");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/bytecode_spmv.txt"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path)
+        .expect("golden file missing — run `BLESS=1 cargo test --test bytecode_semantics` once");
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                a,
+                e,
+                "spmv disassembly drifted from the golden snapshot at line {} — if the \
+                 change is intentional, regenerate with BLESS=1 and review the diff",
+                i + 1
+            );
+        }
+        panic!(
+            "spmv disassembly changed length: {} vs {} lines",
+            actual.lines().count(),
+            expected.lines().count()
+        );
+    }
+}
+
+#[test]
+fn traps_are_identical_across_tiers() {
+    // `a[c]` with c far past the buffer: every tier must fault, with the
+    // same error text (the optimizer folds the address into the preamble
+    // but must not change the runtime bounds check).
+    let module = build_kernel(kernel_ir::testgen::Pattern::Const, 1 << 20);
+    let mut mem = DeviceMemory::new();
+    let a = mem.alloc(64);
+    let bbuf = mem.alloc(64);
+    let args = [
+        ArgValue::Buffer(a),
+        ArgValue::Buffer(bbuf),
+        ArgValue::Scalar(Value::I32(0)),
+    ];
+    let nd = NdRange::new_1d(4, 4);
+
+    let interp = Interpreter::new(&module);
+    let tree_err = interp
+        .run_kernel(&mut mem.clone(), "k", nd, &args)
+        .expect_err("tree-walker must trap")
+        .to_string();
+    for tier in TIERS {
+        let mut bc = Interpreter::new(&module);
+        bc.set_exec_tier(tier);
+        let bc_err = bc
+            .run_kernel_bytecode(&mut mem.clone(), "k", nd, &args, 1, ParSchedule::default())
+            .expect_err("bytecode tier must trap")
+            .to_string();
+        assert_eq!(tree_err, bc_err, "trap text diverged on {tier:?}");
+    }
+}

@@ -8,7 +8,8 @@
 use accelos::chunk::Mode;
 use accelos::jit::transform_module;
 use accelos::vrange::VirtualNdRange;
-use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange};
+use kernel_ir::bytecode::ExecTier;
+use kernel_ir::interp::{ArgValue, DeviceMemory, Interpreter, NdRange, ParSchedule};
 use kernel_ir::ir::Module;
 use proptest::prelude::*;
 
@@ -61,7 +62,14 @@ const KERNELS: &[(&str, &str, usize)] = &[
     ),
 ];
 
-fn run(module: &Module, nd: NdRange, workers: u32, virtualised: bool, bytes: usize) -> Vec<u8> {
+fn run_tier(
+    module: &Module,
+    nd: NdRange,
+    workers: u32,
+    virtualised: bool,
+    bytes: usize,
+    tier: ExecTier,
+) -> Vec<u8> {
     let mut mem = DeviceMemory::new();
     let buf = mem.alloc(bytes);
     let mut args = vec![ArgValue::Buffer(buf)];
@@ -74,10 +82,16 @@ fn run(module: &Module, nd: NdRange, workers: u32, virtualised: bool, bytes: usi
     } else {
         nd
     };
-    Interpreter::new(module)
-        .run_kernel(&mut mem, "k", launch, &args)
+    let mut interp = Interpreter::new(module);
+    interp.set_exec_tier(tier);
+    interp
+        .run_kernel_bytecode(&mut mem, "k", launch, &args, 1, ParSchedule::default())
         .expect("kernel runs");
     mem.bytes(buf).to_vec()
+}
+
+fn run(module: &Module, nd: NdRange, workers: u32, virtualised: bool, bytes: usize) -> Vec<u8> {
+    run_tier(module, nd, workers, virtualised, bytes, ExecTier::TreeWalk)
 }
 
 proptest! {
@@ -102,7 +116,18 @@ proptest! {
 
         let base = run(&original, nd, workers, false, bytes);
         let virt = run(&transformed.module, nd, workers, true, bytes);
-        prop_assert_eq!(base, virt, "kernel `{}` diverged (nd {:?}, {} workers)", name, nd, workers);
+        prop_assert_eq!(&base, &virt, "kernel `{}` diverged (nd {:?}, {} workers)", name, nd, workers);
+
+        // Transform x compile compose: the §6-transformed module must also
+        // execute identically on the bytecode tier, raw and optimized.
+        for tier in [ExecTier::Bytecode, ExecTier::BytecodeOpt] {
+            let bc = run_tier(&transformed.module, nd, workers, true, bytes, tier);
+            prop_assert_eq!(
+                &base, &bc,
+                "kernel `{}` diverged on {:?} after the JIT (nd {:?}, {} workers)",
+                name, tier, nd, workers
+            );
+        }
     }
 
     #[test]
@@ -145,7 +170,7 @@ fn parboil_kernels_survive_the_jit() {
         if matches!(spec.name, "bfs" | "mri-gridding_reorder") {
             continue;
         }
-        let run_scheme = |transform: bool| -> Vec<Vec<u8>> {
+        let run_scheme = |transform: bool, tier: ExecTier| -> Vec<Vec<u8>> {
             let mut ctx = Context::new(&Platform::nvidia());
             let program = if transform {
                 let module = minicl::compile(spec.source).expect("compile");
@@ -169,8 +194,17 @@ fn parboil_kernels_survive_the_jit() {
                 prepared.ndrange
             };
             let args: Vec<ArgValue> = kernel.resolved_args().expect("args");
-            Interpreter::new(kernel.module())
-                .run_kernel(ctx.memory_mut(), kernel.name(), launch_nd, &args)
+            let mut interp = Interpreter::new(kernel.module());
+            interp.set_exec_tier(tier);
+            interp
+                .run_kernel_bytecode(
+                    ctx.memory_mut(),
+                    kernel.name(),
+                    launch_nd,
+                    &args,
+                    1,
+                    ParSchedule::default(),
+                )
                 .unwrap_or_else(|e| panic!("`{}` run: {e}", spec.name));
             prepared
                 .outputs
@@ -184,8 +218,16 @@ fn parboil_kernels_survive_the_jit() {
                 })
                 .collect()
         };
-        let base = run_scheme(false);
-        let virt = run_scheme(true);
+        let base = run_scheme(false, ExecTier::TreeWalk);
+        let virt = run_scheme(true, ExecTier::TreeWalk);
         assert_eq!(base, virt, "`{}` diverged under the JIT", spec.name);
+        for tier in [ExecTier::Bytecode, ExecTier::BytecodeOpt] {
+            let virt_bc = run_scheme(true, tier);
+            assert_eq!(
+                base, virt_bc,
+                "`{}` diverged under the JIT on {tier:?}",
+                spec.name
+            );
+        }
     }
 }
