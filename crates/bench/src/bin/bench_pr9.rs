@@ -1,0 +1,299 @@
+//! `bench_pr9` — record the PR-9 trajectory point: the calibration plane
+//! (`sched_metrics::profile::ProfileStore`).
+//!
+//! * **Store-ops leg** — `record` / `estimate` microcost on a store
+//!   preloaded with thousands of `(kernel, shape-class)` entries, in
+//!   ns/op: the per-launch bookkeeping the transparent runtime pays.
+//! * **Episode leg** — the deadline episode through `ProxyCl` with no
+//!   store vs with an (empty, plan-identical) store attached; the delta
+//!   is the end-to-end calibration overhead per launch.
+//! * **Deadline leg** — the same episode cold (no store: the deadline
+//!   policy degrades to its all-or-floor reclaim) vs warm (a store
+//!   calibrated by two solo launches) across several premium arrival
+//!   times: hold rate and total reclaimed workers for each, pinning the
+//!   "holds the deadline with strictly fewer reclaimed workers" story
+//!   the calibration plane exists for.
+//!
+//! The record lands in `BENCH_pr9.json` (CWD) with the host's thread
+//! count. Simulated clocks are deterministic, so the deadline leg's
+//! numbers are exact; only the two timing legs vary by host.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr9 [--smoke]`
+//! (`--smoke` runs reduced repetitions for CI and skips the JSON file.)
+
+use accelos::policy::DeadlinePolicy;
+use accelos::proxycl::{PendingExec, ProxyCl};
+use clrt::{Arg, Platform};
+use gpu_sim::SimReport;
+use kernel_ir::interp::NdRange;
+use sched_metrics::profile::ProfileStore;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SRC: &str = "kernel void scale(global float* b, float s) {
+    size_t i = get_global_id(0);
+    b[i] = b[i] * s;
+}";
+
+/// Scenario shapes shared with `tests/profile_plane.rs` and the
+/// transparent leg of `examples/deadline_sla.rs`.
+const PREMIUM_ITEMS: usize = 1024;
+const BATCH_ITEMS: usize = 256;
+const WG: usize = 32;
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// One deadline episode on the transparent plane: two batch tenants at
+/// t=0, the deadlined tenant joining at `arrival`. Returns the timing
+/// report and the store (with whatever it learned).
+fn episode(store: Option<ProfileStore>, arrival: u64) -> (SimReport, Option<ProfileStore>) {
+    let mut os = ProxyCl::with_policy(&Platform::test_tiny(), Arc::new(DeadlinePolicy::default()));
+    if let Some(s) = store {
+        os = os.with_profile_store(s);
+    }
+    let program = os.build_program(SRC).unwrap();
+    let chunk = program.info("scale").unwrap().chunk;
+    let mut make = |val: f32, items: usize| {
+        let mut k = program.create_kernel("scale").unwrap();
+        let buf = os.context_mut().create_buffer(items * 4);
+        os.context_mut().write_f32(buf, &vec![1.0; items]).unwrap();
+        k.set_arg(0, Arg::Buffer(buf)).unwrap();
+        k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val)))
+            .unwrap();
+        k
+    };
+    let kernels = [
+        (make(2.0, PREMIUM_ITEMS), PREMIUM_ITEMS),
+        (make(5.0, BATCH_ITEMS), BATCH_ITEMS),
+        (make(9.0, BATCH_ITEMS), BATCH_ITEMS),
+    ];
+    let batch = kernels
+        .iter()
+        .map(|(k, items)| PendingExec {
+            kernel: k.clone(),
+            chunk,
+            ndrange: NdRange::new_1d(*items, WG),
+        })
+        .collect();
+    os.enqueue_concurrent_at(batch, &[arrival, 0, 0]).unwrap();
+    let report = os
+        .last_report()
+        .cloned()
+        .expect("an enqueue just completed");
+    (report, os.take_profile_store())
+}
+
+/// Calibrate a fresh store with one solo launch per scenario shape.
+fn calibrated_store() -> ProfileStore {
+    let mut os = ProxyCl::with_policy(&Platform::test_tiny(), Arc::new(DeadlinePolicy::default()))
+        .with_profile_store(ProfileStore::new());
+    let program = os.build_program(SRC).unwrap();
+    for items in [PREMIUM_ITEMS, BATCH_ITEMS] {
+        let mut k = program.create_kernel("scale").unwrap();
+        let buf = os.context_mut().create_buffer(items * 4);
+        os.context_mut().write_f32(buf, &vec![1.0; items]).unwrap();
+        k.set_arg(0, Arg::Buffer(buf)).unwrap();
+        k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(1.5)))
+            .unwrap();
+        os.enqueue(&program, &k, NdRange::new_1d(items, WG))
+            .unwrap();
+    }
+    os.take_profile_store().expect("store was attached")
+}
+
+fn reclaimed(report: &SimReport) -> usize {
+    report.kernels.iter().map(|k| k.reclaimed_workers).sum()
+}
+
+struct DeadlineRow {
+    arrival: u64,
+    cold_end: u64,
+    cold_reclaimed: usize,
+    cold_held: bool,
+    warm_end: u64,
+    warm_reclaimed: usize,
+    warm_held: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps: u32 = if smoke { 3 } else { 25 };
+
+    // ---- store-ops leg --------------------------------------------------
+    // A store the size of a long multi-tenant session: 256 kernels × 8
+    // shape classes. `record` folds one observation into an EWMA entry;
+    // `estimate` resolves a shape class (here always a near-miss, so the
+    // nearest-neighbour path is what is timed).
+    let kernels: Vec<String> = (0..256).map(|i| format!("kernel_{i}")).collect();
+    let mut store = ProfileStore::new();
+    for (i, name) in kernels.iter().enumerate() {
+        for shift in 4..12u32 {
+            store.record(name, 1usize << shift, 100 + (i as u64 % 97) * 11);
+        }
+    }
+    let entries = store.len();
+    let ops: u64 = if smoke { 20_000 } else { 400_000 };
+    let record_ms = time_ms(|| {
+        for i in 0..ops {
+            let name = &kernels[(i % 256) as usize];
+            store.record(name, 1usize << (4 + (i % 8)), 150 + i % 50);
+        }
+    });
+    let mut sink = 0u64;
+    let estimate_ms = time_ms(|| {
+        for i in 0..ops {
+            let name = &kernels[(i % 256) as usize];
+            sink = sink.wrapping_add(
+                store
+                    .estimate(name, (1usize << (4 + (i % 8))) + 3)
+                    .unwrap_or(0),
+            );
+        }
+    });
+    std::hint::black_box(sink);
+    let record_ns = record_ms * 1e6 / ops as f64;
+    let estimate_ns = estimate_ms * 1e6 / ops as f64;
+    println!(
+        "store ops ({entries} entries): record {record_ns:.0} ns/op | \
+         estimate {estimate_ns:.0} ns/op"
+    );
+
+    // ---- episode leg ----------------------------------------------------
+    // An *empty* store plans bit-identically to no store (every estimate
+    // resolves to None) while still paying the full lookup+record path,
+    // so the delta is pure calibration overhead at an identical plan.
+    let arrival = 60;
+    let (rep_none, _) = episode(None, arrival);
+    let (rep_empty, learned) = episode(Some(ProfileStore::new()), arrival);
+    assert_eq!(
+        format!("{rep_none:#?}"),
+        format!("{rep_empty:#?}"),
+        "an empty store must not perturb the episode"
+    );
+    assert!(!learned.expect("store was attached").is_empty());
+    let launches = rep_none.kernels.len() as f64;
+    let none_ms = time_ms(|| {
+        for _ in 0..reps {
+            std::hint::black_box(episode(None, arrival));
+        }
+    }) / f64::from(reps);
+    let empty_ms = time_ms(|| {
+        for _ in 0..reps {
+            std::hint::black_box(episode(Some(ProfileStore::new()), arrival));
+        }
+    }) / f64::from(reps);
+    let overhead_us_per_launch = (empty_ms - none_ms) * 1e3 / launches;
+    println!(
+        "episode ({launches} launches): no store {none_ms:.3} ms | empty store {empty_ms:.3} ms \
+         | calibration overhead {overhead_us_per_launch:.2} us/launch"
+    );
+
+    // ---- deadline leg ---------------------------------------------------
+    let warm_store = calibrated_store();
+    let estimate = warm_store
+        .estimate("scale", PREMIUM_ITEMS)
+        .expect("solo launch calibrated the premium shape");
+    let slack = DeadlinePolicy::default().slack();
+    // The deadline clock runs from episode start (the policy's
+    // remaining-time computation is `slack x estimate - now`), so every
+    // arrival variant shares one deadline.
+    let deadline = (slack * estimate as f64) as u64;
+    let mut rows: Vec<DeadlineRow> = Vec::new();
+    for arrival in [30u64, 300, 900, 1800] {
+        let (cold, _) = episode(None, arrival);
+        let (warm, _) = episode(Some(warm_store.clone()), arrival);
+        rows.push(DeadlineRow {
+            arrival,
+            cold_end: cold.kernels[0].end,
+            cold_reclaimed: reclaimed(&cold),
+            cold_held: cold.kernels[0].end <= deadline,
+            warm_end: warm.kernels[0].end,
+            warm_reclaimed: reclaimed(&warm),
+            warm_held: warm.kernels[0].end <= deadline,
+        });
+    }
+    let rate = |held: fn(&DeadlineRow) -> bool| {
+        rows.iter().filter(|r| held(r)).count() as f64 / rows.len() as f64
+    };
+    let (cold_rate, warm_rate) = (rate(|r| r.cold_held), rate(|r| r.warm_held));
+    for r in &rows {
+        println!(
+            "deadline @t={}: cold end {} reclaimed {} ({}) | warm end {} reclaimed {} ({})",
+            r.arrival,
+            r.cold_end,
+            r.cold_reclaimed,
+            if r.cold_held { "held" } else { "MISSED" },
+            r.warm_end,
+            r.warm_reclaimed,
+            if r.warm_held { "held" } else { "MISSED" },
+        );
+        assert!(r.warm_held, "calibrated run missed its deadline");
+        assert!(
+            r.warm_reclaimed <= r.cold_reclaimed,
+            "calibration must never reclaim more than the all-or-floor fallback"
+        );
+    }
+    assert!(
+        rows.iter().any(|r| r.warm_reclaimed < r.cold_reclaimed),
+        "calibration should reclaim strictly fewer workers somewhere"
+    );
+    println!(
+        "hold rate: cold {:.0}% | warm {:.0}% (isolated estimate {estimate}, slack {slack}x)",
+        cold_rate * 100.0,
+        warm_rate * 100.0
+    );
+
+    if smoke {
+        println!("smoke mode: invariants verified; BENCH_pr9.json not written");
+        return;
+    }
+
+    // ---- record ---------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 9,\n");
+    json.push_str(
+        "  \"bench\": \"calibration plane: profile-store op cost, per-launch overhead through \
+         ProxyCl, and cold-vs-warm deadline hold\",\n",
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"store_ops\": {{ \"entries\": {entries}, \"ops\": {ops}, \
+         \"record_ns\": {record_ns:.1}, \"estimate_ns\": {estimate_ns:.1} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"episode\": {{ \"launches\": {launches}, \"no_store_ms\": {none_ms:.4}, \
+         \"empty_store_ms\": {empty_ms:.4}, \"overhead_us_per_launch\": \
+         {overhead_us_per_launch:.3}, \"plan_bit_identical\": true }},"
+    );
+    json.push_str("  \"deadline\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"isolated_estimate\": {estimate}, \"slack\": {slack}, \
+         \"cold_hold_rate\": {cold_rate}, \"warm_hold_rate\": {warm_rate},"
+    );
+    json.push_str("    \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{ \"arrival\": {}, \"cold_end\": {}, \"cold_reclaimed\": {}, \
+             \"warm_end\": {}, \"warm_reclaimed\": {} }}",
+            r.arrival, r.cold_end, r.cold_reclaimed, r.warm_end, r.warm_reclaimed
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  }\n}\n");
+    std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
+    println!("wrote BENCH_pr9.json");
+}

@@ -1475,10 +1475,15 @@ pub struct ArrivalSchedule {
 /// later cohort goes through [`SchedulingPolicy::on_arrival`] with every
 /// earlier-admitted request as its `running` set, collecting reclamation
 /// directives with the cohort's arrival time attached. Planning is
-/// ahead-of-time: completion times are unknown here, so an
-/// earlier-admitted launch that has already drained by this arrival is
-/// still in `running` (see [`SchedulingPolicy::on_arrival`] for why that
-/// is safe, if conservative).
+/// ahead-of-time: exact completion times are unknown here, so an
+/// earlier-admitted launch is presumed still running (see
+/// [`SchedulingPolicy::on_arrival`] for why that is safe, if
+/// conservative) — **unless** the context carries an isolated estimate
+/// ([`PlanCtx::with_estimates`]) that has fully elapsed by the arrival,
+/// in which case the launch has likely drained and is pruned from the
+/// cohort's tenancy: no reclaim targets it, and it stops diluting the
+/// shares the cohort is admitted at. Estimate-free planning is
+/// bit-identical to the unpruned planner.
 ///
 /// With a single cohort (all requests simultaneous) this is **exactly**
 /// `policy.plan(ctx, requests)` — same session caches, same decisions, no
@@ -1617,8 +1622,25 @@ pub fn plan_with_arrivals_and_faults(
                 decisions[i] = Some(d);
             }
         } else {
-            let running_widths: Vec<u32> = running.iter().map(|&i| widths[i]).collect();
-            let plan = policy.on_arrival(ctx, requests, &arriving, &running, t, &running_widths);
+            // Stale-victim pruning: when the context carries an isolated
+            // estimate for an earlier-admitted launch and that estimate
+            // has fully elapsed by this arrival, the launch has likely
+            // drained — reclaiming from it would free nothing, and
+            // keeping it in the tenancy dilutes the shares the policy
+            // hands the cohort. Pruning errs toward *fewer* reclaims (a
+            // mispredicted victim simply keeps its workers), and with no
+            // estimates attached the live set is the full running set,
+            // bit-identical to the unpruned planner.
+            let live: Vec<usize> = running
+                .iter()
+                .copied()
+                .filter(|&i| match ctx.estimate(i) {
+                    Some(est) => arrivals[i].saturating_add(est) > t,
+                    None => true,
+                })
+                .collect();
+            let running_widths: Vec<u32> = live.iter().map(|&i| widths[i]).collect();
+            let plan = policy.on_arrival(ctx, requests, &arriving, &live, t, &running_widths);
             assert_eq!(
                 plan.decisions.len(),
                 arriving.len(),
@@ -1630,7 +1652,7 @@ pub fn plan_with_arrivals_and_faults(
             }
             for r in plan.reclaims {
                 assert!(
-                    running.contains(&r.index),
+                    live.contains(&r.index),
                     "reclaim must target a running launch"
                 );
                 widths[r.index] = widths[r.index].min(r.workers);
@@ -1643,11 +1665,11 @@ pub fn plan_with_arrivals_and_faults(
             }
             for r in plan.resumes {
                 assert!(
-                    running.contains(&r.index),
+                    live.contains(&r.index),
                     "resume must target a running launch"
                 );
                 assert!(
-                    arriving.contains(&r.after) || running.contains(&r.after),
+                    arriving.contains(&r.after) || live.contains(&r.after),
                     "resume must anchor on an active request"
                 );
                 resumes.push(PlannedResume {

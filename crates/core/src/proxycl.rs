@@ -21,9 +21,11 @@ use crate::policy::{
 use crate::scheduler::{ExecRequest, LaunchDecision};
 use clrt::{Arg, Buffer, ClError, Context, Event, Kernel, Platform, Program};
 use gpu_sim::{
-    FaultEvent, FaultKind, FaultPlan, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, Simulator,
+    FaultEvent, FaultKind, FaultPlan, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, SimReport,
+    Simulator,
 };
 use kernel_ir::interp::{ArgValue, DynStats, Interpreter, NdRange};
+use sched_metrics::profile::ProfileStore;
 use std::sync::Arc;
 
 /// The request classes the Application Monitor distinguishes (fig. 6).
@@ -170,6 +172,8 @@ pub struct ProxyCl {
     cursor: u64,
     faults: FaultPlan,
     retry: RetryPolicy,
+    profile: Option<ProfileStore>,
+    last_report: Option<SimReport>,
 }
 
 impl ProxyCl {
@@ -194,7 +198,45 @@ impl ProxyCl {
             cursor: 0,
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            profile: None,
+            last_report: None,
         }
+    }
+
+    /// Attach a calibration store (the paper's missing piece in the
+    /// transparent plane): every [`ProxyCl::enqueue_concurrent_at`] feeds
+    /// the store's isolated-time estimates into the planning context —
+    /// which is what lets `accelos-deadline` size a just-enough
+    /// reclamation here, exactly as it does in the harness — and records
+    /// a width-normalized observation
+    /// ([`gpu_sim::KernelReport::isolated_observation`]) from every
+    /// completed launch back into it. Load a warmed store with
+    /// [`ProfileStore::load`], retrieve it for saving with
+    /// [`ProxyCl::take_profile_store`]. Without a store (the default)
+    /// planning is bit-identical to previous sessions: estimate-driven
+    /// policies take their documented no-estimate fallback.
+    pub fn with_profile_store(mut self, store: ProfileStore) -> Self {
+        self.profile = Some(store);
+        self
+    }
+
+    /// The attached calibration store, if any.
+    pub fn profile_store(&self) -> Option<&ProfileStore> {
+        self.profile.as_ref()
+    }
+
+    /// Detach and return the calibration store (e.g. to
+    /// [`ProfileStore::save`] it at session end); later enqueues plan
+    /// without estimates again.
+    pub fn take_profile_store(&mut self) -> Option<ProfileStore> {
+        self.profile.take()
+    }
+
+    /// The timing-plane report of the most recent enqueue (per-kernel
+    /// busy intervals, reclaimed/resumed worker counts, makespan) —
+    /// what the deadline examples assert minimal reclamation on.
+    pub fn last_report(&self) -> Option<&SimReport> {
+        self.last_report.as_ref()
     }
 
     /// Rehearse a [`FaultPlan`] on the timing plane: every subsequent
@@ -300,15 +342,19 @@ impl ProxyCl {
     /// tenant retires. With all-zero arrivals this is exactly
     /// [`ProxyCl::enqueue_concurrent`].
     ///
-    /// One capability the transparent plane does **not** have: isolated
-    /// -time estimates. The harness calibrates per-kernel cost profiles
-    /// ahead of time and feeds cached isolated times into the planning
-    /// context, which is what lets `accelos-deadline` size a just-enough
-    /// reclamation; here a kernel's cost is only known *after* it runs,
-    /// so estimate-driven policies take their documented no-estimate
-    /// fallback (all-or-floor, like `accelos-priority`). Deadlines still
-    /// hold — more aggressively than necessary. Estimating from prior
-    /// executions of the same kernel is a ROADMAP item.
+    /// Isolated-time estimates come from the attached calibration store
+    /// ([`ProxyCl::with_profile_store`]): each request resolves through
+    /// the store's `(kernel, shape class)` entries and the estimates ride
+    /// into the planning context, so estimate-driven policies
+    /// (`accelos-deadline`) size just-enough reclamations here exactly as
+    /// they do in the harness, and the cohort planner prunes
+    /// already-drained tenants from its running set. Completed launches
+    /// feed width-normalized observations back into the store, so a
+    /// session calibrates itself as it runs. Without a store, planning is
+    /// estimate-free and bit-identical to previous sessions:
+    /// estimate-driven policies take their documented no-estimate
+    /// fallback (all-or-floor, like `accelos-priority`) — deadlines still
+    /// hold, more aggressively than necessary.
     ///
     /// # Errors
     ///
@@ -368,9 +414,26 @@ impl ProxyCl {
             }
         }
 
+        // Calibration plane: resolve each request through the profile
+        // store (estimates are free here — no solo simulation — so every
+        // index gets one, not just the policy's declared indices; the
+        // cohort planner's stale-victim pruning uses the extras). With no
+        // store the context stays estimate-free, bit-identical to a
+        // store-less session.
+        let estimates: Vec<Option<u64>> = match &self.profile {
+            Some(store) => batch
+                .iter()
+                .map(|p| store.estimate(p.kernel.name(), p.ndrange.total_items()))
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut planning_ctx = PlanCtx::new(self.ctx.device());
+        if estimates.iter().any(Option::is_some) {
+            planning_ctx = planning_ctx.with_estimates(&estimates);
+        }
         let schedule = plan_with_arrivals_and_faults(
             self.policy.as_ref(),
-            &PlanCtx::new(self.ctx.device()),
+            &planning_ctx,
             &requests,
             arrivals,
             &FaultSchedule::from_fault_plan(&self.faults),
@@ -502,6 +565,21 @@ impl ProxyCl {
             }
         };
 
+        // Calibration plane, write side: every completed launch feeds a
+        // width-normalized isolated-time observation back into the store
+        // (the retry loop only breaks once no newest incarnation is
+        // aborted, so the last incarnation is always the completed one).
+        if let Some(store) = self.profile.as_mut() {
+            let plan_ctx = PlanCtx::new(self.ctx.device());
+            for (i, (pending, ids)) in batch.iter().zip(&lineage).enumerate() {
+                let newest = report.kernel(*ids.last().expect("lineage is never empty"));
+                let solo = plan_ctx.solo_share(i, &requests[i].demand);
+                if let Some(obs) = newest.isolated_observation(decisions[i].workers, solo) {
+                    store.record(pending.kernel.name(), pending.ndrange.total_items(), obs);
+                }
+            }
+        }
+
         let queued = self.cursor;
         let mut events = Vec::with_capacity(batch.len());
         for (ids, stats) in lineage.into_iter().zip(all_stats) {
@@ -520,6 +598,7 @@ impl ProxyCl {
             });
         }
         self.cursor = queued + report.makespan;
+        self.last_report = Some(report);
         Ok(events)
     }
 

@@ -108,6 +108,25 @@ impl KernelReport {
     pub fn busy_time(&self) -> u64 {
         self.busy_intervals.iter().map(|(s, e)| e - s).sum()
     }
+
+    /// Width-normalized isolated-time observation for the calibration
+    /// plane: the cycles this launch would plausibly have taken running
+    /// **alone at its solo share**, under the same inverse-width model
+    /// the deadline policy sizes reclamations with (`T` at `width`
+    /// workers → `T·width/solo` at `solo`). Busy time (not turnaround)
+    /// is scaled, so queueing gaps and co-resident stalls are excluded
+    /// rather than booked as kernel cost. For a solo run (`width ==
+    /// solo_width`) this is exactly the measured busy time. `None` when
+    /// the launch produced no usable observation (aborted, or it never
+    /// executed a group).
+    pub fn isolated_observation(&self, width: u32, solo_width: u32) -> Option<u64> {
+        if self.aborted || self.groups_executed == 0 {
+            return None;
+        }
+        let scaled =
+            u128::from(self.busy_time()) * u128::from(width.max(1)) / u128::from(solo_width.max(1));
+        Some(u64::try_from(scaled).unwrap_or(u64::MAX).max(1))
+    }
 }
 
 /// A timeline event (collected only when tracing is enabled).

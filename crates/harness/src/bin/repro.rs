@@ -4,7 +4,7 @@
 //! repro <experiment>... [--device k20m|r9|both] [--full]
 //!       [--policies name,name,...] [--reference name]
 //!       [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N]
-//!       [--jobs N] [--sequential]
+//!       [--jobs N] [--sequential] [--profile-store FILE]
 //!       [--shard i/n [--out FILE]]
 //! repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]
 //! repro lint [--deny-warnings]
@@ -69,6 +69,17 @@
 //! order, and results stream into per-workload accumulators in
 //! deterministic repetition order.
 //!
+//! `--profile-store FILE` persists the calibration plane across runs:
+//! the file (missing = fresh store, malformed = hard error) seeds the
+//! runner's [`ProfileStore`] before any experiment, and everything
+//! learned — each declared estimate index's isolated time, keyed by
+//! `(kernel, shape-class)` — is saved back afterwards. A warmed store
+//! lets estimate-driven policies (`accelos-deadline`) read calibrated
+//! isolated times instead of re-simulating solo runs, and lets the
+//! arrival planner prune drained victims. With `--device both` each
+//! device reads and writes its own `FILE.<device>` file, because
+//! isolated times are device-specific.
+//!
 //! For paper-scale runs, `--shard i/n` partitions the workload grids
 //! across **independent processes**: each shard computes every `n`th
 //! workload and writes its metrics (bit-exact float encoding) to a shard
@@ -87,6 +98,7 @@ use accel_harness::shard::{self, ShardSpec};
 use accel_harness::workloads::SweepConfig;
 use accelos::policy::PolicySet;
 use gpu_sim::DeviceConfig;
+use sched_metrics::profile::ProfileStore;
 
 struct Options {
     experiments: Vec<String>,
@@ -109,6 +121,13 @@ struct Options {
     inputs: Vec<String>,
     /// `lint --deny-warnings`: exit nonzero on any warning or error.
     deny_warnings: bool,
+    /// `--profile-store <path>`: calibration-plane persistence. The file
+    /// is loaded (if present) into the device's [`Runner`] before any
+    /// experiment runs and saved back — with everything learned this
+    /// session — afterwards. With `--device both`, each device gets its
+    /// own file (`<path>.<device>`), since isolated times are
+    /// device-specific.
+    profile_store: Option<String>,
 }
 
 /// Position of `--reference` in the set `experiment` sweeps (0 when the
@@ -138,6 +157,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut deny_warnings = false;
+    let mut profile_store: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<usize, String> {
@@ -181,6 +201,14 @@ fn parse_args() -> Result<Options, String> {
                 inputs.extend(list.split(',').map(str::to_string));
             }
             "--deny-warnings" => deny_warnings = true,
+            "--profile-store" => {
+                i += 1;
+                profile_store = Some(
+                    args.get(i)
+                        .ok_or("missing value after --profile-store")?
+                        .clone(),
+                );
+            }
             "--exec-tier" => {
                 i += 1;
                 let tier = args.get(i).ok_or("missing value after --exec-tier")?;
@@ -237,11 +265,20 @@ fn parse_args() -> Result<Options, String> {
         out,
         inputs,
         deny_warnings,
+        profile_store,
     })
 }
 
 fn wants(experiments: &[String], name: &str) -> bool {
     experiments.iter().any(|e| e == name || e == "all")
+}
+
+fn entries_noun(n: usize) -> &'static str {
+    if n == 1 {
+        "entry"
+    } else {
+        "entries"
+    }
 }
 
 /// The set the `priority` experiment sweeps: `--policies` when given,
@@ -470,7 +507,8 @@ fn main() {
                 "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|deadline|faults|all>... \
                  [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
-                 [--jobs N] [--sequential] [--shard i/n [--out FILE]] \
+                 [--jobs N] [--sequential] [--profile-store FILE] \
+                 [--shard i/n [--out FILE]] \
                  [--exec-tier tree|bytecode|bytecode-opt]\n\
                  usage: repro merge --inputs FILE,FILE,... [<sweep figures>...] [--reference name]\n\
                  usage: repro lint [--deny-warnings]\n\
@@ -485,6 +523,11 @@ fn main() {
                 "  --shard i/n         compute only every nth workload of the sweep grids and \
                  write a shard file (--out, default shard-i-of-n.accelshard) instead of figures; \
                  `merge` reassembles shard files bit-identically to an unsharded run"
+            );
+            eprintln!(
+                "  --profile-store FILE  load (if present) and save back the calibration-plane \
+                 profile store; estimate-driven policies read isolated times from it instead of \
+                 re-simulating solo runs (with --device both: one FILE.<device> per device)"
             );
             std::process::exit(2);
         }
@@ -553,6 +596,38 @@ fn main() {
 
     for device in &opts.devices {
         let runner = Runner::new(device.clone());
+        let store_path = opts.profile_store.as_ref().map(|path| {
+            // Isolated times are device-specific, so a multi-device run
+            // keeps one file per device rather than mixing calibrations.
+            if opts.devices.len() == 1 {
+                path.clone()
+            } else {
+                format!("{path}.{}", device.name)
+            }
+        });
+        if let Some(path) = &store_path {
+            // A missing file is a fresh store (first session); a present
+            // but malformed one is a hard error — silently discarding a
+            // corrupt calibration would change plans without a trace.
+            match ProfileStore::load(path) {
+                Ok(store) => {
+                    eprintln!(
+                        "[profile store: {} {} from {path}]",
+                        store.len(),
+                        entries_noun(store.len())
+                    );
+                    runner.set_profile_store(store);
+                }
+                Err(_) if !std::path::Path::new(path).exists() => {
+                    eprintln!("[profile store: {path} not found, starting fresh]");
+                    runner.set_profile_store(ProfileStore::new());
+                }
+                Err(e) => {
+                    eprintln!("repro: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         println!("=== {} ===\n", device.name);
 
         if wants(exps, "fig2") {
@@ -652,6 +727,20 @@ fn main() {
                     reference_index(&set, opts.reference.as_deref()),
                     &device.name
                 )
+            );
+        }
+        if let Some(path) = &store_path {
+            let store = runner
+                .take_profile_store()
+                .expect("store attached above and nothing detaches it");
+            if let Err(e) = store.save(path) {
+                eprintln!("repro: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[profile store: {} {} saved to {path}]",
+                store.len(),
+                entries_noun(store.len())
             );
         }
     }

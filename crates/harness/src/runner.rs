@@ -32,6 +32,7 @@ use gpu_sim::{
     Simulator, WorkGroupReq,
 };
 use parboil::{KernelDb, KernelSpec};
+use sched_metrics::profile::ProfileStore;
 use sched_metrics::IntervalSet;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -238,6 +239,14 @@ pub struct Runner {
     /// the sweep's hot path (overwhelmingly cache hits) looks up with the
     /// borrowed `policy.name()` and never allocates a key string.
     isolated: Mutex<HashMap<String, IsolatedTimes>>,
+    /// Optional calibration store ([`ProfileStore`]). When attached,
+    /// preemptive planning reads isolated-time estimates from it (falling
+    /// back to — and recording — the exact solo simulation for indices a
+    /// policy declares via `SchedulingPolicy::estimate_indices`), and
+    /// *every* request with a calibrated entry carries an estimate, so
+    /// the arrival planner can prune drained victims. With no store the
+    /// path is bit-identical to the pre-calibration runner.
+    profile: Mutex<Option<ProfileStore>>,
 }
 
 impl Runner {
@@ -253,12 +262,28 @@ impl Runner {
             device,
             db,
             isolated: Mutex::new(HashMap::new()),
+            profile: Mutex::new(None),
         }
     }
 
     /// The device this runner simulates.
     pub fn device(&self) -> &DeviceConfig {
         &self.device
+    }
+
+    /// Attach a calibration store for preemptive planning to read
+    /// isolated-time estimates from (and record exact solo times into,
+    /// for declared indices the store has not seen). Replaces any store
+    /// already attached.
+    pub fn set_profile_store(&self, store: ProfileStore) {
+        *self.profile.lock().unwrap() = Some(store);
+    }
+
+    /// Detach and return the calibration store, e.g. to
+    /// [`ProfileStore::save`] it at session end. Later runs plan without
+    /// calibrated estimates again.
+    pub fn take_profile_store(&self) -> Option<ProfileStore> {
+        self.profile.lock().unwrap().take()
     }
 
     /// The compiled kernel database.
@@ -318,6 +343,14 @@ impl Runner {
     /// hold. Undeclared indices — and policies that declare none — skip
     /// the estimate simulations entirely: they would ignore the values
     /// anyway.
+    ///
+    /// With a calibration store attached ([`Runner::set_profile_store`]),
+    /// calibrated entries replace the solo simulations (declared indices
+    /// the store has not seen still pay one, which is then recorded),
+    /// and every request with a calibrated entry carries an estimate so
+    /// the arrival planner can prune victims that drained before an
+    /// arrival. Store-less runs are bit-identical to the
+    /// pre-calibration planner.
     pub fn launches_preemptive(
         &self,
         ctx: &RepContext<'_>,
@@ -343,17 +376,32 @@ impl Runner {
         assert_eq!(ctx.kernels.len(), arrivals.len(), "one arrival per kernel");
         let requests = ctx.exec_requests(policy.chunk_mode());
         let indices = policy.estimate_indices(&requests);
-        let estimates: Vec<Option<u64>> = if indices.is_empty() {
+        let mut profile = self.profile.lock().unwrap();
+        let estimates: Vec<Option<u64>> = if indices.is_empty() && profile.is_none() {
             Vec::new()
         } else {
             (0..ctx.kernels.len())
                 .map(|i| {
-                    indices
-                        .contains(&i)
-                        .then(|| self.isolated_time_in(ctx, policy, i))
+                    let name = ctx.kernels[i].spec.name;
+                    let items = requests[i].ndrange.total_items();
+                    let calibrated = profile.as_ref().and_then(|s| s.estimate(name, items));
+                    if calibrated.is_none() && indices.contains(&i) {
+                        // A declared index the store has not seen: pay
+                        // the exact solo simulation (as the store-less
+                        // path always does) and record it, so the next
+                        // session reads the store instead.
+                        let t = self.isolated_time_in(ctx, policy, i);
+                        if let Some(store) = profile.as_mut() {
+                            store.record(name, items, t);
+                        }
+                        Some(t)
+                    } else {
+                        calibrated
+                    }
                 })
                 .collect()
         };
+        drop(profile);
         let mut plan_ctx = ctx.plan_ctx();
         if !estimates.is_empty() {
             plan_ctx = plan_ctx.with_estimates(&estimates);

@@ -603,20 +603,49 @@ pub enum ParSchedule {
     /// reference schedule for differential tests and benchmarks.
     Static,
     /// Atomic-cursor dynamic schedule: threads repeatedly claim the next
-    /// [`STEAL_RANGE`] flat work groups until the range space is drained,
-    /// so imbalanced kernels stop stranding threads. Each claimed range
-    /// writes into its own pre-sized slice of the flat per-group stats
-    /// buffer, which preserves the flat-order merge — and thus
-    /// bit-identity with the sequential interpreter.
+    /// [`steal_claim`]-sized run of flat work groups until the range
+    /// space is drained, so imbalanced kernels stop stranding threads.
+    /// Each claimed range writes into its own pre-sized slice of the flat
+    /// per-group stats buffer, which preserves the flat-order merge — and
+    /// thus bit-identity with the sequential interpreter.
     #[default]
     Stealing,
 }
 
-/// Flat work groups claimed per atomic-cursor fetch by
+/// Ceiling on the flat work groups claimed per atomic-cursor fetch by
 /// [`ParSchedule::Stealing`]: small enough that one expensive range
 /// cannot strand a thread for long, large enough that the cursor is not
-/// contended on every group.
+/// contended on every group. Actual claims taper below this near the end
+/// of the range space — see [`steal_claim`].
 pub const STEAL_RANGE: usize = 8;
+
+/// Flat work groups one stealing thread claims when its cursor fetch
+/// lands at `lo` of `total` groups, shared by `threads` workers: half the
+/// remaining groups divided evenly (guided self-scheduling, §6.4-style),
+/// capped at [`STEAL_RANGE`] and floored at one group.
+///
+/// A fixed claim of [`STEAL_RANGE`] degenerates on small launches — an
+/// 8-group claim hands a 9-group launch almost entirely to one thread —
+/// and strands up to `STEAL_RANGE − 1` groups' worth of imbalance on the
+/// final claim of any launch. The taper keeps deep range spaces on
+/// full-size claims (the cursor stays uncontended) while the tail shrinks
+/// toward single-group claims every idle thread can grab.
+///
+/// # Examples
+///
+/// ```
+/// use kernel_ir::interp::{steal_claim, STEAL_RANGE};
+/// // Deep range space: full-size claims, exactly the fixed behaviour.
+/// assert_eq!(steal_claim(10_000, 4, 0), STEAL_RANGE);
+/// // A 9-group launch on 4 threads: single-group claims, all threads fed.
+/// assert_eq!(steal_claim(9, 4, 0), 1);
+/// // The tail tapers: the last stretch is claimed one group at a time.
+/// assert_eq!(steal_claim(10_000, 4, 9_996), 1);
+/// ```
+pub fn steal_claim(total: usize, threads: usize, lo: usize) -> usize {
+    let remaining = total.saturating_sub(lo);
+    (remaining / (2 * threads.max(1))).clamp(1, STEAL_RANGE)
+}
 
 /// Interpreter tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1970,10 +1999,12 @@ where
 }
 
 /// [`ParSchedule::Stealing`] work distribution, generic over the per-group
-/// executor: each thread repeatedly claims the next [`STEAL_RANGE`] flat
-/// groups from an atomic cursor, so a thread that drew cheap groups keeps
-/// working while another grinds through expensive ones. Only called once
-/// the analysis has admitted the launch for cross-group parallelism.
+/// executor: each thread repeatedly claims the next [`steal_claim`]-sized
+/// run of flat groups from an atomic cursor (tapering from
+/// [`STEAL_RANGE`] toward single groups as the range space drains), so a
+/// thread that drew cheap groups keeps working while another grinds
+/// through expensive ones. Only called once the analysis has admitted the
+/// launch for cross-group parallelism.
 ///
 /// Bit-identity with [`run_groups_seq_sched`]: every claimed range
 /// `[lo, hi)` is owned by exactly one thread, which writes
@@ -2010,11 +2041,19 @@ where
                     let mut scratch = S::default();
                     let mut part = DynStats::default();
                     loop {
-                        let lo = cursor.fetch_add(STEAL_RANGE, Ordering::Relaxed);
-                        if lo >= total {
+                        // Tapered claims need the size to depend on where
+                        // the cursor stands, so the claim is a CAS update
+                        // rather than a fixed-stride fetch_add; the size
+                        // is a pure function of `lo`, so recomputing it
+                        // after the update returns yields the same claim.
+                        let claimed =
+                            cursor.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |lo| {
+                                (lo < total).then(|| lo + steal_claim(total, threads, lo))
+                            });
+                        let Ok(lo) = claimed else {
                             return Ok(part);
-                        }
-                        for flat in lo..(lo + STEAL_RANGE).min(total) {
+                        };
+                        for flat in lo..(lo + steal_claim(total, threads, lo)).min(total) {
                             let gid = flat_gid(groups, flat);
                             match run(gid, &mut scratch, &mut part) {
                                 // SAFETY: `flat` lies in a range this
@@ -2701,6 +2740,42 @@ mod tests {
         }
         // The workload really is imbalanced (what stealing exists for).
         assert!(seq.1.wg_imbalance() > 0.5, "{}", seq.1.wg_imbalance());
+    }
+
+    #[test]
+    fn steal_claims_taper_and_cover() {
+        // Deep range spaces claim at the cap (the pre-taper behaviour);
+        // tails and tiny launches taper toward single-group claims; and
+        // for any (total, threads) the sequential claim walk covers
+        // [0, total) exactly, never stalling and never growing as the
+        // cursor advances.
+        assert_eq!(steal_claim(10_000, 4, 0), STEAL_RANGE);
+        assert_eq!(steal_claim(64, 1, 0), STEAL_RANGE);
+        assert_eq!(steal_claim(9, 4, 0), 1);
+        assert_eq!(steal_claim(0, 4, 0), 1);
+        for total in 0..=128usize {
+            for threads in 1..=9usize {
+                let mut lo = 0usize;
+                let mut prev = usize::MAX;
+                while lo < total {
+                    let c = steal_claim(total, threads, lo);
+                    assert!((1..=STEAL_RANGE).contains(&c), "claim {c} at {lo}");
+                    assert!(c <= prev, "claim grew from {prev} to {c} at {lo}");
+                    prev = c;
+                    lo += c;
+                }
+            }
+        }
+        // A 1–9-group launch on several threads never hands one thread
+        // more than a taper-sized bite, so every thread can participate.
+        for total in 1..=9usize {
+            for threads in 2..=8usize {
+                assert!(
+                    steal_claim(total, threads, 0) <= 1.max(total / 2),
+                    "{total} groups on {threads} threads monopolised"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   for cross-checking the max/min metric.
 //!
 //! Plus two extension metrics for the fault-injection plane:
-//! [`fault_degradation`] and [`recovery_latency`].
+//! [`fault_degradation`] and [`recovery_latency`], and the calibration
+//! plane's persistent [`ProfileStore`] of online-learned isolated
+//! execution times (see [`profile`]).
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 
 pub mod fairness;
 pub mod intervals;
+pub mod profile;
 pub mod recovery;
 pub mod throughput;
 
@@ -37,5 +40,6 @@ pub use fairness::{
     antt, fairness_improvement, individual_slowdown, jain_index, stp, unfairness, worst_antt,
 };
 pub use intervals::IntervalSet;
+pub use profile::{shape_class, ProfileEntry, ProfileStore};
 pub use recovery::{fault_degradation, recovery_latency};
 pub use throughput::{execution_overlap, throughput_speedup};

@@ -1,0 +1,507 @@
+//! Persistent kernel profile store: the calibration plane.
+//!
+//! Estimate-driven policies (`accelos-deadline`) need an *isolated-time*
+//! estimate — the cycles a request would take running alone at its solo
+//! share — to size a just-enough reclamation. The harness can afford to
+//! calibrate those with dedicated solo simulations; the transparent
+//! runtime cannot (a kernel's cost is only known *after* it runs). The
+//! [`ProfileStore`] closes that gap: it learns isolated times **online**
+//! from completed launches, keyed by `(kernel, shape class)`, EWMA-updated
+//! with a confidence count, and persists to a versioned text file so a
+//! restarted session keeps its calibration.
+//!
+//! * **Shape class** ([`shape_class`]) buckets a launch's global work-item
+//!   count by magnitude (bit length), so a store calibrated at one size
+//!   still serves nearby sizes; an unseen class resolves to the nearest
+//!   calibrated neighbour of the same kernel.
+//! * **EWMA** ([`ProfileStore::record`]): the first observation seeds the
+//!   mean, later ones fold in with weight [`ProfileStore::ALPHA`] — the
+//!   same moving-average shape ProportionalFair schedulers keep per-flow
+//!   rates in.
+//! * **Persistence** ([`ProfileStore::render`] / [`ProfileStore::parse`],
+//!   [`ProfileStore::save`] / [`ProfileStore::load`]): a versioned text
+//!   format with bit-exact float encoding ([`f64::to_bits`] hex) and the
+//!   same hardened rejection of truncated or implausible input as the
+//!   harness's shard files — a doctored store file fails by line, it does
+//!   not miscalibrate a scheduler.
+//!
+//! # Examples
+//!
+//! ```
+//! use sched_metrics::profile::ProfileStore;
+//!
+//! let mut store = ProfileStore::new();
+//! store.record("sgemm", 65536, 1_000);
+//! store.record("sgemm", 65536, 1_200);
+//! // EWMA of 1000 then 1200 at alpha 0.25.
+//! assert_eq!(store.estimate("sgemm", 65536), Some(1_050));
+//! // An unseen size resolves to the nearest calibrated shape class.
+//! assert_eq!(store.estimate("sgemm", 1 << 20), Some(1_050));
+//! assert_eq!(store.estimate("unknown", 65536), None);
+//!
+//! // Round-trips bit-exactly through the text format.
+//! let text = store.render();
+//! assert_eq!(ProfileStore::parse(&text).unwrap(), store);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Magnitude class of a launch's global work-item count: the bit length
+/// of `total_items` (0 for an empty range). Launches within the same
+/// power-of-two band share a class, so a store calibrated at 60 000 items
+/// serves a 90 000-item launch of the same kernel from the same entry.
+///
+/// Monotone: a larger launch never maps to a smaller class.
+///
+/// # Examples
+///
+/// ```
+/// use sched_metrics::profile::shape_class;
+/// assert_eq!(shape_class(0), 0);
+/// assert_eq!(shape_class(1), 1);
+/// assert_eq!(shape_class(1023), 10);
+/// assert_eq!(shape_class(1024), 11);
+/// ```
+pub fn shape_class(total_items: usize) -> u32 {
+    usize::BITS - total_items.leading_zeros()
+}
+
+/// One calibrated `(kernel, shape class)` cell: the EWMA isolated-time
+/// mean and how many observations back it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileEntry {
+    /// EWMA of the observed isolated times, in device cycles.
+    pub mean: f64,
+    /// Observation count — the confidence behind the mean.
+    pub samples: u64,
+}
+
+/// Upper bound on the `entries` count accepted from a store file: real
+/// stores hold one entry per `(kernel, shape class)` pair — dozens, not
+/// millions. Anything past this is a corrupt or hostile header, rejected
+/// before it sizes an allocation.
+pub const MAX_ENTRIES: usize = 1 << 20;
+
+/// Upper bound on a plausible EWMA mean (device cycles). The simulated
+/// devices run whole paper-scale workloads in well under 2^50 cycles;
+/// a mean beyond this is a corrupt file, not a calibration.
+pub const MAX_MEAN: f64 = (1u64 << 50) as f64;
+
+/// Online-calibrated isolated execution times, keyed by
+/// `(kernel, shape class)`.
+///
+/// See the [module docs](self) for the learning and persistence model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileStore {
+    entries: BTreeMap<(String, u32), ProfileEntry>,
+}
+
+impl ProfileStore {
+    /// EWMA weight of a new observation once an entry is seeded (the
+    /// first observation becomes the mean outright).
+    pub const ALPHA: f64 = 0.25;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        ProfileStore::default()
+    }
+
+    /// Number of calibrated `(kernel, shape class)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no calibration at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fold one observed isolated time (device cycles; clamped to ≥ 1)
+    /// into the `(kernel, shape_class(total_items))` entry.
+    pub fn record(&mut self, kernel: &str, total_items: usize, observed_cycles: u64) {
+        let observed = observed_cycles.max(1) as f64;
+        let entry = self
+            .entries
+            .entry((kernel.to_string(), shape_class(total_items)))
+            .or_insert(ProfileEntry {
+                mean: observed,
+                samples: 0,
+            });
+        if entry.samples > 0 {
+            entry.mean = (1.0 - ProfileStore::ALPHA) * entry.mean + ProfileStore::ALPHA * observed;
+        }
+        entry.samples += 1;
+    }
+
+    /// The calibrated entry serving `(kernel, total_items)`: the exact
+    /// shape class when calibrated, else the nearest calibrated class of
+    /// the same kernel (ties resolve to the smaller class, so lookups are
+    /// deterministic). `None` for a kernel the store has never seen.
+    pub fn entry(&self, kernel: &str, total_items: usize) -> Option<&ProfileEntry> {
+        let class = shape_class(total_items);
+        let lo = (kernel.to_string(), 0u32);
+        let hi = (kernel.to_string(), u32::MAX);
+        let mut best: Option<(u32, u32, &ProfileEntry)> = None;
+        for ((_, c), e) in self.entries.range(lo..=hi) {
+            let dist = c.abs_diff(class);
+            // Strict `<` keeps the first (= smaller) class on a tie.
+            if best.is_none_or(|(d, _, _)| dist < d) {
+                best = Some((dist, *c, e));
+            }
+        }
+        best.map(|(_, _, e)| e)
+    }
+
+    /// The isolated-time estimate (cycles, rounded) serving
+    /// `(kernel, total_items)`, via [`ProfileStore::entry`].
+    pub fn estimate(&self, kernel: &str, total_items: usize) -> Option<u64> {
+        self.entry(kernel, total_items)
+            .map(|e| e.mean.round().max(1.0) as u64)
+    }
+
+    /// Observation count behind the estimate serving
+    /// `(kernel, total_items)` (0 when nothing serves it).
+    pub fn confidence(&self, kernel: &str, total_items: usize) -> u64 {
+        self.entry(kernel, total_items).map_or(0, |e| e.samples)
+    }
+
+    /// Serialize to the versioned text format. Deterministic (entries in
+    /// `(kernel, shape class)` order) and bit-exact (means as
+    /// [`f64::to_bits`] hex), so `render ∘ parse` is the identity on
+    /// rendered text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("accelos-profile v1\n");
+        let _ = writeln!(s, "entries {}", self.entries.len());
+        for ((kernel, class), e) in &self.entries {
+            let _ = writeln!(
+                s,
+                "entry {class} {} {:016x} {kernel}",
+                e.samples,
+                e.mean.to_bits()
+            );
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parse a store produced by [`ProfileStore::render`].
+    ///
+    /// Beyond shape, the parser rejects what would otherwise surface as a
+    /// silent miscalibration: a truncated file (missing `end`, or fewer
+    /// entries than the header declared), duplicated or implausible
+    /// entries (shape class beyond a `usize`'s bit length, zero-sample
+    /// entries no launch produced, non-finite or absurd means), and
+    /// content smuggled in after `end` — each named by line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        let mut line = |what: &str| -> Result<(usize, &str), String> {
+            lines
+                .next()
+                .ok_or_else(|| format!("unexpected end of profile store (wanted {what})"))
+        };
+        let (_, header) = line("header")?;
+        if header != "accelos-profile v1" {
+            return Err(format!("not a v1 profile store (header `{header}`)"));
+        }
+        let (_, count_line) = line("entries line")?;
+        let declared = count_line
+            .strip_prefix("entries ")
+            .ok_or_else(|| format!("expected `entries <n>`, got `{count_line}`"))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad entry count in `{count_line}`: {e}"))?;
+        if declared > MAX_ENTRIES {
+            return Err(format!("{declared} entries is implausibly large"));
+        }
+
+        let mut entries: BTreeMap<(String, u32), ProfileEntry> = BTreeMap::new();
+        let mut saw_end = false;
+        for (no, raw) in lines {
+            let err = |msg: String| format!("line {}: {msg}", no + 1);
+            if raw == "end" {
+                saw_end = true;
+                continue;
+            }
+            if saw_end {
+                return Err(err(format!("content after `end`: `{raw}`")));
+            }
+            let rest = raw
+                .strip_prefix("entry ")
+                .ok_or_else(|| err(format!("unrecognised line `{raw}`")))?;
+            let mut toks = rest.splitn(4, ' ');
+            let mut tok = |what: &str| {
+                toks.next()
+                    .ok_or_else(|| err(format!("entry is missing its {what}")))
+            };
+            let class = tok("shape class")?
+                .parse::<u32>()
+                .map_err(|e| err(format!("bad shape class: {e}")))?;
+            if class > usize::BITS {
+                return Err(err(format!(
+                    "shape class {class} exceeds the {}-bit item-count range",
+                    usize::BITS
+                )));
+            }
+            let samples = tok("sample count")?
+                .parse::<u64>()
+                .map_err(|e| err(format!("bad sample count: {e}")))?;
+            if samples == 0 {
+                return Err(err(
+                    "entry claims zero samples (no launch produced it)".into()
+                ));
+            }
+            let hex = tok("mean")?;
+            let mean = u64::from_str_radix(hex, 16)
+                .map(f64::from_bits)
+                .map_err(|e| err(format!("bad f64 hex `{hex}`: {e}")))?;
+            if !mean.is_finite() || !(1.0..=MAX_MEAN).contains(&mean) {
+                return Err(err(format!("implausible mean {mean} (from `{hex}`)")));
+            }
+            let kernel = tok("kernel name")?;
+            if kernel.trim().is_empty() {
+                return Err(err("empty kernel name".into()));
+            }
+            if entries
+                .insert((kernel.to_string(), class), ProfileEntry { mean, samples })
+                .is_some()
+            {
+                return Err(err(format!(
+                    "duplicate entry for kernel `{kernel}` shape class {class}"
+                )));
+            }
+        }
+        if !saw_end {
+            return Err("profile store truncated (missing `end`)".into());
+        }
+        if entries.len() != declared {
+            return Err(format!(
+                "store holds {} entries but declared {declared} \
+                 (truncated or doctored profile store)",
+                entries.len()
+            ));
+        }
+        Ok(ProfileStore { entries })
+    }
+
+    /// Write the store to `path` (via [`ProfileStore::render`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O failure, tagged with the path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        std::fs::write(path, self.render())
+            .map_err(|e| format!("cannot write profile store {}: {e}", path.display()))
+    }
+
+    /// Read a store from `path` (via [`ProfileStore::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O failure or the first malformed line, tagged with
+    /// the path.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read profile store {}: {e}", path.display()))?;
+        ProfileStore::parse(&text).map_err(|e| format!("profile store {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shape_class_is_monotone_in_size() {
+        let mut prev = 0;
+        for n in 0..10_000usize {
+            let c = shape_class(n);
+            assert!(c >= prev, "class dropped from {prev} to {c} at {n}");
+            prev = c;
+        }
+        assert_eq!(shape_class(usize::MAX), usize::BITS);
+    }
+
+    #[test]
+    fn first_observation_seeds_then_ewma_converges() {
+        let mut store = ProfileStore::new();
+        store.record("k", 1000, 500);
+        assert_eq!(store.estimate("k", 1000), Some(500));
+        assert_eq!(store.confidence("k", 1000), 1);
+        // A stationary cost: the EWMA converges onto it from any seed.
+        for _ in 0..60 {
+            store.record("k", 1000, 2_000);
+        }
+        let est = store.estimate("k", 1000).unwrap();
+        assert!((1_990..=2_000).contains(&est), "EWMA stuck at {est}");
+        assert_eq!(store.confidence("k", 1000), 61);
+    }
+
+    #[test]
+    fn unseen_sizes_resolve_to_the_nearest_calibrated_class() {
+        let mut store = ProfileStore::new();
+        store.record("k", 1 << 4, 100); // class 5
+        store.record("k", 1 << 10, 900); // class 11
+                                         // Class 6 is nearer 5 than 11; class 9 is nearer 11.
+        assert_eq!(store.estimate("k", 1 << 5), Some(100));
+        assert_eq!(store.estimate("k", 1 << 8), Some(900));
+        // Equidistant (class 8): ties resolve to the smaller class.
+        assert_eq!(store.estimate("k", 1 << 7), Some(100));
+        // Way outside the calibrated band still resolves.
+        assert_eq!(store.estimate("k", usize::MAX), Some(900));
+        // Kernels never blur into each other.
+        assert_eq!(store.estimate("other", 1 << 4), None);
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_and_byte_stable() {
+        let mut store = ProfileStore::new();
+        store.record("sgemm", 65536, 12_345);
+        store.record("sgemm", 128, 17);
+        store.record("bfs_kernel", 1 << 20, 999_999);
+        store.record("sgemm", 65536, 54_321); // non-trivial EWMA mean
+        let text = store.render();
+        let parsed = ProfileStore::parse(&text).unwrap();
+        assert_eq!(parsed, store);
+        // Byte stability: re-rendering the parsed store reproduces the
+        // file exactly (BTreeMap order + bit-exact hex means).
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn save_load_roundtrips_through_disk() {
+        let mut store = ProfileStore::new();
+        store.record("k", 4096, 777);
+        store.record("k", 4096, 1_234);
+        let dir = std::env::temp_dir().join(format!("accelos-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.accelprofile");
+        store.save(&path).unwrap();
+        let loaded = ProfileStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_names_the_path() {
+        let e = ProfileStore::load("/nonexistent/cal.accelprofile").unwrap_err();
+        assert!(e.contains("cal.accelprofile"), "{e}");
+    }
+
+    /// A small, valid store file to mutate in the rejection tests.
+    fn good_file() -> String {
+        let mut store = ProfileStore::new();
+        store.record("sgemm", 65536, 1_000);
+        store.record("lbm", 1 << 20, 50_000);
+        store.render()
+    }
+
+    /// Every rejection names the problem instead of panicking or parsing
+    /// a miscalibrated store: truncated files, doctored counts,
+    /// duplicated or implausible entries (mirrors the shard-file
+    /// hardening).
+    #[test]
+    fn parse_rejects_truncated_and_doctored_files() {
+        let good = good_file();
+        assert!(ProfileStore::parse(&good).is_ok());
+
+        let expect_err = |text: &str, needle: &str| {
+            let e = ProfileStore::parse(text).unwrap_err();
+            assert!(e.contains(needle), "error `{e}` should mention `{needle}`");
+        };
+
+        // Truncated: drop the `end` sentinel, or cut an entry line while
+        // keeping `end` (only the declared-count check catches that).
+        expect_err(good.trim_end_matches("end\n"), "truncated");
+        let cut: String =
+            good.lines()
+                .filter(|l| !l.contains("sgemm"))
+                .fold(String::new(), |mut s, l| {
+                    s.push_str(l);
+                    s.push('\n');
+                    s
+                });
+        expect_err(&cut, "declared 2");
+
+        let swap = |from: &str, to: &str| good.replace(from, to);
+        expect_err(
+            &swap("accelos-profile v1", "accelos-profile v9"),
+            "not a v1",
+        );
+        expect_err(&swap("entries 2", "entries 3"), "declared 3");
+        expect_err(
+            &swap("entries 2", "entries 99999999999"),
+            "implausibly large",
+        );
+        expect_err(&swap("entries 2", "entries x"), "bad entry count");
+        expect_err(&format!("{good}rogue line\n"), "content after `end`");
+
+        // Doctored entries: bad fields, duplicates, implausible values.
+        expect_err(&swap("entry 17", "entry nope"), "bad shape class");
+        expect_err(&swap("entry 17", "entry 200"), "exceeds");
+        expect_err(&swap("17 1 ", "17 0 "), "zero samples");
+        expect_err(&swap("17 1 ", "17 x "), "bad sample count");
+        let hex = format!("{:016x}", 1_000f64.to_bits());
+        expect_err(&swap(&hex, "zzzz"), "bad f64 hex");
+        expect_err(
+            &swap(&hex, &format!("{:016x}", f64::NAN.to_bits())),
+            "implausible mean",
+        );
+        expect_err(
+            &swap(&hex, &format!("{:016x}", (-5.0f64).to_bits())),
+            "implausible mean",
+        );
+        expect_err(
+            &swap(&hex, &format!("{:016x}", 1e30f64.to_bits())),
+            "implausible mean",
+        );
+        expect_err(&swap(" sgemm", " "), "empty kernel name");
+        let dup = swap("lbm", "sgemm").replace("entry 21", "entry 17");
+        expect_err(&dup, "duplicate entry");
+        expect_err("accelos-profile v1\nentries 0\n", "truncated");
+        expect_err("", "unexpected end");
+    }
+
+    proptest! {
+        #[test]
+        fn ewma_stays_within_the_observed_envelope(
+            obs in proptest::collection::vec(1u64..1_000_000, 1..40)
+        ) {
+            let mut store = ProfileStore::new();
+            for &o in &obs {
+                store.record("k", 4096, o);
+            }
+            let est = store.estimate("k", 4096).unwrap();
+            let lo = *obs.iter().min().unwrap();
+            let hi = *obs.iter().max().unwrap();
+            prop_assert!(est >= lo && est <= hi, "estimate {est} outside [{lo}, {hi}]");
+            prop_assert_eq!(store.confidence("k", 4096), obs.len() as u64);
+        }
+
+        #[test]
+        fn random_stores_roundtrip_bit_exactly(
+            cells in proptest::collection::vec(
+                (0usize..4, 0usize..1_000_000, 1u64..1_000_000_000),
+                0..30,
+            )
+        ) {
+            let names = ["sgemm", "spmv_jds", "bfs kernel", "mri-q"];
+            let mut store = ProfileStore::new();
+            for &(k, items, cycles) in &cells {
+                store.record(names[k], items, cycles);
+            }
+            let text = store.render();
+            let parsed = ProfileStore::parse(&text).unwrap();
+            prop_assert_eq!(&parsed, &store);
+            prop_assert_eq!(parsed.render(), text);
+        }
+    }
+}

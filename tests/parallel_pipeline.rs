@@ -120,6 +120,56 @@ fn stealing_matches_sequential_across_thread_counts() {
 }
 
 #[test]
+fn tapered_stealing_covers_tiny_launches() {
+    // A fixed STEAL_RANGE=8 claim degenerates on small launches (one
+    // thread swallows a 1–9-group launch whole); the tapered claim
+    // (`steal_claim`) hands out single-group bites instead. Bit-identity
+    // with the sequential interpreter is structural either way — this
+    // pins it across every 1–9-group shape at 1–8 threads, for both
+    // schedules.
+    use clrt::{Arg, Context, Platform, Program};
+    use kernel_ir::interp::ArgValue;
+    const SRC: &str = "kernel void fill(global float* b) {
+        size_t i = get_global_id(0);
+        b[i] = b[i] * 3.0f + 1.0f;
+    }";
+    for groups in 1usize..=9 {
+        let wg = 4usize;
+        let items = groups * wg;
+        let nd = NdRange::new_1d(items, wg);
+        let run = |exec: Option<(usize, ParSchedule)>| -> (Vec<f32>, DynStats) {
+            let mut ctx = Context::new(&Platform::nvidia());
+            let program = Program::build(SRC).expect("compiles");
+            let mut kernel = program.create_kernel("fill").expect("kernel exists");
+            let buf = ctx.create_buffer(items * 4);
+            ctx.write_f32(buf, &vec![2.0; items]).expect("write");
+            kernel.set_arg(0, Arg::Buffer(buf)).expect("bind");
+            let args: Vec<ArgValue> = kernel.resolved_args().expect("args resolved");
+            let interp = Interpreter::new(kernel.module());
+            let stats = match exec {
+                None => interp.run_kernel(ctx.memory_mut(), "fill", nd, &args),
+                Some((t, sched)) => {
+                    interp.run_kernel_parallel_sched(ctx.memory_mut(), "fill", nd, &args, t, sched)
+                }
+            }
+            .unwrap_or_else(|e| panic!("{groups}-group launch failed: {e}"));
+            (ctx.read_f32(buf).expect("read"), stats)
+        };
+        let seq = run(None);
+        assert_eq!(seq.0, vec![7.0f32; items]);
+        for threads in [1usize, 2, 3, 4, 8] {
+            for sched in [ParSchedule::Static, ParSchedule::Stealing] {
+                let par = run(Some((threads, sched)));
+                assert_eq!(
+                    seq, par,
+                    "{groups}-group launch diverged under {sched:?} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn atomic_kernels_are_detected_as_fallback() {
     // `can_parallelize` is the launch-independent accelcheck verdict.
     // stencil/lbm index by global id (Safe); histo_main's histogram
