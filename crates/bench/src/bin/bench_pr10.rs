@@ -1,0 +1,359 @@
+//! `bench_pr10` — record the PR-10 perf-trajectory point: what abort
+//! recovery costs with and without checkpointing, and how placement
+//! health awareness moves recovery latency under correlated loss.
+//!
+//! * **Retry leg** — a two-tenant `ProxyCl` batch with one mid-flight
+//!   abort of request 0, replayed once with checkpointed retry
+//!   (`RetryPolicy::checkpoint = true`, the default) and once with full
+//!   re-execution. Both runs assert functional transparency; the leg
+//!   asserts the checkpointed path re-executes **strictly fewer** groups
+//!   than full re-execution (the PR-10 acceptance witness) and times
+//!   both recovery modes.
+//! * **Placement leg** — a two-tenant persistent episode on a four-CU
+//!   slice of the K20m, one failure domain per CU. CU 0 fails, repairs,
+//!   and then straggles 8× through its whole suspect window; a correlated
+//!   domain failure then permanently removes CU 1 — exactly 25% of the
+//!   fleet, the severity threshold — while CU 0 is still degraded, so the
+//!   displaced workers must be re-placed around a CU that *looks* healthy
+//!   but is not. The same plan replays through the health-aware simulator
+//!   and through `with_blind_health()`; every run asserts the
+//!   conservation witness (`groups_retried == chunks_lost`, full plans
+//!   completed), the leg asserts health-aware recovery is strictly
+//!   faster, and records makespan degradation and recovery latency
+//!   (`sched-metrics`) for both placement modes.
+//!
+//! The record lands in `BENCH_pr10.json` (CWD) with the host's thread
+//! count, like every `BENCH_pr*.json` trajectory point.
+//!
+//! Usage: `cargo run --release -p accel-bench --bin bench_pr10 [--smoke]`
+//! (`--smoke` runs fewer repetitions for CI and skips the JSON file).
+
+use accelos::chunk::Mode;
+use accelos::proxycl::{PendingExec, ProxyCl, RetryPolicy};
+use clrt::{Arg, Buffer, Platform};
+use gpu_sim::{
+    DeviceConfig, FailureDomain, FaultEvent, FaultKind, FaultPlan, KernelLaunch, LaunchId,
+    LaunchPlan, SimReport, Simulator, WorkGroupReq,
+};
+use kernel_ir::interp::NdRange;
+use kernel_ir::Value;
+use sched_metrics::{fault_degradation, recovery_latency};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SRC: &str = "kernel void scale(global float* b, float s) {
+    size_t i = get_global_id(0);
+    b[i] = b[i] * s;
+}";
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// Two scaling tenants with wide buffers (512 items, local size 8): many
+/// chunks per launch, so the mid-flight abort lands with retired chunks
+/// behind it and the checkpoint is non-trivial.
+fn scale_batch(os: &mut ProxyCl) -> (Vec<PendingExec>, Buffer) {
+    let program = os.build_program(SRC).unwrap();
+    let chunk = program.info("scale").unwrap().chunk;
+    let mut make = |val: f32| {
+        let mut k = program.create_kernel("scale").unwrap();
+        let buf = os.context_mut().create_buffer(512 * 4);
+        os.context_mut().write_f32(buf, &[1.0; 512]).unwrap();
+        k.set_arg(0, Arg::Buffer(buf)).unwrap();
+        k.set_arg(1, Arg::Scalar(Value::F32(val))).unwrap();
+        (k, buf)
+    };
+    let (k1, b1) = make(2.0);
+    let (k2, _) = make(5.0);
+    let batch = vec![
+        PendingExec {
+            kernel: k1,
+            chunk,
+            ndrange: NdRange::new_1d(512, 8),
+        },
+        PendingExec {
+            kernel: k2,
+            chunk,
+            ndrange: NdRange::new_1d(512, 8),
+        },
+    ];
+    (batch, b1)
+}
+
+/// Run the abort episode under one recovery mode and return (groups
+/// executed by request 0 summed over all incarnations, wall ms).
+fn retry_run(abort_at: u64, checkpoint: bool, reps: usize) -> (usize, f64) {
+    let run = || {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: abort_at,
+            kind: FaultKind::KernelAbort {
+                launch: LaunchId(0),
+            },
+        }]);
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized)
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                checkpoint,
+                ..RetryPolicy::default()
+            });
+        let (batch, b1) = scale_batch(&mut os);
+        os.enqueue_concurrent(batch).unwrap();
+        assert_eq!(
+            os.context_mut().read_f32(b1).unwrap(),
+            vec![2.0; 512],
+            "functional transparency must survive the abort"
+        );
+        os.last_report()
+            .unwrap()
+            .kernels
+            .iter()
+            .filter(|k| k.id != LaunchId(1))
+            .map(|k| k.groups_executed)
+            .sum::<usize>()
+    };
+    let groups = run();
+    let (_, ms) = time(|| {
+        for _ in 0..reps {
+            std::hint::black_box(run());
+        }
+    });
+    (groups, ms / reps as f64)
+}
+
+/// Fixed two-tenant persistent episode for the placement leg: uniform
+/// per-group costs, enough groups that the episode is still mid-flight
+/// when the correlated loss lands.
+fn placement_episode() -> Vec<KernelLaunch> {
+    (0..2u32)
+        .map(|i| KernelLaunch {
+            name: format!("tenant{i}"),
+            arrival: u64::from(i) * 200,
+            req: WorkGroupReq {
+                threads: 64,
+                local_mem: 0,
+                regs_per_thread: 1,
+            },
+            mem_intensity: 0.0,
+            plan: LaunchPlan::PersistentDynamic {
+                workers: 4,
+                vg_costs: vec![40u64; 160].into(),
+                chunk: 4,
+                per_vg_overhead: 1,
+            },
+            max_workers: None,
+        })
+        .collect()
+}
+
+struct PlacementRow {
+    mode: &'static str,
+    ms: f64,
+    makespan: u64,
+    degradation: f64,
+    recovery_latency: u64,
+    chunks_lost: u64,
+    groups_retried: u64,
+}
+
+/// Replay the seeded domain-fault plan under one placement mode,
+/// asserting the conservation witness before recording the row.
+fn placement_run(
+    cfg: &DeviceConfig,
+    plan: &FaultPlan,
+    blind: bool,
+    clean_makespan: u64,
+    reps: usize,
+) -> PlacementRow {
+    let run = || -> SimReport {
+        let mut sim = Simulator::new(cfg.clone())
+            .with_domains(FailureDomain::split_evenly(cfg.num_cus, 4))
+            .with_faults(plan.clone());
+        if blind {
+            sim = sim.with_blind_health();
+        }
+        for l in placement_episode() {
+            sim.add_launch(l);
+        }
+        sim.run()
+    };
+    let report = run();
+    let (_, ms) = time(|| {
+        for _ in 0..reps {
+            std::hint::black_box(run());
+        }
+    });
+    let (mut lost, mut retried) = (0u64, 0u64);
+    for (k, launch) in report.kernels.iter().zip(placement_episode()) {
+        assert!(!k.aborted, "{}: no aborts in the placement leg", k.name);
+        assert_eq!(
+            k.groups_executed as u64,
+            launch.plan.total_groups(),
+            "{}: a faulty run must still complete its full plan",
+            k.name
+        );
+        lost += k.chunks_lost as u64;
+        retried += k.groups_retried as u64;
+    }
+    assert_eq!(retried, lost, "every lost group re-executes exactly once");
+    let first_fault = plan.events.first().map(|e| e.at).unwrap_or(0);
+    PlacementRow {
+        mode: if blind { "blind" } else { "health-aware" },
+        ms: ms / reps as f64,
+        makespan: report.total_time(),
+        degradation: fault_degradation(clean_makespan, report.total_time()),
+        recovery_latency: recovery_latency(first_fault, report.total_time()),
+        chunks_lost: lost,
+        groups_retried: retried,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let reps = if smoke { 3 } else { 20 };
+
+    // ---- Leg 1: checkpointed vs full-re-execution retry --------------
+    // Clean run first, to size the abort and know the plan total.
+    let mut plain = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+    let (batch, _) = scale_batch(&mut plain);
+    plain.enqueue_concurrent(batch).unwrap();
+    let clean = plain.last_report().unwrap();
+    let total = clean.kernels[0].groups_executed;
+    let abort_at = clean.kernels[0].end / 2;
+    assert!(abort_at > 0);
+
+    let (ckpt_groups, ckpt_ms) = retry_run(abort_at, true, reps);
+    let (full_groups, full_ms) = retry_run(abort_at, false, reps);
+    // The PR-10 acceptance witness: checkpointing re-executes strictly
+    // fewer groups than full re-execution on a mid-launch abort.
+    assert_eq!(ckpt_groups, total, "checkpointed incarnations conserve");
+    assert!(
+        full_groups > total,
+        "full re-execution repays the aborted prefix: {full_groups} vs {total}"
+    );
+    assert!(
+        ckpt_groups < full_groups,
+        "checkpointing must re-execute strictly fewer groups: \
+         {ckpt_groups} vs {full_groups}"
+    );
+    let saved = full_groups - ckpt_groups;
+    println!(
+        "retry: abort at t={abort_at}, plan total {total} groups; \
+         checkpointed {ckpt_groups} groups / {ckpt_ms:.2} ms, \
+         full re-execution {full_groups} groups / {full_ms:.2} ms \
+         ({saved} groups saved)"
+    );
+
+    // ---- Leg 2: health-aware vs blind placement under domain loss ----
+    // Four-CU fleet, one domain per CU. CU 0 fails, repairs, then
+    // straggles 8x through its suspect window; the correlated loss of
+    // CU 1's domain (25% of the fleet — the severity threshold) lands
+    // while CU 0 is degraded, so the displaced workers are re-placed
+    // around a CU the blind engine still trusts.
+    let mut cfg = DeviceConfig::k20m();
+    cfg.num_cus = 4;
+    let clean_sim = {
+        let mut sim = Simulator::new(cfg.clone());
+        for l in placement_episode() {
+            sim.add_launch(l);
+        }
+        sim.run()
+    };
+    let clean_makespan = clean_sim.total_time();
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: 400,
+            kind: FaultKind::CuFailure {
+                cu: 0,
+                repair_at: Some(800),
+            },
+        },
+        FaultEvent {
+            at: 800,
+            kind: FaultKind::Straggler {
+                cu: 0,
+                factor: 8.0,
+                until: 3_000,
+            },
+        },
+        FaultEvent {
+            at: 1_000,
+            kind: FaultKind::DomainFailure {
+                domain: 1,
+                repair_at: None,
+            },
+        },
+    ]);
+    let rows = [
+        placement_run(&cfg, &plan, false, clean_makespan, reps),
+        placement_run(&cfg, &plan, true, clean_makespan, reps),
+    ];
+    for r in &rows {
+        println!(
+            "placement ({}): {:.2} ms, makespan {} ({:.2}x clean), \
+             recovery latency {}, {} lost == {} retried",
+            r.mode,
+            r.ms,
+            r.makespan,
+            r.degradation,
+            r.recovery_latency,
+            r.chunks_lost,
+            r.groups_retried
+        );
+    }
+    assert!(
+        rows[0].recovery_latency < rows[1].recovery_latency,
+        "health-aware placement must recover strictly faster here: {} vs {}",
+        rows[0].recovery_latency,
+        rows[1].recovery_latency
+    );
+
+    if smoke {
+        println!("smoke mode: both legs ran and verified; BENCH_pr10.json not written");
+        return;
+    }
+
+    // ---- Record ------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 10,\n");
+    json.push_str(
+        "  \"bench\": \"resilience tier II: checkpointed retry + health-aware placement\",\n",
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"retry\": {{ \"reps\": {reps}, \"abort_at\": {abort_at}, \
+         \"plan_total_groups\": {total}, \"checkpointed_groups\": {ckpt_groups}, \
+         \"checkpointed_ms\": {ckpt_ms:.2}, \"full_reexecution_groups\": {full_groups}, \
+         \"full_reexecution_ms\": {full_ms:.2}, \"groups_saved\": {saved}, \
+         \"strictly_fewer\": true }},"
+    );
+    let _ = writeln!(json, "  \"clean_makespan\": {clean_makespan},");
+    json.push_str("  \"placement\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"mode\": \"{}\", \"sim_ms\": {:.2}, \"makespan\": {}, \
+             \"degradation\": {:.4}, \"recovery_latency\": {}, \"chunks_lost\": {}, \
+             \"groups_retried\": {}, \"conserved\": true }}",
+            r.mode,
+            r.ms,
+            r.makespan,
+            r.degradation,
+            r.recovery_latency,
+            r.chunks_lost,
+            r.groups_retried
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
+    println!("wrote BENCH_pr10.json");
+}

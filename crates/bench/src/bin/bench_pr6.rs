@@ -111,6 +111,8 @@ fn main() {
             slowdown: 3.0,
             straggler_window: horizon / 8,
             aborts: 0,
+            domain_failures: 0,
+            domain_repair_delay: None,
         };
         let plan =
             FaultPlan::from_spec(&spec, num_cus, workload.len(), SEED.wrapping_add(n as u64));

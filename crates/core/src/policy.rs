@@ -424,6 +424,17 @@ pub enum PolicyFaultKind {
         /// Number of compute units gone for good.
         cus_lost: usize,
     },
+    /// A whole failure domain (rack, power zone) permanently vanished
+    /// **at once**, taking `cus_lost` compute units with it. Unlike the
+    /// drip of independent [`PolicyFaultKind::CapacityLoss`] events (one
+    /// unit each), a single correlated event can remove a large fleet
+    /// fraction in one instant — policies that exempt premium tenants
+    /// from capacity scaling consult [`PolicyFault::severe_loss`] to
+    /// drop the exemption coherently when ≥25% of the fleet is gone.
+    DomainLoss {
+        /// Compute units lost with the domain (members not already dead).
+        cus_lost: usize,
+    },
     /// Request `index`'s launch was killed mid-flight. The dead tenant
     /// leaves the running set; survivors may spread into its share
     /// (elastic growth does this without any reclaim directives).
@@ -440,6 +451,24 @@ pub struct PolicyFault {
     pub at: u64,
     /// What changed.
     pub kind: PolicyFaultKind,
+}
+
+impl PolicyFault {
+    /// Whether this fault is a **severe correlated loss**: a single
+    /// [`PolicyFaultKind::DomainLoss`] removing at least a quarter of the
+    /// device's compute units at once. Premium-exempting policies
+    /// (`accelos-priority`, `accelos-sla`) use this as the coherence
+    /// threshold: below it, shielding premium tenants from capacity
+    /// scaling is survivable; at or above it the surviving machine cannot
+    /// host the exempted widths plus the batch floors, so *everyone*
+    /// scales. Independent CU failures project as one-unit
+    /// [`PolicyFaultKind::CapacityLoss`] events and never trip this.
+    pub fn severe_loss(&self, ctx: &PlanCtx) -> bool {
+        match self.kind {
+            PolicyFaultKind::DomainLoss { cus_lost } => cus_lost * 4 >= ctx.device().num_cus.max(1),
+            _ => false,
+        }
+    }
 }
 
 /// The faults a planning pass should rehearse, in any order (the planner
@@ -464,8 +493,27 @@ impl FaultSchedule {
     /// distinct CU), kernel aborts become [`PolicyFaultKind::Abort`].
     /// Transients — stragglers and repairable failures — are dropped:
     /// planning reacts to lasting capacity changes, the simulator handles
-    /// the wobble.
+    /// the wobble. Domain failures need the domain partition to be
+    /// projected; without one (this constructor) they are dropped — use
+    /// [`FaultSchedule::from_fault_plan_with_domains`] when the device is
+    /// partitioned.
     pub fn from_fault_plan(plan: &gpu_sim::FaultPlan) -> Self {
+        FaultSchedule::from_fault_plan_with_domains(plan, &[])
+    }
+
+    /// [`FaultSchedule::from_fault_plan`] with the device's
+    /// [`gpu_sim::FailureDomain`] partition attached, so permanent
+    /// [`gpu_sim::FaultKind::DomainFailure`] events project as one
+    /// correlated [`PolicyFaultKind::DomainLoss`] carrying the *whole*
+    /// member count — the domain-level capacity visibility that lets
+    /// premium-exempting policies react to 25% of the fleet vanishing at
+    /// once. CUs already dead (individually or through an earlier domain)
+    /// are not double-counted, and a later individual failure of a CU
+    /// inside a dead domain adds nothing.
+    pub fn from_fault_plan_with_domains(
+        plan: &gpu_sim::FaultPlan,
+        domains: &[gpu_sim::FailureDomain],
+    ) -> Self {
         let mut faults = Vec::new();
         let mut seen_cus = Vec::new();
         for e in &plan.events {
@@ -478,6 +526,28 @@ impl FaultSchedule {
                     faults.push(PolicyFault {
                         at: e.at,
                         kind: PolicyFaultKind::CapacityLoss { cus_lost: 1 },
+                    });
+                }
+                gpu_sim::FaultKind::DomainFailure {
+                    domain,
+                    repair_at: None,
+                } => {
+                    let Some(members) = domains.get(domain).map(|d| &d.cus) else {
+                        continue;
+                    };
+                    let fresh: Vec<usize> = members
+                        .iter()
+                        .copied()
+                        .filter(|cu| !seen_cus.contains(cu))
+                        .collect();
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    let cus_lost = fresh.len();
+                    seen_cus.extend(fresh);
+                    faults.push(PolicyFault {
+                        at: e.at,
+                        kind: PolicyFaultKind::DomainLoss { cus_lost },
                     });
                 }
                 gpu_sim::FaultKind::KernelAbort { launch } => {
@@ -509,7 +579,9 @@ fn scale_survivors_to_capacity(
     fault: &PolicyFault,
     survivor_widths: &[u32],
 ) -> Vec<WorkerReclaim> {
-    let PolicyFaultKind::CapacityLoss { cus_lost } = fault.kind else {
+    let (PolicyFaultKind::CapacityLoss { cus_lost } | PolicyFaultKind::DomainLoss { cus_lost }) =
+        fault.kind
+    else {
         return Vec::new();
     };
     let total = ctx.device().num_cus.max(1);
@@ -1072,7 +1144,11 @@ impl SchedulingPolicy for PriorityPolicy {
 
     /// Capacity loss is absorbed by the batch tenants: premium survivors
     /// keep their width (the whole point of paying for priority), only
-    /// batch survivors scale down with the shrunken machine.
+    /// batch survivors scale down with the shrunken machine — **unless**
+    /// the loss is a severe correlated one ([`PolicyFault::severe_loss`]:
+    /// a domain taking ≥25% of the fleet at once), in which case the
+    /// surviving machine cannot host the exempted widths and every
+    /// tenant scales, premium included.
     fn on_fault(
         &self,
         ctx: &PlanCtx,
@@ -1081,8 +1157,11 @@ impl SchedulingPolicy for PriorityPolicy {
         fault: &PolicyFault,
         survivor_widths: &[u32],
     ) -> Vec<WorkerReclaim> {
-        scale_survivors_to_capacity(ctx, survivors, fault, survivor_widths)
-            .into_iter()
+        let all = scale_survivors_to_capacity(ctx, survivors, fault, survivor_widths);
+        if fault.severe_loss(ctx) {
+            return all;
+        }
+        all.into_iter()
             .filter(|r| !self.is_premium(r.index))
             .collect()
     }
@@ -1415,6 +1494,37 @@ impl SchedulingPolicy for SlaPolicy {
             running_widths,
             &|i| i == 0,
         )
+    }
+
+    /// Coherent with [`PriorityPolicy::on_fault`]: the SLA tenant
+    /// (request 0) is exempt from capacity scaling while the loss is
+    /// survivable, and batch survivors never scale below their SLA
+    /// floors. A severe correlated loss ([`PolicyFault::severe_loss`])
+    /// drops the premium exemption — floors still hold, because they are
+    /// the contract this policy exists for.
+    fn on_fault(
+        &self,
+        ctx: &PlanCtx,
+        _requests: &[ExecRequest],
+        survivors: &[usize],
+        fault: &PolicyFault,
+        survivor_widths: &[u32],
+    ) -> Vec<WorkerReclaim> {
+        let severe = fault.severe_loss(ctx);
+        scale_survivors_to_capacity(ctx, survivors, fault, survivor_widths)
+            .into_iter()
+            .filter(|r| severe || r.index != 0)
+            .filter_map(|mut r| {
+                r.workers = r.workers.max(self.floor(r.index).max(1));
+                let current = survivors
+                    .iter()
+                    .zip(survivor_widths)
+                    .find(|(&i, _)| i == r.index)
+                    .map(|(_, &w)| w)
+                    .unwrap_or(u32::MAX);
+                (r.workers < current).then_some(r)
+            })
+            .collect()
     }
 }
 
@@ -2415,6 +2525,126 @@ mod tests {
             assert!(r.workers < 64);
             assert_eq!(r.pressure, None);
         }
+    }
+
+    #[test]
+    fn severe_domain_loss_drops_the_premium_exemption() {
+        let dev = DeviceConfig::k20m();
+        let ctx = PlanCtx::new(&dev);
+        let req = ExecRequest::new("k", NdRange::new_1d(1 << 20, 256), 0, 16, 1);
+        let requests = vec![req.clone(), req.clone(), req.clone()];
+        let widths = [64, 64, 64];
+
+        // A small correlated loss (under a quarter of the 13-CU fleet)
+        // behaves like independent losses: premium stays exempt.
+        let mild = PolicyFault {
+            at: 3_000,
+            kind: PolicyFaultKind::DomainLoss { cus_lost: 3 },
+        };
+        assert!(!mild.severe_loss(&ctx));
+        let priority = PriorityPolicy::default();
+        let reclaims = priority.on_fault(&ctx, &requests, &[0, 1, 2], &mild, &widths);
+        assert!(reclaims.iter().all(|r| r.index != 0), "premium shrunk");
+
+        // A domain taking >=25% of the fleet at once: everyone scales —
+        // exempting premium on a machine this degraded is incoherent.
+        let severe = PolicyFault {
+            at: 3_000,
+            kind: PolicyFaultKind::DomainLoss { cus_lost: 4 },
+        };
+        assert!(severe.severe_loss(&ctx));
+        let reclaims = priority.on_fault(&ctx, &requests, &[0, 1, 2], &severe, &widths);
+        assert_eq!(reclaims.len(), 3, "premium must scale too: {reclaims:?}");
+        assert!(reclaims.iter().any(|r| r.index == 0));
+
+        // accelos-sla applies the same coherence rule, and its floors
+        // survive even the severe loss.
+        let sla = SlaPolicy::new(&[8, 2]);
+        let mild_sla = sla.on_fault(&ctx, &requests, &[0, 1, 2], &mild, &widths);
+        assert!(mild_sla.iter().all(|r| r.index != 0), "SLA tenant shrunk");
+        let severe_sla = sla.on_fault(&ctx, &requests, &[0, 1, 2], &severe, &widths);
+        assert!(severe_sla.iter().any(|r| r.index == 0));
+        for r in &severe_sla {
+            assert!(
+                r.workers >= sla.floor(r.index),
+                "floor violated: {r:?} vs floor {}",
+                sla.floor(r.index)
+            );
+        }
+        // An accumulated independent loss of the same size keeps the
+        // historical exemption: severity is about *correlated* events.
+        let independent = PolicyFault {
+            at: 3_000,
+            kind: PolicyFaultKind::CapacityLoss { cus_lost: 4 },
+        };
+        assert!(!independent.severe_loss(&ctx));
+    }
+
+    #[test]
+    fn domain_projection_counts_whole_domains_once() {
+        use gpu_sim::{FailureDomain, FaultEvent, FaultKind, FaultPlan};
+        let domains = FailureDomain::split_evenly(12, 3); // 4 CUs each
+        let plan = FaultPlan::new(vec![
+            // CU 1 (domain 0) dies alone first.
+            FaultEvent {
+                at: 50,
+                kind: FaultKind::CuFailure {
+                    cu: 1,
+                    repair_at: None,
+                },
+            },
+            // Domain 0 then fails: only its 3 still-alive members count.
+            FaultEvent {
+                at: 100,
+                kind: FaultKind::DomainFailure {
+                    domain: 0,
+                    repair_at: None,
+                },
+            },
+            // A repairable domain failure is a transient: dropped.
+            FaultEvent {
+                at: 150,
+                kind: FaultKind::DomainFailure {
+                    domain: 1,
+                    repair_at: Some(900),
+                },
+            },
+            // Re-failing the dead domain adds nothing.
+            FaultEvent {
+                at: 200,
+                kind: FaultKind::DomainFailure {
+                    domain: 0,
+                    repair_at: None,
+                },
+            },
+            // An individual failure inside the dead domain adds nothing.
+            FaultEvent {
+                at: 250,
+                kind: FaultKind::CuFailure {
+                    cu: 2,
+                    repair_at: None,
+                },
+            },
+        ]);
+        let sched = FaultSchedule::from_fault_plan_with_domains(&plan, &domains);
+        assert_eq!(
+            sched.faults,
+            vec![
+                PolicyFault {
+                    at: 50,
+                    kind: PolicyFaultKind::CapacityLoss { cus_lost: 1 }
+                },
+                PolicyFault {
+                    at: 100,
+                    kind: PolicyFaultKind::DomainLoss { cus_lost: 3 }
+                },
+            ]
+        );
+        // Without the partition, domain events cannot be projected.
+        assert_eq!(
+            FaultSchedule::from_fault_plan(&plan).faults.len(),
+            2 // the two individual CU failures only
+        );
     }
 
     #[test]

@@ -103,15 +103,50 @@ impl ProxyProgram {
 ///
 /// Backoff runs in *virtual* device time, so recovery latency is part of
 /// the deterministic timeline: retry `n` of a request re-enters the
-/// device `base_backoff << (n - 1)` cycles after the abort it recovers
-/// from.
+/// device [`RetryPolicy::backoff_delay`]`(n - 1)` cycles after the abort
+/// it recovers from.
+///
+/// With `checkpoint` set (the default), a retry resumes from the abort's
+/// completed-group count — the runtime re-enqueues only the unfinished
+/// tail of the virtual NDRange ([`gpu_sim::LaunchPlan::tail`]) instead of
+/// re-executing the full launch, so total executed groups across
+/// incarnations equal the plan's `total_groups()` exactly. Clearing it
+/// restores full re-execution (each incarnation replays from group 0),
+/// which re-pays every group the aborted incarnations already finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries allowed per request after its first abort. `0` fails fast:
     /// any abort surfaces as [`ClError::ExecutionFailure`].
     pub max_attempts: u32,
-    /// Virtual-time delay before the first retry; doubles per attempt.
+    /// Virtual-time delay before the first retry; doubles per attempt,
+    /// saturating at `u64::MAX` (see [`RetryPolicy::backoff_delay`]).
     pub base_backoff: u64,
+    /// Resume retries from the aborted incarnation's completed-group
+    /// checkpoint instead of re-executing the full launch.
+    pub checkpoint: bool,
+}
+
+impl RetryPolicy {
+    /// Backoff delay inserted before the next retry when `prior` retries
+    /// have already been spent: `base_backoff << prior`, saturating at
+    /// `u64::MAX` instead of overflowing once the doubling escapes 64
+    /// bits. A pathological budget (say `max_attempts` in the hundreds)
+    /// must exhaust deterministically, not panic in debug builds or wrap
+    /// to a *zero* delay in release builds.
+    ///
+    /// ```
+    /// use accelos::proxycl::RetryPolicy;
+    /// let retry = RetryPolicy { base_backoff: u64::MAX / 2, ..RetryPolicy::default() };
+    /// assert_eq!(retry.backoff_delay(2), u64::MAX); // saturates, not 4x-wraps
+    /// assert_eq!(retry.backoff_delay(200), u64::MAX); // shift >= 64 saturates too
+    /// ```
+    pub fn backoff_delay(&self, prior: u32) -> u64 {
+        match 1u64.checked_shl(prior) {
+            Some(factor) => self.base_backoff.saturating_mul(factor),
+            None if self.base_backoff == 0 => 0,
+            None => u64::MAX,
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -119,6 +154,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             base_backoff: 1_000,
+            checkpoint: true,
         }
     }
 }
@@ -489,13 +525,17 @@ impl ProxyCl {
         }
 
         // Recovery loop: simulate, and if a request's newest incarnation
-        // was aborted, respawn a retry copy `base_backoff << n` cycles
+        // was aborted, respawn a retry copy `backoff_delay(n)` cycles
         // after the abort and re-simulate the whole episode. Identical
         // launches replay identically, so each iteration extends the
         // previous timeline deterministically; an empty fault plan takes
-        // exactly one iteration with the historical launch set.
+        // exactly one iteration with the historical launch set. A retry
+        // copy carries the abort's checkpoint — the cumulative group
+        // count completed by every earlier incarnation — and (under
+        // `RetryPolicy::checkpoint`) resumes from the plan's unfinished
+        // tail rather than group 0.
         let retry = self.retry;
-        let mut copies: Vec<Vec<u64>> = vec![Vec::new(); batch.len()];
+        let mut copies: Vec<Vec<(u64, u64)>> = vec![Vec::new(); batch.len()];
         let (report, lineage) = loop {
             let mut sim = Simulator::new(device.clone());
             let mut lineage: Vec<Vec<LaunchId>> = Vec::with_capacity(batch.len());
@@ -503,9 +543,12 @@ impl ProxyCl {
                 lineage.push(vec![sim.add_launch(launch.clone())]);
             }
             for (i, arrs) in copies.iter().enumerate() {
-                for &arrival in arrs {
+                for &(arrival, resume_from) in arrs {
                     let mut copy = launches[i].clone();
                     copy.arrival = arrival;
+                    if resume_from > 0 {
+                        copy.plan = launches[i].plan.tail(resume_from);
+                    }
                     let id = sim.add_launch(copy);
                     lineage[i].push(id);
                 }
@@ -516,6 +559,7 @@ impl ProxyCl {
                     launch: lineage[r.index][0],
                     workers: r.workers,
                     pressure: r.pressure.map(|p| lineage[p][0]),
+                    chunk: None,
                 });
             }
             for r in &schedule.resumes {
@@ -557,7 +601,15 @@ impl ProxyCl {
                         retry.max_attempts,
                     )));
                 }
-                copies[i].push(newest.end + (retry.base_backoff << spent));
+                let checkpoint: u64 = if retry.checkpoint {
+                    ids.iter()
+                        .map(|&id| report.kernel(id).groups_executed as u64)
+                        .sum()
+                } else {
+                    0
+                };
+                let arrival = newest.end.saturating_add(retry.backoff_delay(spent));
+                copies[i].push((arrival, checkpoint));
                 respawned = true;
             }
             if !respawned {
@@ -569,10 +621,16 @@ impl ProxyCl {
         // width-normalized isolated-time observation back into the store
         // (the retry loop only breaks once no newest incarnation is
         // aborted, so the last incarnation is always the completed one).
+        // A checkpointed retry's last incarnation executed only the
+        // unfinished tail, so its busy time describes a fraction of the
+        // kernel — recording it would poison the estimate; skip those.
         if let Some(store) = self.profile.as_mut() {
             let plan_ctx = PlanCtx::new(self.ctx.device());
             for (i, (pending, ids)) in batch.iter().zip(&lineage).enumerate() {
                 let newest = report.kernel(*ids.last().expect("lineage is never empty"));
+                if newest.groups_executed as u64 != launches[i].plan.total_groups() {
+                    continue;
+                }
                 let solo = plan_ctx.solo_share(i, &requests[i].demand);
                 if let Some(obs) = newest.isolated_observation(decisions[i].workers, solo) {
                     store.record(pending.kernel.name(), pending.ndrange.total_items(), obs);
@@ -847,6 +905,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 2,
                 base_backoff: 500,
+                ..RetryPolicy::default()
             });
         let (batch, b1, b2) = two_scaled(&mut os);
         let events = os.enqueue_concurrent(batch).unwrap();
@@ -863,6 +922,134 @@ mod tests {
         );
     }
 
+    /// Like [`two_scaled`] but with enough work groups (512 items) that a
+    /// mid-flight abort lands with whole retired chunks behind it — a
+    /// non-trivial checkpoint — instead of rolling the only chunk back.
+    fn two_scaled_wide(os: &mut ProxyCl) -> (Vec<PendingExec>, Buffer, Buffer) {
+        let program = os.build_program(SRC).unwrap();
+        let chunk = program.info("scale").unwrap().chunk;
+        let mut make = |val: f32| {
+            let mut k = program.create_kernel("scale").unwrap();
+            let buf = os.context_mut().create_buffer(512 * 4);
+            os.context_mut().write_f32(buf, &[1.0; 512]).unwrap();
+            k.set_arg(0, Arg::Buffer(buf)).unwrap();
+            k.set_arg(1, Arg::Scalar(kernel_ir::Value::F32(val)))
+                .unwrap();
+            (k, buf)
+        };
+        let (k1, b1) = make(2.0);
+        let (k2, b2) = make(5.0);
+        let batch = vec![
+            PendingExec {
+                kernel: k1,
+                chunk,
+                ndrange: NdRange::new_1d(512, 8),
+            },
+            PendingExec {
+                kernel: k2,
+                chunk,
+                ndrange: NdRange::new_1d(512, 8),
+            },
+        ];
+        (batch, b1, b2)
+    }
+
+    /// Run a two-kernel batch under one mid-flight abort of request 0 and
+    /// return (groups executed by request 0 summed over all incarnations,
+    /// total groups of a clean run of request 0).
+    fn abort_groups(checkpoint: bool) -> (usize, usize) {
+        let mut plain = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized);
+        let (batch, _, _) = two_scaled_wide(&mut plain);
+        plain.enqueue_concurrent(batch).unwrap();
+        let clean = plain.last_report().unwrap();
+        let total = clean.kernels[0].groups_executed;
+        // Land the abort mid-launch: after the first chunk retires, well
+        // before the clean end, so the checkpoint is non-trivial.
+        let abort_at = clean.kernels[0].end / 2;
+        assert!(abort_at > 0);
+
+        let plan = gpu_sim::FaultPlan::new(vec![FaultEvent {
+            at: abort_at,
+            kind: FaultKind::KernelAbort {
+                launch: LaunchId(0),
+            },
+        }]);
+        let mut os = ProxyCl::new(&Platform::test_tiny(), Mode::Optimized)
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                checkpoint,
+                ..RetryPolicy::default()
+            });
+        let (batch, b1, _) = two_scaled_wide(&mut os);
+        os.enqueue_concurrent(batch).unwrap();
+        // Functional transparency holds under either recovery mode.
+        assert_eq!(os.context_mut().read_f32(b1).unwrap(), vec![2.0; 512]);
+        let report = os.last_report().unwrap();
+        // Only request 0 aborts, so its incarnations are the original
+        // LaunchId(0) plus every retry copy (ids past the batch).
+        let executed = report
+            .kernels
+            .iter()
+            .filter(|k| k.id != LaunchId(1))
+            .map(|k| k.groups_executed)
+            .sum();
+        (executed, total)
+    }
+
+    #[test]
+    fn checkpointed_retry_conserves_groups_across_incarnations() {
+        // The witness: with checkpointing, every virtual group is executed
+        // exactly once across incarnations — the retry re-enqueues only
+        // the unfinished tail.
+        let (executed, total) = abort_groups(true);
+        assert_eq!(
+            executed, total,
+            "checkpointed incarnations must sum to the plan total"
+        );
+    }
+
+    #[test]
+    fn full_reexecution_retry_repays_completed_groups() {
+        // Without checkpointing the retry replays from group 0, so the
+        // groups the aborted incarnation already finished are paid twice —
+        // strictly more work than the checkpointed path.
+        let (executed_full, total) = abort_groups(false);
+        let (executed_ckpt, _) = abort_groups(true);
+        assert!(
+            executed_full > total,
+            "full re-execution must repay the aborted prefix: {executed_full} vs {total}"
+        );
+        assert!(
+            executed_ckpt < executed_full,
+            "checkpointing must re-execute strictly fewer groups: {executed_ckpt} vs {executed_full}"
+        );
+    }
+
+    #[test]
+    fn backoff_delay_saturates_at_the_64_bit_boundary() {
+        let retry = RetryPolicy {
+            base_backoff: 1_000,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(retry.backoff_delay(0), 1_000);
+        assert_eq!(retry.backoff_delay(1), 2_000);
+        assert_eq!(retry.backoff_delay(10), 1_024_000);
+        // The doubling escapes 64 bits: saturate, never wrap. 2^55 * 1000
+        // overflows; shifts >= 64 would panic in debug via `<<`.
+        assert_eq!(retry.backoff_delay(54), 1_000u64 << 54);
+        assert_eq!(retry.backoff_delay(55), u64::MAX);
+        assert_eq!(retry.backoff_delay(63), u64::MAX);
+        assert_eq!(retry.backoff_delay(64), u64::MAX);
+        assert_eq!(retry.backoff_delay(u32::MAX), u64::MAX);
+        // Zero base backs off by nothing no matter how many attempts.
+        let eager = RetryPolicy {
+            base_backoff: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(eager.backoff_delay(63), 0);
+        assert_eq!(eager.backoff_delay(200), 0);
+    }
+
     #[test]
     fn retry_budget_exhaustion_surfaces_as_execution_failure() {
         // Two aborts of request 0, zero retries allowed: fail fast.
@@ -877,6 +1064,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 0,
                 base_backoff: 500,
+                ..RetryPolicy::default()
             });
         let (batch, _, _) = two_scaled(&mut os);
         assert!(matches!(

@@ -8,12 +8,16 @@
 //! the same plan on the same episode yields a byte-identical
 //! [`crate::SimReport`] on every run and thread count.
 //!
-//! Three fault kinds are modelled (see [`FaultKind`]):
+//! Four fault kinds are modelled (see [`FaultKind`]):
 //!
 //! * **CU failure** — the CU drops out of placement (permanently, or
 //!   until a repair time). Resident work is lost: in-flight chunks are
 //!   rolled back and requeued so they re-execute *exactly once*, and the
 //!   workers themselves migrate to the surviving CUs' queue heads.
+//! * **Domain failure** — a whole [`FailureDomain`] (a rack or power
+//!   domain's worth of CUs, configured on the simulator) fails together
+//!   and repairs together: every member CU takes the CU-failure path at
+//!   the same instant, in ascending CU order, sharing one repair time.
 //! * **Straggler** — every segment *started* on the CU during a time
 //!   window is stretched by a slowdown factor (a thermal throttle or a
 //!   flaky memory channel, not a death).
@@ -21,7 +25,8 @@
 //!   is rolled back, its completed-group count is reported as-is, its
 //!   resources are freed, and any resume anchored on its retirement
 //!   still fires (recovery is the runtime's job — `ProxyCl` retries
-//!   aborted kernels with exponential backoff).
+//!   aborted kernels with exponential backoff, resuming from the
+//!   completed-group checkpoint).
 //!
 //! Zero faults configured costs nothing: the engine takes the exact same
 //! arithmetic path as before the fault plane existed, so fault-free runs
@@ -30,6 +35,54 @@
 use crate::launch::LaunchId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A correlated-failure group of compute units — the CUs that share a
+/// rack, power feed, or cooling loop and therefore fail *together*.
+///
+/// Domains are configured on the simulator
+/// ([`crate::Simulator::with_domains`]); a
+/// [`FaultKind::DomainFailure`] names one by index. Domains need not
+/// partition the device and may overlap, though the usual topology is a
+/// partition ([`FailureDomain::split_evenly`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureDomain {
+    /// Human-readable label (rendered in traces and harness tables).
+    pub name: String,
+    /// Member compute units, by index.
+    pub cus: Vec<usize>,
+}
+
+impl FailureDomain {
+    /// Partition `num_cus` compute units into `num_domains` contiguous
+    /// domains as evenly as possible (the first `num_cus % num_domains`
+    /// domains get one extra CU), named `rack0`, `rack1`, ….
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpu_sim::FailureDomain;
+    /// let racks = FailureDomain::split_evenly(13, 4);
+    /// assert_eq!(racks.len(), 4);
+    /// assert_eq!(racks[0].cus, vec![0, 1, 2, 3]);
+    /// assert_eq!(racks[3].cus, vec![10, 11, 12]);
+    /// ```
+    pub fn split_evenly(num_cus: usize, num_domains: usize) -> Vec<FailureDomain> {
+        let n = num_domains.max(1);
+        let base = num_cus / n;
+        let extra = num_cus % n;
+        let mut out = Vec::with_capacity(n);
+        let mut next = 0;
+        for d in 0..n {
+            let size = base + usize::from(d < extra);
+            out.push(FailureDomain {
+                name: format!("rack{d}"),
+                cus: (next..next + size).collect(),
+            });
+            next += size;
+        }
+        out
+    }
+}
 
 /// One kind of injected failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +107,19 @@ pub enum FaultKind {
         factor: f64,
         /// Absolute end of the slowdown window.
         until: u64,
+    },
+    /// Every CU of a configured [`FailureDomain`] fails at once (rack
+    /// power loss): each member takes the exact CU-failure path, in
+    /// ascending CU order, and all members share one repair time. A
+    /// permanent domain failure never takes the *last* surviving CU —
+    /// the engine skips that member so capacity degrades without
+    /// zeroing, mirroring the [`FaultPlan::from_spec`] draw guarantee.
+    DomainFailure {
+        /// Index into the simulator's configured domain list.
+        domain: usize,
+        /// Absolute repair time for every member, or `None` for a
+        /// permanent loss of the whole domain.
+        repair_at: Option<u64>,
     },
     /// The launch dies at the fault time: in-flight chunks roll back,
     /// queued and resident workers are torn down, resources are freed,
@@ -93,6 +159,12 @@ pub struct FaultSpec {
     pub straggler_window: u64,
     /// Number of kernel aborts to draw.
     pub aborts: usize,
+    /// Number of correlated domain failures to draw (requires the
+    /// domain-aware draw, [`FaultPlan::from_spec_with_domains`]; the
+    /// plain [`FaultPlan::from_spec`] knows no domains and draws none).
+    pub domain_failures: usize,
+    /// Repair delay after each domain failure (`None` = permanent).
+    pub domain_repair_delay: Option<u64>,
 }
 
 impl FaultSpec {
@@ -106,6 +178,8 @@ impl FaultSpec {
             slowdown: 1.0,
             straggler_window: 0,
             aborts: 0,
+            domain_failures: 0,
+            domain_repair_delay: None,
         }
     }
 }
@@ -120,7 +194,7 @@ impl FaultSpec {
 /// // Drawn plans are deterministic per (spec, topology, seed).
 /// let spec = FaultSpec { horizon: 10_000, cu_failures: 1, repair_delay: None,
 ///                        stragglers: 1, slowdown: 3.0, straggler_window: 2_000,
-///                        aborts: 0 };
+///                        aborts: 0, domain_failures: 0, domain_repair_delay: None };
 /// let a = FaultPlan::from_spec(&spec, 8, 3, 42);
 /// let b = FaultPlan::from_spec(&spec, 8, 3, 42);
 /// assert_eq!(a, b);
@@ -152,7 +226,26 @@ impl FaultPlan {
     /// seeded generator. The draw never fails *every* CU permanently —
     /// at least one CU always survives, so work is degraded, not
     /// stranded.
+    ///
+    /// This draw knows no failure domains: `spec.domain_failures` is
+    /// ignored (use [`FaultPlan::from_spec_with_domains`]). For any spec
+    /// with `domain_failures == 0`, both draws are byte-identical.
     pub fn from_spec(spec: &FaultSpec, num_cus: usize, num_launches: usize, seed: u64) -> Self {
+        Self::from_spec_with_domains(spec, num_cus, num_launches, 0, seed)
+    }
+
+    /// [`FaultPlan::from_spec`] plus `spec.domain_failures` correlated
+    /// domain failures drawn over `num_domains` configured domains. The
+    /// domain draws come strictly *after* every independent draw, so a
+    /// `(spec, seed)` pair that drew a plan before domains existed still
+    /// draws the identical plan.
+    pub fn from_spec_with_domains(
+        spec: &FaultSpec,
+        num_cus: usize,
+        num_launches: usize,
+        num_domains: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();
         let mut dead = Vec::new();
@@ -206,6 +299,20 @@ impl FaultPlan {
                 kind: FaultKind::KernelAbort { launch },
             });
         }
+        for _ in 0..spec.domain_failures {
+            if num_domains == 0 {
+                break;
+            }
+            let domain = rng.random_range(0..num_domains);
+            let at = rng.random_range(0..spec.horizon.max(1));
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::DomainFailure {
+                    domain,
+                    repair_at: spec.domain_repair_delay.map(|d| at + d),
+                },
+            });
+        }
         FaultPlan::new(events)
     }
 
@@ -229,6 +336,8 @@ mod tests {
             slowdown: 2.5,
             straggler_window: 4_000,
             aborts: 1,
+            domain_failures: 0,
+            domain_repair_delay: None,
         };
         let a = FaultPlan::from_spec(&spec, 13, 4, 7);
         let b = FaultPlan::from_spec(&spec, 13, 4, 7);
@@ -237,6 +346,63 @@ mod tests {
         assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
         let c = FaultPlan::from_spec(&spec, 13, 4, 8);
         assert_ne!(a, c, "a different seed draws a different plan");
+    }
+
+    #[test]
+    fn domain_draws_append_without_perturbing_independent_draws() {
+        let mut spec = FaultSpec {
+            horizon: 50_000,
+            cu_failures: 3,
+            repair_delay: Some(5_000),
+            stragglers: 2,
+            slowdown: 2.5,
+            straggler_window: 4_000,
+            aborts: 1,
+            domain_failures: 0,
+            domain_repair_delay: Some(9_000),
+        };
+        let old = FaultPlan::from_spec(&spec, 13, 4, 7);
+        // Domain-aware draw of a domain-free spec is the identity.
+        assert_eq!(old, FaultPlan::from_spec_with_domains(&spec, 13, 4, 4, 7));
+        spec.domain_failures = 2;
+        let with = FaultPlan::from_spec_with_domains(&spec, 13, 4, 4, 7);
+        assert_eq!(with, FaultPlan::from_spec_with_domains(&spec, 13, 4, 4, 7));
+        let domains: Vec<_> = with
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DomainFailure { domain, repair_at } => {
+                    assert!(domain < 4);
+                    assert_eq!(repair_at, Some(e.at + 9_000));
+                    Some(e.kind)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(domains.len(), 2);
+        // The independent draws are untouched by the appended ones.
+        let mut independent = with.clone();
+        independent
+            .events
+            .retain(|e| !matches!(e.kind, FaultKind::DomainFailure { .. }));
+        assert_eq!(independent, old);
+        // No domains configured: the domain count draws nothing.
+        assert_eq!(FaultPlan::from_spec_with_domains(&spec, 13, 4, 0, 7), old);
+    }
+
+    #[test]
+    fn split_evenly_partitions_every_cu_once() {
+        for (num_cus, num_domains) in [(13, 4), (8, 8), (5, 2), (3, 7), (0, 3)] {
+            let domains = FailureDomain::split_evenly(num_cus, num_domains);
+            assert_eq!(domains.len(), num_domains.max(1));
+            let mut all: Vec<usize> = domains.iter().flat_map(|d| d.cus.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..num_cus).collect::<Vec<_>>());
+            let (min, max) = domains.iter().fold((usize::MAX, 0), |(lo, hi), d| {
+                (lo.min(d.cus.len()), hi.max(d.cus.len()))
+            });
+            assert!(max - min <= 1, "even split: {num_cus}/{num_domains}");
+        }
     }
 
     #[test]
@@ -249,6 +415,8 @@ mod tests {
             slowdown: 1.0,
             straggler_window: 0,
             aborts: 0,
+            domain_failures: 0,
+            domain_repair_delay: None,
         };
         let plan = FaultPlan::from_spec(&spec, 2, 1, 3);
         let mut dead = std::collections::BTreeSet::new();

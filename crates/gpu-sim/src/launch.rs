@@ -55,6 +55,15 @@ pub struct ReclaimCmd {
     /// The tenant this reclamation makes room for, if any: the command is
     /// void when that tenant has already retired by the time it fires.
     pub pressure: Option<LaunchId>,
+    /// Preemption-latency knob: also cap the victim's dequeue chunk size
+    /// (floored at 1) from this command on, so surviving workers reach
+    /// their next chunk boundary — where caps are enforced — sooner, at
+    /// the price of more atomic dequeues. `None` (the default
+    /// everywhere) leaves the plan's chunk arithmetic untouched, keeping
+    /// historical runs byte-identical. A fired [`ResumeCmd`] lifts the
+    /// cap along with the width: the pressure that wanted low latency is
+    /// gone.
+    pub chunk: Option<u32>,
 }
 
 /// A scheduled resumption: when launch `after` retires, re-enqueue workers
@@ -178,6 +187,51 @@ impl LaunchPlan {
         }
     }
 
+    /// The plan's unfinished tail after its first `done` groups have
+    /// completed — what a checkpointed abort retry re-enqueues instead of
+    /// the full launch. Queue-ordered plans ([`LaunchPlan::Hardware`] and
+    /// the dequeue-based persistent variants) drop their first `done`
+    /// cost entries: claims are handed out in queue order and an abort
+    /// rolls in-flight chunks back out of `groups_executed`, so with the
+    /// runtime's uniform per-group cost tables the dropped prefix is
+    /// exactly the completed work (with a heterogeneous table it is an
+    /// approximation that still conserves the group *count*).
+    /// [`LaunchPlan::PersistentStatic`] pins work to workers with no
+    /// global completion order, so it conservatively re-executes in full.
+    /// `done >= total_groups()` yields an empty tail whose workers spawn
+    /// and retire immediately.
+    pub fn tail(&self, done: u64) -> LaunchPlan {
+        let done = usize::try_from(done).unwrap_or(usize::MAX);
+        match self {
+            LaunchPlan::Hardware { wg_costs } => LaunchPlan::Hardware {
+                wg_costs: wg_costs[done.min(wg_costs.len())..].to_vec().into(),
+            },
+            LaunchPlan::PersistentDynamic {
+                workers,
+                vg_costs,
+                chunk,
+                per_vg_overhead,
+            } => LaunchPlan::PersistentDynamic {
+                workers: *workers,
+                vg_costs: vg_costs[done.min(vg_costs.len())..].to_vec().into(),
+                chunk: *chunk,
+                per_vg_overhead: *per_vg_overhead,
+            },
+            LaunchPlan::PersistentGuided {
+                workers,
+                vg_costs,
+                max_chunk,
+                per_vg_overhead,
+            } => LaunchPlan::PersistentGuided {
+                workers: *workers,
+                vg_costs: vg_costs[done.min(vg_costs.len())..].to_vec().into(),
+                max_chunk: *max_chunk,
+                per_vg_overhead: *per_vg_overhead,
+            },
+            LaunchPlan::PersistentStatic { .. } => self.clone(),
+        }
+    }
+
     /// Total execution cycles of the underlying work (ignoring overheads).
     pub fn total_work(&self) -> u64 {
         match self {
@@ -252,6 +306,32 @@ mod tests {
             per_vg_overhead: 1,
         };
         assert_eq!(stat.machine_wgs(), 2);
+    }
+
+    #[test]
+    fn tail_drops_completed_prefix_and_conserves_the_rest() {
+        let dynamic = LaunchPlan::PersistentDynamic {
+            workers: 4,
+            vg_costs: vec![5; 100].into(),
+            chunk: 2,
+            per_vg_overhead: 1,
+        };
+        assert_eq!(dynamic.tail(0), dynamic);
+        assert_eq!(dynamic.tail(60).total_groups(), 40);
+        assert_eq!(dynamic.tail(60).machine_wgs(), 4);
+        assert_eq!(dynamic.tail(1_000).total_groups(), 0);
+
+        let hw = LaunchPlan::Hardware {
+            wg_costs: vec![7; 10].into(),
+        };
+        assert_eq!(hw.tail(3).total_groups(), 7);
+
+        // Static assignments have no global order: full re-execution.
+        let stat = LaunchPlan::PersistentStatic {
+            assignments: vec![vec![1, 2], vec![3]],
+            per_vg_overhead: 1,
+        };
+        assert_eq!(stat.tail(2), stat);
     }
 
     #[test]

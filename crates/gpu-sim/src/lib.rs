@@ -46,7 +46,7 @@ pub mod report;
 pub mod sim;
 
 pub use config::{DeviceConfig, WorkGroupReq};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{FailureDomain, FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use launch::{Costs, KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 pub use report::{KernelReport, SimReport, TraceEvent, TraceKind};
 pub use sim::{PlacementStats, Simulator};

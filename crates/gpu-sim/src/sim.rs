@@ -51,7 +51,7 @@
 //!   paths is dormant and runs are bit-identical to the pre-fault engine.
 
 use crate::config::{DeviceConfig, WorkGroupReq};
-use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::fault::{FailureDomain, FaultEvent, FaultKind, FaultPlan};
 use crate::launch::{KernelLaunch, LaunchId, LaunchPlan, ReclaimCmd, ResumeCmd};
 use crate::report::{KernelReport, SimReport, TraceEvent, TraceKind};
 use std::cmp::Reverse;
@@ -85,8 +85,10 @@ pub struct Simulator {
     reclaims: Vec<ReclaimCmd>,
     resumes: Vec<ResumeCmd>,
     faults: Vec<FaultEvent>,
+    domains: Vec<FailureDomain>,
     collect_trace: bool,
     linear_placement: bool,
+    health_blind: bool,
 }
 
 /// Counters of elastic-growth placement probes (see
@@ -182,6 +184,12 @@ struct KernelRt {
     /// the pressuring tenant has retired, a stale reclaim can no longer
     /// cap (or pause) this launch below its resumed width.
     resume_floor: usize,
+    /// Preemption-latency chunk cap installed by a [`ReclaimCmd`] with
+    /// [`ReclaimCmd::chunk`] set: dequeue chunks shrink to at most this
+    /// many virtual groups so workers hit their (cap-enforcing) chunk
+    /// boundaries sooner. `None` (the default) leaves the plan's chunk
+    /// arithmetic untouched; a fired [`ResumeCmd`] clears it.
+    chunk_cap: Option<usize>,
     /// Reclaim commands applied to this launch.
     preemptions: usize,
     /// Workers retired early by reclamation.
@@ -228,14 +236,36 @@ impl Simulator {
             reclaims: Vec::new(),
             resumes: Vec::new(),
             faults: Vec::new(),
+            domains: Vec::new(),
             collect_trace: false,
             linear_placement: false,
+            health_blind: false,
         }
     }
 
     /// Enable timeline collection (off by default; traces can be large).
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Configure the device's correlated-failure topology: the domain
+    /// list a [`crate::FaultKind::DomainFailure`] indexes into. With no
+    /// domain faults scheduled the configuration is inert — runs stay
+    /// bit-identical to a domain-free simulator.
+    pub fn with_domains(mut self, domains: Vec<FailureDomain>) -> Self {
+        self.domains = domains;
+        self
+    }
+
+    /// Disable fault-aware placement: retried chunks, migrated workers
+    /// and resumed workers are placed round-robin/lowest-index with no
+    /// regard for CU health history, exactly as the pre-health engine
+    /// did. Zero-fault runs are identical either way (no CU ever turns
+    /// suspect); this knob exists so benchmarks can measure what health
+    /// awareness buys under faults.
+    pub fn with_blind_health(mut self) -> Self {
+        self.health_blind = true;
         self
     }
 
@@ -347,8 +377,10 @@ impl Simulator {
             self.reclaims,
             self.resumes,
             self.faults,
+            self.domains,
             self.collect_trace,
             self.linear_placement,
+            self.health_blind,
         )
         .run()
     }
@@ -373,6 +405,17 @@ struct Engine {
     retired: Vec<bool>,
     /// Launches killed by an injected [`FaultKind::KernelAbort`].
     aborted: Vec<bool>,
+    /// Correlated-failure topology ([`Simulator::with_domains`]); a
+    /// [`FaultKind::DomainFailure`] fails every member CU together.
+    domains: Vec<FailureDomain>,
+    /// Per-CU health memory: the CU is *suspect* (deprioritized by
+    /// fault-aware placement) until this instant. Written only by
+    /// repairable failures, so with no faults it stays all-zero and
+    /// every placement decision is bit-identical to the health-blind
+    /// engine.
+    suspect_until: Vec<u64>,
+    /// Ignore CU health in placement ([`Simulator::with_blind_health`]).
+    health_blind: bool,
     /// Fault injections that fired.
     faults_injected: usize,
     collect_trace: bool,
@@ -410,20 +453,36 @@ struct Engine {
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         config: DeviceConfig,
         launches: Vec<KernelLaunch>,
         reclaims: Vec<ReclaimCmd>,
         resumes: Vec<ResumeCmd>,
         faults: Vec<FaultEvent>,
+        domains: Vec<FailureDomain>,
         collect_trace: bool,
         linear_placement: bool,
+        health_blind: bool,
     ) -> Self {
+        for d in &domains {
+            for &cu in &d.cus {
+                assert!(
+                    cu < config.num_cus,
+                    "failure domain `{}` names unknown CU {cu}",
+                    d.name
+                );
+            }
+        }
         for f in &faults {
             match f.kind {
                 FaultKind::CuFailure { cu, .. } | FaultKind::Straggler { cu, .. } => {
                     assert!(cu < config.num_cus, "fault targets unknown CU {cu}");
                 }
+                FaultKind::DomainFailure { domain, .. } => assert!(
+                    domain < domains.len(),
+                    "fault targets unknown failure domain {domain}"
+                ),
                 FaultKind::KernelAbort { launch } => assert!(
                     (launch.0 as usize) < launches.len(),
                     "fault targets unknown launch {launch:?}"
@@ -465,6 +524,7 @@ impl Engine {
                 spawned: l.plan.machine_wgs(),
                 worker_cap: usize::MAX,
                 resume_floor: 0,
+                chunk_cap: None,
                 preemptions: 0,
                 reclaimed: 0,
                 pauses: 0,
@@ -497,6 +557,7 @@ impl Engine {
             .filter(|&c| cus[c].free_slots >= 1)
             .collect();
         let num_launches = launches.len();
+        let num_cus = config.num_cus;
         Engine {
             config,
             launches,
@@ -507,6 +568,9 @@ impl Engine {
             retry: vec![VecDeque::new(); num_launches],
             retired: vec![false; num_launches],
             aborted: vec![false; num_launches],
+            suspect_until: vec![0; num_cus],
+            domains,
+            health_blind,
             faults_injected: 0,
             collect_trace,
             now: 0,
@@ -629,7 +693,50 @@ impl Engine {
             && cu.free_slots >= 1
     }
 
-    /// Lowest-indexed CU with room for one more worker of `req`: the
+    /// Whether CU `cu` is *suspect* right now: recently failed (its own
+    /// failure or its domain's — it carries a health memory of one
+    /// repair-duration past the repair), or inside an open straggler
+    /// window. Suspect CUs still work; fault-aware placement just
+    /// prefers CUs with no failure history when both have room. With no
+    /// faults injected nothing is ever suspect, so every zero-fault
+    /// decision is bit-identical to the health-blind engine.
+    fn cu_suspect(&self, cu: usize) -> bool {
+        if self.health_blind {
+            return false;
+        }
+        self.now < self.suspect_until[cu]
+            || matches!(self.cus[cu].slow, Some((_, until)) if self.now < until)
+    }
+
+    /// First CU of `order` with room for one more worker of `req`,
+    /// preferring healthy CUs: suspect CUs are considered only when no
+    /// healthy CU in the order has room. The second pass only runs when
+    /// the first actually saw a suspect CU, so fault-free probe counts
+    /// (and [`PlacementStats`]) are untouched.
+    fn place_scan<I>(&self, mut order: I, req: WorkGroupReq, visits: &mut u64) -> Option<usize>
+    where
+        I: Iterator<Item = usize> + Clone,
+    {
+        let mut saw_suspect = false;
+        let healthy = order.clone().find(|&c| {
+            *visits += 1;
+            if self.cu_suspect(c) {
+                saw_suspect = true;
+                return false;
+            }
+            Self::cu_has_room(&self.cus[c], req)
+        });
+        if healthy.is_some() || !saw_suspect {
+            return healthy;
+        }
+        order.find(|&c| {
+            *visits += 1;
+            self.cu_suspect(c) && Self::cu_has_room(&self.cus[c], req)
+        })
+    }
+
+    /// Lowest-indexed healthy CU with room for one more worker of `req`
+    /// (suspect CUs only as a last resort — see `place_scan`): the
     /// ready-set index visits only CUs with a free slot and an empty
     /// queue (ascending, so the choice is identical to the linear scan —
     /// debug builds assert it), while `linear_placement` forces the
@@ -637,21 +744,16 @@ impl Engine {
     fn find_placement(&mut self, req: WorkGroupReq) -> Option<usize> {
         let mut visits = 0u64;
         let found = if self.linear_placement {
-            (0..self.cus.len()).find(|&c| {
-                visits += 1;
-                Self::cu_has_room(&self.cus[c], req)
-            })
+            self.place_scan(0..self.cus.len(), req, &mut visits)
         } else {
-            self.ready.iter().copied().find(|&c| {
-                visits += 1;
-                Self::cu_has_room(&self.cus[c], req)
-            })
+            self.place_scan(self.ready.iter().copied(), req, &mut visits)
         };
         self.placement.attempts += 1;
         self.placement.cu_visits += visits;
         #[cfg(debug_assertions)]
         if !self.linear_placement {
-            let linear = (0..self.cus.len()).find(|&c| Self::cu_has_room(&self.cus[c], req));
+            let mut shadow = 0u64;
+            let linear = self.place_scan(0..self.cus.len(), req, &mut shadow);
             debug_assert_eq!(
                 found, linear,
                 "ready-set placement diverged from the linear scan"
@@ -721,6 +823,27 @@ impl Engine {
         self.rr_cursor % self.config.num_cus
     }
 
+    /// [`Engine::next_rr_cu`] with fault-aware health: one pass of the
+    /// ring skipping failed *and* suspect CUs; if no healthy CU exists
+    /// the cursor rewinds and the plain failed-skipping ring decides
+    /// (work must land somewhere). With no suspect CUs the pass accepts
+    /// exactly the CUs `next_rr_cu` would, with identical cursor
+    /// movement, so fault-free runs cannot tell the difference. Used
+    /// where displaced work is re-placed: fault migrations and resumed
+    /// workers.
+    fn next_rr_cu_healthy(&mut self) -> usize {
+        let start = self.rr_cursor;
+        for _ in 0..self.config.num_cus {
+            let cu = self.rr_cursor % self.config.num_cus;
+            self.rr_cursor += 1;
+            if !self.cus[cu].failed && !self.cu_suspect(cu) {
+                return cu;
+            }
+        }
+        self.rr_cursor = start;
+        self.next_rr_cu()
+    }
+
     /// `try_start` each touched CU in ascending index order. The
     /// ascending order (the historical order of the sorted `touched`
     /// list) is observable and determinism-critical: each started task
@@ -761,6 +884,12 @@ impl Engine {
         let k = &mut self.kernels[l];
         k.worker_cap = (cmd.workers as usize).max(k.resume_floor);
         k.preemptions += 1;
+        // Preemption-latency knob: shrink the victim's dequeue chunks so
+        // surviving workers reach the cap-enforcing boundary sooner.
+        // Commands without the knob leave any installed cap in place.
+        if let Some(c) = cmd.chunk {
+            k.chunk_cap = Some((c as usize).max(1));
+        }
         if k.worker_cap == 0 {
             k.pauses += 1;
         }
@@ -806,6 +935,9 @@ impl Engine {
             if k.worker_cap < target {
                 k.worker_cap = target;
             }
+            // The pressure that wanted low reclaim latency has retired;
+            // restore the plan's full chunk arithmetic.
+            k.chunk_cap = None;
         }
         if drained {
             return;
@@ -816,7 +948,7 @@ impl Engine {
         }
         let mut touched = BTreeSet::new();
         for _ in 0..missing {
-            let cu = self.next_rr_cu();
+            let cu = self.next_rr_cu_healthy();
             let tid = self.tasks.len();
             let wi = self.kernels[l].spawned;
             self.tasks.push(Task {
@@ -858,7 +990,30 @@ impl Engine {
                 // segment start, so it needs no event of its own.
                 self.cus[cu].slow = Some((factor, until));
             }
+            FaultKind::DomainFailure { domain, repair_at } => self.fail_domain(domain, repair_at),
             FaultKind::KernelAbort { launch } => self.abort_launch(launch.0 as usize),
+        }
+    }
+
+    /// A whole failure domain goes down (rack power loss): every member
+    /// CU takes the exact CU-failure path at this instant, in ascending
+    /// CU order (idempotent for already-failed members), all sharing one
+    /// repair time. A *permanent* domain failure skips the member whose
+    /// death would leave zero live CUs — capacity degrades, it never
+    /// zeroes (the engine-level mirror of the
+    /// [`FaultPlan::from_spec`] last-survivor guarantee).
+    fn fail_domain(&mut self, domain: usize, repair_at: Option<u64>) {
+        let mut members = self.domains[domain].cus.clone();
+        members.sort_unstable();
+        members.dedup();
+        for cu in members {
+            if repair_at.is_none()
+                && !self.cus[cu].failed
+                && self.cus.iter().filter(|c| !c.failed).count() <= 1
+            {
+                continue;
+            }
+            self.fail_cu(cu, repair_at);
         }
     }
 
@@ -896,7 +1051,12 @@ impl Engine {
         self.cus[cu].failed = true;
         self.ready.remove(&cu);
         if let Some(t) = repair_at {
-            self.schedule(t.max(self.now), Event::Repair(cu));
+            let back = t.max(self.now);
+            self.schedule(back, Event::Repair(cu));
+            // Health memory: the CU stays *suspect* for one repair-
+            // duration past its repair — fault-aware placement prefers
+            // CUs with no recent failure history when both have room.
+            self.suspect_until[cu] = back + (back - self.now);
         }
         let residents = std::mem::take(&mut self.cus[cu].resident);
         let queued: Vec<usize> = self.cus[cu].queue.drain(..).collect();
@@ -905,14 +1065,14 @@ impl Engine {
         }
         let mut touched = BTreeSet::new();
         for &tid in residents.iter().rev() {
-            let dest = self.next_rr_cu();
+            let dest = self.next_rr_cu_healthy();
             self.tasks[tid].cu = dest;
             self.cus[dest].queue.push_front(tid);
             self.refresh_ready(dest);
             touched.insert(dest);
         }
         for tid in queued {
-            let dest = self.next_rr_cu();
+            let dest = self.next_rr_cu_healthy();
             self.tasks[tid].cu = dest;
             self.cus[dest].queue.push_back(tid);
             self.refresh_ready(dest);
@@ -1223,7 +1383,22 @@ impl Engine {
             }
             _ => unreachable!("DynWorker only exists for dynamic plans"),
         };
+        // Preemption-latency knob: an installed chunk cap shrinks every
+        // claim so the cap-enforcing boundary comes sooner.
+        let chunk = match self.kernels[l].chunk_cap {
+            Some(cap) => chunk.min(cap),
+            None => chunk,
+        };
         let retry_empty = self.retry[l].is_empty();
+        let fresh_left = self.kernels[l].next_vg < vg_costs.len();
+        // Fault-aware placement of retried chunks: a worker on a suspect
+        // CU (recently failed, recently-failed domain, open straggler
+        // window) leaves the retry queue for healthier workers and takes
+        // fresh work instead — unless retries are all that remains, in
+        // which case anyone may claim them (no work is ever stranded).
+        // With no faults nothing is suspect and this is exactly the
+        // historical retry-first claim.
+        let defer_retry = fresh_left && self.cu_suspect(self.tasks[tid].cu);
         let k = &mut self.kernels[l];
         if (k.next_vg >= vg_costs.len() && retry_empty) || k.tasks_left > k.worker_cap {
             // Queue drained, or the launch's allotment was reclaimed below
@@ -1233,7 +1408,7 @@ impl Engine {
             self.schedule_phase(ready_at, tid);
             return;
         }
-        let (start, end) = if retry_empty {
+        let (start, end) = if retry_empty || (defer_retry && fresh_left) {
             let start = k.next_vg;
             let end = (start + chunk.max(1)).min(vg_costs.len());
             k.next_vg = end;
@@ -1870,6 +2045,7 @@ mod tests {
                     launch: id,
                     workers: 1,
                     pressure: None,
+                    chunk: None,
                 });
             }
             (sim.run(), id)
@@ -1906,6 +2082,7 @@ mod tests {
                     launch: batch,
                     workers: 1,
                     pressure: None,
+                    chunk: None,
                 });
             }
             let r = sim.run();
@@ -1938,6 +2115,7 @@ mod tests {
                     launch: id,
                     workers: 1,
                     pressure: None,
+                    chunk: None,
                 });
             }
             sim.run()
@@ -1957,6 +2135,7 @@ mod tests {
             launch: LaunchId(3),
             workers: 1,
             pressure: None,
+            chunk: None,
         });
     }
 
@@ -1976,6 +2155,7 @@ mod tests {
             launch: batch,
             workers: 1,
             pressure: None,
+            chunk: None,
         });
         let r = sim.run();
         let k = r.kernel(batch);
@@ -1999,12 +2179,14 @@ mod tests {
                 launch: a,
                 workers: 1,
                 pressure: None,
+                chunk: None,
             });
             sim.add_reclaim(ReclaimCmd {
                 at: 900,
                 launch: b,
                 workers: 1,
                 pressure: None,
+                chunk: None,
             });
             sim.run()
         };
@@ -2059,6 +2241,7 @@ mod tests {
                 launch: batch,
                 workers: 0,
                 pressure: None,
+                chunk: None,
             });
             if resume {
                 sim.add_resume(ResumeCmd {
@@ -2108,6 +2291,7 @@ mod tests {
             launch: batch,
             workers: 0,
             pressure: None,
+            chunk: None,
         });
         sim.add_resume(ResumeCmd {
             after: premium,
@@ -2120,6 +2304,7 @@ mod tests {
             launch: batch,
             workers: 0,
             pressure: None,
+            chunk: None,
         });
         let r = sim.run();
         let k = r.kernel(batch);
@@ -2180,6 +2365,7 @@ mod tests {
                 launch: a,
                 workers: 0,
                 pressure: None,
+                chunk: None,
             });
             sim.add_resume(ResumeCmd {
                 after: b,
@@ -2382,6 +2568,223 @@ mod tests {
     }
 
     #[test]
+    fn domain_failure_equals_member_cu_failures() {
+        // A domain failure is definitionally its members failing together:
+        // the same episode under one DomainFailure and under one CuFailure
+        // per member (same instant, ascending order, same repair) yields
+        // identical kernel reports — only the injection count differs.
+        use crate::fault::FailureDomain;
+        let domains = FailureDomain::split_evenly(13, 4);
+        let members = domains[0].cus.clone();
+        let run = |correlated: bool| {
+            let mut sim = Simulator::new(DeviceConfig::k20m())
+                .with_trace()
+                .with_domains(FailureDomain::split_evenly(13, 4));
+            let id = sim.add_launch(dyn_launch("batch", 13, 400, 200));
+            if correlated {
+                sim.add_fault(FaultEvent {
+                    at: 2_000,
+                    kind: FaultKind::DomainFailure {
+                        domain: 0,
+                        repair_at: Some(6_000),
+                    },
+                });
+            } else {
+                for &cu in &members {
+                    sim.add_fault(FaultEvent {
+                        at: 2_000,
+                        kind: FaultKind::CuFailure {
+                            cu,
+                            repair_at: Some(6_000),
+                        },
+                    });
+                }
+            }
+            (sim.run(), id)
+        };
+        let (domain, id) = run(true);
+        let (per_cu, _) = run(false);
+        assert_eq!(domain.kernels, per_cu.kernels);
+        assert_eq!(domain.trace, per_cu.trace);
+        assert_eq!(domain.faults_injected, 1);
+        assert_eq!(per_cu.faults_injected, members.len());
+        let k = domain.kernel(id);
+        assert_eq!(
+            k.groups_executed, 400,
+            "conservation survives the rack loss"
+        );
+        assert!(k.chunks_lost > 0, "a quarter of the fleet held work");
+        assert_eq!(k.groups_retried, k.chunks_lost, "exactly-once retry");
+    }
+
+    #[test]
+    fn permanent_domain_failure_spares_the_last_survivor() {
+        // One domain covering the whole device, failed permanently: the
+        // engine must leave one CU alive (capacity degrades, never
+        // zeroes), so the launch still completes.
+        use crate::fault::FailureDomain;
+        let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_domains(vec![FailureDomain {
+            name: "all".into(),
+            cus: vec![0, 1],
+        }]);
+        let id = sim.add_launch(dyn_launch("batch", 4, 100, 50));
+        sim.add_fault(FaultEvent {
+            at: 500,
+            kind: FaultKind::DomainFailure {
+                domain: 0,
+                repair_at: None,
+            },
+        });
+        let r = sim.run();
+        let k = r.kernel(id);
+        assert_eq!(k.groups_executed, 100, "the survivor drains the queue");
+        assert_eq!(k.groups_retried, k.chunks_lost);
+    }
+
+    #[test]
+    fn domain_config_is_inert_without_domain_faults() {
+        // Configuring a failure topology must not perturb a single byte
+        // unless a DomainFailure actually fires — the same dormancy
+        // contract the fault plane itself honours.
+        use crate::fault::FailureDomain;
+        let run = |with_domains: bool| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            if with_domains {
+                sim = sim.with_domains(FailureDomain::split_evenly(2, 2));
+            }
+            sim.add_launch(dyn_launch("a", 2, 60, 40));
+            sim.add_launch(hw_launch("b", 4, 120));
+            sim.add_fault(FaultEvent {
+                at: 900,
+                kind: FaultKind::CuFailure {
+                    cu: 0,
+                    repair_at: Some(2_500),
+                },
+            });
+            sim.run()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn suspect_cu_shunned_until_health_memory_expires() {
+        // Three CUs. CU 0 fails at t=100 and is repaired at t=200, so it
+        // stays *suspect* until t=300 (one repair-duration of memory).
+        // When CU 1 dies at t=250 its displaced workers must all land on
+        // the healthy CU 2 — the blind engine round-robins them across
+        // CU 0 and CU 2.
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.num_cus = 3;
+        let run = |blind: bool| {
+            let mut sim = Simulator::new(cfg.clone()).with_trace();
+            if blind {
+                sim = sim.with_blind_health();
+            }
+            let id = sim.add_launch(dyn_launch("batch", 6, 300, 100));
+            sim.add_fault(FaultEvent {
+                at: 100,
+                kind: FaultKind::CuFailure {
+                    cu: 0,
+                    repair_at: Some(200),
+                },
+            });
+            sim.add_fault(FaultEvent {
+                at: 250,
+                kind: FaultKind::CuFailure {
+                    cu: 1,
+                    repair_at: None,
+                },
+            });
+            let r = sim.run();
+            let k = r.kernel(id);
+            assert_eq!(k.groups_executed, 300, "conservation either way");
+            assert_eq!(k.groups_retried, k.chunks_lost);
+            let on_suspect = r
+                .trace
+                .iter()
+                .filter(|t| {
+                    t.cu == 0 && t.time >= 250 && t.time < 300 && t.kind == TraceKind::WgStart
+                })
+                .count();
+            on_suspect
+        };
+        assert_eq!(
+            run(false),
+            0,
+            "health-aware placement avoids the freshly repaired CU"
+        );
+        assert!(
+            run(true) > 0,
+            "the blind engine places displaced work on the suspect CU"
+        );
+    }
+
+    #[test]
+    fn reclaim_chunk_knob_cuts_preemption_latency() {
+        // Chunk 25 means a worker surfaces at a cap-enforcing boundary
+        // only every ~2500 cycles, and an in-flight chunk is never
+        // preemptible — so the knob pays off for commands landing *after*
+        // the cap is installed. A first shrink carries the knob; the full
+        // pause at t=6000 then lands within one small chunk instead of
+        // one large one, at the price of more atomic dequeues.
+        let run = |chunk: Option<u32>| {
+            let mut sim = Simulator::new(DeviceConfig::test_tiny()).with_trace();
+            let id = sim.add_launch(KernelLaunch {
+                name: "batch".into(),
+                arrival: 0,
+                req: req64(),
+                mem_intensity: 0.0,
+                plan: LaunchPlan::PersistentDynamic {
+                    workers: 4,
+                    vg_costs: vec![100; 400].into(),
+                    chunk: 25,
+                    per_vg_overhead: 1,
+                },
+                max_workers: None,
+            });
+            sim.add_reclaim(ReclaimCmd {
+                at: 1_000,
+                launch: id,
+                workers: 3,
+                pressure: None,
+                chunk,
+            });
+            sim.add_reclaim(ReclaimCmd {
+                at: 6_000,
+                launch: id,
+                workers: 1,
+                pressure: None,
+                chunk,
+            });
+            let r = sim.run();
+            assert_eq!(r.kernel(id).reclaimed_workers, 3);
+            let last_retire = r
+                .trace
+                .iter()
+                .filter(|t| t.kind == TraceKind::Reclaim)
+                .map(|t| t.time)
+                .max()
+                .expect("three workers retired");
+            let dequeues = r
+                .trace
+                .iter()
+                .filter(|t| t.kind == TraceKind::Dequeue)
+                .count();
+            (last_retire, dequeues)
+        };
+        let (latency_default, deq_default) = run(None);
+        let (latency_shrunk, deq_shrunk) = run(Some(1));
+        assert!(
+            latency_shrunk < latency_default,
+            "shrunken chunks must reach the cap sooner: {latency_shrunk} vs {latency_default}"
+        );
+        assert!(
+            deq_shrunk > deq_default,
+            "the price is more atomic dequeues: {deq_shrunk} vs {deq_default}"
+        );
+    }
+
+    #[test]
     fn straggler_slows_without_losing_work() {
         let run = |slow: bool| {
             let mut sim = Simulator::new(DeviceConfig::test_tiny());
@@ -2453,6 +2856,7 @@ mod tests {
             launch: victim,
             workers: 0,
             pressure: Some(batch),
+            chunk: None,
         });
         sim.add_resume(ResumeCmd {
             after: batch,
@@ -2486,6 +2890,7 @@ mod tests {
             launch: batch,
             workers: 1,
             pressure: Some(premium),
+            chunk: None,
         });
         // Stale: tagged with the premium tenant, landing long after it
         // retired.
@@ -2494,6 +2899,7 @@ mod tests {
             launch: batch,
             workers: 0,
             pressure: Some(premium),
+            chunk: None,
         });
         let r = sim.run();
         let k = r.kernel(batch);

@@ -11,7 +11,12 @@
 //! repro disasm <kernel>
 //!
 //! experiments: fig2 fig9 fig10 fig11 fig12 fig13 fig14 table1 table2
-//!              fig15 small ablation dynamic priority deadline faults all
+//!              fig15 small ablation dynamic priority deadline faults
+//!              chaos all
+//!
+//! `chaos` runs the chaos soak sweep (independent × correlated × abort
+//! fault mixes with the fault-plane invariants asserted at every cell);
+//! `--smoke` sweeps the CI-sized grid instead of the full one.
 //! ```
 //!
 //! `lint` runs the accelcheck static analyses (race verdicts, barrier
@@ -87,6 +92,7 @@
 //! sweep figures byte-identically to an unsharded run with the same
 //! flags. See `accel_harness::shard` for the dataflow.
 
+use accel_harness::chaos::{chaos_soak, render_chaos, ChaosGrid};
 use accel_harness::experiments::{
     chunk_ablation, deadline_hold_rates, deadline_scenario, device_sweeps, dynamic_tenancy,
     fault_scenario, fig11, fig15, fig2, priority_preemption, render_ablation, render_deadline,
@@ -121,6 +127,9 @@ struct Options {
     inputs: Vec<String>,
     /// `lint --deny-warnings`: exit nonzero on any warning or error.
     deny_warnings: bool,
+    /// `chaos --smoke`: sweep the CI-sized fault grid instead of the
+    /// full one.
+    smoke: bool,
     /// `--profile-store <path>`: calibration-plane persistence. The file
     /// is loaded (if present) into the device's [`Runner`] before any
     /// experiment runs and saved back — with everything learned this
@@ -157,6 +166,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut deny_warnings = false;
+    let mut smoke = false;
     let mut profile_store: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -201,6 +211,7 @@ fn parse_args() -> Result<Options, String> {
                 inputs.extend(list.split(',').map(str::to_string));
             }
             "--deny-warnings" => deny_warnings = true,
+            "--smoke" => smoke = true,
             "--profile-store" => {
                 i += 1;
                 profile_store = Some(
@@ -265,6 +276,7 @@ fn parse_args() -> Result<Options, String> {
         out,
         inputs,
         deny_warnings,
+        smoke,
         profile_store,
     })
 }
@@ -310,6 +322,18 @@ fn faults_set(opts: &Options) -> PolicySet {
         opts.policies.clone()
     } else {
         PolicySet::parse("accelos,accelos-priority").expect("builtin names")
+    }
+}
+
+/// The set the `chaos` experiment sweeps: `--policies` when given,
+/// otherwise equal shares plus both premium-exempting policies, so the
+/// correlated-loss coherence rule (premium scales too once ≥25% of the
+/// fleet vanishes at once) is exercised by default.
+fn chaos_set(opts: &Options) -> PolicySet {
+    if opts.policies_given {
+        opts.policies.clone()
+    } else {
+        PolicySet::parse("accelos,accelos-priority,accelos-sla").expect("builtin names")
     }
 }
 
@@ -504,7 +528,7 @@ fn main() {
         Err(e) => {
             eprintln!("repro: {e}");
             eprintln!(
-                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|deadline|faults|all>... \
+                "usage: repro <fig2|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|fig15|small|ablation|dynamic|priority|deadline|faults|chaos|all>... \
                  [--device k20m|r9|both] [--policies name,name,...] [--reference name] [--full] \
                  [--pairs N] [--n4 N] [--n8 N] [--reps N] [--seed N] \
                  [--jobs N] [--sequential] [--profile-store FILE] \
@@ -712,6 +736,21 @@ fn main() {
             println!(
                 "{}",
                 render_fault_scenario(&fault_scenario(&runner, &set, opts.cfg.seed), &device.name)
+            );
+        }
+        if wants(exps, "chaos") {
+            let set = chaos_set(&opts);
+            let grid = if opts.smoke {
+                ChaosGrid::smoke()
+            } else {
+                ChaosGrid::full()
+            };
+            println!(
+                "{}",
+                render_chaos(
+                    &chaos_soak(&runner, &set, &grid, opts.cfg.seed),
+                    &device.name
+                )
             );
         }
         if wants(exps, "priority") {

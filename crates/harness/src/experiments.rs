@@ -1475,6 +1475,8 @@ pub fn fault_scenario(runner: &Runner, set: &PolicySet, seed: u64) -> FaultScena
                 slowdown: 3.0,
                 straggler_window: horizon / 8,
                 aborts: 0,
+                domain_failures: 0,
+                domain_repair_delay: None,
             };
             FaultPlan::from_spec(&spec, num_cus, workload.len(), seed.wrapping_add(n as u64))
         })

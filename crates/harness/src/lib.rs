@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod disasm;
 pub mod experiments;
 pub mod lintreport;

@@ -28,8 +28,8 @@ use accelos::policy::{plan_with_arrivals_and_faults, FaultSchedule, PlanCtx, Sch
 use accelos::resource::{ResourceDemand, ShareAllocation};
 use accelos::scheduler::{ExecRequest, LaunchDecision};
 use gpu_sim::{
-    Costs, DeviceConfig, FaultPlan, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd, SimReport,
-    Simulator, WorkGroupReq,
+    Costs, DeviceConfig, FailureDomain, FaultPlan, KernelLaunch, LaunchId, ReclaimCmd, ResumeCmd,
+    SimReport, Simulator, WorkGroupReq,
 };
 use parboil::{KernelDb, KernelSpec};
 use sched_metrics::profile::ProfileStore;
@@ -373,6 +373,26 @@ impl Runner {
         arrivals: &[u64],
         faults: &FaultPlan,
     ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeCmd>) {
+        self.launches_preemptive_with_schedule(
+            ctx,
+            policy,
+            arrivals,
+            &FaultSchedule::from_fault_plan(faults),
+        )
+    }
+
+    /// [`Runner::launches_preemptive_with_faults`] with the fault plan
+    /// already projected onto the policy plane — the domain-aware path
+    /// ([`Runner::faulty_report_with_domains`]) projects with the device
+    /// partition attached so correlated losses reach
+    /// [`SchedulingPolicy::on_fault`] as whole-domain capacity events.
+    pub fn launches_preemptive_with_schedule(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+        projected: &FaultSchedule,
+    ) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeCmd>) {
         assert_eq!(ctx.kernels.len(), arrivals.len(), "one arrival per kernel");
         let requests = ctx.exec_requests(policy.chunk_mode());
         let indices = policy.estimate_indices(&requests);
@@ -406,13 +426,8 @@ impl Runner {
         if !estimates.is_empty() {
             plan_ctx = plan_ctx.with_estimates(&estimates);
         }
-        let schedule = plan_with_arrivals_and_faults(
-            policy,
-            &plan_ctx,
-            &requests,
-            arrivals,
-            &FaultSchedule::from_fault_plan(faults),
-        );
+        let schedule =
+            plan_with_arrivals_and_faults(policy, &plan_ctx, &requests, arrivals, projected);
         let launches = self.build_launches(
             ctx,
             policy,
@@ -429,6 +444,7 @@ impl Runner {
                 launch: LaunchId(r.index as u32),
                 workers: r.workers,
                 pressure: r.pressure.map(|p| LaunchId(p as u32)),
+                chunk: None,
             })
             .collect();
         let resumes = schedule
@@ -485,7 +501,21 @@ impl Runner {
         resumes: Vec<ResumeCmd>,
         faults: FaultPlan,
     ) -> SimReport {
+        self.simulate_full(launches, reclaims, resumes, faults, &[])
+    }
+
+    fn simulate_full(
+        &self,
+        launches: Vec<KernelLaunch>,
+        reclaims: Vec<ReclaimCmd>,
+        resumes: Vec<ResumeCmd>,
+        faults: FaultPlan,
+        domains: &[FailureDomain],
+    ) -> SimReport {
         let mut sim = Simulator::new(self.device.clone());
+        if !domains.is_empty() {
+            sim = sim.with_domains(domains.to_vec());
+        }
         for l in launches {
             sim.add_launch(l);
         }
@@ -635,6 +665,28 @@ impl Runner {
         let (launches, reclaims, resumes) =
             self.launches_preemptive_with_faults(ctx, policy, arrivals, faults);
         self.simulate_with(launches, reclaims, resumes, faults.clone())
+    }
+
+    /// [`Runner::faulty_report`] on a **partitioned** device: the
+    /// [`FailureDomain`] partition is attached to the machine simulation
+    /// (so [`gpu_sim::FaultKind::DomainFailure`] events resolve to
+    /// correlated member failures) *and* to the policy projection (so a
+    /// permanent domain loss reaches [`SchedulingPolicy::on_fault`] as
+    /// one whole-domain capacity event rather than being dropped). With
+    /// no domains and no domain faults this is bit-identical to
+    /// [`Runner::faulty_report`].
+    pub fn faulty_report_with_domains(
+        &self,
+        ctx: &RepContext<'_>,
+        policy: &dyn SchedulingPolicy,
+        arrivals: &[u64],
+        faults: &FaultPlan,
+        domains: &[FailureDomain],
+    ) -> SimReport {
+        let projected = FaultSchedule::from_fault_plan_with_domains(faults, domains);
+        let (launches, reclaims, resumes) =
+            self.launches_preemptive_with_schedule(ctx, policy, arrivals, &projected);
+        self.simulate_full(launches, reclaims, resumes, faults.clone(), domains)
     }
 
     /// Run one staggered workload through the policy's arrival hooks

@@ -103,6 +103,7 @@ fn random_episode(seed: u64) -> (Vec<KernelLaunch>, Vec<ReclaimCmd>, Vec<ResumeC
             launch: LaunchId(target as u32),
             workers,
             pressure: None,
+            chunk: None,
         });
         if workers == 0 {
             resumes.push(ResumeCmd {
@@ -619,6 +620,8 @@ fn faulty_harness_runs_are_deterministic_and_zero_fault_is_identity() {
         slowdown: 3.0,
         straggler_window: 8_000,
         aborts: 1,
+        domain_failures: 0,
+        domain_repair_delay: None,
     };
     let plan = FaultPlan::from_spec(&spec, runner.device().num_cus, workload.len(), 7);
     assert_eq!(

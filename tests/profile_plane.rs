@@ -108,6 +108,7 @@ fn simulate(requests: &[ExecRequest], s: &ArrivalSchedule, arrivals: &[u64]) -> 
             launch: LaunchId(r.index as u32),
             workers: r.workers,
             pressure: r.pressure.map(|p| LaunchId(p as u32)),
+            chunk: None,
         });
     }
     for r in &s.resumes {
